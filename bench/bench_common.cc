@@ -1,0 +1,175 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "baselines/flat_vector.h"
+#include "common/check.h"
+
+namespace costream::bench {
+
+double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("COSTREAM_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double value = std::atof(env);
+    return value > 0.0 ? value : 1.0;
+  }();
+  return scale;
+}
+
+int ScaledCorpusSize(int base) {
+  return std::max(200, static_cast<int>(base * BenchScale()));
+}
+
+int ScaledEpochs(int base) {
+  return std::max(4, static_cast<int>(base * std::min(BenchScale(), 2.0)));
+}
+
+SplitCorpusResult BuildSplitCorpus(const workload::CorpusConfig& config) {
+  const auto records = workload::BuildCorpus(config);
+  const workload::SplitIndices split = workload::SplitCorpus(
+      static_cast<int>(records.size()), 0.8, 0.1, config.seed ^ 0x5517ull);
+  SplitCorpusResult result;
+  result.train = workload::Gather(records, split.train);
+  result.val = workload::Gather(records, split.val);
+  result.test = workload::Gather(records, split.test);
+  return result;
+}
+
+std::unique_ptr<core::CostModel> TrainGnn(
+    const std::vector<workload::TraceRecord>& train,
+    const std::vector<workload::TraceRecord>& val, sim::Metric metric,
+    int epochs, uint64_t seed, core::FeaturizationMode featurization,
+    core::MessagePassingMode message_passing) {
+  core::CostModelConfig config;
+  config.featurization = featurization;
+  config.message_passing = message_passing;
+  config.head = sim::IsRegressionMetric(metric)
+                    ? core::HeadKind::kRegression
+                    : core::HeadKind::kClassification;
+  config.seed = seed;
+  auto model = std::make_unique<core::CostModel>(config);
+  const auto train_samples =
+      workload::ToTrainSamples(train, metric, featurization);
+  const auto val_samples = workload::ToTrainSamples(val, metric, featurization);
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.seed = seed * 7919 + 13;
+  core::TrainModel(*model, train_samples, val_samples, tc);
+  return model;
+}
+
+std::unique_ptr<baselines::Gbdt> TrainFlat(
+    const std::vector<workload::TraceRecord>& train, sim::Metric metric) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  workload::ToFlatDataset(train, metric, &x, &y);
+  const auto objective = sim::IsRegressionMetric(metric)
+                             ? baselines::GbdtObjective::kSquaredLogError
+                             : baselines::GbdtObjective::kLogistic;
+  auto model = std::make_unique<baselines::Gbdt>(baselines::GbdtConfig{},
+                                                 objective);
+  model->Fit(x, y);
+  return model;
+}
+
+namespace {
+
+// Regression test pairs (actual, predicted) over successful records.
+template <typename PredictFn>
+eval::QErrorSummary EvalRegression(
+    const std::vector<workload::TraceRecord>& test, sim::Metric metric,
+    const PredictFn& predict) {
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  for (const auto& record : test) {
+    if (!record.metrics.success) continue;
+    actual.push_back(sim::RegressionValue(record.metrics, metric));
+    predicted.push_back(predict(record));
+  }
+  COSTREAM_CHECK_MSG(!actual.empty(), "no successful test records");
+  return eval::SummarizeQErrors(actual, predicted);
+}
+
+template <typename PredictFn>
+double EvalBalancedAccuracy(const std::vector<workload::TraceRecord>& test,
+                            sim::Metric metric, const PredictFn& predict) {
+  std::vector<bool> labels;
+  for (const auto& record : test) {
+    labels.push_back(sim::BinaryLabel(record.metrics, metric));
+  }
+  const std::vector<int> balanced = eval::BalancedIndices(labels);
+  if (balanced.empty()) return -1.0;
+  std::vector<bool> actual;
+  std::vector<bool> predicted;
+  for (int i : balanced) {
+    actual.push_back(labels[i]);
+    predicted.push_back(predict(test[i]));
+  }
+  return eval::Accuracy(actual, predicted);
+}
+
+}  // namespace
+
+eval::QErrorSummary EvalGnnRegression(
+    const core::CostModel& model,
+    const std::vector<workload::TraceRecord>& test, sim::Metric metric) {
+  return EvalRegression(test, metric, [&](const workload::TraceRecord& r) {
+    return model.PredictRegression(core::BuildJointGraph(
+        r.query, r.cluster, r.placement, model.config().featurization));
+  });
+}
+
+eval::QErrorSummary EvalFlatRegression(
+    const baselines::Gbdt& model,
+    const std::vector<workload::TraceRecord>& test, sim::Metric metric) {
+  return EvalRegression(test, metric, [&](const workload::TraceRecord& r) {
+    return model.Predict(
+        baselines::FlatVectorFeatures(r.query, r.cluster, r.placement));
+  });
+}
+
+double EvalGnnBalancedAccuracy(const core::CostModel& model,
+                               const std::vector<workload::TraceRecord>& test,
+                               sim::Metric metric) {
+  return EvalBalancedAccuracy(
+      test, metric, [&](const workload::TraceRecord& r) {
+        return model.PredictProbability(core::BuildJointGraph(
+                   r.query, r.cluster, r.placement,
+                   model.config().featurization)) >= 0.5;
+      });
+}
+
+double EvalFlatBalancedAccuracy(const baselines::Gbdt& model,
+                                const std::vector<workload::TraceRecord>& test,
+                                sim::Metric metric) {
+  return EvalBalancedAccuracy(
+      test, metric, [&](const workload::TraceRecord& r) {
+        return model.Predict(baselines::FlatVectorFeatures(
+                   r.query, r.cluster, r.placement)) >= 0.5;
+      });
+}
+
+void ReportTable(const std::string& experiment, const std::string& title,
+                 const eval::Table& table) {
+  std::printf("== %s — %s ==\n", experiment.c_str(), title.c_str());
+  std::printf("%s\n", table.ToString().c_str());
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/" + experiment + ".csv";
+  if (!table.WriteCsv(path)) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  } else {
+    std::printf("(csv written to %s)\n\n", path.c_str());
+  }
+}
+
+std::string AccuracyCell(double accuracy) {
+  if (accuracy < 0.0) return "n/a";
+  return eval::Table::Percent(accuracy, 1);
+}
+
+}  // namespace costream::bench

@@ -1,0 +1,100 @@
+// [Extension] Degree-of-parallelism tuning (paper Section IX outlook /
+// Agnihotri et al. [20]): the joint graph carries a parallelism feature per
+// operator, the cost model is trained on corpora with varied degrees, and a
+// greedy tuner uses the model to pick per-operator degrees.
+//
+// Reported: (a) throughput prediction quality on parallelism-varied
+// workloads, and (b) the measured throughput improvement of tuned degrees
+// over single-instance execution on CPU-bound queries.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "placement/enumeration.h"
+#include "placement/parallelism_tuner.h"
+#include "sim/fluid_engine.h"
+
+namespace costream::bench {
+namespace {
+
+int Run() {
+  workload::CorpusConfig config;
+  config.num_queries = ScaledCorpusSize(4000);
+  config.seed = 1501;
+  config.generator.parallelism_fraction = 0.4;
+  std::printf("building parallelism-varied corpus of %d traces...\n",
+              config.num_queries);
+  const SplitCorpusResult corpus = BuildSplitCorpus(config);
+
+  std::printf("training the throughput model...\n");
+  core::Ensemble throughput(core::CostModelConfig{}, 1);
+  {
+    core::TrainConfig tc;
+    tc.epochs = ScaledEpochs(26);
+    throughput.Train(
+        workload::ToTrainSamples(corpus.train, sim::Metric::kThroughput),
+        workload::ToTrainSamples(corpus.val, sim::Metric::kThroughput), tc);
+  }
+  const auto q = EvalGnnRegression(throughput.member(0), corpus.test,
+                                   sim::Metric::kThroughput);
+
+  eval::Table quality({"Evaluation", "Q50", "Q95"});
+  quality.AddRow({"throughput on parallelism-varied test split",
+                  eval::Table::Num(q.q50), eval::Table::Num(q.q95)});
+  ReportTable("ext_parallelism_quality",
+              "[Extension] prediction quality with varied parallelism",
+              quality);
+
+  // Tuner evaluation on stressed (high-rate) queries.
+  std::printf("tuning parallelism degrees for stressed queries...\n");
+  workload::GeneratorConfig stressed = config.generator;
+  stressed.parallelism_fraction = 0.0;  // start from single instances
+  stressed.workload.event_rate_linear = {6400, 12800, 25600};
+  workload::QueryGenerator generator(stressed);
+  nn::Rng rng(1502);
+  sim::FluidConfig fluid;
+  fluid.noise_sigma = 0.0;
+
+  std::vector<double> improvements;
+  int tuned_queries = 0;
+  const int n = std::max(10, static_cast<int>(40 * BenchScale()));
+  for (int i = 0; i < n; ++i) {
+    dsps::QueryGraph query =
+        generator.Generate(workload::QueryTemplate::kLinear, rng);
+    const sim::Cluster cluster = generator.GenerateCluster(rng);
+    const auto bins = placement::CapabilityBins(cluster);
+    const sim::Placement placement =
+        placement::SamplePlacement(query, cluster, bins, rng);
+
+    const double before =
+        sim::EvaluateFluid(query, cluster, placement, fluid)
+            .metrics.throughput;
+    placement::ParallelismTunerConfig tc;
+    const auto result = placement::TuneParallelism(query, cluster, placement,
+                                                   throughput, tc);
+    for (int id = 0; id < query.num_operators(); ++id) {
+      query.mutable_op(id).parallelism = result.parallelism[id];
+    }
+    const double after =
+        sim::EvaluateFluid(query, cluster, placement, fluid)
+            .metrics.throughput;
+    improvements.push_back(after / std::max(before, 1e-9));
+    if (result.changes > 0) ++tuned_queries;
+  }
+
+  eval::Table tuner({"Statistic", "Value"});
+  tuner.AddRow({"queries", std::to_string(n)});
+  tuner.AddRow({"queries with tuned degrees", std::to_string(tuned_queries)});
+  tuner.AddRow({"median throughput ratio (tuned / single-instance)",
+                eval::Table::Num(eval::Quantile(improvements, 0.5)) + "x"});
+  tuner.AddRow({"p90 throughput ratio",
+                eval::Table::Num(eval::Quantile(improvements, 0.9)) + "x"});
+  ReportTable("ext_parallelism_tuner",
+              "[Extension] model-driven parallelism tuning", tuner);
+  return 0;
+}
+
+}  // namespace
+}  // namespace costream::bench
+
+int main() { return costream::bench::Run(); }

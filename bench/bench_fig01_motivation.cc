@@ -1,0 +1,67 @@
+// [Fig. 1] Motivation: E2E-latency estimation errors on queries similar to
+// the training data (left) vs. entirely unseen hardware and query properties
+// (right), COSTREAM vs. the flat-vector baseline.
+//
+// Paper shape: COSTREAM stays near q-error 1 on both; the flat vector's
+// errors explode on the unseen set.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/benchmarks.h"
+
+namespace costream::bench {
+namespace {
+
+// The unseen set varies hardware (interpolation grid), query structure
+// (filter chains, unseen during training) and data properties at once.
+std::vector<workload::TraceRecord> BuildUnseenSet(int n) {
+  workload::CorpusConfig config;
+  config.num_queries = n;
+  config.seed = 202;
+  config.generator.hardware = workload::HardwareGrid::Interpolation();
+  config.generator.filter_chain_length = 2;
+  config.templates = {workload::QueryTemplate::kFilterChain,
+                      workload::QueryTemplate::kTwoWayJoin,
+                      workload::QueryTemplate::kLinear};
+  config.template_weights = {0.4, 0.3, 0.3};
+  return workload::BuildCorpus(config);
+}
+
+int Run() {
+  workload::CorpusConfig config;
+  config.num_queries = ScaledCorpusSize(4200);
+  config.seed = 201;
+  std::printf("building corpus of %d query traces...\n", config.num_queries);
+  const SplitCorpusResult corpus = BuildSplitCorpus(config);
+  const auto unseen = BuildUnseenSet(ScaledCorpusSize(300));
+
+  const sim::Metric metric = sim::Metric::kE2eLatency;
+  std::printf("training E2E-latency models...\n");
+  const auto gnn = TrainGnn(corpus.train, corpus.val, metric,
+                            ScaledEpochs(28));
+  const auto flat = TrainFlat(corpus.train, metric);
+
+  eval::Table table({"Workload", "Model", "Q50", "Q95"});
+  const auto g_seen = EvalGnnRegression(*gnn, corpus.test, metric);
+  const auto f_seen = EvalFlatRegression(*flat, corpus.test, metric);
+  const auto g_unseen = EvalGnnRegression(*gnn, unseen, metric);
+  const auto f_unseen = EvalFlatRegression(*flat, unseen, metric);
+  table.AddRow({"seen-like (test split)", "COSTREAM",
+                eval::Table::Num(g_seen.q50), eval::Table::Num(g_seen.q95)});
+  table.AddRow({"seen-like (test split)", "Flat Vector",
+                eval::Table::Num(f_seen.q50), eval::Table::Num(f_seen.q95)});
+  table.AddRow({"unseen hardware+queries", "COSTREAM",
+                eval::Table::Num(g_unseen.q50),
+                eval::Table::Num(g_unseen.q95)});
+  table.AddRow({"unseen hardware+queries", "Flat Vector",
+                eval::Table::Num(f_unseen.q50),
+                eval::Table::Num(f_unseen.q95)});
+  ReportTable("fig01_motivation",
+              "[Fig. 1] E2E-latency q-errors, seen vs. unseen", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace costream::bench
+
+int main() { return costream::bench::Run(); }

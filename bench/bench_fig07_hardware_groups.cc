@@ -1,0 +1,131 @@
+// [Exp 1, Fig. 7] Prediction quality grouped by hardware ranges: test
+// records are bucketed by the mean CPU / RAM / bandwidth / latency of the
+// hosts used in the execution; per bucket we report the median q-error of
+// the three regression metrics and balanced accuracy of the classifiers.
+//
+// Paper shape: median q-error <= ~1.6 and accuracy above ~85% across all
+// hardware buckets.
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "bench_common.h"
+
+namespace costream::bench {
+namespace {
+
+enum class HardwareDim { kCpu, kRam, kBandwidth, kLatency };
+
+double MeanFeature(const workload::TraceRecord& record, HardwareDim dim) {
+  std::set<int> used(record.placement.begin(), record.placement.end());
+  double total = 0.0;
+  for (int n : used) {
+    const sim::HardwareNode& hw = record.cluster.nodes[n];
+    switch (dim) {
+      case HardwareDim::kCpu:
+        total += hw.cpu_pct;
+        break;
+      case HardwareDim::kRam:
+        total += hw.ram_mb;
+        break;
+      case HardwareDim::kBandwidth:
+        total += hw.bandwidth_mbits;
+        break;
+      case HardwareDim::kLatency:
+        total += hw.latency_ms;
+        break;
+    }
+  }
+  return total / used.size();
+}
+
+struct Bucket {
+  const char* label;
+  double lo;
+  double hi;
+};
+
+void ReportDimension(const char* name, HardwareDim dim,
+                     const std::vector<Bucket>& buckets,
+                     const std::vector<workload::TraceRecord>& test,
+                     const core::CostModel& tp, const core::CostModel& lp,
+                     const core::CostModel& le, const core::CostModel& bp,
+                     const core::CostModel& succ) {
+  eval::Table table({"Range", "n", "Q50 T", "Q50 L_e", "Q50 L_p",
+                     "Acc backpressure", "Acc success"});
+  for (const Bucket& bucket : buckets) {
+    std::vector<workload::TraceRecord> group;
+    for (const auto& record : test) {
+      const double v = MeanFeature(record, dim);
+      if (v >= bucket.lo && v < bucket.hi) group.push_back(record);
+    }
+    if (group.size() < 8) continue;
+    const auto qt = EvalGnnRegression(tp, group, sim::Metric::kThroughput);
+    const auto qe = EvalGnnRegression(le, group, sim::Metric::kE2eLatency);
+    const auto qp =
+        EvalGnnRegression(lp, group, sim::Metric::kProcessingLatency);
+    const double ab =
+        EvalGnnBalancedAccuracy(bp, group, sim::Metric::kBackpressure);
+    const double as =
+        EvalGnnBalancedAccuracy(succ, group, sim::Metric::kSuccess);
+    table.AddRow({bucket.label, std::to_string(group.size()),
+                  eval::Table::Num(qt.q50), eval::Table::Num(qe.q50),
+                  eval::Table::Num(qp.q50), AccuracyCell(ab),
+                  AccuracyCell(as)});
+  }
+  ReportTable(std::string("fig07_hardware_") + name,
+              std::string("[Exp 1, Fig. 7] results grouped by mean ") + name,
+              table);
+}
+
+int Run() {
+  workload::CorpusConfig config;
+  config.num_queries = ScaledCorpusSize(4500);
+  config.seed = 301;
+  std::printf("building corpus of %d query traces...\n", config.num_queries);
+  const SplitCorpusResult corpus = BuildSplitCorpus(config);
+  const int epochs = ScaledEpochs(26);
+
+  std::printf("training the five metric models...\n");
+  const auto tp =
+      TrainGnn(corpus.train, corpus.val, sim::Metric::kThroughput, epochs);
+  const auto le =
+      TrainGnn(corpus.train, corpus.val, sim::Metric::kE2eLatency, epochs);
+  const auto lp = TrainGnn(corpus.train, corpus.val,
+                           sim::Metric::kProcessingLatency, epochs);
+  const auto bp =
+      TrainGnn(corpus.train, corpus.val, sim::Metric::kBackpressure, epochs);
+  const auto succ =
+      TrainGnn(corpus.train, corpus.val, sim::Metric::kSuccess, epochs);
+
+  ReportDimension("cpu", HardwareDim::kCpu,
+                  {{"[50,200)%", 50, 200},
+                   {"[200,400)%", 200, 400},
+                   {"[400,600)%", 400, 600},
+                   {"[600,800]%", 600, 801}},
+                  corpus.test, *tp, *lp, *le, *bp, *succ);
+  ReportDimension("ram", HardwareDim::kRam,
+                  {{"[1,4) GB", 1000, 4000},
+                   {"[4,12) GB", 4000, 12000},
+                   {"[12,24) GB", 12000, 24000},
+                   {"[24,32] GB", 24000, 32001}},
+                  corpus.test, *tp, *lp, *le, *bp, *succ);
+  ReportDimension("bandwidth", HardwareDim::kBandwidth,
+                  {{"[25,200) Mbit", 25, 200},
+                   {"[200,800) Mbit", 200, 800},
+                   {"[800,3200) Mbit", 800, 3200},
+                   {"[3200,10000] Mbit", 3200, 10001}},
+                  corpus.test, *tp, *lp, *le, *bp, *succ);
+  ReportDimension("latency", HardwareDim::kLatency,
+                  {{"[1,5) ms", 1, 5},
+                   {"[5,20) ms", 5, 20},
+                   {"[20,80) ms", 20, 80},
+                   {"[80,160] ms", 80, 161}},
+                  corpus.test, *tp, *lp, *le, *bp, *succ);
+  return 0;
+}
+
+}  // namespace
+}  // namespace costream::bench
+
+int main() { return costream::bench::Run(); }

@@ -1,0 +1,64 @@
+// [Exp 1, Fig. 8] Prediction quality by query structure: test records
+// grouped into linear, 2-way-join and 3-way-join queries.
+//
+// Paper shape: all regression q-errors below ~1.6, slightly increasing with
+// query complexity; classification behaves similarly.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace costream::bench {
+namespace {
+
+int Run() {
+  workload::CorpusConfig config;
+  config.num_queries = ScaledCorpusSize(4500);
+  config.seed = 401;
+  std::printf("building corpus of %d query traces...\n", config.num_queries);
+  const SplitCorpusResult corpus = BuildSplitCorpus(config);
+  const int epochs = ScaledEpochs(26);
+
+  std::printf("training the five metric models...\n");
+  const auto tp =
+      TrainGnn(corpus.train, corpus.val, sim::Metric::kThroughput, epochs);
+  const auto le =
+      TrainGnn(corpus.train, corpus.val, sim::Metric::kE2eLatency, epochs);
+  const auto lp = TrainGnn(corpus.train, corpus.val,
+                           sim::Metric::kProcessingLatency, epochs);
+  const auto bp =
+      TrainGnn(corpus.train, corpus.val, sim::Metric::kBackpressure, epochs);
+  const auto succ =
+      TrainGnn(corpus.train, corpus.val, sim::Metric::kSuccess, epochs);
+
+  eval::Table table({"Query type", "n", "Q50 T", "Q95 T", "Q50 L_e",
+                     "Q50 L_p", "Acc backpressure", "Acc success"});
+  for (auto kind : {workload::QueryTemplate::kLinear,
+                    workload::QueryTemplate::kTwoWayJoin,
+                    workload::QueryTemplate::kThreeWayJoin}) {
+    std::vector<workload::TraceRecord> group;
+    for (const auto& record : corpus.test) {
+      if (record.template_kind == kind) group.push_back(record);
+    }
+    if (group.size() < 8) continue;
+    const auto qt = EvalGnnRegression(*tp, group, sim::Metric::kThroughput);
+    const auto qe = EvalGnnRegression(*le, group, sim::Metric::kE2eLatency);
+    const auto qp =
+        EvalGnnRegression(*lp, group, sim::Metric::kProcessingLatency);
+    const double ab =
+        EvalGnnBalancedAccuracy(*bp, group, sim::Metric::kBackpressure);
+    const double as =
+        EvalGnnBalancedAccuracy(*succ, group, sim::Metric::kSuccess);
+    table.AddRow({ToString(kind), std::to_string(group.size()),
+                  eval::Table::Num(qt.q50), eval::Table::Num(qt.q95),
+                  eval::Table::Num(qe.q50), eval::Table::Num(qp.q50),
+                  AccuracyCell(ab), AccuracyCell(as)});
+  }
+  ReportTable("fig08_query_types",
+              "[Exp 1, Fig. 8] results by query structure", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace costream::bench
+
+int main() { return costream::bench::Run(); }

@@ -1,0 +1,54 @@
+// [Exp 7a, Fig. 12] Feature ablation for E2E latency: (1) only the operator
+// graph (no host nodes), (2) host nodes and placement/co-location but no
+// hardware features, (3) the full featurization.
+//
+// Paper shape: full featurization is best (Q50 1.37), placement-only is
+// next (2.22), operators-only worst (2.6).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace costream::bench {
+namespace {
+
+int Run() {
+  workload::CorpusConfig config;
+  config.num_queries = ScaledCorpusSize(4500);
+  config.seed = 1301;
+  std::printf("building corpus of %d query traces...\n", config.num_queries);
+  const SplitCorpusResult corpus = BuildSplitCorpus(config);
+  const int epochs = ScaledEpochs(26);
+
+  struct Scheme {
+    const char* name;
+    core::FeaturizationMode mode;
+  };
+  const Scheme schemes[] = {
+      {"operators only (no hardware nodes)",
+       core::FeaturizationMode::kOperatorsOnly},
+      {"+ placement / co-location (no hardware features)",
+       core::FeaturizationMode::kPlacementOnly},
+      {"full featurization", core::FeaturizationMode::kFull},
+  };
+
+  eval::Table table({"Featurization", "Q50 L_e", "Q95 L_e"});
+  for (const Scheme& scheme : schemes) {
+    std::printf("training E2E-latency model (%s)...\n", scheme.name);
+    const auto model = TrainGnn(corpus.train, corpus.val,
+                                sim::Metric::kE2eLatency, epochs, 1,
+                                scheme.mode);
+    const auto q =
+        EvalGnnRegression(*model, corpus.test, sim::Metric::kE2eLatency);
+    table.AddRow({scheme.name, eval::Table::Num(q.q50),
+                  eval::Table::Num(q.q95)});
+  }
+  ReportTable("fig12_feature_ablation",
+              "[Exp 7a, Fig. 12] featurization ablation for E2E latency",
+              table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace costream::bench
+
+int main() { return costream::bench::Run(); }

@@ -1,0 +1,50 @@
+// [Exp 7b, Fig. 13] Message-passing ablation: the staged COSTREAM scheme
+// (OPS->HW, HW->OPS, SOURCES->OPS) vs. a traditional scheme that updates
+// every node from its neighbours for a fixed number of iterations.
+//
+// Paper shape: the staged scheme wins on all three regression metrics.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace costream::bench {
+namespace {
+
+int Run() {
+  workload::CorpusConfig config;
+  config.num_queries = ScaledCorpusSize(4500);
+  config.seed = 1401;
+  std::printf("building corpus of %d query traces...\n", config.num_queries);
+  const SplitCorpusResult corpus = BuildSplitCorpus(config);
+  const int epochs = ScaledEpochs(26);
+
+  eval::Table table({"Metric", "Staged Q50", "Staged Q95", "Traditional Q50",
+                     "Traditional Q95"});
+  for (sim::Metric metric :
+       {sim::Metric::kThroughput, sim::Metric::kE2eLatency,
+        sim::Metric::kProcessingLatency}) {
+    std::printf("training staged + traditional models for %s...\n",
+                sim::ToString(metric));
+    const auto staged = TrainGnn(corpus.train, corpus.val, metric, epochs, 1,
+                                 core::FeaturizationMode::kFull,
+                                 core::MessagePassingMode::kStaged);
+    const auto traditional =
+        TrainGnn(corpus.train, corpus.val, metric, epochs, 1,
+                 core::FeaturizationMode::kFull,
+                 core::MessagePassingMode::kTraditional);
+    const auto qs = EvalGnnRegression(*staged, corpus.test, metric);
+    const auto qt = EvalGnnRegression(*traditional, corpus.test, metric);
+    table.AddRow({sim::ToString(metric), eval::Table::Num(qs.q50),
+                  eval::Table::Num(qs.q95), eval::Table::Num(qt.q50),
+                  eval::Table::Num(qt.q95)});
+  }
+  ReportTable("fig13_mp_ablation",
+              "[Exp 7b, Fig. 13] staged vs. traditional message passing",
+              table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace costream::bench
+
+int main() { return costream::bench::Run(); }

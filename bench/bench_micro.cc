@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical building
+// blocks: fluid-engine evaluation, joint-graph featurization, GNN inference
+// and training steps, placement enumeration, GBDT prediction, and the
+// discrete-event simulator's event rate.
+#include <benchmark/benchmark.h>
+
+#include "baselines/flat_vector.h"
+#include "baselines/gbdt.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "placement/enumeration.h"
+#include "sim/des.h"
+#include "sim/fluid_engine.h"
+#include "workload/corpus.h"
+
+namespace costream {
+namespace {
+
+workload::TraceRecord MakeRecord(workload::QueryTemplate t, uint64_t seed) {
+  workload::QueryGenerator generator(workload::GeneratorConfig{});
+  nn::Rng rng(seed);
+  workload::TraceRecord record;
+  record.query = generator.Generate(t, rng);
+  record.cluster = generator.GenerateCluster(rng);
+  const auto bins = placement::CapabilityBins(record.cluster);
+  record.placement =
+      placement::SamplePlacement(record.query, record.cluster, bins, rng);
+  return record;
+}
+
+void BM_FluidEvaluate(benchmark::State& state) {
+  const auto record = MakeRecord(
+      static_cast<workload::QueryTemplate>(state.range(0)), 1);
+  sim::FluidConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::EvaluateFluid(record.query, record.cluster,
+                                                record.placement, config));
+  }
+}
+BENCHMARK(BM_FluidEvaluate)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_BuildJointGraph(benchmark::State& state) {
+  const auto record = MakeRecord(workload::QueryTemplate::kThreeWayJoin, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildJointGraph(
+        record.query, record.cluster, record.placement));
+  }
+}
+BENCHMARK(BM_BuildJointGraph);
+
+void BM_GnnInference(benchmark::State& state) {
+  const auto record = MakeRecord(workload::QueryTemplate::kThreeWayJoin, 3);
+  const core::JointGraph graph = core::BuildJointGraph(
+      record.query, record.cluster, record.placement);
+  core::CostModel model(core::CostModelConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictRegression(graph));
+  }
+}
+BENCHMARK(BM_GnnInference);
+
+void BM_GnnTrainStep(benchmark::State& state) {
+  const auto record = MakeRecord(workload::QueryTemplate::kThreeWayJoin, 4);
+  core::TrainSample sample;
+  sample.graph = core::BuildJointGraph(record.query, record.cluster,
+                                       record.placement);
+  sample.regression_target = 123.0;
+  core::CostModel model(core::CostModelConfig{});
+  nn::Tape tape;
+  for (auto _ : state) {
+    tape.Reset();
+    nn::Var out = model.Forward(tape, sample.graph);
+    nn::Var loss = tape.MseLoss(out, nn::Matrix::Scalar(4.8));
+    tape.Backward(loss);
+  }
+}
+BENCHMARK(BM_GnnTrainStep);
+
+void BM_PlacementEnumeration(benchmark::State& state) {
+  const auto record = MakeRecord(workload::QueryTemplate::kThreeWayJoin, 5);
+  placement::EnumerationConfig config;
+  config.num_candidates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        placement::EnumerateCandidates(record.query, record.cluster, config));
+  }
+}
+BENCHMARK(BM_PlacementEnumeration)->Arg(10)->Arg(50);
+
+void BM_FlatVectorFeatures(benchmark::State& state) {
+  const auto record = MakeRecord(workload::QueryTemplate::kThreeWayJoin, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::FlatVectorFeatures(
+        record.query, record.cluster, record.placement));
+  }
+}
+BENCHMARK(BM_FlatVectorFeatures);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  nn::Rng rng(7);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> row(36);
+    for (double& v : row) v = rng.Uniform(0.0, 1.0);
+    y.push_back(row[0] * 100.0);
+    x.push_back(std::move(row));
+  }
+  baselines::Gbdt gbdt(baselines::GbdtConfig{},
+                       baselines::GbdtObjective::kSquaredError);
+  gbdt.Fit(x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gbdt.Predict(x[0]));
+  }
+}
+BENCHMARK(BM_GbdtPredict);
+
+void BM_DesEventRate(benchmark::State& state) {
+  const auto record = MakeRecord(workload::QueryTemplate::kLinear, 8);
+  sim::DesConfig config;
+  config.duration_s = 1.0;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    const sim::DesReport report =
+        sim::RunDes(record.query, record.cluster, record.placement, config);
+    events += report.events_processed;
+    benchmark::DoNotOptimize(report.sink_tuples);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DesEventRate);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  workload::CorpusConfig config;
+  config.num_queries = 100;
+  uint64_t seed = 100;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(workload::BuildCorpus(config));
+  }
+  state.counters["traces/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * config.num_queries,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CorpusGeneration);
+
+}  // namespace
+}  // namespace costream
+
+BENCHMARK_MAIN();

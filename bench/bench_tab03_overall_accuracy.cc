@@ -1,0 +1,62 @@
+// [Exp 1, Table III] Overall prediction results on the held-out test split
+// of the cost estimation benchmark: q-errors (Q50/Q95) for throughput, E2E
+// latency and processing latency, plus balanced accuracy for backpressure
+// and query success — COSTREAM vs. the flat-vector baseline.
+//
+// Paper reference values: COSTREAM Q50 1.33/1.37/1.46, backpressure 87.89%,
+// success 94.96%; flat vector Q50 9.92/24.96/22.87, 68.70%, 76.85%.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace costream::bench {
+namespace {
+
+int Run() {
+  workload::CorpusConfig config;
+  config.num_queries = ScaledCorpusSize(4500);
+  config.seed = 101;
+  std::printf("building corpus of %d query traces...\n", config.num_queries);
+  const SplitCorpusResult corpus = BuildSplitCorpus(config);
+  const int epochs = ScaledEpochs(28);
+
+  eval::Table table({"Metric", "COSTREAM Q50", "COSTREAM Q95",
+                     "Flat Vector Q50", "Flat Vector Q95"});
+  for (sim::Metric metric :
+       {sim::Metric::kThroughput, sim::Metric::kE2eLatency,
+        sim::Metric::kProcessingLatency}) {
+    std::printf("training models for %s...\n", sim::ToString(metric));
+    const auto gnn = TrainGnn(corpus.train, corpus.val, metric, epochs);
+    const auto flat = TrainFlat(corpus.train, metric);
+    const auto gq = EvalGnnRegression(*gnn, corpus.test, metric);
+    const auto fq = EvalFlatRegression(*flat, corpus.test, metric);
+    table.AddRow({sim::ToString(metric), eval::Table::Num(gq.q50),
+                  eval::Table::Num(gq.q95), eval::Table::Num(fq.q50),
+                  eval::Table::Num(fq.q95)});
+  }
+  // Classification metrics are evaluated on a larger, freshly generated
+  // test corpus so that the balanced subsets (paper: test sets balanced per
+  // binary label) contain enough minority-class examples.
+  workload::CorpusConfig cls_config = config;
+  cls_config.num_queries = ScaledCorpusSize(1500);
+  cls_config.seed = 102;
+  const auto cls_test = workload::BuildCorpus(cls_config);
+  for (sim::Metric metric :
+       {sim::Metric::kBackpressure, sim::Metric::kSuccess}) {
+    std::printf("training models for %s...\n", sim::ToString(metric));
+    const auto gnn = TrainGnn(corpus.train, corpus.val, metric, epochs);
+    const auto flat = TrainFlat(corpus.train, metric);
+    const double ga = EvalGnnBalancedAccuracy(*gnn, cls_test, metric);
+    const double fa = EvalFlatBalancedAccuracy(*flat, cls_test, metric);
+    table.AddRow({sim::ToString(metric), AccuracyCell(ga), AccuracyCell(ga),
+                  AccuracyCell(fa), AccuracyCell(fa)});
+  }
+  ReportTable("tab03_overall_accuracy",
+              "[Exp 1] Overall test-set results (Table III)", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace costream::bench
+
+int main() { return costream::bench::Run(); }

@@ -1,0 +1,65 @@
+// [Exp 3, Table IV] Generalization over hardware (interpolation): the
+// models are trained on the Table II hardware grid and evaluated on queries
+// executed on hardware whose features lie between the training grid points
+// (evaluation grid of Table IV A).
+//
+// Paper shape: COSTREAM Q50 1.37-1.59, accuracy up to 88%; the flat vector
+// degrades much more (Q50 15.6-63.8).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace costream::bench {
+namespace {
+
+int Run() {
+  workload::CorpusConfig config;
+  config.num_queries = ScaledCorpusSize(4500);
+  config.seed = 701;
+  std::printf("building training corpus of %d query traces...\n",
+              config.num_queries);
+  const SplitCorpusResult corpus = BuildSplitCorpus(config);
+
+  workload::CorpusConfig unseen_config;
+  unseen_config.num_queries = ScaledCorpusSize(300);
+  unseen_config.seed = 702;
+  unseen_config.generator.hardware = workload::HardwareGrid::Interpolation();
+  std::printf("building unseen-hardware evaluation set (n=%d)...\n",
+              unseen_config.num_queries);
+  const auto unseen = workload::BuildCorpus(unseen_config);
+
+  const int epochs = ScaledEpochs(26);
+  eval::Table table({"Metric", "COSTREAM Q50", "COSTREAM Q95",
+                     "Flat Vector Q50", "Flat Vector Q95"});
+  for (sim::Metric metric :
+       {sim::Metric::kThroughput, sim::Metric::kE2eLatency,
+        sim::Metric::kProcessingLatency}) {
+    std::printf("training models for %s...\n", sim::ToString(metric));
+    const auto gnn = TrainGnn(corpus.train, corpus.val, metric, epochs);
+    const auto flat = TrainFlat(corpus.train, metric);
+    const auto gq = EvalGnnRegression(*gnn, unseen, metric);
+    const auto fq = EvalFlatRegression(*flat, unseen, metric);
+    table.AddRow({sim::ToString(metric), eval::Table::Num(gq.q50),
+                  eval::Table::Num(gq.q95), eval::Table::Num(fq.q50),
+                  eval::Table::Num(fq.q95)});
+  }
+  for (sim::Metric metric :
+       {sim::Metric::kBackpressure, sim::Metric::kSuccess}) {
+    std::printf("training models for %s...\n", sim::ToString(metric));
+    const auto gnn = TrainGnn(corpus.train, corpus.val, metric, epochs);
+    const auto flat = TrainFlat(corpus.train, metric);
+    const double ga = EvalGnnBalancedAccuracy(*gnn, unseen, metric);
+    const double fa = EvalFlatBalancedAccuracy(*flat, unseen, metric);
+    table.AddRow({sim::ToString(metric), AccuracyCell(ga), AccuracyCell(ga),
+                  AccuracyCell(fa), AccuracyCell(fa)});
+  }
+  ReportTable("tab04_interpolation",
+              "[Exp 3, Table IV] unseen in-range hardware (interpolation)",
+              table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace costream::bench
+
+int main() { return costream::bench::Run(); }

@@ -1,0 +1,123 @@
+// [Exp 4, Table V] Generalization over hardware (extrapolation): for each
+// hardware dimension, COSTREAM is trained on a *restricted* grid and
+// evaluated on queries running on resources beyond that range — towards
+// stronger (A) and weaker (B) hardware.
+//
+// Paper shape: q-errors stay moderate for CPU and RAM extrapolation;
+// network-latency extrapolation towards slower networks is the hardest
+// (Q50 up to ~6).
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.h"
+
+namespace costream::bench {
+namespace {
+
+struct ExtrapolationCase {
+  const char* name;
+  // Mutates the restricted training grid / the out-of-range eval grid.
+  std::function<void(workload::HardwareGrid&)> restrict_training;
+  std::function<void(workload::HardwareGrid&)> restrict_evaluation;
+};
+
+void RunDirection(const char* direction,
+                  const std::vector<ExtrapolationCase>& cases) {
+  eval::Table table({"Dimension", "Q50 T", "Q95 T", "Q50 L_e", "Q95 L_e",
+                     "Q50 L_p", "Q95 L_p", "Acc backpressure",
+                     "Acc success"});
+  for (const ExtrapolationCase& c : cases) {
+    std::printf("[%s/%s] building corpora and training...\n", direction,
+                c.name);
+    workload::CorpusConfig train_config;
+    train_config.num_queries = ScaledCorpusSize(1600);
+    train_config.seed = 801;
+    c.restrict_training(train_config.generator.hardware);
+    const SplitCorpusResult corpus = BuildSplitCorpus(train_config);
+
+    workload::CorpusConfig eval_config;
+    eval_config.num_queries = ScaledCorpusSize(260);
+    eval_config.seed = 802;
+    c.restrict_evaluation(eval_config.generator.hardware);
+    const auto unseen = workload::BuildCorpus(eval_config);
+
+    const int epochs = ScaledEpochs(14);
+    const auto tp = TrainGnn(corpus.train, corpus.val,
+                             sim::Metric::kThroughput, epochs);
+    const auto le = TrainGnn(corpus.train, corpus.val,
+                             sim::Metric::kE2eLatency, epochs);
+    const auto lp = TrainGnn(corpus.train, corpus.val,
+                             sim::Metric::kProcessingLatency, epochs);
+    const auto bp = TrainGnn(corpus.train, corpus.val,
+                             sim::Metric::kBackpressure, epochs);
+    const auto succ =
+        TrainGnn(corpus.train, corpus.val, sim::Metric::kSuccess, epochs);
+
+    const auto qt = EvalGnnRegression(*tp, unseen, sim::Metric::kThroughput);
+    const auto qe = EvalGnnRegression(*le, unseen, sim::Metric::kE2eLatency);
+    const auto qp =
+        EvalGnnRegression(*lp, unseen, sim::Metric::kProcessingLatency);
+    const double ab =
+        EvalGnnBalancedAccuracy(*bp, unseen, sim::Metric::kBackpressure);
+    const double as =
+        EvalGnnBalancedAccuracy(*succ, unseen, sim::Metric::kSuccess);
+    table.AddRow({c.name, eval::Table::Num(qt.q50), eval::Table::Num(qt.q95),
+                  eval::Table::Num(qe.q50), eval::Table::Num(qe.q95),
+                  eval::Table::Num(qp.q50), eval::Table::Num(qp.q95),
+                  AccuracyCell(ab), AccuracyCell(as)});
+  }
+  ReportTable(std::string("tab05_extrapolation_") + direction,
+              std::string("[Exp 4, Table V] extrapolation towards ") +
+                  direction + " resources",
+              table);
+}
+
+int Run() {
+  // (A) towards stronger resources: restricted training grids exclude the
+  // top values, which form the evaluation grid (Table V A).
+  const std::vector<ExtrapolationCase> stronger = {
+      {"RAM",
+       [](workload::HardwareGrid& g) { g.ram_mb = {1000, 2000, 4000, 8000, 16000}; },
+       [](workload::HardwareGrid& g) { g.ram_mb = {24000, 32000}; }},
+      {"CPU",
+       [](workload::HardwareGrid& g) {
+         g.cpu_pct = {50, 100, 200, 300, 400, 500, 600};
+       },
+       [](workload::HardwareGrid& g) { g.cpu_pct = {700, 800}; }},
+      {"Bandwidth",
+       [](workload::HardwareGrid& g) {
+         g.bandwidth_mbits = {25, 50, 100, 200, 400, 800, 1600, 3200};
+       },
+       [](workload::HardwareGrid& g) { g.bandwidth_mbits = {6400, 10000}; }},
+      {"Latency",
+       [](workload::HardwareGrid& g) { g.latency_ms = {5, 10, 20, 40, 80, 160}; },
+       [](workload::HardwareGrid& g) { g.latency_ms = {1, 2}; }},
+  };
+  // (B) towards weaker resources (Table V B).
+  const std::vector<ExtrapolationCase> weaker = {
+      {"RAM",
+       [](workload::HardwareGrid& g) { g.ram_mb = {4000, 8000, 16000, 24000, 32000}; },
+       [](workload::HardwareGrid& g) { g.ram_mb = {1000, 2000}; }},
+      {"CPU",
+       [](workload::HardwareGrid& g) {
+         g.cpu_pct = {200, 300, 400, 500, 600, 700, 800};
+       },
+       [](workload::HardwareGrid& g) { g.cpu_pct = {50, 100}; }},
+      {"Bandwidth",
+       [](workload::HardwareGrid& g) {
+         g.bandwidth_mbits = {100, 200, 400, 800, 1600, 3200, 6400, 10000};
+       },
+       [](workload::HardwareGrid& g) { g.bandwidth_mbits = {25, 50}; }},
+      {"Latency",
+       [](workload::HardwareGrid& g) { g.latency_ms = {1, 2, 5, 10, 20, 40}; },
+       [](workload::HardwareGrid& g) { g.latency_ms = {80, 160}; }},
+  };
+  RunDirection("stronger", stronger);
+  RunDirection("weaker", weaker);
+  return 0;
+}
+
+}  // namespace
+}  // namespace costream::bench
+
+int main() { return costream::bench::Run(); }

@@ -1,0 +1,64 @@
+// Compares the two simulation substrates on the same placed queries: the
+// analytical fluid cost engine (used for label generation) and the
+// tuple-level discrete-event simulator. Agreement between them is the
+// evidence that fluid-model labels stand in for real executions (see
+// DESIGN.md, "Substitutions").
+//
+// Usage: ./build/examples/compare_simulators [num_queries]
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/table.h"
+#include "placement/enumeration.h"
+#include "sim/des.h"
+#include "sim/fluid_engine.h"
+#include "workload/generator.h"
+
+using namespace costream;
+
+int main(int argc, char** argv) {
+  const int num_queries = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  workload::GeneratorConfig generator_config;
+  // Moderate rates keep the tuple-level simulation fast.
+  generator_config.workload.event_rate_linear = {200, 400, 800, 1600};
+  generator_config.workload.event_rate_two_way = {100, 250, 500};
+  generator_config.workload.event_rate_three_way = {50, 100, 200};
+  workload::QueryGenerator generator(generator_config);
+  nn::Rng rng(11);
+
+  eval::Table table({"Query", "T fluid", "T DES", "L_p fluid (ms)",
+                     "L_p DES (ms)", "BP fluid", "BP DES"});
+  for (int i = 0; i < num_queries; ++i) {
+    const auto kind = static_cast<workload::QueryTemplate>(i % 3);
+    const dsps::QueryGraph query = generator.Generate(kind, rng);
+    const sim::Cluster cluster = generator.GenerateCluster(rng);
+    const auto bins = placement::CapabilityBins(cluster);
+    const sim::Placement placement =
+        placement::SamplePlacement(query, cluster, bins, rng);
+
+    sim::FluidConfig fluid_config;
+    fluid_config.noise_sigma = 0.0;
+    const sim::FluidReport fluid =
+        sim::EvaluateFluid(query, cluster, placement, fluid_config);
+
+    sim::DesConfig des_config;
+    des_config.duration_s = 20.0;
+    des_config.seed = rng.Fork();
+    const sim::DesReport des = RunDes(query, cluster, placement, des_config);
+
+    table.AddRow({ToString(kind),
+                  eval::Table::Num(fluid.metrics.throughput, 1),
+                  eval::Table::Num(des.metrics.throughput, 1),
+                  eval::Table::Num(fluid.metrics.processing_latency_ms, 1),
+                  eval::Table::Num(des.metrics.processing_latency_ms, 1),
+                  fluid.metrics.backpressure ? "yes" : "no",
+                  des.metrics.backpressure ? "yes" : "no"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nNote: the fluid engine reports steady-state expectations while the\n"
+      "DES measures a finite stochastic run, so small deviations are "
+      "expected.\n");
+  return 0;
+}

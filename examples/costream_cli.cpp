@@ -1,0 +1,212 @@
+// Command-line front end for the COSTREAM toolchain — the workflow a
+// downstream user runs without writing C++:
+//
+//   costream_cli generate --n 3000 --seed 7 --out traces.txt
+//   costream_cli train    --traces traces.txt --metric throughput
+//                         --epochs 24 --out throughput.bin
+//   costream_cli evaluate --traces traces.txt --metric throughput
+//                         --model throughput.bin
+//   costream_cli inspect  --traces traces.txt
+//
+// Traces use the versioned text format of workload/trace_io.h; models are
+// the binary format of nn/serialize.h.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/trainer.h"
+#include "eval/table.h"
+#include "workload/corpus.h"
+#include "workload/trace_io.h"
+
+using namespace costream;
+
+namespace {
+
+// Minimal --key value parser.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+bool ParseMetric(const std::string& name, sim::Metric* metric) {
+  for (sim::Metric m : {sim::Metric::kThroughput, sim::Metric::kE2eLatency,
+                        sim::Metric::kProcessingLatency,
+                        sim::Metric::kBackpressure, sim::Metric::kSuccess}) {
+    if (name == sim::ToString(m)) {
+      *metric = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  costream_cli generate --n <queries> [--seed S] --out <traces>\n"
+      "  costream_cli train    --traces <file> --metric <m> [--epochs E]\n"
+      "                        --out <model>\n"
+      "  costream_cli evaluate --traces <file> --metric <m> --model <file>\n"
+      "  costream_cli inspect  --traces <file>\n"
+      "metrics: throughput | e2e-latency | processing-latency |\n"
+      "         backpressure | query-success\n");
+  return 1;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  workload::CorpusConfig config;
+  config.num_queries = std::atoi(FlagOr(flags, "n", "1000").c_str());
+  config.seed = std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty() || config.num_queries <= 0) return Usage();
+  std::printf("generating %d traces (seed %llu)...\n", config.num_queries,
+              static_cast<unsigned long long>(config.seed));
+  const auto records = workload::BuildCorpus(config);
+  if (!workload::SaveTracesToFile(out, records)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  int failures = 0, backpressured = 0;
+  for (const auto& r : records) {
+    failures += !r.metrics.success;
+    backpressured += r.metrics.backpressure;
+  }
+  std::printf("wrote %zu traces to %s (%d backpressured, %d failed)\n",
+              records.size(), out.c_str(), backpressured, failures);
+  return 0;
+}
+
+bool LoadRecords(const std::map<std::string, std::string>& flags,
+                 std::vector<workload::TraceRecord>* records) {
+  const std::string path = FlagOr(flags, "traces", "");
+  if (path.empty()) return false;
+  if (!workload::LoadTracesFromFile(path, records)) {
+    std::fprintf(stderr, "error: cannot parse %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdTrain(const std::map<std::string, std::string>& flags) {
+  std::vector<workload::TraceRecord> records;
+  if (!LoadRecords(flags, &records)) return Usage();
+  sim::Metric metric;
+  if (!ParseMetric(FlagOr(flags, "metric", ""), &metric)) return Usage();
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) return Usage();
+  const int epochs = std::atoi(FlagOr(flags, "epochs", "24").c_str());
+
+  const auto split = workload::SplitCorpus(
+      static_cast<int>(records.size()), 0.9, 0.1, 17);
+  const auto train = workload::ToTrainSamples(
+      workload::Gather(records, split.train), metric);
+  const auto val =
+      workload::ToTrainSamples(workload::Gather(records, split.val), metric);
+  std::printf("training %s on %zu samples (%d epochs)...\n",
+              sim::ToString(metric), train.size(), epochs);
+
+  core::CostModelConfig model_config;
+  model_config.head = sim::IsRegressionMetric(metric)
+                          ? core::HeadKind::kRegression
+                          : core::HeadKind::kClassification;
+  core::CostModel model(model_config);
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  const core::TrainResult result = core::TrainModel(model, train, val, tc);
+  std::printf("best validation loss %.4f (epoch %d)\n", result.best_val_loss,
+              result.best_epoch);
+  if (!model.Save(out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("model saved to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const std::map<std::string, std::string>& flags) {
+  std::vector<workload::TraceRecord> records;
+  if (!LoadRecords(flags, &records)) return Usage();
+  sim::Metric metric;
+  if (!ParseMetric(FlagOr(flags, "metric", ""), &metric)) return Usage();
+  const std::string model_path = FlagOr(flags, "model", "");
+  if (model_path.empty()) return Usage();
+
+  core::CostModelConfig model_config;
+  model_config.head = sim::IsRegressionMetric(metric)
+                          ? core::HeadKind::kRegression
+                          : core::HeadKind::kClassification;
+  core::CostModel model(model_config);
+  if (!model.Load(model_path)) {
+    std::fprintf(stderr, "error: cannot load %s (architecture mismatch?)\n",
+                 model_path.c_str());
+    return 1;
+  }
+  const auto samples = workload::ToTrainSamples(records, metric);
+  if (sim::IsRegressionMetric(metric)) {
+    const auto q = core::EvaluateRegression(model, samples);
+    std::printf("%s on %d samples: q50 %.2f, q95 %.2f\n",
+                sim::ToString(metric), q.count, q.q50, q.q95);
+  } else {
+    const double acc = core::EvaluateClassification(model, samples);
+    std::printf("%s on %zu samples: accuracy %.1f%%\n", sim::ToString(metric),
+                samples.size(), acc * 100.0);
+  }
+  return 0;
+}
+
+int CmdInspect(const std::map<std::string, std::string>& flags) {
+  std::vector<workload::TraceRecord> records;
+  if (!LoadRecords(flags, &records)) return Usage();
+  std::map<std::string, int> by_template;
+  int failures = 0, backpressured = 0;
+  double min_t = 1e300, max_t = 0.0;
+  for (const auto& r : records) {
+    ++by_template[ToString(r.template_kind)];
+    failures += !r.metrics.success;
+    backpressured += r.metrics.backpressure;
+    if (r.metrics.success) {
+      min_t = std::min(min_t, r.metrics.throughput);
+      max_t = std::max(max_t, r.metrics.throughput);
+    }
+  }
+  eval::Table table({"Property", "Value"});
+  table.AddRow({"traces", std::to_string(records.size())});
+  for (const auto& [name, count] : by_template) {
+    table.AddRow({"  " + name, std::to_string(count)});
+  }
+  table.AddRow({"backpressured", std::to_string(backpressured)});
+  table.AddRow({"failed", std::to_string(failures)});
+  table.AddRow({"throughput range",
+                eval::Table::Num(min_t, 3) + " .. " +
+                    eval::Table::Num(max_t, 1) + " tuples/s"});
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "inspect") return CmdInspect(flags);
+  return Usage();
+}

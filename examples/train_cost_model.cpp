@@ -1,0 +1,73 @@
+// Full training pipeline: regenerate a cost-estimation corpus, train all
+// five COSTREAM metric models, report held-out quality, and persist the
+// models to ./models/.
+//
+// Usage: ./build/examples/train_cost_model [num_queries] [epochs]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/trainer.h"
+#include "eval/table.h"
+#include "workload/corpus.h"
+
+using namespace costream;
+
+int main(int argc, char** argv) {
+  const int num_queries = argc > 1 ? std::atoi(argv[1]) : 3000;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 22;
+
+  std::printf("generating %d labelled query traces...\n", num_queries);
+  workload::CorpusConfig config;
+  config.num_queries = num_queries;
+  const auto records = workload::BuildCorpus(config);
+  const auto split = workload::SplitCorpus(
+      static_cast<int>(records.size()), 0.8, 0.1, 9);
+  const auto train_recs = workload::Gather(records, split.train);
+  const auto val_recs = workload::Gather(records, split.val);
+  const auto test_recs = workload::Gather(records, split.test);
+
+  std::error_code ec;
+  std::filesystem::create_directories("models", ec);
+
+  eval::Table table({"Metric", "Result on test split"});
+  for (sim::Metric metric :
+       {sim::Metric::kThroughput, sim::Metric::kE2eLatency,
+        sim::Metric::kProcessingLatency, sim::Metric::kBackpressure,
+        sim::Metric::kSuccess}) {
+    std::printf("training %s model (%d epochs)...\n", sim::ToString(metric),
+                epochs);
+    core::CostModelConfig model_config;
+    model_config.head = sim::IsRegressionMetric(metric)
+                            ? core::HeadKind::kRegression
+                            : core::HeadKind::kClassification;
+    core::CostModel model(model_config);
+
+    core::TrainConfig tc;
+    tc.epochs = epochs;
+    core::TrainModel(model, workload::ToTrainSamples(train_recs, metric),
+                     workload::ToTrainSamples(val_recs, metric), tc);
+
+    std::string result;
+    if (sim::IsRegressionMetric(metric)) {
+      const auto q = core::EvaluateRegression(
+          model, workload::ToTrainSamples(test_recs, metric));
+      result = "q50 " + eval::Table::Num(q.q50) + ", q95 " +
+               eval::Table::Num(q.q95);
+    } else {
+      const double acc = core::EvaluateClassification(
+          model, workload::ToTrainSamples(test_recs, metric));
+      result = "accuracy " + eval::Table::Percent(acc);
+    }
+    table.AddRow({sim::ToString(metric), result});
+
+    const std::string path =
+        std::string("models/") + sim::ToString(metric) + ".bin";
+    if (model.Save(path)) {
+      std::printf("  saved to %s\n", path.c_str());
+    }
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "baselines/flat_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "core/featurizer.h"
+
+namespace costream::baselines {
+
+namespace {
+
+using dsps::FilterFunction;
+using dsps::OperatorDescriptor;
+using dsps::OperatorType;
+using dsps::WindowPolicy;
+using dsps::WindowType;
+
+double MeanOr(const std::vector<double>& values, double fallback) {
+  if (values.empty()) return fallback;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / values.size();
+}
+
+double MinOr(const std::vector<double>& values, double fallback) {
+  if (values.empty()) return fallback;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double MaxOr(const std::vector<double>& values, double fallback) {
+  if (values.empty()) return fallback;
+  return *std::max_element(values.begin(), values.end());
+}
+
+}  // namespace
+
+std::vector<double> FlatVectorFeatures(const dsps::QueryGraph& query,
+                                       const sim::Cluster& cluster,
+                                       const sim::Placement& placement) {
+  COSTREAM_CHECK(
+      sim::ValidatePlacement(query, cluster, placement).empty());
+
+  int n_sources = 0, n_filters = 0, n_joins = 0, n_aggs = 0, n_windows = 0;
+  double total_rate = 0.0, max_rate = 0.0;
+  std::vector<double> widths;
+  std::vector<double> filter_sels, join_sels, agg_sels;
+  std::vector<double> count_sizes, time_sizes, slide_fracs;
+  int sliding = 0, time_based = 0;
+  int string_literals = 0, affix_filters = 0;
+  double frac_string = 0.0, frac_int = 0.0, frac_double = 0.0;
+  double selectivity_product = 1.0;
+
+  for (int i = 0; i < query.num_operators(); ++i) {
+    const OperatorDescriptor& op = query.op(i);
+    widths.push_back(op.tuple_width_out);
+    switch (op.type) {
+      case OperatorType::kSource:
+        ++n_sources;
+        total_rate += op.input_event_rate;
+        max_rate = std::max(max_rate, op.input_event_rate);
+        frac_string += op.frac_string;
+        frac_int += op.frac_int;
+        frac_double += op.frac_double;
+        break;
+      case OperatorType::kFilter:
+        ++n_filters;
+        filter_sels.push_back(op.selectivity);
+        selectivity_product *= op.selectivity;
+        if (op.literal_data_type == dsps::DataType::kString) ++string_literals;
+        if (op.filter_function == FilterFunction::kStartsWith ||
+            op.filter_function == FilterFunction::kEndsWith) {
+          ++affix_filters;
+        }
+        break;
+      case OperatorType::kWindow:
+        ++n_windows;
+        if (op.window.policy == WindowPolicy::kCountBased) {
+          count_sizes.push_back(core::NormalizeCountWindow(op.window.size));
+        } else {
+          time_sizes.push_back(core::NormalizeTimeWindow(op.window.size));
+        }
+        slide_fracs.push_back(op.window.EffectiveSlide() /
+                              std::max(op.window.size, 1e-9));
+        if (op.window.type == WindowType::kSliding) ++sliding;
+        if (op.window.policy == WindowPolicy::kTimeBased) ++time_based;
+        break;
+      case OperatorType::kAggregate:
+        ++n_aggs;
+        agg_sels.push_back(op.selectivity);
+        selectivity_product *= op.selectivity;
+        break;
+      case OperatorType::kJoin:
+        ++n_joins;
+        join_sels.push_back(op.selectivity);
+        selectivity_product *= op.selectivity;
+        break;
+      case OperatorType::kSink:
+        break;
+    }
+  }
+  if (n_sources > 0) {
+    frac_string /= n_sources;
+    frac_int /= n_sources;
+    frac_double /= n_sources;
+  }
+
+  std::set<int> used_nodes(placement.begin(), placement.end());
+  std::vector<double> cpus, rams, bws, lats, scores;
+  for (int n : used_nodes) {
+    const sim::HardwareNode& hw = cluster.nodes[n];
+    cpus.push_back(core::NormalizeCpu(hw.cpu_pct));
+    rams.push_back(core::NormalizeRam(hw.ram_mb));
+    bws.push_back(core::NormalizeBandwidth(hw.bandwidth_mbits));
+    lats.push_back(core::NormalizeNetworkLatency(hw.latency_ms));
+    scores.push_back(sim::CapabilityScore(hw));
+  }
+
+  std::vector<double> f;
+  f.reserve(kFlatVectorDim);
+  f.push_back(n_sources);
+  f.push_back(n_filters);
+  f.push_back(n_joins);
+  f.push_back(n_aggs);
+  f.push_back(n_windows);
+  f.push_back(query.num_operators());
+  f.push_back(core::NormalizeEventRate(std::max(total_rate, 1.0)));
+  f.push_back(core::NormalizeEventRate(std::max(max_rate, 1.0)));
+  f.push_back(core::NormalizeTupleWidth(MeanOr(widths, 0.0)));
+  f.push_back(MeanOr(filter_sels, 1.0));
+  f.push_back(MinOr(filter_sels, 1.0));
+  f.push_back(selectivity_product);
+  f.push_back(MeanOr(join_sels, 1.0));
+  f.push_back(MeanOr(agg_sels, 1.0));
+  f.push_back(MeanOr(count_sizes, 0.0));
+  f.push_back(MeanOr(time_sizes, 0.0));
+  f.push_back(n_windows > 0 ? static_cast<double>(sliding) / n_windows : 0.0);
+  f.push_back(n_windows > 0 ? static_cast<double>(time_based) / n_windows
+                            : 0.0);
+  f.push_back(MeanOr(slide_fracs, 1.0));
+  f.push_back(frac_string);
+  f.push_back(frac_int);
+  f.push_back(frac_double);
+  f.push_back(string_literals);
+  f.push_back(affix_filters);
+  f.push_back(static_cast<double>(used_nodes.size()));
+  f.push_back(static_cast<double>(query.num_operators()) /
+              std::max<size_t>(used_nodes.size(), 1));
+  f.push_back(MeanOr(cpus, 0.0));
+  f.push_back(MinOr(cpus, 0.0));
+  f.push_back(MaxOr(cpus, 0.0));
+  f.push_back(MeanOr(rams, 0.0));
+  f.push_back(MinOr(rams, 0.0));
+  f.push_back(MeanOr(bws, 0.0));
+  f.push_back(MinOr(bws, 0.0));
+  f.push_back(MeanOr(lats, 0.0));
+  f.push_back(MaxOr(lats, 0.0));
+  f.push_back(MeanOr(scores, 0.0));
+  COSTREAM_CHECK(static_cast<int>(f.size()) == kFlatVectorDim);
+  return f;
+}
+
+const char* FlatVectorFeatureName(int index) {
+  static const char* kNames[kFlatVectorDim] = {
+      "n_sources",        "n_filters",       "n_joins",
+      "n_aggregates",     "n_windows",       "n_operators",
+      "total_event_rate", "max_event_rate",  "mean_tuple_width",
+      "mean_filter_sel",  "min_filter_sel",  "selectivity_product",
+      "mean_join_sel",    "mean_agg_sel",    "mean_count_window",
+      "mean_time_window", "frac_sliding",    "frac_time_based",
+      "mean_slide_frac",  "frac_string",     "frac_int",
+      "frac_double",      "string_literals", "affix_filters",
+      "n_used_nodes",     "colocation_ratio","mean_cpu",
+      "min_cpu",          "max_cpu",         "mean_ram",
+      "min_ram",          "mean_bandwidth",  "min_bandwidth",
+      "mean_latency",     "max_latency",     "mean_capability",
+  };
+  COSTREAM_CHECK(index >= 0 && index < kFlatVectorDim);
+  return kNames[index];
+}
+
+}  // namespace costream::baselines

@@ -1,0 +1,28 @@
+#ifndef COSTREAM_BASELINES_FLAT_VECTOR_H_
+#define COSTREAM_BASELINES_FLAT_VECTOR_H_
+
+#include <vector>
+
+#include "dsps/query_graph.h"
+#include "sim/hardware.h"
+
+namespace costream::baselines {
+
+// Flat-vector featurization of a placed query, following the baseline cost
+// model of Ganapathi et al. [16] extended with streaming and placement
+// aggregates (paper Section VII, "Baselines"). The representation is a
+// fixed-length vector of query- and hardware-level aggregates; it cannot
+// express *which* operator runs on *which* node, which is exactly the
+// structural information the COSTREAM joint graph adds.
+inline constexpr int kFlatVectorDim = 36;
+
+std::vector<double> FlatVectorFeatures(const dsps::QueryGraph& query,
+                                       const sim::Cluster& cluster,
+                                       const sim::Placement& placement);
+
+// Human-readable names of the feature slots (for documentation and tests).
+const char* FlatVectorFeatureName(int index);
+
+}  // namespace costream::baselines
+
+#endif  // COSTREAM_BASELINES_FLAT_VECTOR_H_

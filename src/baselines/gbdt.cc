@@ -1,0 +1,254 @@
+#include "baselines/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "nn/random.h"
+
+namespace costream::baselines {
+
+namespace {
+
+double Sigmoid(double z) {
+  return z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                  : std::exp(z) / (1.0 + std::exp(z));
+}
+
+struct SplitStats {
+  double grad = 0.0;
+  double hess = 0.0;
+  int count = 0;
+};
+
+double LeafObjective(const SplitStats& s, double l2) {
+  return -0.5 * s.grad * s.grad / (s.hess + l2);
+}
+
+}  // namespace
+
+Gbdt::Gbdt(const GbdtConfig& config, GbdtObjective objective)
+    : config_(config), objective_(objective) {
+  COSTREAM_CHECK(config.num_trees >= 1);
+  COSTREAM_CHECK(config.max_depth >= 1);
+  COSTREAM_CHECK(config.min_samples_leaf >= 1);
+}
+
+void Gbdt::Fit(const std::vector<std::vector<double>>& features,
+               const std::vector<double>& raw_targets) {
+  const int n = static_cast<int>(features.size());
+  COSTREAM_CHECK(n > 0);
+  COSTREAM_CHECK(raw_targets.size() == features.size());
+  const int num_features = static_cast<int>(features[0].size());
+
+  // Transform targets.
+  std::vector<double> y(raw_targets);
+  if (objective_ == GbdtObjective::kSquaredLogError) {
+    for (double& v : y) v = std::log1p(std::max(v, 0.0));
+  }
+
+  // Base score.
+  if (objective_ == GbdtObjective::kLogistic) {
+    double mean = std::accumulate(y.begin(), y.end(), 0.0) / n;
+    mean = std::clamp(mean, 1e-4, 1.0 - 1e-4);
+    base_score_ = std::log(mean / (1.0 - mean));
+  } else {
+    base_score_ = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  }
+
+  // Presort row indices per feature.
+  std::vector<std::vector<int>> sorted(num_features);
+  for (int f = 0; f < num_features; ++f) {
+    sorted[f].resize(n);
+    std::iota(sorted[f].begin(), sorted[f].end(), 0);
+    std::stable_sort(sorted[f].begin(), sorted[f].end(), [&](int a, int b) {
+      return features[a][f] < features[b][f];
+    });
+  }
+
+  std::vector<double> score(n, base_score_);
+  std::vector<double> grad(n), hess(n);
+  nn::Rng rng(config_.seed);
+  trees_.clear();
+  trees_.reserve(config_.num_trees);
+
+  for (int t = 0; t < config_.num_trees; ++t) {
+    // Gradients of the current model.
+    for (int i = 0; i < n; ++i) {
+      if (objective_ == GbdtObjective::kLogistic) {
+        const double p = Sigmoid(score[i]);
+        grad[i] = p - y[i];
+        hess[i] = std::max(p * (1.0 - p), 1e-6);
+      } else {
+        grad[i] = score[i] - y[i];
+        hess[i] = 1.0;
+      }
+    }
+
+    // Row subsampling.
+    std::vector<int> position(n, -1);
+    int sampled = 0;
+    for (int i = 0; i < n; ++i) {
+      if (config_.subsample >= 1.0 || rng.Bernoulli(config_.subsample)) {
+        position[i] = 0;
+        ++sampled;
+      }
+    }
+    if (sampled < 2 * config_.min_samples_leaf) {
+      for (int i = 0; i < n; ++i) position[i] = 0;
+    }
+
+    Tree tree;
+    tree.nodes.push_back(Node{});
+    std::vector<int> level = {0};
+
+    for (int depth = 0; depth < config_.max_depth && !level.empty(); ++depth) {
+      const int num_nodes = static_cast<int>(tree.nodes.size());
+      // Totals per active node.
+      std::vector<SplitStats> totals(num_nodes);
+      for (int i = 0; i < n; ++i) {
+        const int nd = position[i];
+        if (nd < 0) continue;
+        totals[nd].grad += grad[i];
+        totals[nd].hess += hess[i];
+        ++totals[nd].count;
+      }
+      // Best split per active node.
+      struct Best {
+        double gain = 1e-9;
+        int feature = -1;
+        double threshold = 0.0;
+      };
+      std::vector<Best> best(num_nodes);
+      std::vector<SplitStats> running(num_nodes);
+      std::vector<double> prev_value(num_nodes);
+      for (int f = 0; f < num_features; ++f) {
+        for (int nd : level) {
+          running[nd] = SplitStats{};
+          prev_value[nd] = -std::numeric_limits<double>::infinity();
+        }
+        for (int idx : sorted[f]) {
+          const int nd = position[idx];
+          if (nd < 0) continue;
+          const double value = features[idx][f];
+          const SplitStats& left = running[nd];
+          if (left.count >= config_.min_samples_leaf &&
+              totals[nd].count - left.count >= config_.min_samples_leaf &&
+              value > prev_value[nd]) {
+            SplitStats right;
+            right.grad = totals[nd].grad - left.grad;
+            right.hess = totals[nd].hess - left.hess;
+            right.count = totals[nd].count - left.count;
+            const double gain =
+                LeafObjective(totals[nd], config_.l2_regularization) -
+                LeafObjective(left, config_.l2_regularization) -
+                LeafObjective(right, config_.l2_regularization);
+            if (gain > best[nd].gain) {
+              best[nd].gain = gain;
+              best[nd].feature = f;
+              best[nd].threshold = 0.5 * (value + prev_value[nd]);
+            }
+          }
+          running[nd].grad += grad[idx];
+          running[nd].hess += hess[idx];
+          ++running[nd].count;
+          prev_value[nd] = value;
+        }
+      }
+      // Apply splits.
+      std::vector<int> next_level;
+      for (int nd : level) {
+        if (best[nd].feature < 0) continue;
+        // Note: push_back may reallocate, so never hold a reference to
+        // tree.nodes[nd] across the insertions.
+        const int left = static_cast<int>(tree.nodes.size());
+        tree.nodes.push_back(Node{});
+        const int right = static_cast<int>(tree.nodes.size());
+        tree.nodes.push_back(Node{});
+        tree.nodes[nd].feature = best[nd].feature;
+        tree.nodes[nd].threshold = best[nd].threshold;
+        tree.nodes[nd].left = left;
+        tree.nodes[nd].right = right;
+        next_level.push_back(left);
+        next_level.push_back(right);
+      }
+      if (next_level.empty()) break;
+      for (int i = 0; i < n; ++i) {
+        const int nd = position[i];
+        if (nd < 0) continue;
+        const Node& node = tree.nodes[nd];
+        if (node.feature < 0) continue;
+        position[i] =
+            features[i][node.feature] <= node.threshold ? node.left : node.right;
+      }
+      level = std::move(next_level);
+    }
+
+    // Leaf values (shrinkage applied here).
+    {
+      const int num_nodes = static_cast<int>(tree.nodes.size());
+      std::vector<SplitStats> leaf_stats(num_nodes);
+      for (int i = 0; i < n; ++i) {
+        const int nd = position[i];
+        if (nd < 0) continue;
+        leaf_stats[nd].grad += grad[i];
+        leaf_stats[nd].hess += hess[i];
+        ++leaf_stats[nd].count;
+      }
+      for (int nd = 0; nd < num_nodes; ++nd) {
+        Node& node = tree.nodes[nd];
+        if (node.feature >= 0) continue;
+        if (leaf_stats[nd].count == 0) {
+          node.value = 0.0;
+          continue;
+        }
+        node.value = -config_.learning_rate * leaf_stats[nd].grad /
+                     (leaf_stats[nd].hess + config_.l2_regularization);
+      }
+    }
+    trees_.push_back(tree);
+
+    // Update scores for all rows (also out-of-sample ones).
+    for (int i = 0; i < n; ++i) {
+      int nd = 0;
+      while (trees_.back().nodes[nd].feature >= 0) {
+        const Node& node = trees_.back().nodes[nd];
+        nd = features[i][node.feature] <= node.threshold ? node.left
+                                                         : node.right;
+      }
+      score[i] += trees_.back().nodes[nd].value;
+    }
+  }
+  trained_ = true;
+}
+
+double Gbdt::PredictRaw(const std::vector<double>& features) const {
+  double score = base_score_;
+  for (const Tree& tree : trees_) {
+    int nd = 0;
+    while (tree.nodes[nd].feature >= 0) {
+      const Node& node = tree.nodes[nd];
+      nd = features[node.feature] <= node.threshold ? node.left : node.right;
+    }
+    score += tree.nodes[nd].value;
+  }
+  return score;
+}
+
+double Gbdt::Predict(const std::vector<double>& features) const {
+  COSTREAM_CHECK(trained_);
+  const double raw = PredictRaw(features);
+  switch (objective_) {
+    case GbdtObjective::kSquaredLogError:
+      return std::max(std::expm1(std::min(raw, 30.0)), 0.0);
+    case GbdtObjective::kSquaredError:
+      return raw;
+    case GbdtObjective::kLogistic:
+      return Sigmoid(raw);
+  }
+  return raw;
+}
+
+}  // namespace costream::baselines

@@ -1,0 +1,62 @@
+#include "baselines/heuristic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace costream::baselines {
+
+sim::Placement GovernorHeuristicPlacement(const dsps::QueryGraph& query,
+                                          const sim::Cluster& cluster) {
+  COSTREAM_CHECK(cluster.num_nodes() >= 1);
+  // Nodes ordered from weakest to strongest.
+  std::vector<int> order(cluster.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return sim::CapabilityScore(cluster.nodes[a]) <
+           sim::CapabilityScore(cluster.nodes[b]);
+  });
+  // rank_of[node] = position in the weak-to-strong order.
+  std::vector<int> rank_of(cluster.num_nodes());
+  for (int r = 0; r < cluster.num_nodes(); ++r) rank_of[order[r]] = r;
+
+  const std::vector<int> topo = query.TopologicalOrder();
+  sim::Placement placement(query.num_operators(), -1);
+  std::vector<int> ops_on(cluster.num_nodes(), 0);
+  // Per-node operator budget before the heuristic hops onward.
+  const int budget = std::max(
+      2, (query.num_operators() + cluster.num_nodes() - 1) /
+             cluster.num_nodes());
+
+  int next_source_rank = 0;
+  for (int id : topo) {
+    const dsps::OperatorDescriptor& op = query.op(id);
+    int chosen;
+    if (op.type == dsps::OperatorType::kSource) {
+      // Sources round-robin over the weakest nodes (sensors feed the edge).
+      chosen = order[next_source_rank % cluster.num_nodes()];
+      next_source_rank = (next_source_rank + 1) % std::max(
+          1, cluster.num_nodes() / 3 + 1);
+    } else if (op.type == dsps::OperatorType::kSink) {
+      chosen = order.back();
+    } else {
+      // Ride with the strongest upstream node; hop one rank onward when the
+      // node's budget is exhausted.
+      int best_rank = 0;
+      for (int up : query.Upstream(id)) {
+        best_rank = std::max(best_rank, rank_of[placement[up]]);
+      }
+      while (best_rank + 1 < cluster.num_nodes() &&
+             ops_on[order[best_rank]] >= budget) {
+        ++best_rank;
+      }
+      chosen = order[best_rank];
+    }
+    placement[id] = chosen;
+    ++ops_on[chosen];
+  }
+  return placement;
+}
+
+}  // namespace costream::baselines

@@ -1,0 +1,21 @@
+#ifndef COSTREAM_BASELINES_HEURISTIC_H_
+#define COSTREAM_BASELINES_HEURISTIC_H_
+
+#include "dsps/query_graph.h"
+#include "sim/hardware.h"
+
+namespace costream::baselines {
+
+// Deterministic initial placement following the fog/cloud heuristic of
+// Chaudhary et al. [32] ("Governor"): sources are pinned to the weakest
+// (edge-like) nodes, downstream operators ride along and hop to stronger
+// nodes as per-node operator budgets fill up, and the sink lands on the
+// strongest node. The heuristic respects the enumeration rules of Fig. 5
+// but is oblivious to query logic and exact hardware capacities — which is
+// why cost-based optimization beats it (Exp 2a).
+sim::Placement GovernorHeuristicPlacement(const dsps::QueryGraph& query,
+                                          const sim::Cluster& cluster);
+
+}  // namespace costream::baselines
+
+#endif  // COSTREAM_BASELINES_HEURISTIC_H_

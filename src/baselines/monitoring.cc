@@ -1,0 +1,99 @@
+#include "baselines/monitoring.h"
+#include <limits>
+
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace costream::baselines {
+
+double MonitoringResult::TimeToReach(double competitive_latency_ms) const {
+  for (const MonitoringStep& step : steps) {
+    if (step.processing_latency_ms <= competitive_latency_ms) {
+      return step.time_s;
+    }
+  }
+  return -1.0;
+}
+
+MonitoringResult RunOnlineMonitoring(const dsps::QueryGraph& query,
+                                     const sim::Cluster& cluster,
+                                     const sim::Placement& initial,
+                                     const MonitoringConfig& config) {
+  COSTREAM_CHECK(
+      sim::ValidatePlacement(query, cluster, initial).empty());
+  sim::FluidConfig fluid_config;
+  fluid_config.noise_sigma = 0.0;  // the scheduler sees mean statistics
+
+  MonitoringResult result;
+  sim::Placement placement = initial;
+  double time = 0.0;
+
+  for (int step = 0; step < config.max_steps; ++step) {
+    const sim::FluidReport report =
+        sim::EvaluateFluid(query, cluster, placement, fluid_config);
+    MonitoringStep observed;
+    observed.time_s = time;
+    observed.placement = placement;
+    observed.processing_latency_ms =
+        report.noiseless_metrics.processing_latency_ms;
+    observed.migrated = step > 0;
+    result.steps.push_back(observed);
+
+    // Find the most loaded node.
+    int hot_node = -1;
+    double hot_util = config.utilization_threshold;
+    for (int n = 0; n < cluster.num_nodes(); ++n) {
+      const double util = std::max(report.node_stats[n].cpu_utilization,
+                                   report.node_stats[n].net_utilization);
+      if (util > hot_util) {
+        hot_util = util;
+        hot_node = n;
+      }
+    }
+    if (hot_node < 0) break;  // stable: nothing above the threshold
+
+    // Victim: the most CPU-expensive migratable operator on the hot node
+    // (sources stay pinned, like Storm spouts).
+    int victim = -1;
+    double victim_load = -1.0;
+    for (int id = 0; id < query.num_operators(); ++id) {
+      if (placement[id] != hot_node) continue;
+      if (query.op(id).type == dsps::OperatorType::kSource) continue;
+      if (report.op_cpu_load_us[id] > victim_load) {
+        victim_load = report.op_cpu_load_us[id];
+        victim = id;
+      }
+    }
+    if (victim < 0) break;  // only sources on the hot node
+
+    // Target: the least utilized other node.
+    int target = -1;
+    double target_util = std::numeric_limits<double>::infinity();
+    for (int n = 0; n < cluster.num_nodes(); ++n) {
+      if (n == hot_node) continue;
+      const double util = std::max(report.node_stats[n].cpu_utilization,
+                                   report.node_stats[n].net_utilization);
+      if (util < target_util) {
+        target_util = util;
+        target = n;
+      }
+    }
+    if (target < 0) break;
+
+    // Migrate: monitoring interval elapses, then the redeployment pause
+    // (state shipping over the hot node's uplink).
+    const double state_mb = report.op_state_mb[victim];
+    const double transfer_s =
+        state_mb * 8.0 /
+        std::max(cluster.nodes[hot_node].bandwidth_mbits, 1.0);
+    time += config.monitoring_interval_s + config.migration_pause_base_s +
+            transfer_s;
+    placement[victim] = target;
+    ++result.migrations;
+  }
+  return result;
+}
+
+}  // namespace costream::baselines

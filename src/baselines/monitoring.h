@@ -1,0 +1,55 @@
+#ifndef COSTREAM_BASELINES_MONITORING_H_
+#define COSTREAM_BASELINES_MONITORING_H_
+
+#include <vector>
+
+#include "dsps/query_graph.h"
+#include "sim/fluid_engine.h"
+#include "sim/hardware.h"
+
+namespace costream::baselines {
+
+// Configuration of the online monitoring scheduler (the adaptive baseline
+// of Exp 2b, modelled on Aniello et al. [1] / I-Scheduler [11]).
+struct MonitoringConfig {
+  // Interval at which runtime statistics are collected and a rebalancing
+  // decision is taken.
+  double monitoring_interval_s = 10.0;
+  // Fixed redeployment pause per migration (tear down + redeploy).
+  double migration_pause_base_s = 2.0;
+  // CPU utilization above which a node is considered overloaded.
+  double utilization_threshold = 0.8;
+  int max_steps = 30;
+};
+
+// One observed scheduler state.
+struct MonitoringStep {
+  double time_s = 0.0;  // when this placement became active
+  sim::Placement placement;
+  double processing_latency_ms = 0.0;
+  bool migrated = false;  // whether a migration produced this placement
+};
+
+struct MonitoringResult {
+  std::vector<MonitoringStep> steps;
+  int migrations = 0;
+  // Time until the scheduler first reached a processing latency no worse
+  // than `competitive_latency_ms` (the paper's "monitoring overhead");
+  // negative if never reached.
+  double TimeToReach(double competitive_latency_ms) const;
+};
+
+// Simulates the monitoring baseline: starting from `initial`, the scheduler
+// periodically inspects node utilizations (collected from the running query)
+// and migrates the most expensive operator away from the most overloaded
+// node onto the least utilized one. Each migration costs a pause that grows
+// with the migrated operator's state size. Sources stay pinned (spouts are
+// not migratable in Storm-style schedulers).
+MonitoringResult RunOnlineMonitoring(const dsps::QueryGraph& query,
+                                     const sim::Cluster& cluster,
+                                     const sim::Placement& initial,
+                                     const MonitoringConfig& config);
+
+}  // namespace costream::baselines
+
+#endif  // COSTREAM_BASELINES_MONITORING_H_

@@ -1,0 +1,30 @@
+#ifndef COSTREAM_COMMON_CHECK_H_
+#define COSTREAM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checking. COSTREAM follows the no-exceptions policy of
+// the Google C++ style guide; violated invariants abort with a diagnostic.
+// COSTREAM_CHECK is active in all build types (the checks guard logic errors,
+// not hot inner loops, so the cost is negligible).
+
+#define COSTREAM_CHECK(cond)                                                  \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "COSTREAM_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define COSTREAM_CHECK_MSG(cond, msg)                                         \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "COSTREAM_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // COSTREAM_COMMON_CHECK_H_

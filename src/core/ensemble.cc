@@ -1,0 +1,68 @@
+#include "core/ensemble.h"
+
+#include "common/check.h"
+
+namespace costream::core {
+
+Ensemble::Ensemble(const CostModelConfig& base, int size) {
+  COSTREAM_CHECK(size >= 1);
+  members_.reserve(size);
+  for (int i = 0; i < size; ++i) {
+    CostModelConfig config = base;
+    config.seed = base.seed + static_cast<uint64_t>(i);
+    members_.push_back(std::make_unique<CostModel>(config));
+  }
+}
+
+std::vector<TrainResult> Ensemble::Train(const std::vector<TrainSample>& train,
+                                         const std::vector<TrainSample>& val,
+                                         const TrainConfig& config) {
+  std::vector<TrainResult> results;
+  results.reserve(members_.size());
+  for (size_t i = 0; i < members_.size(); ++i) {
+    TrainConfig member_config = config;
+    member_config.seed = config.seed + i * 1000003ull;
+    results.push_back(TrainModel(*members_[i], train, val, member_config));
+  }
+  return results;
+}
+
+double Ensemble::PredictRegression(const JointGraph& graph) const {
+  double total = 0.0;
+  for (const auto& m : members_) total += m->PredictRegression(graph);
+  return total / members_.size();
+}
+
+double Ensemble::PredictProbability(const JointGraph& graph) const {
+  double total = 0.0;
+  for (const auto& m : members_) total += m->PredictProbability(graph);
+  return total / members_.size();
+}
+
+bool Ensemble::Save(const std::string& prefix) const {
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (!members_[i]->Save(prefix + ".member" + std::to_string(i) + ".bin")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Ensemble::Load(const std::string& prefix) {
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (!members_[i]->Load(prefix + ".member" + std::to_string(i) + ".bin")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Ensemble::PredictBinary(const JointGraph& graph) const {
+  int votes = 0;
+  for (const auto& m : members_) {
+    if (m->PredictProbability(graph) >= 0.5) ++votes;
+  }
+  return votes * 2 > size();
+}
+
+}  // namespace costream::core

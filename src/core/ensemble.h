@@ -1,0 +1,54 @@
+#ifndef COSTREAM_CORE_ENSEMBLE_H_
+#define COSTREAM_CORE_ENSEMBLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+
+namespace costream::core {
+
+// An ensemble of independently initialized COSTREAM models for one metric
+// (paper Section IV-A): members differ only in their random initialization
+// seed. At inference time regression members are averaged and classification
+// members take a majority vote (Section V).
+class Ensemble {
+ public:
+  // Creates `size` untrained members; member i uses seed base.seed + i.
+  Ensemble(const CostModelConfig& base, int size);
+
+  // Trains every member on the same data (sample order still differs via
+  // the training seed offset).
+  std::vector<TrainResult> Train(const std::vector<TrainSample>& train,
+                                 const std::vector<TrainSample>& val,
+                                 const TrainConfig& config);
+
+  // Mean of the members' regression predictions.
+  double PredictRegression(const JointGraph& graph) const;
+  // Mean of the members' probabilities.
+  double PredictProbability(const JointGraph& graph) const;
+  // Majority vote over the members' binary predictions.
+  bool PredictBinary(const JointGraph& graph) const;
+
+  // Persists / restores all members. Paths are derived from `prefix` as
+  // "<prefix>.member<i>.bin". Load returns false on any architecture or I/O
+  // mismatch.
+  bool Save(const std::string& prefix) const;
+  bool Load(const std::string& prefix);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  CostModel& member(int i) { return *members_[i]; }
+  const CostModel& member(int i) const { return *members_[i]; }
+  HeadKind head() const { return members_.front()->config().head; }
+  FeaturizationMode featurization() const {
+    return members_.front()->config().featurization;
+  }
+
+ private:
+  std::vector<std::unique_ptr<CostModel>> members_;
+};
+
+}  // namespace costream::core
+
+#endif  // COSTREAM_CORE_ENSEMBLE_H_

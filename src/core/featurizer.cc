@@ -1,0 +1,218 @@
+#include "core/featurizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace costream::core {
+
+namespace {
+
+using dsps::DataType;
+using dsps::OperatorDescriptor;
+using dsps::OperatorType;
+
+// Log-scale min-max normalization anchored at [lo, hi].
+double LogNorm(double value, double lo, double hi) {
+  const double v = std::max(value, 1e-9);
+  return (std::log(v) - std::log(lo)) / (std::log(hi) - std::log(lo));
+}
+
+void OneHot(std::vector<double>& out, int index, int size) {
+  for (int i = 0; i < size; ++i) out.push_back(i == index ? 1.0 : 0.0);
+}
+
+int DataTypeIndex(DataType t) { return static_cast<int>(t); }
+
+}  // namespace
+
+const char* ToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSource:
+      return "source";
+    case NodeKind::kFilter:
+      return "filter";
+    case NodeKind::kWindow:
+      return "window";
+    case NodeKind::kAggregate:
+      return "aggregate";
+    case NodeKind::kJoin:
+      return "join";
+    case NodeKind::kSink:
+      return "sink";
+    case NodeKind::kHost:
+      return "host";
+  }
+  return "?";
+}
+
+int FeatureDim(NodeKind kind) {
+  // Every operator kind carries a trailing parallelism feature (degree-of-
+  // parallelism extension; 0 for the default of one instance).
+  switch (kind) {
+    case NodeKind::kSource:
+      return 6;  // rate, width, frac int/double/string, parallelism
+    case NodeKind::kFilter:
+      return 14;  // function (7), literal type (3), sel (raw+log), width, par
+    case NodeKind::kWindow:
+      return 9;  // type (2), policy (2), count/time size, slide, width, par
+    case NodeKind::kAggregate:
+      return 16;  // func (4), group-by (4), agg type (3), sel x2, widths, par
+    case NodeKind::kJoin:
+      return 8;  // key type (3), selectivity (raw+log), widths, parallelism
+    case NodeKind::kSink:
+      return 2;  // width, parallelism
+    case NodeKind::kHost:
+      return 4;  // cpu, ram, bandwidth, latency
+  }
+  return 0;
+}
+
+// Training grid bounds of Table II used as normalization anchors.
+double NormalizeEventRate(double rate) { return LogNorm(rate, 20.0, 25600.0); }
+double NormalizeCpu(double cpu_pct) { return LogNorm(cpu_pct, 50.0, 800.0); }
+double NormalizeRam(double ram_mb) { return LogNorm(ram_mb, 1000.0, 32000.0); }
+double NormalizeBandwidth(double mbits) {
+  return LogNorm(mbits, 25.0, 10000.0);
+}
+double NormalizeNetworkLatency(double ms) { return LogNorm(ms, 1.0, 160.0); }
+double NormalizeCountWindow(double tuples) {
+  return LogNorm(tuples, 5.0, 640.0);
+}
+double NormalizeTimeWindow(double seconds) {
+  return LogNorm(seconds, 0.25, 16.0);
+}
+double NormalizeTupleWidth(double width) { return width / 10.0; }
+double NormalizeSelectivity(double selectivity) {
+  return LogNorm(std::max(selectivity, 1e-6), 1e-4, 1.0);
+}
+double NormalizeParallelism(int parallelism) {
+  return std::log2(static_cast<double>(std::max(parallelism, 1))) / 3.0;
+}
+
+namespace {
+
+NodeKind KindOf(OperatorType type) {
+  switch (type) {
+    case OperatorType::kSource:
+      return NodeKind::kSource;
+    case OperatorType::kFilter:
+      return NodeKind::kFilter;
+    case OperatorType::kWindow:
+      return NodeKind::kWindow;
+    case OperatorType::kAggregate:
+      return NodeKind::kAggregate;
+    case OperatorType::kJoin:
+      return NodeKind::kJoin;
+    case OperatorType::kSink:
+      return NodeKind::kSink;
+  }
+  return NodeKind::kSink;
+}
+
+std::vector<double> OperatorFeatures(const OperatorDescriptor& op) {
+  std::vector<double> f;
+  switch (op.type) {
+    case OperatorType::kSource:
+      f.push_back(NormalizeEventRate(op.input_event_rate));
+      f.push_back(NormalizeTupleWidth(op.tuple_width_out));
+      f.push_back(op.frac_int);
+      f.push_back(op.frac_double);
+      f.push_back(op.frac_string);
+      break;
+    case OperatorType::kFilter:
+      OneHot(f, static_cast<int>(op.filter_function), 7);
+      OneHot(f, DataTypeIndex(op.literal_data_type), 3);
+      f.push_back(op.selectivity);
+      f.push_back(NormalizeSelectivity(op.selectivity));
+      f.push_back(NormalizeTupleWidth(op.tuple_width_in));
+      break;
+    case OperatorType::kWindow: {
+      OneHot(f, static_cast<int>(op.window.type), 2);
+      OneHot(f, static_cast<int>(op.window.policy), 2);
+      const bool count = op.window.policy == dsps::WindowPolicy::kCountBased;
+      f.push_back(count ? NormalizeCountWindow(op.window.size) : 0.0);
+      f.push_back(count ? 0.0 : NormalizeTimeWindow(op.window.size));
+      f.push_back(op.window.EffectiveSlide() / std::max(op.window.size, 1e-9));
+      f.push_back(NormalizeTupleWidth(op.tuple_width_in));
+      break;
+    }
+    case OperatorType::kAggregate:
+      OneHot(f, static_cast<int>(op.aggregate_function), 4);
+      OneHot(f, static_cast<int>(op.group_by_type), 4);
+      OneHot(f, DataTypeIndex(op.aggregate_data_type), 3);
+      f.push_back(op.selectivity);
+      f.push_back(NormalizeSelectivity(op.selectivity));
+      f.push_back(NormalizeTupleWidth(op.tuple_width_in));
+      f.push_back(NormalizeTupleWidth(op.tuple_width_out));
+      break;
+    case OperatorType::kJoin:
+      OneHot(f, DataTypeIndex(op.join_key_type), 3);
+      f.push_back(op.selectivity);
+      f.push_back(NormalizeSelectivity(op.selectivity));
+      f.push_back(NormalizeTupleWidth(op.tuple_width_in));
+      f.push_back(NormalizeTupleWidth(op.tuple_width_out));
+      break;
+    case OperatorType::kSink:
+      f.push_back(NormalizeTupleWidth(op.tuple_width_in));
+      break;
+  }
+  f.push_back(NormalizeParallelism(op.parallelism));
+  return f;
+}
+
+std::vector<double> HostFeatures(const sim::HardwareNode& hw,
+                                 FeaturizationMode mode) {
+  if (mode == FeaturizationMode::kPlacementOnly) {
+    // The host node exists (placement/co-location is visible) but carries no
+    // hardware information (Exp 7a, middle scheme of Figure 12).
+    return {0.5, 0.5, 0.5, 0.5};
+  }
+  return {NormalizeCpu(hw.cpu_pct), NormalizeRam(hw.ram_mb),
+          NormalizeBandwidth(hw.bandwidth_mbits),
+          NormalizeNetworkLatency(hw.latency_ms)};
+}
+
+}  // namespace
+
+JointGraph BuildJointGraph(const dsps::QueryGraph& query,
+                           const sim::Cluster& cluster,
+                           const sim::Placement& placement,
+                           FeaturizationMode mode) {
+  COSTREAM_CHECK_MSG(
+      sim::ValidatePlacement(query, cluster, placement).empty(),
+      "invalid placement");
+  JointGraph graph;
+  graph.num_operator_nodes = query.num_operators();
+  graph.nodes.reserve(query.num_operators() + cluster.num_nodes());
+  for (int i = 0; i < query.num_operators(); ++i) {
+    JointNode node;
+    node.kind = KindOf(query.op(i).type);
+    node.features = OperatorFeatures(query.op(i));
+    COSTREAM_CHECK(static_cast<int>(node.features.size()) ==
+                   FeatureDim(node.kind));
+    graph.nodes.push_back(std::move(node));
+  }
+  graph.dataflow_edges = query.edges();
+  graph.topo_order = query.TopologicalOrder();
+
+  if (mode != FeaturizationMode::kOperatorsOnly) {
+    // One host node per hardware node that actually hosts operators.
+    std::vector<int> host_node_of(cluster.num_nodes(), -1);
+    for (int op = 0; op < query.num_operators(); ++op) {
+      const int hw = placement[op];
+      if (host_node_of[hw] == -1) {
+        JointNode node;
+        node.kind = NodeKind::kHost;
+        node.features = HostFeatures(cluster.nodes[hw], mode);
+        host_node_of[hw] = static_cast<int>(graph.nodes.size());
+        graph.nodes.push_back(std::move(node));
+        ++graph.num_host_nodes;
+      }
+      graph.placement_edges.emplace_back(op, host_node_of[hw]);
+    }
+  }
+  return graph;
+}
+
+}  // namespace costream::core

@@ -1,0 +1,93 @@
+#ifndef COSTREAM_CORE_FEATURIZER_H_
+#define COSTREAM_CORE_FEATURIZER_H_
+
+#include <utility>
+#include <vector>
+
+#include "dsps/query_graph.h"
+#include "sim/hardware.h"
+
+namespace costream::core {
+
+// Node kinds of the joint operator-resource graph (paper Figure 3 step 3:
+// operators, data sources/sinks and hardware instances in one graph, each
+// with a node-type specific encoder).
+enum class NodeKind {
+  kSource,
+  kFilter,
+  kWindow,
+  kAggregate,
+  kJoin,
+  kSink,
+  kHost,
+};
+inline constexpr int kNumNodeKinds = 7;
+
+const char* ToString(NodeKind kind);
+
+// Feature vector dimensionality per node kind (fixed by the transferable
+// feature set of Table I).
+int FeatureDim(NodeKind kind);
+
+// Which parts of the joint graph are featurized; used by the ablation study
+// of Exp 7a (Figure 12).
+enum class FeaturizationMode {
+  // Only the operator graph: no host nodes, no placement information.
+  kOperatorsOnly,
+  // Host nodes and placement edges exist (co-location is visible), but the
+  // hardware features themselves are blanked out.
+  kPlacementOnly,
+  // The full scheme: placement edges plus hardware features.
+  kFull,
+};
+
+// One node of the joint graph.
+struct JointNode {
+  NodeKind kind = NodeKind::kSource;
+  std::vector<double> features;
+};
+
+// The joint operator-resource graph handed to the GNN. Operator nodes keep
+// the ids of the underlying QueryGraph; host nodes are appended after them
+// (one per hardware node that hosts at least one operator).
+struct JointGraph {
+  std::vector<JointNode> nodes;
+  // Logical data flow between operator nodes (from -> to).
+  std::vector<std::pair<int, int>> dataflow_edges;
+  // Operator node -> host node (the placement mapping w_i -> n_j).
+  std::vector<std::pair<int, int>> placement_edges;
+  // Operator nodes in topological data-flow order (sources first).
+  std::vector<int> topo_order;
+  int num_operator_nodes = 0;
+  int num_host_nodes = 0;
+};
+
+// Normalizes raw feature values onto roughly [0, 1] using log scales anchored
+// at the training grid bounds of Table II. Values outside the training range
+// land outside [0, 1], which is what lets the model extrapolate (Exp 4).
+double NormalizeEventRate(double rate);
+double NormalizeCpu(double cpu_pct);
+double NormalizeRam(double ram_mb);
+double NormalizeBandwidth(double mbits);
+double NormalizeNetworkLatency(double ms);
+double NormalizeCountWindow(double tuples);
+double NormalizeTimeWindow(double seconds);
+double NormalizeTupleWidth(double width);
+// Selectivities span many orders of magnitude (joins go down to 1e-4); the
+// log transform lets the GNN compose selectivity products along the data
+// flow as sums of hidden-state contributions.
+double NormalizeSelectivity(double selectivity);
+// Degree of parallelism (extension): log2 scale, 0 for one instance.
+double NormalizeParallelism(int parallelism);
+
+// Builds the joint graph for a placed query. The same query/cluster pair
+// yields different graphs for different placements, which is exactly the
+// signal the model uses to rank placement candidates.
+JointGraph BuildJointGraph(const dsps::QueryGraph& query,
+                           const sim::Cluster& cluster,
+                           const sim::Placement& placement,
+                           FeaturizationMode mode = FeaturizationMode::kFull);
+
+}  // namespace costream::core
+
+#endif  // COSTREAM_CORE_FEATURIZER_H_

@@ -1,0 +1,164 @@
+#include "core/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/serialize.h"
+
+namespace costream::core {
+
+namespace {
+
+nn::Matrix RowVector(const std::vector<double>& values) {
+  return nn::Matrix::Row(values);
+}
+
+}  // namespace
+
+CostModel::CostModel(const CostModelConfig& config) : config_(config) {
+  nn::Rng rng(config.seed);
+  const int h = config.hidden_dim;
+  encoders_.reserve(kNumNodeKinds);
+  updates_.reserve(kNumNodeKinds);
+  for (int k = 0; k < kNumNodeKinds; ++k) {
+    const NodeKind kind = static_cast<NodeKind>(k);
+    encoders_.emplace_back(std::vector<int>{FeatureDim(kind), h, h}, rng,
+                           nn::Activation::kRelu);
+    updates_.emplace_back(std::vector<int>{2 * h, h, h}, rng,
+                          nn::Activation::kRelu);
+  }
+  readout_.emplace_back(std::vector<int>{h, h, 1}, rng, nn::Activation::kRelu);
+  // Collect parameter pointers only after every MLP is in place (the vectors
+  // must not reallocate afterwards).
+  for (nn::Mlp& m : encoders_) m.CollectParameters(params_);
+  for (nn::Mlp& m : updates_) m.CollectParameters(params_);
+  readout_[0].CollectParameters(params_);
+}
+
+nn::Var CostModel::Forward(nn::Tape& tape, const JointGraph& graph) const {
+  COSTREAM_CHECK(!graph.nodes.empty());
+  std::vector<nn::Var> states(graph.nodes.size());
+  for (size_t v = 0; v < graph.nodes.size(); ++v) {
+    const JointNode& node = graph.nodes[v];
+    nn::Var x = tape.Input(RowVector(node.features));
+    states[v] = encoders_[static_cast<int>(node.kind)].Apply(tape, x);
+  }
+  if (config_.message_passing == MessagePassingMode::kStaged) {
+    return ForwardStaged(tape, graph, states);
+  }
+  return ForwardTraditional(tape, graph, states);
+}
+
+nn::Var CostModel::ForwardStaged(nn::Tape& tape, const JointGraph& graph,
+                                 std::vector<nn::Var>& states) const {
+  const auto update = [&](NodeKind kind, const std::vector<nn::Var>& children,
+                          nn::Var own) {
+    nn::Var sum = tape.AddN(children);
+    nn::Var cat = tape.ConcatCols(sum, own);
+    return updates_[static_cast<int>(kind)].Apply(tape, cat);
+  };
+
+  if (graph.num_host_nodes > 0) {
+    // Stage 1 (OPS -> HW): inform hosts about the operators they execute;
+    // co-located operators send multiple messages to the same host.
+    std::vector<std::vector<nn::Var>> host_children(graph.nodes.size());
+    for (const auto& [op, host] : graph.placement_edges) {
+      host_children[host].push_back(states[op]);
+    }
+    for (size_t v = graph.num_operator_nodes; v < graph.nodes.size(); ++v) {
+      COSTREAM_CHECK(!host_children[v].empty());
+      states[v] = update(NodeKind::kHost, host_children[v], states[v]);
+    }
+    // Stage 2 (HW -> OPS): inform operators about the host they run on.
+    for (const auto& [op, host] : graph.placement_edges) {
+      states[op] =
+          update(graph.nodes[op].kind, {states[host]}, states[op]);
+    }
+  }
+  // Stage 3 (SOURCES -> OPS): propagate along the data flow towards the
+  // sink. Updating in topological order lets already-updated upstream states
+  // flow through the whole chain.
+  for (int v : graph.topo_order) {
+    // Gather the *current* upstream states (they may have been updated
+    // earlier in this loop).
+    std::vector<nn::Var> children;
+    for (const auto& [from, to] : graph.dataflow_edges) {
+      if (to == v) children.push_back(states[from]);
+    }
+    if (children.empty()) continue;  // sources
+    states[v] = update(graph.nodes[v].kind, children, states[v]);
+  }
+  // Final readout: sum every node state and predict the cost.
+  nn::Var total = tape.AddN(states);
+  return readout_[0].Apply(tape, total);
+}
+
+nn::Var CostModel::ForwardTraditional(nn::Tape& tape, const JointGraph& graph,
+                                      std::vector<nn::Var>& states) const {
+  // Undirected neighbourhood over data-flow and placement edges.
+  std::vector<std::vector<int>> neighbors(graph.nodes.size());
+  for (const auto& [from, to] : graph.dataflow_edges) {
+    neighbors[from].push_back(to);
+    neighbors[to].push_back(from);
+  }
+  for (const auto& [op, host] : graph.placement_edges) {
+    neighbors[op].push_back(host);
+    neighbors[host].push_back(op);
+  }
+  for (int iter = 0; iter < config_.traditional_iterations; ++iter) {
+    std::vector<nn::Var> next = states;
+    for (size_t v = 0; v < graph.nodes.size(); ++v) {
+      if (neighbors[v].empty()) continue;
+      std::vector<nn::Var> children;
+      children.reserve(neighbors[v].size());
+      for (int u : neighbors[v]) children.push_back(states[u]);
+      nn::Var sum = tape.AddN(children);
+      nn::Var cat = tape.ConcatCols(sum, states[v]);
+      next[v] = updates_[static_cast<int>(graph.nodes[v].kind)].Apply(tape, cat);
+    }
+    states = std::move(next);
+  }
+  nn::Var total = tape.AddN(states);
+  return readout_[0].Apply(tape, total);
+}
+
+double CostModel::PredictRegression(const JointGraph& graph) const {
+  nn::Tape tape;
+  nn::Var out = Forward(tape, graph);
+  const double log_value = std::clamp(tape.value(out)(0, 0), -10.0, 30.0);
+  return std::max(std::expm1(log_value), 0.0);
+}
+
+double CostModel::PredictProbability(const JointGraph& graph) const {
+  nn::Tape tape;
+  nn::Var out = Forward(tape, graph);
+  const double z = tape.value(out)(0, 0);
+  return z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                  : std::exp(z) / (1.0 + std::exp(z));
+}
+
+std::vector<nn::Matrix> CostModel::SnapshotParameters() const {
+  std::vector<nn::Matrix> snapshot;
+  snapshot.reserve(params_.size());
+  for (const nn::Parameter* p : params_) snapshot.push_back(p->value);
+  return snapshot;
+}
+
+void CostModel::RestoreParameters(const std::vector<nn::Matrix>& snapshot) {
+  COSTREAM_CHECK(snapshot.size() == params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    COSTREAM_CHECK(snapshot[i].SameShape(params_[i]->value));
+    params_[i]->value = snapshot[i];
+  }
+}
+
+bool CostModel::Save(const std::string& path) const {
+  return nn::SaveParametersToFile(path, params_);
+}
+
+bool CostModel::Load(const std::string& path) {
+  return nn::LoadParametersFromFile(path, params_);
+}
+
+}  // namespace costream::core

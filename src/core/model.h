@@ -1,0 +1,95 @@
+#ifndef COSTREAM_CORE_MODEL_H_
+#define COSTREAM_CORE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/featurizer.h"
+#include "nn/layers.h"
+
+namespace costream::core {
+
+// Message-passing scheme. kStaged is the paper's novel scheme (Section
+// III-B): OPS->HW, HW->OPS, SOURCES->OPS in that order; kTraditional is the
+// ablation baseline of Exp 7b where all nodes are updated simultaneously
+// from their neighbours for a fixed number of iterations.
+enum class MessagePassingMode {
+  kStaged,
+  kTraditional,
+};
+
+// Output head: regression models predict log1p(cost) and are trained with
+// MSE in log space (exactly the paper's MSLE loss); classification models
+// predict a logit trained with binary cross entropy.
+enum class HeadKind {
+  kRegression,
+  kClassification,
+};
+
+struct CostModelConfig {
+  int hidden_dim = 32;
+  FeaturizationMode featurization = FeaturizationMode::kFull;
+  MessagePassingMode message_passing = MessagePassingMode::kStaged;
+  HeadKind head = HeadKind::kRegression;
+  // Neighbourhood iterations of the traditional scheme.
+  int traditional_iterations = 3;
+  // Initialization seed (ensemble members differ only in this; paper
+  // Section IV-A).
+  uint64_t seed = 1;
+};
+
+// One COSTREAM GNN instance predicting a single cost metric for a joint
+// operator-resource graph (Algorithm 1):
+//
+//   1. node-type specific MLP encoders embed the transferable features into
+//      hidden states,
+//   2. hidden states are refined along the staged message-passing orders,
+//      each update feeding concat(sum of incoming states, own state) into a
+//      node-type specific update MLP,
+//   3. a final readout sums all hidden states and an output MLP produces the
+//      cost prediction.
+class CostModel {
+ public:
+  explicit CostModel(const CostModelConfig& config);
+
+  CostModel(const CostModel&) = delete;
+  CostModel& operator=(const CostModel&) = delete;
+
+  // Builds the forward computation on `tape`; returns the scalar output
+  // (log-cost for regression heads, logit for classification heads).
+  nn::Var Forward(nn::Tape& tape, const JointGraph& graph) const;
+
+  // Regression prediction in the metric's original unit (expm1 of the
+  // model output, clamped to be non-negative).
+  double PredictRegression(const JointGraph& graph) const;
+  // Probability of the positive class for classification heads.
+  double PredictProbability(const JointGraph& graph) const;
+
+  const CostModelConfig& config() const { return config_; }
+  const std::vector<nn::Parameter*>& parameters() { return params_; }
+
+  // Checkpointing (used to restore the best validation epoch).
+  std::vector<nn::Matrix> SnapshotParameters() const;
+  void RestoreParameters(const std::vector<nn::Matrix>& snapshot);
+
+  // Model persistence; Load returns false on shape/config mismatch.
+  bool Save(const std::string& path) const;
+  bool Load(const std::string& path);
+
+ private:
+  CostModelConfig config_;
+  std::vector<nn::Mlp> encoders_;  // one per NodeKind
+  std::vector<nn::Mlp> updates_;   // one per NodeKind, (2H -> H)
+  std::vector<nn::Mlp> readout_;   // single output MLP (H -> H -> 1)
+  std::vector<nn::Parameter*> params_;
+
+  nn::Var ForwardStaged(nn::Tape& tape, const JointGraph& graph,
+                        std::vector<nn::Var>& states) const;
+  nn::Var ForwardTraditional(nn::Tape& tape, const JointGraph& graph,
+                             std::vector<nn::Var>& states) const;
+};
+
+}  // namespace costream::core
+
+#endif  // COSTREAM_CORE_MODEL_H_

@@ -1,0 +1,163 @@
+#include "core/trainer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "nn/random.h"
+
+namespace costream::core {
+
+namespace {
+
+struct ClassWeights {
+  double positive = 1.0;
+  double negative = 1.0;
+};
+
+nn::Var SampleLoss(const CostModel& model, nn::Tape& tape,
+                   const TrainSample& sample,
+                   const ClassWeights& weights = ClassWeights{}) {
+  nn::Var out = model.Forward(tape, sample.graph);
+  if (model.config().head == HeadKind::kRegression) {
+    const double target = std::log1p(std::max(sample.regression_target, 0.0));
+    return tape.MseLoss(out, nn::Matrix::Scalar(target));
+  }
+  nn::Var loss = tape.BceWithLogitsLoss(out, sample.label ? 1.0 : 0.0);
+  const double w = sample.label ? weights.positive : weights.negative;
+  return w == 1.0 ? loss : tape.Scale(loss, w);
+}
+
+ClassWeights ComputeClassWeights(const CostModel& model,
+                                 const std::vector<TrainSample>& train,
+                                 bool balance) {
+  ClassWeights weights;
+  if (!balance || model.config().head != HeadKind::kClassification) {
+    return weights;
+  }
+  double positives = 0.0;
+  for (const TrainSample& s : train) positives += s.label ? 1.0 : 0.0;
+  const double negatives = train.size() - positives;
+  if (positives < 1.0 || negatives < 1.0) return weights;
+  weights.positive = train.size() / (2.0 * positives);
+  weights.negative = train.size() / (2.0 * negatives);
+  return weights;
+}
+
+double WeightedLoss(const CostModel& model,
+                    const std::vector<TrainSample>& samples,
+                    const ClassWeights& weights) {
+  double total = 0.0;
+  nn::Tape tape;
+  for (const TrainSample& sample : samples) {
+    tape.Reset();
+    total += tape.value(SampleLoss(model, tape, sample, weights))(0, 0);
+  }
+  return total / samples.size();
+}
+
+}  // namespace
+
+double EvaluateLoss(const CostModel& model,
+                    const std::vector<TrainSample>& samples) {
+  COSTREAM_CHECK(!samples.empty());
+  double total = 0.0;
+  nn::Tape tape;
+  for (const TrainSample& sample : samples) {
+    tape.Reset();
+    total += tape.value(SampleLoss(model, tape, sample))(0, 0);
+  }
+  return total / samples.size();
+}
+
+TrainResult TrainModel(CostModel& model, const std::vector<TrainSample>& train,
+                       const std::vector<TrainSample>& val,
+                       const TrainConfig& config) {
+  COSTREAM_CHECK(!train.empty());
+  COSTREAM_CHECK(config.epochs > 0 && config.batch_size > 0);
+
+  nn::AdamConfig adam_config;
+  adam_config.learning_rate = config.learning_rate;
+  nn::Adam adam(model.parameters(), adam_config);
+  adam.ZeroGrad();
+
+  nn::Rng rng(config.seed);
+  std::vector<int> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const ClassWeights weights =
+      ComputeClassWeights(model, train, config.balance_classes);
+
+  TrainResult result;
+  result.best_val_loss = std::numeric_limits<double>::infinity();
+  std::vector<nn::Matrix> best_snapshot;
+
+  nn::Tape tape;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+      tape.Reset();
+      nn::Var loss = SampleLoss(model, tape, train[order[i]], weights);
+      epoch_loss += tape.value(loss)(0, 0);
+      // Scale so the batch gradient is the mean over the batch.
+      nn::Var scaled = tape.Scale(loss, 1.0 / config.batch_size);
+      tape.Backward(scaled);
+      if (++in_batch == config.batch_size || i + 1 == order.size()) {
+        adam.Step();
+        in_batch = 0;
+      }
+    }
+    epoch_loss /= train.size();
+    result.train_losses.push_back(epoch_loss);
+
+    const double val_loss =
+        val.empty() ? epoch_loss : WeightedLoss(model, val, weights);
+    result.val_losses.push_back(val_loss);
+    if (val_loss < result.best_val_loss) {
+      result.best_val_loss = val_loss;
+      result.best_epoch = epoch;
+      best_snapshot = model.SnapshotParameters();
+    }
+    if (config.verbose) {
+      std::fprintf(stderr, "epoch %3d  train %.4f  val %.4f\n", epoch,
+                   epoch_loss, val_loss);
+    }
+    adam.set_learning_rate(adam.learning_rate() * config.lr_decay);
+  }
+  if (!best_snapshot.empty()) model.RestoreParameters(best_snapshot);
+  return result;
+}
+
+eval::QErrorSummary EvaluateRegression(
+    const CostModel& model, const std::vector<TrainSample>& samples) {
+  COSTREAM_CHECK(model.config().head == HeadKind::kRegression);
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  actual.reserve(samples.size());
+  predicted.reserve(samples.size());
+  for (const TrainSample& sample : samples) {
+    actual.push_back(sample.regression_target);
+    predicted.push_back(model.PredictRegression(sample.graph));
+  }
+  return eval::SummarizeQErrors(actual, predicted);
+}
+
+double EvaluateClassification(const CostModel& model,
+                              const std::vector<TrainSample>& samples) {
+  COSTREAM_CHECK(model.config().head == HeadKind::kClassification);
+  std::vector<bool> actual;
+  std::vector<bool> predicted;
+  actual.reserve(samples.size());
+  predicted.reserve(samples.size());
+  for (const TrainSample& sample : samples) {
+    actual.push_back(sample.label);
+    predicted.push_back(model.PredictProbability(sample.graph) >= 0.5);
+  }
+  return eval::Accuracy(actual, predicted);
+}
+
+}  // namespace costream::core

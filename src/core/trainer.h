@@ -1,0 +1,63 @@
+#ifndef COSTREAM_CORE_TRAINER_H_
+#define COSTREAM_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+#include "eval/metrics.h"
+
+namespace costream::core {
+
+// One labelled training example: a featurized joint graph plus the metric
+// value observed when executing the placed query.
+struct TrainSample {
+  JointGraph graph;
+  double regression_target = 0.0;  // raw metric value (not log space)
+  bool label = false;              // classification metrics
+};
+
+struct TrainConfig {
+  int epochs = 24;
+  int batch_size = 16;
+  double learning_rate = 3e-3;
+  // Multiplicative learning-rate decay per epoch.
+  double lr_decay = 0.95;
+  uint64_t seed = 7;
+  bool verbose = false;
+  // For classification heads: reweight the BCE loss so both classes
+  // contribute equally (failures/backpressure are rare in realistic corpora,
+  // and the paper evaluates on balanced test sets).
+  bool balance_classes = true;
+};
+
+struct TrainResult {
+  double best_val_loss = 0.0;
+  int best_epoch = -1;
+  std::vector<double> train_losses;  // mean loss per epoch
+  std::vector<double> val_losses;
+};
+
+// Trains `model` on `train`, evaluating on `val` after every epoch and
+// restoring the parameters of the best validation epoch at the end.
+// Regression heads are trained with MSE on log1p targets (the paper's MSLE
+// loss); classification heads with binary cross entropy.
+TrainResult TrainModel(CostModel& model, const std::vector<TrainSample>& train,
+                       const std::vector<TrainSample>& val,
+                       const TrainConfig& config);
+
+// Mean per-sample loss of `model` on `samples` (no gradient updates).
+double EvaluateLoss(const CostModel& model,
+                    const std::vector<TrainSample>& samples);
+
+// Q-error summary of a regression model over `samples`.
+eval::QErrorSummary EvaluateRegression(const CostModel& model,
+                                       const std::vector<TrainSample>& samples);
+
+// Classification accuracy (threshold 0.5) over `samples`.
+double EvaluateClassification(const CostModel& model,
+                              const std::vector<TrainSample>& samples);
+
+}  // namespace costream::core
+
+#endif  // COSTREAM_CORE_TRAINER_H_

@@ -1,0 +1,80 @@
+#include "dsps/graphviz.h"
+
+#include <map>
+#include <sstream>
+
+namespace costream::dsps {
+
+namespace {
+
+std::string NodeLabel(const OperatorDescriptor& op) {
+  std::ostringstream label;
+  label << ToString(op.type);
+  switch (op.type) {
+    case OperatorType::kSource:
+      label << "\\n" << op.input_event_rate << " ev/s, w=" <<
+          op.tuple_width_out;
+      break;
+    case OperatorType::kFilter:
+      label << "\\n" << ToString(op.filter_function) << " "
+            << ToString(op.literal_data_type) << ", sel=" << op.selectivity;
+      break;
+    case OperatorType::kWindow:
+      label << "\\n" << ToString(op.window.type) << "/"
+            << ToString(op.window.policy) << ", size=" << op.window.size;
+      break;
+    case OperatorType::kAggregate:
+      label << "\\n" << ToString(op.aggregate_function) << " by "
+            << ToString(op.group_by_type) << ", sel=" << op.selectivity;
+      break;
+    case OperatorType::kJoin:
+      label << "\\nkey=" << ToString(op.join_key_type)
+            << ", sel=" << op.selectivity;
+      break;
+    case OperatorType::kSink:
+      break;
+  }
+  if (op.parallelism > 1) label << "\\np=" << op.parallelism;
+  return label.str();
+}
+
+}  // namespace
+
+std::string ToGraphviz(const QueryGraph& query,
+                       const std::vector<int>* placement) {
+  std::ostringstream os;
+  os << "digraph costream_query {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [shape=box, fontname=\"monospace\"];\n";
+
+  if (placement != nullptr &&
+      static_cast<int>(placement->size()) == query.num_operators()) {
+    // Group operators by their host node to visualize co-location.
+    std::map<int, std::vector<int>> by_host;
+    for (int id = 0; id < query.num_operators(); ++id) {
+      by_host[(*placement)[id]].push_back(id);
+    }
+    for (const auto& [host, ops] : by_host) {
+      os << "  subgraph cluster_node" << host << " {\n";
+      os << "    label=\"node " << host << "\";\n";
+      os << "    style=dashed;\n";
+      for (int id : ops) {
+        os << "    op" << id << " [label=\"" << NodeLabel(query.op(id))
+           << "\"];\n";
+      }
+      os << "  }\n";
+    }
+  } else {
+    for (int id = 0; id < query.num_operators(); ++id) {
+      os << "  op" << id << " [label=\"" << NodeLabel(query.op(id))
+         << "\"];\n";
+    }
+  }
+  for (const auto& [from, to] : query.edges()) {
+    os << "  op" << from << " -> op" << to << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace costream::dsps

@@ -1,0 +1,20 @@
+#ifndef COSTREAM_DSPS_GRAPHVIZ_H_
+#define COSTREAM_DSPS_GRAPHVIZ_H_
+
+#include <string>
+
+#include "dsps/query_graph.h"
+
+namespace costream::dsps {
+
+// Renders the query DAG as Graphviz "dot" source: one node per operator
+// (labelled with its type and key features), one edge per logical data-flow
+// edge. When `placement` is non-null, operators are clustered by the
+// hardware node they are placed on, which visualizes co-location and the
+// physical data flow.
+std::string ToGraphviz(const QueryGraph& query,
+                       const std::vector<int>* placement = nullptr);
+
+}  // namespace costream::dsps
+
+#endif  // COSTREAM_DSPS_GRAPHVIZ_H_

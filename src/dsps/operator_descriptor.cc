@@ -1,0 +1,19 @@
+#include "dsps/operator_descriptor.h"
+
+namespace costream::dsps {
+
+double TupleBytes(double width, double frac_int, double frac_double,
+                  double frac_string) {
+  // Per-value footprint (bytes) including container overhead, modelled on a
+  // JVM-backed DSPS: primitives are boxed into ~24-byte objects and strings
+  // carry character payloads.
+  constexpr double kIntBytes = 24.0;
+  constexpr double kDoubleBytes = 24.0;
+  constexpr double kStringBytes = 80.0;
+  constexpr double kTupleOverheadBytes = 48.0;
+  return kTupleOverheadBytes + width * (frac_int * kIntBytes +
+                                        frac_double * kDoubleBytes +
+                                        frac_string * kStringBytes);
+}
+
+}  // namespace costream::dsps

@@ -1,0 +1,77 @@
+#ifndef COSTREAM_DSPS_OPERATOR_DESCRIPTOR_H_
+#define COSTREAM_DSPS_OPERATOR_DESCRIPTOR_H_
+
+#include <vector>
+
+#include "dsps/types.h"
+
+namespace costream::dsps {
+
+// Static description of one streaming operator, carrying exactly the
+// transferable features of the paper's Table I plus the execution attributes
+// the simulators need. Which fields are meaningful depends on `type`:
+//
+//   kSource:    input_event_rate, tuple_data_types, tuple_width_out
+//   kFilter:    filter_function, literal_data_type, selectivity
+//   kWindow:    window (type/policy/size/slide)
+//   kAggregate: aggregate_function, group_by_type, aggregate_data_type,
+//               selectivity (distinct groups / window length, Definition 8)
+//   kJoin:      join_key_type, selectivity (Definition 7)
+//   kSink:      (widths only)
+//
+// tuple_width_in/out are meaningful for every operator (Table I, "all").
+struct OperatorDescriptor {
+  OperatorType type = OperatorType::kSource;
+
+  // Data features common to all nodes: averaged incoming / outgoing tuple
+  // width in number of attributes.
+  double tuple_width_in = 0.0;
+  double tuple_width_out = 0.0;
+
+  // --- Source ---
+  double input_event_rate = 0.0;  // events per second
+  std::vector<DataType> tuple_data_types;
+
+  // --- Filter ---
+  FilterFunction filter_function = FilterFunction::kLess;
+  DataType literal_data_type = DataType::kInt;
+
+  // --- Window ---
+  WindowSpec window;
+
+  // --- Aggregate ---
+  AggregateFunction aggregate_function = AggregateFunction::kMean;
+  GroupByType group_by_type = GroupByType::kNone;
+  DataType aggregate_data_type = DataType::kDouble;
+
+  // --- Join ---
+  DataType join_key_type = DataType::kInt;
+
+  // Estimated selectivity (filter: Definition 6; join: Definition 7;
+  // aggregate: Definition 8). Always in [0, 1].
+  double selectivity = 1.0;
+
+  // Degree of parallelism (extension; paper Section IX / [20]): number of
+  // parallel instances of this operator. A single instance can use at most
+  // one core, so parallelism is what lets an operator exploit multi-core
+  // nodes. Instances are key-partitioned, so total state is unchanged.
+  int parallelism = 1;
+
+  // Fraction of tuple attributes of each data type, used to derive per-tuple
+  // byte sizes and CPU costs downstream of the sources.
+  double frac_int = 1.0;
+  double frac_double = 0.0;
+  double frac_string = 0.0;
+
+  bool IsWindowed() const { return type == OperatorType::kWindow; }
+};
+
+// Approximate in-memory size of one tuple in bytes, given its width and data
+// type mix. Strings dominate (Java-style object overhead is included via the
+// per-value constant).
+double TupleBytes(double width, double frac_int, double frac_double,
+                  double frac_string);
+
+}  // namespace costream::dsps
+
+#endif  // COSTREAM_DSPS_OPERATOR_DESCRIPTOR_H_

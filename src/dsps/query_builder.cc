@@ -1,0 +1,185 @@
+#include "dsps/query_builder.h"
+
+#include "common/check.h"
+
+namespace costream::dsps {
+
+QueryBuilder::Stream QueryBuilder::Source(double event_rate,
+                                          const std::vector<DataType>& types) {
+  COSTREAM_CHECK(event_rate > 0.0);
+  COSTREAM_CHECK(!types.empty());
+  OperatorDescriptor op;
+  op.type = OperatorType::kSource;
+  op.input_event_rate = event_rate;
+  op.tuple_data_types = types;
+  op.tuple_width_in = 0.0;
+  op.tuple_width_out = static_cast<double>(types.size());
+  int ints = 0;
+  int doubles = 0;
+  int strings = 0;
+  for (DataType t : types) {
+    switch (t) {
+      case DataType::kInt:
+        ++ints;
+        break;
+      case DataType::kDouble:
+        ++doubles;
+        break;
+      case DataType::kString:
+        ++strings;
+        break;
+    }
+  }
+  const double n = static_cast<double>(types.size());
+  op.frac_int = ints / n;
+  op.frac_double = doubles / n;
+  op.frac_string = strings / n;
+  const int id = graph_.AddOperator(op);
+  return Stream{id, op.tuple_width_out, op.frac_int, op.frac_double,
+                op.frac_string};
+}
+
+QueryBuilder::Stream QueryBuilder::Filter(Stream in, FilterFunction function,
+                                          DataType literal_type,
+                                          double selectivity) {
+  COSTREAM_CHECK(in.op_id >= 0);
+  COSTREAM_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  OperatorDescriptor op;
+  op.type = OperatorType::kFilter;
+  op.filter_function = function;
+  op.literal_data_type = literal_type;
+  op.selectivity = selectivity;
+  op.tuple_width_in = in.width;
+  op.tuple_width_out = in.width;
+  op.frac_int = in.frac_int;
+  op.frac_double = in.frac_double;
+  op.frac_string = in.frac_string;
+  const int id = graph_.AddOperator(op);
+  graph_.AddEdge(in.op_id, id);
+  Stream out = in;
+  out.op_id = id;
+  return out;
+}
+
+QueryBuilder::Stream QueryBuilder::Window(Stream in, const WindowSpec& window) {
+  COSTREAM_CHECK(in.op_id >= 0);
+  COSTREAM_CHECK(window.size > 0.0);
+  OperatorDescriptor op;
+  op.type = OperatorType::kWindow;
+  op.window = window;
+  op.tuple_width_in = in.width;
+  op.tuple_width_out = in.width;
+  op.frac_int = in.frac_int;
+  op.frac_double = in.frac_double;
+  op.frac_string = in.frac_string;
+  const int id = graph_.AddOperator(op);
+  graph_.AddEdge(in.op_id, id);
+  Stream out = in;
+  out.op_id = id;
+  return out;
+}
+
+QueryBuilder::Stream QueryBuilder::Aggregate(Stream windowed,
+                                             AggregateFunction function,
+                                             GroupByType group_by,
+                                             DataType aggregate_type,
+                                             double selectivity) {
+  COSTREAM_CHECK(windowed.op_id >= 0);
+  COSTREAM_CHECK_MSG(
+      graph_.op(windowed.op_id).type == OperatorType::kWindow,
+      "Aggregate requires a window stream (use WindowedAggregate)");
+  COSTREAM_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  OperatorDescriptor op;
+  op.type = OperatorType::kAggregate;
+  op.aggregate_function = function;
+  op.group_by_type = group_by;
+  op.aggregate_data_type = aggregate_type;
+  op.selectivity = selectivity;
+  op.tuple_width_in = windowed.width;
+  // Output is (group key, aggregate value) or a single aggregate value.
+  const bool grouped = group_by != GroupByType::kNone;
+  op.tuple_width_out = grouped ? 2.0 : 1.0;
+  double ints = aggregate_type == DataType::kInt ? 1.0 : 0.0;
+  double doubles = aggregate_type == DataType::kDouble ? 1.0 : 0.0;
+  double strings = aggregate_type == DataType::kString ? 1.0 : 0.0;
+  if (grouped) {
+    if (group_by == GroupByType::kInt) ints += 1.0;
+    if (group_by == GroupByType::kDouble) doubles += 1.0;
+    if (group_by == GroupByType::kString) strings += 1.0;
+  }
+  op.frac_int = ints / op.tuple_width_out;
+  op.frac_double = doubles / op.tuple_width_out;
+  op.frac_string = strings / op.tuple_width_out;
+  const int id = graph_.AddOperator(op);
+  graph_.AddEdge(windowed.op_id, id);
+  return Stream{id, op.tuple_width_out, op.frac_int, op.frac_double,
+                op.frac_string};
+}
+
+QueryBuilder::Stream QueryBuilder::Join(Stream windowed_left,
+                                        Stream windowed_right,
+                                        DataType key_type,
+                                        double selectivity) {
+  COSTREAM_CHECK(windowed_left.op_id >= 0 && windowed_right.op_id >= 0);
+  COSTREAM_CHECK_MSG(
+      graph_.op(windowed_left.op_id).type == OperatorType::kWindow &&
+          graph_.op(windowed_right.op_id).type == OperatorType::kWindow,
+      "Join requires two window streams (use WindowedJoin)");
+  COSTREAM_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  OperatorDescriptor op;
+  op.type = OperatorType::kJoin;
+  op.join_key_type = key_type;
+  op.selectivity = selectivity;
+  op.tuple_width_in =
+      (windowed_left.width + windowed_right.width) / 2.0;
+  op.tuple_width_out = windowed_left.width + windowed_right.width;
+  const double total = op.tuple_width_out;
+  op.frac_int = (windowed_left.frac_int * windowed_left.width +
+                 windowed_right.frac_int * windowed_right.width) /
+                total;
+  op.frac_double = (windowed_left.frac_double * windowed_left.width +
+                    windowed_right.frac_double * windowed_right.width) /
+                   total;
+  op.frac_string = (windowed_left.frac_string * windowed_left.width +
+                    windowed_right.frac_string * windowed_right.width) /
+                   total;
+  const int id = graph_.AddOperator(op);
+  graph_.AddEdge(windowed_left.op_id, id);
+  graph_.AddEdge(windowed_right.op_id, id);
+  return Stream{id, op.tuple_width_out, op.frac_int, op.frac_double,
+                op.frac_string};
+}
+
+QueryBuilder::Stream QueryBuilder::WindowedAggregate(
+    Stream in, const WindowSpec& window, AggregateFunction function,
+    GroupByType group_by, DataType aggregate_type, double selectivity) {
+  return Aggregate(Window(in, window), function, group_by, aggregate_type,
+                   selectivity);
+}
+
+QueryBuilder::Stream QueryBuilder::WindowedJoin(Stream left, Stream right,
+                                                const WindowSpec& window,
+                                                DataType key_type,
+                                                double selectivity) {
+  return Join(Window(left, window), Window(right, window), key_type,
+              selectivity);
+}
+
+QueryGraph QueryBuilder::Sink(Stream in) {
+  COSTREAM_CHECK(in.op_id >= 0);
+  OperatorDescriptor op;
+  op.type = OperatorType::kSink;
+  op.tuple_width_in = in.width;
+  op.tuple_width_out = in.width;
+  op.frac_int = in.frac_int;
+  op.frac_double = in.frac_double;
+  op.frac_string = in.frac_string;
+  const int id = graph_.AddOperator(op);
+  graph_.AddEdge(in.op_id, id);
+  QueryGraph result = std::move(graph_);
+  graph_ = QueryGraph();
+  COSTREAM_CHECK_MSG(result.Validate().empty(), result.Validate().c_str());
+  return result;
+}
+
+}  // namespace costream::dsps

@@ -1,0 +1,76 @@
+#ifndef COSTREAM_DSPS_QUERY_BUILDER_H_
+#define COSTREAM_DSPS_QUERY_BUILDER_H_
+
+#include <vector>
+
+#include "dsps/query_graph.h"
+
+namespace costream::dsps {
+
+// Fluent construction of valid streaming queries. The builder propagates
+// tuple widths and data-type mixes along the data flow and inserts the
+// window operator nodes that windowed aggregations and joins require, so
+// queries built through it always pass QueryGraph::Validate().
+//
+// Example (the advertisement workload of Exp 6):
+//   QueryBuilder b;
+//   auto clicks = b.Source(500, {DataType::kInt, DataType::kString});
+//   auto imps = b.Source(800, {DataType::kInt, DataType::kString});
+//   auto f = b.Filter(clicks, FilterFunction::kNotEq, DataType::kString, 0.6);
+//   WindowSpec w{WindowType::kSliding, WindowPolicy::kTimeBased, 2.0, 1.0};
+//   auto joined = b.WindowedJoin(f, imps, w, DataType::kInt, 0.01);
+//   QueryGraph q = b.Sink(joined);
+class QueryBuilder {
+ public:
+  // Opaque handle to a dangling stream (an operator whose output is not yet
+  // consumed).
+  struct Stream {
+    int op_id = -1;
+    double width = 0.0;
+    double frac_int = 0.0;
+    double frac_double = 0.0;
+    double frac_string = 0.0;
+  };
+
+  QueryBuilder() = default;
+
+  // Adds a data source emitting `event_rate` tuples/s with one attribute per
+  // entry of `types`.
+  Stream Source(double event_rate, const std::vector<DataType>& types);
+
+  // Filter with the given comparison function, literal type and estimated
+  // selectivity (Definition 6).
+  Stream Filter(Stream in, FilterFunction function, DataType literal_type,
+                double selectivity);
+
+  // Standalone window node; required upstream of Aggregate/Join.
+  Stream Window(Stream in, const WindowSpec& window);
+
+  // Windowed aggregation over a window stream (use Window() first or the
+  // WindowedAggregate convenience). `selectivity` follows Definition 8.
+  Stream Aggregate(Stream windowed, AggregateFunction function,
+                   GroupByType group_by, DataType aggregate_type,
+                   double selectivity);
+
+  // Windowed join of two window streams; `selectivity` follows Definition 7.
+  Stream Join(Stream windowed_left, Stream windowed_right, DataType key_type,
+              double selectivity);
+
+  // Convenience: inserts the window node(s) and the windowed operator.
+  Stream WindowedAggregate(Stream in, const WindowSpec& window,
+                           AggregateFunction function, GroupByType group_by,
+                           DataType aggregate_type, double selectivity);
+  Stream WindowedJoin(Stream left, Stream right, const WindowSpec& window,
+                      DataType key_type, double selectivity);
+
+  // Terminates the query with a sink and returns the finished graph. The
+  // builder must not be reused afterwards.
+  QueryGraph Sink(Stream in);
+
+ private:
+  QueryGraph graph_;
+};
+
+}  // namespace costream::dsps
+
+#endif  // COSTREAM_DSPS_QUERY_BUILDER_H_

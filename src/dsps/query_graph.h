@@ -1,0 +1,66 @@
+#ifndef COSTREAM_DSPS_QUERY_GRAPH_H_
+#define COSTREAM_DSPS_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "dsps/operator_descriptor.h"
+
+namespace costream::dsps {
+
+// A streaming query as a DAG of operators (paper Section III-A): vertices
+// are operators, directed edges are the logical data flow. The data flow is
+// tree-shaped towards a single sink (joins merge two branches).
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  // Returns the id of the added operator.
+  int AddOperator(const OperatorDescriptor& op);
+
+  // Adds a logical data-flow edge from `from` to `to`.
+  void AddEdge(int from, int to);
+
+  int num_operators() const { return static_cast<int>(ops_.size()); }
+  const OperatorDescriptor& op(int id) const { return ops_[id]; }
+  OperatorDescriptor& mutable_op(int id) { return ops_[id]; }
+
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  // Operator ids feeding into `id`, in insertion order.
+  std::vector<int> Upstream(int id) const;
+  // Operator ids consuming the output of `id`.
+  std::vector<int> Downstream(int id) const;
+
+  // All source operator ids.
+  std::vector<int> Sources() const;
+  // The sink operator id; the graph must have exactly one (checked).
+  int Sink() const;
+
+  // Operator ids in a topological order (sources first). Aborts if cyclic.
+  std::vector<int> TopologicalOrder() const;
+
+  // Counts operators of the given type.
+  int CountType(OperatorType type) const;
+
+  // Validates structural invariants:
+  //   - acyclic, connected to exactly one sink
+  //   - sources have no inputs and >= 1 output
+  //   - joins have exactly 2 inputs, filters/windows/aggregates exactly 1
+  //   - every windowed aggregate/join is fed (directly) by a window operator
+  //   - selectivities within [0, 1]
+  // Returns an empty string when valid, otherwise a description of the first
+  // violated invariant.
+  std::string Validate() const;
+
+  // Human-readable one-line summary, e.g. "source->filter->window->agg->sink".
+  std::string DebugString() const;
+
+ private:
+  std::vector<OperatorDescriptor> ops_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace costream::dsps
+
+#endif  // COSTREAM_DSPS_QUERY_GRAPH_H_

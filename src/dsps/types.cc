@@ -1,0 +1,103 @@
+#include "dsps/types.h"
+
+namespace costream::dsps {
+
+const char* ToString(DataType t) {
+  switch (t) {
+    case DataType::kInt:
+      return "int";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+const char* ToString(GroupByType t) {
+  switch (t) {
+    case GroupByType::kInt:
+      return "int";
+    case GroupByType::kDouble:
+      return "double";
+    case GroupByType::kString:
+      return "string";
+    case GroupByType::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+const char* ToString(OperatorType t) {
+  switch (t) {
+    case OperatorType::kSource:
+      return "source";
+    case OperatorType::kFilter:
+      return "filter";
+    case OperatorType::kWindow:
+      return "window";
+    case OperatorType::kAggregate:
+      return "aggregate";
+    case OperatorType::kJoin:
+      return "join";
+    case OperatorType::kSink:
+      return "sink";
+  }
+  return "?";
+}
+
+const char* ToString(FilterFunction f) {
+  switch (f) {
+    case FilterFunction::kLess:
+      return "<";
+    case FilterFunction::kGreater:
+      return ">";
+    case FilterFunction::kLessEq:
+      return "<=";
+    case FilterFunction::kGreaterEq:
+      return ">=";
+    case FilterFunction::kNotEq:
+      return "!=";
+    case FilterFunction::kStartsWith:
+      return "startswith";
+    case FilterFunction::kEndsWith:
+      return "endswith";
+  }
+  return "?";
+}
+
+const char* ToString(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kMin:
+      return "min";
+    case AggregateFunction::kMax:
+      return "max";
+    case AggregateFunction::kMean:
+      return "mean";
+    case AggregateFunction::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+const char* ToString(WindowType t) {
+  switch (t) {
+    case WindowType::kSliding:
+      return "sliding";
+    case WindowType::kTumbling:
+      return "tumbling";
+  }
+  return "?";
+}
+
+const char* ToString(WindowPolicy p) {
+  switch (p) {
+    case WindowPolicy::kCountBased:
+      return "count";
+    case WindowPolicy::kTimeBased:
+      return "time";
+  }
+  return "?";
+}
+
+}  // namespace costream::dsps

@@ -1,0 +1,93 @@
+#ifndef COSTREAM_DSPS_TYPES_H_
+#define COSTREAM_DSPS_TYPES_H_
+
+#include <string>
+
+namespace costream::dsps {
+
+// Value type of a single tuple attribute (paper: tuple data type / literal
+// data type / join-key data type / group-by data type).
+enum class DataType {
+  kInt,
+  kDouble,
+  kString,
+};
+
+// kNone is used for aggregations without a group-by attribute.
+enum class GroupByType {
+  kInt,
+  kDouble,
+  kString,
+  kNone,
+};
+
+// Algebraic streaming operators supported by COSTREAM (paper Section III-A).
+// Windows are modelled as their own operator kind: the joint graph of the
+// paper (Table I) features window nodes separately from the windowed
+// aggregation / join they feed.
+enum class OperatorType {
+  kSource,
+  kFilter,
+  kWindow,
+  kAggregate,
+  kJoin,
+  kSink,
+};
+
+// Comparison function of a filter predicate (paper Table II).
+enum class FilterFunction {
+  kLess,
+  kGreater,
+  kLessEq,
+  kGreaterEq,
+  kNotEq,
+  kStartsWith,
+  kEndsWith,
+};
+
+// Aggregation function (paper Table II: min, max, mean, avg).
+enum class AggregateFunction {
+  kMin,
+  kMax,
+  kMean,
+  kAvg,
+};
+
+// Window shifting strategy.
+enum class WindowType {
+  kSliding,
+  kTumbling,
+};
+
+// Window counting mode.
+enum class WindowPolicy {
+  kCountBased,
+  kTimeBased,
+};
+
+// Window specification. `size` is in tuples for count-based windows and in
+// seconds for time-based windows; `slide` uses the same unit and is ignored
+// for tumbling windows (where the slide equals the size).
+struct WindowSpec {
+  WindowType type = WindowType::kTumbling;
+  WindowPolicy policy = WindowPolicy::kCountBased;
+  double size = 10.0;
+  double slide = 10.0;
+
+  // Effective slide: tumbling windows always advance by a full window.
+  double EffectiveSlide() const {
+    return type == WindowType::kTumbling ? size : slide;
+  }
+};
+
+const char* ToString(DataType t);
+const char* ToString(GroupByType t);
+const char* ToString(OperatorType t);
+const char* ToString(FilterFunction f);
+const char* ToString(AggregateFunction f);
+const char* ToString(WindowType t);
+const char* ToString(WindowPolicy p);
+
+}  // namespace costream::dsps
+
+#endif  // COSTREAM_DSPS_TYPES_H_

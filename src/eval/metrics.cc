@@ -1,0 +1,75 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace costream::eval {
+
+double QError(double actual, double predicted) {
+  constexpr double kEps = 1e-6;
+  const double a = std::max(actual, kEps);
+  const double p = std::max(predicted, kEps);
+  return std::max(a / p, p / a);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  COSTREAM_CHECK(!values.empty());
+  COSTREAM_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * (values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - lo;
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+QErrorSummary SummarizeQErrors(const std::vector<double>& actual,
+                               const std::vector<double>& predicted) {
+  COSTREAM_CHECK(actual.size() == predicted.size());
+  COSTREAM_CHECK(!actual.empty());
+  std::vector<double> errors;
+  errors.reserve(actual.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    errors.push_back(QError(actual[i], predicted[i]));
+  }
+  QErrorSummary summary;
+  summary.q50 = Quantile(errors, 0.50);
+  summary.q95 = Quantile(errors, 0.95);
+  summary.count = static_cast<int>(errors.size());
+  return summary;
+}
+
+double Accuracy(const std::vector<bool>& actual,
+                const std::vector<bool>& predicted) {
+  COSTREAM_CHECK(actual.size() == predicted.size());
+  COSTREAM_CHECK(!actual.empty());
+  int correct = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / actual.size();
+}
+
+std::vector<int> BalancedIndices(const std::vector<bool>& labels) {
+  int positives = 0;
+  int negatives = 0;
+  for (bool l : labels) (l ? positives : negatives)++;
+  const int per_class = std::min(positives, negatives);
+  std::vector<int> result;
+  int taken_pos = 0;
+  int taken_neg = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] && taken_pos < per_class) {
+      result.push_back(static_cast<int>(i));
+      ++taken_pos;
+    } else if (!labels[i] && taken_neg < per_class) {
+      result.push_back(static_cast<int>(i));
+      ++taken_neg;
+    }
+  }
+  return result;
+}
+
+}  // namespace costream::eval

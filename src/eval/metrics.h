@@ -1,0 +1,37 @@
+#ifndef COSTREAM_EVAL_METRICS_H_
+#define COSTREAM_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace costream::eval {
+
+// Q-error of a single estimate (paper Section VII, "Evaluation strategy"):
+// q(c, c_hat) = max(c / c_hat, c_hat / c) >= 1, with 1 a perfect estimate.
+// Values are floored at a small epsilon so that zero costs stay finite.
+double QError(double actual, double predicted);
+
+// Quantile of a sample (linear interpolation); q in [0, 1].
+double Quantile(std::vector<double> values, double q);
+
+// Median and 95th percentile of the pairwise q-errors.
+struct QErrorSummary {
+  double q50 = 0.0;
+  double q95 = 0.0;
+  int count = 0;
+};
+QErrorSummary SummarizeQErrors(const std::vector<double>& actual,
+                               const std::vector<double>& predicted);
+
+// Fraction of correctly classified binary labels, in [0, 1].
+double Accuracy(const std::vector<bool>& actual,
+                const std::vector<bool>& predicted);
+
+// Indices that balance a binary-labelled set: an equal number of positive
+// and negative examples (the paper balances classification test sets "to
+// fairly report the prediction ability for both classes"). Order of the
+// returned indices follows the input order.
+std::vector<int> BalancedIndices(const std::vector<bool>& labels);
+
+}  // namespace costream::eval
+
+#endif  // COSTREAM_EVAL_METRICS_H_

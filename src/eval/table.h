@@ -1,0 +1,37 @@
+#ifndef COSTREAM_EVAL_TABLE_H_
+#define COSTREAM_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace costream::eval {
+
+// Aligned text table used by the bench harnesses to print the paper's
+// tables/figures as rows, plus CSV export next to the textual output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds one row; the number of cells must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string Num(double value, int precision = 2);
+  static std::string Percent(double fraction, int precision = 1);
+
+  // Renders the table with aligned columns.
+  std::string ToString() const;
+  // Renders as CSV (header + rows).
+  std::string ToCsv() const;
+
+  // Writes the CSV to `path`; returns false on I/O error.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace costream::eval
+
+#endif  // COSTREAM_EVAL_TABLE_H_

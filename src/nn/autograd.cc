@@ -1,0 +1,440 @@
+#include "nn/autograd.h"
+
+#include <cmath>
+#include <utility>
+
+namespace costream::nn {
+
+namespace {
+
+// y += a * b for row-major matrices.
+void MatMulAccum(const Matrix& a, const Matrix& b, Matrix& y) {
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* yd = y.data();
+  for (int i = 0; i < m; ++i) {
+    const double* arow = ad + static_cast<size_t>(i) * k;
+    double* yrow = yd + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = bd + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) yrow[j] += av * brow[j];
+    }
+  }
+}
+
+// y += a^T * b, a: (k x m), b: (k x n), y: (m x n).
+void MatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix& y) {
+  const int k = a.rows();
+  const int m = a.cols();
+  const int n = b.cols();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* yd = y.data();
+  for (int p = 0; p < k; ++p) {
+    const double* arow = ad + static_cast<size_t>(p) * m;
+    const double* brow = bd + static_cast<size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* yrow = yd + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) yrow[j] += av * brow[j];
+    }
+  }
+}
+
+// y += a * b^T, a: (m x k), b: (n x k), y: (m x n).
+void MatMulTransBAccum(const Matrix& a, const Matrix& b, Matrix& y) {
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* yd = y.data();
+  for (int i = 0; i < m; ++i) {
+    const double* arow = ad + static_cast<size_t>(i) * k;
+    double* yrow = yd + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const double* brow = bd + static_cast<size_t>(j) * k;
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      yrow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Var Tape::Push(Node node) {
+  nodes_.push_back(std::move(node));
+  return Var{static_cast<int>(nodes_.size()) - 1};
+}
+
+Var Tape::Input(const Matrix& value) {
+  Node n;
+  n.op = Op::kInput;
+  n.value = value;
+  return Push(std::move(n));
+}
+
+Var Tape::Input(Matrix&& value) {
+  Node n;
+  n.op = Op::kInput;
+  n.value = std::move(value);
+  return Push(std::move(n));
+}
+
+Var Tape::Leaf(Parameter* p) {
+  COSTREAM_CHECK(p != nullptr);
+  Node n;
+  n.op = Op::kLeaf;
+  n.value = p->value;
+  n.param = p;
+  return Push(std::move(n));
+}
+
+Var Tape::MatMul(Var a, Var b) {
+  const Matrix& av = nodes_[a.index].value;
+  const Matrix& bv = nodes_[b.index].value;
+  COSTREAM_CHECK(av.cols() == bv.rows());
+  Node n;
+  n.op = Op::kMatMul;
+  n.a = a.index;
+  n.b = b.index;
+  n.value.ResizeZero(av.rows(), bv.cols());
+  MatMulAccum(av, bv, n.value);
+  return Push(std::move(n));
+}
+
+Var Tape::Add(Var a, Var b) {
+  const Matrix& av = nodes_[a.index].value;
+  const Matrix& bv = nodes_[b.index].value;
+  COSTREAM_CHECK(av.SameShape(bv));
+  Node n;
+  n.op = Op::kAdd;
+  n.a = a.index;
+  n.b = b.index;
+  n.value = av;
+  for (int i = 0; i < n.value.size(); ++i) n.value.data()[i] += bv.data()[i];
+  return Push(std::move(n));
+}
+
+Var Tape::AddRow(Var a, Var row) {
+  const Matrix& av = nodes_[a.index].value;
+  const Matrix& rv = nodes_[row.index].value;
+  COSTREAM_CHECK(rv.rows() == 1 && rv.cols() == av.cols());
+  Node n;
+  n.op = Op::kAddRow;
+  n.a = a.index;
+  n.b = row.index;
+  n.value = av;
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) n.value(r, c) += rv(0, c);
+  }
+  return Push(std::move(n));
+}
+
+Var Tape::AddN(const std::vector<Var>& vars) {
+  COSTREAM_CHECK(!vars.empty());
+  if (vars.size() == 1) return vars[0];
+  Node n;
+  n.op = Op::kAddN;
+  n.value = nodes_[vars[0].index].value;
+  n.inputs.reserve(vars.size());
+  for (const Var& v : vars) n.inputs.push_back(v.index);
+  for (size_t i = 1; i < vars.size(); ++i) {
+    const Matrix& mv = nodes_[vars[i].index].value;
+    COSTREAM_CHECK(mv.SameShape(n.value));
+    for (int j = 0; j < n.value.size(); ++j) n.value.data()[j] += mv.data()[j];
+  }
+  return Push(std::move(n));
+}
+
+Var Tape::Sub(Var a, Var b) {
+  const Matrix& av = nodes_[a.index].value;
+  const Matrix& bv = nodes_[b.index].value;
+  COSTREAM_CHECK(av.SameShape(bv));
+  Node n;
+  n.op = Op::kSub;
+  n.a = a.index;
+  n.b = b.index;
+  n.value = av;
+  for (int i = 0; i < n.value.size(); ++i) n.value.data()[i] -= bv.data()[i];
+  return Push(std::move(n));
+}
+
+Var Tape::Scale(Var a, double s) {
+  Node n;
+  n.op = Op::kScale;
+  n.a = a.index;
+  n.scalar = s;
+  n.value = nodes_[a.index].value;
+  for (int i = 0; i < n.value.size(); ++i) n.value.data()[i] *= s;
+  return Push(std::move(n));
+}
+
+Var Tape::Mul(Var a, Var b) {
+  const Matrix& av = nodes_[a.index].value;
+  const Matrix& bv = nodes_[b.index].value;
+  COSTREAM_CHECK(av.SameShape(bv));
+  Node n;
+  n.op = Op::kMul;
+  n.a = a.index;
+  n.b = b.index;
+  n.value = av;
+  for (int i = 0; i < n.value.size(); ++i) n.value.data()[i] *= bv.data()[i];
+  return Push(std::move(n));
+}
+
+Var Tape::Relu(Var a) {
+  Node n;
+  n.op = Op::kRelu;
+  n.a = a.index;
+  n.value = nodes_[a.index].value;
+  for (int i = 0; i < n.value.size(); ++i) {
+    if (n.value.data()[i] < 0.0) n.value.data()[i] = 0.0;
+  }
+  return Push(std::move(n));
+}
+
+Var Tape::Sigmoid(Var a) {
+  Node n;
+  n.op = Op::kSigmoid;
+  n.a = a.index;
+  n.value = nodes_[a.index].value;
+  for (int i = 0; i < n.value.size(); ++i) {
+    const double x = n.value.data()[i];
+    n.value.data()[i] = x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
+                                 : std::exp(x) / (1.0 + std::exp(x));
+  }
+  return Push(std::move(n));
+}
+
+Var Tape::Tanh(Var a) {
+  Node n;
+  n.op = Op::kTanh;
+  n.a = a.index;
+  n.value = nodes_[a.index].value;
+  for (int i = 0; i < n.value.size(); ++i) {
+    n.value.data()[i] = std::tanh(n.value.data()[i]);
+  }
+  return Push(std::move(n));
+}
+
+Var Tape::ConcatCols(Var a, Var b) {
+  const Matrix& av = nodes_[a.index].value;
+  const Matrix& bv = nodes_[b.index].value;
+  COSTREAM_CHECK(av.rows() == bv.rows());
+  Node n;
+  n.op = Op::kConcatCols;
+  n.a = a.index;
+  n.b = b.index;
+  n.value.ResizeZero(av.rows(), av.cols() + bv.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) n.value(r, c) = av(r, c);
+    for (int c = 0; c < bv.cols(); ++c) n.value(r, av.cols() + c) = bv(r, c);
+  }
+  return Push(std::move(n));
+}
+
+Var Tape::SumAll(Var a) {
+  const Matrix& av = nodes_[a.index].value;
+  double acc = 0.0;
+  for (int i = 0; i < av.size(); ++i) acc += av.data()[i];
+  Node n;
+  n.op = Op::kSumAll;
+  n.a = a.index;
+  n.value = Matrix::Scalar(acc);
+  return Push(std::move(n));
+}
+
+Var Tape::MseLoss(Var pred, const Matrix& target) {
+  const Matrix& pv = nodes_[pred.index].value;
+  COSTREAM_CHECK(pv.SameShape(target));
+  COSTREAM_CHECK(pv.size() > 0);
+  double acc = 0.0;
+  for (int i = 0; i < pv.size(); ++i) {
+    const double d = pv.data()[i] - target.data()[i];
+    acc += d * d;
+  }
+  Node n;
+  n.op = Op::kMseLoss;
+  n.a = pred.index;
+  n.aux = target;
+  n.value = Matrix::Scalar(acc / pv.size());
+  return Push(std::move(n));
+}
+
+Var Tape::BceWithLogitsLoss(Var logit, double label) {
+  const Matrix& lv = nodes_[logit.index].value;
+  COSTREAM_CHECK(lv.rows() == 1 && lv.cols() == 1);
+  const double z = lv(0, 0);
+  // Numerically stable: max(z,0) - z*y + log(1 + exp(-|z|)).
+  const double loss =
+      std::max(z, 0.0) - z * label + std::log1p(std::exp(-std::fabs(z)));
+  Node n;
+  n.op = Op::kBceLoss;
+  n.a = logit.index;
+  n.scalar = label;
+  n.value = Matrix::Scalar(loss);
+  return Push(std::move(n));
+}
+
+void Tape::Backward(Var loss) {
+  COSTREAM_CHECK(loss.index >= 0 && loss.index < num_nodes());
+  const Matrix& lv = nodes_[loss.index].value;
+  COSTREAM_CHECK_MSG(lv.rows() == 1 && lv.cols() == 1,
+                     "Backward requires a scalar loss");
+  for (Node& n : nodes_) {
+    n.grad.ResizeZero(n.value.rows(), n.value.cols());
+  }
+  nodes_[loss.index].grad(0, 0) = 1.0;
+  for (int i = loss.index; i >= 0; --i) BackwardNode(i);
+}
+
+void Tape::BackwardNode(int i) {
+  Node& n = nodes_[i];
+  // Skip nodes with all-zero grads cheaply for leaves only; everything else
+  // is cheap enough to process unconditionally.
+  switch (n.op) {
+    case Op::kInput:
+      break;
+    case Op::kLeaf: {
+      Parameter* p = n.param;
+      if (!p->grad.SameShape(p->value)) p->ZeroGrad();
+      for (int j = 0; j < n.grad.size(); ++j) {
+        p->grad.data()[j] += n.grad.data()[j];
+      }
+      break;
+    }
+    case Op::kMatMul: {
+      Node& a = nodes_[n.a];
+      Node& b = nodes_[n.b];
+      MatMulTransBAccum(n.grad, b.value, a.grad);  // dA += dY * B^T
+      MatMulTransAAccum(a.value, n.grad, b.grad);  // dB += A^T * dY
+      break;
+    }
+    case Op::kAdd: {
+      Node& a = nodes_[n.a];
+      Node& b = nodes_[n.b];
+      for (int j = 0; j < n.grad.size(); ++j) {
+        a.grad.data()[j] += n.grad.data()[j];
+        b.grad.data()[j] += n.grad.data()[j];
+      }
+      break;
+    }
+    case Op::kAddRow: {
+      Node& a = nodes_[n.a];
+      Node& row = nodes_[n.b];
+      for (int j = 0; j < n.grad.size(); ++j) {
+        a.grad.data()[j] += n.grad.data()[j];
+      }
+      for (int r = 0; r < n.grad.rows(); ++r) {
+        for (int c = 0; c < n.grad.cols(); ++c) {
+          row.grad(0, c) += n.grad(r, c);
+        }
+      }
+      break;
+    }
+    case Op::kAddN: {
+      for (int input : n.inputs) {
+        Node& a = nodes_[input];
+        for (int j = 0; j < n.grad.size(); ++j) {
+          a.grad.data()[j] += n.grad.data()[j];
+        }
+      }
+      break;
+    }
+    case Op::kSub: {
+      Node& a = nodes_[n.a];
+      Node& b = nodes_[n.b];
+      for (int j = 0; j < n.grad.size(); ++j) {
+        a.grad.data()[j] += n.grad.data()[j];
+        b.grad.data()[j] -= n.grad.data()[j];
+      }
+      break;
+    }
+    case Op::kScale: {
+      Node& a = nodes_[n.a];
+      for (int j = 0; j < n.grad.size(); ++j) {
+        a.grad.data()[j] += n.scalar * n.grad.data()[j];
+      }
+      break;
+    }
+    case Op::kMul: {
+      Node& a = nodes_[n.a];
+      Node& b = nodes_[n.b];
+      for (int j = 0; j < n.grad.size(); ++j) {
+        a.grad.data()[j] += b.value.data()[j] * n.grad.data()[j];
+        b.grad.data()[j] += a.value.data()[j] * n.grad.data()[j];
+      }
+      break;
+    }
+    case Op::kRelu: {
+      Node& a = nodes_[n.a];
+      for (int j = 0; j < n.grad.size(); ++j) {
+        if (a.value.data()[j] > 0.0) a.grad.data()[j] += n.grad.data()[j];
+      }
+      break;
+    }
+    case Op::kSigmoid: {
+      Node& a = nodes_[n.a];
+      for (int j = 0; j < n.grad.size(); ++j) {
+        const double y = n.value.data()[j];
+        a.grad.data()[j] += y * (1.0 - y) * n.grad.data()[j];
+      }
+      break;
+    }
+    case Op::kTanh: {
+      Node& a = nodes_[n.a];
+      for (int j = 0; j < n.grad.size(); ++j) {
+        const double y = n.value.data()[j];
+        a.grad.data()[j] += (1.0 - y * y) * n.grad.data()[j];
+      }
+      break;
+    }
+    case Op::kConcatCols: {
+      Node& a = nodes_[n.a];
+      Node& b = nodes_[n.b];
+      for (int r = 0; r < n.grad.rows(); ++r) {
+        for (int c = 0; c < a.value.cols(); ++c) {
+          a.grad(r, c) += n.grad(r, c);
+        }
+        for (int c = 0; c < b.value.cols(); ++c) {
+          b.grad(r, c) += n.grad(r, a.value.cols() + c);
+        }
+      }
+      break;
+    }
+    case Op::kSumAll: {
+      Node& a = nodes_[n.a];
+      const double g = n.grad(0, 0);
+      for (int j = 0; j < a.grad.size(); ++j) a.grad.data()[j] += g;
+      break;
+    }
+    case Op::kMseLoss: {
+      Node& a = nodes_[n.a];
+      const double g = n.grad(0, 0);
+      const double scale = 2.0 / a.value.size();
+      for (int j = 0; j < a.grad.size(); ++j) {
+        a.grad.data()[j] +=
+            g * scale * (a.value.data()[j] - n.aux.data()[j]);
+      }
+      break;
+    }
+    case Op::kBceLoss: {
+      Node& a = nodes_[n.a];
+      const double z = a.value(0, 0);
+      const double sig = z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                                  : std::exp(z) / (1.0 + std::exp(z));
+      a.grad(0, 0) += n.grad(0, 0) * (sig - n.scalar);
+      break;
+    }
+  }
+}
+
+}  // namespace costream::nn

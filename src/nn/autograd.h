@@ -1,0 +1,142 @@
+#ifndef COSTREAM_NN_AUTOGRAD_H_
+#define COSTREAM_NN_AUTOGRAD_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace costream::nn {
+
+// A trainable tensor. Parameters live outside the tape (they persist across
+// samples); gradients are accumulated into `grad` by Tape::Backward until the
+// optimizer consumes and clears them.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  void ZeroGrad() {
+    if (!grad.SameShape(value)) {
+      grad.ResizeZero(value.rows(), value.cols());
+    } else {
+      grad.Fill(0.0);
+    }
+  }
+};
+
+// Handle to a node on a Tape. Only valid for the tape that created it and
+// until the next Reset().
+struct Var {
+  int index = -1;
+};
+
+// Reverse-mode automatic differentiation over a linear tape.
+//
+// Usage per training sample:
+//   tape.Reset();
+//   Var x = tape.Input(features);
+//   Var h = mlp.Apply(tape, x);
+//   Var loss = tape.MseLoss(h, target);
+//   tape.Backward(loss);   // accumulates into Parameter::grad
+//
+// The tape is deliberately dynamic: the COSTREAM GNN builds a different
+// compute graph for every query graph, so graphs are rebuilt per sample.
+// Nodes are stored in creation order, which is automatically a topological
+// order, so Backward is a single reverse sweep.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // Discards all nodes; previously returned Vars become invalid.
+  void Reset() { nodes_.clear(); }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // --- Graph construction -------------------------------------------------
+
+  // A constant input; no gradient flows into it.
+  Var Input(const Matrix& value);
+  Var Input(Matrix&& value);
+
+  // A leaf referencing a persistent Parameter; Backward accumulates into
+  // `p->grad`. The parameter must outlive the tape's use of it.
+  Var Leaf(Parameter* p);
+
+  // value(a) * value(b), shapes (m x k) x (k x n).
+  Var MatMul(Var a, Var b);
+  // Elementwise sum, same shapes.
+  Var Add(Var a, Var b);
+  // a: (m x n), row: (1 x n); adds `row` to every row of `a`.
+  Var AddRow(Var a, Var row);
+  // Sum of >= 1 equally-shaped variables.
+  Var AddN(const std::vector<Var>& vars);
+  Var Sub(Var a, Var b);
+  Var Scale(Var a, double s);
+  // Elementwise (Hadamard) product, same shapes.
+  Var Mul(Var a, Var b);
+  Var Relu(Var a);
+  Var Sigmoid(Var a);
+  Var Tanh(Var a);
+  // Horizontal concatenation: (m x n1) ++ (m x n2) -> (m x (n1+n2)).
+  Var ConcatCols(Var a, Var b);
+  // Sums all entries into a 1x1 scalar.
+  Var SumAll(Var a);
+
+  // --- Losses (scalar outputs) --------------------------------------------
+
+  // Mean squared error against a constant target of the same shape.
+  Var MseLoss(Var pred, const Matrix& target);
+  // Numerically stable binary cross entropy on a 1x1 logit.
+  Var BceWithLogitsLoss(Var logit, double label);
+
+  // --- Execution -----------------------------------------------------------
+
+  // Runs the reverse sweep from `loss` (must be 1x1). Gradients of Leaf nodes
+  // are accumulated into their Parameters.
+  void Backward(Var loss);
+
+  const Matrix& value(Var v) const { return nodes_[v.index].value; }
+  const Matrix& grad(Var v) const { return nodes_[v.index].grad; }
+
+ private:
+  enum class Op {
+    kInput,
+    kLeaf,
+    kMatMul,
+    kAdd,
+    kAddRow,
+    kAddN,
+    kSub,
+    kScale,
+    kMul,
+    kRelu,
+    kSigmoid,
+    kTanh,
+    kConcatCols,
+    kSumAll,
+    kMseLoss,
+    kBceLoss,
+  };
+
+  struct Node {
+    Op op;
+    Matrix value;
+    Matrix grad;
+    int a = -1;
+    int b = -1;
+    std::vector<int> inputs;  // only used by kAddN
+    Parameter* param = nullptr;
+    double scalar = 0.0;  // kScale factor / kBceLoss label
+    Matrix aux;           // kMseLoss target
+  };
+
+  Var Push(Node node);
+  void BackwardNode(int i);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace costream::nn
+
+#endif  // COSTREAM_NN_AUTOGRAD_H_

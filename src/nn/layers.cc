@@ -1,0 +1,125 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace costream::nn {
+
+namespace {
+
+void InitXavier(Matrix& m, int fan_in, int fan_out, Rng& rng) {
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  for (int i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.Uniform(-limit, limit);
+  }
+}
+
+}  // namespace
+
+Linear::Linear(int in_features, int out_features, Rng& rng) {
+  COSTREAM_CHECK(in_features > 0 && out_features > 0);
+  weight_.value.ResizeZero(in_features, out_features);
+  InitXavier(weight_.value, in_features, out_features, rng);
+  bias_.value.ResizeZero(1, out_features);
+  weight_.ZeroGrad();
+  bias_.ZeroGrad();
+}
+
+Var Linear::Apply(Tape& tape, Var x) const {
+  Var w = tape.Leaf(&weight_);
+  Var b = tape.Leaf(&bias_);
+  return tape.AddRow(tape.MatMul(x, w), b);
+}
+
+void Linear::CollectParameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+Mlp::Mlp(const std::vector<int>& dims, Rng& rng, Activation hidden_activation,
+         bool activate_output)
+    : hidden_activation_(hidden_activation),
+      activate_output_(activate_output) {
+  COSTREAM_CHECK(dims.size() >= 2);
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Var Mlp::Apply(Tape& tape, Var x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Apply(tape, h);
+    const bool is_last = (i + 1 == layers_.size());
+    if (!is_last || activate_output_) {
+      switch (hidden_activation_) {
+        case Activation::kNone:
+          break;
+        case Activation::kRelu:
+          h = tape.Relu(h);
+          break;
+        case Activation::kSigmoid:
+          h = tape.Sigmoid(h);
+          break;
+        case Activation::kTanh:
+          h = tape.Tanh(h);
+          break;
+      }
+    }
+  }
+  return h;
+}
+
+void Mlp::CollectParameters(std::vector<Parameter*>& out) {
+  for (Linear& layer : layers_) layer.CollectParameters(out);
+}
+
+Adam::Adam(std::vector<Parameter*> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].ResizeZero(params_[i]->value.rows(), params_[i]->value.cols());
+    v_[i].ResizeZero(params_[i]->value.rows(), params_[i]->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, step_);
+  const double bc2 = 1.0 - std::pow(config_.beta2, step_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (!p->grad.SameShape(p->value)) p->ZeroGrad();
+    double clip_scale = 1.0;
+    if (config_.grad_clip > 0.0) {
+      double sq = 0.0;
+      for (int j = 0; j < p->grad.size(); ++j) {
+        sq += p->grad.data()[j] * p->grad.data()[j];
+      }
+      const double norm = std::sqrt(sq);
+      if (norm > config_.grad_clip) clip_scale = config_.grad_clip / norm;
+    }
+    for (int j = 0; j < p->value.size(); ++j) {
+      double g = p->grad.data()[j] * clip_scale;
+      if (config_.weight_decay > 0.0) {
+        g += config_.weight_decay * p->value.data()[j];
+      }
+      m_[i].data()[j] = config_.beta1 * m_[i].data()[j] +
+                        (1.0 - config_.beta1) * g;
+      v_[i].data()[j] = config_.beta2 * v_[i].data()[j] +
+                        (1.0 - config_.beta2) * g * g;
+      const double mhat = m_[i].data()[j] / bc1;
+      const double vhat = v_[i].data()[j] / bc2;
+      p->value.data()[j] -=
+          config_.learning_rate * mhat / (std::sqrt(vhat) + config_.epsilon);
+    }
+    p->grad.Fill(0.0);
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+}  // namespace costream::nn

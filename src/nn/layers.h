@@ -1,0 +1,96 @@
+#ifndef COSTREAM_NN_LAYERS_H_
+#define COSTREAM_NN_LAYERS_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/random.h"
+
+namespace costream::nn {
+
+// Activation applied between MLP layers.
+enum class Activation {
+  kNone,
+  kRelu,
+  kSigmoid,
+  kTanh,
+};
+
+// Fully connected layer: y = x * W + b, with W: (in x out), b: (1 x out).
+class Linear {
+ public:
+  Linear(int in_features, int out_features, Rng& rng);
+
+  // Applies the layer to `x` (rows are samples).
+  Var Apply(Tape& tape, Var x) const;
+
+  int in_features() const { return weight_.value.rows(); }
+  int out_features() const { return weight_.value.cols(); }
+
+  // Parameters for the optimizer / serialization. Pointers remain valid for
+  // the lifetime of the Linear (which must not be moved after registration).
+  void CollectParameters(std::vector<Parameter*>& out);
+
+ private:
+  // Mutable because Tape::Leaf needs a non-const Parameter* to accumulate
+  // gradients; Apply is logically const (it does not change the values).
+  mutable Parameter weight_;
+  mutable Parameter bias_;
+};
+
+// Multi-layer perceptron. `dims` gives the sizes of every layer boundary,
+// e.g. {12, 32, 32} is 12->32->32 with `hidden_activation` after every layer
+// except the last (use `activate_output` to also activate the output).
+class Mlp {
+ public:
+  Mlp(const std::vector<int>& dims, Rng& rng,
+      Activation hidden_activation = Activation::kRelu,
+      bool activate_output = false);
+
+  Var Apply(Tape& tape, Var x) const;
+
+  int in_features() const { return layers_.front().in_features(); }
+  int out_features() const { return layers_.back().out_features(); }
+
+  void CollectParameters(std::vector<Parameter*>& out);
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_activation_;
+  bool activate_output_;
+};
+
+// Adam optimizer over an externally owned parameter list.
+struct AdamConfig {
+  double learning_rate = 3e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+  // Gradients with L2 norm above this (per parameter tensor) are rescaled;
+  // <= 0 disables clipping.
+  double grad_clip = 5.0;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, const AdamConfig& config);
+
+  // Applies one update using the accumulated gradients, then clears them.
+  void Step();
+  void ZeroGrad();
+
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+  double learning_rate() const { return config_.learning_rate; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamConfig config_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  long step_ = 0;
+};
+
+}  // namespace costream::nn
+
+#endif  // COSTREAM_NN_LAYERS_H_

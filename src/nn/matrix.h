@@ -1,0 +1,92 @@
+#ifndef COSTREAM_NN_MATRIX_H_
+#define COSTREAM_NN_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+
+namespace costream::nn {
+
+// A dense row-major matrix of doubles. This is the single numeric container
+// used by the autograd engine; it intentionally offers only the operations
+// the engine needs (the engine itself implements the math so that every
+// operation has a matching gradient).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols), data_(rows * cols) {
+    COSTREAM_CHECK(rows >= 0 && cols >= 0);
+  }
+  Matrix(int rows, int cols, std::initializer_list<double> values)
+      : rows_(rows), cols_(cols), data_(values) {
+    COSTREAM_CHECK(static_cast<int>(data_.size()) == rows * cols);
+  }
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(int r, int c) {
+    COSTREAM_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    COSTREAM_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  // Resizes without preserving contents and fills with zeros.
+  void ResizeZero(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<size_t>(rows) * cols, 0.0);
+  }
+
+  void Fill(double value) {
+    for (double& v : data_) v = value;
+  }
+
+  // Returns a 1x1 matrix holding `value`; convenient for scalar targets.
+  static Matrix Scalar(double value) {
+    Matrix m(1, 1);
+    m(0, 0) = value;
+    return m;
+  }
+
+  // Returns a 1xN row vector with the given values.
+  static Matrix Row(std::initializer_list<double> values) {
+    Matrix m(1, static_cast<int>(values.size()));
+    int c = 0;
+    for (double v : values) m(0, c++) = v;
+    return m;
+  }
+  static Matrix Row(const std::vector<double>& values) {
+    Matrix m(1, static_cast<int>(values.size()));
+    for (int c = 0; c < m.cols(); ++c) m(0, c) = values[c];
+    return m;
+  }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace costream::nn
+
+#endif  // COSTREAM_NN_MATRIX_H_

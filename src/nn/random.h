@@ -1,0 +1,77 @@
+#ifndef COSTREAM_NN_RANDOM_H_
+#define COSTREAM_NN_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace costream::nn {
+
+// Deterministic random number generator used across the code base. Every
+// component that needs randomness receives an Rng (or a seed) explicitly so
+// that corpora, model initializations and experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int Int(int lo, int hi) {
+    COSTREAM_CHECK(lo <= hi);
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  int64_t Int64(int64_t lo, int64_t hi) {
+    COSTREAM_CHECK(lo <= hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  // Multiplicative lognormal noise factor with median 1.
+  double LogNormalFactor(double sigma) {
+    return std::exp(Normal(0.0, sigma));
+  }
+
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  // Picks one element of a non-empty vector uniformly at random.
+  template <typename T>
+  const T& Choice(const std::vector<T>& values) {
+    COSTREAM_CHECK(!values.empty());
+    return values[Int(0, static_cast<int>(values.size()) - 1)];
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    std::shuffle(values.begin(), values.end(), engine_);
+  }
+
+  // Derives an independent child seed (e.g. per ensemble member).
+  uint64_t Fork() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace costream::nn
+
+#endif  // COSTREAM_NN_RANDOM_H_

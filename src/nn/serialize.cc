@@ -1,0 +1,72 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace costream::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0xC057EA30;
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::istream& is, uint32_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return is.good();
+}
+
+}  // namespace
+
+void SaveParameters(std::ostream& os, const std::vector<Parameter*>& params) {
+  WriteU32(os, kMagic);
+  WriteU32(os, static_cast<uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    WriteU32(os, static_cast<uint32_t>(p->value.rows()));
+    WriteU32(os, static_cast<uint32_t>(p->value.cols()));
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(sizeof(double)) * p->value.size());
+  }
+}
+
+bool LoadParameters(std::istream& is, const std::vector<Parameter*>& params) {
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  if (!ReadU32(is, &magic) || magic != kMagic) return false;
+  if (!ReadU32(is, &count) || count != params.size()) return false;
+  for (Parameter* p : params) {
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    if (!ReadU32(is, &rows) || !ReadU32(is, &cols)) return false;
+    if (static_cast<int>(rows) != p->value.rows() ||
+        static_cast<int>(cols) != p->value.cols()) {
+      return false;
+    }
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(sizeof(double)) * p->value.size());
+    if (!is.good()) return false;
+  }
+  return true;
+}
+
+bool SaveParametersToFile(const std::string& path,
+                          const std::vector<Parameter*>& params) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  SaveParameters(os, params);
+  return os.good();
+}
+
+bool LoadParametersFromFile(const std::string& path,
+                            const std::vector<Parameter*>& params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  return LoadParameters(is, params);
+}
+
+}  // namespace costream::nn

@@ -1,0 +1,25 @@
+#ifndef COSTREAM_NN_SERIALIZE_H_
+#define COSTREAM_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace costream::nn {
+
+// Binary (de)serialization of a parameter list. The format stores shapes, so
+// Load verifies that the stream matches the model architecture it is loaded
+// into and returns false on any mismatch or I/O error.
+void SaveParameters(std::ostream& os, const std::vector<Parameter*>& params);
+bool LoadParameters(std::istream& is, const std::vector<Parameter*>& params);
+
+// Convenience file wrappers; return false on I/O errors.
+bool SaveParametersToFile(const std::string& path,
+                          const std::vector<Parameter*>& params);
+bool LoadParametersFromFile(const std::string& path,
+                            const std::vector<Parameter*>& params);
+
+}  // namespace costream::nn
+
+#endif  // COSTREAM_NN_SERIALIZE_H_

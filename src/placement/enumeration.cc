@@ -1,0 +1,160 @@
+#include "placement/enumeration.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace costream::placement {
+
+namespace {
+
+using dsps::QueryGraph;
+using sim::Cluster;
+using sim::Placement;
+
+// Nodes on any source->op path for each operator, given a (partial)
+// placement; used to enforce the acyclicity rule.
+std::vector<std::set<int>> PathNodes(const QueryGraph& query,
+                                     const Placement& placement,
+                                     const std::vector<int>& topo) {
+  std::vector<std::set<int>> path(query.num_operators());
+  for (int id : topo) {
+    if (placement[id] < 0) break;  // partial placement: later ops unassigned
+    for (int up : query.Upstream(id)) {
+      path[id].insert(path[up].begin(), path[up].end());
+    }
+    path[id].insert(placement[id]);
+  }
+  return path;
+}
+
+}  // namespace
+
+std::vector<int> CapabilityBins(const Cluster& cluster, int num_bins) {
+  COSTREAM_CHECK(num_bins >= 1);
+  COSTREAM_CHECK(cluster.num_nodes() >= 1);
+  std::vector<int> order(cluster.num_nodes());
+  for (int i = 0; i < cluster.num_nodes(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return sim::CapabilityScore(cluster.nodes[a]) <
+           sim::CapabilityScore(cluster.nodes[b]);
+  });
+  std::vector<int> bins(cluster.num_nodes(), 0);
+  for (int rank = 0; rank < cluster.num_nodes(); ++rank) {
+    bins[order[rank]] =
+        std::min(num_bins - 1, rank * num_bins / cluster.num_nodes());
+  }
+  return bins;
+}
+
+std::string CheckPlacementRules(const QueryGraph& query, const Cluster& cluster,
+                                const Placement& placement, int num_bins) {
+  const std::string base = sim::ValidatePlacement(query, cluster, placement);
+  if (!base.empty()) return base;
+  const std::vector<int> bins = CapabilityBins(cluster, num_bins);
+  const std::vector<int> topo = query.TopologicalOrder();
+  // Rule 2: non-decreasing capability bins along the data flow.
+  for (const auto& [from, to] : query.edges()) {
+    if (bins[placement[to]] < bins[placement[from]]) {
+      return "capability bin decreases along the data flow";
+    }
+  }
+  // Rule 3: data never returns to a node it has left.
+  const std::vector<std::set<int>> path = PathNodes(query, placement, topo);
+  for (const auto& [from, to] : query.edges()) {
+    if (placement[to] == placement[from]) continue;  // co-location: no hop
+    // The downstream node must not appear anywhere on the upstream path
+    // (other than as the immediate sender, which the check above excludes).
+    if (path[from].count(placement[to]) > 0) {
+      return "data returns to a previously visited node";
+    }
+  }
+  return "";
+}
+
+Placement SamplePlacement(const QueryGraph& query, const Cluster& cluster,
+                          const std::vector<int>& bins, nn::Rng& rng) {
+  const std::vector<int> topo = query.TopologicalOrder();
+  Placement placement(query.num_operators(), -1);
+  std::vector<std::set<int>> path(query.num_operators());
+
+  for (int id : topo) {
+    const std::vector<int> upstream = query.Upstream(id);
+    int min_bin = 0;
+    // A node is forbidden if any incoming branch has already visited and
+    // left it (acyclicity rule). Staying co-located with a branch's sender
+    // is fine for that branch, but the other branch of a join may still
+    // forbid the node.
+    std::set<int> forbidden;
+    for (int up : upstream) {
+      min_bin = std::max(min_bin, bins[placement[up]]);
+      for (int visited : path[up]) {
+        if (visited != placement[up]) forbidden.insert(visited);
+      }
+    }
+
+    std::vector<int> admissible;
+    for (int n = 0; n < cluster.num_nodes(); ++n) {
+      if (bins[n] < min_bin) continue;
+      if (forbidden.count(n) > 0) continue;
+      admissible.push_back(n);
+    }
+    int chosen;
+    if (!admissible.empty()) {
+      chosen = rng.Choice(admissible);
+    } else {
+      // Fall back to co-locating with the strongest sender (always legal).
+      COSTREAM_CHECK(!upstream.empty());
+      chosen = placement[upstream[0]];
+      for (int up : upstream) {
+        if (bins[placement[up]] > bins[chosen]) chosen = placement[up];
+      }
+    }
+    placement[id] = chosen;
+    for (int up : upstream) {
+      path[id].insert(path[up].begin(), path[up].end());
+    }
+    path[id].insert(chosen);
+  }
+  return placement;
+}
+
+std::vector<Placement> EnumerateCandidates(const QueryGraph& query,
+                                           const Cluster& cluster,
+                                           const EnumerationConfig& config) {
+  COSTREAM_CHECK(config.num_candidates >= 1);
+  nn::Rng rng(config.seed);
+  const std::vector<int> bins = CapabilityBins(cluster, config.num_bins);
+  std::set<Placement> seen;
+  std::vector<Placement> result;
+  // Oversample to compensate for duplicates in small search spaces.
+  const int attempts = config.num_candidates * 8;
+  for (int i = 0; i < attempts && static_cast<int>(result.size()) <
+                                      config.num_candidates;
+       ++i) {
+    Placement p = SamplePlacement(query, cluster, bins, rng);
+    // The sampler may fall back to a rule-breaking co-location in
+    // pathological join merges; enumeration only returns conforming
+    // candidates.
+    if (!CheckPlacementRules(query, cluster, p, config.num_bins).empty()) {
+      continue;
+    }
+    if (seen.insert(p).second) result.push_back(std::move(p));
+  }
+  if (result.empty()) {
+    // Degenerate fallback: everything on the strongest node is always
+    // rule-conforming.
+    int strongest = 0;
+    for (int n = 1; n < cluster.num_nodes(); ++n) {
+      if (sim::CapabilityScore(cluster.nodes[n]) >
+          sim::CapabilityScore(cluster.nodes[strongest])) {
+        strongest = n;
+      }
+    }
+    result.emplace_back(query.num_operators(), strongest);
+  }
+  return result;
+}
+
+}  // namespace costream::placement

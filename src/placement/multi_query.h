@@ -1,0 +1,41 @@
+#ifndef COSTREAM_PLACEMENT_MULTI_QUERY_H_
+#define COSTREAM_PLACEMENT_MULTI_QUERY_H_
+
+#include <vector>
+
+#include "dsps/query_graph.h"
+#include "sim/fluid_engine.h"
+#include "sim/hardware.h"
+
+namespace costream::placement {
+
+// Multi-query placement support (the paper's placement rule 1 explicitly
+// allows "the same hardware resources ... for multiple queries or multiple
+// operators of the same query").
+//
+// The zero-shot cost model describes hardware by its *available* resources,
+// so a cluster already running other queries is presented to the model as a
+// cluster with proportionally reduced capacities: CPU and bandwidth shrink
+// by the background utilization, RAM by the background footprint. No
+// retraining is needed — this is exactly the transferable-feature property
+// the paper argues for.
+
+// One already-deployed query.
+struct DeployedQuery {
+  const dsps::QueryGraph* query = nullptr;
+  const sim::Placement* placement = nullptr;
+};
+
+// Aggregates the steady-state background load of the deployed queries.
+sim::BackgroundLoad AggregateLoad(const std::vector<DeployedQuery>& deployed,
+                                  const sim::Cluster& cluster);
+
+// Returns the cluster as seen by a *new* query: per-node CPU and bandwidth
+// reduced by the background utilization, RAM reduced by the background
+// memory footprint (floored at small positive capacities).
+sim::Cluster EffectiveCluster(const sim::Cluster& cluster,
+                              const sim::BackgroundLoad& background);
+
+}  // namespace costream::placement
+
+#endif  // COSTREAM_PLACEMENT_MULTI_QUERY_H_

@@ -1,0 +1,97 @@
+#include "placement/optimizer.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "core/featurizer.h"
+
+namespace costream::placement {
+
+PlacementOptimizer::PlacementOptimizer(const core::Ensemble* target,
+                                       const core::Ensemble* success,
+                                       const core::Ensemble* backpressure)
+    : target_(target), success_(success), backpressure_(backpressure) {
+  COSTREAM_CHECK(target_ != nullptr);
+  COSTREAM_CHECK(target_->head() == core::HeadKind::kRegression);
+  if (success_ != nullptr) {
+    COSTREAM_CHECK(success_->head() == core::HeadKind::kClassification);
+  }
+  if (backpressure_ != nullptr) {
+    COSTREAM_CHECK(backpressure_->head() == core::HeadKind::kClassification);
+  }
+}
+
+double PlacementOptimizer::PredictTarget(const dsps::QueryGraph& query,
+                                         const sim::Cluster& cluster,
+                                         const sim::Placement& placement) const {
+  const core::JointGraph graph = core::BuildJointGraph(
+      query, cluster, placement, target_->featurization());
+  return target_->PredictRegression(graph);
+}
+
+OptimizerResult PlacementOptimizer::Optimize(const dsps::QueryGraph& query,
+                                             const sim::Cluster& cluster,
+                                             const OptimizerConfig& config) const {
+  COSTREAM_CHECK(sim::IsRegressionMetric(config.target));
+  const bool maximize = config.target == sim::Metric::kThroughput;
+
+  const std::vector<sim::Placement> candidates =
+      EnumerateCandidates(query, cluster, config.enumeration);
+  COSTREAM_CHECK(!candidates.empty());
+
+  OptimizerResult result;
+  result.candidates_evaluated = static_cast<int>(candidates.size());
+  double best_feasible = maximize ? -std::numeric_limits<double>::infinity()
+                                  : std::numeric_limits<double>::infinity();
+  double best_any = best_feasible;
+  const sim::Placement* best_feasible_placement = nullptr;
+  const sim::Placement* best_any_placement = nullptr;
+
+  for (const sim::Placement& candidate : candidates) {
+    const core::JointGraph graph = core::BuildJointGraph(
+        query, cluster, candidate, target_->featurization());
+    const double cost = target_->PredictRegression(graph);
+
+    const bool better_any = maximize ? cost > best_any : cost < best_any;
+    if (better_any || best_any_placement == nullptr) {
+      best_any = cost;
+      best_any_placement = &candidate;
+    }
+
+    // Sanity filter: reject candidates predicted to fail or to be
+    // backpressured (majority vote over the ensemble members).
+    bool feasible = true;
+    if (success_ != nullptr) {
+      const core::JointGraph g = core::BuildJointGraph(
+          query, cluster, candidate, success_->featurization());
+      feasible = feasible && success_->PredictBinary(g);
+    }
+    if (feasible && backpressure_ != nullptr) {
+      const core::JointGraph g = core::BuildJointGraph(
+          query, cluster, candidate, backpressure_->featurization());
+      feasible = feasible && !backpressure_->PredictBinary(g);
+    }
+    if (!feasible) {
+      ++result.candidates_filtered;
+      continue;
+    }
+    const bool better =
+        maximize ? cost > best_feasible : cost < best_feasible;
+    if (better || best_feasible_placement == nullptr) {
+      best_feasible = cost;
+      best_feasible_placement = &candidate;
+    }
+  }
+
+  if (best_feasible_placement != nullptr) {
+    result.any_feasible = true;
+    result.best = *best_feasible_placement;
+    result.predicted_cost = best_feasible;
+  } else {
+    result.best = *best_any_placement;
+    result.predicted_cost = best_any;
+  }
+  return result;
+}
+
+}  // namespace costream::placement

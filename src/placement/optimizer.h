@@ -1,0 +1,59 @@
+#ifndef COSTREAM_PLACEMENT_OPTIMIZER_H_
+#define COSTREAM_PLACEMENT_OPTIMIZER_H_
+
+#include <vector>
+
+#include "core/ensemble.h"
+#include "placement/enumeration.h"
+#include "sim/cost_metrics.h"
+
+namespace costream::placement {
+
+struct OptimizerConfig {
+  // The user-chosen optimization objective (paper Section V): one of the
+  // regression metrics. Throughput is maximized, latencies are minimized.
+  sim::Metric target = sim::Metric::kProcessingLatency;
+  EnumerationConfig enumeration;
+};
+
+struct OptimizerResult {
+  sim::Placement best;
+  double predicted_cost = 0.0;
+  // True when at least one candidate survived the success/backpressure
+  // sanity filter; false means the fallback (best by target among all
+  // candidates) was used.
+  bool any_feasible = false;
+  int candidates_evaluated = 0;
+  int candidates_filtered = 0;  // rejected by the sanity filter
+};
+
+// Cost-based initial operator placement (paper Figure 4): enumerate
+// rule-conforming candidates, predict their costs with COSTREAM ensembles,
+// filter out candidates predicted to fail or to be backpressured (majority
+// vote), and pick the best remaining candidate by the target metric.
+//
+// `target` must be a regression ensemble; `success` / `backpressure` must be
+// classification ensembles (either may be null to skip that filter).
+class PlacementOptimizer {
+ public:
+  PlacementOptimizer(const core::Ensemble* target, const core::Ensemble* success,
+                     const core::Ensemble* backpressure);
+
+  OptimizerResult Optimize(const dsps::QueryGraph& query,
+                           const sim::Cluster& cluster,
+                           const OptimizerConfig& config) const;
+
+  // Scores a single placement candidate with the target ensemble.
+  double PredictTarget(const dsps::QueryGraph& query,
+                       const sim::Cluster& cluster,
+                       const sim::Placement& placement) const;
+
+ private:
+  const core::Ensemble* target_;
+  const core::Ensemble* success_;
+  const core::Ensemble* backpressure_;
+};
+
+}  // namespace costream::placement
+
+#endif  // COSTREAM_PLACEMENT_OPTIMIZER_H_

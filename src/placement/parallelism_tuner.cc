@@ -1,0 +1,69 @@
+#include "placement/parallelism_tuner.h"
+
+#include "common/check.h"
+#include "core/featurizer.h"
+
+namespace costream::placement {
+
+namespace {
+
+double Predict(const dsps::QueryGraph& query, const sim::Cluster& cluster,
+               const sim::Placement& placement, const core::Ensemble& target) {
+  return target.PredictRegression(core::BuildJointGraph(
+      query, cluster, placement, target.featurization()));
+}
+
+}  // namespace
+
+ParallelismTunerResult TuneParallelism(const dsps::QueryGraph& query,
+                                       const sim::Cluster& cluster,
+                                       const sim::Placement& placement,
+                                       const core::Ensemble& target,
+                                       const ParallelismTunerConfig& config) {
+  COSTREAM_CHECK(target.head() == core::HeadKind::kRegression);
+  COSTREAM_CHECK(sim::IsRegressionMetric(config.target));
+  const bool maximize = config.target == sim::Metric::kThroughput;
+
+  dsps::QueryGraph working = query;
+  ParallelismTunerResult result;
+  result.parallelism.resize(query.num_operators());
+  for (int id = 0; id < query.num_operators(); ++id) {
+    result.parallelism[id] = std::max(query.op(id).parallelism, 1);
+  }
+  result.predicted_initial = Predict(working, cluster, placement, target);
+  double best = result.predicted_initial;
+
+  for (int round = 0; round < config.max_rounds; ++round) {
+    int best_op = -1;
+    int best_degree = 0;
+    double best_score = best;
+    for (int id = 0; id < working.num_operators(); ++id) {
+      if (working.op(id).type == dsps::OperatorType::kWindow) continue;
+      const int current = result.parallelism[id];
+      for (int candidate : {current * 2, current / 2}) {
+        if (candidate < 1 || candidate > config.max_parallelism ||
+            candidate == current) {
+          continue;
+        }
+        working.mutable_op(id).parallelism = candidate;
+        const double score = Predict(working, cluster, placement, target);
+        working.mutable_op(id).parallelism = current;
+        const bool better = maximize ? score > best_score : score < best_score;
+        if (better) {
+          best_score = score;
+          best_op = id;
+          best_degree = candidate;
+        }
+      }
+    }
+    if (best_op < 0) break;  // no improving single change left
+    result.parallelism[best_op] = best_degree;
+    working.mutable_op(best_op).parallelism = best_degree;
+    best = best_score;
+    ++result.changes;
+  }
+  result.predicted_tuned = best;
+  return result;
+}
+
+}  // namespace costream::placement

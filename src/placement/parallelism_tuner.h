@@ -1,0 +1,47 @@
+#ifndef COSTREAM_PLACEMENT_PARALLELISM_TUNER_H_
+#define COSTREAM_PLACEMENT_PARALLELISM_TUNER_H_
+
+#include <vector>
+
+#include "core/ensemble.h"
+#include "sim/cost_metrics.h"
+#include "sim/hardware.h"
+
+namespace costream::placement {
+
+// Degree-of-parallelism tuning (the paper's outlook, Section IX: "the
+// elasticity or the parallelism tuning problem [20] ... our proposed graph
+// structure is adaptable to all of these extensions").
+//
+// Given a placed query, the tuner searches per-operator parallelism degrees
+// that optimize the predicted target metric, using a greedy hill climb: in
+// each round it tries doubling (or halving) each operator's degree and
+// keeps the single change with the best predicted improvement. This keeps
+// the number of model evaluations linear in operators x rounds.
+struct ParallelismTunerConfig {
+  sim::Metric target = sim::Metric::kThroughput;  // maximized; latencies
+                                                  // are minimized
+  int max_parallelism = 8;
+  int max_rounds = 8;
+};
+
+struct ParallelismTunerResult {
+  // parallelism[op] for every operator (window nodes stay at 1).
+  std::vector<int> parallelism;
+  double predicted_initial = 0.0;
+  double predicted_tuned = 0.0;
+  int changes = 0;
+};
+
+// `target` must be a regression ensemble trained on corpora with varied
+// parallelism (GeneratorConfig::parallelism_fraction > 0), otherwise the
+// predictions cannot react to the tuned degrees.
+ParallelismTunerResult TuneParallelism(const dsps::QueryGraph& query,
+                                       const sim::Cluster& cluster,
+                                       const sim::Placement& placement,
+                                       const core::Ensemble& target,
+                                       const ParallelismTunerConfig& config);
+
+}  // namespace costream::placement
+
+#endif  // COSTREAM_PLACEMENT_PARALLELISM_TUNER_H_

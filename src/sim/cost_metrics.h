@@ -1,0 +1,77 @@
+#ifndef COSTREAM_SIM_COST_METRICS_H_
+#define COSTREAM_SIM_COST_METRICS_H_
+
+namespace costream::sim {
+
+// The five cost metrics COSTREAM predicts (paper Section IV-A):
+// C = (T, L_p, L_e, R_O, S).
+//
+// `backpressure` corresponds to the paper's R_O with inverted polarity for
+// readability: backpressure == true means the paper's R_O = 0 (tuples queue
+// up in the broker). `success` equals the paper's S.
+struct CostMetrics {
+  double throughput = 0.0;            // T: tuples/s arriving at the sink
+  double processing_latency_ms = 0.0; // L_p (Definition 2)
+  double e2e_latency_ms = 0.0;        // L_e (Definition 3)
+  bool backpressure = false;          // R > 0 (Definition 4; paper R_O = 0)
+  bool success = true;                // S (Definition 5)
+};
+
+// Index of a metric, used to select which model/head to train.
+enum class Metric {
+  kThroughput,
+  kProcessingLatency,
+  kE2eLatency,
+  kBackpressure,
+  kSuccess,
+};
+
+inline const char* ToString(Metric m) {
+  switch (m) {
+    case Metric::kThroughput:
+      return "throughput";
+    case Metric::kProcessingLatency:
+      return "processing-latency";
+    case Metric::kE2eLatency:
+      return "e2e-latency";
+    case Metric::kBackpressure:
+      return "backpressure";
+    case Metric::kSuccess:
+      return "query-success";
+  }
+  return "?";
+}
+
+inline bool IsRegressionMetric(Metric m) {
+  return m == Metric::kThroughput || m == Metric::kProcessingLatency ||
+         m == Metric::kE2eLatency;
+}
+
+// Extracts the regression value / binary label of a metric.
+inline double RegressionValue(const CostMetrics& c, Metric m) {
+  switch (m) {
+    case Metric::kThroughput:
+      return c.throughput;
+    case Metric::kProcessingLatency:
+      return c.processing_latency_ms;
+    case Metric::kE2eLatency:
+      return c.e2e_latency_ms;
+    default:
+      return 0.0;
+  }
+}
+
+inline bool BinaryLabel(const CostMetrics& c, Metric m) {
+  switch (m) {
+    case Metric::kBackpressure:
+      return c.backpressure;
+    case Metric::kSuccess:
+      return c.success;
+    default:
+      return false;
+  }
+}
+
+}  // namespace costream::sim
+
+#endif  // COSTREAM_SIM_COST_METRICS_H_

@@ -1,0 +1,64 @@
+#ifndef COSTREAM_SIM_COST_MODEL_H_
+#define COSTREAM_SIM_COST_MODEL_H_
+
+#include "dsps/operator_descriptor.h"
+
+namespace costream::sim {
+
+// Shared operator cost constants used by both the fluid cost engine and the
+// discrete-event simulator, so that the two substrates agree on the ground
+// truth per-tuple work and only differ in dynamics (queueing, scheduling,
+// actual data). All costs are microseconds of a single reference core
+// (cpu_pct == 100).
+
+// CPU cost of comparing / hashing a single value of the given type.
+double ValueCostUs(dsps::DataType type);
+
+// CPU cost per *input* tuple of the operator. For joins, `other_window_size`
+// is the (expected) number of tuples in the opposite window the input probes
+// against; it is ignored for other operator kinds.
+double PerTupleCostUs(const dsps::OperatorDescriptor& op,
+                      double other_window_size = 0.0);
+
+// CPU cost per *output* tuple (result materialization + forwarding).
+double PerOutputCostUs(const dsps::OperatorDescriptor& op);
+
+// Baseline memory footprint (MB) of the DSPS worker runtime on a node that
+// hosts at least one operator (JVM + framework overhead in the paper's
+// Storm setup).
+inline constexpr double kWorkerBaseMemoryMb = 220.0;
+
+// The DSPS worker's JVM heap is a fraction of the node's RAM (the OS, page
+// cache and off-heap buffers take the rest); memory pressure is measured
+// against this heap, not against raw RAM.
+inline constexpr double kHeapFraction = 0.50;
+
+// Heap occupancy ratio above which garbage collection starts degrading
+// service times, and the ratio at which the worker crashes (paper: GC
+// "might lead to application pauses and even crashes").
+inline constexpr double kGcPressureStart = 0.70;
+inline constexpr double kCrashHeapRatio = 1.30;
+
+// Memory (MB) at which a worker on a node with `ram_mb` RAM crashes.
+inline double CrashMemoryMb(double ram_mb) {
+  return kCrashHeapRatio * kHeapFraction * ram_mb;
+}
+
+// Multiplier (>= 1) on service times caused by GC pressure at the given
+// memory footprint vs. available RAM.
+double GcSlowdown(double memory_mb, double ram_mb);
+
+// State memory (MB) held for a window buffer of `window_tuples` tuples of
+// `tuple_bytes` bytes each. Includes container overhead.
+double WindowStateMb(double window_tuples, double tuple_bytes);
+
+// State memory (MB) of an aggregation operator maintaining `groups` entries.
+double AggregateStateMb(double groups, double tuple_bytes);
+
+// Per-tuple broker handoff overhead (ms) when no backpressure occurs
+// (producer batching + consumer poll interval).
+inline constexpr double kBrokerBaseLatencyMs = 25.0;
+
+}  // namespace costream::sim
+
+#endif  // COSTREAM_SIM_COST_MODEL_H_

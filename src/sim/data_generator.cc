@@ -1,0 +1,64 @@
+#include "sim/data_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "sim/tuple.h"
+
+namespace costream::sim {
+
+using dsps::GroupByType;
+using dsps::OperatorType;
+using dsps::QueryGraph;
+
+DataPlan CompileDataPlan(const QueryGraph& query,
+                         const std::vector<double>& expected_window_tuples,
+                         uint64_t seed) {
+  COSTREAM_CHECK(static_cast<int>(expected_window_tuples.size()) ==
+                 query.num_operators());
+  DataPlan plan;
+  plan.filters.resize(query.num_operators());
+  plan.joins.resize(query.num_operators());
+  plan.aggregates.resize(query.num_operators());
+
+  for (int id = 0; id < query.num_operators(); ++id) {
+    const dsps::OperatorDescriptor& op = query.op(id);
+    const uint64_t salt = Mix64(seed ^ (static_cast<uint64_t>(id) + 1));
+    switch (op.type) {
+      case OperatorType::kFilter: {
+        plan.filters[id].salt = salt;
+        plan.filters[id].pass_probability =
+            std::clamp(op.selectivity, 0.0, 1.0);
+        break;
+      }
+      case OperatorType::kJoin: {
+        const double sel = std::clamp(op.selectivity, 1e-9, 1.0);
+        const uint64_t domain =
+            std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(1.0 / sel)));
+        plan.joins[id].salt = salt;
+        plan.joins[id].key_domain = domain;
+        plan.joins[id].accept_probability =
+            std::clamp(sel * static_cast<double>(domain), 0.0, 1.0);
+        break;
+      }
+      case OperatorType::kAggregate: {
+        plan.aggregates[id].salt = salt;
+        plan.aggregates[id].grouped = op.group_by_type != GroupByType::kNone;
+        if (plan.aggregates[id].grouped) {
+          const double window = std::max(expected_window_tuples[id], 1.0);
+          const double groups =
+              std::clamp(op.selectivity * window, 1.0, window);
+          plan.aggregates[id].group_domain =
+              std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(groups)));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace costream::sim

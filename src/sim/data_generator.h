@@ -1,0 +1,61 @@
+#ifndef COSTREAM_SIM_DATA_GENERATOR_H_
+#define COSTREAM_SIM_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dsps/query_graph.h"
+
+namespace costream::sim {
+
+// Compiles the declarative selectivities of a query into concrete decision
+// parameters for tuple-level execution:
+//
+//  * Filters: a tuple passes iff its derived uniform value satisfies the
+//    predicate against a literal placed at the selectivity quantile. For
+//    uniform data every comparison function of Table II reduces to
+//    "uniform < selectivity" (string prefix predicates partition the
+//    uniform space by first characters in the same way).
+//  * Joins: both inputs draw keys from a shared integer domain of size K;
+//    two tuples match with probability ~1/K. K = round(1/selectivity) with
+//    a Bernoulli acceptance correction `accept` so that K * accept
+//    reproduces fractional selectivities exactly.
+//  * Aggregations: group keys are drawn from a domain sized so that the
+//    expected number of distinct groups in a full window matches
+//    selectivity * window-length (Definition 8).
+//
+// The compiled plan is deterministic given the query and seed.
+struct FilterPlan {
+  uint64_t salt = 0;
+  double pass_probability = 1.0;
+};
+
+struct JoinPlan {
+  uint64_t salt = 0;
+  uint64_t key_domain = 1;
+  double accept_probability = 1.0;  // corrects fractional 1/selectivity
+};
+
+struct AggregatePlan {
+  uint64_t salt = 0;
+  uint64_t group_domain = 1;
+  bool grouped = false;
+};
+
+struct DataPlan {
+  // Indexed by operator id; entries for other operator kinds are unused.
+  std::vector<FilterPlan> filters;
+  std::vector<JoinPlan> joins;
+  std::vector<AggregatePlan> aggregates;
+};
+
+// Builds the data plan. `expected_window_tuples[op]` must hold, for every
+// aggregate operator, the expected number of tuples in its window (used to
+// size group domains); values for other operators are ignored.
+DataPlan CompileDataPlan(const dsps::QueryGraph& query,
+                         const std::vector<double>& expected_window_tuples,
+                         uint64_t seed);
+
+}  // namespace costream::sim
+
+#endif  // COSTREAM_SIM_DATA_GENERATOR_H_

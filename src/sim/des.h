@@ -1,0 +1,50 @@
+#ifndef COSTREAM_SIM_DES_H_
+#define COSTREAM_SIM_DES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dsps/query_graph.h"
+#include "sim/cost_metrics.h"
+#include "sim/hardware.h"
+
+namespace costream::sim {
+
+// Configuration of a discrete-event simulation run.
+struct DesConfig {
+  // Simulated wall-clock duration of the query execution.
+  double duration_s = 10.0;
+  uint64_t seed = 0;
+  // Poisson arrivals at the broker (otherwise deterministic interarrival).
+  bool poisson_arrivals = true;
+  // Safety cap; the run is truncated (and `simulated_s` shortened) when hit.
+  uint64_t max_events = 20'000'000;
+};
+
+// Result of a discrete-event simulation.
+struct DesReport {
+  CostMetrics metrics;
+  double simulated_s = 0.0;
+  uint64_t events_processed = 0;
+  uint64_t produced_tuples = 0;   // generated at the broker
+  uint64_t ingested_tuples = 0;   // consumed by source operators
+  uint64_t sink_tuples = 0;
+  double backpressure_rate = 0.0;  // tuples/s accumulating in source queues
+  bool crashed = false;
+  std::vector<double> node_peak_memory_mb;
+};
+
+// Tuple-level execution of a placed streaming query: sources produce tuples
+// into a broker, operators run on single-server FIFO nodes whose service
+// speed follows the node's CPU share and GC pressure, network hops pay
+// latency plus a bandwidth-constrained serialization delay, and windowed
+// joins/aggregations maintain real window state over the generated data
+// (selectivities are realized by the compiled data plan, not sampled
+// outcomes). This substrate replaces the paper's Storm/Kafka executions for
+// end-to-end runs and validates the fluid cost engine.
+DesReport RunDes(const dsps::QueryGraph& query, const Cluster& cluster,
+                 const Placement& placement, const DesConfig& config);
+
+}  // namespace costream::sim
+
+#endif  // COSTREAM_SIM_DES_H_

@@ -1,0 +1,418 @@
+#include "sim/fluid_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/random.h"
+#include "sim/cost_model.h"
+
+namespace costream::sim {
+
+namespace {
+
+using dsps::OperatorDescriptor;
+using dsps::OperatorType;
+using dsps::QueryGraph;
+using dsps::WindowPolicy;
+
+constexpr double kEpsRate = 1e-9;
+constexpr double kMaxDuration = 1e12;
+
+double EffectiveOpCores(const OperatorDescriptor& op, const HardwareNode& hw);
+// Utilization above which queueing delays are capped (fluid M/M/1 waiting
+// time would diverge at 1.0).
+constexpr double kQueueCap = 0.97;
+
+// Steady-state flow through one operator at a given source scale.
+struct OpFlow {
+  double in_rate = 0.0;   // tuples/s entering the operator
+  double out_rate = 0.0;  // tuples/s leaving the operator
+  // Window-node quantities (tuples / seconds); zero elsewhere.
+  double window_tuples = 0.0;
+  double window_duration_s = 0.0;
+  double slide_duration_s = 0.0;
+  double groups = 0.0;         // aggregate operators
+  double state_mb = 0.0;       // operator state held in memory
+  double in_bytes = 0.0;       // bytes per input tuple
+  double out_bytes = 0.0;      // bytes per output tuple
+  double cpu_load_us = 0.0;    // microseconds of reference core per second
+  double service_us = 0.0;     // mean per-tuple service time (reference core)
+};
+
+std::vector<OpFlow> ComputeFlows(const QueryGraph& query,
+                                 const std::vector<int>& topo, double scale) {
+  std::vector<OpFlow> flows(query.num_operators());
+  for (int id : topo) {
+    const OperatorDescriptor& op = query.op(id);
+    OpFlow& f = flows[id];
+    f.in_bytes = dsps::TupleBytes(op.tuple_width_in, op.frac_int,
+                                  op.frac_double, op.frac_string);
+    f.out_bytes = dsps::TupleBytes(op.tuple_width_out, op.frac_int,
+                                   op.frac_double, op.frac_string);
+    const std::vector<int> upstream = query.Upstream(id);
+    for (int up : upstream) f.in_rate += flows[up].out_rate;
+
+    switch (op.type) {
+      case OperatorType::kSource: {
+        f.out_rate = op.input_event_rate * scale;
+        f.cpu_load_us = f.out_rate * PerTupleCostUs(op);
+        f.service_us = PerTupleCostUs(op);
+        f.in_bytes = f.out_bytes;
+        break;
+      }
+      case OperatorType::kFilter: {
+        f.out_rate = f.in_rate * op.selectivity;
+        f.service_us = PerTupleCostUs(op);
+        f.cpu_load_us = f.in_rate * f.service_us;
+        break;
+      }
+      case OperatorType::kWindow: {
+        f.out_rate = f.in_rate;
+        const double rate = std::max(f.in_rate, kEpsRate);
+        if (op.window.policy == WindowPolicy::kCountBased) {
+          f.window_tuples = op.window.size;
+          f.window_duration_s = std::min(op.window.size / rate, kMaxDuration);
+          f.slide_duration_s =
+              std::min(op.window.EffectiveSlide() / rate, kMaxDuration);
+        } else {
+          f.window_duration_s = op.window.size;
+          f.window_tuples = rate * op.window.size;
+          f.slide_duration_s = op.window.EffectiveSlide();
+        }
+        f.service_us = PerTupleCostUs(op);
+        f.cpu_load_us = f.in_rate * f.service_us;
+        f.state_mb = WindowStateMb(f.window_tuples, f.in_bytes);
+        break;
+      }
+      case OperatorType::kAggregate: {
+        COSTREAM_CHECK(upstream.size() == 1);
+        const OpFlow& w = flows[upstream[0]];
+        const bool grouped = op.group_by_type != dsps::GroupByType::kNone;
+        f.groups = grouped
+                       ? std::clamp(op.selectivity * w.window_tuples, 1.0,
+                                    std::max(w.window_tuples, 1.0))
+                       : 1.0;
+        const double slide = std::max(w.slide_duration_s, 1e-6);
+        f.out_rate = w.window_tuples > 0.0 ? f.groups / slide : 0.0;
+        f.service_us = PerTupleCostUs(op);
+        f.cpu_load_us =
+            f.in_rate * f.service_us + f.out_rate * PerOutputCostUs(op);
+        f.state_mb = AggregateStateMb(f.groups, f.out_bytes);
+        break;
+      }
+      case OperatorType::kJoin: {
+        COSTREAM_CHECK(upstream.size() == 2);
+        const OpFlow& w1 = flows[upstream[0]];
+        const OpFlow& w2 = flows[upstream[1]];
+        // Each arriving tuple of stream 1 probes window 2 and vice versa
+        // (Definition 7 gives the match probability).
+        const double matches = op.selectivity * (w1.out_rate * w2.window_tuples +
+                                                 w2.out_rate * w1.window_tuples);
+        f.out_rate = matches;
+        const double cost1 = PerTupleCostUs(op, w2.window_tuples);
+        const double cost2 = PerTupleCostUs(op, w1.window_tuples);
+        f.cpu_load_us = w1.out_rate * cost1 + w2.out_rate * cost2 +
+                        f.out_rate * PerOutputCostUs(op);
+        const double total_in = std::max(w1.out_rate + w2.out_rate, kEpsRate);
+        f.service_us = (w1.out_rate * cost1 + w2.out_rate * cost2) / total_in;
+        // Probe index over both windows.
+        f.state_mb = 0.3 * (WindowStateMb(w1.window_tuples, w1.out_bytes) +
+                            WindowStateMb(w2.window_tuples, w2.out_bytes));
+        break;
+      }
+      case OperatorType::kSink: {
+        f.out_rate = f.in_rate;
+        f.service_us = PerTupleCostUs(op);
+        f.cpu_load_us = f.in_rate * f.service_us;
+        break;
+      }
+    }
+  }
+  return flows;
+}
+
+struct NodeEval {
+  std::vector<NodeStats> stats;
+  double max_utilization = 0.0;
+};
+
+NodeEval EvaluateNodes(const QueryGraph& query, const Cluster& cluster,
+                       const Placement& placement,
+                       const std::vector<OpFlow>& flows,
+                       const BackgroundLoad& background) {
+  NodeEval eval;
+  eval.stats.resize(cluster.num_nodes());
+  std::vector<double> cpu_load(cluster.num_nodes(), 0.0);
+  std::vector<double> out_bytes(cluster.num_nodes(), 0.0);
+  std::vector<bool> hosts_op(cluster.num_nodes(), false);
+  if (!background.empty()) {
+    COSTREAM_CHECK(static_cast<int>(background.cpu_load_us.size()) ==
+                   cluster.num_nodes());
+    for (int n = 0; n < cluster.num_nodes(); ++n) {
+      cpu_load[n] += background.cpu_load_us[n];
+      out_bytes[n] += background.out_bytes_per_s[n];
+      eval.stats[n].memory_mb += background.memory_mb[n];
+    }
+  }
+
+  for (int id = 0; id < query.num_operators(); ++id) {
+    const int node = placement[id];
+    hosts_op[node] = true;
+    cpu_load[node] += flows[id].cpu_load_us;
+    eval.stats[node].memory_mb += flows[id].state_mb;
+    // In-flight queue buffers (~50ms of arrivals).
+    eval.stats[node].memory_mb +=
+        flows[id].in_rate * flows[id].in_bytes * 0.05 / (1024.0 * 1024.0);
+  }
+  for (const auto& [from, to] : query.edges()) {
+    if (placement[from] != placement[to]) {
+      out_bytes[placement[from]] += flows[from].out_rate * flows[from].out_bytes;
+    }
+  }
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    NodeStats& s = eval.stats[n];
+    if (hosts_op[n]) s.memory_mb += kWorkerBaseMemoryMb;
+    const HardwareNode& hw = cluster.nodes[n];
+    s.gc_factor = GcSlowdown(s.memory_mb, hw.ram_mb);
+    s.crashed = s.memory_mb > CrashMemoryMb(hw.ram_mb);
+    const double cores = hw.cpu_pct / 100.0;
+    s.cpu_utilization = cpu_load[n] * s.gc_factor / 1e6 / std::max(cores, 1e-3);
+    s.net_utilization =
+        out_bytes[n] * 8.0 / std::max(hw.bandwidth_mbits * 1e6, 1.0);
+    eval.max_utilization = std::max(
+        eval.max_utilization, std::max(s.cpu_utilization, s.net_utilization));
+  }
+  // Per-operator constraint: one operator instance runs single-threaded, so
+  // an operator can use at most min(parallelism, node cores) cores even on
+  // otherwise idle machines (Storm-executor semantics; the parallelism
+  // extension raises this cap).
+  for (int id = 0; id < query.num_operators(); ++id) {
+    const int n = placement[id];
+    const HardwareNode& hw = cluster.nodes[n];
+    const double op_cores = EffectiveOpCores(query.op(id), hw);
+    const double op_util =
+        flows[id].cpu_load_us * eval.stats[n].gc_factor / 1e6 / op_cores;
+    eval.max_utilization = std::max(eval.max_utilization, op_util);
+  }
+  return eval;
+}
+
+double QueueMultiplier(double utilization) {
+  return 1.0 / (1.0 - std::min(utilization, kQueueCap));
+}
+
+// Cores an operator can actually use on its node: capped both by the node
+// and by the operator's degree of parallelism.
+double EffectiveOpCores(const OperatorDescriptor& op, const HardwareNode& hw) {
+  const double cores = hw.cpu_pct / 100.0;
+  return std::max(std::min(static_cast<double>(std::max(op.parallelism, 1)),
+                           cores),
+                  1e-3);
+}
+
+}  // namespace
+
+FluidReport EvaluateFluid(const QueryGraph& query, const Cluster& cluster,
+                          const Placement& placement,
+                          const FluidConfig& config) {
+  COSTREAM_CHECK_MSG(query.Validate().empty(), query.Validate().c_str());
+  COSTREAM_CHECK_MSG(ValidatePlacement(query, cluster, placement).empty(),
+                     "invalid placement");
+
+  const std::vector<int> topo = query.TopologicalOrder();
+
+  // Utilization at the nominal rates decides backpressure.
+  const std::vector<OpFlow> nominal_flows = ComputeFlows(query, topo, 1.0);
+  const NodeEval nominal_eval = EvaluateNodes(query, cluster, placement,
+                                              nominal_flows,
+                                              config.background);
+
+  FluidReport report;
+  report.bottleneck_utilization = nominal_eval.max_utilization;
+  const bool backpressure = nominal_eval.max_utilization > 1.0;
+
+  // Under backpressure, bisect for the sustainable source scale (the largest
+  // fraction of the nominal rates whose bottleneck utilization is <= 1).
+  double scale = 1.0;
+  if (backpressure) {
+    double lo = 0.0;
+    double hi = 1.0;
+    for (int iter = 0; iter < 40; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      const std::vector<OpFlow> flows =
+          ComputeFlows(query, topo, std::max(mid, 1e-9));
+      const NodeEval eval = EvaluateNodes(query, cluster, placement, flows,
+                                          config.background);
+      if (eval.max_utilization > 1.0) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    scale = std::max(lo, 1e-9);
+  }
+  report.source_scale = scale;
+
+  const std::vector<OpFlow> flows = ComputeFlows(query, topo, scale);
+  const NodeEval eval =
+      EvaluateNodes(query, cluster, placement, flows, config.background);
+  report.node_stats = eval.stats;
+  report.op_cpu_load_us.reserve(query.num_operators());
+  report.op_state_mb.reserve(query.num_operators());
+  for (int id = 0; id < query.num_operators(); ++id) {
+    report.op_cpu_load_us.push_back(flows[id].cpu_load_us);
+    report.op_state_mb.push_back(flows[id].state_mb);
+  }
+
+  // Backpressure rate R (Definition 4): surplus arrivals queuing up.
+  if (backpressure) {
+    for (int src : query.Sources()) {
+      report.backpressure_rate +=
+          query.op(src).input_event_rate * (1.0 - scale);
+    }
+    // Queued-up tuples occupy worker buffers on the nodes hosting the
+    // sources; sustained backpressure can therefore exhaust memory and
+    // crash the query (paper Section I: full internal queues lead to delays
+    // "and even query crashes"). The backlog accrues over the run, bounded
+    // by the consumer's in-flight window.
+    for (int src : query.Sources()) {
+      const double surplus_rate =
+          query.op(src).input_event_rate * (1.0 - scale);
+      const double backlog_tuples =
+          std::min(surplus_rate * config.duration_s, 2e6);
+      const double backlog_mb = backlog_tuples * flows[src].out_bytes * 0.25 /
+                                (1024.0 * 1024.0);
+      NodeStats& s = report.node_stats[placement[src]];
+      s.memory_mb += backlog_mb;
+      const double ram = cluster.nodes[placement[src]].ram_mb;
+      s.gc_factor = GcSlowdown(s.memory_mb, ram);
+      s.crashed = s.crashed || s.memory_mb > CrashMemoryMb(ram);
+    }
+  }
+
+  // Latency DP along the data flow (Definition 2: time from the oldest
+  // contributing input tuple's ingestion to the output's arrival at the
+  // sink).
+  std::vector<double> latency_ms(query.num_operators(), 0.0);
+  for (int id : topo) {
+    const int node = placement[id];
+    const NodeStats& ns = eval.stats[node];
+    const HardwareNode& hw = cluster.nodes[node];
+    double arrival = 0.0;
+    for (int up : query.Upstream(id)) {
+      double edge_ms = 0.0;
+      const int up_node = placement[up];
+      if (up_node != node) {
+        const NodeStats& up_stats = eval.stats[up_node];
+        const HardwareNode& up_hw = cluster.nodes[up_node];
+        const double transfer_ms =
+            flows[up].out_bytes * 8.0 /
+            std::max(up_hw.bandwidth_mbits * 1e6, 1.0) * 1000.0;
+        edge_ms = up_hw.latency_ms +
+                  transfer_ms * QueueMultiplier(up_stats.net_utilization);
+      }
+      arrival = std::max(arrival, latency_ms[up] + edge_ms);
+    }
+    // A single tuple is processed by one instance, which runs on one core.
+    const double instance_cores = std::min(hw.cpu_pct / 100.0, 1.0);
+    const double service_ms = flows[id].service_us * ns.gc_factor /
+                              std::max(instance_cores, 1e-3) / 1000.0 *
+                              QueueMultiplier(ns.cpu_utilization);
+    // Windowed results wait for the window to fill / slide: the oldest
+    // contributing tuple resides for up to a full window.
+    const double window_wait_ms =
+        (flows[id].window_duration_s + flows[id].slide_duration_s) * 0.5 *
+        1000.0;
+    latency_ms[id] = arrival + service_ms + window_wait_ms;
+  }
+
+  CostMetrics& m = report.noiseless_metrics;
+  const int sink = query.Sink();
+  m.throughput = flows[sink].out_rate;
+  m.processing_latency_ms = latency_ms[sink];
+  m.backpressure = backpressure;
+  double broker_wait_ms = kBrokerBaseLatencyMs;
+  if (backpressure) {
+    // Queues in the broker grow linearly over the run; the mean waiting time
+    // over the execution is about half of the accumulated lag.
+    broker_wait_ms += (1.0 - scale) * config.duration_s * 0.5 * 1000.0;
+  }
+  m.e2e_latency_ms = m.processing_latency_ms + broker_wait_ms;
+
+  bool crashed = false;
+  for (const NodeStats& s : report.node_stats) crashed = crashed || s.crashed;
+  const double expected_outputs = m.throughput * config.duration_s;
+  m.success = !crashed && expected_outputs >= 1.0 &&
+              m.processing_latency_ms <= config.duration_s * 1000.0;
+  if (crashed) {
+    m.throughput = 0.0;
+    m.e2e_latency_ms = config.duration_s * 1000.0;
+  }
+
+  report.metrics = m;
+  if (config.noise_sigma > 0.0) {
+    nn::Rng rng(config.noise_seed);
+    report.metrics.throughput *= rng.LogNormalFactor(config.noise_sigma);
+    report.metrics.processing_latency_ms *=
+        rng.LogNormalFactor(config.noise_sigma);
+    report.metrics.e2e_latency_ms *= rng.LogNormalFactor(config.noise_sigma);
+  }
+  return report;
+}
+
+BackgroundLoad ComputeBackgroundLoad(const QueryGraph& query,
+                                     const Cluster& cluster,
+                                     const Placement& placement) {
+  FluidConfig config;
+  config.noise_sigma = 0.0;
+  const FluidReport report = EvaluateFluid(query, cluster, placement, config);
+
+  BackgroundLoad load;
+  load.cpu_load_us.assign(cluster.num_nodes(), 0.0);
+  load.out_bytes_per_s.assign(cluster.num_nodes(), 0.0);
+  load.memory_mb.assign(cluster.num_nodes(), 0.0);
+
+  const std::vector<int> topo = query.TopologicalOrder();
+  const std::vector<OpFlow> flows =
+      ComputeFlows(query, topo, report.source_scale);
+  std::vector<bool> hosts_op(cluster.num_nodes(), false);
+  for (int id = 0; id < query.num_operators(); ++id) {
+    const int n = placement[id];
+    hosts_op[n] = true;
+    load.cpu_load_us[n] += flows[id].cpu_load_us;
+    load.memory_mb[n] += flows[id].state_mb;
+    load.memory_mb[n] +=
+        flows[id].in_rate * flows[id].in_bytes * 0.05 / (1024.0 * 1024.0);
+  }
+  for (const auto& [from, to] : query.edges()) {
+    if (placement[from] != placement[to]) {
+      load.out_bytes_per_s[placement[from]] +=
+          flows[from].out_rate * flows[from].out_bytes;
+    }
+  }
+  // Each query runs its own worker process on every node it touches.
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    if (hosts_op[n]) load.memory_mb[n] += kWorkerBaseMemoryMb;
+  }
+  return load;
+}
+
+void AccumulateBackgroundLoad(const BackgroundLoad& extra, int nodes,
+                              BackgroundLoad* base) {
+  COSTREAM_CHECK(base != nullptr);
+  if (base->empty()) {
+    base->cpu_load_us.assign(nodes, 0.0);
+    base->out_bytes_per_s.assign(nodes, 0.0);
+    base->memory_mb.assign(nodes, 0.0);
+  }
+  COSTREAM_CHECK(static_cast<int>(base->cpu_load_us.size()) == nodes);
+  COSTREAM_CHECK(extra.cpu_load_us.size() == base->cpu_load_us.size());
+  for (int n = 0; n < nodes; ++n) {
+    base->cpu_load_us[n] += extra.cpu_load_us[n];
+    base->out_bytes_per_s[n] += extra.out_bytes_per_s[n];
+    base->memory_mb[n] += extra.memory_mb[n];
+  }
+}
+
+}  // namespace costream::sim

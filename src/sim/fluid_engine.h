@@ -1,0 +1,102 @@
+#ifndef COSTREAM_SIM_FLUID_ENGINE_H_
+#define COSTREAM_SIM_FLUID_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dsps/query_graph.h"
+#include "sim/cost_metrics.h"
+#include "sim/hardware.h"
+
+namespace costream::sim {
+
+// Load already running on the cluster (multi-query scenarios: the paper's
+// placement rule 1 allows "the same hardware resources ... for multiple
+// queries"). Indexed per node; empty vectors mean an idle cluster.
+struct BackgroundLoad {
+  std::vector<double> cpu_load_us;  // reference-core microseconds per second
+  std::vector<double> out_bytes_per_s;
+  std::vector<double> memory_mb;
+
+  bool empty() const { return cpu_load_us.empty(); }
+};
+
+// Configuration of a fluid-model evaluation.
+struct FluidConfig {
+  // Simulated query execution time; the paper runs each query for 4 minutes
+  // to collect labels.
+  double duration_s = 240.0;
+  // Lognormal measurement noise (sigma in log space) applied to the three
+  // regression metrics; 0 disables noise.
+  double noise_sigma = 0.08;
+  uint64_t noise_seed = 0;
+  // Resources consumed by other queries sharing the cluster. Sized to the
+  // cluster's node count (or empty).
+  BackgroundLoad background;
+};
+
+// Per-node diagnostics of one evaluation (used by the monitoring baseline
+// and by tests).
+struct NodeStats {
+  double cpu_utilization = 0.0;  // at the sustained source scale
+  double net_utilization = 0.0;
+  double memory_mb = 0.0;
+  double gc_factor = 1.0;
+  bool crashed = false;
+};
+
+// Result of a fluid-model evaluation.
+struct FluidReport {
+  CostMetrics metrics;
+  // max over nodes of max(cpu, net) utilization at the nominal source rates.
+  double bottleneck_utilization = 0.0;
+  // Sustained fraction of the nominal source rates (1.0 when no
+  // backpressure; < 1.0 when the bottleneck forces the sources down).
+  double source_scale = 1.0;
+  // Aggregate backpressure rate R (Definition 4): tuples/s queuing up.
+  double backpressure_rate = 0.0;
+  std::vector<NodeStats> node_stats;
+  // Nominal (pre-noise) metric values, for deterministic tests.
+  CostMetrics noiseless_metrics;
+  // Per-operator diagnostics at the sustained scale (used by the online
+  // monitoring baseline to pick migration victims).
+  std::vector<double> op_cpu_load_us;  // reference-core microseconds per s
+  std::vector<double> op_state_mb;
+};
+
+// Analytical steady-state evaluation of a placed streaming query on a
+// heterogeneous cluster. This is the label-generating substrate that
+// replaces the paper's 4-minute Storm/Kafka executions (see DESIGN.md):
+//
+//  * per-operator input/output rates follow the selectivity definitions
+//    (Definitions 6-8) and the window emission semantics,
+//  * per-node CPU load aggregates the shared operator cost model, scaled by
+//    the node's relative CPU resources and GC pressure,
+//  * network edges between nodes add latency + serialization delay and are
+//    capacity-constrained by the sender's bandwidth,
+//  * if any resource exceeds capacity, the sources are throttled
+//    (backpressure) and the sustainable rate is found by bisection,
+//  * query success captures GC crashes and windows/selectivities that yield
+//    no output within the execution duration.
+//
+// The engine is O(#operators x bisection steps) and deterministic given the
+// config's noise seed.
+FluidReport EvaluateFluid(const dsps::QueryGraph& query,
+                          const Cluster& cluster, const Placement& placement,
+                          const FluidConfig& config);
+
+// Aggregates the steady-state resource consumption of an already-placed
+// query into a BackgroundLoad, so that further queries can be placed on the
+// shared cluster (multi-query placement). Loads are taken at the query's
+// sustained (possibly throttled) rates.
+BackgroundLoad ComputeBackgroundLoad(const dsps::QueryGraph& query,
+                                     const Cluster& cluster,
+                                     const Placement& placement);
+
+// Adds `extra` into `base` (resizing `base` to `nodes` if empty).
+void AccumulateBackgroundLoad(const BackgroundLoad& extra, int nodes,
+                              BackgroundLoad* base);
+
+}  // namespace costream::sim
+
+#endif  // COSTREAM_SIM_FLUID_ENGINE_H_

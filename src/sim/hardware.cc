@@ -1,0 +1,31 @@
+#include "sim/hardware.h"
+
+#include <cmath>
+
+namespace costream::sim {
+
+std::string ValidatePlacement(const dsps::QueryGraph& query,
+                              const Cluster& cluster,
+                              const Placement& placement) {
+  if (static_cast<int>(placement.size()) != query.num_operators()) {
+    return "placement size differs from operator count";
+  }
+  for (int node : placement) {
+    if (node < 0 || node >= cluster.num_nodes()) {
+      return "placement references an unknown node";
+    }
+  }
+  return "";
+}
+
+double CapabilityScore(const HardwareNode& node) {
+  // Log scales keep the grid spacing of the paper's Table II roughly uniform;
+  // the weights favour compute and memory, which dominate operator cost.
+  const double cpu = std::log2(std::max(node.cpu_pct, 1.0) / 50.0);
+  const double ram = std::log2(std::max(node.ram_mb, 1.0) / 1000.0);
+  const double bw = std::log2(std::max(node.bandwidth_mbits, 1.0) / 25.0);
+  const double lat = -std::log2(std::max(node.latency_ms, 0.125) / 1.0);
+  return 0.40 * cpu + 0.30 * ram + 0.20 * bw + 0.10 * lat;
+}
+
+}  // namespace costream::sim

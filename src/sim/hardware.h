@@ -1,0 +1,46 @@
+#ifndef COSTREAM_SIM_HARDWARE_H_
+#define COSTREAM_SIM_HARDWARE_H_
+
+#include <string>
+#include <vector>
+
+#include "dsps/query_graph.h"
+
+namespace costream::sim {
+
+// One heterogeneous compute node, described by exactly the four transferable
+// hardware features of the paper (Table I): relative CPU resources, RAM,
+// outgoing network bandwidth, and outgoing network latency. These mirror the
+// cgroups/netem virtualized profiles of the paper's testbed.
+struct HardwareNode {
+  double cpu_pct = 100.0;        // % of a reference core (e.g. 200 = 2 cores)
+  double ram_mb = 4000.0;        // available RAM in MB
+  double bandwidth_mbits = 100;  // outgoing bandwidth in Mbit/s
+  double latency_ms = 5.0;       // outgoing one-way latency in ms
+};
+
+// An edge-cloud landscape of heterogeneous nodes.
+struct Cluster {
+  std::vector<HardwareNode> nodes;
+
+  int num_nodes() const { return static_cast<int>(nodes.size()); }
+};
+
+// Operator placement: placement[op_id] = node index (paper: w_i -> n_j).
+// Every operator, including window nodes and the sink, is placed.
+using Placement = std::vector<int>;
+
+// Checks that `placement` maps every operator of `query` to a valid node of
+// `cluster`. Returns an empty string when valid.
+std::string ValidatePlacement(const dsps::QueryGraph& query,
+                              const Cluster& cluster,
+                              const Placement& placement);
+
+// Scalar capability score used to order nodes from "edge-like" to
+// "cloud-like" (placement rule 2 of Fig. 5 classifies hardware into bins by
+// this score). Combines the four hardware features on log scales.
+double CapabilityScore(const HardwareNode& node);
+
+}  // namespace costream::sim
+
+#endif  // COSTREAM_SIM_HARDWARE_H_

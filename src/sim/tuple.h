@@ -1,0 +1,59 @@
+#ifndef COSTREAM_SIM_TUPLE_H_
+#define COSTREAM_SIM_TUPLE_H_
+
+#include <cstdint>
+
+namespace costream::sim {
+
+// A streaming tuple as executed by the discrete-event simulator.
+//
+// Attribute values are represented implicitly: every tuple carries a unique
+// 64-bit identity, and each operator derives the decision value it needs
+// (filter comparison outcome, join key, group key) by hashing the identity
+// with the operator's salt. This is statistically equivalent to generating
+// concrete attribute values whose distributions realize the configured
+// selectivities (see data_generator.h) while keeping tuples POD.
+struct Tuple {
+  uint64_t id = 0;
+  // When the tuple was generated at the event broker (Definition 3 anchors
+  // end-to-end latency here). For derived tuples: the oldest contributing
+  // input's broker time.
+  double broker_time = 0.0;
+  // When the tuple was ingested into the query by the source operator
+  // (Definition 2 anchors processing latency here). For derived tuples: the
+  // oldest contributing input's ingest time.
+  double ingest_time = 0.0;
+  // Serialized size in bytes (drives network transfer and state memory).
+  double bytes = 0.0;
+};
+
+// SplitMix64: fast, well-distributed 64-bit mixer used to derive per-
+// (tuple, operator) pseudo-random decision values.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) derived from a tuple id and an operator salt.
+inline double TupleUniform(uint64_t tuple_id, uint64_t salt) {
+  return static_cast<double>(Mix64(tuple_id ^ (salt * 0x9e3779b97f4a7c15ULL)) >>
+                             11) /
+         9007199254740992.0;  // 2^53
+}
+
+// Uniform integer in [0, domain) derived from a tuple id and a salt.
+inline uint64_t TupleKey(uint64_t tuple_id, uint64_t salt, uint64_t domain) {
+  if (domain == 0) return 0;
+  return Mix64(tuple_id ^ (salt * 0xbf58476d1ce4e5b9ULL)) % domain;
+}
+
+// Identity of a tuple derived from two parents (join outputs).
+inline uint64_t CombineIds(uint64_t a, uint64_t b) {
+  return Mix64(a ^ Mix64(b));
+}
+
+}  // namespace costream::sim
+
+#endif  // COSTREAM_SIM_TUPLE_H_

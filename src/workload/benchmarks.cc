@@ -1,0 +1,151 @@
+#include "workload/benchmarks.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "dsps/query_builder.h"
+#include "placement/enumeration.h"
+
+namespace costream::workload {
+
+namespace {
+
+using dsps::AggregateFunction;
+using dsps::DataType;
+using dsps::FilterFunction;
+using dsps::GroupByType;
+using dsps::QueryBuilder;
+using dsps::QueryGraph;
+using dsps::WindowPolicy;
+using dsps::WindowSpec;
+using dsps::WindowType;
+
+// Beta(2, 8)-like skewed selectivity in (lo, hi): most mass near lo, a fat
+// tail upward — the "different data distribution" of the real-world streams.
+double SkewedSelectivity(nn::Rng& rng, double lo, double hi) {
+  double u = 1.0;
+  for (int i = 0; i < 2; ++i) u = std::min(u, rng.Uniform(0.0, 1.0));
+  return lo + (hi - lo) * u;
+}
+
+// Off-grid event rate in [lo, hi] (continuous, not on the training grid).
+double RandomRate(nn::Rng& rng, double lo, double hi) {
+  return std::exp(rng.Uniform(std::log(lo), std::log(hi)));
+}
+
+QueryGraph MakeAdvertisement(nn::Rng& rng) {
+  QueryBuilder b;
+  // Clicks: (ad id, user id, page url); impressions: (ad id, user id, cost).
+  auto clicks = b.Source(RandomRate(rng, 100, 2000),
+                         {DataType::kInt, DataType::kInt, DataType::kString});
+  auto impressions =
+      b.Source(RandomRate(rng, 200, 4000),
+               {DataType::kInt, DataType::kInt, DataType::kDouble});
+  auto valid_clicks =
+      b.Filter(clicks, FilterFunction::kNotEq, DataType::kString,
+               SkewedSelectivity(rng, 0.3, 0.95));
+  WindowSpec w;
+  w.type = WindowType::kSliding;
+  w.policy = WindowPolicy::kTimeBased;
+  w.size = rng.Choice(std::vector<double>{2.0, 4.0, 8.0});
+  w.slide = 0.5 * w.size;
+  auto joined = b.WindowedJoin(valid_clicks, impressions, w, DataType::kInt,
+                               SkewedSelectivity(rng, 1e-4, 5e-3));
+  return b.Sink(joined);
+}
+
+QueryGraph MakeSpikeDetection(nn::Rng& rng) {
+  QueryBuilder b;
+  // Sensor stream: (device id, temperature, humidity).
+  auto sensors = b.Source(RandomRate(rng, 500, 10000),
+                          {DataType::kInt, DataType::kDouble,
+                           DataType::kDouble});
+  WindowSpec w;
+  w.type = WindowType::kSliding;
+  w.policy = WindowPolicy::kCountBased;
+  w.size = rng.Choice(std::vector<double>{30.0, 60.0, 90.0});
+  w.slide = rng.Choice(std::vector<double>{10.0, 15.0, 30.0});
+  // Per-device moving average of the measured value.
+  auto averaged =
+      b.WindowedAggregate(sensors, w, AggregateFunction::kMean,
+                          GroupByType::kInt, DataType::kDouble,
+                          SkewedSelectivity(rng, 0.02, 0.3));
+  // Spikes are rare: strongly skewed filter selectivity.
+  auto spikes = b.Filter(averaged, FilterFunction::kGreater,
+                         DataType::kDouble, SkewedSelectivity(rng, 0.01, 0.2));
+  return b.Sink(spikes);
+}
+
+QueryGraph MakeSmartGrid(nn::Rng& rng, bool local) {
+  QueryBuilder b;
+  // Smart meter readings: (house id, household id, plug id, load).
+  auto readings = b.Source(RandomRate(rng, 200, 5000),
+                           {DataType::kInt, DataType::kInt, DataType::kInt,
+                            DataType::kDouble});
+  WindowSpec w;
+  w.type = WindowType::kSliding;
+  w.policy = WindowPolicy::kTimeBased;
+  // Unseen window length: 30/45/60 s, beyond the 16 s training maximum.
+  w.size = rng.Choice(std::vector<double>{30.0, 45.0, 60.0});
+  w.slide = rng.Choice(std::vector<double>{10.0, 15.0, 20.0});
+  auto agg = b.WindowedAggregate(
+      readings, w, AggregateFunction::kAvg,
+      local ? GroupByType::kInt : GroupByType::kNone, DataType::kDouble,
+      local ? SkewedSelectivity(rng, 0.005, 0.05) : 1.0);
+  return b.Sink(agg);
+}
+
+}  // namespace
+
+const char* ToString(BenchmarkQuery q) {
+  switch (q) {
+    case BenchmarkQuery::kAdvertisement:
+      return "advertisement";
+    case BenchmarkQuery::kSpikeDetection:
+      return "spike-detection";
+    case BenchmarkQuery::kSmartGridGlobal:
+      return "smart-grid-global";
+    case BenchmarkQuery::kSmartGridLocal:
+      return "smart-grid-local";
+  }
+  return "?";
+}
+
+TraceRecord MakeBenchmarkTrace(BenchmarkQuery q, const GeneratorConfig& config,
+                               nn::Rng& rng) {
+  TraceRecord record;
+  switch (q) {
+    case BenchmarkQuery::kAdvertisement:
+      record.query = MakeAdvertisement(rng);
+      record.template_kind = QueryTemplate::kTwoWayJoin;
+      break;
+    case BenchmarkQuery::kSpikeDetection:
+      record.query = MakeSpikeDetection(rng);
+      record.template_kind = QueryTemplate::kLinear;
+      break;
+    case BenchmarkQuery::kSmartGridGlobal:
+      record.query = MakeSmartGrid(rng, /*local=*/false);
+      record.template_kind = QueryTemplate::kLinear;
+      break;
+    case BenchmarkQuery::kSmartGridLocal:
+      record.query = MakeSmartGrid(rng, /*local=*/true);
+      record.template_kind = QueryTemplate::kLinear;
+      break;
+  }
+  record.num_filters = record.query.CountType(dsps::OperatorType::kFilter);
+
+  QueryGenerator generator(config);
+  record.cluster = generator.GenerateCluster(rng);
+  const std::vector<int> bins = placement::CapabilityBins(record.cluster);
+  record.placement =
+      placement::SamplePlacement(record.query, record.cluster, bins, rng);
+
+  sim::FluidConfig fluid_config;
+  fluid_config.noise_seed = rng.Fork();
+  record.metrics = sim::EvaluateFluid(record.query, record.cluster,
+                                      record.placement, fluid_config)
+                       .metrics;
+  return record;
+}
+
+}  // namespace costream::workload

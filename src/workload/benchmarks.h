@@ -1,0 +1,37 @@
+#ifndef COSTREAM_WORKLOAD_BENCHMARKS_H_
+#define COSTREAM_WORKLOAD_BENCHMARKS_H_
+
+#include "nn/random.h"
+#include "workload/corpus.h"
+
+namespace costream::workload {
+
+// Real-world benchmark queries from DSPBench [36] used by Exp 6. The paper
+// runs each benchmark 100 times with random event rates and placements; the
+// queries carry data distributions unlike the synthetic training workload
+// (skewed selectivities, off-grid rates, and — for the smart grid — a window
+// length outside the training range).
+enum class BenchmarkQuery {
+  // Click/impression streams joined in a window after filtering the clicks.
+  kAdvertisement,
+  // Sensor stream -> sliding moving average -> spike filter (low, skewed
+  // selectivity).
+  kSpikeDetection,
+  // Global energy consumption: sliding time window aggregate without
+  // group-by; window length (30 s) extrapolates beyond the training grid.
+  kSmartGridGlobal,
+  // Local energy consumption: the same window grouped by household.
+  kSmartGridLocal,
+};
+
+const char* ToString(BenchmarkQuery q);
+
+// Builds one randomized instance of the benchmark query (random rates /
+// skewed selectivities / random conforming placement on a random cluster)
+// and labels it with the fluid engine.
+TraceRecord MakeBenchmarkTrace(BenchmarkQuery q, const GeneratorConfig& config,
+                               nn::Rng& rng);
+
+}  // namespace costream::workload
+
+#endif  // COSTREAM_WORKLOAD_BENCHMARKS_H_

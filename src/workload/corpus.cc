@@ -1,0 +1,142 @@
+#include "workload/corpus.h"
+
+#include <numeric>
+
+#include "baselines/flat_vector.h"
+#include "common/check.h"
+#include "placement/enumeration.h"
+
+namespace costream::workload {
+
+namespace {
+
+QueryTemplate SampleTemplate(const CorpusConfig& config, nn::Rng& rng) {
+  COSTREAM_CHECK(config.templates.size() == config.template_weights.size());
+  double total = 0.0;
+  for (double w : config.template_weights) total += w;
+  double u = rng.Uniform(0.0, total);
+  for (size_t i = 0; i < config.templates.size(); ++i) {
+    u -= config.template_weights[i];
+    if (u <= 0.0) return config.templates[i];
+  }
+  return config.templates.back();
+}
+
+}  // namespace
+
+std::vector<TraceRecord> BuildCorpus(const CorpusConfig& config) {
+  COSTREAM_CHECK(config.num_queries > 0);
+  COSTREAM_CHECK(!config.templates.empty());
+  QueryGenerator generator(config.generator);
+  nn::Rng rng(config.seed);
+
+  std::vector<TraceRecord> records;
+  records.reserve(config.num_queries);
+  for (int i = 0; i < config.num_queries; ++i) {
+    TraceRecord record;
+    record.template_kind = SampleTemplate(config, rng);
+    record.query = generator.Generate(record.template_kind, rng);
+    record.cluster = generator.GenerateCluster(rng);
+    record.num_filters =
+        record.query.CountType(dsps::OperatorType::kFilter);
+
+    if (rng.Bernoulli(config.random_placement_fraction)) {
+      record.placement.resize(record.query.num_operators());
+      for (int& node : record.placement) {
+        node = rng.Int(0, record.cluster.num_nodes() - 1);
+      }
+    } else {
+      const std::vector<int> bins = placement::CapabilityBins(record.cluster);
+      record.placement = placement::SamplePlacement(
+          record.query, record.cluster, bins, rng);
+    }
+
+    sim::FluidConfig fluid_config;
+    fluid_config.duration_s = config.duration_s;
+    fluid_config.noise_sigma = config.noise_sigma;
+    fluid_config.noise_seed = rng.Fork();
+    record.metrics = sim::EvaluateFluid(record.query, record.cluster,
+                                        record.placement, fluid_config)
+                         .metrics;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<core::TrainSample> ToTrainSamples(
+    const std::vector<TraceRecord>& records, sim::Metric metric,
+    core::FeaturizationMode mode) {
+  std::vector<core::TrainSample> samples;
+  samples.reserve(records.size());
+  const bool regression = sim::IsRegressionMetric(metric);
+  for (const TraceRecord& record : records) {
+    if (regression && !record.metrics.success) continue;
+    core::TrainSample sample;
+    sample.graph =
+        core::BuildJointGraph(record.query, record.cluster, record.placement,
+                              mode);
+    if (regression) {
+      sample.regression_target = sim::RegressionValue(record.metrics, metric);
+    } else {
+      sample.label = sim::BinaryLabel(record.metrics, metric);
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+void ToFlatDataset(const std::vector<TraceRecord>& records, sim::Metric metric,
+                   std::vector<std::vector<double>>* features,
+                   std::vector<double>* targets) {
+  COSTREAM_CHECK(features != nullptr && targets != nullptr);
+  features->clear();
+  targets->clear();
+  const bool regression = sim::IsRegressionMetric(metric);
+  for (const TraceRecord& record : records) {
+    if (regression && !record.metrics.success) continue;
+    features->push_back(baselines::FlatVectorFeatures(
+        record.query, record.cluster, record.placement));
+    if (regression) {
+      targets->push_back(sim::RegressionValue(record.metrics, metric));
+    } else {
+      targets->push_back(sim::BinaryLabel(record.metrics, metric) ? 1.0 : 0.0);
+    }
+  }
+}
+
+SplitIndices SplitCorpus(int num_records, double train_fraction,
+                         double val_fraction, uint64_t seed) {
+  COSTREAM_CHECK(num_records > 0);
+  COSTREAM_CHECK(train_fraction + val_fraction <= 1.0);
+  std::vector<int> order(num_records);
+  std::iota(order.begin(), order.end(), 0);
+  nn::Rng rng(seed);
+  rng.Shuffle(order);
+  SplitIndices split;
+  const int train_end = static_cast<int>(num_records * train_fraction);
+  const int val_end =
+      train_end + static_cast<int>(num_records * val_fraction);
+  for (int i = 0; i < num_records; ++i) {
+    if (i < train_end) {
+      split.train.push_back(order[i]);
+    } else if (i < val_end) {
+      split.val.push_back(order[i]);
+    } else {
+      split.test.push_back(order[i]);
+    }
+  }
+  return split;
+}
+
+std::vector<TraceRecord> Gather(const std::vector<TraceRecord>& records,
+                                const std::vector<int>& indices) {
+  std::vector<TraceRecord> result;
+  result.reserve(indices.size());
+  for (int i : indices) {
+    COSTREAM_CHECK(i >= 0 && i < static_cast<int>(records.size()));
+    result.push_back(records[i]);
+  }
+  return result;
+}
+
+}  // namespace costream::workload

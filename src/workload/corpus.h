@@ -1,0 +1,77 @@
+#ifndef COSTREAM_WORKLOAD_CORPUS_H_
+#define COSTREAM_WORKLOAD_CORPUS_H_
+
+#include <vector>
+
+#include "core/trainer.h"
+#include "sim/cost_metrics.h"
+#include "sim/fluid_engine.h"
+#include "workload/generator.h"
+
+namespace costream::workload {
+
+// One entry of the cost estimation benchmark (paper Section VI): a query,
+// the cluster it ran on, the chosen operator placement, and the observed
+// cost metrics.
+struct TraceRecord {
+  dsps::QueryGraph query;
+  sim::Cluster cluster;
+  sim::Placement placement;
+  sim::CostMetrics metrics;
+  QueryTemplate template_kind = QueryTemplate::kLinear;
+  int num_filters = 0;
+};
+
+struct CorpusConfig {
+  int num_queries = 3000;
+  uint64_t seed = 42;
+  GeneratorConfig generator;
+  // Template mix of the paper's benchmark (35% linear, 34% 2-way, 31% 3-way).
+  std::vector<QueryTemplate> templates = {QueryTemplate::kLinear,
+                                          QueryTemplate::kTwoWayJoin,
+                                          QueryTemplate::kThreeWayJoin};
+  std::vector<double> template_weights = {0.35, 0.34, 0.31};
+  // Label-collection settings (paper: 4-minute executions).
+  double duration_s = 240.0;
+  double noise_sigma = 0.08;
+  // Fraction of records whose placement is sampled uniformly (ignoring the
+  // capability-bin heuristic). The paper's training corpus deliberately
+  // covers bad placements — overloaded weak nodes are what produce the
+  // backpressure and failure labels the classifiers learn from.
+  double random_placement_fraction = 0.3;
+};
+
+// Generates a labelled corpus: for each entry a random query, cluster and
+// rule-conforming placement are sampled and the fluid engine provides the
+// cost labels.
+std::vector<TraceRecord> BuildCorpus(const CorpusConfig& config);
+
+// Featurizes records into GNN training samples for `metric`. For regression
+// metrics, failed executions are dropped (their latency/throughput labels
+// are not meaningful); classification metrics keep every record.
+std::vector<core::TrainSample> ToTrainSamples(
+    const std::vector<TraceRecord>& records, sim::Metric metric,
+    core::FeaturizationMode mode = core::FeaturizationMode::kFull);
+
+// Featurizes records for the flat-vector baseline. Targets follow the same
+// conventions as ToTrainSamples (classification labels are 0/1).
+void ToFlatDataset(const std::vector<TraceRecord>& records, sim::Metric metric,
+                   std::vector<std::vector<double>>* features,
+                   std::vector<double>* targets);
+
+// Deterministic shuffled index split (train / validation / test).
+struct SplitIndices {
+  std::vector<int> train;
+  std::vector<int> val;
+  std::vector<int> test;
+};
+SplitIndices SplitCorpus(int num_records, double train_fraction,
+                         double val_fraction, uint64_t seed);
+
+// Gathers the records at `indices`.
+std::vector<TraceRecord> Gather(const std::vector<TraceRecord>& records,
+                                const std::vector<int>& indices);
+
+}  // namespace costream::workload
+
+#endif  // COSTREAM_WORKLOAD_CORPUS_H_

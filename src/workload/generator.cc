@@ -1,0 +1,225 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "dsps/query_builder.h"
+
+namespace costream::workload {
+
+namespace {
+
+using dsps::DataType;
+using dsps::GroupByType;
+using dsps::QueryBuilder;
+using dsps::QueryGraph;
+using dsps::WindowPolicy;
+using dsps::WindowSpec;
+using dsps::WindowType;
+
+std::vector<DataType> RandomTupleTypes(const WorkloadGrid& grid,
+                                       nn::Rng& rng) {
+  const int width = rng.Choice(grid.tuple_width);
+  std::vector<DataType> types;
+  types.reserve(width);
+  for (int i = 0; i < width; ++i) {
+    types.push_back(static_cast<DataType>(rng.Int(0, 2)));
+  }
+  return types;
+}
+
+WindowSpec RandomWindow(const WorkloadGrid& grid, nn::Rng& rng) {
+  WindowSpec w;
+  w.type = rng.Choice(grid.window_types);
+  w.policy = rng.Choice(grid.window_policies);
+  w.size = w.policy == WindowPolicy::kCountBased
+               ? rng.Choice(grid.window_count_sizes)
+               : rng.Choice(grid.window_time_sizes);
+  w.slide = w.type == WindowType::kSliding
+                ? w.size * rng.Uniform(grid.slide_fraction_min,
+                                       grid.slide_fraction_max)
+                : w.size;
+  return w;
+}
+
+// Log-uniform selectivities give the long-tailed output rates the paper's
+// workload exhibits (and produce failing / backpressured labels).
+double RandomFilterSelectivity(nn::Rng& rng) {
+  return std::exp(rng.Uniform(std::log(0.01), std::log(1.0)));
+}
+double RandomJoinSelectivity(nn::Rng& rng) {
+  return std::exp(rng.Uniform(std::log(1e-4), std::log(0.1)));
+}
+double RandomAggSelectivity(nn::Rng& rng) {
+  return rng.Uniform(0.05, 1.0);
+}
+
+QueryBuilder::Stream AddFilter(QueryBuilder& b, QueryBuilder::Stream in,
+                               const WorkloadGrid& grid, nn::Rng& rng) {
+  return b.Filter(in, rng.Choice(grid.filter_functions),
+                  rng.Choice(grid.literal_types),
+                  RandomFilterSelectivity(rng));
+}
+
+QueryBuilder::Stream AddAggregate(QueryBuilder& b, QueryBuilder::Stream in,
+                                  const WorkloadGrid& grid, nn::Rng& rng) {
+  return b.WindowedAggregate(in, RandomWindow(grid, rng),
+                             rng.Choice(grid.aggregate_functions),
+                             rng.Choice(grid.group_by_types),
+                             rng.Choice(grid.aggregate_data_types),
+                             RandomAggSelectivity(rng));
+}
+
+// Number of filters per query (paper Section VI distribution).
+int SampleFilterCount(nn::Rng& rng, int max_positions) {
+  const double u = rng.Uniform(0.0, 1.0);
+  double acc = 0.0;
+  int count = 1;
+  for (int i = 0; i < 4; ++i) {
+    acc += kFilterCountWeights[i];
+    if (u < acc) {
+      count = i + 1;
+      break;
+    }
+  }
+  return std::min(count, max_positions);
+}
+
+}  // namespace
+
+const char* ToString(QueryTemplate t) {
+  switch (t) {
+    case QueryTemplate::kLinear:
+      return "linear";
+    case QueryTemplate::kTwoWayJoin:
+      return "2-way-join";
+    case QueryTemplate::kThreeWayJoin:
+      return "3-way-join";
+    case QueryTemplate::kFilterChain:
+      return "filter-chain";
+  }
+  return "?";
+}
+
+QueryGraph QueryGenerator::Generate(QueryTemplate t, nn::Rng& rng) const {
+  QueryGraph query;
+  switch (t) {
+    case QueryTemplate::kLinear:
+      query = GenerateLinear(rng, SampleFilterCount(rng, 2));
+      break;
+    case QueryTemplate::kTwoWayJoin:
+      query = GenerateJoin(rng, 2, SampleFilterCount(rng, 3));
+      break;
+    case QueryTemplate::kThreeWayJoin:
+      query = GenerateJoin(rng, 3, SampleFilterCount(rng, 4));
+      break;
+    case QueryTemplate::kFilterChain:
+      query = GenerateFilterChain(rng);
+      break;
+  }
+  if (config_.parallelism_fraction > 0.0 &&
+      !config_.parallelism_choices.empty()) {
+    for (int id = 0; id < query.num_operators(); ++id) {
+      // Window nodes are bookkeeping; their windowed consumer carries the
+      // parallelism.
+      if (query.op(id).type == dsps::OperatorType::kWindow) continue;
+      if (rng.Bernoulli(config_.parallelism_fraction)) {
+        query.mutable_op(id).parallelism =
+            rng.Choice(config_.parallelism_choices);
+      }
+    }
+  }
+  return query;
+}
+
+QueryGraph QueryGenerator::GenerateLinear(nn::Rng& rng,
+                                          int num_filters) const {
+  const WorkloadGrid& grid = config_.workload;
+  QueryBuilder b;
+  auto s = b.Source(rng.Choice(grid.event_rate_linear),
+                    RandomTupleTypes(grid, rng));
+  // Position 1: directly after the source.
+  if (num_filters >= 1) s = AddFilter(b, s, grid, rng);
+  const bool aggregate = rng.Bernoulli(config_.aggregation_probability);
+  if (aggregate) {
+    s = AddAggregate(b, s, grid, rng);
+    // Position 2: after the aggregation (only possible when one exists).
+    if (num_filters >= 2) s = AddFilter(b, s, grid, rng);
+  }
+  return b.Sink(s);
+}
+
+QueryGraph QueryGenerator::GenerateJoin(nn::Rng& rng, int ways,
+                                        int num_filters) const {
+  COSTREAM_CHECK(ways == 2 || ways == 3);
+  const WorkloadGrid& grid = config_.workload;
+  const std::vector<double>& rates = ways == 2 ? grid.event_rate_two_way
+                                               : grid.event_rate_three_way;
+  QueryBuilder b;
+  // Filter positions: one per source branch plus one after the final join.
+  const int positions = ways + 1;
+  std::vector<bool> filter_at(positions, false);
+  {
+    std::vector<int> slots(positions);
+    for (int i = 0; i < positions; ++i) slots[i] = i;
+    rng.Shuffle(slots);
+    for (int i = 0; i < num_filters && i < positions; ++i) {
+      filter_at[slots[i]] = true;
+    }
+  }
+
+  std::vector<QueryBuilder::Stream> branches;
+  for (int w = 0; w < ways; ++w) {
+    auto s = b.Source(rng.Choice(rates), RandomTupleTypes(grid, rng));
+    if (filter_at[w]) s = AddFilter(b, s, grid, rng);
+    branches.push_back(s);
+  }
+  auto joined = b.WindowedJoin(branches[0], branches[1],
+                               RandomWindow(grid, rng),
+                               rng.Choice(grid.join_key_types),
+                               RandomJoinSelectivity(rng));
+  if (ways == 3) {
+    joined = b.WindowedJoin(joined, branches[2], RandomWindow(grid, rng),
+                            rng.Choice(grid.join_key_types),
+                            RandomJoinSelectivity(rng));
+  }
+  if (filter_at[positions - 1]) joined = AddFilter(b, joined, grid, rng);
+  if (rng.Bernoulli(config_.aggregation_probability)) {
+    joined = AddAggregate(b, joined, grid, rng);
+  }
+  return b.Sink(joined);
+}
+
+QueryGraph QueryGenerator::GenerateFilterChain(nn::Rng& rng) const {
+  const WorkloadGrid& grid = config_.workload;
+  COSTREAM_CHECK(config_.filter_chain_length >= 2);
+  QueryBuilder b;
+  auto s = b.Source(rng.Choice(grid.event_rate_linear),
+                    RandomTupleTypes(grid, rng));
+  for (int i = 0; i < config_.filter_chain_length; ++i) {
+    // Chains of mild filters keep some output flowing even for length 4.
+    s = b.Filter(s, rng.Choice(grid.filter_functions),
+                 rng.Choice(grid.literal_types),
+                 std::exp(rng.Uniform(std::log(0.2), std::log(1.0))));
+  }
+  return b.Sink(s);
+}
+
+sim::Cluster QueryGenerator::GenerateCluster(nn::Rng& rng) const {
+  const HardwareGrid& grid = config_.hardware;
+  sim::Cluster cluster;
+  const int n = rng.Int(config_.min_cluster_nodes, config_.max_cluster_nodes);
+  cluster.nodes.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    sim::HardwareNode node;
+    node.cpu_pct = rng.Choice(grid.cpu_pct);
+    node.ram_mb = rng.Choice(grid.ram_mb);
+    node.bandwidth_mbits = rng.Choice(grid.bandwidth_mbits);
+    node.latency_ms = rng.Choice(grid.latency_ms);
+    cluster.nodes.push_back(node);
+  }
+  return cluster;
+}
+
+}  // namespace costream::workload

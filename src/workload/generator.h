@@ -1,0 +1,69 @@
+#ifndef COSTREAM_WORKLOAD_GENERATOR_H_
+#define COSTREAM_WORKLOAD_GENERATOR_H_
+
+#include "dsps/query_graph.h"
+#include "nn/random.h"
+#include "sim/hardware.h"
+#include "workload/grids.h"
+
+namespace costream::workload {
+
+// Query templates of the cost estimation benchmark (paper Section VI,
+// Figure 6): linear filter queries, 2-way and 3-way windowed joins, plus the
+// filter-chain pattern that only appears in the unseen-structure experiment
+// (Exp 5).
+enum class QueryTemplate {
+  kLinear,
+  kTwoWayJoin,
+  kThreeWayJoin,
+  kFilterChain,
+};
+
+const char* ToString(QueryTemplate t);
+
+struct GeneratorConfig {
+  WorkloadGrid workload = WorkloadGrid::Training();
+  HardwareGrid hardware = HardwareGrid::Training();
+  int min_cluster_nodes = 3;
+  int max_cluster_nodes = 8;
+  // Chain length for kFilterChain queries.
+  int filter_chain_length = 2;
+  // Probability that a query has a windowed aggregation ("in half of the
+  // queries, we applied an aggregation").
+  double aggregation_probability = 0.5;
+  // Degree-of-parallelism extension: fraction of operators that receive a
+  // random parallelism from `parallelism_choices` (0 disables; the paper's
+  // core corpus runs every operator with a single instance).
+  double parallelism_fraction = 0.0;
+  std::vector<int> parallelism_choices = {2, 4, 8};
+};
+
+// Generates random streaming queries and clusters from the configured grids.
+// All randomness comes from the Rng passed per call, so corpora are
+// reproducible.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(const GeneratorConfig& config) : config_(config) {}
+
+  // A random query of the given template. The total number of filters is
+  // drawn from the paper's filter-count distribution; filters never chain
+  // (at most one per dataflow position), so filter chains stay structurally
+  // unseen until Exp 5.
+  dsps::QueryGraph Generate(QueryTemplate t, nn::Rng& rng) const;
+
+  // A random heterogeneous cluster with features from the hardware grid.
+  sim::Cluster GenerateCluster(nn::Rng& rng) const;
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  dsps::QueryGraph GenerateLinear(nn::Rng& rng, int num_filters) const;
+  dsps::QueryGraph GenerateJoin(nn::Rng& rng, int ways, int num_filters) const;
+  dsps::QueryGraph GenerateFilterChain(nn::Rng& rng) const;
+
+  GeneratorConfig config_;
+};
+
+}  // namespace costream::workload
+
+#endif  // COSTREAM_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,59 @@
+#include "workload/grids.h"
+
+namespace costream::workload {
+
+using dsps::AggregateFunction;
+using dsps::DataType;
+using dsps::FilterFunction;
+using dsps::GroupByType;
+using dsps::WindowPolicy;
+using dsps::WindowType;
+
+HardwareGrid HardwareGrid::Training() {
+  HardwareGrid g;
+  g.cpu_pct = {50, 100, 200, 300, 400, 500, 600, 700, 800};
+  g.ram_mb = {1000, 2000, 4000, 8000, 16000, 24000, 32000};
+  g.bandwidth_mbits = {25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 10000};
+  g.latency_ms = {1, 2, 5, 10, 20, 40, 80, 160};
+  return g;
+}
+
+HardwareGrid HardwareGrid::Interpolation() {
+  // Table IV (A), evaluation row: inside the training range but disjoint
+  // from every training grid point.
+  HardwareGrid g;
+  g.cpu_pct = {75, 150, 250, 350, 450, 550, 650, 750};
+  g.ram_mb = {1500, 3000, 6000, 12000, 20000, 28000};
+  g.bandwidth_mbits = {35, 75, 150, 250, 550, 1200, 1900, 4800, 8000};
+  g.latency_ms = {3, 7, 15, 30, 60, 120};
+  return g;
+}
+
+WorkloadGrid WorkloadGrid::Training() {
+  WorkloadGrid g;
+  g.event_rate_linear = {100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600};
+  g.event_rate_two_way = {50, 100, 250, 500, 750, 1000, 1250, 1500, 1750,
+                          2000};
+  g.event_rate_three_way = {20,  50,  100, 200, 300, 400,
+                            500, 600, 700, 800, 900, 1000};
+  g.tuple_width = {3, 4, 5, 6, 7, 8, 9, 10};
+  g.filter_functions = {FilterFunction::kLess,       FilterFunction::kGreater,
+                        FilterFunction::kLessEq,     FilterFunction::kGreaterEq,
+                        FilterFunction::kNotEq,      FilterFunction::kStartsWith,
+                        FilterFunction::kEndsWith};
+  g.literal_types = {DataType::kInt, DataType::kString, DataType::kDouble};
+  g.window_types = {WindowType::kSliding, WindowType::kTumbling};
+  g.window_policies = {WindowPolicy::kCountBased, WindowPolicy::kTimeBased};
+  g.window_count_sizes = {5, 10, 20, 40, 80, 160, 320, 640};
+  g.window_time_sizes = {0.25, 0.5, 1, 2, 4, 8, 16};
+  g.join_key_types = {DataType::kInt, DataType::kString, DataType::kDouble};
+  g.aggregate_functions = {AggregateFunction::kMin, AggregateFunction::kMax,
+                           AggregateFunction::kMean, AggregateFunction::kAvg};
+  g.group_by_types = {GroupByType::kInt, GroupByType::kDouble,
+                      GroupByType::kString, GroupByType::kNone};
+  g.aggregate_data_types = {DataType::kInt, DataType::kString,
+                            DataType::kDouble};
+  return g;
+}
+
+}  // namespace costream::workload

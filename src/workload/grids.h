@@ -1,0 +1,52 @@
+#ifndef COSTREAM_WORKLOAD_GRIDS_H_
+#define COSTREAM_WORKLOAD_GRIDS_H_
+
+#include <vector>
+
+#include "dsps/types.h"
+
+namespace costream::workload {
+
+// Hardware feature grids (paper Table II / Table IV / Table V). Clusters are
+// sampled by picking each node's features uniformly from these grids.
+struct HardwareGrid {
+  std::vector<double> cpu_pct;
+  std::vector<double> ram_mb;
+  std::vector<double> bandwidth_mbits;
+  std::vector<double> latency_ms;
+
+  // Training grid of Table II.
+  static HardwareGrid Training();
+  // Unseen in-range evaluation grid of Table IV (A) (Exp 3).
+  static HardwareGrid Interpolation();
+};
+
+// Workload feature grids (paper Table II).
+struct WorkloadGrid {
+  std::vector<double> event_rate_linear;
+  std::vector<double> event_rate_two_way;
+  std::vector<double> event_rate_three_way;
+  std::vector<int> tuple_width;  // number of attributes, [3 .. 10]
+  std::vector<dsps::FilterFunction> filter_functions;
+  std::vector<dsps::DataType> literal_types;
+  std::vector<dsps::WindowType> window_types;
+  std::vector<dsps::WindowPolicy> window_policies;
+  std::vector<double> window_count_sizes;  // tuples
+  std::vector<double> window_time_sizes;   // seconds
+  double slide_fraction_min = 0.3;  // slide = fraction * window length
+  double slide_fraction_max = 0.7;
+  std::vector<dsps::DataType> join_key_types;
+  std::vector<dsps::AggregateFunction> aggregate_functions;
+  std::vector<dsps::GroupByType> group_by_types;
+  std::vector<dsps::DataType> aggregate_data_types;
+
+  static WorkloadGrid Training();
+};
+
+// Distribution of the number of filters per query (paper Section VI: 35% of
+// queries have 1, 34% have 2, 24% have 3, 6% have 4 filters).
+inline constexpr double kFilterCountWeights[] = {0.35, 0.34, 0.24, 0.06};
+
+}  // namespace costream::workload
+
+#endif  // COSTREAM_WORKLOAD_GRIDS_H_

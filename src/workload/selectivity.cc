@@ -1,0 +1,190 @@
+#include "workload/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace costream::workload {
+
+namespace {
+
+using dsps::DataType;
+using dsps::FilterFunction;
+
+double AsDouble(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return static_cast<double>(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  COSTREAM_CHECK_MSG(false, "numeric value expected");
+  return 0.0;
+}
+
+bool IsString(const Value& v) {
+  return std::holds_alternative<std::string>(v);
+}
+
+// Key for equality matching / distinct counting.
+std::string EqualityKey(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return "i" + std::to_string(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) {
+    return "d" + std::to_string(std::get<double>(v));
+  }
+  return "s" + std::get<std::string>(v);
+}
+
+bool EvaluatePredicate(const Value& value, FilterFunction function,
+                       const Value& literal) {
+  switch (function) {
+    case FilterFunction::kLess:
+      return AsDouble(value) < AsDouble(literal);
+    case FilterFunction::kGreater:
+      return AsDouble(value) > AsDouble(literal);
+    case FilterFunction::kLessEq:
+      return AsDouble(value) <= AsDouble(literal);
+    case FilterFunction::kGreaterEq:
+      return AsDouble(value) >= AsDouble(literal);
+    case FilterFunction::kNotEq:
+      return EqualityKey(value) != EqualityKey(literal);
+    case FilterFunction::kStartsWith: {
+      COSTREAM_CHECK_MSG(IsString(value) && IsString(literal),
+                         "affix predicate requires strings");
+      const std::string& s = std::get<std::string>(value);
+      const std::string& prefix = std::get<std::string>(literal);
+      return s.size() >= prefix.size() &&
+             s.compare(0, prefix.size(), prefix) == 0;
+    }
+    case FilterFunction::kEndsWith: {
+      COSTREAM_CHECK_MSG(IsString(value) && IsString(literal),
+                         "affix predicate requires strings");
+      const std::string& s = std::get<std::string>(value);
+      const std::string& suffix = std::get<std::string>(literal);
+      return s.size() >= suffix.size() &&
+             s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ColumnSample UniformIntColumn(int n, int64_t domain, nn::Rng& rng) {
+  COSTREAM_CHECK(n > 0 && domain > 0);
+  ColumnSample column;
+  column.type = DataType::kInt;
+  column.values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    column.values.emplace_back(rng.Int64(0, domain - 1));
+  }
+  return column;
+}
+
+ColumnSample NormalDoubleColumn(int n, double mean, double stddev,
+                                nn::Rng& rng) {
+  COSTREAM_CHECK(n > 0);
+  ColumnSample column;
+  column.type = DataType::kDouble;
+  column.values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    column.values.emplace_back(rng.Normal(mean, stddev));
+  }
+  return column;
+}
+
+ColumnSample ZipfStringColumn(int n, int distinct, nn::Rng& rng) {
+  COSTREAM_CHECK(n > 0 && distinct > 0);
+  // Zipf(1) weights over the candidate strings.
+  std::vector<double> cumulative(distinct);
+  double total = 0.0;
+  for (int k = 0; k < distinct; ++k) {
+    total += 1.0 / (k + 1);
+    cumulative[k] = total;
+  }
+  ColumnSample column;
+  column.type = DataType::kString;
+  column.values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.Uniform(0.0, total);
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    const int k = static_cast<int>(it - cumulative.begin());
+    column.values.emplace_back("val_" + std::to_string(k));
+  }
+  return column;
+}
+
+double EstimateFilterSelectivity(const ColumnSample& column,
+                                 FilterFunction function,
+                                 const Value& literal) {
+  COSTREAM_CHECK(column.size() > 0);
+  int qualifying = 0;
+  for (const Value& v : column.values) {
+    if (EvaluatePredicate(v, function, literal)) ++qualifying;
+  }
+  return static_cast<double>(qualifying) / column.size();
+}
+
+Value LiteralForSelectivity(const ColumnSample& column,
+                            FilterFunction function,
+                            double target_selectivity) {
+  COSTREAM_CHECK(column.size() > 0);
+  COSTREAM_CHECK(target_selectivity >= 0.0 && target_selectivity <= 1.0);
+  COSTREAM_CHECK_MSG(function == FilterFunction::kLess ||
+                         function == FilterFunction::kLessEq ||
+                         function == FilterFunction::kGreater ||
+                         function == FilterFunction::kGreaterEq,
+                     "only ordering comparisons support literal synthesis");
+  std::vector<double> sorted;
+  sorted.reserve(column.size());
+  for (const Value& v : column.values) sorted.push_back(AsDouble(v));
+  std::sort(sorted.begin(), sorted.end());
+  // v < literal qualifies `target` of the sample when literal sits at the
+  // target quantile; > predicates use the complementary quantile.
+  const bool lower_tail = function == FilterFunction::kLess ||
+                          function == FilterFunction::kLessEq;
+  const double q = lower_tail ? target_selectivity : 1.0 - target_selectivity;
+  const size_t index = std::min(
+      static_cast<size_t>(q * sorted.size()), sorted.size() - 1);
+  const double literal = sorted[index];
+  if (column.type == DataType::kInt) {
+    return Value{static_cast<int64_t>(std::llround(literal))};
+  }
+  return Value{literal};
+}
+
+double EstimateJoinSelectivity(const ColumnSample& left,
+                               const ColumnSample& right) {
+  COSTREAM_CHECK(left.size() > 0 && right.size() > 0);
+  std::unordered_map<std::string, int64_t> left_counts;
+  for (const Value& v : left.values) ++left_counts[EqualityKey(v)];
+  int64_t matches = 0;
+  for (const Value& v : right.values) {
+    const auto it = left_counts.find(EqualityKey(v));
+    if (it != left_counts.end()) matches += it->second;
+  }
+  return static_cast<double>(matches) /
+         (static_cast<double>(left.size()) * right.size());
+}
+
+double EstimateAggregateSelectivity(const ColumnSample& group_column,
+                                    double window_tuples) {
+  COSTREAM_CHECK(group_column.size() > 0);
+  COSTREAM_CHECK(window_tuples >= 1.0);
+  std::unordered_map<std::string, int64_t> counts;
+  for (const Value& v : group_column.values) ++counts[EqualityKey(v)];
+  // Expected distinct values in a window of W draws: sum over observed
+  // values of (1 - (1 - p_v)^W), with p_v the value's sample frequency.
+  const double n = group_column.size();
+  double expected_distinct = 0.0;
+  for (const auto& [key, count] : counts) {
+    const double p = count / n;
+    expected_distinct += 1.0 - std::pow(1.0 - p, window_tuples);
+  }
+  return std::clamp(expected_distinct / window_tuples, 0.0, 1.0);
+}
+
+}  // namespace costream::workload

@@ -1,0 +1,71 @@
+#ifndef COSTREAM_WORKLOAD_SELECTIVITY_H_
+#define COSTREAM_WORKLOAD_SELECTIVITY_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dsps/types.h"
+#include "nn/random.h"
+
+namespace costream::workload {
+
+// A single attribute value of a sampled stream.
+using Value = std::variant<int64_t, double, std::string>;
+
+// A representative sample of one stream attribute. The paper's cost model
+// consumes *estimated* selectivities ("we rely on existing estimation
+// techniques for selectivity [31], which require a representative sample of
+// the processed data streams"); this module provides those estimators over
+// value samples.
+struct ColumnSample {
+  dsps::DataType type = dsps::DataType::kInt;
+  std::vector<Value> values;
+
+  int size() const { return static_cast<int>(values.size()); }
+};
+
+// --- Sample generators (synthetic stand-ins for observed stream prefixes) --
+
+// Uniform integers in [0, domain).
+ColumnSample UniformIntColumn(int n, int64_t domain, nn::Rng& rng);
+// Normal doubles.
+ColumnSample NormalDoubleColumn(int n, double mean, double stddev,
+                                nn::Rng& rng);
+// Strings with a Zipf-distributed choice among `distinct` candidates
+// (exponent ~1); models skewed categorical attributes.
+ColumnSample ZipfStringColumn(int n, int distinct, nn::Rng& rng);
+
+// --- Estimators (Definitions 6-8) ------------------------------------------
+
+// Filter selectivity (Definition 6): fraction of sample values satisfying
+// `function` against `literal`. String affix predicates require a string
+// column and literal.
+double EstimateFilterSelectivity(const ColumnSample& column,
+                                 dsps::FilterFunction function,
+                                 const Value& literal);
+
+// Chooses a literal so that the predicate `function` has approximately the
+// requested selectivity on the sampled column (the inverse problem: the
+// workload generator uses it to synthesize predicates with target
+// selectivities). Only ordering comparisons are supported.
+Value LiteralForSelectivity(const ColumnSample& column,
+                            dsps::FilterFunction function,
+                            double target_selectivity);
+
+// Join selectivity (Definition 7): probability that a random pair from the
+// two samples matches on equality, estimated via per-key frequency counts.
+double EstimateJoinSelectivity(const ColumnSample& left,
+                               const ColumnSample& right);
+
+// Aggregation selectivity (Definition 8): expected ratio of distinct
+// group-by values in a window of `window_tuples` tuples to the window
+// length, extrapolated from the sample's distinct-value ratio using a
+// occupancy (birthday-problem) model.
+double EstimateAggregateSelectivity(const ColumnSample& group_column,
+                                    double window_tuples);
+
+}  // namespace costream::workload
+
+#endif  // COSTREAM_WORKLOAD_SELECTIVITY_H_

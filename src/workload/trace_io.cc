@@ -1,0 +1,238 @@
+#include "workload/trace_io.h"
+
+#include <cinttypes>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace costream::workload {
+
+namespace {
+
+using dsps::OperatorDescriptor;
+using dsps::OperatorType;
+
+constexpr char kHeader[] = "#costream-traces v1";
+
+void WriteOperator(std::ostream& os, int id, const OperatorDescriptor& op) {
+  os << "op " << id << ' ' << static_cast<int>(op.type)
+     << " win=" << op.tuple_width_in << " wout=" << op.tuple_width_out
+     << " rate=" << op.input_event_rate
+     << " ff=" << static_cast<int>(op.filter_function)
+     << " lit=" << static_cast<int>(op.literal_data_type)
+     << " wt=" << static_cast<int>(op.window.type)
+     << " wp=" << static_cast<int>(op.window.policy)
+     << " wsz=" << op.window.size << " wsl=" << op.window.slide
+     << " af=" << static_cast<int>(op.aggregate_function)
+     << " gb=" << static_cast<int>(op.group_by_type)
+     << " at=" << static_cast<int>(op.aggregate_data_type)
+     << " jk=" << static_cast<int>(op.join_key_type)
+     << " par=" << op.parallelism << " sel=" << op.selectivity
+     << " fi=" << op.frac_int
+     << " fd=" << op.frac_double << " fs=" << op.frac_string << " types=";
+  for (size_t i = 0; i < op.tuple_data_types.size(); ++i) {
+    if (i > 0) os << ',';
+    os << static_cast<int>(op.tuple_data_types[i]);
+  }
+  if (op.tuple_data_types.empty()) os << '-';
+  os << '\n';
+}
+
+// Parses "key=value" into the value part; aborts the record on mismatch.
+bool ConsumeKey(std::istringstream& is, const char* key, std::string* value) {
+  std::string token;
+  if (!(is >> token)) return false;
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) return false;
+  *value = token.substr(prefix.size());
+  return true;
+}
+
+template <typename T>
+bool ConsumeNumeric(std::istringstream& is, const char* key, T* out) {
+  std::string value;
+  if (!ConsumeKey(is, key, &value)) return false;
+  std::istringstream vs(value);
+  double parsed = 0.0;
+  if (!(vs >> parsed)) return false;
+  *out = static_cast<T>(parsed);
+  return true;
+}
+
+bool ParseOperator(const std::string& line, int* id, OperatorDescriptor* op) {
+  std::istringstream is(line);
+  std::string tag;
+  int type = 0;
+  if (!(is >> tag >> *id >> type) || tag != "op") return false;
+  op->type = static_cast<OperatorType>(type);
+  int ff = 0, lit = 0, wt = 0, wp = 0, af = 0, gb = 0, at = 0, jk = 0;
+  if (!ConsumeNumeric(is, "win", &op->tuple_width_in)) return false;
+  if (!ConsumeNumeric(is, "wout", &op->tuple_width_out)) return false;
+  if (!ConsumeNumeric(is, "rate", &op->input_event_rate)) return false;
+  if (!ConsumeNumeric(is, "ff", &ff)) return false;
+  if (!ConsumeNumeric(is, "lit", &lit)) return false;
+  if (!ConsumeNumeric(is, "wt", &wt)) return false;
+  if (!ConsumeNumeric(is, "wp", &wp)) return false;
+  if (!ConsumeNumeric(is, "wsz", &op->window.size)) return false;
+  if (!ConsumeNumeric(is, "wsl", &op->window.slide)) return false;
+  if (!ConsumeNumeric(is, "af", &af)) return false;
+  if (!ConsumeNumeric(is, "gb", &gb)) return false;
+  if (!ConsumeNumeric(is, "at", &at)) return false;
+  if (!ConsumeNumeric(is, "jk", &jk)) return false;
+  if (!ConsumeNumeric(is, "par", &op->parallelism)) return false;
+  if (!ConsumeNumeric(is, "sel", &op->selectivity)) return false;
+  if (!ConsumeNumeric(is, "fi", &op->frac_int)) return false;
+  if (!ConsumeNumeric(is, "fd", &op->frac_double)) return false;
+  if (!ConsumeNumeric(is, "fs", &op->frac_string)) return false;
+  op->filter_function = static_cast<dsps::FilterFunction>(ff);
+  op->literal_data_type = static_cast<dsps::DataType>(lit);
+  op->window.type = static_cast<dsps::WindowType>(wt);
+  op->window.policy = static_cast<dsps::WindowPolicy>(wp);
+  op->aggregate_function = static_cast<dsps::AggregateFunction>(af);
+  op->group_by_type = static_cast<dsps::GroupByType>(gb);
+  op->aggregate_data_type = static_cast<dsps::DataType>(at);
+  op->join_key_type = static_cast<dsps::DataType>(jk);
+
+  std::string types;
+  if (!ConsumeKey(is, "types", &types)) return false;
+  op->tuple_data_types.clear();
+  if (types != "-") {
+    std::istringstream ts(types);
+    std::string item;
+    while (std::getline(ts, item, ',')) {
+      op->tuple_data_types.push_back(
+          static_cast<dsps::DataType>(std::atoi(item.c_str())));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void SaveTraces(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os.precision(17);
+  os << kHeader << '\n';
+  for (const TraceRecord& record : records) {
+    os << "record\n";
+    os << "template " << static_cast<int>(record.template_kind) << " filters "
+       << record.num_filters << '\n';
+    for (int i = 0; i < record.query.num_operators(); ++i) {
+      WriteOperator(os, i, record.query.op(i));
+    }
+    for (const auto& [from, to] : record.query.edges()) {
+      os << "edge " << from << ' ' << to << '\n';
+    }
+    for (const sim::HardwareNode& node : record.cluster.nodes) {
+      os << "node " << node.cpu_pct << ' ' << node.ram_mb << ' '
+         << node.bandwidth_mbits << ' ' << node.latency_ms << '\n';
+    }
+    os << "placement";
+    for (int n : record.placement) os << ' ' << n;
+    os << '\n';
+    os << "metrics T " << record.metrics.throughput << " Lp "
+       << record.metrics.processing_latency_ms << " Le "
+       << record.metrics.e2e_latency_ms << " bp "
+       << (record.metrics.backpressure ? 1 : 0) << " success "
+       << (record.metrics.success ? 1 : 0) << '\n';
+    os << "end\n";
+  }
+}
+
+bool LoadTraces(std::istream& is, std::vector<TraceRecord>* records) {
+  COSTREAM_CHECK(records != nullptr);
+  records->clear();
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) return false;
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line != "record") return false;
+    TraceRecord record;
+    std::vector<std::pair<int, OperatorDescriptor>> ops;
+    std::vector<std::pair<int, int>> edges;
+    bool closed = false;
+    while (std::getline(is, line)) {
+      if (line == "end") {
+        closed = true;
+        break;
+      }
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "template") {
+        int t = 0;
+        std::string filters_tag;
+        if (!(ls >> t >> filters_tag >> record.num_filters) ||
+            filters_tag != "filters") {
+          return false;
+        }
+        record.template_kind = static_cast<QueryTemplate>(t);
+      } else if (tag == "op") {
+        int id = 0;
+        OperatorDescriptor op;
+        if (!ParseOperator(line, &id, &op)) return false;
+        ops.emplace_back(id, op);
+      } else if (tag == "edge") {
+        int from = 0, to = 0;
+        if (!(ls >> from >> to)) return false;
+        edges.emplace_back(from, to);
+      } else if (tag == "node") {
+        sim::HardwareNode node;
+        if (!(ls >> node.cpu_pct >> node.ram_mb >> node.bandwidth_mbits >>
+              node.latency_ms)) {
+          return false;
+        }
+        record.cluster.nodes.push_back(node);
+      } else if (tag == "placement") {
+        int n = 0;
+        while (ls >> n) record.placement.push_back(n);
+      } else if (tag == "metrics") {
+        std::string k1, k2, k3, k4, k5;
+        int bp = 0, success = 0;
+        if (!(ls >> k1 >> record.metrics.throughput >> k2 >>
+              record.metrics.processing_latency_ms >> k3 >>
+              record.metrics.e2e_latency_ms >> k4 >> bp >> k5 >> success)) {
+          return false;
+        }
+        record.metrics.backpressure = bp != 0;
+        record.metrics.success = success != 0;
+      } else {
+        return false;
+      }
+    }
+    if (!closed) return false;
+    // Operators must arrive in id order for ids to stay stable.
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].first != static_cast<int>(i)) return false;
+      record.query.AddOperator(ops[i].second);
+    }
+    for (const auto& [from, to] : edges) record.query.AddEdge(from, to);
+    if (!record.query.Validate().empty()) return false;
+    if (sim::ValidatePlacement(record.query, record.cluster, record.placement)
+            .empty() == false) {
+      return false;
+    }
+    records->push_back(std::move(record));
+  }
+  return true;
+}
+
+bool SaveTracesToFile(const std::string& path,
+                      const std::vector<TraceRecord>& records) {
+  std::ofstream os(path);
+  if (!os) return false;
+  SaveTraces(os, records);
+  return os.good();
+}
+
+bool LoadTracesFromFile(const std::string& path,
+                        std::vector<TraceRecord>* records) {
+  std::ifstream is(path);
+  if (!is) return false;
+  return LoadTraces(is, records);
+}
+
+}  // namespace costream::workload

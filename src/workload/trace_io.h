@@ -1,0 +1,40 @@
+#ifndef COSTREAM_WORKLOAD_TRACE_IO_H_
+#define COSTREAM_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/corpus.h"
+
+namespace costream::workload {
+
+// Persistence for the cost estimation benchmark (paper Section VI releases
+// the corpus of query traces as a community artifact). The format is a
+// line-oriented, versioned text format: human-diffable, append-friendly and
+// dependency-free.
+//
+//   #costream-traces v1
+//   record
+//   template <idx> filters <n>
+//   op <id> <type> key=value...
+//   edge <from> <to>
+//   node <cpu> <ram> <bandwidth> <latency>
+//   placement <n0> <n1> ...
+//   metrics T <t> Lp <ms> Le <ms> bp <0|1> success <0|1>
+//   end
+//
+// Save/Load round-trip exactly (doubles are printed with enough digits).
+void SaveTraces(std::ostream& os, const std::vector<TraceRecord>& records);
+// Returns false on parse errors; `records` receives successfully parsed
+// entries up to the first error.
+bool LoadTraces(std::istream& is, std::vector<TraceRecord>* records);
+
+bool SaveTracesToFile(const std::string& path,
+                      const std::vector<TraceRecord>& records);
+bool LoadTracesFromFile(const std::string& path,
+                        std::vector<TraceRecord>* records);
+
+}  // namespace costream::workload
+
+#endif  // COSTREAM_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,162 @@
+#include "baselines/gbdt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/random.h"
+
+namespace costream::baselines {
+namespace {
+
+TEST(GbdtTest, FitsConstantFunction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(5.0);
+  }
+  Gbdt gbdt(GbdtConfig{}, GbdtObjective::kSquaredError);
+  gbdt.Fit(x, y);
+  EXPECT_NEAR(gbdt.Predict({50.0}), 5.0, 1e-6);
+}
+
+TEST(GbdtTest, FitsStepFunction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double v = i / 400.0;
+    x.push_back({v});
+    y.push_back(v < 0.5 ? 1.0 : 10.0);
+  }
+  GbdtConfig config;
+  config.subsample = 1.0;
+  Gbdt gbdt(config, GbdtObjective::kSquaredError);
+  gbdt.Fit(x, y);
+  EXPECT_NEAR(gbdt.Predict({0.2}), 1.0, 0.3);
+  EXPECT_NEAR(gbdt.Predict({0.8}), 10.0, 0.3);
+}
+
+TEST(GbdtTest, FitsSmoothNonlinearFunction) {
+  nn::Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 1500; ++i) {
+    const double a = rng.Uniform(-2.0, 2.0);
+    const double b = rng.Uniform(-2.0, 2.0);
+    x.push_back({a, b});
+    y.push_back(a * a + std::sin(b));
+  }
+  GbdtConfig config;
+  config.num_trees = 200;
+  Gbdt gbdt(config, GbdtObjective::kSquaredError);
+  gbdt.Fit(x, y);
+  double mae = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Uniform(-1.8, 1.8);
+    const double b = rng.Uniform(-1.8, 1.8);
+    mae += std::fabs(gbdt.Predict({a, b}) - (a * a + std::sin(b)));
+  }
+  EXPECT_LT(mae / 200.0, 0.25);
+}
+
+TEST(GbdtTest, SquaredLogErrorHandlesWideRanges) {
+  nn::Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 1000; ++i) {
+    const double e = rng.Uniform(0.0, 6.0);
+    x.push_back({e});
+    y.push_back(std::pow(10.0, e));  // 1 .. 1e6
+  }
+  Gbdt gbdt(GbdtConfig{}, GbdtObjective::kSquaredLogError);
+  gbdt.Fit(x, y);
+  // Relative (q-error style) accuracy across the whole range.
+  for (double e : {0.5, 2.0, 4.0, 5.5}) {
+    const double predicted = gbdt.Predict({e});
+    const double actual = std::pow(10.0, e);
+    const double q = std::max(predicted / actual, actual / predicted);
+    EXPECT_LT(q, 1.5) << "exponent " << e;
+  }
+}
+
+TEST(GbdtTest, LogisticSeparatesClasses) {
+  nn::Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.Uniform(-1.0, 1.0);
+    const double b = rng.Uniform(-1.0, 1.0);
+    x.push_back({a, b});
+    y.push_back(a + b > 0.0 ? 1.0 : 0.0);
+  }
+  Gbdt gbdt(GbdtConfig{}, GbdtObjective::kLogistic);
+  gbdt.Fit(x, y);
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Uniform(-1.0, 1.0);
+    const double b = rng.Uniform(-1.0, 1.0);
+    const bool predicted = gbdt.Predict({a, b}) >= 0.5;
+    if (predicted == (a + b > 0.0)) ++correct;
+  }
+  EXPECT_GT(correct, 180);
+}
+
+TEST(GbdtTest, LogisticOutputsProbabilities) {
+  std::vector<std::vector<double>> x = {{0.0}, {1.0}, {0.0}, {1.0}};
+  std::vector<double> y = {0.0, 1.0, 0.0, 1.0};
+  GbdtConfig config;
+  config.num_trees = 10;
+  config.min_samples_leaf = 1;
+  config.subsample = 1.0;
+  Gbdt gbdt(config, GbdtObjective::kLogistic);
+  gbdt.Fit(x, y);
+  const double p0 = gbdt.Predict({0.0});
+  const double p1 = gbdt.Predict({1.0});
+  EXPECT_GE(p0, 0.0);
+  EXPECT_LE(p0, 1.0);
+  EXPECT_LT(p0, p1);
+}
+
+TEST(GbdtTest, DeterministicForSameSeed) {
+  nn::Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Uniform(0.0, 1.0);
+    x.push_back({a});
+    y.push_back(3.0 * a);
+  }
+  Gbdt a(GbdtConfig{}, GbdtObjective::kSquaredError);
+  Gbdt b(GbdtConfig{}, GbdtObjective::kSquaredError);
+  a.Fit(x, y);
+  b.Fit(x, y);
+  for (double v : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(a.Predict({v}), b.Predict({v}));
+  }
+}
+
+TEST(GbdtTest, RespectsMinSamplesLeaf) {
+  // With min_samples_leaf = n, no split is possible: prediction = mean.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 10 ? 0.0 : 10.0);
+  }
+  GbdtConfig config;
+  config.min_samples_leaf = 20;
+  config.subsample = 1.0;
+  Gbdt gbdt(config, GbdtObjective::kSquaredError);
+  gbdt.Fit(x, y);
+  EXPECT_NEAR(gbdt.Predict({0.0}), 5.0, 1e-6);
+  EXPECT_NEAR(gbdt.Predict({19.0}), 5.0, 1e-6);
+}
+
+TEST(GbdtDeathTest, PredictBeforeFitAborts) {
+  Gbdt gbdt(GbdtConfig{}, GbdtObjective::kSquaredError);
+  EXPECT_DEATH(gbdt.Predict({1.0}), "COSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace costream::baselines

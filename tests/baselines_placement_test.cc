@@ -1,0 +1,183 @@
+#include "baselines/flat_vector.h"
+#include "baselines/heuristic.h"
+#include "baselines/monitoring.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsps/query_builder.h"
+#include "placement/enumeration.h"
+#include "workload/corpus.h"
+
+namespace costream::baselines {
+namespace {
+
+sim::Cluster HeterogeneousCluster() {
+  sim::Cluster cluster;
+  cluster.nodes.push_back({50.0, 1000.0, 25.0, 80.0});
+  cluster.nodes.push_back({100.0, 2000.0, 100.0, 40.0});
+  cluster.nodes.push_back({400.0, 8000.0, 1600.0, 5.0});
+  cluster.nodes.push_back({800.0, 32000.0, 10000.0, 1.0});
+  return cluster;
+}
+
+dsps::QueryGraph RandomQuery(workload::QueryTemplate t, uint64_t seed) {
+  workload::QueryGenerator generator(workload::GeneratorConfig{});
+  nn::Rng rng(seed);
+  return generator.Generate(t, rng);
+}
+
+TEST(FlatVectorTest, DimensionIsStable) {
+  const dsps::QueryGraph q =
+      RandomQuery(workload::QueryTemplate::kThreeWayJoin, 1);
+  sim::Cluster cluster = HeterogeneousCluster();
+  sim::Placement placement(q.num_operators(), 3);
+  const auto features = FlatVectorFeatures(q, cluster, placement);
+  EXPECT_EQ(static_cast<int>(features.size()), kFlatVectorDim);
+  for (double f : features) EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST(FlatVectorTest, FeatureNamesCoverAllSlots) {
+  for (int i = 0; i < kFlatVectorDim; ++i) {
+    EXPECT_STRNE(FlatVectorFeatureName(i), "");
+  }
+}
+
+TEST(FlatVectorTest, CountsOperatorsCorrectly) {
+  const dsps::QueryGraph q =
+      RandomQuery(workload::QueryTemplate::kTwoWayJoin, 2);
+  sim::Cluster cluster = HeterogeneousCluster();
+  sim::Placement placement(q.num_operators(), 3);
+  const auto features = FlatVectorFeatures(q, cluster, placement);
+  EXPECT_EQ(features[0], 2.0);  // n_sources
+  EXPECT_EQ(features[2], 1.0);  // n_joins
+  EXPECT_EQ(features[5], static_cast<double>(q.num_operators()));
+}
+
+TEST(FlatVectorTest, CannotDistinguishPermutedPlacements) {
+  // The structural blindness of the flat vector: permuting *which* operator
+  // sits on which of the used nodes leaves the vector unchanged.
+  dsps::QueryBuilder b;
+  auto s = b.Source(500.0, {dsps::DataType::kInt});
+  auto f =
+      b.Filter(s, dsps::FilterFunction::kLess, dsps::DataType::kInt, 0.5);
+  const dsps::QueryGraph q = b.Sink(f);
+  sim::Cluster cluster = HeterogeneousCluster();
+  const auto a = FlatVectorFeatures(q, cluster, {0, 3, 3});
+  const auto c = FlatVectorFeatures(q, cluster, {3, 0, 0});
+  EXPECT_EQ(a, c);
+}
+
+TEST(GovernorHeuristicTest, ProducesValidPlacement) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    for (auto t : {workload::QueryTemplate::kLinear,
+                   workload::QueryTemplate::kTwoWayJoin,
+                   workload::QueryTemplate::kThreeWayJoin}) {
+      const dsps::QueryGraph q = RandomQuery(t, 10 + seed);
+      sim::Cluster cluster = HeterogeneousCluster();
+      const sim::Placement placement = GovernorHeuristicPlacement(q, cluster);
+      EXPECT_EQ(sim::ValidatePlacement(q, cluster, placement), "");
+    }
+  }
+}
+
+TEST(GovernorHeuristicTest, SourcesOnWeakNodesSinkOnStrongest) {
+  const dsps::QueryGraph q = RandomQuery(workload::QueryTemplate::kLinear, 20);
+  sim::Cluster cluster = HeterogeneousCluster();
+  const sim::Placement placement = GovernorHeuristicPlacement(q, cluster);
+  const std::vector<int> bins = placement::CapabilityBins(cluster, 3);
+  for (int src : q.Sources()) {
+    EXPECT_EQ(bins[placement[src]], 0) << "source not on an edge node";
+  }
+  EXPECT_EQ(placement[q.Sink()], 3);  // strongest node
+}
+
+TEST(GovernorHeuristicTest, CapabilityNeverDecreasesAlongFlow) {
+  for (uint64_t seed = 30; seed < 36; ++seed) {
+    const dsps::QueryGraph q =
+        RandomQuery(workload::QueryTemplate::kThreeWayJoin, seed);
+    sim::Cluster cluster = HeterogeneousCluster();
+    const sim::Placement placement = GovernorHeuristicPlacement(q, cluster);
+    for (const auto& [from, to] : q.edges()) {
+      EXPECT_GE(sim::CapabilityScore(cluster.nodes[placement[to]]),
+                sim::CapabilityScore(cluster.nodes[placement[from]]) - 1e-9);
+    }
+  }
+}
+
+TEST(MonitoringTest, StableQueryNeedsNoMigration) {
+  // A tiny workload on strong hardware is never overloaded.
+  dsps::QueryBuilder b;
+  auto s = b.Source(100.0, {dsps::DataType::kInt});
+  const dsps::QueryGraph q = b.Sink(s);
+  sim::Cluster cluster = HeterogeneousCluster();
+  sim::Placement initial(q.num_operators(), 3);
+  MonitoringResult result =
+      RunOnlineMonitoring(q, cluster, initial, MonitoringConfig{});
+  EXPECT_EQ(result.migrations, 0);
+  ASSERT_EQ(result.steps.size(), 1u);
+}
+
+TEST(MonitoringTest, OverloadedPlacementTriggersMigrations) {
+  // A heavy filter chain crammed onto the weakest node overloads it.
+  dsps::QueryBuilder b;
+  auto s = b.Source(12800.0, std::vector<dsps::DataType>(8,
+                                                         dsps::DataType::kString));
+  auto f = b.Filter(s, dsps::FilterFunction::kStartsWith,
+                    dsps::DataType::kString, 0.9);
+  const dsps::QueryGraph q = b.Sink(f);
+  sim::Cluster cluster = HeterogeneousCluster();
+  sim::Placement initial(q.num_operators(), 0);  // all on the weakest node
+  MonitoringResult result =
+      RunOnlineMonitoring(q, cluster, initial, MonitoringConfig{});
+  EXPECT_GT(result.migrations, 0);
+  // Migrations relieve the overloaded node: the sustained throughput of the
+  // final placement beats the initial one (the scheduler optimizes load,
+  // not latency, so L_p may even increase due to extra network hops).
+  sim::FluidConfig fluid;
+  fluid.noise_sigma = 0.0;
+  const double tp_initial =
+      sim::EvaluateFluid(q, cluster, result.steps.front().placement, fluid)
+          .metrics.throughput;
+  const double tp_final =
+      sim::EvaluateFluid(q, cluster, result.steps.back().placement, fluid)
+          .metrics.throughput;
+  EXPECT_GT(tp_final, tp_initial);
+}
+
+TEST(MonitoringTest, TimeToReachFindsFirstCompetitiveStep) {
+  MonitoringResult result;
+  MonitoringStep s0;
+  s0.time_s = 0.0;
+  s0.processing_latency_ms = 100.0;
+  MonitoringStep s1;
+  s1.time_s = 12.0;
+  s1.processing_latency_ms = 40.0;
+  result.steps = {s0, s1};
+  EXPECT_EQ(result.TimeToReach(50.0), 12.0);
+  EXPECT_EQ(result.TimeToReach(150.0), 0.0);
+  EXPECT_EQ(result.TimeToReach(10.0), -1.0);
+}
+
+TEST(MonitoringTest, MigrationCostGrowsWithState) {
+  // Steps advance by at least the monitoring interval per migration.
+  dsps::QueryBuilder b;
+  auto s = b.Source(12800.0, std::vector<dsps::DataType>(8,
+                                                         dsps::DataType::kString));
+  auto f = b.Filter(s, dsps::FilterFunction::kStartsWith,
+                    dsps::DataType::kString, 0.9);
+  const dsps::QueryGraph q = b.Sink(f);
+  sim::Cluster cluster = HeterogeneousCluster();
+  sim::Placement initial(q.num_operators(), 0);
+  MonitoringConfig config;
+  config.monitoring_interval_s = 10.0;
+  MonitoringResult result = RunOnlineMonitoring(q, cluster, initial, config);
+  for (size_t i = 1; i < result.steps.size(); ++i) {
+    EXPECT_GE(result.steps[i].time_s,
+              result.steps[i - 1].time_s + config.monitoring_interval_s);
+  }
+}
+
+}  // namespace
+}  // namespace costream::baselines

@@ -1,0 +1,168 @@
+#include "core/featurizer.h"
+
+#include <gtest/gtest.h>
+
+#include "dsps/query_builder.h"
+
+namespace costream::core {
+namespace {
+
+using dsps::DataType;
+using dsps::FilterFunction;
+using dsps::QueryBuilder;
+using dsps::QueryGraph;
+
+QueryGraph TwoOpQuery() {
+  QueryBuilder b;
+  auto s = b.Source(800.0, {DataType::kInt, DataType::kString});
+  auto f = b.Filter(s, FilterFunction::kLess, DataType::kInt, 0.5);
+  return b.Sink(f);
+}
+
+sim::Cluster TwoNodeCluster() {
+  sim::Cluster cluster;
+  cluster.nodes.push_back({100.0, 2000.0, 100.0, 10.0});
+  cluster.nodes.push_back({800.0, 32000.0, 10000.0, 1.0});
+  return cluster;
+}
+
+TEST(NormalizationTest, TrainingGridMapsIntoUnitInterval) {
+  // Boundary values of Table II map to 0 and 1.
+  EXPECT_NEAR(NormalizeCpu(50.0), 0.0, 1e-9);
+  EXPECT_NEAR(NormalizeCpu(800.0), 1.0, 1e-9);
+  EXPECT_NEAR(NormalizeRam(1000.0), 0.0, 1e-9);
+  EXPECT_NEAR(NormalizeRam(32000.0), 1.0, 1e-9);
+  EXPECT_NEAR(NormalizeBandwidth(25.0), 0.0, 1e-9);
+  EXPECT_NEAR(NormalizeBandwidth(10000.0), 1.0, 1e-9);
+  EXPECT_NEAR(NormalizeNetworkLatency(1.0), 0.0, 1e-9);
+  EXPECT_NEAR(NormalizeNetworkLatency(160.0), 1.0, 1e-9);
+  EXPECT_NEAR(NormalizeCountWindow(5.0), 0.0, 1e-9);
+  EXPECT_NEAR(NormalizeTimeWindow(16.0), 1.0, 1e-9);
+}
+
+TEST(NormalizationTest, OutOfRangeValuesExtrapolateBeyondUnitInterval) {
+  // Extrapolation (Exp 4) relies on out-of-range features leaving [0,1]
+  // smoothly rather than saturating.
+  EXPECT_LT(NormalizeCpu(25.0), 0.0);
+  EXPECT_GT(NormalizeCpu(1600.0), 1.0);
+  EXPECT_GT(NormalizeTimeWindow(30.0), 1.0);
+}
+
+TEST(NormalizationTest, SelectivityLogScaleSeparatesSmallValues) {
+  const double a = NormalizeSelectivity(1e-4);
+  const double b = NormalizeSelectivity(1e-3);
+  const double c = NormalizeSelectivity(1e-2);
+  EXPECT_NEAR(b - a, c - b, 1e-9);  // equal steps per decade
+  EXPECT_NEAR(NormalizeSelectivity(1.0), 1.0, 1e-9);
+}
+
+TEST(FeaturizerTest, FeatureDimsMatchBuiltVectors) {
+  QueryGraph q = TwoOpQuery();
+  sim::Cluster cluster = TwoNodeCluster();
+  sim::Placement placement = {0, 1, 1};
+  const JointGraph g = BuildJointGraph(q, cluster, placement);
+  for (const JointNode& node : g.nodes) {
+    EXPECT_EQ(static_cast<int>(node.features.size()), FeatureDim(node.kind));
+  }
+}
+
+TEST(FeaturizerTest, FullModeAddsHostNodesAndPlacementEdges) {
+  QueryGraph q = TwoOpQuery();
+  sim::Cluster cluster = TwoNodeCluster();
+  sim::Placement placement = {0, 1, 1};
+  const JointGraph g = BuildJointGraph(q, cluster, placement);
+  EXPECT_EQ(g.num_operator_nodes, 3);
+  EXPECT_EQ(g.num_host_nodes, 2);  // both nodes host operators
+  EXPECT_EQ(g.placement_edges.size(), 3u);
+  EXPECT_EQ(g.dataflow_edges.size(), 2u);
+}
+
+TEST(FeaturizerTest, UnusedHostsAreNotMaterialized) {
+  QueryGraph q = TwoOpQuery();
+  sim::Cluster cluster = TwoNodeCluster();
+  sim::Placement placement = {0, 0, 0};  // node 1 unused
+  const JointGraph g = BuildJointGraph(q, cluster, placement);
+  EXPECT_EQ(g.num_host_nodes, 1);
+}
+
+TEST(FeaturizerTest, CoLocatedOperatorsShareHostNode) {
+  QueryGraph q = TwoOpQuery();
+  sim::Cluster cluster = TwoNodeCluster();
+  sim::Placement placement = {1, 1, 1};
+  const JointGraph g = BuildJointGraph(q, cluster, placement);
+  EXPECT_EQ(g.num_host_nodes, 1);
+  const int host = g.placement_edges[0].second;
+  for (const auto& [op, h] : g.placement_edges) EXPECT_EQ(h, host);
+}
+
+TEST(FeaturizerTest, OperatorsOnlyModeDropsHosts) {
+  QueryGraph q = TwoOpQuery();
+  sim::Cluster cluster = TwoNodeCluster();
+  sim::Placement placement = {0, 1, 1};
+  const JointGraph g = BuildJointGraph(q, cluster, placement,
+                                       FeaturizationMode::kOperatorsOnly);
+  EXPECT_EQ(g.num_host_nodes, 0);
+  EXPECT_TRUE(g.placement_edges.empty());
+  EXPECT_EQ(g.nodes.size(), 3u);
+}
+
+TEST(FeaturizerTest, PlacementOnlyModeBlanksHardwareFeatures) {
+  QueryGraph q = TwoOpQuery();
+  sim::Cluster cluster = TwoNodeCluster();
+  sim::Placement placement = {0, 1, 1};
+  const JointGraph g = BuildJointGraph(q, cluster, placement,
+                                       FeaturizationMode::kPlacementOnly);
+  EXPECT_EQ(g.num_host_nodes, 2);
+  for (size_t i = g.num_operator_nodes; i < g.nodes.size(); ++i) {
+    for (double f : g.nodes[i].features) EXPECT_EQ(f, 0.5);
+  }
+}
+
+TEST(FeaturizerTest, DifferentPlacementsYieldDifferentGraphs) {
+  QueryGraph q = TwoOpQuery();
+  sim::Cluster cluster = TwoNodeCluster();
+  const JointGraph a = BuildJointGraph(q, cluster, {0, 0, 0});
+  const JointGraph b = BuildJointGraph(q, cluster, {1, 1, 1});
+  // Same shape, different host features.
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  EXPECT_NE(a.nodes.back().features, b.nodes.back().features);
+}
+
+TEST(FeaturizerTest, WindowFeaturesDistinguishPolicies) {
+  QueryBuilder b;
+  auto s = b.Source(500.0, {DataType::kDouble});
+  dsps::WindowSpec count_w;
+  count_w.policy = dsps::WindowPolicy::kCountBased;
+  count_w.size = 40;
+  auto agg = b.WindowedAggregate(s, count_w, dsps::AggregateFunction::kMean,
+                                 dsps::GroupByType::kNone, DataType::kDouble,
+                                 1.0);
+  QueryGraph q = b.Sink(agg);
+  sim::Cluster cluster = TwoNodeCluster();
+  sim::Placement placement(q.num_operators(), 0);
+  const JointGraph g = BuildJointGraph(q, cluster, placement);
+  // Find the window node: count slot set, time slot zero.
+  bool found = false;
+  for (const JointNode& node : g.nodes) {
+    if (node.kind != NodeKind::kWindow) continue;
+    found = true;
+    EXPECT_GT(node.features[4], 0.0);   // count-size slot
+    EXPECT_EQ(node.features[5], 0.0);   // time-size slot
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FeaturizerTest, TopoOrderCoversAllOperators) {
+  QueryGraph q = TwoOpQuery();
+  sim::Cluster cluster = TwoNodeCluster();
+  const JointGraph g = BuildJointGraph(q, cluster, {0, 1, 1});
+  EXPECT_EQ(g.topo_order.size(), 3u);
+}
+
+TEST(FeaturizerTest, NodeKindNamesAreStable) {
+  EXPECT_STREQ(ToString(NodeKind::kHost), "host");
+  EXPECT_STREQ(ToString(NodeKind::kAggregate), "aggregate");
+}
+
+}  // namespace
+}  // namespace costream::core

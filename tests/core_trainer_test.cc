@@ -1,0 +1,145 @@
+#include "core/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsps/query_builder.h"
+
+namespace costream::core {
+namespace {
+
+using dsps::DataType;
+using dsps::FilterFunction;
+using dsps::QueryBuilder;
+
+sim::Cluster SmallCluster() {
+  sim::Cluster cluster;
+  cluster.nodes.push_back({100.0, 2000.0, 100.0, 10.0});
+  cluster.nodes.push_back({800.0, 32000.0, 10000.0, 1.0});
+  return cluster;
+}
+
+// A toy learnable task: target = source rate * selectivity (the query's
+// output rate), over a grid of rates and selectivities.
+std::vector<TrainSample> ToySamples(int n, uint64_t seed) {
+  nn::Rng rng(seed);
+  sim::Cluster cluster = SmallCluster();
+  std::vector<TrainSample> samples;
+  for (int i = 0; i < n; ++i) {
+    const double rate = std::exp(rng.Uniform(std::log(100.0), std::log(10000.0)));
+    const double sel = rng.Uniform(0.1, 1.0);
+    QueryBuilder b;
+    auto s = b.Source(rate, {DataType::kInt, DataType::kInt});
+    auto f = b.Filter(s, FilterFunction::kLess, DataType::kInt, sel);
+    TrainSample sample;
+    sample.graph = BuildJointGraph(b.Sink(f), cluster,
+                                   {rng.Int(0, 1), rng.Int(0, 1), rng.Int(0, 1)});
+    sample.regression_target = rate * sel;
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+std::vector<TrainSample> ToyClassification(int n, uint64_t seed) {
+  nn::Rng rng(seed);
+  sim::Cluster cluster = SmallCluster();
+  std::vector<TrainSample> samples;
+  for (int i = 0; i < n; ++i) {
+    const double rate = std::exp(rng.Uniform(std::log(100.0), std::log(10000.0)));
+    QueryBuilder b;
+    auto s = b.Source(rate, {DataType::kInt});
+    auto f = b.Filter(s, FilterFunction::kLess, DataType::kInt, 0.5);
+    TrainSample sample;
+    sample.graph = BuildJointGraph(b.Sink(f), cluster, {0, 1, 1});
+    sample.label = rate > 1000.0;  // separable on the rate feature
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+TEST(TrainerTest, LossDecreasesOverTraining) {
+  auto train = ToySamples(200, 1);
+  auto val = ToySamples(50, 2);
+  CostModel model(CostModelConfig{});
+  TrainConfig config;
+  config.epochs = 10;
+  const TrainResult result = TrainModel(model, train, val, config);
+  ASSERT_EQ(result.train_losses.size(), 10u);
+  EXPECT_LT(result.train_losses.back(), result.train_losses.front());
+}
+
+TEST(TrainerTest, OverfitsTinyDataset) {
+  auto train = ToySamples(8, 3);
+  CostModel model(CostModelConfig{});
+  TrainConfig config;
+  config.epochs = 500;
+  config.batch_size = 8;
+  config.learning_rate = 1e-2;
+  config.lr_decay = 0.995;
+  TrainModel(model, train, {}, config);
+  const eval::QErrorSummary q = EvaluateRegression(model, train);
+  EXPECT_LT(q.q50, 1.3);
+}
+
+TEST(TrainerTest, LearnsRateTimesSelectivity) {
+  auto train = ToySamples(600, 4);
+  auto val = ToySamples(100, 5);
+  auto test = ToySamples(100, 6);
+  CostModel model(CostModelConfig{});
+  TrainConfig config;
+  config.epochs = 30;
+  TrainModel(model, train, val, config);
+  const eval::QErrorSummary q = EvaluateRegression(model, test);
+  EXPECT_LT(q.q50, 1.3);
+}
+
+TEST(TrainerTest, BestEpochCheckpointRestored) {
+  auto train = ToySamples(100, 7);
+  auto val = ToySamples(30, 8);
+  CostModel model(CostModelConfig{});
+  TrainConfig config;
+  config.epochs = 12;
+  const TrainResult result = TrainModel(model, train, val, config);
+  // The final validation loss of the restored model equals the best recorded
+  // validation loss.
+  const double final_val = EvaluateLoss(model, val);
+  EXPECT_NEAR(final_val, result.best_val_loss, 1e-9);
+  EXPECT_GE(result.best_epoch, 0);
+}
+
+TEST(TrainerTest, ClassifierSeparatesClasses) {
+  auto train = ToyClassification(400, 9);
+  auto test = ToyClassification(100, 10);
+  CostModelConfig model_config;
+  model_config.head = HeadKind::kClassification;
+  CostModel model(model_config);
+  TrainConfig config;
+  config.epochs = 20;
+  TrainModel(model, train, {}, config);
+  EXPECT_GT(EvaluateClassification(model, test), 0.9);
+}
+
+TEST(TrainerTest, DeterministicGivenSeeds) {
+  auto train = ToySamples(100, 11);
+  auto val = ToySamples(20, 12);
+  TrainConfig config;
+  config.epochs = 5;
+  CostModelConfig mc;
+  mc.seed = 21;
+  CostModel a(mc), b(mc);
+  const TrainResult ra = TrainModel(a, train, val, config);
+  const TrainResult rb = TrainModel(b, train, val, config);
+  EXPECT_EQ(ra.train_losses, rb.train_losses);
+}
+
+TEST(TrainerTest, EvaluateLossMatchesTrainingObjective) {
+  auto samples = ToySamples(10, 13);
+  CostModel model(CostModelConfig{});
+  const double loss = EvaluateLoss(model, samples);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);
+}
+
+}  // namespace
+}  // namespace costream::core

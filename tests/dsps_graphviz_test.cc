@@ -1,0 +1,76 @@
+#include "dsps/graphviz.h"
+
+#include <gtest/gtest.h>
+
+#include "dsps/query_builder.h"
+
+namespace costream::dsps {
+namespace {
+
+QueryGraph SmallQuery() {
+  QueryBuilder b;
+  auto s = b.Source(500.0, {DataType::kInt, DataType::kDouble});
+  auto f = b.Filter(s, FilterFunction::kLess, DataType::kInt, 0.5);
+  WindowSpec w;
+  w.policy = WindowPolicy::kCountBased;
+  w.size = 20;
+  auto agg = b.WindowedAggregate(f, w, AggregateFunction::kMean,
+                                 GroupByType::kInt, DataType::kDouble, 0.3);
+  return b.Sink(agg);
+}
+
+TEST(GraphvizTest, EmitsValidDotStructure) {
+  const QueryGraph q = SmallQuery();
+  const std::string dot = ToGraphviz(q);
+  EXPECT_NE(dot.find("digraph costream_query {"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // One node statement per operator, one edge statement per edge.
+  size_t node_count = 0;
+  size_t pos = 0;
+  while ((pos = dot.find("[label=", pos)) != std::string::npos) {
+    ++node_count;
+    ++pos;
+  }
+  EXPECT_EQ(node_count, static_cast<size_t>(q.num_operators()));
+  size_t edge_count = 0;
+  pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edge_count;
+    ++pos;
+  }
+  EXPECT_EQ(edge_count, q.edges().size());
+}
+
+TEST(GraphvizTest, LabelsCarryOperatorDetails) {
+  const std::string dot = ToGraphviz(SmallQuery());
+  EXPECT_NE(dot.find("500 ev/s"), std::string::npos);
+  EXPECT_NE(dot.find("sel=0.5"), std::string::npos);
+  EXPECT_NE(dot.find("mean by int"), std::string::npos);
+}
+
+TEST(GraphvizTest, PlacementClustersOperatorsByNode) {
+  const QueryGraph q = SmallQuery();
+  std::vector<int> placement(q.num_operators(), 0);
+  placement.back() = 1;  // sink on another node
+  const std::string dot = ToGraphviz(q, &placement);
+  EXPECT_NE(dot.find("subgraph cluster_node0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_node1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"node 1\""), std::string::npos);
+}
+
+TEST(GraphvizTest, ParallelismAppearsInLabels) {
+  QueryGraph q = SmallQuery();
+  q.mutable_op(0).parallelism = 4;
+  const std::string dot = ToGraphviz(q);
+  EXPECT_NE(dot.find("p=4"), std::string::npos);
+}
+
+TEST(GraphvizTest, MismatchedPlacementFallsBackToFlatLayout) {
+  const QueryGraph q = SmallQuery();
+  std::vector<int> wrong_size = {0};
+  const std::string dot = ToGraphviz(q, &wrong_size);
+  EXPECT_EQ(dot.find("subgraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace costream::dsps

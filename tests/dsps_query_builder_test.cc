@@ -1,0 +1,155 @@
+#include "dsps/query_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace costream::dsps {
+namespace {
+
+TEST(QueryBuilderTest, SourceWidthsAndFractions) {
+  QueryBuilder b;
+  auto s = b.Source(100.0, {DataType::kInt, DataType::kString,
+                            DataType::kString, DataType::kDouble});
+  EXPECT_EQ(s.width, 4.0);
+  EXPECT_DOUBLE_EQ(s.frac_int, 0.25);
+  EXPECT_DOUBLE_EQ(s.frac_string, 0.5);
+  EXPECT_DOUBLE_EQ(s.frac_double, 0.25);
+}
+
+TEST(QueryBuilderTest, FilterPreservesWidth) {
+  QueryBuilder b;
+  auto s = b.Source(100.0, {DataType::kInt, DataType::kInt});
+  auto f = b.Filter(s, FilterFunction::kLess, DataType::kInt, 0.5);
+  EXPECT_EQ(f.width, 2.0);
+  QueryGraph q = b.Sink(f);
+  EXPECT_EQ(q.Validate(), "");
+  EXPECT_EQ(q.op(1).selectivity, 0.5);
+  EXPECT_EQ(q.op(1).tuple_width_in, 2.0);
+}
+
+TEST(QueryBuilderTest, GroupedAggregateOutputsKeyAndValue) {
+  QueryBuilder b;
+  auto s = b.Source(100.0, {DataType::kInt, DataType::kDouble});
+  WindowSpec w;
+  w.policy = WindowPolicy::kCountBased;
+  w.size = 10;
+  auto agg = b.WindowedAggregate(s, w, AggregateFunction::kMean,
+                                 GroupByType::kInt, DataType::kDouble, 0.3);
+  EXPECT_EQ(agg.width, 2.0);
+  QueryGraph q = b.Sink(agg);
+  EXPECT_EQ(q.Validate(), "");
+  EXPECT_EQ(q.CountType(OperatorType::kWindow), 1);
+  EXPECT_EQ(q.CountType(OperatorType::kAggregate), 1);
+}
+
+TEST(QueryBuilderTest, UngroupedAggregateOutputsSingleValue) {
+  QueryBuilder b;
+  auto s = b.Source(100.0, {DataType::kDouble});
+  WindowSpec w;
+  w.policy = WindowPolicy::kTimeBased;
+  w.size = 2.0;
+  auto agg = b.WindowedAggregate(s, w, AggregateFunction::kMax,
+                                 GroupByType::kNone, DataType::kDouble, 1.0);
+  EXPECT_EQ(agg.width, 1.0);
+}
+
+TEST(QueryBuilderTest, JoinConcatenatesWidths) {
+  QueryBuilder b;
+  auto s1 = b.Source(100.0, {DataType::kInt, DataType::kInt});
+  auto s2 = b.Source(100.0, {DataType::kString});
+  WindowSpec w;
+  w.size = 20;
+  auto joined = b.WindowedJoin(s1, s2, w, DataType::kInt, 0.01);
+  EXPECT_EQ(joined.width, 3.0);
+  QueryGraph q = b.Sink(joined);
+  EXPECT_EQ(q.Validate(), "");
+  // Two window nodes were inserted, one per join input.
+  EXPECT_EQ(q.CountType(OperatorType::kWindow), 2);
+}
+
+TEST(QueryBuilderTest, JoinMixesTypeFractions) {
+  QueryBuilder b;
+  auto s1 = b.Source(100.0, {DataType::kInt, DataType::kInt});
+  auto s2 = b.Source(100.0, {DataType::kString, DataType::kString});
+  WindowSpec w;
+  w.size = 20;
+  auto joined = b.WindowedJoin(s1, s2, w, DataType::kInt, 0.01);
+  EXPECT_DOUBLE_EQ(joined.frac_int, 0.5);
+  EXPECT_DOUBLE_EQ(joined.frac_string, 0.5);
+}
+
+TEST(QueryBuilderTest, ThreeWayJoinValidates) {
+  QueryBuilder b;
+  auto s1 = b.Source(100.0, {DataType::kInt});
+  auto s2 = b.Source(100.0, {DataType::kInt});
+  auto s3 = b.Source(100.0, {DataType::kInt});
+  WindowSpec w;
+  w.size = 10;
+  auto j1 = b.WindowedJoin(s1, s2, w, DataType::kInt, 0.01);
+  auto j2 = b.WindowedJoin(j1, s3, w, DataType::kInt, 0.01);
+  QueryGraph q = b.Sink(j2);
+  EXPECT_EQ(q.Validate(), "");
+  EXPECT_EQ(q.CountType(OperatorType::kJoin), 2);
+  EXPECT_EQ(q.Sources().size(), 3u);
+}
+
+TEST(QueryBuilderTest, TumblingWindowSlideEqualsSize) {
+  WindowSpec w;
+  w.type = WindowType::kTumbling;
+  w.size = 40;
+  w.slide = 13;  // ignored for tumbling windows
+  EXPECT_EQ(w.EffectiveSlide(), 40.0);
+}
+
+TEST(QueryBuilderTest, SlidingWindowUsesSlide) {
+  WindowSpec w;
+  w.type = WindowType::kSliding;
+  w.size = 40;
+  w.slide = 13;
+  EXPECT_EQ(w.EffectiveSlide(), 13.0);
+}
+
+TEST(QueryBuilderDeathTest, AggregateRequiresWindowStream) {
+  QueryBuilder b;
+  auto s = b.Source(100.0, {DataType::kInt});
+  EXPECT_DEATH(b.Aggregate(s, AggregateFunction::kMean, GroupByType::kNone,
+                           DataType::kDouble, 1.0),
+               "window");
+}
+
+TEST(QueryBuilderDeathTest, JoinRequiresWindowStreams) {
+  QueryBuilder b;
+  auto s1 = b.Source(100.0, {DataType::kInt});
+  auto s2 = b.Source(100.0, {DataType::kInt});
+  EXPECT_DEATH(b.Join(s1, s2, DataType::kInt, 0.1), "window");
+}
+
+TEST(QueryBuilderDeathTest, InvalidSelectivityAborts) {
+  QueryBuilder b;
+  auto s = b.Source(100.0, {DataType::kInt});
+  EXPECT_DEATH(b.Filter(s, FilterFunction::kLess, DataType::kInt, 1.5),
+               "COSTREAM_CHECK");
+}
+
+TEST(TypesTest, ToStringCoversEnums) {
+  EXPECT_STREQ(ToString(DataType::kString), "string");
+  EXPECT_STREQ(ToString(OperatorType::kAggregate), "aggregate");
+  EXPECT_STREQ(ToString(FilterFunction::kStartsWith), "startswith");
+  EXPECT_STREQ(ToString(AggregateFunction::kAvg), "avg");
+  EXPECT_STREQ(ToString(WindowType::kSliding), "sliding");
+  EXPECT_STREQ(ToString(WindowPolicy::kCountBased), "count");
+  EXPECT_STREQ(ToString(GroupByType::kNone), "none");
+}
+
+TEST(TupleBytesTest, StringsAreHeavier) {
+  const double ints = TupleBytes(5.0, 1.0, 0.0, 0.0);
+  const double strings = TupleBytes(5.0, 0.0, 0.0, 1.0);
+  EXPECT_GT(strings, ints);
+  EXPECT_GT(ints, 0.0);
+}
+
+TEST(TupleBytesTest, GrowsWithWidth) {
+  EXPECT_GT(TupleBytes(10.0, 1.0, 0.0, 0.0), TupleBytes(3.0, 1.0, 0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace costream::dsps

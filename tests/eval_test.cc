@@ -1,0 +1,125 @@
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace costream::eval {
+namespace {
+
+TEST(QErrorTest, PerfectEstimateIsOne) {
+  EXPECT_DOUBLE_EQ(QError(5.0, 5.0), 1.0);
+}
+
+TEST(QErrorTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(QError(10.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(5.0, 10.0), 2.0);
+}
+
+TEST(QErrorTest, AlwaysAtLeastOne) {
+  for (double a : {0.001, 1.0, 1e6}) {
+    for (double p : {0.001, 1.0, 1e6}) {
+      EXPECT_GE(QError(a, p), 1.0);
+    }
+  }
+}
+
+TEST(QErrorTest, HandlesZeroGracefully) {
+  EXPECT_TRUE(std::isfinite(QError(0.0, 5.0)));
+  EXPECT_TRUE(std::isfinite(QError(5.0, 0.0)));
+}
+
+TEST(QuantileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  EXPECT_DOUBLE_EQ(Quantile({4.0, 2.0, 9.0}, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({4.0, 2.0, 9.0}, 1.0), 9.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.95), 7.0);
+}
+
+TEST(SummarizeQErrorsTest, MedianAndTail) {
+  std::vector<double> actual = {1, 1, 1, 1, 1};
+  std::vector<double> predicted = {1, 2, 1, 4, 1};
+  const QErrorSummary s = SummarizeQErrors(actual, predicted);
+  EXPECT_EQ(s.count, 5);
+  EXPECT_DOUBLE_EQ(s.q50, 1.0);
+  EXPECT_GT(s.q95, 3.0);
+}
+
+TEST(AccuracyTest, AllCorrect) {
+  EXPECT_DOUBLE_EQ(Accuracy({true, false}, {true, false}), 1.0);
+}
+
+TEST(AccuracyTest, HalfCorrect) {
+  EXPECT_DOUBLE_EQ(Accuracy({true, false}, {true, true}), 0.5);
+}
+
+TEST(BalancedIndicesTest, EqualClassCounts) {
+  const std::vector<bool> labels = {true, true, true, false, true, false};
+  const std::vector<int> indices = BalancedIndices(labels);
+  int pos = 0;
+  int neg = 0;
+  for (int i : indices) (labels[i] ? pos : neg)++;
+  EXPECT_EQ(pos, 2);
+  EXPECT_EQ(neg, 2);
+}
+
+TEST(BalancedIndicesTest, EmptyWhenOneClassMissing) {
+  EXPECT_TRUE(BalancedIndices({true, true}).empty());
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"metric", "value"});
+  t.AddRow({"throughput", "1.33"});
+  t.AddRow({"e2e", "12345.67"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| metric"), std::string::npos);
+  EXPECT_NE(s.find("1.33"), std::string::npos);
+  // Each rendered line has the same width.
+  size_t first_line_len = s.find('\n');
+  size_t pos = first_line_len + 1;
+  while (pos < s.size()) {
+    const size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, first_line_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TableTest, CsvFormat) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, WriteCsvToFile) {
+  Table t({"x"});
+  t.AddRow({"42"});
+  const std::string path = ::testing::TempDir() + "/costream_table.csv";
+  EXPECT_TRUE(t.WriteCsv(path));
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, NumAndPercentFormatting) {
+  EXPECT_EQ(Table::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Percent(0.876, 1), "87.6%");
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only one"}), "COSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace costream::eval

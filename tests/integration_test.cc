@@ -1,0 +1,149 @@
+// End-to-end integration: corpus generation -> training -> prediction
+// quality -> cost-based placement optimization. Sizes are kept small so the
+// test stays fast; the benches run the full-scale pipelines.
+#include <gtest/gtest.h>
+
+#include "baselines/heuristic.h"
+#include "core/ensemble.h"
+#include "eval/metrics.h"
+#include "placement/optimizer.h"
+#include "workload/corpus.h"
+
+namespace costream {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::CorpusConfig config;
+    config.num_queries = 900;
+    config.seed = 321;
+    records_ = new std::vector<workload::TraceRecord>(
+        workload::BuildCorpus(config));
+    split_ = new workload::SplitIndices(
+        workload::SplitCorpus(static_cast<int>(records_->size()), 0.8, 0.1,
+                              5));
+  }
+  static void TearDownTestSuite() {
+    delete records_;
+    delete split_;
+    records_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static std::vector<workload::TraceRecord>* records_;
+  static workload::SplitIndices* split_;
+};
+
+std::vector<workload::TraceRecord>* IntegrationTest::records_ = nullptr;
+workload::SplitIndices* IntegrationTest::split_ = nullptr;
+
+TEST_F(IntegrationTest, ThroughputModelBeatsTrivialBaseline) {
+  const auto train_recs = workload::Gather(*records_, split_->train);
+  const auto val_recs = workload::Gather(*records_, split_->val);
+  const auto test_recs = workload::Gather(*records_, split_->test);
+  const auto train =
+      workload::ToTrainSamples(train_recs, sim::Metric::kThroughput);
+  const auto val = workload::ToTrainSamples(val_recs, sim::Metric::kThroughput);
+  const auto test =
+      workload::ToTrainSamples(test_recs, sim::Metric::kThroughput);
+
+  core::CostModel model(core::CostModelConfig{});
+  core::TrainConfig config;
+  config.epochs = 14;
+  TrainModel(model, train, val, config);
+  const eval::QErrorSummary q = core::EvaluateRegression(model, test);
+
+  // Trivial baseline: always predict the training median.
+  std::vector<double> targets;
+  for (const auto& s : train) targets.push_back(s.regression_target);
+  const double median = eval::Quantile(targets, 0.5);
+  std::vector<double> actual, constant;
+  for (const auto& s : test) {
+    actual.push_back(s.regression_target);
+    constant.push_back(median);
+  }
+  const eval::QErrorSummary trivial = eval::SummarizeQErrors(actual, constant);
+
+  EXPECT_LT(q.q50, 2.5);
+  EXPECT_LT(q.q50, trivial.q50 * 0.5);
+}
+
+TEST_F(IntegrationTest, SuccessClassifierBeatsCoinFlipOnBalancedSet) {
+  // Failures are a small minority class (~3-4% of executions), so this test
+  // uses its own larger corpus: the shared 900-record corpus would provide
+  // only a couple dozen failure examples to learn from.
+  workload::CorpusConfig train_config;
+  train_config.num_queries = 2600;
+  train_config.seed = 654;
+  const auto train_recs = workload::BuildCorpus(train_config);
+  auto train = workload::ToTrainSamples(train_recs, sim::Metric::kSuccess);
+
+  core::CostModelConfig mc;
+  mc.head = core::HeadKind::kClassification;
+  core::CostModel model(mc);
+  core::TrainConfig config;
+  config.epochs = 14;
+  TrainModel(model, train, {}, config);
+
+  workload::CorpusConfig eval_config;
+  eval_config.num_queries = 1200;
+  eval_config.seed = 655;
+  const auto test_recs = workload::BuildCorpus(eval_config);
+  auto test = workload::ToTrainSamples(test_recs, sim::Metric::kSuccess);
+  std::vector<bool> labels;
+  for (const auto& s : test) labels.push_back(s.label);
+  const std::vector<int> balanced = eval::BalancedIndices(labels);
+  ASSERT_GE(balanced.size(), 20u);
+  std::vector<core::TrainSample> balanced_samples;
+  for (int i : balanced) balanced_samples.push_back(test[i]);
+  EXPECT_GT(core::EvaluateClassification(model, balanced_samples), 0.6);
+}
+
+TEST_F(IntegrationTest, OptimizedPlacementBeatsHeuristicOnAverage) {
+  const auto train_recs = workload::Gather(*records_, split_->train);
+  const auto val_recs = workload::Gather(*records_, split_->val);
+  const auto train =
+      workload::ToTrainSamples(train_recs, sim::Metric::kProcessingLatency);
+  const auto val =
+      workload::ToTrainSamples(val_recs, sim::Metric::kProcessingLatency);
+
+  core::Ensemble target(core::CostModelConfig{}, 1);
+  core::TrainConfig config;
+  config.epochs = 14;
+  target.Train(train, val, config);
+  placement::PlacementOptimizer optimizer(&target, nullptr, nullptr);
+
+  workload::QueryGenerator generator(workload::GeneratorConfig{});
+  nn::Rng rng(777);
+  sim::FluidConfig fluid;
+  fluid.noise_sigma = 0.0;
+
+  double log_speedup_sum = 0.0;
+  const int kQueries = 12;
+  for (int i = 0; i < kQueries; ++i) {
+    const dsps::QueryGraph q =
+        generator.Generate(workload::QueryTemplate::kLinear, rng);
+    const sim::Cluster cluster = generator.GenerateCluster(rng);
+    const sim::Placement heuristic =
+        baselines::GovernorHeuristicPlacement(q, cluster);
+    placement::OptimizerConfig oc;
+    oc.enumeration.num_candidates = 30;
+    oc.enumeration.seed = rng.Fork();
+    const auto result = optimizer.Optimize(q, cluster, oc);
+
+    const double lp_heuristic =
+        sim::EvaluateFluid(q, cluster, heuristic, fluid)
+            .metrics.processing_latency_ms;
+    const double lp_optimized =
+        sim::EvaluateFluid(q, cluster, result.best, fluid)
+            .metrics.processing_latency_ms;
+    log_speedup_sum += std::log(std::max(lp_heuristic, 1e-3) /
+                                std::max(lp_optimized, 1e-3));
+  }
+  // Geometric-mean speedup must exceed 1 (the optimizer helps on average).
+  EXPECT_GT(std::exp(log_speedup_sum / kQueries), 1.0);
+}
+
+}  // namespace
+}  // namespace costream

@@ -1,0 +1,366 @@
+#include "nn/autograd.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/random.h"
+
+namespace costream::nn {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) m.data()[i] = rng.Uniform(-1.0, 1.0);
+  return m;
+}
+
+// Finite-difference gradient check: builds the loss via `loss_fn` (which
+// must read the parameter via Tape::Leaf) and compares the analytic
+// parameter gradient against central differences.
+void CheckGradient(Parameter& p,
+                   const std::function<Var(Tape&)>& loss_fn,
+                   double tolerance = 1e-6) {
+  Tape tape;
+  Var loss = loss_fn(tape);
+  p.ZeroGrad();
+  tape.Backward(loss);
+  const Matrix analytic = p.grad;
+
+  const double eps = 1e-5;
+  for (int i = 0; i < p.value.size(); ++i) {
+    const double saved = p.value.data()[i];
+    p.value.data()[i] = saved + eps;
+    Tape tp;
+    const double up = tp.value(loss_fn(tp))(0, 0);
+    p.value.data()[i] = saved - eps;
+    Tape tm;
+    const double down = tm.value(loss_fn(tm))(0, 0);
+    p.value.data()[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric,
+                tolerance * std::max(1.0, std::fabs(numeric)))
+        << "param entry " << i;
+  }
+}
+
+TEST(AutogradTest, InputHoldsValue) {
+  Tape tape;
+  Var x = tape.Input(Matrix::Row({1.0, 2.0}));
+  EXPECT_EQ(tape.value(x)(0, 1), 2.0);
+}
+
+TEST(AutogradTest, MatMulForward) {
+  Tape tape;
+  Var a = tape.Input(Matrix(2, 2, {1, 2, 3, 4}));
+  Var b = tape.Input(Matrix(2, 2, {5, 6, 7, 8}));
+  Var y = tape.MatMul(a, b);
+  EXPECT_DOUBLE_EQ(tape.value(y)(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(tape.value(y)(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(tape.value(y)(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(tape.value(y)(1, 1), 50.0);
+}
+
+TEST(AutogradTest, AddAndSubForward) {
+  Tape tape;
+  Var a = tape.Input(Matrix::Row({1.0, 2.0}));
+  Var b = tape.Input(Matrix::Row({10.0, 20.0}));
+  EXPECT_DOUBLE_EQ(tape.value(tape.Add(a, b))(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(tape.value(tape.Sub(a, b))(0, 0), -9.0);
+}
+
+TEST(AutogradTest, AddRowBroadcasts) {
+  Tape tape;
+  Var a = tape.Input(Matrix(2, 2, {1, 2, 3, 4}));
+  Var row = tape.Input(Matrix::Row({10.0, 20.0}));
+  Var y = tape.AddRow(a, row);
+  EXPECT_DOUBLE_EQ(tape.value(y)(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(tape.value(y)(1, 1), 24.0);
+}
+
+TEST(AutogradTest, AddNSumsAll) {
+  Tape tape;
+  Var a = tape.Input(Matrix::Row({1.0}));
+  Var b = tape.Input(Matrix::Row({2.0}));
+  Var c = tape.Input(Matrix::Row({3.0}));
+  EXPECT_DOUBLE_EQ(tape.value(tape.AddN({a, b, c}))(0, 0), 6.0);
+}
+
+TEST(AutogradTest, AddNWithSingleInputIsIdentity) {
+  Tape tape;
+  Var a = tape.Input(Matrix::Row({4.0}));
+  Var s = tape.AddN({a});
+  EXPECT_EQ(s.index, a.index);
+}
+
+TEST(AutogradTest, ReluClampsNegatives) {
+  Tape tape;
+  Var a = tape.Input(Matrix::Row({-1.0, 2.0}));
+  Var y = tape.Relu(a);
+  EXPECT_DOUBLE_EQ(tape.value(y)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(tape.value(y)(0, 1), 2.0);
+}
+
+TEST(AutogradTest, SigmoidMidpoint) {
+  Tape tape;
+  Var a = tape.Input(Matrix::Row({0.0}));
+  EXPECT_DOUBLE_EQ(tape.value(tape.Sigmoid(a))(0, 0), 0.5);
+}
+
+TEST(AutogradTest, ConcatColsLayout) {
+  Tape tape;
+  Var a = tape.Input(Matrix::Row({1.0, 2.0}));
+  Var b = tape.Input(Matrix::Row({3.0}));
+  Var y = tape.ConcatCols(a, b);
+  EXPECT_EQ(tape.value(y).cols(), 3);
+  EXPECT_DOUBLE_EQ(tape.value(y)(0, 2), 3.0);
+}
+
+TEST(AutogradTest, SumAllReducesToScalar) {
+  Tape tape;
+  Var a = tape.Input(Matrix(2, 2, {1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(tape.value(tape.SumAll(a))(0, 0), 10.0);
+}
+
+TEST(AutogradTest, MseLossValue) {
+  Tape tape;
+  Var p = tape.Input(Matrix::Row({1.0, 3.0}));
+  Var loss = tape.MseLoss(p, Matrix::Row({0.0, 1.0}));
+  EXPECT_DOUBLE_EQ(tape.value(loss)(0, 0), (1.0 + 4.0) / 2.0);
+}
+
+TEST(AutogradTest, BceLossMatchesClosedForm) {
+  Tape tape;
+  Var z = tape.Input(Matrix::Scalar(0.3));
+  Var loss1 = tape.BceWithLogitsLoss(z, 1.0);
+  const double expected1 = std::log1p(std::exp(-0.3));
+  EXPECT_NEAR(tape.value(loss1)(0, 0), expected1, 1e-12);
+  Var loss0 = tape.BceWithLogitsLoss(z, 0.0);
+  const double expected0 = 0.3 + std::log1p(std::exp(-0.3));
+  EXPECT_NEAR(tape.value(loss0)(0, 0), expected0, 1e-12);
+}
+
+TEST(AutogradTest, LeafAccumulatesIntoParameter) {
+  Parameter p;
+  p.value = Matrix::Row({2.0});
+  p.ZeroGrad();
+  Tape tape;
+  Var x = tape.Leaf(&p);
+  Var loss = tape.MseLoss(x, Matrix::Scalar(0.0));
+  tape.Backward(loss);
+  // d/dp (p^2) = 2p = 4.
+  EXPECT_NEAR(p.grad(0, 0), 4.0, 1e-12);
+  // A second backward accumulates.
+  Tape tape2;
+  Var x2 = tape2.Leaf(&p);
+  tape2.Backward(tape2.MseLoss(x2, Matrix::Scalar(0.0)));
+  EXPECT_NEAR(p.grad(0, 0), 8.0, 1e-12);
+}
+
+// --- Gradient checks over random compositions --------------------------------
+
+TEST(AutogradGradCheck, MatMulChain) {
+  Rng rng(1);
+  Parameter p;
+  p.value = RandomMatrix(3, 4, rng);
+  const Matrix x = RandomMatrix(1, 3, rng);
+  const Matrix target(1, 4);
+  CheckGradient(p, [&](Tape& t) {
+    return t.MseLoss(t.MatMul(t.Input(x), t.Leaf(&p)), target);
+  });
+}
+
+TEST(AutogradGradCheck, AddRowBias) {
+  Rng rng(2);
+  Parameter p;
+  p.value = RandomMatrix(1, 4, rng);
+  const Matrix x = RandomMatrix(2, 4, rng);
+  const Matrix target(2, 4);
+  CheckGradient(p, [&](Tape& t) {
+    return t.MseLoss(t.AddRow(t.Input(x), t.Leaf(&p)), target);
+  });
+}
+
+TEST(AutogradGradCheck, ReluComposition) {
+  Rng rng(3);
+  Parameter p;
+  p.value = RandomMatrix(3, 3, rng);
+  const Matrix x = RandomMatrix(1, 3, rng);
+  const Matrix target(1, 3);
+  CheckGradient(p, [&](Tape& t) {
+    return t.MseLoss(t.Relu(t.MatMul(t.Input(x), t.Leaf(&p))), target);
+  });
+}
+
+TEST(AutogradGradCheck, SigmoidComposition) {
+  Rng rng(4);
+  Parameter p;
+  p.value = RandomMatrix(2, 2, rng);
+  const Matrix x = RandomMatrix(1, 2, rng);
+  Matrix target(1, 2);
+  target.Fill(0.3);
+  CheckGradient(p, [&](Tape& t) {
+    return t.MseLoss(t.Sigmoid(t.MatMul(t.Input(x), t.Leaf(&p))), target);
+  });
+}
+
+TEST(AutogradGradCheck, TanhComposition) {
+  Rng rng(5);
+  Parameter p;
+  p.value = RandomMatrix(2, 2, rng);
+  const Matrix x = RandomMatrix(1, 2, rng);
+  const Matrix target(1, 2);
+  CheckGradient(p, [&](Tape& t) {
+    return t.MseLoss(t.Tanh(t.MatMul(t.Input(x), t.Leaf(&p))), target);
+  });
+}
+
+TEST(AutogradGradCheck, MulHadamard) {
+  Rng rng(6);
+  Parameter p;
+  p.value = RandomMatrix(1, 4, rng);
+  const Matrix x = RandomMatrix(1, 4, rng);
+  const Matrix target(1, 4);
+  CheckGradient(p, [&](Tape& t) {
+    return t.MseLoss(t.Mul(t.Input(x), t.Leaf(&p)), target);
+  });
+}
+
+TEST(AutogradGradCheck, ScaleAndSub) {
+  Rng rng(7);
+  Parameter p;
+  p.value = RandomMatrix(1, 3, rng);
+  const Matrix x = RandomMatrix(1, 3, rng);
+  const Matrix target(1, 3);
+  CheckGradient(p, [&](Tape& t) {
+    Var v = t.Leaf(&p);
+    return t.MseLoss(t.Sub(t.Scale(v, 2.5), t.Input(x)), target);
+  });
+}
+
+TEST(AutogradGradCheck, ConcatBothSides) {
+  Rng rng(8);
+  Parameter p;
+  p.value = RandomMatrix(1, 3, rng);
+  const Matrix target(1, 6);
+  CheckGradient(p, [&](Tape& t) {
+    Var v = t.Leaf(&p);
+    return t.MseLoss(t.ConcatCols(v, t.Scale(v, -1.0)), target);
+  });
+}
+
+TEST(AutogradGradCheck, AddNSharedParameter) {
+  Rng rng(9);
+  Parameter p;
+  p.value = RandomMatrix(1, 2, rng);
+  const Matrix target(1, 2);
+  CheckGradient(p, [&](Tape& t) {
+    Var v = t.Leaf(&p);
+    return t.MseLoss(t.AddN({v, v, v}), target);
+  });
+}
+
+TEST(AutogradGradCheck, SumAllThroughRelu) {
+  Rng rng(10);
+  Parameter p;
+  p.value = RandomMatrix(2, 3, rng);
+  CheckGradient(p, [&](Tape& t) {
+    Var s = t.SumAll(t.Relu(t.Leaf(&p)));
+    return t.MseLoss(s, Matrix::Scalar(1.0));
+  });
+}
+
+TEST(AutogradGradCheck, BceLogitGradient) {
+  Rng rng(11);
+  Parameter p;
+  p.value = RandomMatrix(2, 1, rng);
+  const Matrix x = RandomMatrix(1, 2, rng);
+  CheckGradient(p, [&](Tape& t) {
+    return t.BceWithLogitsLoss(t.MatMul(t.Input(x), t.Leaf(&p)), 1.0);
+  });
+}
+
+// Message-passing-like structure: shared MLP applied twice with concat and
+// sum, mirroring the COSTREAM forward pass.
+TEST(AutogradGradCheck, MessagePassingComposite) {
+  Rng rng(12);
+  Parameter w;
+  w.value = RandomMatrix(4, 2, rng);
+  const Matrix a = RandomMatrix(1, 2, rng);
+  const Matrix b = RandomMatrix(1, 2, rng);
+  const Matrix target(1, 2);
+  CheckGradient(w, [&](Tape& t) {
+    Var wa = t.Leaf(&w);
+    Var ha = t.Input(a);
+    Var hb = t.Input(b);
+    Var h1 = t.Relu(t.MatMul(t.ConcatCols(ha, hb), wa));
+    Var h2 = t.Relu(t.MatMul(t.ConcatCols(h1, hb), wa));
+    return t.MseLoss(t.AddN({h1, h2}), target);
+  });
+}
+
+// Fuzz: random compositions of unary/binary ops over a shared parameter
+// must pass the finite-difference check. Exercises gradient accumulation
+// through arbitrary reuse patterns.
+class AutogradFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutogradFuzzTest, RandomCompositionGradCheck) {
+  Rng rng(1000 + GetParam());
+  Parameter p;
+  const int dim = rng.Int(2, 4);
+  p.value = RandomMatrix(1, dim, rng);
+  // Pre-generate constants so the closure is deterministic.
+  std::vector<Matrix> constants;
+  for (int i = 0; i < 8; ++i) constants.push_back(RandomMatrix(1, dim, rng));
+  std::vector<int> ops;
+  for (int i = 0; i < 8; ++i) ops.push_back(rng.Int(0, 5));
+  const Matrix target(1, dim);
+
+  CheckGradient(p, [&](Tape& t) {
+    Var v = t.Leaf(&p);
+    Var acc = v;
+    for (int i = 0; i < 8; ++i) {
+      Var c = t.Input(constants[i]);
+      switch (ops[i]) {
+        case 0:
+          acc = t.Add(acc, c);
+          break;
+        case 1:
+          acc = t.Sub(acc, c);
+          break;
+        case 2:
+          acc = t.Mul(acc, c);
+          break;
+        case 3:
+          acc = t.Tanh(acc);
+          break;
+        case 4:
+          acc = t.Scale(acc, 0.7);
+          break;
+        case 5:
+          acc = t.AddN({acc, v});
+          break;
+      }
+    }
+    return t.MseLoss(acc, target);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzzTest, ::testing::Range(0, 12));
+
+TEST(AutogradDeathTest, ShapeMismatchAborts) {
+  Tape tape;
+  Var a = tape.Input(Matrix::Row({1.0, 2.0}));
+  Var b = tape.Input(Matrix::Row({1.0, 2.0, 3.0}));
+  EXPECT_DEATH(tape.Add(a, b), "COSTREAM_CHECK");
+}
+
+TEST(AutogradDeathTest, BackwardRequiresScalar) {
+  Tape tape;
+  Var a = tape.Input(Matrix::Row({1.0, 2.0}));
+  EXPECT_DEATH(tape.Backward(a), "scalar");
+}
+
+}  // namespace
+}  // namespace costream::nn

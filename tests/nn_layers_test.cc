@@ -1,0 +1,183 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "nn/serialize.h"
+
+namespace costream::nn {
+namespace {
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(1);
+  Linear layer(3, 5, rng);
+  Tape tape;
+  Var x = tape.Input(Matrix(2, 3));
+  Var y = layer.Apply(tape, x);
+  EXPECT_EQ(tape.value(y).rows(), 2);
+  EXPECT_EQ(tape.value(y).cols(), 5);
+}
+
+TEST(LinearTest, ZeroInputYieldsBias) {
+  Rng rng(2);
+  Linear layer(3, 2, rng);
+  Tape tape;
+  Var y = layer.Apply(tape, tape.Input(Matrix(1, 3)));
+  // Bias initializes to zero.
+  EXPECT_DOUBLE_EQ(tape.value(y)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(tape.value(y)(0, 1), 0.0);
+}
+
+TEST(LinearTest, CollectParametersYieldsWeightAndBias) {
+  Rng rng(3);
+  Linear layer(4, 2, rng);
+  std::vector<Parameter*> params;
+  layer.CollectParameters(params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->value.rows(), 4);
+  EXPECT_EQ(params[0]->value.cols(), 2);
+  EXPECT_EQ(params[1]->value.rows(), 1);
+  EXPECT_EQ(params[1]->value.cols(), 2);
+}
+
+TEST(MlpTest, LayerChainShapes) {
+  Rng rng(4);
+  Mlp mlp({6, 8, 3}, rng);
+  EXPECT_EQ(mlp.in_features(), 6);
+  EXPECT_EQ(mlp.out_features(), 3);
+  Tape tape;
+  Var y = mlp.Apply(tape, tape.Input(Matrix(1, 6)));
+  EXPECT_EQ(tape.value(y).cols(), 3);
+}
+
+TEST(MlpTest, OutputNotActivatedByDefault) {
+  // With ReLU on the output, all values would be >= 0; without, a rich input
+  // space should produce some negative outputs.
+  Rng rng(5);
+  Mlp mlp({4, 8, 1}, rng);
+  bool any_negative = false;
+  for (int i = 0; i < 64; ++i) {
+    Tape tape;
+    Matrix x(1, 4);
+    for (int c = 0; c < 4; ++c) x(0, c) = rng.Uniform(-2.0, 2.0);
+    Var y = mlp.Apply(tape, tape.Input(x));
+    if (tape.value(y)(0, 0) < 0.0) any_negative = true;
+  }
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (p - 3)^2 .
+  Parameter p;
+  p.value = Matrix::Scalar(0.0);
+  p.ZeroGrad();
+  AdamConfig config;
+  config.learning_rate = 0.1;
+  Adam adam({&p}, config);
+  for (int step = 0; step < 300; ++step) {
+    Tape tape;
+    Var loss = tape.MseLoss(tape.Leaf(&p), Matrix::Scalar(3.0));
+    tape.Backward(loss);
+    adam.Step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 3.0, 1e-2);
+}
+
+TEST(AdamTest, MlpFitsLinearFunction) {
+  // y = 2 x0 - x1 learned from samples.
+  Rng rng(6);
+  Mlp mlp({2, 16, 1}, rng);
+  std::vector<Parameter*> params;
+  mlp.CollectParameters(params);
+  AdamConfig config;
+  config.learning_rate = 5e-3;
+  Adam adam(params, config);
+  for (int step = 0; step < 2000; ++step) {
+    Tape tape;
+    Matrix x(1, 2);
+    x(0, 0) = rng.Uniform(-1.0, 1.0);
+    x(0, 1) = rng.Uniform(-1.0, 1.0);
+    const double target = 2.0 * x(0, 0) - x(0, 1);
+    Var loss =
+        tape.MseLoss(mlp.Apply(tape, tape.Input(x)), Matrix::Scalar(target));
+    tape.Backward(loss);
+    adam.Step();
+  }
+  double total_error = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    Tape tape;
+    Matrix x(1, 2);
+    x(0, 0) = rng.Uniform(-1.0, 1.0);
+    x(0, 1) = rng.Uniform(-1.0, 1.0);
+    const double target = 2.0 * x(0, 0) - x(0, 1);
+    Var y = mlp.Apply(tape, tape.Input(x));
+    total_error += std::fabs(tape.value(y)(0, 0) - target);
+  }
+  EXPECT_LT(total_error / 50.0, 0.08);
+}
+
+TEST(AdamTest, GradClipBoundsUpdate) {
+  Parameter p;
+  p.value = Matrix::Scalar(0.0);
+  p.ZeroGrad();
+  p.grad(0, 0) = 1e9;  // enormous gradient
+  AdamConfig config;
+  config.learning_rate = 0.01;
+  config.grad_clip = 1.0;
+  Adam adam({&p}, config);
+  adam.Step();
+  // Adam normalizes by sqrt(v), so the step magnitude stays ~learning rate.
+  EXPECT_LT(std::fabs(p.value(0, 0)), 0.2);
+}
+
+TEST(AdamTest, ZeroGradClearsAccumulation) {
+  Parameter p;
+  p.value = Matrix::Scalar(1.0);
+  p.ZeroGrad();
+  p.grad(0, 0) = 5.0;
+  Adam adam({&p}, AdamConfig{});
+  adam.ZeroGrad();
+  EXPECT_EQ(p.grad(0, 0), 0.0);
+}
+
+TEST(SerializeTest, RoundTripPreservesValues) {
+  Rng rng(7);
+  Mlp mlp({3, 4, 2}, rng);
+  std::vector<Parameter*> params;
+  mlp.CollectParameters(params);
+
+  std::stringstream buffer;
+  SaveParameters(buffer, params);
+
+  // Perturb, then load back.
+  const double original = params[0]->value(0, 0);
+  params[0]->value(0, 0) = 99.0;
+  EXPECT_TRUE(LoadParameters(buffer, params));
+  EXPECT_DOUBLE_EQ(params[0]->value(0, 0), original);
+}
+
+TEST(SerializeTest, LoadRejectsShapeMismatch) {
+  Rng rng(8);
+  Mlp a({3, 4, 2}, rng);
+  Mlp b({3, 5, 2}, rng);
+  std::vector<Parameter*> pa, pb;
+  a.CollectParameters(pa);
+  b.CollectParameters(pb);
+  std::stringstream buffer;
+  SaveParameters(buffer, pa);
+  EXPECT_FALSE(LoadParameters(buffer, pb));
+}
+
+TEST(SerializeTest, LoadRejectsGarbage) {
+  Rng rng(9);
+  Mlp mlp({2, 2}, rng);
+  std::vector<Parameter*> params;
+  mlp.CollectParameters(params);
+  std::stringstream buffer("not a model file");
+  EXPECT_FALSE(LoadParameters(buffer, params));
+}
+
+}  // namespace
+}  // namespace costream::nn

@@ -1,0 +1,90 @@
+#include "nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace costream::nn {
+namespace {
+
+TEST(MatrixTest, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructionZeroInitializes) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, InitializerListLayoutIsRowMajor) {
+  Matrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+  EXPECT_EQ(m.data()[2], 3.0);
+}
+
+TEST(MatrixTest, ElementAssignment) {
+  Matrix m(2, 2);
+  m(1, 0) = 7.5;
+  EXPECT_EQ(m(1, 0), 7.5);
+}
+
+TEST(MatrixTest, ResizeZeroDiscardsContents) {
+  Matrix m(1, 2, {5.0, 6.0});
+  m.ResizeZero(3, 1);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 1);
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(m(r, 0), 0.0);
+}
+
+TEST(MatrixTest, Fill) {
+  Matrix m(2, 2);
+  m.Fill(3.25);
+  for (int i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 3.25);
+}
+
+TEST(MatrixTest, ScalarFactory) {
+  Matrix m = Matrix::Scalar(-2.0);
+  EXPECT_EQ(m.rows(), 1);
+  EXPECT_EQ(m.cols(), 1);
+  EXPECT_EQ(m(0, 0), -2.0);
+}
+
+TEST(MatrixTest, RowFactoryFromInitializerList) {
+  Matrix m = Matrix::Row({1.0, 2.0, 3.0});
+  EXPECT_EQ(m.rows(), 1);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 2), 3.0);
+}
+
+TEST(MatrixTest, RowFactoryFromVector) {
+  std::vector<double> v = {4.0, 5.0};
+  Matrix m = Matrix::Row(v);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m(0, 1), 5.0);
+}
+
+TEST(MatrixTest, SameShape) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  Matrix c(3, 2);
+  EXPECT_TRUE(a.SameShape(b));
+  EXPECT_FALSE(a.SameShape(c));
+}
+
+TEST(MatrixDeathTest, OutOfBoundsAccessAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m(2, 0), "COSTREAM_CHECK");
+  EXPECT_DEATH(m(0, -1), "COSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace costream::nn

@@ -1,0 +1,120 @@
+#include "nn/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace costream::nn {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Int(0, 1000), b.Int(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Int(0, 1'000'000) == b.Int(0, 1'000'000)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, IntInclusiveBounds) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.Int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, LogNormalFactorCentersAroundOne) {
+  Rng rng(6);
+  double log_sum = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    log_sum += std::log(rng.LogNormalFactor(0.1));
+  }
+  EXPECT_NEAR(log_sum / 5000.0, 0.0, 0.01);
+}
+
+TEST(RngTest, ChoiceCoversAllElements) {
+  Rng rng(7);
+  std::vector<int> values = {10, 20, 30};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) {
+    const int v = rng.Choice(values);
+    if (v == 10) ++counts[0];
+    if (v == 20) ++counts[1];
+    if (v == 30) ++counts[2];
+  }
+  for (int c : counts) EXPECT_GT(c, 800);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(8);
+  std::vector<int> values = {1, 2, 3, 4, 5};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ForkProducesDistinctStreams) {
+  Rng rng(9);
+  Rng child1(rng.Fork());
+  Rng child2(rng.Fork());
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child1.Int(0, 1'000'000) == child2.Int(0, 1'000'000)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(10);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+}  // namespace
+}  // namespace costream::nn

@@ -1,0 +1,147 @@
+// Tests of the multi-query placement support: background load in the fluid
+// engine, load aggregation, and the effective-cluster transformation.
+#include "placement/multi_query.h"
+
+#include <gtest/gtest.h>
+
+#include "dsps/query_builder.h"
+
+namespace costream::placement {
+namespace {
+
+using dsps::DataType;
+using dsps::FilterFunction;
+using dsps::QueryBuilder;
+using dsps::QueryGraph;
+
+QueryGraph HeavyQuery() {
+  QueryBuilder b;
+  auto s = b.Source(12800.0, std::vector<DataType>(8, DataType::kString));
+  auto f = b.Filter(s, FilterFunction::kStartsWith, DataType::kString, 0.8);
+  return b.Sink(f);
+}
+
+QueryGraph LightQuery() {
+  QueryBuilder b;
+  auto s = b.Source(400.0, {DataType::kInt, DataType::kInt});
+  auto f = b.Filter(s, FilterFunction::kLess, DataType::kInt, 0.5);
+  return b.Sink(f);
+}
+
+sim::Cluster TwoNodeCluster() {
+  sim::Cluster cluster;
+  cluster.nodes.push_back({400.0, 8000.0, 1000.0, 5.0});
+  cluster.nodes.push_back({400.0, 8000.0, 1000.0, 5.0});
+  return cluster;
+}
+
+sim::FluidConfig Noiseless() {
+  sim::FluidConfig config;
+  config.noise_sigma = 0.0;
+  return config;
+}
+
+TEST(BackgroundLoadTest, ComputedLoadIsPositiveWhereOperatorsRun) {
+  const QueryGraph q = HeavyQuery();
+  const sim::Cluster cluster = TwoNodeCluster();
+  const sim::Placement placement(q.num_operators(), 0);
+  const sim::BackgroundLoad load =
+      sim::ComputeBackgroundLoad(q, cluster, placement);
+  ASSERT_EQ(load.cpu_load_us.size(), 2u);
+  EXPECT_GT(load.cpu_load_us[0], 0.0);
+  EXPECT_EQ(load.cpu_load_us[1], 0.0);
+  EXPECT_GT(load.memory_mb[0], 0.0);   // worker base memory at least
+  EXPECT_EQ(load.memory_mb[1], 0.0);
+}
+
+TEST(BackgroundLoadTest, CrossNodeEdgesProduceNetworkLoad) {
+  const QueryGraph q = HeavyQuery();
+  const sim::Cluster cluster = TwoNodeCluster();
+  const sim::Placement split = {0, 1, 1};
+  const sim::BackgroundLoad load =
+      sim::ComputeBackgroundLoad(q, cluster, split);
+  EXPECT_GT(load.out_bytes_per_s[0], 0.0);
+}
+
+TEST(BackgroundLoadTest, BackgroundCausesBackpressureForTheNewQuery) {
+  const sim::Cluster cluster = TwoNodeCluster();
+  const QueryGraph heavy = HeavyQuery();
+  const sim::Placement heavy_placement(heavy.num_operators(), 0);
+  const QueryGraph light = LightQuery();
+  const sim::Placement light_placement(light.num_operators(), 0);
+
+  // Alone, the light query runs fine on node 0.
+  const sim::FluidReport idle =
+      sim::EvaluateFluid(light, cluster, light_placement, Noiseless());
+  EXPECT_FALSE(idle.metrics.backpressure);
+
+  // Stack three heavy queries on node 0 as background: the shared node is
+  // saturated and the new light query backpressures.
+  sim::FluidConfig config = Noiseless();
+  const sim::BackgroundLoad one =
+      sim::ComputeBackgroundLoad(heavy, cluster, heavy_placement);
+  for (int i = 0; i < 3; ++i) {
+    sim::AccumulateBackgroundLoad(one, cluster.num_nodes(),
+                                  &config.background);
+  }
+  const sim::FluidReport shared =
+      sim::EvaluateFluid(light, cluster, light_placement, config);
+  EXPECT_TRUE(shared.metrics.backpressure);
+  EXPECT_LT(shared.metrics.throughput, idle.metrics.throughput);
+}
+
+TEST(BackgroundLoadTest, AggregateLoadSumsDeployedQueries) {
+  const sim::Cluster cluster = TwoNodeCluster();
+  const QueryGraph a = HeavyQuery();
+  const QueryGraph b = LightQuery();
+  const sim::Placement pa(a.num_operators(), 0);
+  const sim::Placement pb(b.num_operators(), 1);
+  const sim::BackgroundLoad combined =
+      AggregateLoad({{&a, &pa}, {&b, &pb}}, cluster);
+  const sim::BackgroundLoad la = sim::ComputeBackgroundLoad(a, cluster, pa);
+  const sim::BackgroundLoad lb = sim::ComputeBackgroundLoad(b, cluster, pb);
+  for (int n = 0; n < 2; ++n) {
+    EXPECT_NEAR(combined.cpu_load_us[n],
+                la.cpu_load_us[n] + lb.cpu_load_us[n], 1e-9);
+    EXPECT_NEAR(combined.memory_mb[n], la.memory_mb[n] + lb.memory_mb[n],
+                1e-9);
+  }
+}
+
+TEST(EffectiveClusterTest, EmptyBackgroundIsIdentity) {
+  const sim::Cluster cluster = TwoNodeCluster();
+  const sim::Cluster effective =
+      EffectiveCluster(cluster, sim::BackgroundLoad{});
+  for (int n = 0; n < 2; ++n) {
+    EXPECT_EQ(effective.nodes[n].cpu_pct, cluster.nodes[n].cpu_pct);
+  }
+}
+
+TEST(EffectiveClusterTest, BusyNodesShrink) {
+  const sim::Cluster cluster = TwoNodeCluster();
+  const QueryGraph heavy = HeavyQuery();
+  const sim::Placement placement(heavy.num_operators(), 0);
+  const sim::BackgroundLoad load =
+      sim::ComputeBackgroundLoad(heavy, cluster, placement);
+  const sim::Cluster effective = EffectiveCluster(cluster, load);
+  // Node 0 lost CPU and RAM; node 1 is untouched.
+  EXPECT_LT(effective.nodes[0].cpu_pct, cluster.nodes[0].cpu_pct);
+  EXPECT_LT(effective.nodes[0].ram_mb, cluster.nodes[0].ram_mb);
+  EXPECT_EQ(effective.nodes[1].cpu_pct, cluster.nodes[1].cpu_pct);
+  // Capacities never collapse to zero.
+  EXPECT_GT(effective.nodes[0].cpu_pct, 0.0);
+  EXPECT_GT(effective.nodes[0].ram_mb, 0.0);
+}
+
+TEST(EffectiveClusterTest, LatencyIsUnaffected) {
+  const sim::Cluster cluster = TwoNodeCluster();
+  const QueryGraph heavy = HeavyQuery();
+  const sim::Placement placement(heavy.num_operators(), 0);
+  const sim::BackgroundLoad load =
+      sim::ComputeBackgroundLoad(heavy, cluster, placement);
+  const sim::Cluster effective = EffectiveCluster(cluster, load);
+  EXPECT_EQ(effective.nodes[0].latency_ms, cluster.nodes[0].latency_ms);
+}
+
+}  // namespace
+}  // namespace costream::placement

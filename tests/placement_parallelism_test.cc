@@ -1,0 +1,210 @@
+// Tests of the degree-of-parallelism extension: capacity semantics in both
+// simulators, featurization, workload generation, and the tuner.
+#include "placement/parallelism_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/featurizer.h"
+#include "dsps/query_builder.h"
+#include "sim/des.h"
+#include "sim/fluid_engine.h"
+#include "workload/corpus.h"
+
+namespace costream::placement {
+namespace {
+
+using dsps::DataType;
+using dsps::FilterFunction;
+using dsps::QueryBuilder;
+using dsps::QueryGraph;
+
+// A query whose source ingest alone needs ~3.5 reference cores: CPU-bound
+// on a single instance, parallelizable across instances.
+QueryGraph CpuBoundQuery(int source_parallelism) {
+  QueryBuilder b;
+  auto s = b.Source(25600.0, std::vector<DataType>(10, DataType::kString));
+  QueryGraph q = b.Sink(s);
+  q.mutable_op(q.Sources()[0]).parallelism = source_parallelism;
+  q.mutable_op(q.Sink()).parallelism = source_parallelism;
+  return q;
+}
+
+sim::Cluster EightCoreNode() {
+  return sim::Cluster{{sim::HardwareNode{800.0, 32000.0, 10000.0, 1.0}}};
+}
+
+sim::FluidConfig Noiseless() {
+  sim::FluidConfig config;
+  config.noise_sigma = 0.0;
+  return config;
+}
+
+TEST(ParallelismFluidTest, SingleInstanceCapsAtOneCore) {
+  QueryGraph q = CpuBoundQuery(1);
+  sim::Placement placement(q.num_operators(), 0);
+  const sim::FluidReport report =
+      sim::EvaluateFluid(q, EightCoreNode(), placement, Noiseless());
+  // The 8-core node is mostly idle, but the single-threaded source is the
+  // bottleneck: backpressure despite plentiful aggregate CPU.
+  EXPECT_TRUE(report.metrics.backpressure);
+  EXPECT_LT(report.node_stats[0].cpu_utilization, 0.9);
+}
+
+TEST(ParallelismFluidTest, ParallelInstancesRemoveTheBottleneck) {
+  QueryGraph q = CpuBoundQuery(8);
+  sim::Placement placement(q.num_operators(), 0);
+  const sim::FluidReport report =
+      sim::EvaluateFluid(q, EightCoreNode(), placement, Noiseless());
+  EXPECT_FALSE(report.metrics.backpressure);
+  EXPECT_NEAR(report.metrics.throughput, 25600.0, 256.0);
+}
+
+TEST(ParallelismFluidTest, ThroughputMonotoneInParallelism) {
+  double prev = -1.0;
+  for (int p : {1, 2, 4, 8}) {
+    QueryGraph q = CpuBoundQuery(p);
+    sim::Placement placement(q.num_operators(), 0);
+    const double t =
+        sim::EvaluateFluid(q, EightCoreNode(), placement, Noiseless())
+            .metrics.throughput;
+    EXPECT_GE(t, prev - 1e-6) << "parallelism " << p;
+    prev = t;
+  }
+}
+
+TEST(ParallelismFluidTest, ParallelismCannotExceedNodeCores) {
+  // On a 1-core node, parallelism 8 changes nothing.
+  QueryGraph q1 = CpuBoundQuery(1);
+  QueryGraph q8 = CpuBoundQuery(8);
+  sim::Cluster one_core{{sim::HardwareNode{100.0, 32000.0, 10000.0, 1.0}}};
+  sim::Placement placement(q1.num_operators(), 0);
+  const double t1 = sim::EvaluateFluid(q1, one_core, placement, Noiseless())
+                        .metrics.throughput;
+  const double t8 = sim::EvaluateFluid(q8, one_core, placement, Noiseless())
+                        .metrics.throughput;
+  EXPECT_NEAR(t1, t8, 1e-6);
+}
+
+TEST(ParallelismDesTest, ParallelSourceSustainsHigherRate) {
+  sim::DesConfig config;
+  config.duration_s = 3.0;
+  sim::Placement placement(2, 0);
+  const sim::DesReport serial =
+      RunDes(CpuBoundQuery(1), EightCoreNode(), placement, config);
+  const sim::DesReport parallel =
+      RunDes(CpuBoundQuery(8), EightCoreNode(), placement, config);
+  EXPECT_GT(parallel.metrics.throughput, serial.metrics.throughput * 1.5);
+}
+
+TEST(ParallelismFeaturizerTest, DegreeAppearsInFeatures) {
+  QueryGraph q1 = CpuBoundQuery(1);
+  QueryGraph q8 = CpuBoundQuery(8);
+  sim::Cluster cluster = EightCoreNode();
+  sim::Placement placement(q1.num_operators(), 0);
+  const core::JointGraph a = core::BuildJointGraph(q1, cluster, placement);
+  const core::JointGraph b = core::BuildJointGraph(q8, cluster, placement);
+  // Last feature slot of the source node carries the normalized degree.
+  EXPECT_EQ(a.nodes[0].features.back(), 0.0);
+  EXPECT_NEAR(b.nodes[0].features.back(), 1.0, 1e-9);
+}
+
+TEST(ParallelismGeneratorTest, DefaultCorpusStaysSingleInstance) {
+  workload::QueryGenerator generator(workload::GeneratorConfig{});
+  nn::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const QueryGraph q =
+        generator.Generate(workload::QueryTemplate::kThreeWayJoin, rng);
+    for (int id = 0; id < q.num_operators(); ++id) {
+      EXPECT_EQ(q.op(id).parallelism, 1);
+    }
+  }
+}
+
+TEST(ParallelismGeneratorTest, FractionAssignsDegrees) {
+  workload::GeneratorConfig config;
+  config.parallelism_fraction = 1.0;
+  config.parallelism_choices = {4};
+  workload::QueryGenerator generator(config);
+  nn::Rng rng(2);
+  const QueryGraph q =
+      generator.Generate(workload::QueryTemplate::kLinear, rng);
+  for (int id = 0; id < q.num_operators(); ++id) {
+    if (q.op(id).type == dsps::OperatorType::kWindow) {
+      EXPECT_EQ(q.op(id).parallelism, 1);
+    } else {
+      EXPECT_EQ(q.op(id).parallelism, 4);
+    }
+  }
+}
+
+class ParallelismTunerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::CorpusConfig config;
+    config.num_queries = 1200;
+    config.seed = 777;
+    config.generator.parallelism_fraction = 0.4;
+    const auto records = workload::BuildCorpus(config);
+    core::CostModelConfig mc;
+    ensemble_ = new core::Ensemble(mc, 1);
+    core::TrainConfig tc;
+    tc.epochs = 12;
+    ensemble_->Train(
+        workload::ToTrainSamples(records, sim::Metric::kThroughput), {}, tc);
+  }
+  static void TearDownTestSuite() {
+    delete ensemble_;
+    ensemble_ = nullptr;
+  }
+  static core::Ensemble* ensemble_;
+};
+
+core::Ensemble* ParallelismTunerTest::ensemble_ = nullptr;
+
+TEST_F(ParallelismTunerTest, HillClimbNeverAcceptsWorsePredictions) {
+  QueryGraph q = CpuBoundQuery(1);
+  sim::Placement placement(q.num_operators(), 0);
+  ParallelismTunerConfig config;
+  const ParallelismTunerResult result = TuneParallelism(
+      q, EightCoreNode(), placement, *ensemble_, config);
+  EXPECT_GE(result.predicted_tuned, result.predicted_initial);
+  for (int p : result.parallelism) {
+    EXPECT_GE(p, 1);
+    EXPECT_LE(p, config.max_parallelism);
+  }
+}
+
+TEST_F(ParallelismTunerTest, TunedDegreesHelpTheCpuBoundQuery) {
+  QueryGraph q = CpuBoundQuery(1);
+  sim::Placement placement(q.num_operators(), 0);
+  ParallelismTunerConfig config;
+  const ParallelismTunerResult result = TuneParallelism(
+      q, EightCoreNode(), placement, *ensemble_, config);
+  // Apply the tuned degrees and measure with the fluid oracle: the tuned
+  // configuration must not be worse than the single-instance one.
+  for (int id = 0; id < q.num_operators(); ++id) {
+    q.mutable_op(id).parallelism = result.parallelism[id];
+  }
+  const double tuned =
+      sim::EvaluateFluid(q, EightCoreNode(), placement, Noiseless())
+          .metrics.throughput;
+  const double initial =
+      sim::EvaluateFluid(CpuBoundQuery(1), EightCoreNode(), placement,
+                         Noiseless())
+          .metrics.throughput;
+  EXPECT_GE(tuned, initial * 0.9);
+}
+
+TEST(ParallelismTunerDeathTest, RejectsClassificationEnsemble) {
+  core::CostModelConfig mc;
+  mc.head = core::HeadKind::kClassification;
+  core::Ensemble classifier(mc, 1);
+  QueryGraph q = CpuBoundQuery(1);
+  sim::Placement placement(q.num_operators(), 0);
+  EXPECT_DEATH(TuneParallelism(q, EightCoreNode(), placement, classifier,
+                               ParallelismTunerConfig{}),
+               "COSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace costream::placement

@@ -1,0 +1,116 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/hardware.h"
+
+namespace costream::sim {
+namespace {
+
+using dsps::DataType;
+using dsps::OperatorDescriptor;
+using dsps::OperatorType;
+
+TEST(CostModelTest, ValueCostOrdering) {
+  EXPECT_LT(ValueCostUs(DataType::kInt), ValueCostUs(DataType::kDouble));
+  EXPECT_LT(ValueCostUs(DataType::kDouble), ValueCostUs(DataType::kString));
+}
+
+TEST(CostModelTest, StringFilterCostsMoreThanIntFilter) {
+  OperatorDescriptor f;
+  f.type = OperatorType::kFilter;
+  f.tuple_width_in = 5.0;
+  f.literal_data_type = DataType::kInt;
+  const double int_cost = PerTupleCostUs(f);
+  f.literal_data_type = DataType::kString;
+  f.filter_function = dsps::FilterFunction::kStartsWith;
+  const double affix_cost = PerTupleCostUs(f);
+  EXPECT_GT(affix_cost, int_cost);
+}
+
+TEST(CostModelTest, JoinProbeGrowsWithOppositeWindow) {
+  OperatorDescriptor j;
+  j.type = OperatorType::kJoin;
+  j.tuple_width_in = 4.0;
+  j.join_key_type = DataType::kInt;
+  EXPECT_LT(PerTupleCostUs(j, 10.0), PerTupleCostUs(j, 10000.0));
+}
+
+TEST(CostModelTest, WiderTuplesCostMore) {
+  OperatorDescriptor s;
+  s.type = OperatorType::kSource;
+  s.tuple_width_out = 3.0;
+  s.frac_int = 1.0;
+  const double narrow = PerTupleCostUs(s);
+  s.tuple_width_out = 10.0;
+  EXPECT_GT(PerTupleCostUs(s), narrow);
+}
+
+TEST(CostModelTest, OnlyStatefulOperatorsHaveOutputCosts) {
+  OperatorDescriptor f;
+  f.type = OperatorType::kFilter;
+  EXPECT_EQ(PerOutputCostUs(f), 0.0);
+  OperatorDescriptor j;
+  j.type = OperatorType::kJoin;
+  j.tuple_width_out = 6.0;
+  EXPECT_GT(PerOutputCostUs(j), 0.0);
+  OperatorDescriptor a;
+  a.type = OperatorType::kAggregate;
+  a.tuple_width_out = 2.0;
+  EXPECT_GT(PerOutputCostUs(a), 0.0);
+}
+
+TEST(CostModelTest, GcSlowdownIsOneBelowPressureStart) {
+  EXPECT_EQ(GcSlowdown(100.0, 10000.0), 1.0);
+}
+
+TEST(CostModelTest, GcSlowdownMonotoneInMemory) {
+  const double ram = 1000.0;
+  double prev = 0.0;
+  for (double mem = 100.0; mem <= 900.0; mem += 100.0) {
+    const double slow = GcSlowdown(mem, ram);
+    EXPECT_GE(slow, prev);
+    EXPECT_GE(slow, 1.0);
+    prev = slow;
+  }
+}
+
+TEST(CostModelTest, GcSlowdownDecreasesWithMoreRam) {
+  EXPECT_GE(GcSlowdown(500.0, 1000.0), GcSlowdown(500.0, 32000.0));
+}
+
+TEST(CostModelTest, CrashMemoryScalesWithRam) {
+  EXPECT_LT(CrashMemoryMb(1000.0), CrashMemoryMb(32000.0));
+  EXPECT_GT(CrashMemoryMb(1000.0), 0.0);
+}
+
+TEST(CostModelTest, WindowStateScalesWithTuplesAndBytes) {
+  EXPECT_GT(WindowStateMb(1000.0, 200.0), WindowStateMb(100.0, 200.0));
+  EXPECT_GT(WindowStateMb(1000.0, 400.0), WindowStateMb(1000.0, 200.0));
+  EXPECT_EQ(WindowStateMb(0.0, 200.0), 0.0);
+}
+
+TEST(CapabilityScoreTest, StrongerNodesScoreHigher) {
+  HardwareNode weak{50.0, 1000.0, 25.0, 160.0};
+  HardwareNode strong{800.0, 32000.0, 10000.0, 1.0};
+  EXPECT_LT(CapabilityScore(weak), CapabilityScore(strong));
+}
+
+TEST(CapabilityScoreTest, EachDimensionContributes) {
+  HardwareNode base{200.0, 8000.0, 400.0, 10.0};
+  HardwareNode more_cpu = base;
+  more_cpu.cpu_pct = 800.0;
+  HardwareNode more_ram = base;
+  more_ram.ram_mb = 32000.0;
+  HardwareNode more_bw = base;
+  more_bw.bandwidth_mbits = 10000.0;
+  HardwareNode less_lat = base;
+  less_lat.latency_ms = 1.0;
+  EXPECT_GT(CapabilityScore(more_cpu), CapabilityScore(base));
+  EXPECT_GT(CapabilityScore(more_ram), CapabilityScore(base));
+  EXPECT_GT(CapabilityScore(more_bw), CapabilityScore(base));
+  EXPECT_GT(CapabilityScore(less_lat), CapabilityScore(base));
+}
+
+}  // namespace
+}  // namespace costream::sim

@@ -1,0 +1,293 @@
+#include "sim/des.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dsps/query_builder.h"
+#include "placement/enumeration.h"
+#include "sim/cost_model.h"
+#include "sim/tuple.h"
+#include "workload/generator.h"
+
+namespace costream::sim {
+namespace {
+
+using dsps::AggregateFunction;
+using dsps::DataType;
+using dsps::FilterFunction;
+using dsps::GroupByType;
+using dsps::QueryBuilder;
+using dsps::QueryGraph;
+using dsps::WindowPolicy;
+using dsps::WindowSpec;
+using dsps::WindowType;
+
+HardwareNode StrongNode() { return HardwareNode{800.0, 32000.0, 10000.0, 1.0}; }
+
+DesConfig QuickRun(double duration = 10.0, uint64_t seed = 1) {
+  DesConfig config;
+  config.duration_s = duration;
+  config.seed = seed;
+  return config;
+}
+
+TEST(TupleHashTest, UniformIsInUnitInterval) {
+  for (uint64_t id = 1; id < 1000; ++id) {
+    const double u = TupleUniform(id, 12345);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(TupleHashTest, KeysCoverDomain) {
+  std::vector<int> counts(8, 0);
+  for (uint64_t id = 1; id < 8000; ++id) {
+    ++counts[TupleKey(id, 99, 8)];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(DesTest, SourceToSinkDeliversAllTuples) {
+  QueryBuilder b;
+  auto s = b.Source(500.0, {DataType::kInt, DataType::kInt});
+  QueryGraph q = b.Sink(s);
+  Cluster cluster{{StrongNode()}};
+  Placement placement(q.num_operators(), 0);
+  DesReport report = RunDes(q, cluster, placement, QuickRun());
+  EXPECT_TRUE(report.metrics.success);
+  EXPECT_FALSE(report.metrics.backpressure);
+  EXPECT_NEAR(report.metrics.throughput, 500.0, 50.0);
+  EXPECT_EQ(report.produced_tuples, report.ingested_tuples);
+}
+
+TEST(DesTest, FilterRealizesTargetSelectivity) {
+  for (double sel : {0.1, 0.5, 0.9}) {
+    QueryBuilder b;
+    auto s = b.Source(1000.0, {DataType::kInt});
+    auto f = b.Filter(s, FilterFunction::kLess, DataType::kInt, sel);
+    QueryGraph q = b.Sink(f);
+    Cluster cluster{{StrongNode()}};
+    Placement placement(q.num_operators(), 0);
+    DesReport report = RunDes(q, cluster, placement, QuickRun(20.0));
+    EXPECT_NEAR(report.metrics.throughput, 1000.0 * sel, 1000.0 * sel * 0.15)
+        << "selectivity " << sel;
+  }
+}
+
+TEST(DesTest, JoinRealizesApproximateSelectivity) {
+  const double sel = 0.01;
+  QueryBuilder b;
+  auto s1 = b.Source(200.0, {DataType::kInt});
+  auto s2 = b.Source(200.0, {DataType::kInt});
+  WindowSpec w;
+  w.policy = WindowPolicy::kCountBased;
+  w.type = WindowType::kSliding;
+  w.size = 50;
+  w.slide = 25;
+  auto joined = b.WindowedJoin(s1, s2, w, DataType::kInt, sel);
+  QueryGraph q = b.Sink(joined);
+  Cluster cluster{{StrongNode()}};
+  Placement placement(q.num_operators(), 0);
+  DesReport report = RunDes(q, cluster, placement, QuickRun(20.0));
+  // Expected match rate: sel * (r1*W2 + r2*W1) = 0.01 * (200*50 + 200*50).
+  const double expected = sel * (200.0 * 50 + 200.0 * 50);
+  EXPECT_GT(report.metrics.throughput, expected * 0.5);
+  EXPECT_LT(report.metrics.throughput, expected * 1.5);
+}
+
+TEST(DesTest, TumblingCountWindowEmitsOncePerWindow) {
+  QueryBuilder b;
+  auto s = b.Source(1000.0, {DataType::kDouble});
+  WindowSpec w;
+  w.policy = WindowPolicy::kCountBased;
+  w.type = WindowType::kTumbling;
+  w.size = 100;
+  auto agg = b.WindowedAggregate(s, w, AggregateFunction::kMean,
+                                 GroupByType::kNone, DataType::kDouble, 1.0);
+  QueryGraph q = b.Sink(agg);
+  Cluster cluster{{StrongNode()}};
+  Placement placement(q.num_operators(), 0);
+  DesReport report = RunDes(q, cluster, placement, QuickRun(20.0));
+  // 1000 tuples/s / 100 per window = ~10 emissions/s.
+  EXPECT_NEAR(report.metrics.throughput, 10.0, 2.5);
+}
+
+TEST(DesTest, SlidingCountWindowEmitsPerSlide) {
+  QueryBuilder b;
+  auto s = b.Source(1000.0, {DataType::kDouble});
+  WindowSpec w;
+  w.policy = WindowPolicy::kCountBased;
+  w.type = WindowType::kSliding;
+  w.size = 100;
+  w.slide = 50;
+  auto agg = b.WindowedAggregate(s, w, AggregateFunction::kMax,
+                                 GroupByType::kNone, DataType::kDouble, 1.0);
+  QueryGraph q = b.Sink(agg);
+  Cluster cluster{{StrongNode()}};
+  Placement placement(q.num_operators(), 0);
+  DesReport report = RunDes(q, cluster, placement, QuickRun(20.0));
+  // Emission every 50 tuples: ~20/s.
+  EXPECT_NEAR(report.metrics.throughput, 20.0, 5.0);
+}
+
+TEST(DesTest, TimeWindowEmitsPerSlideInterval) {
+  QueryBuilder b;
+  auto s = b.Source(500.0, {DataType::kDouble});
+  WindowSpec w;
+  w.policy = WindowPolicy::kTimeBased;
+  w.type = WindowType::kSliding;
+  w.size = 2.0;
+  w.slide = 1.0;
+  auto agg = b.WindowedAggregate(s, w, AggregateFunction::kMean,
+                                 GroupByType::kNone, DataType::kDouble, 1.0);
+  QueryGraph q = b.Sink(agg);
+  Cluster cluster{{StrongNode()}};
+  Placement placement(q.num_operators(), 0);
+  DesReport report = RunDes(q, cluster, placement, QuickRun(30.0));
+  EXPECT_NEAR(report.metrics.throughput, 1.0, 0.4);
+}
+
+TEST(DesTest, GroupedAggregateEmitsDistinctGroups) {
+  QueryBuilder b;
+  auto s = b.Source(1000.0, {DataType::kInt, DataType::kDouble});
+  WindowSpec w;
+  w.policy = WindowPolicy::kCountBased;
+  w.type = WindowType::kTumbling;
+  w.size = 100;
+  // Selectivity 0.2 -> ~20 groups per 100-tuple window.
+  auto agg = b.WindowedAggregate(s, w, AggregateFunction::kMean,
+                                 GroupByType::kInt, DataType::kDouble, 0.2);
+  QueryGraph q = b.Sink(agg);
+  Cluster cluster{{StrongNode()}};
+  Placement placement(q.num_operators(), 0);
+  DesReport report = RunDes(q, cluster, placement, QuickRun(20.0));
+  // ~10 windows/s * ~17-20 distinct groups.
+  EXPECT_GT(report.metrics.throughput, 100.0);
+  EXPECT_LT(report.metrics.throughput, 260.0);
+}
+
+TEST(DesTest, E2eLatencyAtLeastProcessingLatency) {
+  QueryBuilder b;
+  auto s = b.Source(500.0, {DataType::kInt});
+  auto f = b.Filter(s, FilterFunction::kGreater, DataType::kInt, 0.8);
+  QueryGraph q = b.Sink(f);
+  Cluster cluster{{StrongNode()}};
+  Placement placement(q.num_operators(), 0);
+  DesReport report = RunDes(q, cluster, placement, QuickRun());
+  EXPECT_GE(report.metrics.e2e_latency_ms,
+            report.metrics.processing_latency_ms);
+}
+
+TEST(DesTest, NetworkHopAddsLatency) {
+  QueryBuilder b1;
+  auto s1 = b1.Source(200.0, {DataType::kInt});
+  QueryGraph q = b1.Sink(s1);
+  Cluster near{{HardwareNode{400, 8000, 1000, 1.0}, StrongNode()}};
+  Cluster far{{HardwareNode{400, 8000, 1000, 80.0}, StrongNode()}};
+  Placement split = {0, 1};
+  const double lp_near =
+      RunDes(q, near, split, QuickRun()).metrics.processing_latency_ms;
+  const double lp_far =
+      RunDes(q, far, split, QuickRun()).metrics.processing_latency_ms;
+  EXPECT_GT(lp_far, lp_near + 60.0);
+}
+
+TEST(DesTest, OverloadedNodeBackpressures) {
+  QueryBuilder b;
+  auto s = b.Source(25600.0, std::vector<DataType>(10, DataType::kString));
+  auto f = b.Filter(s, FilterFunction::kStartsWith, DataType::kString, 0.5);
+  QueryGraph q = b.Sink(f);
+  Cluster cluster{{HardwareNode{50.0, 4000.0, 10000.0, 1.0}}};
+  Placement placement(q.num_operators(), 0);
+  DesReport report = RunDes(q, cluster, placement, QuickRun(5.0));
+  EXPECT_TRUE(report.metrics.backpressure);
+  EXPECT_GT(report.backpressure_rate, 0.0);
+  EXPECT_LT(report.ingested_tuples, report.produced_tuples);
+}
+
+TEST(DesTest, DeterministicForSameSeed) {
+  QueryBuilder b;
+  auto s = b.Source(300.0, {DataType::kInt});
+  auto f = b.Filter(s, FilterFunction::kLess, DataType::kInt, 0.5);
+  QueryGraph q = b.Sink(f);
+  Cluster cluster{{StrongNode()}};
+  Placement placement(q.num_operators(), 0);
+  DesReport a = RunDes(q, cluster, placement, QuickRun(5.0, 77));
+  DesReport c = RunDes(q, cluster, placement, QuickRun(5.0, 77));
+  EXPECT_EQ(a.sink_tuples, c.sink_tuples);
+  EXPECT_EQ(a.metrics.processing_latency_ms, c.metrics.processing_latency_ms);
+}
+
+TEST(DesTest, EventCapTruncatesRun) {
+  QueryBuilder b;
+  auto s = b.Source(10000.0, {DataType::kInt});
+  QueryGraph q = b.Sink(s);
+  Cluster cluster{{StrongNode()}};
+  Placement placement(q.num_operators(), 0);
+  DesConfig config = QuickRun(100.0);
+  config.max_events = 10000;
+  DesReport report = RunDes(q, cluster, placement, config);
+  EXPECT_LE(report.events_processed, 10001u);
+  EXPECT_LT(report.simulated_s, 100.0);
+}
+
+// Property sweep: random generated queries execute without invariant
+// violations on the DES across templates and seeds.
+class DesPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DesPropertyTest, RandomQueriesExecuteConsistently) {
+  const auto [template_index, seed] = GetParam();
+  workload::GeneratorConfig gc;
+  // Cap the rates so tuple-level simulation stays fast.
+  gc.workload.event_rate_linear = {100, 200, 400, 800};
+  gc.workload.event_rate_two_way = {50, 100, 250};
+  gc.workload.event_rate_three_way = {20, 50, 100};
+  workload::QueryGenerator generator(gc);
+  nn::Rng rng(5000 + seed);
+  const auto kind = static_cast<workload::QueryTemplate>(template_index);
+  const dsps::QueryGraph q = generator.Generate(kind, rng);
+  const Cluster cluster = generator.GenerateCluster(rng);
+  const auto bins = placement::CapabilityBins(cluster);
+  const Placement placement =
+      placement::SamplePlacement(q, cluster, bins, rng);
+
+  DesConfig config;
+  config.duration_s = 6.0;
+  config.seed = seed;
+  const DesReport report = RunDes(q, cluster, placement, config);
+  EXPECT_GE(report.metrics.throughput, 0.0);
+  EXPECT_LE(report.ingested_tuples, report.produced_tuples);
+  EXPECT_GE(report.metrics.e2e_latency_ms,
+            report.metrics.processing_latency_ms - 1e-6);
+  EXPECT_TRUE(std::isfinite(report.metrics.processing_latency_ms));
+  for (double mem : report.node_peak_memory_mb) EXPECT_GE(mem, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TemplatesAndSeeds, DesPropertyTest,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Range(0, 4)));
+
+TEST(DesTest, PeakMemoryTracked) {
+  QueryBuilder b;
+  auto s1 = b.Source(500.0, std::vector<DataType>(8, DataType::kString));
+  auto s2 = b.Source(500.0, std::vector<DataType>(8, DataType::kString));
+  WindowSpec w;
+  w.policy = WindowPolicy::kTimeBased;
+  w.type = WindowType::kSliding;
+  w.size = 4.0;
+  w.slide = 2.0;
+  auto joined = b.WindowedJoin(s1, s2, w, DataType::kInt, 1e-3);
+  QueryGraph q = b.Sink(joined);
+  Cluster cluster{{StrongNode()}};
+  Placement placement(q.num_operators(), 0);
+  DesReport report = RunDes(q, cluster, placement, QuickRun());
+  ASSERT_EQ(report.node_peak_memory_mb.size(), 1u);
+  EXPECT_GT(report.node_peak_memory_mb[0], kWorkerBaseMemoryMb);
+}
+
+}  // namespace
+}  // namespace costream::sim

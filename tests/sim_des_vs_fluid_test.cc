@@ -1,0 +1,171 @@
+// Cross-validation of the two simulation substrates: the analytical fluid
+// engine (label generator) must agree with the tuple-level discrete-event
+// simulator on throughput within a tolerance band, and must order latencies
+// consistently. This is the evidence that fluid-model labels are a faithful
+// stand-in for executing the queries (see DESIGN.md, substitutions).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsps/query_builder.h"
+#include "sim/des.h"
+#include "sim/fluid_engine.h"
+
+namespace costream::sim {
+namespace {
+
+using dsps::AggregateFunction;
+using dsps::DataType;
+using dsps::FilterFunction;
+using dsps::GroupByType;
+using dsps::QueryBuilder;
+using dsps::QueryGraph;
+using dsps::WindowPolicy;
+using dsps::WindowSpec;
+using dsps::WindowType;
+
+struct Scenario {
+  const char* name;
+  QueryGraph query;
+  Cluster cluster;
+  Placement placement;
+};
+
+Scenario FilterScenario(double rate, double sel, double cpu) {
+  QueryBuilder b;
+  auto s = b.Source(rate, {DataType::kInt, DataType::kInt, DataType::kInt});
+  auto f = b.Filter(s, FilterFunction::kLess, DataType::kInt, sel);
+  QueryGraph q = b.Sink(f);
+  Cluster cluster{{HardwareNode{cpu, 16000.0, 10000.0, 1.0}}};
+  Placement placement(q.num_operators(), 0);
+  return Scenario{"filter", std::move(q), std::move(cluster),
+                  std::move(placement)};
+}
+
+Scenario AggScenario(double rate, WindowPolicy policy, WindowType type) {
+  QueryBuilder b;
+  auto s = b.Source(rate, {DataType::kInt, DataType::kDouble});
+  WindowSpec w;
+  w.policy = policy;
+  w.type = type;
+  w.size = policy == WindowPolicy::kCountBased ? 80.0 : 2.0;
+  w.slide = w.size * 0.5;
+  auto agg = b.WindowedAggregate(s, w, AggregateFunction::kMean,
+                                 GroupByType::kInt, DataType::kDouble, 0.25);
+  QueryGraph q = b.Sink(agg);
+  Cluster cluster{{HardwareNode{400.0, 16000.0, 10000.0, 1.0}}};
+  Placement placement(q.num_operators(), 0);
+  return Scenario{"agg", std::move(q), std::move(cluster),
+                  std::move(placement)};
+}
+
+Scenario JoinScenario(double rate) {
+  QueryBuilder b;
+  auto s1 = b.Source(rate, {DataType::kInt});
+  auto s2 = b.Source(rate, {DataType::kInt});
+  WindowSpec w;
+  w.policy = WindowPolicy::kCountBased;
+  w.type = WindowType::kSliding;
+  w.size = 40;
+  w.slide = 20;
+  auto joined = b.WindowedJoin(s1, s2, w, DataType::kInt, 0.02);
+  QueryGraph q = b.Sink(joined);
+  Cluster cluster{{HardwareNode{800.0, 16000.0, 10000.0, 1.0}}};
+  Placement placement(q.num_operators(), 0);
+  return Scenario{"join", std::move(q), std::move(cluster),
+                  std::move(placement)};
+}
+
+// Runs both engines and checks throughput agreement within `factor`.
+void ExpectThroughputAgreement(const Scenario& scenario, double factor) {
+  FluidConfig fluid_config;
+  fluid_config.noise_sigma = 0.0;
+  const FluidReport fluid =
+      EvaluateFluid(scenario.query, scenario.cluster, scenario.placement,
+                    fluid_config);
+  DesConfig des_config;
+  des_config.duration_s = 20.0;
+  des_config.seed = 3;
+  const DesReport des =
+      RunDes(scenario.query, scenario.cluster, scenario.placement, des_config);
+  ASSERT_TRUE(des.metrics.success);
+  const double ratio =
+      std::max(fluid.metrics.throughput, 1e-9) /
+      std::max(des.metrics.throughput, 1e-9);
+  EXPECT_LT(ratio, factor) << scenario.name;
+  EXPECT_GT(ratio, 1.0 / factor) << scenario.name;
+}
+
+TEST(DesVsFluidTest, FilterThroughputAgrees) {
+  ExpectThroughputAgreement(FilterScenario(1000.0, 0.4, 400.0), 1.25);
+  ExpectThroughputAgreement(FilterScenario(4000.0, 0.9, 800.0), 1.25);
+}
+
+TEST(DesVsFluidTest, AggregateThroughputAgrees) {
+  ExpectThroughputAgreement(
+      AggScenario(1000.0, WindowPolicy::kCountBased, WindowType::kTumbling),
+      1.6);
+  ExpectThroughputAgreement(
+      AggScenario(1000.0, WindowPolicy::kTimeBased, WindowType::kSliding),
+      1.6);
+}
+
+TEST(DesVsFluidTest, JoinThroughputAgrees) {
+  ExpectThroughputAgreement(JoinScenario(300.0), 1.8);
+}
+
+TEST(DesVsFluidTest, BothDetectBackpressureOnWeakNode) {
+  Scenario s = FilterScenario(25600.0, 1.0, 50.0);
+  FluidConfig fluid_config;
+  fluid_config.noise_sigma = 0.0;
+  const FluidReport fluid =
+      EvaluateFluid(s.query, s.cluster, s.placement, fluid_config);
+  DesConfig des_config;
+  des_config.duration_s = 5.0;
+  const DesReport des = RunDes(s.query, s.cluster, s.placement, des_config);
+  EXPECT_TRUE(fluid.metrics.backpressure);
+  EXPECT_TRUE(des.metrics.backpressure);
+}
+
+TEST(DesVsFluidTest, BothAgreeOnAbsenceOfBackpressure) {
+  Scenario s = FilterScenario(500.0, 0.5, 800.0);
+  FluidConfig fluid_config;
+  fluid_config.noise_sigma = 0.0;
+  const FluidReport fluid =
+      EvaluateFluid(s.query, s.cluster, s.placement, fluid_config);
+  DesConfig des_config;
+  des_config.duration_s = 10.0;
+  const DesReport des = RunDes(s.query, s.cluster, s.placement, des_config);
+  EXPECT_FALSE(fluid.metrics.backpressure);
+  EXPECT_FALSE(des.metrics.backpressure);
+}
+
+TEST(DesVsFluidTest, LatencyOrderingConsistentAcrossNetworkDistances) {
+  // Fluid and DES must agree that the far placement is slower.
+  QueryBuilder b;
+  auto s = b.Source(200.0, {DataType::kInt});
+  QueryGraph q = b.Sink(s);
+  Cluster near{{HardwareNode{400, 8000, 1000, 2.0}, HardwareNode{800, 16000, 1000, 1.0}}};
+  Cluster far{{HardwareNode{400, 8000, 1000, 120.0}, HardwareNode{800, 16000, 1000, 1.0}}};
+  Placement split = {0, 1};
+
+  FluidConfig fc;
+  fc.noise_sigma = 0.0;
+  const double fluid_near =
+      EvaluateFluid(q, near, split, fc).metrics.processing_latency_ms;
+  const double fluid_far =
+      EvaluateFluid(q, far, split, fc).metrics.processing_latency_ms;
+  DesConfig dc;
+  dc.duration_s = 10.0;
+  const double des_near =
+      RunDes(q, near, split, dc).metrics.processing_latency_ms;
+  const double des_far =
+      RunDes(q, far, split, dc).metrics.processing_latency_ms;
+  EXPECT_LT(fluid_near, fluid_far);
+  EXPECT_LT(des_near, des_far);
+  // The latency increase should be comparable (~ the added RTT).
+  EXPECT_NEAR(fluid_far - fluid_near, des_far - des_near, 40.0);
+}
+
+}  // namespace
+}  // namespace costream::sim

@@ -1,0 +1,288 @@
+#include "workload/benchmarks.h"
+#include "workload/corpus.h"
+#include "workload/generator.h"
+#include "workload/grids.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace costream::workload {
+namespace {
+
+TEST(GridsTest, TrainingGridsMatchTableII) {
+  const HardwareGrid hw = HardwareGrid::Training();
+  EXPECT_EQ(hw.cpu_pct.size(), 9u);
+  EXPECT_EQ(hw.cpu_pct.front(), 50.0);
+  EXPECT_EQ(hw.cpu_pct.back(), 800.0);
+  EXPECT_EQ(hw.ram_mb.size(), 7u);
+  EXPECT_EQ(hw.bandwidth_mbits.size(), 10u);
+  EXPECT_EQ(hw.latency_ms.size(), 8u);
+
+  const WorkloadGrid wl = WorkloadGrid::Training();
+  EXPECT_EQ(wl.event_rate_linear.size(), 9u);
+  EXPECT_EQ(wl.event_rate_linear.back(), 25600.0);
+  EXPECT_EQ(wl.event_rate_three_way.size(), 12u);
+  EXPECT_EQ(wl.window_count_sizes.back(), 640.0);
+  EXPECT_EQ(wl.window_time_sizes.back(), 16.0);
+  EXPECT_EQ(wl.filter_functions.size(), 7u);
+}
+
+TEST(GridsTest, InterpolationGridAvoidsTrainingValues) {
+  const HardwareGrid train = HardwareGrid::Training();
+  const HardwareGrid interp = HardwareGrid::Interpolation();
+  for (double v : interp.cpu_pct) {
+    EXPECT_EQ(std::count(train.cpu_pct.begin(), train.cpu_pct.end(), v), 0);
+    EXPECT_GE(v, train.cpu_pct.front());
+    EXPECT_LE(v, train.cpu_pct.back());
+  }
+  for (double v : interp.ram_mb) {
+    EXPECT_EQ(std::count(train.ram_mb.begin(), train.ram_mb.end(), v), 0);
+  }
+}
+
+TEST(GeneratorTest, TemplatesProduceValidQueries) {
+  QueryGenerator generator(GeneratorConfig{});
+  nn::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    for (auto t : {QueryTemplate::kLinear, QueryTemplate::kTwoWayJoin,
+                   QueryTemplate::kThreeWayJoin, QueryTemplate::kFilterChain}) {
+      const dsps::QueryGraph q = generator.Generate(t, rng);
+      EXPECT_EQ(q.Validate(), "") << ToString(t);
+    }
+  }
+}
+
+TEST(GeneratorTest, TemplateShapesAreCorrect) {
+  QueryGenerator generator(GeneratorConfig{});
+  nn::Rng rng(2);
+  const dsps::QueryGraph linear =
+      generator.Generate(QueryTemplate::kLinear, rng);
+  EXPECT_EQ(linear.Sources().size(), 1u);
+  EXPECT_EQ(linear.CountType(dsps::OperatorType::kJoin), 0);
+
+  const dsps::QueryGraph two = generator.Generate(QueryTemplate::kTwoWayJoin, rng);
+  EXPECT_EQ(two.Sources().size(), 2u);
+  EXPECT_EQ(two.CountType(dsps::OperatorType::kJoin), 1);
+
+  const dsps::QueryGraph three =
+      generator.Generate(QueryTemplate::kThreeWayJoin, rng);
+  EXPECT_EQ(three.Sources().size(), 3u);
+  EXPECT_EQ(three.CountType(dsps::OperatorType::kJoin), 2);
+}
+
+TEST(GeneratorTest, TrainingQueriesNeverChainFilters) {
+  // Exp 5 requires filter chains to be structurally unseen during training.
+  QueryGenerator generator(GeneratorConfig{});
+  nn::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    for (auto t : {QueryTemplate::kLinear, QueryTemplate::kTwoWayJoin,
+                   QueryTemplate::kThreeWayJoin}) {
+      const dsps::QueryGraph q = generator.Generate(t, rng);
+      for (const auto& [from, to] : q.edges()) {
+        const bool chain =
+            q.op(from).type == dsps::OperatorType::kFilter &&
+            q.op(to).type == dsps::OperatorType::kFilter;
+        EXPECT_FALSE(chain) << ToString(t);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, FilterChainsHaveRequestedLength) {
+  GeneratorConfig config;
+  config.filter_chain_length = 3;
+  QueryGenerator generator(config);
+  nn::Rng rng(4);
+  const dsps::QueryGraph q =
+      generator.Generate(QueryTemplate::kFilterChain, rng);
+  EXPECT_EQ(q.CountType(dsps::OperatorType::kFilter), 3);
+  // And they do chain.
+  int chained_edges = 0;
+  for (const auto& [from, to] : q.edges()) {
+    if (q.op(from).type == dsps::OperatorType::kFilter &&
+        q.op(to).type == dsps::OperatorType::kFilter) {
+      ++chained_edges;
+    }
+  }
+  EXPECT_EQ(chained_edges, 2);
+}
+
+TEST(GeneratorTest, FilterCountDistributionRoughlyMatchesPaper) {
+  QueryGenerator generator(GeneratorConfig{});
+  nn::Rng rng(5);
+  std::vector<int> counts(5, 0);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const dsps::QueryGraph q =
+        generator.Generate(QueryTemplate::kThreeWayJoin, rng);
+    const int f = q.CountType(dsps::OperatorType::kFilter);
+    ASSERT_LE(f, 4);
+    ++counts[f];
+  }
+  // 3-way joins support all four positions; expect roughly 35/34/24/6.
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.35, 0.05);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.34, 0.05);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.24, 0.05);
+  EXPECT_NEAR(counts[4] / static_cast<double>(n), 0.06, 0.03);
+}
+
+TEST(GeneratorTest, EventRatesComeFromTemplateGrid) {
+  QueryGenerator generator(GeneratorConfig{});
+  const WorkloadGrid grid = WorkloadGrid::Training();
+  nn::Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const dsps::QueryGraph q =
+        generator.Generate(QueryTemplate::kTwoWayJoin, rng);
+    for (int src : q.Sources()) {
+      const double rate = q.op(src).input_event_rate;
+      EXPECT_NE(std::find(grid.event_rate_two_way.begin(),
+                          grid.event_rate_two_way.end(), rate),
+                grid.event_rate_two_way.end());
+    }
+  }
+}
+
+TEST(GeneratorTest, ClusterSizesWithinConfiguredBounds) {
+  GeneratorConfig config;
+  config.min_cluster_nodes = 4;
+  config.max_cluster_nodes = 6;
+  QueryGenerator generator(config);
+  nn::Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const sim::Cluster cluster = generator.GenerateCluster(rng);
+    EXPECT_GE(cluster.num_nodes(), 4);
+    EXPECT_LE(cluster.num_nodes(), 6);
+  }
+}
+
+TEST(CorpusTest, BuildsRequestedNumberOfRecords) {
+  CorpusConfig config;
+  config.num_queries = 100;
+  const auto records = BuildCorpus(config);
+  EXPECT_EQ(records.size(), 100u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.query.Validate(), "");
+    EXPECT_EQ(sim::ValidatePlacement(r.query, r.cluster, r.placement), "");
+    EXPECT_TRUE(std::isfinite(r.metrics.throughput));
+  }
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  CorpusConfig config;
+  config.num_queries = 30;
+  config.seed = 99;
+  const auto a = BuildCorpus(config);
+  const auto b = BuildCorpus(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].metrics.throughput, b[i].metrics.throughput);
+    EXPECT_EQ(a[i].placement, b[i].placement);
+  }
+}
+
+TEST(CorpusTest, TemplateMixRoughlyMatchesWeights) {
+  CorpusConfig config;
+  config.num_queries = 2000;
+  const auto records = BuildCorpus(config);
+  int linear = 0;
+  for (const auto& r : records) {
+    if (r.template_kind == QueryTemplate::kLinear) ++linear;
+  }
+  EXPECT_NEAR(linear / 2000.0, 0.35, 0.04);
+}
+
+TEST(CorpusTest, RegressionSamplesExcludeFailures) {
+  CorpusConfig config;
+  config.num_queries = 400;
+  const auto records = BuildCorpus(config);
+  const auto samples = ToTrainSamples(records, sim::Metric::kThroughput);
+  int successes = 0;
+  for (const auto& r : records) successes += r.metrics.success;
+  EXPECT_EQ(static_cast<int>(samples.size()), successes);
+}
+
+TEST(CorpusTest, ClassificationSamplesKeepEverything) {
+  CorpusConfig config;
+  config.num_queries = 200;
+  const auto records = BuildCorpus(config);
+  const auto samples = ToTrainSamples(records, sim::Metric::kSuccess);
+  EXPECT_EQ(samples.size(), records.size());
+}
+
+TEST(CorpusTest, FlatDatasetAlignsWithGraphDataset) {
+  CorpusConfig config;
+  config.num_queries = 150;
+  const auto records = BuildCorpus(config);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  ToFlatDataset(records, sim::Metric::kE2eLatency, &x, &y);
+  const auto samples = ToTrainSamples(records, sim::Metric::kE2eLatency);
+  ASSERT_EQ(x.size(), samples.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_EQ(y[i], samples[i].regression_target);
+  }
+}
+
+TEST(SplitTest, PartitionsAreDisjointAndComplete) {
+  const SplitIndices split = SplitCorpus(100, 0.8, 0.1, 42);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.val.size(), 10u);
+  EXPECT_EQ(split.test.size(), 10u);
+  std::set<int> all;
+  for (int i : split.train) all.insert(i);
+  for (int i : split.val) all.insert(i);
+  for (int i : split.test) all.insert(i);
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitTest, DifferentSeedsShuffleDifferently) {
+  const SplitIndices a = SplitCorpus(100, 0.8, 0.1, 1);
+  const SplitIndices b = SplitCorpus(100, 0.8, 0.1, 2);
+  EXPECT_NE(a.train, b.train);
+}
+
+TEST(BenchmarksTest, AllBenchmarkQueriesAreValid) {
+  nn::Rng rng(8);
+  for (auto kind : {BenchmarkQuery::kAdvertisement,
+                    BenchmarkQuery::kSpikeDetection,
+                    BenchmarkQuery::kSmartGridGlobal,
+                    BenchmarkQuery::kSmartGridLocal}) {
+    for (int i = 0; i < 10; ++i) {
+      const TraceRecord record =
+          MakeBenchmarkTrace(kind, GeneratorConfig{}, rng);
+      EXPECT_EQ(record.query.Validate(), "") << ToString(kind);
+      EXPECT_EQ(sim::ValidatePlacement(record.query, record.cluster,
+                                       record.placement),
+                "");
+    }
+  }
+}
+
+TEST(BenchmarksTest, SmartGridUsesUnseenWindowLength) {
+  nn::Rng rng(9);
+  const TraceRecord record = MakeBenchmarkTrace(
+      BenchmarkQuery::kSmartGridGlobal, GeneratorConfig{}, rng);
+  bool found_window = false;
+  for (int i = 0; i < record.query.num_operators(); ++i) {
+    const auto& op = record.query.op(i);
+    if (op.type != dsps::OperatorType::kWindow) continue;
+    found_window = true;
+    EXPECT_GT(op.window.size, WorkloadGrid::Training().window_time_sizes.back());
+  }
+  EXPECT_TRUE(found_window);
+}
+
+TEST(BenchmarksTest, AdvertisementJoinsTwoStreams) {
+  nn::Rng rng(10);
+  const TraceRecord record = MakeBenchmarkTrace(
+      BenchmarkQuery::kAdvertisement, GeneratorConfig{}, rng);
+  EXPECT_EQ(record.query.Sources().size(), 2u);
+  EXPECT_EQ(record.query.CountType(dsps::OperatorType::kJoin), 1);
+  EXPECT_EQ(record.query.CountType(dsps::OperatorType::kFilter), 1);
+}
+
+}  // namespace
+}  // namespace costream::workload

@@ -1,0 +1,160 @@
+#include "workload/trace_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace costream::workload {
+namespace {
+
+std::vector<TraceRecord> SmallCorpus(int n = 20, uint64_t seed = 5) {
+  CorpusConfig config;
+  config.num_queries = n;
+  config.seed = seed;
+  return BuildCorpus(config);
+}
+
+void ExpectRecordsEqual(const TraceRecord& a, const TraceRecord& b) {
+  EXPECT_EQ(a.template_kind, b.template_kind);
+  EXPECT_EQ(a.num_filters, b.num_filters);
+  ASSERT_EQ(a.query.num_operators(), b.query.num_operators());
+  for (int i = 0; i < a.query.num_operators(); ++i) {
+    const auto& oa = a.query.op(i);
+    const auto& ob = b.query.op(i);
+    EXPECT_EQ(oa.type, ob.type);
+    EXPECT_DOUBLE_EQ(oa.input_event_rate, ob.input_event_rate);
+    EXPECT_DOUBLE_EQ(oa.selectivity, ob.selectivity);
+    EXPECT_DOUBLE_EQ(oa.window.size, ob.window.size);
+    EXPECT_DOUBLE_EQ(oa.window.slide, ob.window.slide);
+    EXPECT_EQ(oa.window.type, ob.window.type);
+    EXPECT_EQ(oa.tuple_data_types, ob.tuple_data_types);
+    EXPECT_DOUBLE_EQ(oa.frac_string, ob.frac_string);
+  }
+  EXPECT_EQ(a.query.edges(), b.query.edges());
+  ASSERT_EQ(a.cluster.num_nodes(), b.cluster.num_nodes());
+  for (int i = 0; i < a.cluster.num_nodes(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cluster.nodes[i].cpu_pct, b.cluster.nodes[i].cpu_pct);
+    EXPECT_DOUBLE_EQ(a.cluster.nodes[i].ram_mb, b.cluster.nodes[i].ram_mb);
+    EXPECT_DOUBLE_EQ(a.cluster.nodes[i].bandwidth_mbits,
+                     b.cluster.nodes[i].bandwidth_mbits);
+    EXPECT_DOUBLE_EQ(a.cluster.nodes[i].latency_ms,
+                     b.cluster.nodes[i].latency_ms);
+  }
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_DOUBLE_EQ(a.metrics.throughput, b.metrics.throughput);
+  EXPECT_DOUBLE_EQ(a.metrics.processing_latency_ms,
+                   b.metrics.processing_latency_ms);
+  EXPECT_DOUBLE_EQ(a.metrics.e2e_latency_ms, b.metrics.e2e_latency_ms);
+  EXPECT_EQ(a.metrics.backpressure, b.metrics.backpressure);
+  EXPECT_EQ(a.metrics.success, b.metrics.success);
+}
+
+TEST(TraceIoTest, RoundTripPreservesParallelism) {
+  CorpusConfig config;
+  config.num_queries = 15;
+  config.seed = 77;
+  config.generator.parallelism_fraction = 0.6;
+  const auto records = BuildCorpus(config);
+  std::stringstream buffer;
+  SaveTraces(buffer, records);
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(LoadTraces(buffer, &loaded));
+  ASSERT_EQ(loaded.size(), records.size());
+  bool any_parallel = false;
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (int op = 0; op < records[i].query.num_operators(); ++op) {
+      EXPECT_EQ(records[i].query.op(op).parallelism,
+                loaded[i].query.op(op).parallelism);
+      any_parallel =
+          any_parallel || records[i].query.op(op).parallelism > 1;
+    }
+  }
+  EXPECT_TRUE(any_parallel);
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  const auto records = SmallCorpus();
+  std::stringstream buffer;
+  SaveTraces(buffer, records);
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(LoadTraces(buffer, &loaded));
+  ASSERT_EQ(loaded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectRecordsEqual(records[i], loaded[i]);
+  }
+}
+
+TEST(TraceIoTest, LoadedRecordsTrainIdentically) {
+  const auto records = SmallCorpus(30, 9);
+  std::stringstream buffer;
+  SaveTraces(buffer, records);
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(LoadTraces(buffer, &loaded));
+  // Featurization must be bit-identical.
+  const auto a = ToTrainSamples(records, sim::Metric::kThroughput);
+  const auto b = ToTrainSamples(loaded, sim::Metric::kThroughput);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].regression_target, b[i].regression_target);
+    ASSERT_EQ(a[i].graph.nodes.size(), b[i].graph.nodes.size());
+    for (size_t v = 0; v < a[i].graph.nodes.size(); ++v) {
+      EXPECT_EQ(a[i].graph.nodes[v].features, b[i].graph.nodes[v].features);
+    }
+  }
+}
+
+TEST(TraceIoTest, EmptyCorpusRoundTrips) {
+  std::stringstream buffer;
+  SaveTraces(buffer, {});
+  std::vector<TraceRecord> loaded;
+  EXPECT_TRUE(LoadTraces(buffer, &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceIoTest, RejectsMissingHeader) {
+  std::stringstream buffer("record\nend\n");
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(LoadTraces(buffer, &loaded));
+}
+
+TEST(TraceIoTest, RejectsTruncatedRecord) {
+  const auto records = SmallCorpus(2, 11);
+  std::stringstream buffer;
+  SaveTraces(buffer, records);
+  std::string text = buffer.str();
+  text = text.substr(0, text.size() - 20);  // chop the tail
+  std::stringstream truncated(text);
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(LoadTraces(truncated, &loaded));
+}
+
+TEST(TraceIoTest, RejectsGarbageLines) {
+  const auto records = SmallCorpus(1, 12);
+  std::stringstream buffer;
+  SaveTraces(buffer, records);
+  std::string text = buffer.str();
+  const size_t pos = text.find("placement");
+  text.insert(pos, "garbage line here\n");
+  std::stringstream corrupted(text);
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(LoadTraces(corrupted, &loaded));
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const auto records = SmallCorpus(5, 13);
+  const std::string path = ::testing::TempDir() + "/costream_traces.txt";
+  ASSERT_TRUE(SaveTracesToFile(path, records));
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(LoadTracesFromFile(path, &loaded));
+  EXPECT_EQ(loaded.size(), records.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, LoadFromMissingFileFails) {
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(LoadTracesFromFile("/nonexistent/costream.txt", &loaded));
+}
+
+}  // namespace
+}  // namespace costream::workload
