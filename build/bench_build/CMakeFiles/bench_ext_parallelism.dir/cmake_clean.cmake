@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_parallelism"
+  "../bench/bench_ext_parallelism.pdb"
+  "CMakeFiles/bench_ext_parallelism.dir/bench_ext_parallelism.cc.o"
+  "CMakeFiles/bench_ext_parallelism.dir/bench_ext_parallelism.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

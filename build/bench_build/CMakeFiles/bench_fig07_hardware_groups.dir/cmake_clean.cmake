@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_hardware_groups"
+  "../bench/bench_fig07_hardware_groups.pdb"
+  "CMakeFiles/bench_fig07_hardware_groups.dir/bench_fig07_hardware_groups.cc.o"
+  "CMakeFiles/bench_fig07_hardware_groups.dir/bench_fig07_hardware_groups.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_hardware_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_query_types"
+  "../bench/bench_fig08_query_types.pdb"
+  "CMakeFiles/bench_fig08_query_types.dir/bench_fig08_query_types.cc.o"
+  "CMakeFiles/bench_fig08_query_types.dir/bench_fig08_query_types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_query_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

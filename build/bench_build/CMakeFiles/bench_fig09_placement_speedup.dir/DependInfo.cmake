@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig09_placement_speedup.cc" "bench_build/CMakeFiles/bench_fig09_placement_speedup.dir/bench_fig09_placement_speedup.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig09_placement_speedup.dir/bench_fig09_placement_speedup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/costream_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/costream_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/costream_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/costream_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/costream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/costream_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/costream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsps/CMakeFiles/costream_dsps.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/costream_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_monitoring"
+  "../bench/bench_fig10_monitoring.pdb"
+  "CMakeFiles/bench_fig10_monitoring.dir/bench_fig10_monitoring.cc.o"
+  "CMakeFiles/bench_fig10_monitoring.dir/bench_fig10_monitoring.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

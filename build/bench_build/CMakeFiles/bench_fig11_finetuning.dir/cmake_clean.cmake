@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_finetuning"
+  "../bench/bench_fig11_finetuning.pdb"
+  "CMakeFiles/bench_fig11_finetuning.dir/bench_fig11_finetuning.cc.o"
+  "CMakeFiles/bench_fig11_finetuning.dir/bench_fig11_finetuning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_finetuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab03_overall_accuracy"
+  "../bench/bench_tab03_overall_accuracy.pdb"
+  "CMakeFiles/bench_tab03_overall_accuracy.dir/bench_tab03_overall_accuracy.cc.o"
+  "CMakeFiles/bench_tab03_overall_accuracy.dir/bench_tab03_overall_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_overall_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

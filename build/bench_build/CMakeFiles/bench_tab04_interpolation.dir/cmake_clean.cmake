@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab04_interpolation"
+  "../bench/bench_tab04_interpolation.pdb"
+  "CMakeFiles/bench_tab04_interpolation.dir/bench_tab04_interpolation.cc.o"
+  "CMakeFiles/bench_tab04_interpolation.dir/bench_tab04_interpolation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab05_extrapolation"
+  "../bench/bench_tab05_extrapolation.pdb"
+  "CMakeFiles/bench_tab05_extrapolation.dir/bench_tab05_extrapolation.cc.o"
+  "CMakeFiles/bench_tab05_extrapolation.dir/bench_tab05_extrapolation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab06a_unseen_patterns"
+  "../bench/bench_tab06a_unseen_patterns.pdb"
+  "CMakeFiles/bench_tab06a_unseen_patterns.dir/bench_tab06a_unseen_patterns.cc.o"
+  "CMakeFiles/bench_tab06a_unseen_patterns.dir/bench_tab06a_unseen_patterns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab06a_unseen_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab06b_benchmarks"
+  "../bench/bench_tab06b_benchmarks.pdb"
+  "CMakeFiles/bench_tab06b_benchmarks.dir/bench_tab06b_benchmarks.cc.o"
+  "CMakeFiles/bench_tab06b_benchmarks.dir/bench_tab06b_benchmarks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab06b_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

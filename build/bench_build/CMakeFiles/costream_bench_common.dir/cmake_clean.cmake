@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costream_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/costream_bench_common.dir/bench_common.cc.o.d"
+  "libcostream_bench_common.a"
+  "libcostream_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costream_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

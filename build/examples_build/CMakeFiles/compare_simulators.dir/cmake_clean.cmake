@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/compare_simulators"
+  "../examples/compare_simulators.pdb"
+  "CMakeFiles/compare_simulators.dir/compare_simulators.cpp.o"
+  "CMakeFiles/compare_simulators.dir/compare_simulators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/costream_cli"
+  "../examples/costream_cli.pdb"
+  "CMakeFiles/costream_cli.dir/costream_cli.cpp.o"
+  "CMakeFiles/costream_cli.dir/costream_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costream_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multi_tenant_placement"
+  "../examples/multi_tenant_placement.pdb"
+  "CMakeFiles/multi_tenant_placement.dir/multi_tenant_placement.cpp.o"
+  "CMakeFiles/multi_tenant_placement.dir/multi_tenant_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/smart_factory_placement"
+  "../examples/smart_factory_placement.pdb"
+  "CMakeFiles/smart_factory_placement.dir/smart_factory_placement.cpp.o"
+  "CMakeFiles/smart_factory_placement.dir/smart_factory_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_factory_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

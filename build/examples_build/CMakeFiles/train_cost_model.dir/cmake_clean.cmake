@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/train_cost_model"
+  "../examples/train_cost_model.pdb"
+  "CMakeFiles/train_cost_model.dir/train_cost_model.cpp.o"
+  "CMakeFiles/train_cost_model.dir/train_cost_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/flat_vector.cc" "src/baselines/CMakeFiles/costream_baselines.dir/flat_vector.cc.o" "gcc" "src/baselines/CMakeFiles/costream_baselines.dir/flat_vector.cc.o.d"
+  "/root/repo/src/baselines/gbdt.cc" "src/baselines/CMakeFiles/costream_baselines.dir/gbdt.cc.o" "gcc" "src/baselines/CMakeFiles/costream_baselines.dir/gbdt.cc.o.d"
+  "/root/repo/src/baselines/heuristic.cc" "src/baselines/CMakeFiles/costream_baselines.dir/heuristic.cc.o" "gcc" "src/baselines/CMakeFiles/costream_baselines.dir/heuristic.cc.o.d"
+  "/root/repo/src/baselines/monitoring.cc" "src/baselines/CMakeFiles/costream_baselines.dir/monitoring.cc.o" "gcc" "src/baselines/CMakeFiles/costream_baselines.dir/monitoring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/costream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsps/CMakeFiles/costream_dsps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/costream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/costream_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/costream_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costream_baselines.dir/flat_vector.cc.o"
+  "CMakeFiles/costream_baselines.dir/flat_vector.cc.o.d"
+  "CMakeFiles/costream_baselines.dir/gbdt.cc.o"
+  "CMakeFiles/costream_baselines.dir/gbdt.cc.o.d"
+  "CMakeFiles/costream_baselines.dir/heuristic.cc.o"
+  "CMakeFiles/costream_baselines.dir/heuristic.cc.o.d"
+  "CMakeFiles/costream_baselines.dir/monitoring.cc.o"
+  "CMakeFiles/costream_baselines.dir/monitoring.cc.o.d"
+  "libcostream_baselines.a"
+  "libcostream_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costream_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

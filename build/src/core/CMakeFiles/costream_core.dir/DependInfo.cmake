@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ensemble.cc" "src/core/CMakeFiles/costream_core.dir/ensemble.cc.o" "gcc" "src/core/CMakeFiles/costream_core.dir/ensemble.cc.o.d"
+  "/root/repo/src/core/featurizer.cc" "src/core/CMakeFiles/costream_core.dir/featurizer.cc.o" "gcc" "src/core/CMakeFiles/costream_core.dir/featurizer.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/costream_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/costream_core.dir/model.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/costream_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/costream_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/costream_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsps/CMakeFiles/costream_dsps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/costream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/costream_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costream_core.dir/ensemble.cc.o"
+  "CMakeFiles/costream_core.dir/ensemble.cc.o.d"
+  "CMakeFiles/costream_core.dir/featurizer.cc.o"
+  "CMakeFiles/costream_core.dir/featurizer.cc.o.d"
+  "CMakeFiles/costream_core.dir/model.cc.o"
+  "CMakeFiles/costream_core.dir/model.cc.o.d"
+  "CMakeFiles/costream_core.dir/trainer.cc.o"
+  "CMakeFiles/costream_core.dir/trainer.cc.o.d"
+  "libcostream_core.a"
+  "libcostream_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costream_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsps/graphviz.cc" "src/dsps/CMakeFiles/costream_dsps.dir/graphviz.cc.o" "gcc" "src/dsps/CMakeFiles/costream_dsps.dir/graphviz.cc.o.d"
+  "/root/repo/src/dsps/operator_descriptor.cc" "src/dsps/CMakeFiles/costream_dsps.dir/operator_descriptor.cc.o" "gcc" "src/dsps/CMakeFiles/costream_dsps.dir/operator_descriptor.cc.o.d"
+  "/root/repo/src/dsps/query_builder.cc" "src/dsps/CMakeFiles/costream_dsps.dir/query_builder.cc.o" "gcc" "src/dsps/CMakeFiles/costream_dsps.dir/query_builder.cc.o.d"
+  "/root/repo/src/dsps/query_graph.cc" "src/dsps/CMakeFiles/costream_dsps.dir/query_graph.cc.o" "gcc" "src/dsps/CMakeFiles/costream_dsps.dir/query_graph.cc.o.d"
+  "/root/repo/src/dsps/types.cc" "src/dsps/CMakeFiles/costream_dsps.dir/types.cc.o" "gcc" "src/dsps/CMakeFiles/costream_dsps.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costream_dsps.dir/graphviz.cc.o"
+  "CMakeFiles/costream_dsps.dir/graphviz.cc.o.d"
+  "CMakeFiles/costream_dsps.dir/operator_descriptor.cc.o"
+  "CMakeFiles/costream_dsps.dir/operator_descriptor.cc.o.d"
+  "CMakeFiles/costream_dsps.dir/query_builder.cc.o"
+  "CMakeFiles/costream_dsps.dir/query_builder.cc.o.d"
+  "CMakeFiles/costream_dsps.dir/query_graph.cc.o"
+  "CMakeFiles/costream_dsps.dir/query_graph.cc.o.d"
+  "CMakeFiles/costream_dsps.dir/types.cc.o"
+  "CMakeFiles/costream_dsps.dir/types.cc.o.d"
+  "libcostream_dsps.a"
+  "libcostream_dsps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costream_dsps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

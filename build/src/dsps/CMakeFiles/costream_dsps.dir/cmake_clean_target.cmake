@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcostream_dsps.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for costream_dsps.
+# This may be replaced when dependencies are built.

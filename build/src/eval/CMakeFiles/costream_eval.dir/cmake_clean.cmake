@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costream_eval.dir/metrics.cc.o"
+  "CMakeFiles/costream_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/costream_eval.dir/table.cc.o"
+  "CMakeFiles/costream_eval.dir/table.cc.o.d"
+  "libcostream_eval.a"
+  "libcostream_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costream_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcostream_eval.a"
+)

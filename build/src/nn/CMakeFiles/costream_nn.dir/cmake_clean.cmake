@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costream_nn.dir/autograd.cc.o"
+  "CMakeFiles/costream_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/costream_nn.dir/layers.cc.o"
+  "CMakeFiles/costream_nn.dir/layers.cc.o.d"
+  "CMakeFiles/costream_nn.dir/serialize.cc.o"
+  "CMakeFiles/costream_nn.dir/serialize.cc.o.d"
+  "libcostream_nn.a"
+  "libcostream_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costream_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costream_placement.dir/enumeration.cc.o"
+  "CMakeFiles/costream_placement.dir/enumeration.cc.o.d"
+  "CMakeFiles/costream_placement.dir/multi_query.cc.o"
+  "CMakeFiles/costream_placement.dir/multi_query.cc.o.d"
+  "CMakeFiles/costream_placement.dir/optimizer.cc.o"
+  "CMakeFiles/costream_placement.dir/optimizer.cc.o.d"
+  "CMakeFiles/costream_placement.dir/parallelism_tuner.cc.o"
+  "CMakeFiles/costream_placement.dir/parallelism_tuner.cc.o.d"
+  "libcostream_placement.a"
+  "libcostream_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costream_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

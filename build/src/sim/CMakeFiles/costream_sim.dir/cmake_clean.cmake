@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costream_sim.dir/cost_model.cc.o"
+  "CMakeFiles/costream_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/costream_sim.dir/data_generator.cc.o"
+  "CMakeFiles/costream_sim.dir/data_generator.cc.o.d"
+  "CMakeFiles/costream_sim.dir/des.cc.o"
+  "CMakeFiles/costream_sim.dir/des.cc.o.d"
+  "CMakeFiles/costream_sim.dir/fluid_engine.cc.o"
+  "CMakeFiles/costream_sim.dir/fluid_engine.cc.o.d"
+  "CMakeFiles/costream_sim.dir/hardware.cc.o"
+  "CMakeFiles/costream_sim.dir/hardware.cc.o.d"
+  "libcostream_sim.a"
+  "libcostream_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

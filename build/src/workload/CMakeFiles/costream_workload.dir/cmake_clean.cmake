@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costream_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/costream_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/costream_workload.dir/corpus.cc.o"
+  "CMakeFiles/costream_workload.dir/corpus.cc.o.d"
+  "CMakeFiles/costream_workload.dir/generator.cc.o"
+  "CMakeFiles/costream_workload.dir/generator.cc.o.d"
+  "CMakeFiles/costream_workload.dir/grids.cc.o"
+  "CMakeFiles/costream_workload.dir/grids.cc.o.d"
+  "CMakeFiles/costream_workload.dir/selectivity.cc.o"
+  "CMakeFiles/costream_workload.dir/selectivity.cc.o.d"
+  "CMakeFiles/costream_workload.dir/trace_io.cc.o"
+  "CMakeFiles/costream_workload.dir/trace_io.cc.o.d"
+  "libcostream_workload.a"
+  "libcostream_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costream_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_gbdt_test.dir/baselines_gbdt_test.cc.o"
+  "CMakeFiles/baselines_gbdt_test.dir/baselines_gbdt_test.cc.o.d"
+  "baselines_gbdt_test"
+  "baselines_gbdt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_gbdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

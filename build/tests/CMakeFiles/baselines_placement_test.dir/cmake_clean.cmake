@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_placement_test.dir/baselines_placement_test.cc.o"
+  "CMakeFiles/baselines_placement_test.dir/baselines_placement_test.cc.o.d"
+  "baselines_placement_test"
+  "baselines_placement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_featurizer_test.dir/core_featurizer_test.cc.o"
+  "CMakeFiles/core_featurizer_test.dir/core_featurizer_test.cc.o.d"
+  "core_featurizer_test"
+  "core_featurizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_featurizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_graphviz_test.dir/dsps_graphviz_test.cc.o"
+  "CMakeFiles/dsps_graphviz_test.dir/dsps_graphviz_test.cc.o.d"
+  "dsps_graphviz_test"
+  "dsps_graphviz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_graphviz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_random_test.dir/nn_random_test.cc.o"
+  "CMakeFiles/nn_random_test.dir/nn_random_test.cc.o.d"
+  "nn_random_test"
+  "nn_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

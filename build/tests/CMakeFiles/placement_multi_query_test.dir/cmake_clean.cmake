@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_multi_query_test.dir/placement_multi_query_test.cc.o"
+  "CMakeFiles/placement_multi_query_test.dir/placement_multi_query_test.cc.o.d"
+  "placement_multi_query_test"
+  "placement_multi_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_multi_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

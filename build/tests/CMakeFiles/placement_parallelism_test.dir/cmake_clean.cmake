@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_parallelism_test.dir/placement_parallelism_test.cc.o"
+  "CMakeFiles/placement_parallelism_test.dir/placement_parallelism_test.cc.o.d"
+  "placement_parallelism_test"
+  "placement_parallelism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_parallelism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

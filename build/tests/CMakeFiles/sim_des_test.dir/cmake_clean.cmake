@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_des_test.dir/sim_des_test.cc.o"
+  "CMakeFiles/sim_des_test.dir/sim_des_test.cc.o.d"
+  "sim_des_test"
+  "sim_des_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_des_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

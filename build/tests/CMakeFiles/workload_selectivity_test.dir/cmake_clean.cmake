@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_selectivity_test.dir/workload_selectivity_test.cc.o"
+  "CMakeFiles/workload_selectivity_test.dir/workload_selectivity_test.cc.o.d"
+  "workload_selectivity_test"
+  "workload_selectivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_selectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
