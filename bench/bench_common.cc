@@ -28,6 +28,14 @@ int ScaledEpochs(int base) {
   return std::max(4, static_cast<int>(base * std::min(BenchScale(), 2.0)));
 }
 
+int BenchThreads() {
+  static const int threads = [] {
+    const char* env = std::getenv("COSTREAM_BENCH_THREADS");
+    return env == nullptr ? 0 : std::atoi(env);
+  }();
+  return threads;
+}
+
 SplitCorpusResult BuildSplitCorpus(const workload::CorpusConfig& config) {
   const auto records = workload::BuildCorpus(config);
   const workload::SplitIndices split = workload::SplitCorpus(
@@ -58,6 +66,7 @@ std::unique_ptr<core::CostModel> TrainGnn(
   core::TrainConfig tc;
   tc.epochs = epochs;
   tc.seed = seed * 7919 + 13;
+  tc.num_threads = BenchThreads();
   core::TrainModel(*model, train_samples, val_samples, tc);
   return model;
 }

@@ -22,6 +22,11 @@ double BenchScale();
 int ScaledCorpusSize(int base);
 int ScaledEpochs(int base);
 
+// Worker threads used for training inside the harness: COSTREAM_BENCH_THREADS
+// (int env var, default 0 = all hardware threads). Training is
+// bitwise-deterministic in the thread count, so this only changes wall-clock.
+int BenchThreads();
+
 // Standard 80/10/10 split of a freshly built corpus.
 struct SplitCorpusResult {
   std::vector<workload::TraceRecord> train;

@@ -6,9 +6,11 @@
 
 #include "baselines/flat_vector.h"
 #include "baselines/gbdt.h"
+#include "core/ensemble.h"
 #include "core/model.h"
 #include "core/trainer.h"
 #include "placement/enumeration.h"
+#include "placement/optimizer.h"
 #include "sim/des.h"
 #include "sim/fluid_engine.h"
 #include "workload/corpus.h"
@@ -75,6 +77,70 @@ void BM_GnnTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GnnTrainStep);
+
+// Thread scaling of the data-parallel trainer. Reports samples/s; results
+// are bitwise-identical across thread counts, so the Arg sweep measures
+// nothing but the thread-pool speedup.
+void BM_ParallelTrainEpoch(benchmark::State& state) {
+  static const std::vector<core::TrainSample>* samples = [] {
+    workload::CorpusConfig config;
+    config.num_queries = 48;
+    config.seed = 909;
+    config.duration_s = 30.0;
+    const auto records = workload::BuildCorpus(config);
+    return new std::vector<core::TrainSample>(
+        workload::ToTrainSamples(records, sim::Metric::kThroughput));
+  }();
+  core::CostModelConfig model_config;
+  model_config.hidden_dim = 16;
+  core::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 16;
+  tc.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::CostModel model(model_config);  // fresh init per epoch
+    benchmark::DoNotOptimize(core::TrainModel(model, *samples, {}, tc));
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * samples->size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelTrainEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Thread scaling of batched placement-candidate scoring inside the
+// optimizer. Reports candidates/s.
+void BM_ParallelCandidateScoring(benchmark::State& state) {
+  const auto record = MakeRecord(workload::QueryTemplate::kThreeWayJoin, 11);
+  static const core::Ensemble* target = [] {
+    core::CostModelConfig config;
+    config.hidden_dim = 16;
+    return new core::Ensemble(config, 3);
+  }();
+  static const core::Ensemble* success = [] {
+    core::CostModelConfig config;
+    config.hidden_dim = 16;
+    config.head = core::HeadKind::kClassification;
+    config.seed = 5;
+    return new core::Ensemble(config, 3);
+  }();
+  const placement::PlacementOptimizer optimizer(target, success, success);
+  placement::OptimizerConfig config;
+  config.enumeration.num_candidates = 32;
+  config.num_threads = static_cast<int>(state.range(0));
+  config.enumeration.num_threads = config.num_threads;
+  int evaluated = 0;
+  for (auto _ : state) {
+    const auto result =
+        optimizer.Optimize(record.query, record.cluster, config);
+    evaluated += result.candidates_evaluated;
+    benchmark::DoNotOptimize(result.best);
+  }
+  state.counters["candidates/s"] = benchmark::Counter(
+      static_cast<double>(evaluated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelCandidateScoring)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PlacementEnumeration(benchmark::State& state) {
   const auto record = MakeRecord(workload::QueryTemplate::kThreeWayJoin, 5);

@@ -2,7 +2,9 @@
 // five COSTREAM metric models, report held-out quality, and persist the
 // models to ./models/.
 //
-// Usage: ./build/examples/train_cost_model [num_queries] [epochs]
+// Usage: ./build/examples/train_cost_model [num_queries] [epochs] [threads]
+// `threads` sets TrainConfig::num_threads (0 = all hardware threads; results
+// are bitwise-identical for every value).
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -17,6 +19,7 @@ using namespace costream;
 int main(int argc, char** argv) {
   const int num_queries = argc > 1 ? std::atoi(argv[1]) : 3000;
   const int epochs = argc > 2 ? std::atoi(argv[2]) : 22;
+  const int num_threads = argc > 3 ? std::atoi(argv[3]) : 0;
 
   std::printf("generating %d labelled query traces...\n", num_queries);
   workload::CorpusConfig config;
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
 
     core::TrainConfig tc;
     tc.epochs = epochs;
+    tc.num_threads = num_threads;
     core::TrainModel(model, workload::ToTrainSamples(train_recs, metric),
                      workload::ToTrainSamples(val_recs, metric), tc);
 

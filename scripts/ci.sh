@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: builds and runs the tier-1 test suite twice —
+#   1. Release: the configuration the experiments run in.
+#   2. ThreadSanitizer: proves the thread-pool parallel training / scoring
+#      paths are race-free (the suite exercises num_threads > 1 throughout).
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" -L tier1 --output-on-failure -j "$JOBS"
+}
+
+echo "=== Release build + tier-1 tests ==="
+run_suite build-ci -DCMAKE_BUILD_TYPE=Release
+
+echo "=== ThreadSanitizer build + tier-1 tests ==="
+run_suite build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOSTREAM_SANITIZE=thread
+
+echo "CI passed."

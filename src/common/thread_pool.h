@@ -1,0 +1,161 @@
+#ifndef COSTREAM_COMMON_THREAD_POOL_H_
+#define COSTREAM_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace costream::common {
+
+// Resolves a `num_threads` configuration knob: values <= 0 mean "use every
+// hardware thread". All parallel entry points in COSTREAM accept such a knob
+// and guarantee results identical to `num_threads = 1` (see ParallelFor).
+inline int ResolveNumThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// A small fork-join worker pool built for deterministic data parallelism:
+// ParallelFor(n, fn) runs fn(0) ... fn(n-1) exactly once each and blocks
+// until all have finished. Iterations are claimed dynamically, so callers
+// must write results into per-index slots (and reduce them in index order
+// afterwards) to stay independent of the execution schedule — every user in
+// this code base follows that pattern, which is what makes `num_threads = N`
+// bitwise-identical to the serial run.
+//
+// A pool constructed with num_threads == 1 spawns no workers and runs every
+// ParallelFor inline on the calling thread, reproducing serial behaviour
+// exactly (no locks, no atomics on the iteration path).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads)
+      : num_threads_(ResolveNumThreads(num_threads)) {
+    workers_.reserve(num_threads_ - 1);
+    for (int t = 1; t < num_threads_; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(i) for every i in [0, n); returns once all iterations finished.
+  // The calling thread participates, so this never deadlocks even when all
+  // workers are busy (including nested calls from inside a worker). Safe to
+  // call concurrently from several threads; jobs then share the workers.
+  // If an iteration throws, the first exception (by completion time) is
+  // rethrown after the job drains.
+  void ParallelFor(int n, const std::function<void(int)>& fn) {
+    if (n <= 0) return;
+    if (workers_.empty() || n == 1) {
+      for (int i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    // Helper closures keep the job block alive via shared_ptr; a stale
+    // helper popped after the job already drained finds next >= n and
+    // returns without ever touching `fn`.
+    const int helpers =
+        std::min(static_cast<int>(workers_.size()), n - 1);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      for (int h = 0; h < helpers; ++h) {
+        queue_.push_back([job] { RunJob(*job); });
+      }
+    }
+    queue_cv_.notify_all();
+    RunJob(*job);
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->n;
+    });
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  struct Job {
+    const std::function<void(int)>* fn = nullptr;
+    int n = 0;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // guarded by mu
+  };
+
+  static void RunJob(Job& job) {
+    for (;;) {
+      const int i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.n) return;
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+        std::lock_guard<std::mutex> lock(job.mu);
+        job.cv.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+        if (stop_) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;  // guarded by queue_mu_
+};
+
+// One-shot convenience for call sites without a long-lived pool: resolves
+// `num_threads`, spins up a transient pool when it exceeds 1, and runs the
+// loop. Results are identical for every thread count (see ThreadPool).
+inline void ParallelFor(int num_threads, int n,
+                        const std::function<void(int)>& fn) {
+  const int threads = std::min(ResolveNumThreads(num_threads), n);
+  if (threads <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(n, fn);
+}
+
+}  // namespace costream::common
+
+#endif  // COSTREAM_COMMON_THREAD_POOL_H_

@@ -1,6 +1,9 @@
 #include "core/ensemble.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace costream::core {
 
@@ -14,28 +17,55 @@ Ensemble::Ensemble(const CostModelConfig& base, int size) {
   }
 }
 
+void Ensemble::set_num_threads(int num_threads) {
+  const int threads =
+      std::min(common::ResolveNumThreads(num_threads), size());
+  pool_ = threads > 1 ? std::make_unique<common::ThreadPool>(threads)
+                      : nullptr;
+}
+
+void Ensemble::ForEachMember(const std::function<void(int)>& fn) const {
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(size(), fn);
+  } else {
+    for (int i = 0; i < size(); ++i) fn(i);
+  }
+}
+
 std::vector<TrainResult> Ensemble::Train(const std::vector<TrainSample>& train,
                                          const std::vector<TrainSample>& val,
                                          const TrainConfig& config) {
-  std::vector<TrainResult> results;
-  results.reserve(members_.size());
-  for (size_t i = 0; i < members_.size(); ++i) {
+  const int threads = common::ResolveNumThreads(config.num_threads);
+  std::vector<TrainResult> results(members_.size());
+  // One model per worker; each member's inner gradient loop then runs
+  // serially so the machine is not oversubscribed. A single-member ensemble
+  // instead hands the threads to the member's data-parallel batches.
+  const bool across_members = threads > 1 && size() > 1;
+  common::ThreadPool pool(across_members ? std::min(threads, size()) : 1);
+  pool.ParallelFor(size(), [&](int i) {
     TrainConfig member_config = config;
-    member_config.seed = config.seed + i * 1000003ull;
-    results.push_back(TrainModel(*members_[i], train, val, member_config));
-  }
+    member_config.seed = config.seed + static_cast<uint64_t>(i) * 1000003ull;
+    member_config.num_threads = across_members ? 1 : config.num_threads;
+    results[i] = TrainModel(*members_[i], train, val, member_config);
+  });
   return results;
 }
 
 double Ensemble::PredictRegression(const JointGraph& graph) const {
+  std::vector<double> predictions(members_.size(), 0.0);
+  ForEachMember(
+      [&](int i) { predictions[i] = members_[i]->PredictRegression(graph); });
   double total = 0.0;
-  for (const auto& m : members_) total += m->PredictRegression(graph);
+  for (double p : predictions) total += p;
   return total / members_.size();
 }
 
 double Ensemble::PredictProbability(const JointGraph& graph) const {
+  std::vector<double> predictions(members_.size(), 0.0);
+  ForEachMember(
+      [&](int i) { predictions[i] = members_[i]->PredictProbability(graph); });
   double total = 0.0;
-  for (const auto& m : members_) total += m->PredictProbability(graph);
+  for (double p : predictions) total += p;
   return total / members_.size();
 }
 
@@ -58,10 +88,12 @@ bool Ensemble::Load(const std::string& prefix) {
 }
 
 bool Ensemble::PredictBinary(const JointGraph& graph) const {
+  std::vector<char> positive(members_.size(), 0);
+  ForEachMember([&](int i) {
+    positive[i] = members_[i]->PredictProbability(graph) >= 0.5 ? 1 : 0;
+  });
   int votes = 0;
-  for (const auto& m : members_) {
-    if (m->PredictProbability(graph) >= 0.5) ++votes;
-  }
+  for (char v : positive) votes += v;
   return votes * 2 > size();
 }
 

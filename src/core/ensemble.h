@@ -1,10 +1,12 @@
 #ifndef COSTREAM_CORE_ENSEMBLE_H_
 #define COSTREAM_CORE_ENSEMBLE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/trainer.h"
 
 namespace costream::core {
@@ -19,10 +21,20 @@ class Ensemble {
   Ensemble(const CostModelConfig& base, int size);
 
   // Trains every member on the same data (sample order still differs via
-  // the training seed offset).
+  // the training seed offset). `config.num_threads` workers train members
+  // concurrently, one model per worker with seeds unchanged; member training
+  // is deterministic, so results are identical for every thread count. When
+  // only one member exists the threads instead parallelize that member's
+  // mini-batch gradients.
   std::vector<TrainResult> Train(const std::vector<TrainSample>& train,
                                  const std::vector<TrainSample>& val,
                                  const TrainConfig& config);
+
+  // Evaluates Predict* members on a persistent worker pool (<= 0: all
+  // hardware threads; 1 disposes the pool and restores serial prediction).
+  // Per-member outputs are reduced in member order, so predictions are
+  // bitwise-identical to the serial path.
+  void set_num_threads(int num_threads);
 
   // Mean of the members' regression predictions.
   double PredictRegression(const JointGraph& graph) const;
@@ -46,7 +58,11 @@ class Ensemble {
   }
 
  private:
+  // Runs fn(i) for every member, on the prediction pool when enabled.
+  void ForEachMember(const std::function<void(int)>& fn) const;
+
   std::vector<std::unique_ptr<CostModel>> members_;
+  std::unique_ptr<common::ThreadPool> pool_;  // null: serial prediction
 };
 
 }  // namespace costream::core

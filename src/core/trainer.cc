@@ -1,11 +1,13 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <numeric>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "nn/random.h"
 
 namespace costream::core {
@@ -46,15 +48,19 @@ ClassWeights ComputeClassWeights(const CostModel& model,
   return weights;
 }
 
+// Mean per-sample loss, evaluated on `pool`. Per-sample losses land in
+// per-index slots and are summed in sample order, so the result matches the
+// serial evaluation bitwise for any thread count.
 double WeightedLoss(const CostModel& model,
                     const std::vector<TrainSample>& samples,
-                    const ClassWeights& weights) {
+                    const ClassWeights& weights, common::ThreadPool& pool) {
+  std::vector<double> losses(samples.size(), 0.0);
+  pool.ParallelFor(static_cast<int>(samples.size()), [&](int i) {
+    nn::Tape tape;
+    losses[i] = tape.value(SampleLoss(model, tape, samples[i], weights))(0, 0);
+  });
   double total = 0.0;
-  nn::Tape tape;
-  for (const TrainSample& sample : samples) {
-    tape.Reset();
-    total += tape.value(SampleLoss(model, tape, sample, weights))(0, 0);
-  }
+  for (double loss : losses) total += loss;
   return total / samples.size();
 }
 
@@ -94,28 +100,50 @@ TrainResult TrainModel(CostModel& model, const std::vector<TrainSample>& train,
   result.best_val_loss = std::numeric_limits<double>::infinity();
   std::vector<nn::Matrix> best_snapshot;
 
-  nn::Tape tape;
+  common::ThreadPool pool(config.num_threads);
+
+  // Per batch-position scratch, reused across batches: its own tape plus a
+  // private gradient sink, so workers never touch the shared Parameter::grad.
+  struct Slot {
+    nn::Tape tape;
+    nn::GradientSink sink;
+    double loss = 0.0;
+  };
+  const int batch_size =
+      std::min<int>(config.batch_size, static_cast<int>(train.size()));
+  std::vector<Slot> slots(batch_size);
+  for (Slot& slot : slots) slot.sink.Reset(model.parameters());
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     rng.Shuffle(order);
     double epoch_loss = 0.0;
-    int in_batch = 0;
-    for (size_t i = 0; i < order.size(); ++i) {
-      tape.Reset();
-      nn::Var loss = SampleLoss(model, tape, train[order[i]], weights);
-      epoch_loss += tape.value(loss)(0, 0);
-      // Scale so the batch gradient is the mean over the batch.
-      nn::Var scaled = tape.Scale(loss, 1.0 / config.batch_size);
-      tape.Backward(scaled);
-      if (++in_batch == config.batch_size || i + 1 == order.size()) {
-        adam.Step();
-        in_batch = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      const int in_batch = static_cast<int>(
+          std::min<size_t>(config.batch_size, order.size() - start));
+      pool.ParallelFor(in_batch, [&](int j) {
+        Slot& slot = slots[j];
+        slot.tape.Reset();
+        slot.sink.Clear();
+        nn::Var loss =
+            SampleLoss(model, slot.tape, train[order[start + j]], weights);
+        slot.loss = slot.tape.value(loss)(0, 0);
+        // Scale so the batch gradient is the mean over the batch.
+        nn::Var scaled = slot.tape.Scale(loss, 1.0 / config.batch_size);
+        slot.tape.Backward(scaled, &slot.sink);
+      });
+      // Deterministic reduction: sample order, independent of the schedule.
+      for (int j = 0; j < in_batch; ++j) {
+        epoch_loss += slots[j].loss;
+        slots[j].sink.FlushToParams();
       }
+      adam.Step();
     }
     epoch_loss /= train.size();
     result.train_losses.push_back(epoch_loss);
 
     const double val_loss =
-        val.empty() ? epoch_loss : WeightedLoss(model, val, weights);
+        val.empty() ? epoch_loss : WeightedLoss(model, val, weights, pool);
     result.val_losses.push_back(val_loss);
     if (val_loss < result.best_val_loss) {
       result.best_val_loss = val_loss;

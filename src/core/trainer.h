@@ -29,6 +29,11 @@ struct TrainConfig {
   // contribute equally (failures/backpressure are rare in realistic corpora,
   // and the paper evaluates on balanced test sets).
   bool balance_classes = true;
+  // Worker threads for data-parallel mini-batch gradients (<= 0: all
+  // hardware threads). Every sample's gradient is accumulated into a private
+  // per-sample sink and the sinks are reduced in sample order, so any value
+  // produces bitwise-identical parameters to num_threads = 1.
+  int num_threads = 0;
 };
 
 struct TrainResult {

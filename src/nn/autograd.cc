@@ -69,6 +69,42 @@ void MatMulTransBAccum(const Matrix& a, const Matrix& b, Matrix& y) {
 
 }  // namespace
 
+void GradientSink::Reset(const std::vector<Parameter*>& params) {
+  params_ = params;
+  grads_.assign(params.size(), Matrix());
+  index_.clear();
+  index_.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    index_.emplace(params[i], static_cast<int>(i));
+  }
+  Clear();
+}
+
+void GradientSink::Clear() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const Matrix& value = params_[i]->value;
+    if (!grads_[i].SameShape(value)) {
+      grads_[i].ResizeZero(value.rows(), value.cols());
+    } else {
+      grads_[i].Fill(0.0);
+    }
+  }
+}
+
+void GradientSink::FlushToParams() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (!p->grad.SameShape(p->value)) p->ZeroGrad();
+    const Matrix& g = grads_[i];
+    for (int j = 0; j < g.size(); ++j) p->grad.data()[j] += g.data()[j];
+  }
+}
+
+Matrix* GradientSink::Find(const Parameter* p) {
+  const auto it = index_.find(p);
+  return it == index_.end() ? nullptr : &grads_[it->second];
+}
+
 Var Tape::Push(Node node) {
   nodes_.push_back(std::move(node));
   return Var{static_cast<int>(nodes_.size()) - 1};
@@ -284,7 +320,7 @@ Var Tape::BceWithLogitsLoss(Var logit, double label) {
   return Push(std::move(n));
 }
 
-void Tape::Backward(Var loss) {
+void Tape::Backward(Var loss, GradientSink* sink) {
   COSTREAM_CHECK(loss.index >= 0 && loss.index < num_nodes());
   const Matrix& lv = nodes_[loss.index].value;
   COSTREAM_CHECK_MSG(lv.rows() == 1 && lv.cols() == 1,
@@ -293,10 +329,10 @@ void Tape::Backward(Var loss) {
     n.grad.ResizeZero(n.value.rows(), n.value.cols());
   }
   nodes_[loss.index].grad(0, 0) = 1.0;
-  for (int i = loss.index; i >= 0; --i) BackwardNode(i);
+  for (int i = loss.index; i >= 0; --i) BackwardNode(i, sink);
 }
 
-void Tape::BackwardNode(int i) {
+void Tape::BackwardNode(int i, GradientSink* sink) {
   Node& n = nodes_[i];
   // Skip nodes with all-zero grads cheaply for leaves only; everything else
   // is cheap enough to process unconditionally.
@@ -305,9 +341,13 @@ void Tape::BackwardNode(int i) {
       break;
     case Op::kLeaf: {
       Parameter* p = n.param;
-      if (!p->grad.SameShape(p->value)) p->ZeroGrad();
+      Matrix* target = sink != nullptr ? sink->Find(p) : nullptr;
+      if (target == nullptr) {
+        if (!p->grad.SameShape(p->value)) p->ZeroGrad();
+        target = &p->grad;
+      }
       for (int j = 0; j < n.grad.size(); ++j) {
-        p->grad.data()[j] += n.grad.data()[j];
+        target->data()[j] += n.grad.data()[j];
       }
       break;
     }

@@ -1,6 +1,7 @@
 #ifndef COSTREAM_NN_AUTOGRAD_H_
 #define COSTREAM_NN_AUTOGRAD_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "nn/matrix.h"
@@ -27,6 +28,35 @@ struct Parameter {
 // until the next Reset().
 struct Var {
   int index = -1;
+};
+
+// A private gradient accumulator for a fixed parameter list. Passing a sink
+// to Tape::Backward redirects the leaf gradients of the tracked parameters
+// into per-parameter matrices owned by the sink instead of the shared
+// Parameter::grad fields. Data-parallel training gives every worker its own
+// sink and then flushes the sinks into Parameter::grad in sample order, so
+// the accumulated batch gradient is independent of the number of workers.
+class GradientSink {
+ public:
+  GradientSink() = default;
+
+  // (Re)binds the sink to `params`; slot i tracks params[i].
+  void Reset(const std::vector<Parameter*>& params);
+  // Zeroes every slot (shapes follow the current parameter values).
+  void Clear();
+  // Adds every slot into its parameter's grad, in slot order.
+  void FlushToParams();
+
+  // The slot matrix for `p`, or nullptr when `p` is not tracked.
+  Matrix* Find(const Parameter* p);
+
+  int num_slots() const { return static_cast<int>(params_.size()); }
+  const Matrix& slot(int i) const { return grads_[i]; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Matrix> grads_;
+  std::unordered_map<const Parameter*, int> index_;
 };
 
 // Reverse-mode automatic differentiation over a linear tape.
@@ -93,8 +123,10 @@ class Tape {
   // --- Execution -----------------------------------------------------------
 
   // Runs the reverse sweep from `loss` (must be 1x1). Gradients of Leaf nodes
-  // are accumulated into their Parameters.
-  void Backward(Var loss);
+  // are accumulated into their Parameters — or, when `sink` is non-null, into
+  // the sink's slot for every parameter the sink tracks (untracked parameters
+  // still accumulate into Parameter::grad).
+  void Backward(Var loss, GradientSink* sink = nullptr);
 
   const Matrix& value(Var v) const { return nodes_[v.index].value; }
   const Matrix& grad(Var v) const { return nodes_[v.index].grad; }
@@ -132,7 +164,7 @@ class Tape {
   };
 
   Var Push(Node node);
-  void BackwardNode(int i);
+  void BackwardNode(int i, GradientSink* sink);
 
   std::vector<Node> nodes_;
 };

@@ -39,7 +39,11 @@ bool LoadParameters(std::istream& is, const std::vector<Parameter*>& params) {
   uint32_t count = 0;
   if (!ReadU32(is, &magic) || magic != kMagic) return false;
   if (!ReadU32(is, &count) || count != params.size()) return false;
-  for (Parameter* p : params) {
+  // Stage everything before touching the parameters: a truncated stream or a
+  // shape mismatch must not leave the model partially overwritten.
+  std::vector<Matrix> staged;
+  staged.reserve(params.size());
+  for (const Parameter* p : params) {
     uint32_t rows = 0;
     uint32_t cols = 0;
     if (!ReadU32(is, &rows) || !ReadU32(is, &cols)) return false;
@@ -47,9 +51,14 @@ bool LoadParameters(std::istream& is, const std::vector<Parameter*>& params) {
         static_cast<int>(cols) != p->value.cols()) {
       return false;
     }
-    is.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(sizeof(double)) * p->value.size());
+    Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+    is.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(sizeof(double)) * m.size());
     if (!is.good()) return false;
+    staged.push_back(std::move(m));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(staged[i]);
   }
   return true;
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace costream::placement {
 
@@ -128,19 +130,42 @@ std::vector<Placement> EnumerateCandidates(const QueryGraph& query,
   const std::vector<int> bins = CapabilityBins(cluster, config.num_bins);
   std::set<Placement> seen;
   std::vector<Placement> result;
-  // Oversample to compensate for duplicates in small search spaces.
+  // Oversample to compensate for duplicates in small search spaces. Work in
+  // fixed-size blocks: a block is sampled serially from the sequential RNG,
+  // its rule checks fan out over the workers, and the verdicts are consumed
+  // in sample order — candidate sampling never depends on acceptance, so the
+  // returned set matches the one-at-a-time scan exactly.
   const int attempts = config.num_candidates * 8;
-  for (int i = 0; i < attempts && static_cast<int>(result.size()) <
-                                      config.num_candidates;
-       ++i) {
-    Placement p = SamplePlacement(query, cluster, bins, rng);
-    // The sampler may fall back to a rule-breaking co-location in
-    // pathological join merges; enumeration only returns conforming
-    // candidates.
-    if (!CheckPlacementRules(query, cluster, p, config.num_bins).empty()) {
-      continue;
+  const int block = config.num_candidates;
+  std::vector<Placement> sampled;
+  std::vector<char> conforming;
+  for (int done = 0; done < attempts && static_cast<int>(result.size()) <
+                                            config.num_candidates;
+       done += block) {
+    const int n = std::min(block, attempts - done);
+    sampled.clear();
+    for (int i = 0; i < n; ++i) {
+      sampled.push_back(SamplePlacement(query, cluster, bins, rng));
     }
-    if (seen.insert(p).second) result.push_back(std::move(p));
+    conforming.assign(n, 0);
+    common::ParallelFor(config.num_threads, n, [&](int i) {
+      // The sampler may fall back to a rule-breaking co-location in
+      // pathological join merges; enumeration only returns conforming
+      // candidates.
+      conforming[i] = CheckPlacementRules(query, cluster, sampled[i],
+                                          config.num_bins)
+                          .empty()
+                          ? 1
+                          : 0;
+    });
+    for (int i = 0;
+         i < n && static_cast<int>(result.size()) < config.num_candidates;
+         ++i) {
+      if (!conforming[i]) continue;
+      if (seen.insert(sampled[i]).second) {
+        result.push_back(std::move(sampled[i]));
+      }
+    }
   }
   if (result.empty()) {
     // Degenerate fallback: everything on the strongest node is always

@@ -36,6 +36,11 @@ struct EnumerationConfig {
   int num_candidates = 50;
   int num_bins = 3;
   uint64_t seed = 1;
+  // Worker threads for checking the placement rules of sampled candidates
+  // (<= 0: all hardware threads). Sampling itself stays on the sequential
+  // RNG and verdicts are consumed in sample order, so the returned
+  // candidates are identical for every thread count.
+  int num_threads = 0;
 };
 
 // Enumerates rule-conforming placement candidates (paper Section V: a

@@ -1,8 +1,10 @@
 #include "placement/optimizer.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "core/featurizer.h"
 
 namespace costream::placement {
@@ -47,31 +49,48 @@ OptimizerResult PlacementOptimizer::Optimize(const dsps::QueryGraph& query,
   const sim::Placement* best_feasible_placement = nullptr;
   const sim::Placement* best_any_placement = nullptr;
 
-  for (const sim::Placement& candidate : candidates) {
-    const core::JointGraph graph = core::BuildJointGraph(
-        query, cluster, candidate, target_->featurization());
-    const double cost = target_->PredictRegression(graph);
+  // Batched scoring: every candidate only runs the models forward, so the
+  // batch is embarrassingly parallel. Scores land in per-candidate slots.
+  struct Scored {
+    double cost = 0.0;
+    bool feasible = true;
+  };
+  std::vector<Scored> scored(candidates.size());
+  common::ParallelFor(
+      config.num_threads, static_cast<int>(candidates.size()), [&](int i) {
+        const sim::Placement& candidate = candidates[i];
+        const core::JointGraph graph = core::BuildJointGraph(
+            query, cluster, candidate, target_->featurization());
+        scored[i].cost = target_->PredictRegression(graph);
+
+        // Sanity filter: reject candidates predicted to fail or to be
+        // backpressured (majority vote over the ensemble members).
+        bool feasible = true;
+        if (success_ != nullptr) {
+          const core::JointGraph g = core::BuildJointGraph(
+              query, cluster, candidate, success_->featurization());
+          feasible = feasible && success_->PredictBinary(g);
+        }
+        if (feasible && backpressure_ != nullptr) {
+          const core::JointGraph g = core::BuildJointGraph(
+              query, cluster, candidate, backpressure_->featurization());
+          feasible = feasible && !backpressure_->PredictBinary(g);
+        }
+        scored[i].feasible = feasible;
+      });
+
+  // Selection stays serial in enumeration order: ties keep the earliest
+  // candidate, exactly as the single-threaded scan did.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const sim::Placement& candidate = candidates[i];
+    const double cost = scored[i].cost;
 
     const bool better_any = maximize ? cost > best_any : cost < best_any;
     if (better_any || best_any_placement == nullptr) {
       best_any = cost;
       best_any_placement = &candidate;
     }
-
-    // Sanity filter: reject candidates predicted to fail or to be
-    // backpressured (majority vote over the ensemble members).
-    bool feasible = true;
-    if (success_ != nullptr) {
-      const core::JointGraph g = core::BuildJointGraph(
-          query, cluster, candidate, success_->featurization());
-      feasible = feasible && success_->PredictBinary(g);
-    }
-    if (feasible && backpressure_ != nullptr) {
-      const core::JointGraph g = core::BuildJointGraph(
-          query, cluster, candidate, backpressure_->featurization());
-      feasible = feasible && !backpressure_->PredictBinary(g);
-    }
-    if (!feasible) {
+    if (!scored[i].feasible) {
       ++result.candidates_filtered;
       continue;
     }

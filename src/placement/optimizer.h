@@ -14,6 +14,11 @@ struct OptimizerConfig {
   // regression metrics. Throughput is maximized, latencies are minimized.
   sim::Metric target = sim::Metric::kProcessingLatency;
   EnumerationConfig enumeration;
+  // Worker threads for batched candidate scoring (<= 0: all hardware
+  // threads). Candidates are scored into per-candidate slots and the best
+  // one selected in enumeration order, so the chosen placement, predicted
+  // cost and filter counters are identical for every thread count.
+  int num_threads = 0;
 };
 
 struct OptimizerResult {

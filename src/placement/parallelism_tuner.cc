@@ -1,6 +1,9 @@
 #include "placement/parallelism_tuner.h"
 
+#include <utility>
+
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "core/featurizer.h"
 
 namespace costream::placement {
@@ -33,10 +36,12 @@ ParallelismTunerResult TuneParallelism(const dsps::QueryGraph& query,
   result.predicted_initial = Predict(working, cluster, placement, target);
   double best = result.predicted_initial;
 
+  common::ThreadPool pool(config.num_threads);
   for (int round = 0; round < config.max_rounds; ++round) {
-    int best_op = -1;
-    int best_degree = 0;
-    double best_score = best;
+    // Collect this round's candidate single changes in the serial visit
+    // order, then score them in parallel: each scorer only runs the model
+    // forward on a private copy of the working graph.
+    std::vector<std::pair<int, int>> moves;  // (operator, candidate degree)
     for (int id = 0; id < working.num_operators(); ++id) {
       if (working.op(id).type == dsps::OperatorType::kWindow) continue;
       const int current = result.parallelism[id];
@@ -45,15 +50,28 @@ ParallelismTunerResult TuneParallelism(const dsps::QueryGraph& query,
             candidate == current) {
           continue;
         }
-        working.mutable_op(id).parallelism = candidate;
-        const double score = Predict(working, cluster, placement, target);
-        working.mutable_op(id).parallelism = current;
-        const bool better = maximize ? score > best_score : score < best_score;
-        if (better) {
-          best_score = score;
-          best_op = id;
-          best_degree = candidate;
-        }
+        moves.emplace_back(id, candidate);
+      }
+    }
+    std::vector<double> scores(moves.size(), 0.0);
+    pool.ParallelFor(static_cast<int>(moves.size()), [&](int i) {
+      dsps::QueryGraph probe = working;
+      probe.mutable_op(moves[i].first).parallelism = moves[i].second;
+      scores[i] = Predict(probe, cluster, placement, target);
+    });
+
+    // Winner selection in visit order: a later move must be strictly better
+    // to displace an earlier one, matching the serial scan.
+    int best_op = -1;
+    int best_degree = 0;
+    double best_score = best;
+    for (size_t i = 0; i < moves.size(); ++i) {
+      const bool better =
+          maximize ? scores[i] > best_score : scores[i] < best_score;
+      if (better) {
+        best_score = scores[i];
+        best_op = moves[i].first;
+        best_degree = moves[i].second;
       }
     }
     if (best_op < 0) break;  // no improving single change left

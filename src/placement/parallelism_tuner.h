@@ -23,6 +23,11 @@ struct ParallelismTunerConfig {
                                                   // are minimized
   int max_parallelism = 8;
   int max_rounds = 8;
+  // Worker threads for scoring the candidate degree changes of one round
+  // (<= 0: all hardware threads). Candidates are scored into per-slot
+  // results and the winner picked in the serial visit order, so the tuned
+  // degrees are identical for every thread count.
+  int num_threads = 0;
 };
 
 struct ParallelismTunerResult {

@@ -3,13 +3,18 @@
 // simulator on throughput within a tolerance band, and must order latencies
 // consistently. This is the evidence that fluid-model labels are a faithful
 // stand-in for executing the queries (see DESIGN.md, substitutions).
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "dsps/query_builder.h"
+#include "nn/random.h"
+#include "placement/enumeration.h"
 #include "sim/des.h"
 #include "sim/fluid_engine.h"
+#include "workload/generator.h"
 
 namespace costream::sim {
 namespace {
@@ -165,6 +170,86 @@ TEST(DesVsFluidTest, LatencyOrderingConsistentAcrossNetworkDistances) {
   EXPECT_LT(des_near, des_far);
   // The latency increase should be comparable (~ the added RTT).
   EXPECT_NEAR(fluid_far - fluid_near, des_far - des_near, 40.0);
+}
+
+// Randomized sweep over the workload generator: the per-template scenarios
+// above pin down exact tolerances; this guards the whole operating envelope.
+// Queries, clusters and placements come from the same distribution as the
+// training corpus. For every case the two engines must agree on the
+// success/backpressure labels (except near the saturation boundary, where a
+// finite DES run legitimately flips), and on unsaturated successful runs
+// the throughput ratio must stay inside a generous band.
+TEST(DesVsFluidTest, RandomizedWorkloadSweepAgrees) {
+  constexpr int kNumQueries = 51;
+  // Individual cases may diverge substantially (multi-way joins compound
+  // window-emission differences), but the bulk of the corpus must track
+  // closely: every case inside a loose band, the median inside a tight one.
+  constexpr double kThroughputBandPerCase = 12.0;
+  constexpr double kThroughputBandMedian = 1.5;
+  // Cases whose fluid bottleneck utilization is this close to 1.0 are
+  // borderline: sampling noise decides which side the DES lands on.
+  constexpr double kBorderlineLow = 0.7;
+  constexpr double kBorderlineHigh = 1.5;
+
+  const workload::QueryGenerator generator{workload::GeneratorConfig{}};
+  const workload::QueryTemplate templates[] = {
+      workload::QueryTemplate::kLinear, workload::QueryTemplate::kTwoWayJoin,
+      workload::QueryTemplate::kThreeWayJoin};
+  nn::Rng rng(2024);
+
+  std::vector<double> ratios;
+  int label_checked = 0;
+  int label_agreements = 0;
+  for (int i = 0; i < kNumQueries; ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    const QueryGraph query =
+        generator.Generate(templates[i % 3], rng);
+    const Cluster cluster = generator.GenerateCluster(rng);
+    const std::vector<int> bins = placement::CapabilityBins(cluster);
+    const Placement placed =
+        placement::SamplePlacement(query, cluster, bins, rng);
+
+    FluidConfig fluid_config;
+    fluid_config.noise_sigma = 0.0;
+    const FluidReport fluid = EvaluateFluid(query, cluster, placed,
+                                            fluid_config);
+    DesConfig des_config;
+    des_config.duration_s = 20.0;
+    des_config.seed = 1000 + static_cast<uint64_t>(i);
+    const DesReport des = RunDes(query, cluster, placed, des_config);
+
+    const bool borderline =
+        fluid.bottleneck_utilization > kBorderlineLow &&
+        fluid.bottleneck_utilization < kBorderlineHigh;
+    if (!borderline) {
+      ++label_checked;
+      const bool agree =
+          fluid.metrics.backpressure == des.metrics.backpressure &&
+          fluid.metrics.success == des.metrics.success;
+      if (agree) ++label_agreements;
+    }
+    // Throughput comparison only where both engines report a clean run.
+    if (!borderline && fluid.metrics.success && des.metrics.success &&
+        !fluid.metrics.backpressure && !des.metrics.backpressure) {
+      const double ratio = std::max(fluid.metrics.throughput, 1e-9) /
+                           std::max(des.metrics.throughput, 1e-9);
+      EXPECT_LT(ratio, kThroughputBandPerCase);
+      EXPECT_GT(ratio, 1.0 / kThroughputBandPerCase);
+      ratios.push_back(ratio);
+    }
+  }
+
+  // The sweep must actually exercise both checks: most of the corpus sits
+  // away from the saturation boundary.
+  EXPECT_GE(label_checked, kNumQueries / 2);
+  ASSERT_GE(ratios.size(), static_cast<size_t>(kNumQueries / 4));
+  std::sort(ratios.begin(), ratios.end());
+  const double median = ratios[ratios.size() / 2];
+  EXPECT_LT(median, kThroughputBandMedian);
+  EXPECT_GT(median, 1.0 / kThroughputBandMedian);
+  // Off the boundary the engines must essentially always agree on labels.
+  EXPECT_GE(label_agreements, label_checked * 9 / 10)
+      << label_agreements << " of " << label_checked << " label agreements";
 }
 
 }  // namespace
