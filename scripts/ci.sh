@@ -21,6 +21,15 @@ run_suite() {
 echo "=== Release build + tier-1 tests ==="
 run_suite build-ci -DCMAKE_BUILD_TYPE=Release
 
+echo "=== Release bench smoke (BENCH_micro.json) ==="
+# A short run of the hot-path benchmarks; set -e fails CI on any crash. The
+# JSON lands in the repo root for machine-readable before/after comparisons.
+./build-ci/bench/bench_micro \
+  --benchmark_filter='BM_GnnInference|BM_GnnTrainStep|BM_ParallelCandidateScoring|BM_BuildJointGraph' \
+  --benchmark_min_time=0.05 \
+  --benchmark_out=BENCH_micro.json --benchmark_out_format=json
+test -s BENCH_micro.json
+
 echo "=== ThreadSanitizer build + tier-1 tests ==="
 run_suite build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOSTREAM_SANITIZE=thread
 

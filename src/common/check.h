@@ -6,8 +6,16 @@
 
 // Internal invariant checking. COSTREAM follows the no-exceptions policy of
 // the Google C++ style guide; violated invariants abort with a diagnostic.
-// COSTREAM_CHECK is active in all build types (the checks guard logic errors,
-// not hot inner loops, so the cost is negligible).
+//
+// Two tiers:
+//   COSTREAM_CHECK   — always active. Guards one-time logic errors at API
+//                      and op-construction boundaries (graph validation,
+//                      shape checks when a tape op is built, config checks).
+//   COSTREAM_DCHECK  — active in Debug builds and in sanitizer builds
+//                      (COSTREAM_SANITIZE=thread|address defines
+//                      COSTREAM_FORCE_CHECKS); compiles to nothing in plain
+//                      Release. Guards hot per-element accessors such as
+//                      Matrix::operator() that sit inside GEMM inner loops.
 
 #define COSTREAM_CHECK(cond)                                                  \
   do {                                                                        \
@@ -26,5 +34,17 @@
       std::abort();                                                           \
     }                                                                         \
   } while (0)
+
+#if !defined(NDEBUG) || defined(COSTREAM_FORCE_CHECKS)
+#define COSTREAM_DCHECK(cond) COSTREAM_CHECK(cond)
+#define COSTREAM_DCHECK_MSG(cond, msg) COSTREAM_CHECK_MSG(cond, msg)
+#else
+#define COSTREAM_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#define COSTREAM_DCHECK_MSG(cond, msg) \
+  do {                                 \
+  } while (0)
+#endif
 
 #endif  // COSTREAM_COMMON_CHECK_H_

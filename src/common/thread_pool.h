@@ -64,9 +64,20 @@ class ThreadPool {
   // If an iteration throws, the first exception (by completion time) is
   // rethrown after the job drains.
   void ParallelFor(int n, const std::function<void(int)>& fn) {
+    ParallelForIndexed(n,
+                       [&fn](int /*worker*/, int i) { fn(i); });
+  }
+
+  // Like ParallelFor, but fn also receives a dense worker slot in
+  // [0, num_threads()), unique among the threads participating in this job.
+  // Use it to hand each thread a private workspace (scratch tapes, cached
+  // graphs) without locking. Which iterations land on which slot is
+  // schedule-dependent, so workspaces must only carry reusable scratch,
+  // never anything that changes the result.
+  void ParallelForIndexed(int n, const std::function<void(int, int)>& fn) {
     if (n <= 0) return;
     if (workers_.empty() || n == 1) {
-      for (int i = 0; i < n; ++i) fn(i);
+      for (int i = 0; i < n; ++i) fn(0, i);
       return;
     }
     auto job = std::make_shared<Job>();
@@ -94,21 +105,25 @@ class ThreadPool {
 
  private:
   struct Job {
-    const std::function<void(int)>* fn = nullptr;
+    const std::function<void(int, int)>* fn = nullptr;
     int n = 0;
     std::atomic<int> next{0};
     std::atomic<int> done{0};
+    std::atomic<int> slots{0};
     std::mutex mu;
     std::condition_variable cv;
     std::exception_ptr error;  // guarded by mu
   };
 
   static void RunJob(Job& job) {
+    // Claim a worker slot once; at most 1 + helpers <= num_threads threads
+    // ever join a job, so slots stay dense and in range.
+    const int slot = job.slots.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
       const int i = job.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= job.n) return;
       try {
-        (*job.fn)(i);
+        (*job.fn)(slot, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(job.mu);
         if (!job.error) job.error = std::current_exception();
@@ -154,6 +169,21 @@ inline void ParallelFor(int num_threads, int n,
   }
   ThreadPool pool(threads);
   pool.ParallelFor(n, fn);
+}
+
+// One-shot worker-indexed variant (see ThreadPool::ParallelForIndexed).
+// Returns the resolved worker count so callers can size their workspaces;
+// slots passed to fn are always < that count.
+inline int ParallelForIndexed(int num_threads, int n,
+                              const std::function<void(int, int)>& fn) {
+  const int threads = std::min(ResolveNumThreads(num_threads), std::max(n, 1));
+  if (threads <= 1 || n <= 1) {
+    for (int i = 0; i < n; ++i) fn(0, i);
+    return 1;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelForIndexed(n, fn);
+  return threads;
 }
 
 }  // namespace costream::common

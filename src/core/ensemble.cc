@@ -24,6 +24,15 @@ void Ensemble::set_num_threads(int num_threads) {
                       : nullptr;
 }
 
+void Ensemble::PrepareScratch(PredictionScratch& scratch) const {
+  if (scratch.tapes.size() != members_.size()) {
+    scratch.tapes = std::vector<nn::Tape>(members_.size());
+  }
+  if (scratch.outputs.size() != members_.size()) {
+    scratch.outputs.assign(members_.size(), 0.0);
+  }
+}
+
 void Ensemble::ForEachMember(const std::function<void(int)>& fn) const {
   if (pool_ != nullptr) {
     pool_->ParallelFor(size(), fn);
@@ -94,6 +103,76 @@ bool Ensemble::PredictBinary(const JointGraph& graph) const {
   });
   int votes = 0;
   for (char v : positive) votes += v;
+  return votes * 2 > size();
+}
+
+double Ensemble::PredictRegression(const JointGraph& graph,
+                                   PredictionScratch& scratch) const {
+  PrepareScratch(scratch);
+  ForEachMember([&](int i) {
+    scratch.outputs[i] =
+        members_[i]->PredictRegression(graph, scratch.tapes[i]);
+  });
+  double total = 0.0;
+  for (double p : scratch.outputs) total += p;
+  return total / members_.size();
+}
+
+double Ensemble::PredictProbability(const JointGraph& graph,
+                                    PredictionScratch& scratch) const {
+  PrepareScratch(scratch);
+  ForEachMember([&](int i) {
+    scratch.outputs[i] =
+        members_[i]->PredictProbability(graph, scratch.tapes[i]);
+  });
+  double total = 0.0;
+  for (double p : scratch.outputs) total += p;
+  return total / members_.size();
+}
+
+bool Ensemble::PredictBinary(const JointGraph& graph,
+                             PredictionScratch& scratch) const {
+  PrepareScratch(scratch);
+  ForEachMember([&](int i) {
+    scratch.outputs[i] =
+        members_[i]->PredictProbability(graph, scratch.tapes[i]) >= 0.5 ? 1.0
+                                                                        : 0.0;
+  });
+  int votes = 0;
+  for (double v : scratch.outputs) votes += v == 1.0 ? 1 : 0;
+  return votes * 2 > size();
+}
+
+double Ensemble::PredictRegression(const JointGraph& graph,
+                                   PredictionScratch& scratch,
+                                   const ForwardPlan& plan,
+                                   const std::vector<nn::Matrix>* encoded) const {
+  PrepareScratch(scratch);
+  ForEachMember([&](int i) {
+    scratch.outputs[i] = members_[i]->PredictRegression(
+        graph, scratch.tapes[i], plan,
+        encoded != nullptr ? &(*encoded)[i] : nullptr);
+  });
+  double total = 0.0;
+  for (double p : scratch.outputs) total += p;
+  return total / members_.size();
+}
+
+bool Ensemble::PredictBinary(const JointGraph& graph,
+                             PredictionScratch& scratch,
+                             const ForwardPlan& plan,
+                             const std::vector<nn::Matrix>* encoded) const {
+  PrepareScratch(scratch);
+  ForEachMember([&](int i) {
+    scratch.outputs[i] =
+        members_[i]->PredictProbability(
+            graph, scratch.tapes[i], plan,
+            encoded != nullptr ? &(*encoded)[i] : nullptr) >= 0.5
+            ? 1.0
+            : 0.0;
+  });
+  int votes = 0;
+  for (double v : scratch.outputs) votes += v == 1.0 ? 1 : 0;
   return votes * 2 > size();
 }
 

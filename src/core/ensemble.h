@@ -43,6 +43,35 @@ class Ensemble {
   // Majority vote over the members' binary predictions.
   bool PredictBinary(const JointGraph& graph) const;
 
+  // Reusable prediction state for hot scoring loops: one tape per member
+  // (reset and refilled each call) plus the per-member output slots, so
+  // steady-state prediction performs no allocations. A scratch belongs to
+  // one caller at a time — concurrent predictions need separate scratches —
+  // and produces bitwise-identical results to the scratch-free overloads.
+  struct PredictionScratch {
+    std::vector<nn::Tape> tapes;
+    std::vector<double> outputs;
+  };
+  double PredictRegression(const JointGraph& graph,
+                           PredictionScratch& scratch) const;
+  double PredictProbability(const JointGraph& graph,
+                            PredictionScratch& scratch) const;
+  bool PredictBinary(const JointGraph& graph,
+                     PredictionScratch& scratch) const;
+
+  // Plan-reusing variants: `plan` must have been built (by any member — all
+  // members share one architecture) for the current structure of `graph`.
+  // The placement scorer builds it once per candidate so the ensemble's
+  // forwards skip the per-call plan derivation entirely. `encoded`, when
+  // non-null, holds one precomputed node-encoding matrix per member (see
+  // CostModel::Forward); forwards then skip the encoder stage as well.
+  double PredictRegression(const JointGraph& graph, PredictionScratch& scratch,
+                           const ForwardPlan& plan,
+                           const std::vector<nn::Matrix>* encoded = nullptr) const;
+  bool PredictBinary(const JointGraph& graph, PredictionScratch& scratch,
+                     const ForwardPlan& plan,
+                     const std::vector<nn::Matrix>* encoded = nullptr) const;
+
   // Persists / restores all members. Paths are derived from `prefix` as
   // "<prefix>.member<i>.bin". Load returns false on any architecture or I/O
   // mismatch.
@@ -60,6 +89,8 @@ class Ensemble {
  private:
   // Runs fn(i) for every member, on the prediction pool when enabled.
   void ForEachMember(const std::function<void(int)>& fn) const;
+  // Sizes `scratch` for this ensemble (no-op once warmed up).
+  void PrepareScratch(PredictionScratch& scratch) const;
 
   std::vector<std::unique_ptr<CostModel>> members_;
   std::unique_ptr<common::ThreadPool> pool_;  // null: serial prediction

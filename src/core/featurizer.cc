@@ -161,8 +161,11 @@ std::vector<double> OperatorFeatures(const OperatorDescriptor& op) {
   return f;
 }
 
-std::vector<double> HostFeatures(const sim::HardwareNode& hw,
-                                 FeaturizationMode mode) {
+}  // namespace
+
+std::vector<double> HostNodeFeatures(const sim::HardwareNode& hw,
+                                     FeaturizationMode mode) {
+  COSTREAM_CHECK(mode != FeaturizationMode::kOperatorsOnly);
   if (mode == FeaturizationMode::kPlacementOnly) {
     // The host node exists (placement/co-location is visible) but carries no
     // hardware information (Exp 7a, middle scheme of Figure 12).
@@ -173,18 +176,10 @@ std::vector<double> HostFeatures(const sim::HardwareNode& hw,
           NormalizeNetworkLatency(hw.latency_ms)};
 }
 
-}  // namespace
-
-JointGraph BuildJointGraph(const dsps::QueryGraph& query,
-                           const sim::Cluster& cluster,
-                           const sim::Placement& placement,
-                           FeaturizationMode mode) {
-  COSTREAM_CHECK_MSG(
-      sim::ValidatePlacement(query, cluster, placement).empty(),
-      "invalid placement");
+JointGraph BuildOperatorGraph(const dsps::QueryGraph& query) {
   JointGraph graph;
   graph.num_operator_nodes = query.num_operators();
-  graph.nodes.reserve(query.num_operators() + cluster.num_nodes());
+  graph.nodes.reserve(query.num_operators());
   for (int i = 0; i < query.num_operators(); ++i) {
     JointNode node;
     node.kind = KindOf(query.op(i).type);
@@ -195,6 +190,23 @@ JointGraph BuildJointGraph(const dsps::QueryGraph& query,
   }
   graph.dataflow_edges = query.edges();
   graph.topo_order = query.TopologicalOrder();
+  return graph;
+}
+
+void SetParallelismFeature(JointGraph& graph, int op, int parallelism) {
+  COSTREAM_CHECK(op >= 0 && op < graph.num_operator_nodes);
+  graph.nodes[op].features.back() = NormalizeParallelism(parallelism);
+}
+
+JointGraph BuildJointGraph(const dsps::QueryGraph& query,
+                           const sim::Cluster& cluster,
+                           const sim::Placement& placement,
+                           FeaturizationMode mode) {
+  COSTREAM_CHECK_MSG(
+      sim::ValidatePlacement(query, cluster, placement).empty(),
+      "invalid placement");
+  JointGraph graph = BuildOperatorGraph(query);
+  graph.nodes.reserve(query.num_operators() + cluster.num_nodes());
 
   if (mode != FeaturizationMode::kOperatorsOnly) {
     // One host node per hardware node that actually hosts operators.
@@ -204,7 +216,7 @@ JointGraph BuildJointGraph(const dsps::QueryGraph& query,
       if (host_node_of[hw] == -1) {
         JointNode node;
         node.kind = NodeKind::kHost;
-        node.features = HostFeatures(cluster.nodes[hw], mode);
+        node.features = HostNodeFeatures(cluster.nodes[hw], mode);
         host_node_of[hw] = static_cast<int>(graph.nodes.size());
         graph.nodes.push_back(std::move(node));
         ++graph.num_host_nodes;

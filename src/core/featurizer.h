@@ -88,6 +88,23 @@ JointGraph BuildJointGraph(const dsps::QueryGraph& query,
                            const sim::Placement& placement,
                            FeaturizationMode mode = FeaturizationMode::kFull);
 
+// The placement-independent prefix of the joint graph: operator nodes,
+// dataflow edges and topological order, with no host tail. Placement scoring
+// builds this once per query and only rewrites the host tail per candidate
+// (see placement::PlacementScorer); BuildJointGraph composes the same parts,
+// so the cached graphs are identical to freshly built ones.
+JointGraph BuildOperatorGraph(const dsps::QueryGraph& query);
+
+// The feature vector of a host node under `mode` (kPlacementOnly blanks the
+// hardware features; must not be called for kOperatorsOnly).
+std::vector<double> HostNodeFeatures(const sim::HardwareNode& hw,
+                                     FeaturizationMode mode);
+
+// Overwrites the parallelism feature (the trailing entry of every operator
+// feature vector) of operator node `op` in place. Equivalent to rebuilding
+// the graph from a query whose operator has `parallelism` instances.
+void SetParallelismFeature(JointGraph& graph, int op, int parallelism);
+
 }  // namespace costream::core
 
 #endif  // COSTREAM_CORE_FEATURIZER_H_

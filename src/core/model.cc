@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "nn/serialize.h"
@@ -12,6 +13,142 @@ namespace {
 
 nn::Matrix RowVector(const std::vector<double>& values) {
   return nn::Matrix::Row(values);
+}
+
+// Incoming dataflow neighbours per operator, in dataflow-edge order.
+std::vector<std::vector<int>> InLists(const JointGraph& graph) {
+  std::vector<std::vector<int>> in_lists(graph.num_operator_nodes);
+  for (const auto& [from, to] : graph.dataflow_edges) {
+    in_lists[to].push_back(from);
+  }
+  return in_lists;
+}
+
+// Topological waves of the dataflow stage: wave L holds the operators whose
+// longest upstream chain has length L (wave 0 = sources, never updated).
+// Every input of a wave-L node was updated in an earlier wave, so all nodes
+// of one wave can be processed as a single batch; iterating waves in level
+// order yields exactly the same values as the original topological-order
+// walk. Within a wave, nodes keep their topological-order position.
+std::vector<std::vector<int>> DataflowWaves(
+    const JointGraph& graph, const std::vector<std::vector<int>>& in_lists) {
+  std::vector<int> level(graph.num_operator_nodes, 0);
+  int max_level = 0;
+  for (int v : graph.topo_order) {
+    int lv = 0;
+    for (int u : in_lists[v]) lv = std::max(lv, level[u] + 1);
+    level[v] = lv;
+    max_level = std::max(max_level, lv);
+  }
+  std::vector<std::vector<int>> waves(max_level + 1);
+  for (int v : graph.topo_order) waves[level[v]].push_back(v);
+  return waves;
+}
+
+// Undirected neighbourhood over data-flow and placement edges (traditional
+// message passing), neighbours per node in edge-scan order.
+std::vector<std::vector<int>> NeighborLists(const JointGraph& graph) {
+  std::vector<std::vector<int>> neighbors(graph.nodes.size());
+  for (const auto& [from, to] : graph.dataflow_edges) {
+    neighbors[from].push_back(to);
+    neighbors[to].push_back(from);
+  }
+  for (const auto& [op, host] : graph.placement_edges) {
+    neighbors[op].push_back(host);
+    neighbors[host].push_back(op);
+  }
+  return neighbors;
+}
+
+// Flattens `lists` restricted to `rows` into CSR form for Tape::SegmentSum.
+void BuildCsr(const std::vector<int>& rows,
+              const std::vector<std::vector<int>>& lists,
+              std::vector<int>& offsets, std::vector<int>& children) {
+  offsets.assign(rows.size() + 1, 0);
+  int total = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    total += static_cast<int>(lists[rows[i]].size());
+    offsets[i + 1] = total;
+  }
+  children.clear();
+  children.reserve(total);
+  for (int r : rows) {
+    children.insert(children.end(), lists[r].begin(), lists[r].end());
+  }
+}
+
+// In-place variants of the helpers above, used by BuildForwardPlan so that
+// per-candidate plan rebuilds reuse vector capacity.
+void InListsInto(const JointGraph& graph,
+                 std::vector<std::vector<int>>& in_lists) {
+  in_lists.resize(graph.num_operator_nodes);
+  for (auto& list : in_lists) list.clear();
+  for (const auto& [from, to] : graph.dataflow_edges) {
+    in_lists[to].push_back(from);
+  }
+}
+
+void DataflowWavesInto(const JointGraph& graph,
+                       const std::vector<std::vector<int>>& in_lists,
+                       std::vector<int>& level,
+                       std::vector<std::vector<int>>& waves) {
+  level.assign(graph.num_operator_nodes, 0);
+  int max_level = 0;
+  for (int v : graph.topo_order) {
+    int lv = 0;
+    for (int u : in_lists[v]) lv = std::max(lv, level[u] + 1);
+    level[v] = lv;
+    max_level = std::max(max_level, lv);
+  }
+  waves.resize(max_level + 1);
+  for (auto& wave : waves) wave.clear();
+  for (int v : graph.topo_order) waves[level[v]].push_back(v);
+}
+
+void NeighborListsInto(const JointGraph& graph,
+                       std::vector<std::vector<int>>& neighbors) {
+  neighbors.resize(graph.nodes.size());
+  for (auto& list : neighbors) list.clear();
+  for (const auto& [from, to] : graph.dataflow_edges) {
+    neighbors[from].push_back(to);
+    neighbors[to].push_back(from);
+  }
+  for (const auto& [op, host] : graph.placement_edges) {
+    neighbors[op].push_back(host);
+    neighbors[host].push_back(op);
+  }
+}
+
+// Partitions `rows` by node kind into update slices (kinds ascending, rows in
+// `rows` order within a kind), reusing the slice vectors' capacity.
+void FillSlices(const JointGraph& graph, const std::vector<int>& rows,
+                std::vector<ForwardPlan::UpdateSlice>& slices) {
+  size_t used = 0;
+  for (int k = 0; k < kNumNodeKinds; ++k) {
+    bool any = false;
+    for (int r : rows) {
+      if (static_cast<int>(graph.nodes[r].kind) == k) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    if (slices.size() <= used) slices.emplace_back();
+    ForwardPlan::UpdateSlice& slice = slices[used++];
+    slice.kind = k;
+    slice.pos.clear();
+    slice.targets.clear();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (static_cast<int>(graph.nodes[rows[i]].kind) == k) {
+        slice.pos.push_back(static_cast<int>(i));
+        slice.targets.push_back(rows[i]);
+      }
+    }
+    // A single-kind batch feeds the whole cat matrix to the update MLP with
+    // no gather; the empty pos encodes that.
+    if (slice.pos.size() == rows.size()) slice.pos.clear();
+  }
+  slices.resize(used);
 }
 
 }  // namespace
@@ -38,6 +175,14 @@ CostModel::CostModel(const CostModelConfig& config) : config_(config) {
 
 nn::Var CostModel::Forward(nn::Tape& tape, const JointGraph& graph) const {
   COSTREAM_CHECK(!graph.nodes.empty());
+  if (config_.execution == ExecutionMode::kBatched) {
+    // One plan per thread, rebuilt per graph but reusing capacity: callers
+    // without a long-lived plan (training loops) still avoid reallocating
+    // the index vectors every forward.
+    static thread_local ForwardPlan plan;
+    BuildForwardPlan(graph, plan);
+    return Forward(tape, graph, plan);
+  }
   std::vector<nn::Var> states(graph.nodes.size());
   for (size_t v = 0; v < graph.nodes.size(); ++v) {
     const JointNode& node = graph.nodes[v];
@@ -49,6 +194,8 @@ nn::Var CostModel::Forward(nn::Tape& tape, const JointGraph& graph) const {
   }
   return ForwardTraditional(tape, graph, states);
 }
+
+// --- Per-node reference path ------------------------------------------------
 
 nn::Var CostModel::ForwardStaged(nn::Tape& tape, const JointGraph& graph,
                                  std::vector<nn::Var>& states) const {
@@ -77,17 +224,18 @@ nn::Var CostModel::ForwardStaged(nn::Tape& tape, const JointGraph& graph,
     }
   }
   // Stage 3 (SOURCES -> OPS): propagate along the data flow towards the
-  // sink. Updating in topological order lets already-updated upstream states
-  // flow through the whole chain.
-  for (int v : graph.topo_order) {
-    // Gather the *current* upstream states (they may have been updated
-    // earlier in this loop).
-    std::vector<nn::Var> children;
-    for (const auto& [from, to] : graph.dataflow_edges) {
-      if (to == v) children.push_back(states[from]);
+  // sink, wave by wave. A node's inputs always sit in strictly earlier
+  // waves, so this produces the same values as a plain topological walk
+  // while lining the tape up with the batched wave execution.
+  const std::vector<std::vector<int>> in_lists = InLists(graph);
+  const std::vector<std::vector<int>> waves = DataflowWaves(graph, in_lists);
+  for (size_t level = 1; level < waves.size(); ++level) {
+    for (int v : waves[level]) {
+      std::vector<nn::Var> children;
+      children.reserve(in_lists[v].size());
+      for (int u : in_lists[v]) children.push_back(states[u]);
+      states[v] = update(graph.nodes[v].kind, children, states[v]);
     }
-    if (children.empty()) continue;  // sources
-    states[v] = update(graph.nodes[v].kind, children, states[v]);
   }
   // Final readout: sum every node state and predict the cost.
   nn::Var total = tape.AddN(states);
@@ -96,26 +244,30 @@ nn::Var CostModel::ForwardStaged(nn::Tape& tape, const JointGraph& graph,
 
 nn::Var CostModel::ForwardTraditional(nn::Tape& tape, const JointGraph& graph,
                                       std::vector<nn::Var>& states) const {
-  // Undirected neighbourhood over data-flow and placement edges.
-  std::vector<std::vector<int>> neighbors(graph.nodes.size());
-  for (const auto& [from, to] : graph.dataflow_edges) {
-    neighbors[from].push_back(to);
-    neighbors[to].push_back(from);
-  }
-  for (const auto& [op, host] : graph.placement_edges) {
-    neighbors[op].push_back(host);
-    neighbors[host].push_back(op);
-  }
+  const std::vector<std::vector<int>> neighbors = NeighborLists(graph);
   for (int iter = 0; iter < config_.traditional_iterations; ++iter) {
+    // Phase-split per iteration (all sums, then all concats, then all update
+    // MLPs) so the reverse sweep credits every shared state with its "own"
+    // contributions before any neighbour-sum contributions — the same
+    // accumulation order the batched gather/segment-sum backward uses.
+    std::vector<nn::Var> sums(graph.nodes.size());
+    std::vector<nn::Var> cats(graph.nodes.size());
     std::vector<nn::Var> next = states;
     for (size_t v = 0; v < graph.nodes.size(); ++v) {
       if (neighbors[v].empty()) continue;
       std::vector<nn::Var> children;
       children.reserve(neighbors[v].size());
       for (int u : neighbors[v]) children.push_back(states[u]);
-      nn::Var sum = tape.AddN(children);
-      nn::Var cat = tape.ConcatCols(sum, states[v]);
-      next[v] = updates_[static_cast<int>(graph.nodes[v].kind)].Apply(tape, cat);
+      sums[v] = tape.AddN(children);
+    }
+    for (size_t v = 0; v < graph.nodes.size(); ++v) {
+      if (neighbors[v].empty()) continue;
+      cats[v] = tape.ConcatCols(sums[v], states[v]);
+    }
+    for (size_t v = 0; v < graph.nodes.size(); ++v) {
+      if (neighbors[v].empty()) continue;
+      next[v] =
+          updates_[static_cast<int>(graph.nodes[v].kind)].Apply(tape, cats[v]);
     }
     states = std::move(next);
   }
@@ -123,16 +275,207 @@ nn::Var CostModel::ForwardTraditional(nn::Tape& tape, const JointGraph& graph,
   return readout_[0].Apply(tape, total);
 }
 
+// --- Batched path -----------------------------------------------------------
+
+void CostModel::BuildForwardPlan(const JointGraph& graph,
+                                 ForwardPlan& plan) const {
+  const int num_nodes = static_cast<int>(graph.nodes.size());
+  const int num_ops = graph.num_operator_nodes;
+
+  // Encoder batches: rows per kind, ascending within a kind.
+  plan.encode_rows.resize(kNumNodeKinds);
+  for (auto& rows : plan.encode_rows) rows.clear();
+  for (int v = 0; v < num_nodes; ++v) {
+    plan.encode_rows[static_cast<int>(graph.nodes[v].kind)].push_back(v);
+  }
+
+  size_t num_stages = 0;
+  const auto next_stage = [&]() -> ForwardPlan::Stage& {
+    if (plan.stages.size() <= num_stages) plan.stages.emplace_back();
+    ForwardPlan::Stage& stage = plan.stages[num_stages++];
+    stage.gather = false;
+    stage.repeat = 1;
+    stage.gather_rows.clear();
+    stage.offsets.clear();
+    stage.children.clear();
+    stage.rows.clear();
+    return stage;
+  };
+
+  if (config_.message_passing == MessagePassingMode::kStaged) {
+    if (graph.num_host_nodes > 0) {
+      // Stage 1 (OPS -> HW): segment-sum the operator states into their
+      // host, operators per host in placement-edge order (AddN semantics).
+      ForwardPlan::Stage& s1 = next_stage();
+      s1.rows.resize(graph.num_host_nodes);
+      for (int i = 0; i < graph.num_host_nodes; ++i) s1.rows[i] = num_ops + i;
+      s1.offsets.assign(graph.num_host_nodes + 1, 0);
+      for (const auto& [op, host] : graph.placement_edges) {
+        ++s1.offsets[host - num_ops + 1];
+      }
+      for (int i = 0; i < graph.num_host_nodes; ++i) {
+        s1.offsets[i + 1] += s1.offsets[i];
+      }
+      s1.children.resize(graph.placement_edges.size());
+      plan.cursor_scratch.assign(s1.offsets.begin(), s1.offsets.end() - 1);
+      for (const auto& [op, host] : graph.placement_edges) {
+        s1.children[plan.cursor_scratch[host - num_ops]++] = op;
+      }
+      FillSlices(graph, s1.rows, s1.slices);
+      // Stage 2 (HW -> OPS): each operator reads its (single) host state.
+      ForwardPlan::Stage& s2 = next_stage();
+      s2.gather = true;
+      s2.gather_rows.assign(num_ops, -1);
+      for (const auto& [op, host] : graph.placement_edges) {
+        s2.gather_rows[op] = host;
+      }
+      s2.rows.resize(num_ops);
+      for (int op = 0; op < num_ops; ++op) {
+        COSTREAM_CHECK(s2.gather_rows[op] >= 0);
+        s2.rows[op] = op;
+      }
+      FillSlices(graph, s2.rows, s2.slices);
+    }
+    // Stage 3 (SOURCES -> OPS): one batch per topological wave.
+    InListsInto(graph, plan.adjacency_scratch);
+    DataflowWavesInto(graph, plan.adjacency_scratch, plan.level_scratch,
+                      plan.wave_scratch);
+    for (size_t level = 1; level < plan.wave_scratch.size(); ++level) {
+      ForwardPlan::Stage& stage = next_stage();
+      const std::vector<int>& wave = plan.wave_scratch[level];
+      stage.rows.assign(wave.begin(), wave.end());
+      BuildCsr(wave, plan.adjacency_scratch, stage.offsets, stage.children);
+      FillSlices(graph, stage.rows, stage.slices);
+    }
+  } else {
+    // Traditional: one stage over every connected node, iterated.
+    NeighborListsInto(graph, plan.adjacency_scratch);
+    ForwardPlan::Stage& stage = next_stage();
+    stage.repeat = config_.traditional_iterations;
+    for (int v = 0; v < num_nodes; ++v) {
+      if (!plan.adjacency_scratch[v].empty()) stage.rows.push_back(v);
+    }
+    BuildCsr(stage.rows, plan.adjacency_scratch, stage.offsets,
+             stage.children);
+    FillSlices(graph, stage.rows, stage.slices);
+  }
+  plan.stages.resize(num_stages);
+  plan.ready = true;
+}
+
+nn::Var CostModel::Forward(nn::Tape& tape, const JointGraph& graph,
+                           const ForwardPlan& plan,
+                           const nn::Matrix* encoded) const {
+  if (config_.execution != ExecutionMode::kBatched) {
+    return Forward(tape, graph);  // the reference path plans per node
+  }
+  COSTREAM_CHECK(!graph.nodes.empty());
+  COSTREAM_DCHECK(plan.ready);
+  nn::Var S = encoded != nullptr ? tape.Input(*encoded)
+                                 : EncodeBatched(tape, graph, plan);
+  for (const ForwardPlan::Stage& stage : plan.stages) {
+    for (int iter = 0; iter < stage.repeat; ++iter) {
+      nn::Var msg = stage.gather
+                        ? tape.RowGather(S, stage.gather_rows)
+                        : tape.SegmentSum(S, stage.offsets, stage.children);
+      nn::Var own = tape.RowGather(S, stage.rows);
+      nn::Var cat = tape.ConcatCols(msg, own);
+      for (const ForwardPlan::UpdateSlice& slice : stage.slices) {
+        const nn::Var ck =
+            slice.pos.empty() ? cat : tape.RowGather(cat, slice.pos);
+        nn::Var uk = updates_[slice.kind].Apply(tape, ck);
+        S = tape.RowScatter(S, uk, slice.targets);
+      }
+    }
+  }
+  nn::Var total = tape.SumRows(S);
+  return readout_[0].Apply(tape, total);
+}
+
+nn::Var CostModel::EncodeBatched(nn::Tape& tape, const JointGraph& graph,
+                                 const ForwardPlan& plan) const {
+  const int num_nodes = static_cast<int>(graph.nodes.size());
+  const int h = config_.hidden_dim;
+  nn::Var S = tape.InputZero(num_nodes, h);
+  for (int k = 0; k < kNumNodeKinds; ++k) {
+    const std::vector<int>& rows = plan.encode_rows[k];
+    if (rows.empty()) continue;
+    const int dim = FeatureDim(static_cast<NodeKind>(k));
+    nn::Var x = tape.InputZero(static_cast<int>(rows.size()), dim);
+    nn::Matrix& xv = tape.MutableInputValue(x);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const std::vector<double>& f = graph.nodes[rows[i]].features;
+      COSTREAM_CHECK(static_cast<int>(f.size()) == dim);
+      double* d = xv.row(static_cast<int>(i));
+      for (int c = 0; c < dim; ++c) d[c] = f[c];
+    }
+    nn::Var hk = encoders_[k].Apply(tape, x);
+    S = tape.RowScatter(S, hk, rows);
+  }
+  return S;
+}
+
+void CostModel::EncodeFeatures(
+    NodeKind kind, const std::vector<const std::vector<double>*>& features,
+    nn::Tape& tape, nn::Matrix& out) const {
+  const int n = static_cast<int>(features.size());
+  const int dim = FeatureDim(kind);
+  tape.Reset();
+  nn::Var x = tape.InputZero(n, dim);
+  nn::Matrix& xv = tape.MutableInputValue(x);
+  for (int i = 0; i < n; ++i) {
+    const std::vector<double>& f = *features[i];
+    COSTREAM_CHECK(static_cast<int>(f.size()) == dim);
+    double* d = xv.row(i);
+    for (int c = 0; c < dim; ++c) d[c] = f[c];
+  }
+  const nn::Var hk = encoders_[static_cast<int>(kind)].Apply(tape, x);
+  out.CopyFrom(tape.value(hk));
+}
+
+// --- Prediction helpers -----------------------------------------------------
+
 double CostModel::PredictRegression(const JointGraph& graph) const {
   nn::Tape tape;
+  return PredictRegression(graph, tape);
+}
+
+double CostModel::PredictProbability(const JointGraph& graph) const {
+  nn::Tape tape;
+  return PredictProbability(graph, tape);
+}
+
+double CostModel::PredictRegression(const JointGraph& graph,
+                                    nn::Tape& tape) const {
+  tape.Reset();
   nn::Var out = Forward(tape, graph);
   const double log_value = std::clamp(tape.value(out)(0, 0), -10.0, 30.0);
   return std::max(std::expm1(log_value), 0.0);
 }
 
-double CostModel::PredictProbability(const JointGraph& graph) const {
-  nn::Tape tape;
+double CostModel::PredictProbability(const JointGraph& graph,
+                                     nn::Tape& tape) const {
+  tape.Reset();
   nn::Var out = Forward(tape, graph);
+  const double z = tape.value(out)(0, 0);
+  return z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                  : std::exp(z) / (1.0 + std::exp(z));
+}
+
+double CostModel::PredictRegression(const JointGraph& graph, nn::Tape& tape,
+                                    const ForwardPlan& plan,
+                                    const nn::Matrix* encoded) const {
+  tape.Reset();
+  nn::Var out = Forward(tape, graph, plan, encoded);
+  const double log_value = std::clamp(tape.value(out)(0, 0), -10.0, 30.0);
+  return std::max(std::expm1(log_value), 0.0);
+}
+
+double CostModel::PredictProbability(const JointGraph& graph, nn::Tape& tape,
+                                     const ForwardPlan& plan,
+                                     const nn::Matrix* encoded) const {
+  tape.Reset();
+  nn::Var out = Forward(tape, graph, plan, encoded);
   const double z = tape.value(out)(0, 0);
   return z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
                   : std::exp(z) / (1.0 + std::exp(z));

@@ -27,16 +27,69 @@ enum class HeadKind {
   kClassification,
 };
 
+// How the forward pass schedules the message-passing math. kBatched runs
+// every stage as a handful of N x d tape ops (one GEMM per update MLP layer
+// per stage); kPerNode issues one 1 x d op chain per graph node. Both
+// produce bitwise-identical values and gradients — the batched kernels
+// accumulate in the exact index order of the per-node reverse sweep (see
+// src/nn/autograd.cc) — so kPerNode exists as the reference implementation
+// for the equivalence tests.
+enum class ExecutionMode {
+  kBatched,
+  kPerNode,
+};
+
 struct CostModelConfig {
   int hidden_dim = 32;
   FeaturizationMode featurization = FeaturizationMode::kFull;
   MessagePassingMode message_passing = MessagePassingMode::kStaged;
   HeadKind head = HeadKind::kRegression;
+  ExecutionMode execution = ExecutionMode::kBatched;
   // Neighbourhood iterations of the traditional scheme.
   int traditional_iterations = 3;
   // Initialization seed (ensemble members differ only in this; paper
   // Section IV-A).
   uint64_t seed = 1;
+};
+
+// A reusable execution plan for the batched forward pass: every index vector
+// the batched scheduler needs — per-kind encoder rows, per-stage gather /
+// segment-sum indices and per-kind update slices — derived once from a
+// graph's structure. The plan depends on node kinds and edges but never on
+// feature values, so hot loops (the placement scorer) rebuild it once per
+// candidate instead of once per ensemble-member forward. Running a forward
+// with a plan is bitwise identical to running one without: the plan holds
+// exactly the indices the plan-free path derives internally.
+struct ForwardPlan {
+  // One per-kind batch of an update stage: `pos` are the rows of the
+  // concatenated (message | own) matrix fed to this kind's update MLP (empty
+  // when the whole batch is a single kind) and `targets` the node rows that
+  // receive the result.
+  struct UpdateSlice {
+    int kind = 0;
+    std::vector<int> pos;
+    std::vector<int> targets;
+  };
+  // One message-passing step. Messages are either row-gathered (stage 2's
+  // one-host-per-operator read) or segment-summed over a CSR edge list;
+  // `rows` are the own-state rows, which is also the update domain.
+  struct Stage {
+    bool gather = false;
+    std::vector<int> gather_rows;        // message source row per own row
+    std::vector<int> offsets, children;  // CSR of message sources per own row
+    std::vector<int> rows;
+    std::vector<UpdateSlice> slices;
+    int repeat = 1;  // > 1 only for the traditional scheme's iterations
+  };
+  std::vector<std::vector<int>> encode_rows;  // node rows per NodeKind
+  std::vector<Stage> stages;
+  bool ready = false;
+
+  // Builder scratch, kept here so per-candidate rebuilds reuse capacity.
+  std::vector<std::vector<int>> adjacency_scratch;
+  std::vector<std::vector<int>> wave_scratch;
+  std::vector<int> level_scratch;
+  std::vector<int> cursor_scratch;
 };
 
 // One COSTREAM GNN instance predicting a single cost metric for a joint
@@ -60,11 +113,50 @@ class CostModel {
   // (log-cost for regression heads, logit for classification heads).
   nn::Var Forward(nn::Tape& tape, const JointGraph& graph) const;
 
+  // Derives the batched execution plan for `graph` in place, reusing the
+  // plan's capacity. Must be re-run whenever the graph's structure (kinds or
+  // edges) changes; pure feature rewrites keep a plan valid.
+  void BuildForwardPlan(const JointGraph& graph, ForwardPlan& plan) const;
+
+  // Forward with a caller-owned plan (built by BuildForwardPlan for this
+  // graph's structure). The per-node reference path ignores the plan. When
+  // `encoded` is non-null it must hold this model's encoder output for every
+  // node of `graph` (row v = encoder_kind(features(v))); the forward then
+  // starts message passing from it instead of re-encoding. Because every
+  // encode op treats rows independently, a cached encoding is bitwise
+  // identical to the in-forward one, so this changes no prediction bits.
+  nn::Var Forward(nn::Tape& tape, const JointGraph& graph,
+                  const ForwardPlan& plan,
+                  const nn::Matrix* encoded = nullptr) const;
+
+  // Encodes a batch of same-kind feature vectors: `out` becomes an
+  // N x hidden matrix whose row i is encoder_kind(*features[i]). The
+  // placement scorer uses this to precompute candidate-invariant node
+  // encodings (operator features and per-hardware-node host features never
+  // change across placement candidates).
+  void EncodeFeatures(NodeKind kind,
+                      const std::vector<const std::vector<double>*>& features,
+                      nn::Tape& tape, nn::Matrix& out) const;
+
   // Regression prediction in the metric's original unit (expm1 of the
   // model output, clamped to be non-negative).
   double PredictRegression(const JointGraph& graph) const;
   // Probability of the positive class for classification heads.
   double PredictProbability(const JointGraph& graph) const;
+
+  // Tape-reusing variants for inner loops: Reset() the caller's tape and run
+  // the forward on it, so steady-state prediction allocates nothing.
+  double PredictRegression(const JointGraph& graph, nn::Tape& tape) const;
+  double PredictProbability(const JointGraph& graph, nn::Tape& tape) const;
+
+  // Tape- and plan-reusing variants for the placement scorer's inner loop;
+  // `encoded` optionally supplies precomputed node encodings (see Forward).
+  double PredictRegression(const JointGraph& graph, nn::Tape& tape,
+                           const ForwardPlan& plan,
+                           const nn::Matrix* encoded = nullptr) const;
+  double PredictProbability(const JointGraph& graph, nn::Tape& tape,
+                            const ForwardPlan& plan,
+                            const nn::Matrix* encoded = nullptr) const;
 
   const CostModelConfig& config() const { return config_; }
   const std::vector<nn::Parameter*>& parameters() { return params_; }
@@ -84,10 +176,18 @@ class CostModel {
   std::vector<nn::Mlp> readout_;   // single output MLP (H -> H -> 1)
   std::vector<nn::Parameter*> params_;
 
+  // Per-node reference path (ExecutionMode::kPerNode).
   nn::Var ForwardStaged(nn::Tape& tape, const JointGraph& graph,
                         std::vector<nn::Var>& states) const;
   nn::Var ForwardTraditional(nn::Tape& tape, const JointGraph& graph,
                              std::vector<nn::Var>& states) const;
+
+  // Batched path (ExecutionMode::kBatched): node states live as rows of one
+  // N x hidden matrix; every stage is a gather/segment-sum/concat followed
+  // by per-kind update MLPs and a row scatter, all scheduled by a
+  // ForwardPlan.
+  nn::Var EncodeBatched(nn::Tape& tape, const JointGraph& graph,
+                        const ForwardPlan& plan) const;
 };
 
 }  // namespace costream::core

@@ -55,8 +55,11 @@ double WeightedLoss(const CostModel& model,
                     const std::vector<TrainSample>& samples,
                     const ClassWeights& weights, common::ThreadPool& pool) {
   std::vector<double> losses(samples.size(), 0.0);
-  pool.ParallelFor(static_cast<int>(samples.size()), [&](int i) {
-    nn::Tape tape;
+  std::vector<nn::Tape> tapes(pool.num_threads());
+  pool.ParallelForIndexed(static_cast<int>(samples.size()),
+                          [&](int worker, int i) {
+    nn::Tape& tape = tapes[worker];
+    tape.Reset();
     losses[i] = tape.value(SampleLoss(model, tape, samples[i], weights))(0, 0);
   });
   double total = 0.0;
@@ -167,9 +170,10 @@ eval::QErrorSummary EvaluateRegression(
   std::vector<double> predicted;
   actual.reserve(samples.size());
   predicted.reserve(samples.size());
+  nn::Tape tape;
   for (const TrainSample& sample : samples) {
     actual.push_back(sample.regression_target);
-    predicted.push_back(model.PredictRegression(sample.graph));
+    predicted.push_back(model.PredictRegression(sample.graph, tape));
   }
   return eval::SummarizeQErrors(actual, predicted);
 }
@@ -181,9 +185,10 @@ double EvaluateClassification(const CostModel& model,
   std::vector<bool> predicted;
   actual.reserve(samples.size());
   predicted.reserve(samples.size());
+  nn::Tape tape;
   for (const TrainSample& sample : samples) {
     actual.push_back(sample.label);
-    predicted.push_back(model.PredictProbability(sample.graph) >= 0.5);
+    predicted.push_back(model.PredictProbability(sample.graph, tape) >= 0.5);
   }
   return eval::Accuracy(actual, predicted);
 }

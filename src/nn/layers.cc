@@ -24,10 +24,10 @@ Linear::Linear(int in_features, int out_features, Rng& rng) {
   bias_.ZeroGrad();
 }
 
-Var Linear::Apply(Tape& tape, Var x) const {
+Var Linear::Apply(Tape& tape, Var x, bool fuse_relu) const {
   Var w = tape.Leaf(&weight_);
   Var b = tape.Leaf(&bias_);
-  return tape.AddRow(tape.MatMul(x, w), b);
+  return tape.Linear(x, w, b, fuse_relu);
 }
 
 void Linear::CollectParameters(std::vector<Parameter*>& out) {
@@ -49,14 +49,19 @@ Mlp::Mlp(const std::vector<int>& dims, Rng& rng, Activation hidden_activation,
 Var Mlp::Apply(Tape& tape, Var x) const {
   Var h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Apply(tape, h);
     const bool is_last = (i + 1 == layers_.size());
-    if (!is_last || activate_output_) {
+    const bool activate = !is_last || activate_output_;
+    // Relu folds into the layer's fused tape op; the other activations
+    // remain separate nodes.
+    if (activate && hidden_activation_ == Activation::kRelu) {
+      h = layers_[i].Apply(tape, h, /*fuse_relu=*/true);
+      continue;
+    }
+    h = layers_[i].Apply(tape, h);
+    if (activate) {
       switch (hidden_activation_) {
         case Activation::kNone:
-          break;
         case Activation::kRelu:
-          h = tape.Relu(h);
           break;
         case Activation::kSigmoid:
           h = tape.Sigmoid(h);

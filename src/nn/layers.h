@@ -21,8 +21,10 @@ class Linear {
  public:
   Linear(int in_features, int out_features, Rng& rng);
 
-  // Applies the layer to `x` (rows are samples).
-  Var Apply(Tape& tape, Var x) const;
+  // Applies the layer to `x` (rows are samples) as one fused tape op;
+  // `fuse_relu` folds the activation into the same node (bitwise identical
+  // to a separate Relu — see Tape::Linear).
+  Var Apply(Tape& tape, Var x, bool fuse_relu = false) const;
 
   int in_features() const { return weight_.value.rows(); }
   int out_features() const { return weight_.value.cols(); }

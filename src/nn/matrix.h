@@ -34,13 +34,34 @@ class Matrix {
   int size() const { return rows_ * cols_; }
   bool empty() const { return data_.empty(); }
 
+  // Element access sits inside GEMM/scatter inner loops; bounds checks are
+  // debug/sanitizer-only (COSTREAM_DCHECK). Shape validation happens once at
+  // tape-op construction boundaries instead.
   double& operator()(int r, int c) {
-    COSTREAM_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    COSTREAM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
   double operator()(int r, int c) const {
-    COSTREAM_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    COSTREAM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  // Row pointers for kernel code that walks rows directly.
+  double* row(int r) {
+    COSTREAM_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  const double* row(int r) const {
+    COSTREAM_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  // Copies shape and contents of `other`, reusing this matrix's existing
+  // heap buffer when the capacity suffices (the tape's arena-reuse path).
+  void CopyFrom(const Matrix& other) {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_.assign(other.data_.begin(), other.data_.end());
   }
 
   double* data() { return data_.data(); }
@@ -51,6 +72,16 @@ class Matrix {
     rows_ = rows;
     cols_ = cols;
     data_.assign(static_cast<size_t>(rows) * cols, 0.0);
+  }
+
+  // Resizes without clearing: surviving elements keep their stale contents,
+  // so the caller must overwrite every element. Saves the zero-fill pass for
+  // ops that fully rewrite their output (the arena-reuse steady state does
+  // no allocation or initialization at all here).
+  void ResizeUninit(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<size_t>(rows) * cols);
   }
 
   void Fill(double value) {

@@ -5,7 +5,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
-#include "core/featurizer.h"
+#include "placement/scorer.h"
 
 namespace costream::placement {
 
@@ -26,9 +26,9 @@ PlacementOptimizer::PlacementOptimizer(const core::Ensemble* target,
 double PlacementOptimizer::PredictTarget(const dsps::QueryGraph& query,
                                          const sim::Cluster& cluster,
                                          const sim::Placement& placement) const {
-  const core::JointGraph graph = core::BuildJointGraph(
-      query, cluster, placement, target_->featurization());
-  return target_->PredictRegression(graph);
+  const PlacementScorer scorer(query, cluster, target_, nullptr, nullptr);
+  PlacementScorer::Workspace ws = scorer.MakeWorkspace();
+  return scorer.PredictTarget(ws, placement);
 }
 
 OptimizerResult PlacementOptimizer::Optimize(const dsps::QueryGraph& query,
@@ -50,34 +50,24 @@ OptimizerResult PlacementOptimizer::Optimize(const dsps::QueryGraph& query,
   const sim::Placement* best_any_placement = nullptr;
 
   // Batched scoring: every candidate only runs the models forward, so the
-  // batch is embarrassingly parallel. Scores land in per-candidate slots.
-  struct Scored {
-    double cost = 0.0;
-    bool feasible = true;
-  };
-  std::vector<Scored> scored(candidates.size());
-  common::ParallelFor(
-      config.num_threads, static_cast<int>(candidates.size()), [&](int i) {
-        const sim::Placement& candidate = candidates[i];
-        const core::JointGraph graph = core::BuildJointGraph(
-            query, cluster, candidate, target_->featurization());
-        scored[i].cost = target_->PredictRegression(graph);
-
-        // Sanity filter: reject candidates predicted to fail or to be
-        // backpressured (majority vote over the ensemble members).
-        bool feasible = true;
-        if (success_ != nullptr) {
-          const core::JointGraph g = core::BuildJointGraph(
-              query, cluster, candidate, success_->featurization());
-          feasible = feasible && success_->PredictBinary(g);
-        }
-        if (feasible && backpressure_ != nullptr) {
-          const core::JointGraph g = core::BuildJointGraph(
-              query, cluster, candidate, backpressure_->featurization());
-          feasible = feasible && !backpressure_->PredictBinary(g);
-        }
-        scored[i].feasible = feasible;
-      });
+  // batch is embarrassingly parallel. The query/cluster are featurized once
+  // into a shared scorer; each worker rewrites only the host tail of its
+  // private cached graphs per candidate and reuses its prediction tapes.
+  // Scores land in per-candidate slots.
+  const PlacementScorer scorer(query, cluster, target_, success_,
+                               backpressure_);
+  const int n = static_cast<int>(candidates.size());
+  const int threads = std::min(common::ResolveNumThreads(config.num_threads),
+                               n);
+  std::vector<PlacementScorer::Workspace> workspaces;
+  workspaces.reserve(std::max(threads, 1));
+  for (int t = 0; t < std::max(threads, 1); ++t) {
+    workspaces.push_back(scorer.MakeWorkspace());
+  }
+  std::vector<PlacementScorer::CandidateScore> scored(candidates.size());
+  common::ParallelForIndexed(threads, n, [&](int worker, int i) {
+    scored[i] = scorer.Score(workspaces[worker], candidates[i]);
+  });
 
   // Selection stays serial in enumeration order: ties keep the earliest
   // candidate, exactly as the single-threaded scan did.

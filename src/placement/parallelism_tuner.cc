@@ -4,19 +4,9 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
-#include "core/featurizer.h"
+#include "placement/scorer.h"
 
 namespace costream::placement {
-
-namespace {
-
-double Predict(const dsps::QueryGraph& query, const sim::Cluster& cluster,
-               const sim::Placement& placement, const core::Ensemble& target) {
-  return target.PredictRegression(core::BuildJointGraph(
-      query, cluster, placement, target.featurization()));
-}
-
-}  // namespace
 
 ParallelismTunerResult TuneParallelism(const dsps::QueryGraph& query,
                                        const sim::Cluster& cluster,
@@ -27,23 +17,33 @@ ParallelismTunerResult TuneParallelism(const dsps::QueryGraph& query,
   COSTREAM_CHECK(sim::IsRegressionMetric(config.target));
   const bool maximize = config.target == sim::Metric::kThroughput;
 
-  dsps::QueryGraph working = query;
   ParallelismTunerResult result;
   result.parallelism.resize(query.num_operators());
   for (int id = 0; id < query.num_operators(); ++id) {
     result.parallelism[id] = std::max(query.op(id).parallelism, 1);
   }
-  result.predicted_initial = Predict(working, cluster, placement, target);
+
+  // The query is featurized once; every probe only rewrites one operator's
+  // parallelism feature in a worker-private cached graph instead of copying
+  // and re-featurizing the whole QueryGraph.
+  const PlacementScorer scorer(query, cluster, &target, nullptr, nullptr);
+  common::ThreadPool pool(config.num_threads);
+  std::vector<PlacementScorer::Workspace> workspaces;
+  workspaces.reserve(pool.num_threads());
+  for (int t = 0; t < pool.num_threads(); ++t) {
+    workspaces.push_back(scorer.MakeWorkspace());
+  }
+
+  result.predicted_initial = scorer.PredictTarget(workspaces[0], placement);
   double best = result.predicted_initial;
 
-  common::ThreadPool pool(config.num_threads);
   for (int round = 0; round < config.max_rounds; ++round) {
     // Collect this round's candidate single changes in the serial visit
-    // order, then score them in parallel: each scorer only runs the model
-    // forward on a private copy of the working graph.
+    // order, then score them in parallel: each probe flips one parallelism
+    // feature in the worker's graphs and restores it afterwards.
     std::vector<std::pair<int, int>> moves;  // (operator, candidate degree)
-    for (int id = 0; id < working.num_operators(); ++id) {
-      if (working.op(id).type == dsps::OperatorType::kWindow) continue;
+    for (int id = 0; id < query.num_operators(); ++id) {
+      if (query.op(id).type == dsps::OperatorType::kWindow) continue;
       const int current = result.parallelism[id];
       for (int candidate : {current * 2, current / 2}) {
         if (candidate < 1 || candidate > config.max_parallelism ||
@@ -54,10 +54,13 @@ ParallelismTunerResult TuneParallelism(const dsps::QueryGraph& query,
       }
     }
     std::vector<double> scores(moves.size(), 0.0);
-    pool.ParallelFor(static_cast<int>(moves.size()), [&](int i) {
-      dsps::QueryGraph probe = working;
-      probe.mutable_op(moves[i].first).parallelism = moves[i].second;
-      scores[i] = Predict(probe, cluster, placement, target);
+    pool.ParallelForIndexed(static_cast<int>(moves.size()),
+                            [&](int worker, int i) {
+      PlacementScorer::Workspace& ws = workspaces[worker];
+      const int op = moves[i].first;
+      scorer.SetParallelism(ws, op, moves[i].second);
+      scores[i] = scorer.PredictTarget(ws, placement);
+      scorer.SetParallelism(ws, op, result.parallelism[op]);
     });
 
     // Winner selection in visit order: a later move must be strictly better
@@ -76,7 +79,10 @@ ParallelismTunerResult TuneParallelism(const dsps::QueryGraph& query,
     }
     if (best_op < 0) break;  // no improving single change left
     result.parallelism[best_op] = best_degree;
-    working.mutable_op(best_op).parallelism = best_degree;
+    // Commit the winner into every worker's cached graphs.
+    for (PlacementScorer::Workspace& ws : workspaces) {
+      scorer.SetParallelism(ws, best_op, best_degree);
+    }
     best = best_score;
     ++result.changes;
   }

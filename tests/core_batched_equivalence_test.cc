@@ -1,0 +1,288 @@
+// The batched execution mode must be numerically invisible: every stage-level
+// GEMM, gather, segment-sum and scatter accumulates in the exact index order
+// of the per-node reference path, so predictions, gradients, per-epoch
+// trained parameters and optimizer placement choices are bitwise identical —
+// not merely close — at any thread count. ExecutionMode::kPerNode exists
+// precisely to back this contract.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ensemble.h"
+#include "core/trainer.h"
+#include "placement/enumeration.h"
+#include "placement/optimizer.h"
+#include "placement/parallelism_tuner.h"
+#include "placement/scorer.h"
+#include "workload/corpus.h"
+
+namespace costream {
+namespace {
+
+std::vector<workload::TraceRecord> FixedCorpus(int num_queries,
+                                               uint64_t seed) {
+  workload::CorpusConfig config;
+  config.num_queries = num_queries;
+  config.seed = seed;
+  config.duration_s = 60.0;
+  return workload::BuildCorpus(config);
+}
+
+void ExpectParamsIdentical(const std::vector<nn::Matrix>& a,
+                           const std::vector<nn::Matrix>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].SameShape(b[i]));
+    for (int j = 0; j < a[i].size(); ++j) {
+      ASSERT_EQ(a[i].data()[j], b[i].data()[j])
+          << "param " << i << " entry " << j;
+    }
+  }
+}
+
+core::CostModelConfig BaseConfig(core::MessagePassingMode mp,
+                                 core::FeaturizationMode feat) {
+  core::CostModelConfig config;
+  config.hidden_dim = 16;
+  config.message_passing = mp;
+  config.featurization = feat;
+  return config;
+}
+
+TEST(BatchedEquivalenceTest, PredictionsBitwiseIdentical) {
+  const auto records = FixedCorpus(10, 71);
+  for (const auto mp : {core::MessagePassingMode::kStaged,
+                        core::MessagePassingMode::kTraditional}) {
+    for (const auto feat : {core::FeaturizationMode::kFull,
+                            core::FeaturizationMode::kPlacementOnly,
+                            core::FeaturizationMode::kOperatorsOnly}) {
+      core::CostModelConfig config = BaseConfig(mp, feat);
+      config.execution = core::ExecutionMode::kBatched;
+      const core::CostModel batched(config);
+      config.execution = core::ExecutionMode::kPerNode;
+      const core::CostModel per_node(config);
+
+      nn::Tape reused;
+      for (const auto& record : records) {
+        const core::JointGraph graph = core::BuildJointGraph(
+            record.query, record.cluster, record.placement, feat);
+        const double reference = per_node.PredictRegression(graph);
+        ASSERT_EQ(batched.PredictRegression(graph), reference);
+        // Arena reuse must be invisible too: the same tape, reset and
+        // refilled across differently-shaped graphs, yields the same value.
+        ASSERT_EQ(batched.PredictRegression(graph, reused), reference);
+        ASSERT_EQ(batched.PredictProbability(graph),
+                  per_node.PredictProbability(graph));
+      }
+    }
+  }
+}
+
+TEST(BatchedEquivalenceTest, GradientsBitwiseIdentical) {
+  const auto records = FixedCorpus(6, 83);
+  for (const auto mp : {core::MessagePassingMode::kStaged,
+                        core::MessagePassingMode::kTraditional}) {
+    core::CostModelConfig config =
+        BaseConfig(mp, core::FeaturizationMode::kFull);
+    config.execution = core::ExecutionMode::kBatched;
+    core::CostModel batched(config);
+    config.execution = core::ExecutionMode::kPerNode;
+    core::CostModel per_node(config);
+
+    for (const auto& record : records) {
+      const core::JointGraph graph = core::BuildJointGraph(
+          record.query, record.cluster, record.placement);
+      const nn::Matrix target = nn::Matrix::Scalar(1.7);
+
+      for (nn::Parameter* p : batched.parameters()) p->ZeroGrad();
+      nn::Tape tape_b;
+      tape_b.Backward(tape_b.MseLoss(batched.Forward(tape_b, graph), target));
+
+      for (nn::Parameter* p : per_node.parameters()) p->ZeroGrad();
+      nn::Tape tape_p;
+      tape_p.Backward(
+          tape_p.MseLoss(per_node.Forward(tape_p, graph), target));
+
+      const auto& bp = batched.parameters();
+      const auto& pp = per_node.parameters();
+      ASSERT_EQ(bp.size(), pp.size());
+      for (size_t i = 0; i < bp.size(); ++i) {
+        ASSERT_TRUE(bp[i]->grad.SameShape(pp[i]->grad));
+        for (int j = 0; j < bp[i]->grad.size(); ++j) {
+          ASSERT_EQ(bp[i]->grad.data()[j], pp[i]->grad.data()[j])
+              << "param " << i << " entry " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedEquivalenceTest, TrainedParametersIdenticalEveryEpoch) {
+  const auto records = FixedCorpus(30, 91);
+  const auto samples =
+      workload::ToTrainSamples(records, sim::Metric::kThroughput);
+  ASSERT_GE(samples.size(), 16u);
+
+  core::CostModelConfig config = BaseConfig(
+      core::MessagePassingMode::kStaged, core::FeaturizationMode::kFull);
+  config.execution = core::ExecutionMode::kBatched;
+  core::CostModel batched(config);
+  core::CostModel batched_mt(config);
+  config.execution = core::ExecutionMode::kPerNode;
+  core::CostModel per_node(config);
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    core::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 8;
+    tc.seed = 300 + epoch;
+    tc.num_threads = 1;
+    const core::TrainResult reference =
+        core::TrainModel(per_node, samples, {}, tc);
+    const core::TrainResult serial = core::TrainModel(batched, samples, {}, tc);
+    tc.num_threads = 4;
+    const core::TrainResult threaded =
+        core::TrainModel(batched_mt, samples, {}, tc);
+
+    ASSERT_EQ(reference.train_losses, serial.train_losses);
+    ASSERT_EQ(reference.train_losses, threaded.train_losses);
+    ExpectParamsIdentical(per_node.SnapshotParameters(),
+                          batched.SnapshotParameters());
+    ExpectParamsIdentical(per_node.SnapshotParameters(),
+                          batched_mt.SnapshotParameters());
+  }
+}
+
+TEST(BatchedEquivalenceTest, CachedScorerMatchesFreshGraphs) {
+  // The PlacementScorer rewrites only the host tail (and, for the tuner,
+  // single parallelism features) of cached graphs. Reusing one workspace
+  // across many candidates must give exactly the predictions of featurizing
+  // every candidate from scratch.
+  const auto records = FixedCorpus(4, 107);
+
+  core::CostModelConfig regression = BaseConfig(
+      core::MessagePassingMode::kStaged, core::FeaturizationMode::kFull);
+  regression.hidden_dim = 12;
+  core::CostModelConfig classification = regression;
+  classification.head = core::HeadKind::kClassification;
+  // A second featurization mode exercises the per-mode graph caching.
+  classification.featurization = core::FeaturizationMode::kPlacementOnly;
+  const core::Ensemble target(regression, 2);
+  const core::Ensemble success(classification, 2);
+
+  for (const auto& record : records) {
+    const placement::PlacementScorer scorer(record.query, record.cluster,
+                                            &target, &success, nullptr);
+    placement::PlacementScorer::Workspace ws = scorer.MakeWorkspace();
+
+    placement::EnumerationConfig enumeration;
+    enumeration.num_candidates = 12;
+    const auto candidates = placement::EnumerateCandidates(
+        record.query, record.cluster, enumeration);
+    for (const sim::Placement& candidate : candidates) {
+      const auto score = scorer.Score(ws, candidate);
+      const core::JointGraph full = core::BuildJointGraph(
+          record.query, record.cluster, candidate,
+          core::FeaturizationMode::kFull);
+      const core::JointGraph placement_only = core::BuildJointGraph(
+          record.query, record.cluster, candidate,
+          core::FeaturizationMode::kPlacementOnly);
+      ASSERT_EQ(score.cost, target.PredictRegression(full));
+      ASSERT_EQ(score.feasible, success.PredictBinary(placement_only));
+    }
+
+    // Parallelism rewrites: flipping one degree in the cached graphs equals
+    // re-featurizing a query whose operator has that degree.
+    dsps::QueryGraph modified = record.query;
+    const int op = modified.num_operators() / 2;
+    modified.mutable_op(op).parallelism = 4;
+    scorer.SetParallelism(ws, op, 4);
+    ASSERT_EQ(scorer.PredictTarget(ws, record.placement),
+              target.PredictRegression(core::BuildJointGraph(
+                  modified, record.cluster, record.placement,
+                  core::FeaturizationMode::kFull)));
+    scorer.SetParallelism(ws, op, record.query.op(op).parallelism);
+    ASSERT_EQ(scorer.PredictTarget(ws, record.placement),
+              target.PredictRegression(core::BuildJointGraph(
+                  record.query, record.cluster, record.placement,
+                  core::FeaturizationMode::kFull)));
+  }
+}
+
+TEST(BatchedEquivalenceTest, OptimizerPlacementChoiceIdentical) {
+  const auto records = FixedCorpus(4, 97);
+
+  const auto make_ensembles = [](core::ExecutionMode exec) {
+    core::CostModelConfig regression = BaseConfig(
+        core::MessagePassingMode::kStaged, core::FeaturizationMode::kFull);
+    regression.hidden_dim = 12;
+    regression.execution = exec;
+    core::CostModelConfig classification = regression;
+    classification.head = core::HeadKind::kClassification;
+    classification.seed = 11;
+    auto target = std::make_unique<core::Ensemble>(regression, 2);
+    auto success = std::make_unique<core::Ensemble>(classification, 2);
+    classification.seed = 21;
+    auto backpressure = std::make_unique<core::Ensemble>(classification, 2);
+    return std::tuple(std::move(target), std::move(success),
+                      std::move(backpressure));
+  };
+
+  const auto [bt, bs, bb] = make_ensembles(core::ExecutionMode::kBatched);
+  const auto [pt, ps, pb] = make_ensembles(core::ExecutionMode::kPerNode);
+  const placement::PlacementOptimizer batched(bt.get(), bs.get(), bb.get());
+  const placement::PlacementOptimizer per_node(pt.get(), ps.get(), pb.get());
+
+  for (const auto& record : records) {
+    placement::OptimizerConfig config;
+    config.enumeration.num_candidates = 30;
+    config.num_threads = 1;
+    config.enumeration.num_threads = 1;
+    const auto reference = per_node.Optimize(record.query, record.cluster,
+                                             config);
+    for (int threads : {1, 4}) {
+      config.num_threads = threads;
+      const auto result = batched.Optimize(record.query, record.cluster,
+                                           config);
+      ASSERT_EQ(reference.best, result.best);
+      ASSERT_EQ(reference.predicted_cost, result.predicted_cost);
+      ASSERT_EQ(reference.any_feasible, result.any_feasible);
+      ASSERT_EQ(reference.candidates_evaluated, result.candidates_evaluated);
+      ASSERT_EQ(reference.candidates_filtered, result.candidates_filtered);
+    }
+  }
+}
+
+TEST(BatchedEquivalenceTest, ParallelismTunerChoiceIdentical) {
+  const auto records = FixedCorpus(3, 101);
+
+  core::CostModelConfig config = BaseConfig(
+      core::MessagePassingMode::kStaged, core::FeaturizationMode::kFull);
+  config.hidden_dim = 12;
+  config.execution = core::ExecutionMode::kBatched;
+  core::Ensemble batched(config, 2);
+  config.execution = core::ExecutionMode::kPerNode;
+  core::Ensemble per_node(config, 2);
+
+  for (const auto& record : records) {
+    placement::ParallelismTunerConfig tuner_config;
+    tuner_config.max_rounds = 3;
+    tuner_config.num_threads = 1;
+    const auto reference = placement::TuneParallelism(
+        record.query, record.cluster, record.placement, per_node,
+        tuner_config);
+    for (int threads : {1, 4}) {
+      tuner_config.num_threads = threads;
+      const auto result = placement::TuneParallelism(
+          record.query, record.cluster, record.placement, batched,
+          tuner_config);
+      ASSERT_EQ(reference.parallelism, result.parallelism);
+      ASSERT_EQ(reference.predicted_initial, result.predicted_initial);
+      ASSERT_EQ(reference.predicted_tuned, result.predicted_tuned);
+      ASSERT_EQ(reference.changes, result.changes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace costream

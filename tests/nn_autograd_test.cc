@@ -87,11 +87,14 @@ TEST(AutogradTest, AddNSumsAll) {
   EXPECT_DOUBLE_EQ(tape.value(tape.AddN({a, b, c}))(0, 0), 6.0);
 }
 
-TEST(AutogradTest, AddNWithSingleInputIsIdentity) {
+TEST(AutogradTest, AddNWithSingleInputCopiesValue) {
   Tape tape;
   Var a = tape.Input(Matrix::Row({4.0}));
   Var s = tape.AddN({a});
-  EXPECT_EQ(s.index, a.index);
+  // A distinct node, so the gradient is delivered at the sum's tape
+  // position (matching SegmentSum), with a bitwise-identical value.
+  EXPECT_NE(s.index, a.index);
+  EXPECT_EQ(tape.value(s)(0, 0), 4.0);
 }
 
 TEST(AutogradTest, ReluClampsNegatives) {

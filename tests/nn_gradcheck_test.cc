@@ -119,6 +119,134 @@ TEST(GradCheckTest, ConcatCols) {
   });
 }
 
+TEST(GradCheckTest, RowGatherWithRepeatedRows) {
+  Parameter a = MakeParam(4, 3, 55);
+  // Row 2 is gathered twice: its gradient accumulates two contributions.
+  const std::vector<int> rows = {2, 0, 2, 1};
+  CheckGradients({&a}, [&](Tape& t) {
+    Var y = t.RowGather(t.Leaf(&a), rows);
+    return t.SumAll(t.Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, SegmentSumOverEdgeList) {
+  Parameter a = MakeParam(4, 2, 56);
+  // Three segments over a 4-row source; row 0 feeds two segments, and the
+  // multi-child segments exercise the copy-then-add forward path.
+  const std::vector<int> offsets = {0, 2, 3, 5};
+  const std::vector<int> children = {0, 2, 1, 3, 0};
+  CheckGradients({&a}, [&](Tape& t) {
+    Var y = t.SegmentSum(t.Leaf(&a), offsets, children);
+    return t.SumAll(t.Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, RowScatterSplitsGradients) {
+  Parameter base = MakeParam(4, 3, 57);
+  Parameter update = MakeParam(2, 3, 58);
+  // Rows 2 and 0 are replaced (update gradient), rows 1 and 3 pass through
+  // (base gradient); the replaced base rows must receive zero gradient.
+  const std::vector<int> rows = {2, 0};
+  CheckGradients({&base, &update}, [&](Tape& t) {
+    Var y = t.RowScatter(t.Leaf(&base), t.Leaf(&update), rows);
+    return t.SumAll(t.Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, SumRows) {
+  Parameter a = MakeParam(5, 3, 59);
+  CheckGradients({&a}, [&](Tape& t) {
+    Var y = t.SumRows(t.Leaf(&a));
+    return t.SumAll(t.Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, BatchedMessagePassingStage) {
+  // One full batched stage wired exactly like CostModel::ForwardBatched*:
+  // segment-sum of neighbour states, gather of own states, concat, a linear
+  // update, scatter back into the state matrix, then a readout row sum.
+  Parameter state = MakeParam(4, 2, 65);
+  Parameter weight = MakeParam(4, 2, 66);
+  const std::vector<int> offsets = {0, 2, 3};
+  const std::vector<int> children = {0, 1, 3};
+  const std::vector<int> rows = {1, 2};
+  CheckGradients({&state, &weight}, [&](Tape& t) {
+    Var s = t.Leaf(&state);
+    Var msg = t.SegmentSum(s, offsets, children);
+    Var own = t.RowGather(s, rows);
+    Var cat = t.ConcatCols(msg, own);
+    Var updated = t.MatMul(cat, t.Leaf(&weight));
+    Var next = t.RowScatter(s, updated, rows);
+    Var read = t.SumRows(next);
+    return t.SumAll(t.Mul(read, read));
+  });
+}
+
+TEST(GradCheckTest, FusedLinearNoActivation) {
+  Parameter x = MakeParam(4, 3, 71);
+  Parameter w = MakeParam(3, 5, 72);
+  Parameter b = MakeParam(1, 5, 73);
+  CheckGradients({&x, &w, &b}, [&](Tape& t) {
+    Var y = t.Linear(t.Leaf(&x), t.Leaf(&w), t.Leaf(&b), /*relu=*/false);
+    return t.SumAll(t.Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, FusedLinearWithRelu) {
+  Parameter x = MakeParam(4, 3, 74);
+  Parameter w = MakeParam(3, 5, 75);
+  Parameter b = MakeParam(1, 5, 76);
+  // Nudge the pre-activations away from the relu kink so the central
+  // difference never straddles it.
+  {
+    Tape t;
+    Var z = t.AddRow(t.MatMul(t.Leaf(&x), t.Leaf(&w)), t.Leaf(&b));
+    const Matrix& zv = t.value(z);
+    for (int r = 0; r < zv.rows(); ++r) {
+      for (int c = 0; c < zv.cols(); ++c) {
+        if (std::fabs(zv(r, c)) < 0.05) {
+          b.value(0, c) += zv(r, c) < 0.0 ? -0.1 : 0.1;
+        }
+      }
+    }
+  }
+  CheckGradients({&x, &w, &b}, [&](Tape& t) {
+    Var y = t.Linear(t.Leaf(&x), t.Leaf(&w), t.Leaf(&b), /*relu=*/true);
+    return t.SumAll(t.Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, FusedLinearMatchesUnfusedChainBitwise) {
+  // The fused op promises bitwise identity with MatMul + AddRow + Relu —
+  // values, and gradients of every operand — including a wide output that
+  // exercises both column-block widths and the scalar tail.
+  Parameter x = MakeParam(3, 7, 81);
+  Parameter w = MakeParam(7, 21, 82);
+  Parameter b = MakeParam(1, 21, 83);
+  const auto run = [&](bool fused) {
+    Tape t;
+    Var y = fused ? t.Linear(t.Leaf(&x), t.Leaf(&w), t.Leaf(&b), true)
+                  : t.Relu(t.AddRow(t.MatMul(t.Leaf(&x), t.Leaf(&w)),
+                                    t.Leaf(&b)));
+    Var loss = t.SumAll(t.Mul(y, y));
+    for (Parameter* p : {&x, &w, &b}) p->ZeroGrad();
+    t.Backward(loss);
+    std::vector<double> out;
+    const Matrix& yv = t.value(y);
+    out.insert(out.end(), yv.data(), yv.data() + yv.size());
+    for (Parameter* p : {&x, &w, &b}) {
+      out.insert(out.end(), p->grad.data(), p->grad.data() + p->grad.size());
+    }
+    return out;
+  };
+  const std::vector<double> fused = run(true);
+  const std::vector<double> unfused = run(false);
+  ASSERT_EQ(fused.size(), unfused.size());
+  for (size_t i = 0; i < fused.size(); ++i) {
+    ASSERT_EQ(fused[i], unfused[i]) << "entry " << i;
+  }
+}
+
 TEST(GradCheckTest, ReluAwayFromKink) {
   // Entries of MakeParam(…, 61) are bounded away from 0 by more than kStep,
   // so the finite difference never straddles the kink.
