@@ -24,11 +24,39 @@ run_suite build-ci -DCMAKE_BUILD_TYPE=Release
 echo "=== Release bench smoke (BENCH_micro.json) ==="
 # A short run of the hot-path benchmarks; set -e fails CI on any crash. The
 # JSON lands in the repo root for machine-readable before/after comparisons.
-./build-ci/bench/bench_micro \
+# Metrics are explicitly enabled so the spliced "metrics" section reflects a
+# fully instrumented run.
+COSTREAM_METRICS=1 ./build-ci/bench/bench_micro \
   --benchmark_filter='BM_GnnInference|BM_GnnTrainStep|BM_ParallelCandidateScoring|BM_BuildJointGraph' \
   --benchmark_min_time=0.05 \
   --benchmark_out=BENCH_micro.json --benchmark_out_format=json
 test -s BENCH_micro.json
+
+echo "=== Metrics export gate ==="
+# bench_micro splices a "metrics" section (registry export + overhead numbers)
+# into BENCH_micro.json. Fail CI if the file is not valid JSON, the section is
+# missing, or the scorer's encode-cache hit rate fell below the recorded
+# baseline. The on/off overhead is printed for before/after visibility but not
+# gated (it is noisy on shared CI machines; budget is <= 2%).
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_micro.json") as f:
+    report = json.load(f)  # raises on invalid JSON -> CI failure
+metrics = report.get("metrics")
+if metrics is None:
+    sys.exit("BENCH_micro.json is missing the spliced 'metrics' section")
+with open("scripts/metrics_baseline.json") as f:
+    baseline = json.load(f)
+hit_rate = metrics["encode_cache_hit_rate"]
+floor = baseline["min_encode_cache_hit_rate"]
+print(f"encode-cache hit rate: {hit_rate:.4f} (floor {floor})")
+print(f"metrics overhead: {metrics['overhead_pct']:.2f}% "
+      f"(enabled {metrics['scoring_candidates_per_s_enabled']:.0f} cand/s, "
+      f"disabled {metrics['scoring_candidates_per_s_disabled']:.0f} cand/s)")
+if hit_rate < floor:
+    sys.exit(f"encode-cache hit rate {hit_rate:.4f} below baseline {floor}")
+EOF
 
 echo "=== ThreadSanitizer build + tier-1 tests ==="
 run_suite build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOSTREAM_SANITIZE=thread

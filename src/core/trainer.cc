@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "nn/random.h"
+#include "obs/metrics.h"
 
 namespace costream::core {
 
@@ -30,6 +31,19 @@ nn::Var SampleLoss(const CostModel& model, nn::Tape& tape,
   nn::Var loss = tape.BceWithLogitsLoss(out, sample.label ? 1.0 : 0.0);
   const double w = sample.label ? weights.positive : weights.negative;
   return w == 1.0 ? loss : tape.Scale(loss, w);
+}
+
+// L2 norm over every parameter gradient. Only called while metrics are
+// enabled, on the accumulated gradients of an epoch's final batch (after the
+// sinks flushed, before Adam::Step clears them).
+double GradientNorm(const std::vector<nn::Parameter*>& params) {
+  double sum_sq = 0.0;
+  for (const nn::Parameter* p : params) {
+    const double* g = p->grad.data();
+    const size_t n = static_cast<size_t>(p->grad.rows()) * p->grad.cols();
+    for (size_t i = 0; i < n; ++i) sum_sq += g[i] * g[i];
+  }
+  return std::sqrt(sum_sq);
 }
 
 ClassWeights ComputeClassWeights(const CostModel& model,
@@ -117,7 +131,19 @@ TrainResult TrainModel(CostModel& model, const std::vector<TrainSample>& train,
   std::vector<Slot> slots(batch_size);
   for (Slot& slot : slots) slot.sink.Reset(model.parameters());
 
+  static obs::Counter& metric_epochs = obs::GetCounter("core.train.epochs");
+  static obs::Counter& metric_samples = obs::GetCounter("core.train.samples");
+  static obs::Histogram& metric_epoch_us =
+      obs::GetHistogram("core.train.epoch_us");
+  static obs::Gauge& metric_train_loss =
+      obs::GetGauge("core.train.last_train_loss");
+  static obs::Gauge& metric_val_loss =
+      obs::GetGauge("core.train.last_val_loss");
+  static obs::Gauge& metric_grad_norm =
+      obs::GetGauge("core.train.last_grad_norm");
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(metric_epoch_us);
     rng.Shuffle(order);
     double epoch_loss = 0.0;
     for (size_t start = 0; start < order.size();
@@ -140,14 +166,24 @@ TrainResult TrainModel(CostModel& model, const std::vector<TrainSample>& train,
         epoch_loss += slots[j].loss;
         slots[j].sink.FlushToParams();
       }
+      // Adam::Step clears the gradients, so the norm (of the epoch's final
+      // batch only, to bound the cost) must be read here.
+      if (start + static_cast<size_t>(config.batch_size) >= order.size() &&
+          obs::Enabled()) {
+        metric_grad_norm.Set(GradientNorm(model.parameters()));
+      }
       adam.Step();
+      metric_samples.Add(static_cast<uint64_t>(in_batch));
     }
+    metric_epochs.Increment();
     epoch_loss /= train.size();
     result.train_losses.push_back(epoch_loss);
+    metric_train_loss.Set(epoch_loss);
 
     const double val_loss =
         val.empty() ? epoch_loss : WeightedLoss(model, val, weights, pool);
     result.val_losses.push_back(val_loss);
+    metric_val_loss.Set(val_loss);
     if (val_loss < result.best_val_loss) {
       result.best_val_loss = val_loss;
       result.best_epoch = epoch;

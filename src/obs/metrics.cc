@@ -1,0 +1,320 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace costream::obs {
+
+namespace {
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("COSTREAM_METRICS");
+    return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+  }();
+  return enabled;
+}
+
+// Atomic fetch-add for doubles (C++20 only guarantees it for
+// integral/floating on some platforms; a CAS loop is portable). Shards keep
+// the loop essentially contention-free.
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < v && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+int BucketOf(double v) {
+  if (!(v > 1.0)) return 0;  // handles v <= 1 and NaN
+  const int b = static_cast<int>(std::ceil(std::log2(v)));
+  return std::clamp(b, 0, Histogram::kBuckets - 1);
+}
+
+double BucketUpperBound(int bucket) {
+  return std::ldexp(1.0, bucket);  // 2^bucket; bucket 0 -> 1.0
+}
+
+// Prints a double as JSON-safe text (no inf/nan; shortest round-trip is not
+// needed — 17 digits keeps exports diffable and exact).
+void AppendNumber(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "0";
+    return;
+  }
+  os.precision(17);
+  os << v;
+}
+
+std::string SanitizePrometheusName(std::string_view name) {
+  std::string out = "costream_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Enabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+int ThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const int shard = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) % kShards);
+  return shard;
+}
+
+}  // namespace internal
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::SetMax(double v) {
+  if (!Enabled()) return;
+  AtomicMax(value_, v);
+  set_.store(true, std::memory_order_relaxed);
+}
+
+void Gauge::Reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  set_.store(false, std::memory_order_relaxed);
+}
+
+void Histogram::Record(double v) {
+  if (!Enabled()) return;
+  if (!(v >= 0.0)) v = 0.0;  // clamp negatives and NaN
+  Shard& shard = shards_[internal::ThreadShard()];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(shard.sum, v);
+  AtomicMax(shard.max, v);
+  shard.buckets[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Max() const {
+  double m = 0.0;
+  for (const auto& s : shards_) {
+    m = std::max(m, s.max.load(std::memory_order_relaxed));
+  }
+  return m;
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t total = 0;
+  std::array<uint64_t, kBuckets> merged{};
+  for (const auto& s : shards_) {
+    for (int b = 0; b < kBuckets; ++b) {
+      merged[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += merged[b];
+    if (seen >= rank) return std::min(BucketUpperBound(b), Max());
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.max.store(0.0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map keeps export order deterministic; unique_ptr keeps handles
+  // stable across rehash-free inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::Default() {
+  // Leaked singleton: call sites cache handles in function-local statics
+  // whose lifetime must never outlast the registry.
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->Reset();
+  for (auto& [name, g] : impl_->gauges) g->Reset();
+  for (auto& [name, h] : impl_->histograms) h->Reset();
+}
+
+std::string Registry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << name << "\": " << c->Value();
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << name << "\": ";
+    AppendNumber(os, g->Value());
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << name << "\": {\"count\": " << h->Count() << ", \"sum\": ";
+    AppendNumber(os, h->Sum());
+    os << ", \"mean\": ";
+    AppendNumber(os, h->Mean());
+    os << ", \"p50\": ";
+    AppendNumber(os, h->Quantile(0.5));
+    os << ", \"p95\": ";
+    AppendNumber(os, h->Quantile(0.95));
+    os << ", \"max\": ";
+    AppendNumber(os, h->Max());
+    os << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string Registry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [name, c] : impl_->counters) {
+    const std::string prom = SanitizePrometheusName(name);
+    os << "# TYPE " << prom << " counter\n"
+       << prom << ' ' << c->Value() << '\n';
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    const std::string prom = SanitizePrometheusName(name);
+    os << "# TYPE " << prom << " gauge\n" << prom << ' ' << g->Value() << '\n';
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    const std::string prom = SanitizePrometheusName(name);
+    os << "# TYPE " << prom << " summary\n";
+    os << prom << "{quantile=\"0.5\"} " << h->Quantile(0.5) << '\n';
+    os << prom << "{quantile=\"0.95\"} " << h->Quantile(0.95) << '\n';
+    os << prom << "_sum " << h->Sum() << '\n';
+    os << prom << "_count " << h->Count() << '\n';
+  }
+  return os.str();
+}
+
+Counter& GetCounter(std::string_view name) {
+  return Registry::Default().GetCounter(name);
+}
+
+Gauge& GetGauge(std::string_view name) {
+  return Registry::Default().GetGauge(name);
+}
+
+Histogram& GetHistogram(std::string_view name) {
+  return Registry::Default().GetHistogram(name);
+}
+
+}  // namespace costream::obs

@@ -1,0 +1,179 @@
+#ifndef COSTREAM_OBS_METRICS_H_
+#define COSTREAM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace costream::obs {
+
+// Process-wide observability layer: counters, gauges and histograms in a
+// named registry, plus scoped timers and JSON / Prometheus-text exporters.
+//
+// Design constraints (see DESIGN.md, "Observability"):
+//  * Hot paths (candidate scoring, fluid evaluation, DES event loop) may
+//    record metrics per iteration, so every write is a relaxed atomic on a
+//    per-thread shard — no locks, no allocation, no contended cache line.
+//  * When disabled (SetEnabled(false) or COSTREAM_METRICS=0 in the
+//    environment) every record call is a relaxed load + branch, and scoped
+//    timers skip the clock reads entirely.
+//  * Handles returned by the registry stay valid for the process lifetime,
+//    so call sites cache them in function-local statics; ResetValues() zeroes
+//    values without invalidating handles (tests isolate through it).
+//
+// Export formats are deterministic (names sorted), so two runs of the same
+// workload produce diffable metric sections.
+
+// Global on/off switch. Defaults to on unless the environment sets
+// COSTREAM_METRICS=0 at process start.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+namespace internal {
+
+// Number of write shards per metric. Threads hash to a shard via a
+// thread-local slot id; more threads than shards share shards (still
+// correct, just contended). Power of two.
+inline constexpr int kShards = 16;
+
+// Dense per-thread shard index in [0, kShards).
+int ThreadShard();
+
+struct alignas(64) CounterShard {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!Enabled()) return;
+    shards_[internal::ThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  std::array<internal::CounterShard, internal::kShards> shards_;
+};
+
+// Last-written (or maximum) scalar value. Writes are rare (per epoch, per
+// run), so a single atomic double suffices.
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+    set_.store(true, std::memory_order_relaxed);
+  }
+  // Raises the gauge to `v` if larger (peak tracking).
+  void SetMax(double v);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  bool WasSet() const { return set_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<bool> set_{false};
+};
+
+// Log2-bucketed distribution of non-negative samples. Bucket i holds samples
+// in (2^(i-1), 2^i] (bucket 0: [0, 1]), which spans [1, 2^38] ~ 10^11 with
+// 40 buckets — enough for microsecond timings of anything from a cache hit
+// to a multi-hour run. Percentiles are bucket upper bounds (factor-of-two
+// resolution): coarse, but stable and allocation-free.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void Record(double v);
+
+  uint64_t Count() const;
+  double Sum() const;
+  double Mean() const;
+  double Max() const;
+  // q in [0, 1]; returns an upper bound of the value at that quantile
+  // (clamped to the observed max). 0 when empty.
+  double Quantile(double q) const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+  };
+  std::array<Shard, internal::kShards> shards_;
+};
+
+// Named metric registry. Get* registers on first use and returns a handle
+// that stays valid for the process lifetime; lookups take a mutex, so call
+// sites on hot paths cache the handle (function-local static).
+class Registry {
+ public:
+  static Registry& Default();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  // Zeroes every value; handles stay valid. Tests call this to isolate.
+  void ResetValues();
+
+  // One JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {count, sum, mean, p50, p95, max}}}. Names sorted.
+  std::string ExportJson() const;
+
+  // Prometheus text exposition: counters/gauges as-is, histograms as
+  // _count/_sum plus quantile gauges. Metric names are prefixed with
+  // "costream_" and sanitized ('.', '-' -> '_').
+  std::string ExportPrometheus() const;
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// Convenience accessors on the default registry.
+Counter& GetCounter(std::string_view name);
+Gauge& GetGauge(std::string_view name);
+Histogram& GetHistogram(std::string_view name);
+
+// RAII phase timer: records the elapsed wall time in microseconds into a
+// histogram on destruction. When metrics are disabled at construction time
+// the clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) : h_(Enabled() ? &h : nullptr) {
+    if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (h_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    h_->Record(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace costream::obs
+
+#endif  // COSTREAM_OBS_METRICS_H_

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "placement/scorer.h"
 
 namespace costream::placement {
@@ -36,6 +37,17 @@ OptimizerResult PlacementOptimizer::Optimize(const dsps::QueryGraph& query,
                                              const OptimizerConfig& config) const {
   COSTREAM_CHECK(sim::IsRegressionMetric(config.target));
   const bool maximize = config.target == sim::Metric::kThroughput;
+
+  static obs::Counter& metric_calls =
+      obs::GetCounter("placement.optimizer.calls");
+  static obs::Counter& metric_candidates =
+      obs::GetCounter("placement.optimizer.candidates");
+  static obs::Counter& metric_filtered =
+      obs::GetCounter("placement.optimizer.filtered");
+  static obs::Histogram& metric_optimize_us =
+      obs::GetHistogram("placement.optimizer.optimize_us");
+  metric_calls.Increment();
+  obs::ScopedTimer optimize_timer(metric_optimize_us);
 
   const std::vector<sim::Placement> candidates =
       EnumerateCandidates(query, cluster, config.enumeration);
@@ -91,6 +103,9 @@ OptimizerResult PlacementOptimizer::Optimize(const dsps::QueryGraph& query,
       best_feasible_placement = &candidate;
     }
   }
+
+  metric_candidates.Add(static_cast<uint64_t>(candidates.size()));
+  metric_filtered.Add(static_cast<uint64_t>(result.candidates_filtered));
 
   if (best_feasible_placement != nullptr) {
     result.any_feasible = true;

@@ -3,8 +3,18 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace costream::placement {
+
+namespace {
+
+obs::Counter& PlanRebuildCounter() {
+  static obs::Counter& c = obs::GetCounter("placement.scorer.plan_rebuilds");
+  return c;
+}
+
+}  // namespace
 
 PlacementScorer::PlacementScorer(const dsps::QueryGraph& query,
                                  const sim::Cluster& cluster,
@@ -92,6 +102,7 @@ void PlacementScorer::Bind(Workspace& ws, int slot,
   if (cache.mode == core::FeaturizationMode::kOperatorsOnly) {
     // No host tail: the graph (and thus the plan) is placement-independent.
     if (cache.wants_plan && !ws.plans[slot].ready) {
+      PlanRebuildCounter().Increment();
       cache.planner->member(0).BuildForwardPlan(ws.graphs[slot],
                                                 ws.plans[slot]);
     }
@@ -134,6 +145,7 @@ void PlacementScorer::Bind(Workspace& ws, int slot,
   // Re-derive the batched execution plan once for this candidate; every
   // ensemble member forward of this slot then runs plan-free of derivation.
   if (cache.wants_plan) {
+    PlanRebuildCounter().Increment();
     cache.planner->member(0).BuildForwardPlan(g, ws.plans[slot]);
   }
 }
@@ -147,6 +159,16 @@ const std::vector<nn::Matrix>* PlacementScorer::AssembleEncodings(
   const core::Ensemble& ensemble = *owner.ensemble;
   const int members = ensemble.size();
   const int h = ensemble.member(0).config().hidden_dim;
+
+  static obs::Counter& metric_hits =
+      obs::GetCounter("placement.scorer.encode_cache_hits");
+  static obs::Counter& metric_misses =
+      obs::GetCounter("placement.scorer.encode_cache_misses");
+  if (cache.ops_ready) {
+    metric_hits.Increment();
+  } else {
+    metric_misses.Increment();
+  }
 
   if (!cache.ops_ready) {
     // Encode every operator once, batched by kind (each kind has its own
@@ -228,6 +250,9 @@ double PlacementScorer::PredictTarget(Workspace& ws,
 
 PlacementScorer::CandidateScore PlacementScorer::Score(
     Workspace& ws, const sim::Placement& placement) const {
+  static obs::Counter& metric_candidates =
+      obs::GetCounter("placement.scorer.candidates");
+  metric_candidates.Increment();
   // Each distinct mode is bound once; slots are deduplicated, so ensembles
   // sharing a featurization mode share the working graph.
   for (int slot = 0; slot < static_cast<int>(modes_.size()); ++slot) {

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "nn/random.h"
+#include "obs/metrics.h"
 #include "sim/cost_model.h"
 #include "sim/data_generator.h"
 #include "sim/tuple.h"
@@ -147,6 +148,7 @@ class DesEngine {
   double sink_lp_sum_ = 0.0;
   double sink_le_sum_ = 0.0;
   bool crashed_ = false;
+  size_t peak_queue_len_ = 0;
 };
 
 // Returns the window spec governing a windowed operator's input `up` (which
@@ -342,6 +344,16 @@ DesReport DesEngine::Run() {
   }
   m.backpressure = report.backpressure_rate > 0.02 * produce_rate;
   m.success = !crashed_ && sink_count_ > 0;
+
+  static obs::Counter& metric_runs = obs::GetCounter("sim.des.runs");
+  static obs::Counter& metric_events = obs::GetCounter("sim.des.events");
+  static obs::Counter& metric_crashes = obs::GetCounter("sim.des.crashes");
+  static obs::Gauge& metric_queue_peak =
+      obs::GetGauge("sim.des.queue_peak_tuples");
+  metric_runs.Increment();
+  metric_events.Add(processed);
+  if (crashed_) metric_crashes.Increment();
+  metric_queue_peak.SetMax(static_cast<double>(peak_queue_len_));
   return report;
 }
 
@@ -349,6 +361,7 @@ void DesEngine::Enqueue(int node_id, Work work, double now) {
   NodeRuntime& node = nodes_[node_id];
   if (!work.window_close) node.queue_bytes += work.tuple.bytes;
   node.queue.push_back(std::move(work));
+  peak_queue_len_ = std::max(peak_queue_len_, node.queue.size());
   TouchPeak(node_id);
   // Crash on memory exhaustion (GC death spiral in the paper's terms).
   if (NodeMemoryMb(node_id) > CrashMemoryMb(cluster_.nodes[node_id].ram_mb)) {

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "nn/random.h"
+#include "obs/metrics.h"
 #include "sim/cost_model.h"
 
 namespace costream::sim {
@@ -219,6 +220,13 @@ FluidReport EvaluateFluid(const QueryGraph& query, const Cluster& cluster,
   COSTREAM_CHECK_MSG(query.Validate().empty(), query.Validate().c_str());
   COSTREAM_CHECK_MSG(ValidatePlacement(query, cluster, placement).empty(),
                      "invalid placement");
+  static obs::Counter& metric_evals = obs::GetCounter("sim.fluid.evaluations");
+  static obs::Counter& metric_bisect_iters =
+      obs::GetCounter("sim.fluid.bisection_iterations");
+  static obs::Counter& metric_backpressure =
+      obs::GetCounter("sim.fluid.backpressure");
+  static obs::Counter& metric_crashes = obs::GetCounter("sim.fluid.crashes");
+  metric_evals.Increment();
 
   const std::vector<int> topo = query.TopologicalOrder();
 
@@ -236,9 +244,11 @@ FluidReport EvaluateFluid(const QueryGraph& query, const Cluster& cluster,
   // fraction of the nominal rates whose bottleneck utilization is <= 1).
   double scale = 1.0;
   if (backpressure) {
+    metric_backpressure.Increment();
     double lo = 0.0;
     double hi = 1.0;
     for (int iter = 0; iter < 40; ++iter) {
+      metric_bisect_iters.Increment();
       const double mid = 0.5 * (lo + hi);
       const std::vector<OpFlow> flows =
           ComputeFlows(query, topo, std::max(mid, 1e-9));
@@ -275,36 +285,50 @@ FluidReport EvaluateFluid(const QueryGraph& query, const Cluster& cluster,
     // sources; sustained backpressure can therefore exhaust memory and
     // crash the query (paper Section I: full internal queues lead to delays
     // "and even query crashes"). The backlog accrues over the run, bounded
-    // by the consumer's in-flight window.
+    // by the consumer's in-flight window. Sources sharing a node pool their
+    // backlog, so accumulate per node before re-evaluating.
+    std::vector<double> backlog_mb(cluster.num_nodes(), 0.0);
     for (int src : query.Sources()) {
       const double surplus_rate =
           query.op(src).input_event_rate * (1.0 - scale);
       const double backlog_tuples =
           std::min(surplus_rate * config.duration_s, 2e6);
-      const double backlog_mb = backlog_tuples * flows[src].out_bytes * 0.25 /
-                                (1024.0 * 1024.0);
-      NodeStats& s = report.node_stats[placement[src]];
-      s.memory_mb += backlog_mb;
-      const double ram = cluster.nodes[placement[src]].ram_mb;
+      backlog_mb[placement[src]] +=
+          backlog_tuples * flows[src].out_bytes * 0.25 / (1024.0 * 1024.0);
+    }
+    // Re-evaluate each affected node once. One pass reaches the exact fixed
+    // point: the backlog size depends only on the bisected source scale and
+    // the run duration, never on gc_factor, so the chain backlog -> memory ->
+    // GC slowdown -> cpu_utilization has no cycle. The cpu load itself is
+    // unchanged, so utilization scales by the gc_factor ratio.
+    for (int n = 0; n < cluster.num_nodes(); ++n) {
+      if (backlog_mb[n] <= 0.0) continue;
+      NodeStats& s = report.node_stats[n];
+      const double old_gc = s.gc_factor;
+      s.memory_mb += backlog_mb[n];
+      const double ram = cluster.nodes[n].ram_mb;
       s.gc_factor = GcSlowdown(s.memory_mb, ram);
       s.crashed = s.crashed || s.memory_mb > CrashMemoryMb(ram);
+      s.cpu_utilization *= s.gc_factor / std::max(old_gc, 1e-12);
     }
   }
 
   // Latency DP along the data flow (Definition 2: time from the oldest
   // contributing input tuple's ingestion to the output's arrival at the
   // sink).
+  // Reads report.node_stats (not eval.stats) so service times on nodes that
+  // absorbed backpressure backlog see the raised GC slowdown.
   std::vector<double> latency_ms(query.num_operators(), 0.0);
   for (int id : topo) {
     const int node = placement[id];
-    const NodeStats& ns = eval.stats[node];
+    const NodeStats& ns = report.node_stats[node];
     const HardwareNode& hw = cluster.nodes[node];
     double arrival = 0.0;
     for (int up : query.Upstream(id)) {
       double edge_ms = 0.0;
       const int up_node = placement[up];
       if (up_node != node) {
-        const NodeStats& up_stats = eval.stats[up_node];
+        const NodeStats& up_stats = report.node_stats[up_node];
         const HardwareNode& up_hw = cluster.nodes[up_node];
         const double transfer_ms =
             flows[up].out_bytes * 8.0 /
@@ -342,6 +366,7 @@ FluidReport EvaluateFluid(const QueryGraph& query, const Cluster& cluster,
 
   bool crashed = false;
   for (const NodeStats& s : report.node_stats) crashed = crashed || s.crashed;
+  if (crashed) metric_crashes.Increment();
   const double expected_outputs = m.throughput * config.duration_s;
   m.success = !crashed && expected_outputs >= 1.0 &&
               m.processing_latency_ms <= config.duration_s * 1000.0;
@@ -351,12 +376,19 @@ FluidReport EvaluateFluid(const QueryGraph& query, const Cluster& cluster,
   }
 
   report.metrics = m;
-  if (config.noise_sigma > 0.0) {
+  // Crashed queries carry exact capped labels (zero throughput, latency
+  // pinned to the run duration); noising them would contradict the caps.
+  if (config.noise_sigma > 0.0 && !crashed) {
     nn::Rng rng(config.noise_seed);
-    report.metrics.throughput *= rng.LogNormalFactor(config.noise_sigma);
-    report.metrics.processing_latency_ms *=
-        rng.LogNormalFactor(config.noise_sigma);
-    report.metrics.e2e_latency_ms *= rng.LogNormalFactor(config.noise_sigma);
+    CostMetrics& noisy = report.metrics;
+    noisy.throughput *= rng.LogNormalFactor(config.noise_sigma);
+    noisy.processing_latency_ms *= rng.LogNormalFactor(config.noise_sigma);
+    noisy.e2e_latency_ms *= rng.LogNormalFactor(config.noise_sigma);
+    // The success bit was decided against the noiseless metrics; recompute it
+    // so success == 1 still implies the reported latency is under the run cap
+    // after noise.
+    noisy.success = noisy.throughput * config.duration_s >= 1.0 &&
+                    noisy.processing_latency_ms <= config.duration_s * 1000.0;
   }
   return report;
 }

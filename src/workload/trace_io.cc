@@ -1,10 +1,15 @@
 #include "workload/trace_io.h"
 
+#include <cerrno>
+#include <charconv>
 #include <cinttypes>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <type_traits>
 
 #include "common/check.h"
 
@@ -51,14 +56,33 @@ bool ConsumeKey(std::istringstream& is, const char* key, std::string* value) {
   return true;
 }
 
+// Parses the whole value token into T; rejects trailing garbage ("3x"),
+// fractional text for integral fields ("3.7"), and out-of-range values.
+// Integral fields go through int64_t rather than double so values above
+// 2^53 are not silently rounded.
 template <typename T>
 bool ConsumeNumeric(std::istringstream& is, const char* key, T* out) {
   std::string value;
   if (!ConsumeKey(is, key, &value)) return false;
-  std::istringstream vs(value);
-  double parsed = 0.0;
-  if (!(vs >> parsed)) return false;
-  *out = static_cast<T>(parsed);
+  if (value.empty()) return false;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  if constexpr (std::is_integral_v<T>) {
+    int64_t parsed = 0;
+    const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+    if (ec != std::errc() || ptr != end) return false;
+    if (parsed < static_cast<int64_t>(std::numeric_limits<T>::min()) ||
+        parsed > static_cast<int64_t>(std::numeric_limits<T>::max())) {
+      return false;
+    }
+    *out = static_cast<T>(parsed);
+  } else {
+    errno = 0;
+    char* parse_end = nullptr;
+    const double parsed = std::strtod(begin, &parse_end);
+    if (parse_end != end || errno == ERANGE) return false;
+    *out = static_cast<T>(parsed);
+  }
   return true;
 }
 

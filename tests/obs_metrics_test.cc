@@ -1,0 +1,199 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace costream::obs {
+namespace {
+
+// Every test starts from zeroed values and metrics enabled; handles obtained
+// before a reset stay valid afterwards (the registry never destroys metrics).
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Registry::Default().ResetValues();
+  }
+  void TearDown() override {
+    SetEnabled(true);
+    Registry::Default().ResetValues();
+  }
+};
+
+TEST_F(MetricsTest, CounterCountsExactlyAcrossThreads) {
+  Counter& c = GetCounter("test.counter.mt");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, CounterAddAndReset) {
+  Counter& c = GetCounter("test.counter.add");
+  c.Add(5);
+  c.Add(7);
+  EXPECT_EQ(c.Value(), 12u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST_F(MetricsTest, SameNameReturnsSameHandle) {
+  Counter& a = GetCounter("test.counter.same");
+  Counter& b = GetCounter("test.counter.same");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+  Gauge& g1 = GetGauge("test.gauge.same");
+  Gauge& g2 = GetGauge("test.gauge.same");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = GetHistogram("test.hist.same");
+  Histogram& h2 = GetHistogram("test.hist.same");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST_F(MetricsTest, GaugeSetAndSetMax) {
+  Gauge& g = GetGauge("test.gauge.basic");
+  EXPECT_FALSE(g.WasSet());
+  g.Set(2.5);
+  EXPECT_TRUE(g.WasSet());
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Set(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.0);
+  g.SetMax(3.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.0);
+  g.SetMax(1.0);  // lower value must not win
+  EXPECT_DOUBLE_EQ(g.Value(), 3.0);
+  g.Reset();
+  EXPECT_FALSE(g.WasSet());
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramAggregates) {
+  Histogram& h = GetHistogram("test.hist.basic");
+  h.Record(1.0);
+  h.Record(3.0);
+  h.Record(100.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 104.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 104.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+  // Quantiles are log2-bucket upper bounds clamped to the observed max:
+  // p50 falls in bucket (2,4] -> 4; p100 clamps to 100.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramExactSumAcrossThreads) {
+  Histogram& h = GetHistogram("test.hist.mt");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  common::ThreadPool pool(kThreads);
+  pool.ParallelFor(kThreads * kPerThread, [&](int i) {
+    h.Record(2.0);
+    (void)i;
+  });
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.Sum(), 2.0 * kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.Max(), 2.0);
+}
+
+TEST_F(MetricsTest, DisabledRecordsNothing) {
+  Counter& c = GetCounter("test.counter.disabled");
+  Gauge& g = GetGauge("test.gauge.disabled");
+  Histogram& h = GetHistogram("test.hist.disabled");
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  c.Add(10);
+  g.Set(1.0);
+  g.SetMax(2.0);
+  h.Record(5.0);
+  {
+    ScopedTimer timer(h);
+  }
+  SetEnabled(true);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_FALSE(g.WasSet());
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsMicroseconds) {
+  Histogram& h = GetHistogram("test.hist.timer");
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_GE(h.Sum(), 0.0);
+  // A no-op scope takes far less than a second.
+  EXPECT_LT(h.Sum(), 1e6);
+}
+
+TEST_F(MetricsTest, ResetValuesKeepsHandlesValid) {
+  Counter& c = GetCounter("test.counter.reset");
+  c.Add(42);
+  Registry::Default().ResetValues();
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add(1);
+  EXPECT_EQ(c.Value(), 1u);
+  EXPECT_EQ(&c, &GetCounter("test.counter.reset"));
+}
+
+TEST_F(MetricsTest, ExportJsonContainsMetrics) {
+  GetCounter("test.export.counter").Add(7);
+  GetGauge("test.export.gauge").Set(1.5);
+  Histogram& h = GetHistogram("test.export.hist");
+  h.Record(10.0);
+  h.Record(20.0);
+  const std::string json = Registry::Default().ExportJson();
+  EXPECT_NE(json.find("\"test.export.counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.export.gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.export.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 30"), std::string::npos);
+  // Structurally a single JSON object.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(MetricsTest, ExportJsonIsDeterministic) {
+  GetCounter("test.det.b").Add(2);
+  GetCounter("test.det.a").Add(1);
+  const std::string first = Registry::Default().ExportJson();
+  const std::string second = Registry::Default().ExportJson();
+  EXPECT_EQ(first, second);
+  // Sorted name order regardless of registration order.
+  EXPECT_LT(first.find("test.det.a"), first.find("test.det.b"));
+}
+
+TEST_F(MetricsTest, ExportPrometheusSanitizesNames) {
+  GetCounter("test.prom.counter").Add(3);
+  GetGauge("test.prom.gauge").Set(4.0);
+  GetHistogram("test.prom.hist").Record(2.0);
+  const std::string text = Registry::Default().ExportPrometheus();
+  EXPECT_NE(text.find("costream_test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE costream_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("costream_test_prom_gauge 4"), std::string::npos);
+  EXPECT_NE(text.find("costream_test_prom_hist_count 1"), std::string::npos);
+  // No unsanitized dots survive in metric names.
+  EXPECT_EQ(text.find("test.prom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace costream::obs

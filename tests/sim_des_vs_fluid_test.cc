@@ -252,5 +252,66 @@ TEST(DesVsFluidTest, RandomizedWorkloadSweepAgrees) {
       << label_agreements << " of " << label_checked << " label agreements";
 }
 
+// Property sweep pinned to the backpressure boundary: the rate is calibrated
+// so the fluid bottleneck utilization lands on targets in [0.9, 1.1], and the
+// two engines must agree on the backpressure and success bits — exactly
+// outside a ±5% deadband around saturation, by majority inside it (a finite
+// DES run legitimately flips within sampling noise of the boundary).
+TEST(DesVsFluidTest, BackpressureBoundarySweep) {
+  // cpu_pct <= 100 keeps the capacity models identical: both engines then
+  // serialize the whole chain onto (cpu_pct/100) of a core, so utilization is
+  // linear in the source rate and one probe pins the slope.
+  struct Combo {
+    double sel;
+    double cpu;
+  };
+  const Combo combos[] = {{1.0, 50.0}, {0.5, 50.0}};
+
+  int deadband_checked = 0;
+  int deadband_agree = 0;
+  for (const Combo& combo : combos) {
+    FluidConfig fc;
+    fc.noise_sigma = 0.0;
+    Scenario probe = FilterScenario(1000.0, combo.sel, combo.cpu);
+    const double u0 =
+        EvaluateFluid(probe.query, probe.cluster, probe.placement, fc)
+            .bottleneck_utilization;
+    ASSERT_GT(u0, 0.0);
+
+    for (int step = 0; step <= 10; ++step) {
+      const double target = 0.9 + 0.02 * step;
+      const double rate = 1000.0 * target / u0;
+      SCOPED_TRACE("sel " + std::to_string(combo.sel) + " target " +
+                   std::to_string(target));
+      Scenario s = FilterScenario(rate, combo.sel, combo.cpu);
+      const FluidReport fluid =
+          EvaluateFluid(s.query, s.cluster, s.placement, fc);
+      EXPECT_NEAR(fluid.bottleneck_utilization, target, 0.01);
+
+      DesConfig dc;
+      dc.duration_s = 20.0;
+      dc.seed = 7000 + static_cast<uint64_t>(step);
+      const DesReport des = RunDes(s.query, s.cluster, s.placement, dc);
+
+      // A stateless filter chain never crashes and always delivers output:
+      // the success bit must agree on every case, boundary included.
+      EXPECT_EQ(fluid.metrics.success, des.metrics.success);
+
+      const bool agree =
+          fluid.metrics.backpressure == des.metrics.backpressure;
+      if (target <= 0.95 || target >= 1.05) {
+        EXPECT_TRUE(agree)
+            << "fluid bp " << fluid.metrics.backpressure << " des bp "
+            << des.metrics.backpressure;
+      } else {
+        ++deadband_checked;
+        if (agree) ++deadband_agree;
+      }
+    }
+  }
+  // Inside the deadband individual flips are expected but not the norm.
+  EXPECT_GE(deadband_agree * 2, deadband_checked);
+}
+
 }  // namespace
 }  // namespace costream::sim

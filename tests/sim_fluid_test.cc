@@ -318,5 +318,121 @@ TEST(FluidEngineTest, ExtraHopNeverFaster) {
   EXPECT_GE(two_hops, one_hop);
 }
 
+// Regression (label noise vs. success bit): a query whose noiseless latency
+// sits just under the duration cap. Log-normal noise pushes some seeds past
+// the cap; the success bit must flip with them, or labels contradict the
+// invariant success == 1 => processing_latency_ms <= duration_s * 1000.
+TEST(FluidEngineTest, SuccessImpliesLatencyUnderCapUnderNoise) {
+  QueryBuilder b;
+  auto s = b.Source(100.0, {DataType::kInt});
+  dsps::WindowSpec w;
+  w.policy = dsps::WindowPolicy::kTimeBased;
+  w.type = dsps::WindowType::kSliding;
+  w.size = 300.0;   // window wait ~(300+150)/2 s = 225000 ms, cap is 240000
+  w.slide = 150.0;
+  auto agg = b.WindowedAggregate(s, w, dsps::AggregateFunction::kMean,
+                                 dsps::GroupByType::kNone, DataType::kInt,
+                                 1.0);
+  QueryGraph q = b.Sink(agg);
+  Cluster cluster{{StrongNode()}};
+  Placement placement(q.num_operators(), 0);
+
+  int flipped = 0;
+  for (int seed = 0; seed < 200; ++seed) {
+    FluidConfig config;
+    config.noise_sigma = 0.08;
+    config.noise_seed = seed;
+    const FluidReport r = EvaluateFluid(q, cluster, placement, config);
+    ASSERT_TRUE(r.noiseless_metrics.success) << "seed " << seed;
+    const double cap_ms = config.duration_s * 1000.0;
+    if (r.metrics.processing_latency_ms > cap_ms) {
+      ++flipped;
+      EXPECT_FALSE(r.metrics.success) << "seed " << seed;
+    }
+    if (r.metrics.success) {
+      EXPECT_LE(r.metrics.processing_latency_ms, cap_ms) << "seed " << seed;
+    }
+  }
+  // The scenario must actually exercise the boundary, otherwise this test
+  // proves nothing.
+  EXPECT_GT(flipped, 0);
+}
+
+// Regression (crashed labels are exact): a crashed query's capped metrics
+// (zero throughput, latency pinned to the run duration) must not be noised.
+TEST(FluidEngineTest, CrashedMetricsAreNotNoised) {
+  QueryBuilder b;
+  auto s = b.Source(200.0, std::vector<DataType>(10, DataType::kString));
+  dsps::WindowSpec w;
+  w.policy = dsps::WindowPolicy::kTimeBased;
+  w.type = dsps::WindowType::kSliding;
+  w.size = 200.0;  // ~647 MB window state on a 1 GB node: certain crash
+  w.slide = 100.0;
+  auto agg = b.WindowedAggregate(s, w, dsps::AggregateFunction::kMax,
+                                 dsps::GroupByType::kNone, DataType::kInt,
+                                 1.0);
+  QueryGraph q = b.Sink(agg);
+  Cluster cluster{{HardwareNode{800.0, 1000.0, 10000.0, 1.0}}};
+  Placement placement(q.num_operators(), 0);
+
+  for (int seed = 1; seed <= 5; ++seed) {
+    FluidConfig config;
+    config.noise_sigma = 0.08;
+    config.noise_seed = seed;
+    const FluidReport r = EvaluateFluid(q, cluster, placement, config);
+    bool crashed = false;
+    for (const NodeStats& stats : r.node_stats) crashed |= stats.crashed;
+    ASSERT_TRUE(crashed) << "seed " << seed;
+    EXPECT_FALSE(r.metrics.success);
+    EXPECT_DOUBLE_EQ(r.metrics.throughput, 0.0) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(r.metrics.e2e_latency_ms, config.duration_s * 1000.0)
+        << "seed " << seed;
+  }
+}
+
+// Regression (backlog GC feedback): two sources share a node whose uplink is
+// the bottleneck. The backpressure backlog raises the node's gc_factor, and
+// the reported cpu_utilization must reflect the raised factor — i.e. stay
+// exactly consistent with the per-op cpu loads the report itself exposes.
+TEST(FluidEngineTest, BacklogGcFeedbackReflectedInUtilization) {
+  QueryBuilder b;
+  auto s1 = b.Source(3000.0, std::vector<DataType>(10, DataType::kString));
+  auto s2 = b.Source(3000.0, std::vector<DataType>(10, DataType::kString));
+  dsps::WindowSpec w;
+  w.policy = dsps::WindowPolicy::kCountBased;
+  w.type = dsps::WindowType::kSliding;
+  w.size = 100.0;
+  w.slide = 50.0;
+  auto joined = b.WindowedJoin(s1, s2, w, DataType::kInt, 1e-3);
+  QueryGraph q = b.Sink(joined);
+
+  // Node 0: both sources, narrow uplink (the bottleneck), 1 GB RAM so the
+  // accrued backlog pushes it into GC pressure without crashing it.
+  Cluster cluster{{HardwareNode{400.0, 1000.0, 12.5, 1.0}, StrongNode()}};
+  Placement placement(q.num_operators(), 1);
+  std::vector<int> sources;
+  for (int id = 0; id < q.num_operators(); ++id) {
+    if (q.op(id).type == dsps::OperatorType::kSource) {
+      placement[id] = 0;
+      sources.push_back(id);
+    }
+  }
+  ASSERT_EQ(sources.size(), 2u);
+
+  const FluidReport r = EvaluateFluid(q, cluster, placement, Noiseless());
+  ASSERT_TRUE(r.metrics.backpressure);
+  const NodeStats& stats = r.node_stats[0];
+  ASSERT_FALSE(stats.crashed);
+  ASSERT_GT(stats.gc_factor, 1.05);
+
+  // cpu_utilization must equal the node's cpu load scaled by the *final*
+  // gc_factor (the one the report carries after backlog was applied).
+  const double cpu_load_us =
+      r.op_cpu_load_us[sources[0]] + r.op_cpu_load_us[sources[1]];
+  const double cores = cluster.nodes[0].cpu_pct / 100.0;
+  const double expected = cpu_load_us * stats.gc_factor / 1e6 / cores;
+  EXPECT_NEAR(stats.cpu_utilization, expected, expected * 1e-9);
+}
+
 }  // namespace
 }  // namespace costream::sim

@@ -156,5 +156,77 @@ TEST(TraceIoTest, LoadFromMissingFileFails) {
   EXPECT_FALSE(LoadTracesFromFile("/nonexistent/costream.txt", &loaded));
 }
 
+// Replaces the value of the first " key=value" token in the serialized text.
+std::string ReplaceFirstToken(std::string text, const std::string& key,
+                              const std::string& replacement) {
+  const std::string needle = " " + key + "=";
+  const size_t pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key;
+  const size_t start = pos + needle.size();
+  const size_t stop = std::min(text.find(' ', start), text.find('\n', start));
+  text.replace(start, stop - start, replacement);
+  return text;
+}
+
+std::string SerializedCorpus() {
+  std::stringstream buffer;
+  SaveTraces(buffer, SmallCorpus(1, 12));
+  return buffer.str();
+}
+
+bool Loads(const std::string& text) {
+  std::stringstream is(text);
+  std::vector<TraceRecord> loaded;
+  return LoadTraces(is, &loaded);
+}
+
+// "par=3x" used to parse as 3 through the double-then-cast path.
+TEST(TraceIoTest, RejectsTrailingGarbageInIntegralField) {
+  EXPECT_FALSE(Loads(ReplaceFirstToken(SerializedCorpus(), "par", "3x")));
+}
+
+// "par=3.7" used to truncate to 3 instead of failing.
+TEST(TraceIoTest, RejectsFractionalIntegralField) {
+  EXPECT_FALSE(Loads(ReplaceFirstToken(SerializedCorpus(), "par", "3.7")));
+}
+
+// A value beyond int range used to be accepted with an undefined cast.
+TEST(TraceIoTest, RejectsOutOfRangeIntegralField) {
+  EXPECT_FALSE(
+      Loads(ReplaceFirstToken(SerializedCorpus(), "par", "99999999999")));
+}
+
+TEST(TraceIoTest, RejectsTrailingGarbageInDoubleField) {
+  EXPECT_FALSE(Loads(ReplaceFirstToken(SerializedCorpus(), "rate", "12.5qq")));
+}
+
+TEST(TraceIoTest, RejectsNonNumericDoubleField) {
+  EXPECT_FALSE(Loads(ReplaceFirstToken(SerializedCorpus(), "rate", "abc")));
+}
+
+TEST(TraceIoTest, RejectsEmptyNumericValue) {
+  EXPECT_FALSE(Loads(ReplaceFirstToken(SerializedCorpus(), "par", "")));
+}
+
+// Extreme but representable values must survive the parse exactly.
+TEST(TraceIoTest, ExtremeValuesParseExactly) {
+  std::string text =
+      ReplaceFirstToken(SerializedCorpus(), "par", "2147483647");
+  text = ReplaceFirstToken(text, "wsz", "1e300");
+  std::stringstream is(text);
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(LoadTraces(is, &loaded));
+  ASSERT_EQ(loaded.size(), 1u);
+  bool found_par = false;
+  bool found_wsz = false;
+  for (int i = 0; i < loaded[0].query.num_operators(); ++i) {
+    const auto& op = loaded[0].query.op(i);
+    found_par = found_par || op.parallelism == 2147483647;
+    found_wsz = found_wsz || op.window.size == 1e300;
+  }
+  EXPECT_TRUE(found_par);
+  EXPECT_TRUE(found_wsz);
+}
+
 }  // namespace
 }  // namespace costream::workload
