@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <filesystem>
+#include <fstream>
 
 #include "baselines/flat_vector.h"
 #include "common/check.h"
@@ -36,8 +39,44 @@ int BenchThreads() {
   return threads;
 }
 
+workload::TraceFormat BenchTraceFormat() {
+  static const workload::TraceFormat format = [] {
+    const char* env = std::getenv("COSTREAM_BENCH_TRACE_FORMAT");
+    if (env != nullptr && std::strcmp(env, "v1") == 0) {
+      return workload::TraceFormat::kTextV1;
+    }
+    return workload::TraceFormat::kBinaryV2;
+  }();
+  return format;
+}
+
+std::string SaveMetricsHistory(const std::string& json_path) {
+  std::ifstream in(json_path, std::ios::binary);
+  if (!in) return "";
+  std::error_code ec;
+  std::filesystem::create_directories("results/history", ec);
+  if (ec) return "";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y%m%dT%H%M%SZ", &tm);
+  const std::string stem = std::filesystem::path(json_path).stem().string();
+  const std::string out_path =
+      std::string("results/history/") + stem + "-" + stamp + ".json";
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+  out.flush();
+  return out.good() ? out_path : "";
+}
+
 SplitCorpusResult BuildSplitCorpus(const workload::CorpusConfig& config) {
-  const auto records = workload::BuildCorpus(config);
+  workload::CorpusConfig cfg = config;
+  // The harnesses leave the config at its serial default; generation is
+  // bitwise-identical at any thread count, so defaulting to the bench-wide
+  // knob only changes wall-clock.
+  if (cfg.num_threads == 1) cfg.num_threads = BenchThreads();
+  const auto records = workload::BuildCorpus(cfg);
   const workload::SplitIndices split = workload::SplitCorpus(
       static_cast<int>(records.size()), 0.8, 0.1, config.seed ^ 0x5517ull);
   SplitCorpusResult result;
@@ -61,8 +100,9 @@ std::unique_ptr<core::CostModel> TrainGnn(
   config.seed = seed;
   auto model = std::make_unique<core::CostModel>(config);
   const auto train_samples =
-      workload::ToTrainSamples(train, metric, featurization);
-  const auto val_samples = workload::ToTrainSamples(val, metric, featurization);
+      workload::ToTrainSamples(train, metric, featurization, BenchThreads());
+  const auto val_samples =
+      workload::ToTrainSamples(val, metric, featurization, BenchThreads());
   core::TrainConfig tc;
   tc.epochs = epochs;
   tc.seed = seed * 7919 + 13;

@@ -10,6 +10,7 @@
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "workload/corpus.h"
+#include "workload/trace_io.h"
 
 namespace costream::bench {
 
@@ -22,12 +23,25 @@ double BenchScale();
 int ScaledCorpusSize(int base);
 int ScaledEpochs(int base);
 
-// Worker threads used for training inside the harness: COSTREAM_BENCH_THREADS
-// (int env var, default 0 = all hardware threads). Training is
-// bitwise-deterministic in the thread count, so this only changes wall-clock.
+// Worker threads used for training, corpus generation and featurization
+// inside the harness: COSTREAM_BENCH_THREADS (int env var, default 0 = all
+// hardware threads). Every parallel entry point is bitwise-deterministic in
+// the thread count, so this only changes wall-clock.
 int BenchThreads();
 
-// Standard 80/10/10 split of a freshly built corpus.
+// Trace format used when a harness persists a corpus:
+// COSTREAM_BENCH_TRACE_FORMAT env var, "v1" (text) or "v2" (binary,
+// default).
+workload::TraceFormat BenchTraceFormat();
+
+// Copies `json_path` into results/history/<stem>-<UTC timestamp>.json so
+// metric exports persist across bench runs (before/after comparisons stop
+// relying on git-diffing the live file). Returns the history path, or "" if
+// the source file does not exist or the copy failed.
+std::string SaveMetricsHistory(const std::string& json_path);
+
+// Standard 80/10/10 split of a freshly built corpus. Generation runs on
+// BenchThreads() workers unless the config requests a specific count.
 struct SplitCorpusResult {
   std::vector<workload::TraceRecord> train;
   std::vector<workload::TraceRecord> val;

@@ -8,15 +8,19 @@
 // comparisons get machine-readable numbers by default.
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "baselines/flat_vector.h"
 #include "baselines/gbdt.h"
+#include "bench_common.h"
 #include "core/ensemble.h"
 #include "core/model.h"
 #include "core/trainer.h"
@@ -26,6 +30,7 @@
 #include "sim/des.h"
 #include "sim/fluid_engine.h"
 #include "workload/corpus.h"
+#include "workload/trace_io.h"
 
 namespace costream {
 namespace {
@@ -225,9 +230,13 @@ void BM_DesEventRate(benchmark::State& state) {
 }
 BENCHMARK(BM_DesEventRate);
 
+// Thread scaling of corpus generation. Output is bitwise-identical across
+// thread counts (per-record seed derivation), so the Arg sweep measures
+// nothing but the fork-join speedup of the label-collection loop.
 void BM_CorpusGeneration(benchmark::State& state) {
   workload::CorpusConfig config;
   config.num_queries = 100;
+  config.num_threads = static_cast<int>(state.range(0));
   uint64_t seed = 100;
   for (auto _ : state) {
     config.seed = ++seed;
@@ -237,7 +246,100 @@ void BM_CorpusGeneration(benchmark::State& state) {
       static_cast<double>(state.iterations()) * config.num_queries,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_CorpusGeneration);
+BENCHMARK(BM_CorpusGeneration)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// --- Corpus persistence (trace formats) ------------------------------------
+
+const std::vector<workload::TraceRecord>& PersistenceCorpus() {
+  static const std::vector<workload::TraceRecord>* corpus = [] {
+    workload::CorpusConfig config;
+    config.num_queries = 128;
+    config.seed = 777;
+    config.duration_s = 30.0;
+    config.num_threads = 0;  // generation speed is not what's measured here
+    return new std::vector<workload::TraceRecord>(
+        workload::BuildCorpus(config));
+  }();
+  return *corpus;
+}
+
+std::string SerializeCorpus(const std::vector<workload::TraceRecord>& records,
+                            workload::TraceFormat format) {
+  std::ostringstream os;
+  if (format == workload::TraceFormat::kBinaryV2) {
+    workload::SaveTracesV2(os, records);
+  } else {
+    workload::SaveTraces(os, records);
+  }
+  return std::move(os).str();
+}
+
+void BM_TraceSave(benchmark::State& state) {
+  const auto& records = PersistenceCorpus();
+  const auto format = static_cast<workload::TraceFormat>(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string image = SerializeCorpus(records, format);
+    bytes = image.size();
+    benchmark::DoNotOptimize(image.data());
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * records.size()),
+      benchmark::Counter::kIsRate);
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * bytes) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceSave)
+    ->Arg(static_cast<int>(workload::TraceFormat::kTextV1))
+    ->Arg(static_cast<int>(workload::TraceFormat::kBinaryV2));
+
+void BM_TraceLoad(benchmark::State& state) {
+  const auto& records = PersistenceCorpus();
+  const auto format = static_cast<workload::TraceFormat>(state.range(0));
+  const std::string image = SerializeCorpus(records, format);
+  for (auto _ : state) {
+    std::vector<workload::TraceRecord> loaded;
+    bool ok;
+    if (format == workload::TraceFormat::kBinaryV2) {
+      ok = workload::LoadTracesV2(image.data(), image.size(), &loaded);
+    } else {
+      std::istringstream is(image);
+      ok = workload::LoadTraces(is, &loaded);
+    }
+    if (!ok || loaded.size() != records.size()) {
+      state.SkipWithError("trace load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(loaded.data());
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * records.size()),
+      benchmark::Counter::kIsRate);
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * image.size()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceLoad)
+    ->Arg(static_cast<int>(workload::TraceFormat::kTextV1))
+    ->Arg(static_cast<int>(workload::TraceFormat::kBinaryV2));
+
+// Featurization thread scaling (the ToTrainSamples path every harness runs
+// before training).
+void BM_ParallelFeaturization(benchmark::State& state) {
+  const auto& records = PersistenceCorpus();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::ToTrainSamples(
+        records, sim::Metric::kThroughput, core::FeaturizationMode::kFull,
+        threads));
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * records.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelFeaturization)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // --- Metrics overhead measurement -----------------------------------------
 //
@@ -247,6 +349,23 @@ BENCHMARK(BM_CorpusGeneration);
 // on the encode-cache hit rate and on the export being valid JSON; the
 // overhead number is recorded so regressions are visible in before/after
 // diffs (budget: <= 2%).
+// Inserts `section` (",\n  \"name\": {...}\n") before the final '}' of the
+// JSON report at `path`. Shared by every post-run section writer.
+bool SpliceJsonSection(const std::string& path, const std::string& section) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  in.close();
+  const size_t close = json.rfind('}');
+  if (close == std::string::npos) return false;
+  json.insert(close, section);
+  std::ofstream out(path, std::ios::trunc);
+  out << json;
+  return out.good();
+}
+
 double CandidateScoringRate(const workload::TraceRecord& record,
                             const placement::PlacementOptimizer& optimizer,
                             const placement::OptimizerConfig& config,
@@ -309,15 +428,6 @@ void AppendMetricsSection(const std::string& path) {
           ? (rate_disabled - rate_enabled) / rate_disabled * 100.0
           : 0.0;
 
-  std::ifstream in(path);
-  if (!in) return;
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  std::string json = buffer.str();
-  in.close();
-  const size_t close = json.rfind('}');
-  if (close == std::string::npos) return;
-
   std::ostringstream section;
   section.precision(17);
   section << ",\n  \"metrics\": {\n"
@@ -328,9 +438,113 @@ void AppendMetricsSection(const std::string& path) {
           << "    \"overhead_pct\": " << overhead_pct << ",\n"
           << "    \"encode_cache_hit_rate\": " << hit_rate << ",\n"
           << "    \"export\": " << registry_json << "\n  }\n";
-  json.insert(close, section.str());
-  std::ofstream out(path, std::ios::trunc);
-  out << json;
+  SpliceJsonSection(path, section.str());
+}
+
+// --- Corpus-pipeline section ------------------------------------------------
+//
+// Direct best-of-N timings of the label-collection pipeline on a smoke
+// corpus, spliced into the JSON report as a "corpus_pipeline" section. CI
+// gates on: parallel generation bitwise-identical to serial (hash equality),
+// v2 load >= 3x faster than v1, and — only on machines with >= 4 hardware
+// threads — parallel generation scaling > 2x at 4 threads.
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename Fn>
+double BestSeconds(int reps, const Fn& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(
+        best, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count());
+  }
+  return best;
+}
+
+void AppendCorpusPipelineSection(const std::string& path) {
+  workload::CorpusConfig config;
+  config.num_queries = 256;
+  config.seed = 4242;
+  config.duration_s = 30.0;
+  constexpr int kReps = 3;
+
+  // Generation: serial vs 4 workers, then the bitwise-identity check that
+  // makes the parallel number trustworthy.
+  config.num_threads = 1;
+  std::vector<workload::TraceRecord> serial;
+  const double serial_s =
+      BestSeconds(kReps, [&] { serial = workload::BuildCorpus(config); });
+  config.num_threads = 4;
+  std::vector<workload::TraceRecord> parallel;
+  const double parallel_s =
+      BestSeconds(kReps, [&] { parallel = workload::BuildCorpus(config); });
+  const std::string serial_v2 =
+      SerializeCorpus(serial, workload::TraceFormat::kBinaryV2);
+  const std::string parallel_v2 =
+      SerializeCorpus(parallel, workload::TraceFormat::kBinaryV2);
+  const uint64_t serial_hash = Fnv1a(serial_v2);
+  const uint64_t parallel_hash = Fnv1a(parallel_v2);
+
+  // Persistence: the same records through both formats.
+  const std::string v1_image =
+      SerializeCorpus(serial, workload::TraceFormat::kTextV1);
+  std::vector<workload::TraceRecord> loaded;
+  const double v1_save_s = BestSeconds(kReps, [&] {
+    benchmark::DoNotOptimize(
+        SerializeCorpus(serial, workload::TraceFormat::kTextV1));
+  });
+  const double v2_save_s = BestSeconds(kReps, [&] {
+    benchmark::DoNotOptimize(
+        SerializeCorpus(serial, workload::TraceFormat::kBinaryV2));
+  });
+  const double v1_load_s = BestSeconds(kReps, [&] {
+    std::istringstream is(v1_image);
+    workload::LoadTraces(is, &loaded);
+  });
+  const bool v1_ok = loaded.size() == serial.size();
+  const double v2_load_s = BestSeconds(kReps, [&] {
+    workload::LoadTracesV2(serial_v2.data(), serial_v2.size(), &loaded);
+  });
+  const bool v2_ok = loaded.size() == serial.size();
+
+  const double n = static_cast<double>(serial.size());
+  const auto rate = [n](double secs) { return secs > 0.0 ? n / secs : 0.0; };
+  std::ostringstream section;
+  section.precision(17);
+  section << std::boolalpha << ",\n  \"corpus_pipeline\": {\n"
+          << "    \"records\": " << serial.size() << ",\n"
+          << "    \"hardware_threads\": "
+          << std::thread::hardware_concurrency() << ",\n"
+          << "    \"build_records_per_s_serial\": " << rate(serial_s) << ",\n"
+          << "    \"build_records_per_s_4t\": " << rate(parallel_s) << ",\n"
+          << "    \"build_speedup_4t\": "
+          << (parallel_s > 0.0 ? serial_s / parallel_s : 0.0) << ",\n"
+          << "    \"build_bitwise_equal\": " << (serial_v2 == parallel_v2)
+          << ",\n"
+          << "    \"corpus_hash_serial\": \"" << std::hex << serial_hash
+          << "\",\n"
+          << "    \"corpus_hash_4t\": \"" << parallel_hash << "\",\n"
+          << std::dec << "    \"v1_bytes\": " << v1_image.size() << ",\n"
+          << "    \"v2_bytes\": " << serial_v2.size() << ",\n"
+          << "    \"save_records_per_s_v1\": " << rate(v1_save_s) << ",\n"
+          << "    \"save_records_per_s_v2\": " << rate(v2_save_s) << ",\n"
+          << "    \"load_records_per_s_v1\": " << rate(v1_load_s) << ",\n"
+          << "    \"load_records_per_s_v2\": " << rate(v2_load_s) << ",\n"
+          << "    \"load_ok\": " << (v1_ok && v2_ok) << ",\n"
+          << "    \"v2_load_speedup\": "
+          << (v2_load_s > 0.0 ? v1_load_s / v2_load_s : 0.0) << "\n  }\n";
+  SpliceJsonSection(path, section.str());
 }
 
 }  // namespace
@@ -363,8 +577,15 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  // Post-run: measure metrics overhead on the scoring hot path and splice a
-  // "metrics" section into the JSON report for CI consumption.
+  // Post-run: measure metrics overhead on the scoring hot path and time the
+  // label-collection pipeline, splicing "metrics" and "corpus_pipeline"
+  // sections into the JSON report for CI consumption. A timestamped copy
+  // lands under results/history/ so runs stay comparable over time.
   costream::AppendMetricsSection(out_path);
+  costream::AppendCorpusPipelineSection(out_path);
+  const std::string history = costream::bench::SaveMetricsHistory(out_path);
+  if (!history.empty()) {
+    std::printf("metrics history written to %s\n", history.c_str());
+  }
   return 0;
 }

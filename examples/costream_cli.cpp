@@ -1,15 +1,16 @@
 // Command-line front end for the COSTREAM toolchain — the workflow a
 // downstream user runs without writing C++:
 //
-//   costream_cli generate --n 3000 --seed 7 --out traces.txt
-//   costream_cli train    --traces traces.txt --metric throughput
+//   costream_cli generate --n 3000 --seed 7 --threads 0 --out traces.bin
+//   costream_cli train    --traces traces.bin --metric throughput
 //                         --epochs 24 --out throughput.bin
-//   costream_cli evaluate --traces traces.txt --metric throughput
+//   costream_cli evaluate --traces traces.bin --metric throughput
 //                         --model throughput.bin
-//   costream_cli inspect  --traces traces.txt
+//   costream_cli inspect  --traces traces.bin
 //
-// Traces use the versioned text format of workload/trace_io.h; models are
-// the binary format of nn/serialize.h.
+// Traces use the versioned formats of workload/trace_io.h (binary v2 by
+// default; --format v1 writes the human-diffable text format, and readers
+// auto-detect either). Models are the binary format of nn/serialize.h.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,13 +59,17 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  costream_cli generate --n <queries> [--seed S] --out <traces>\n"
+      "  costream_cli generate --n <queries> [--seed S] [--threads T]\n"
+      "                        [--format v1|v2] --out <traces>\n"
       "  costream_cli train    --traces <file> --metric <m> [--epochs E]\n"
       "                        --out <model>\n"
       "  costream_cli evaluate --traces <file> --metric <m> --model <file>\n"
       "  costream_cli inspect  --traces <file>\n"
       "metrics: throughput | e2e-latency | processing-latency |\n"
-      "         backpressure | query-success\n");
+      "         backpressure | query-success\n"
+      "--threads 0 uses every hardware thread (output is identical for any\n"
+      "thread count); --format defaults to the v2 binary trace format,\n"
+      "readers auto-detect v1/v2\n");
   return 1;
 }
 
@@ -72,12 +77,19 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
   workload::CorpusConfig config;
   config.num_queries = std::atoi(FlagOr(flags, "n", "1000").c_str());
   config.seed = std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  config.num_threads = std::atoi(FlagOr(flags, "threads", "0").c_str());
+  const std::string format_name = FlagOr(flags, "format", "v2");
+  if (format_name != "v1" && format_name != "v2") return Usage();
+  const workload::TraceFormat format = format_name == "v1"
+                                           ? workload::TraceFormat::kTextV1
+                                           : workload::TraceFormat::kBinaryV2;
   const std::string out = FlagOr(flags, "out", "");
   if (out.empty() || config.num_queries <= 0) return Usage();
-  std::printf("generating %d traces (seed %llu)...\n", config.num_queries,
-              static_cast<unsigned long long>(config.seed));
+  std::printf("generating %d traces (seed %llu, %s)...\n", config.num_queries,
+              static_cast<unsigned long long>(config.seed),
+              format_name.c_str());
   const auto records = workload::BuildCorpus(config);
-  if (!workload::SaveTracesToFile(out, records)) {
+  if (!workload::SaveTracesToFile(out, records, format)) {
     std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
     return 1;
   }

@@ -58,7 +58,54 @@ if hit_rate < floor:
     sys.exit(f"encode-cache hit rate {hit_rate:.4f} below baseline {floor}")
 EOF
 
+echo "=== Corpus-pipeline gate ==="
+# bench_micro also splices a "corpus_pipeline" section: direct timings of the
+# label-collection pipeline (generate/save/load) on a smoke corpus. Hard
+# gates: parallel generation must be bitwise-identical to serial (hash
+# equality — correctness, not speed) and the v2 binary loader must be >= 3x
+# faster than the v1 text parser. The 4-thread generation speedup is gated
+# (> 2x) only on machines with >= 4 hardware threads; on smaller CI boxes it
+# is printed for the record, since no honest scaling number exists there.
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_micro.json") as f:
+    report = json.load(f)
+cp = report.get("corpus_pipeline")
+if cp is None:
+    sys.exit("BENCH_micro.json is missing the spliced 'corpus_pipeline' section")
+print(f"corpus: {cp['records']} records, "
+      f"{cp['hardware_threads']} hardware threads")
+print(f"build: {cp['build_records_per_s_serial']:.0f} rec/s serial, "
+      f"{cp['build_records_per_s_4t']:.0f} rec/s @4t "
+      f"(speedup {cp['build_speedup_4t']:.2f}x)")
+print(f"load: v1 {cp['load_records_per_s_v1']:.0f} rec/s, "
+      f"v2 {cp['load_records_per_s_v2']:.0f} rec/s "
+      f"(speedup {cp['v2_load_speedup']:.2f}x); "
+      f"bytes v1 {cp['v1_bytes']} -> v2 {cp['v2_bytes']}")
+if not cp["build_bitwise_equal"]:
+    sys.exit("parallel BuildCorpus is not bitwise-identical to serial "
+             f"(hash {cp['corpus_hash_serial']} vs {cp['corpus_hash_4t']})")
+if not cp["load_ok"]:
+    sys.exit("trace load smoke failed (wrong record count)")
+if cp["v2_load_speedup"] < 3.0:
+    sys.exit(f"v2 load speedup {cp['v2_load_speedup']:.2f}x below the 3x gate")
+if cp["hardware_threads"] >= 4 and cp["build_speedup_4t"] <= 2.0:
+    sys.exit(f"parallel BuildCorpus speedup {cp['build_speedup_4t']:.2f}x "
+             "at 4 threads below the 2x gate")
+EOF
+
 echo "=== ThreadSanitizer build + tier-1 tests ==="
 run_suite build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCOSTREAM_SANITIZE=thread
+
+echo "=== AddressSanitizer trace-loader fuzz sweep ==="
+# The randomized corruption sweep must stay clean under ASan: the zero-copy
+# v2 parser's bounds checks are the only thing between a lying length prefix
+# and an out-of-bounds read. Only the fuzz binary runs here — the full suite
+# already ran under TSan above.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCOSTREAM_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" --target workload_trace_fuzz_test
+ctest --test-dir build-asan -R workload_trace_fuzz_test --output-on-failure
 
 echo "CI passed."

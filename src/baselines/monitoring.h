@@ -28,11 +28,20 @@ struct MonitoringStep {
   sim::Placement placement;
   double processing_latency_ms = 0.0;
   bool migrated = false;  // whether a migration produced this placement
+  // Measured wall time of this step's statistics collection (the fluid
+  // evaluation standing in for runtime metric scraping), from the
+  // instrumented path — also recorded into the
+  // "baselines.monitoring.collect_us" obs histogram.
+  double collect_us = 0.0;
 };
 
 struct MonitoringResult {
   std::vector<MonitoringStep> steps;
   int migrations = 0;
+  // Sum of the measured statistics-collection times across steps. The
+  // reported monitoring overhead (TimeToReach) includes these measured
+  // costs rather than treating collection as free.
+  double total_collect_us = 0.0;
   // Time until the scheduler first reached a processing latency no worse
   // than `competitive_latency_ms` (the paper's "monitoring overhead");
   // negative if never reached.

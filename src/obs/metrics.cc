@@ -38,14 +38,29 @@ void AtomicMax(std::atomic<double>& target, double v) {
   }
 }
 
+// Log-linear mapping: 4 linear sub-buckets per power-of-two octave (see the
+// Histogram class comment for the exact bucket intervals).
 int BucketOf(double v) {
   if (!(v > 1.0)) return 0;  // handles v <= 1 and NaN
-  const int b = static_cast<int>(std::ceil(std::log2(v)));
-  return std::clamp(b, 0, Histogram::kBuckets - 1);
+  if (v >= std::ldexp(1.0, 38)) return Histogram::kBuckets - 1;  // incl. inf
+  int e = std::ilogb(v);
+  const double frac = std::ldexp(v, -e);  // in [1, 2), exactly
+  // Sub-bucket s covers (1 + s/4, 1 + (s+1)/4]; frac - 1 and the multiply
+  // are exact in binary floating point, so boundary samples land in the
+  // lower bucket as the half-open intervals require.
+  int sub = static_cast<int>(std::ceil(4.0 * (frac - 1.0))) - 1;
+  if (sub < 0) {  // v is exactly 2^e: upper edge of the previous octave
+    --e;
+    sub = 3;
+  }
+  return std::clamp(1 + 4 * e + sub, 0, Histogram::kBuckets - 1);
 }
 
 double BucketUpperBound(int bucket) {
-  return std::ldexp(1.0, bucket);  // 2^bucket; bucket 0 -> 1.0
+  if (bucket <= 0) return 1.0;
+  const int e = (bucket - 1) / 4;
+  const int sub = (bucket - 1) % 4;
+  return std::ldexp(1.0 + 0.25 * (sub + 1), e);
 }
 
 // Prints a double as JSON-safe text (no inf/nan; shortest round-trip is not

@@ -84,14 +84,16 @@ class Gauge {
   std::atomic<bool> set_{false};
 };
 
-// Log2-bucketed distribution of non-negative samples. Bucket i holds samples
-// in (2^(i-1), 2^i] (bucket 0: [0, 1]), which spans [1, 2^38] ~ 10^11 with
-// 40 buckets — enough for microsecond timings of anything from a cache hit
-// to a multi-hour run. Percentiles are bucket upper bounds (factor-of-two
-// resolution): coarse, but stable and allocation-free.
+// Log-linear-bucketed distribution of non-negative samples: each power-of-two
+// octave splits into 4 linear sub-buckets, so bucket upper bounds step by at
+// most 25% (p95 gating resolution ~1.25× instead of the former 2×). Bucket 0
+// holds [0, 1]; bucket 1 + 4e + s holds (2^e·(1 + s/4), 2^e·(1 + (s+1)/4)].
+// 153 buckets span [1, 2^38] ~ 10^11 — enough for microsecond timings of
+// anything from a cache hit to a multi-hour run. Percentiles are bucket upper
+// bounds: approximate, but stable and allocation-free.
 class Histogram {
  public:
-  static constexpr int kBuckets = 40;
+  static constexpr int kBuckets = 1 + 4 * 38;
 
   void Record(double v);
 

@@ -4,6 +4,8 @@
 
 #include "baselines/flat_vector.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "placement/enumeration.h"
 
 namespace costream::workload {
@@ -22,18 +24,31 @@ QueryTemplate SampleTemplate(const CorpusConfig& config, nn::Rng& rng) {
   return config.templates.back();
 }
 
+// splitmix64 over (seed, index): record i's RNG stream depends on nothing
+// but the corpus seed and its own index, which is what makes generation
+// order-free — serial and parallel runs produce bitwise-identical corpora.
+uint64_t DeriveRecordSeed(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 std::vector<TraceRecord> BuildCorpus(const CorpusConfig& config) {
   COSTREAM_CHECK(config.num_queries > 0);
   COSTREAM_CHECK(!config.templates.empty());
-  QueryGenerator generator(config.generator);
-  nn::Rng rng(config.seed);
+  static obs::Histogram& build_us = obs::GetHistogram("workload.corpus.build_us");
+  static obs::Counter& generated =
+      obs::GetCounter("workload.corpus.records_generated");
+  obs::ScopedTimer timer(build_us);
+  const QueryGenerator generator(config.generator);
 
-  std::vector<TraceRecord> records;
-  records.reserve(config.num_queries);
-  for (int i = 0; i < config.num_queries; ++i) {
-    TraceRecord record;
+  std::vector<TraceRecord> records(config.num_queries);
+  common::ParallelFor(config.num_threads, config.num_queries, [&](int i) {
+    nn::Rng rng(DeriveRecordSeed(config.seed, static_cast<uint64_t>(i)));
+    TraceRecord& record = records[i];
     record.template_kind = SampleTemplate(config, rng);
     record.query = generator.Generate(record.template_kind, rng);
     record.cluster = generator.GenerateCluster(rng);
@@ -58,19 +73,24 @@ std::vector<TraceRecord> BuildCorpus(const CorpusConfig& config) {
     record.metrics = sim::EvaluateFluid(record.query, record.cluster,
                                         record.placement, fluid_config)
                          .metrics;
-    records.push_back(std::move(record));
-  }
+  });
+  generated.Add(records.size());
   return records;
 }
 
 std::vector<core::TrainSample> ToTrainSamples(
     const std::vector<TraceRecord>& records, sim::Metric metric,
-    core::FeaturizationMode mode) {
-  std::vector<core::TrainSample> samples;
-  samples.reserve(records.size());
+    core::FeaturizationMode mode, int num_threads) {
   const bool regression = sim::IsRegressionMetric(metric);
-  for (const TraceRecord& record : records) {
-    if (regression && !record.metrics.success) continue;
+  const int n = static_cast<int>(records.size());
+  // Featurize into per-index slots, then compact in index order: the output
+  // (including the dropped-failure filter for regression metrics) matches
+  // the serial path exactly at any thread count.
+  std::vector<core::TrainSample> slots(n);
+  std::vector<char> keep(n, 0);
+  common::ParallelFor(num_threads, n, [&](int i) {
+    const TraceRecord& record = records[i];
+    if (regression && !record.metrics.success) return;
     core::TrainSample sample;
     sample.graph =
         core::BuildJointGraph(record.query, record.cluster, record.placement,
@@ -80,27 +100,46 @@ std::vector<core::TrainSample> ToTrainSamples(
     } else {
       sample.label = sim::BinaryLabel(record.metrics, metric);
     }
-    samples.push_back(std::move(sample));
+    slots[i] = std::move(sample);
+    keep[i] = 1;
+  });
+  std::vector<core::TrainSample> samples;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (keep[i]) samples.push_back(std::move(slots[i]));
   }
   return samples;
 }
 
 void ToFlatDataset(const std::vector<TraceRecord>& records, sim::Metric metric,
                    std::vector<std::vector<double>>* features,
-                   std::vector<double>* targets) {
+                   std::vector<double>* targets, int num_threads) {
   COSTREAM_CHECK(features != nullptr && targets != nullptr);
   features->clear();
   targets->clear();
   const bool regression = sim::IsRegressionMetric(metric);
-  for (const TraceRecord& record : records) {
-    if (regression && !record.metrics.success) continue;
-    features->push_back(baselines::FlatVectorFeatures(
-        record.query, record.cluster, record.placement));
+  const int n = static_cast<int>(records.size());
+  std::vector<std::vector<double>> feature_slots(n);
+  std::vector<double> target_slots(n, 0.0);
+  std::vector<char> keep(n, 0);
+  common::ParallelFor(num_threads, n, [&](int i) {
+    const TraceRecord& record = records[i];
+    if (regression && !record.metrics.success) return;
+    feature_slots[i] = baselines::FlatVectorFeatures(
+        record.query, record.cluster, record.placement);
     if (regression) {
-      targets->push_back(sim::RegressionValue(record.metrics, metric));
+      target_slots[i] = sim::RegressionValue(record.metrics, metric);
     } else {
-      targets->push_back(sim::BinaryLabel(record.metrics, metric) ? 1.0 : 0.0);
+      target_slots[i] = sim::BinaryLabel(record.metrics, metric) ? 1.0 : 0.0;
     }
+    keep[i] = 1;
+  });
+  features->reserve(n);
+  targets->reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    features->push_back(std::move(feature_slots[i]));
+    targets->push_back(target_slots[i]);
   }
 }
 

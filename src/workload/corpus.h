@@ -39,6 +39,10 @@ struct CorpusConfig {
   // covers bad placements — overloaded weak nodes are what produce the
   // backpressure and failure labels the classifiers learn from.
   double random_placement_fraction = 0.3;
+  // Worker threads for generation (<= 0 means all hardware threads). Every
+  // record derives its RNG stream from (seed, index) alone, so the corpus is
+  // bitwise-identical at any thread count.
+  int num_threads = 1;
 };
 
 // Generates a labelled corpus: for each entry a random query, cluster and
@@ -48,16 +52,19 @@ std::vector<TraceRecord> BuildCorpus(const CorpusConfig& config);
 
 // Featurizes records into GNN training samples for `metric`. For regression
 // metrics, failed executions are dropped (their latency/throughput labels
-// are not meaningful); classification metrics keep every record.
+// are not meaningful); classification metrics keep every record. Records
+// featurize independently into per-index slots, so the output is identical
+// at any `num_threads` (<= 0 means all hardware threads).
 std::vector<core::TrainSample> ToTrainSamples(
     const std::vector<TraceRecord>& records, sim::Metric metric,
-    core::FeaturizationMode mode = core::FeaturizationMode::kFull);
+    core::FeaturizationMode mode = core::FeaturizationMode::kFull,
+    int num_threads = 1);
 
 // Featurizes records for the flat-vector baseline. Targets follow the same
 // conventions as ToTrainSamples (classification labels are 0/1).
 void ToFlatDataset(const std::vector<TraceRecord>& records, sim::Metric metric,
                    std::vector<std::vector<double>>* features,
-                   std::vector<double>* targets);
+                   std::vector<double>* targets, int num_threads = 1);
 
 // Deterministic shuffled index split (train / validation / test).
 struct SplitIndices {

@@ -1,9 +1,12 @@
 #include "workload/trace_io.h"
 
+#include <bit>
 #include <cerrno>
 #include <charconv>
 #include <cinttypes>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
@@ -12,6 +15,7 @@
 #include <type_traits>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace costream::workload {
 
@@ -21,6 +25,35 @@ using dsps::OperatorDescriptor;
 using dsps::OperatorType;
 
 constexpr char kHeader[] = "#costream-traces v1";
+
+// --- observability -----------------------------------------------------------
+
+obs::Counter& SaveRecordsCounter() {
+  static obs::Counter& c = obs::GetCounter("workload.trace.records_written");
+  return c;
+}
+obs::Counter& SaveBytesCounter() {
+  static obs::Counter& c = obs::GetCounter("workload.trace.bytes_written");
+  return c;
+}
+obs::Counter& LoadRecordsCounter() {
+  static obs::Counter& c = obs::GetCounter("workload.trace.records_read");
+  return c;
+}
+obs::Counter& LoadBytesCounter() {
+  static obs::Counter& c = obs::GetCounter("workload.trace.bytes_read");
+  return c;
+}
+obs::Histogram& SaveLatency() {
+  static obs::Histogram& h = obs::GetHistogram("workload.trace.save_us");
+  return h;
+}
+obs::Histogram& LoadLatency() {
+  static obs::Histogram& h = obs::GetHistogram("workload.trace.load_us");
+  return h;
+}
+
+// --- v1 text format ----------------------------------------------------------
 
 void WriteOperator(std::ostream& os, int id, const OperatorDescriptor& op) {
   os << "op " << id << ' ' << static_cast<int>(op.type)
@@ -134,40 +167,32 @@ bool ParseOperator(const std::string& line, int* id, OperatorDescriptor* op) {
   return true;
 }
 
-}  // namespace
-
-void SaveTraces(std::ostream& os, const std::vector<TraceRecord>& records) {
-  os.precision(17);
-  os << kHeader << '\n';
-  for (const TraceRecord& record : records) {
-    os << "record\n";
-    os << "template " << static_cast<int>(record.template_kind) << " filters "
-       << record.num_filters << '\n';
-    for (int i = 0; i < record.query.num_operators(); ++i) {
-      WriteOperator(os, i, record.query.op(i));
-    }
-    for (const auto& [from, to] : record.query.edges()) {
-      os << "edge " << from << ' ' << to << '\n';
-    }
-    for (const sim::HardwareNode& node : record.cluster.nodes) {
-      os << "node " << node.cpu_pct << ' ' << node.ram_mb << ' '
-         << node.bandwidth_mbits << ' ' << node.latency_ms << '\n';
-    }
-    os << "placement";
-    for (int n : record.placement) os << ' ' << n;
-    os << '\n';
-    os << "metrics T " << record.metrics.throughput << " Lp "
-       << record.metrics.processing_latency_ms << " Le "
-       << record.metrics.e2e_latency_ms << " bp "
-       << (record.metrics.backpressure ? 1 : 0) << " success "
-       << (record.metrics.success ? 1 : 0) << '\n';
-    os << "end\n";
+// Structural validation shared by both loaders: operator ids are dense and
+// in order, the query and the placement are well-formed.
+bool FinalizeRecord(std::vector<std::pair<int, OperatorDescriptor>>&& ops,
+                    const std::vector<std::pair<int, int>>& edges,
+                    TraceRecord* record) {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].first != static_cast<int>(i)) return false;
+    record->query.AddOperator(ops[i].second);
   }
+  for (const auto& [from, to] : edges) {
+    if (from < 0 || from >= record->query.num_operators() || to < 0 ||
+        to >= record->query.num_operators()) {
+      return false;
+    }
+    record->query.AddEdge(from, to);
+  }
+  if (!record->query.Validate().empty()) return false;
+  if (!sim::ValidatePlacement(record->query, record->cluster,
+                              record->placement)
+           .empty()) {
+    return false;
+  }
+  return true;
 }
 
-bool LoadTraces(std::istream& is, std::vector<TraceRecord>* records) {
-  COSTREAM_CHECK(records != nullptr);
-  records->clear();
+bool LoadTracesV1(std::istream& is, std::vector<TraceRecord>* records) {
   std::string line;
   if (!std::getline(is, line) || line != kHeader) return false;
 
@@ -228,35 +253,433 @@ bool LoadTraces(std::istream& is, std::vector<TraceRecord>* records) {
       }
     }
     if (!closed) return false;
-    // Operators must arrive in id order for ids to stay stable.
-    for (size_t i = 0; i < ops.size(); ++i) {
-      if (ops[i].first != static_cast<int>(i)) return false;
-      record.query.AddOperator(ops[i].second);
-    }
-    for (const auto& [from, to] : edges) record.query.AddEdge(from, to);
-    if (!record.query.Validate().empty()) return false;
-    if (sim::ValidatePlacement(record.query, record.cluster, record.placement)
-            .empty() == false) {
-      return false;
-    }
+    if (!FinalizeRecord(std::move(ops), edges, &record)) return false;
     records->push_back(std::move(record));
   }
   return true;
 }
 
+// --- v2 binary format --------------------------------------------------------
+//
+// Everything is little-endian with explicit byte shifts, so images are
+// portable across hosts regardless of native endianness. Doubles travel as
+// their IEEE-754 bit pattern (exact round-trip by construction).
+
+constexpr char kMagicV2[8] = {'C', 'S', 'T', 'R', 'A', 'C', 'E', '2'};
+constexpr uint32_t kVersionV2 = 2;
+constexpr uint32_t kHeaderBytesV2 = 24;  // magic + version + size + count
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+// Bounds-checked read cursor over an in-memory image. Every accessor fails
+// (and stays failed) instead of reading past `end`, so a lying length prefix
+// or a truncated file degrades into a clean `false` from the loader.
+struct Cursor {
+  const unsigned char* p;
+  const unsigned char* end;
+
+  size_t remaining() const { return static_cast<size_t>(end - p); }
+
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
+    p += n;
+    return true;
+  }
+  bool GetU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = *p++;
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) r |= static_cast<uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    *v = r;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r |= static_cast<uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    *v = r;
+    return true;
+  }
+  bool GetI32(int32_t* v) {
+    uint32_t u = 0;
+    if (!GetU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool GetF64(double* v) {
+    uint64_t u = 0;
+    if (!GetU64(&u)) return false;
+    *v = std::bit_cast<double>(u);
+    return true;
+  }
+  // Validates a section's element count against the bytes that are actually
+  // left, so corrupted counts cannot trigger multi-gigabyte reserves.
+  bool CountFits(uint32_t count, size_t min_elem_bytes) const {
+    return min_elem_bytes == 0 || count <= remaining() / min_elem_bytes;
+  }
+};
+
+// Serialized sizes used for count sanity checks.
+constexpr size_t kMinOpBytes = 9 + 4 + 9 * 8 + 4;  // enums+par+doubles+types len
+constexpr size_t kEdgeBytes = 8;
+constexpr size_t kNodeBytes = 32;
+constexpr size_t kPlacementEntryBytes = 4;
+
+void AppendRecordBody(const TraceRecord& record, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(record.template_kind));
+  PutI32(out, record.num_filters);
+
+  PutU32(out, static_cast<uint32_t>(record.query.num_operators()));
+  for (int i = 0; i < record.query.num_operators(); ++i) {
+    const OperatorDescriptor& op = record.query.op(i);
+    PutU8(out, static_cast<uint8_t>(op.type));
+    PutU8(out, static_cast<uint8_t>(op.filter_function));
+    PutU8(out, static_cast<uint8_t>(op.literal_data_type));
+    PutU8(out, static_cast<uint8_t>(op.window.type));
+    PutU8(out, static_cast<uint8_t>(op.window.policy));
+    PutU8(out, static_cast<uint8_t>(op.aggregate_function));
+    PutU8(out, static_cast<uint8_t>(op.group_by_type));
+    PutU8(out, static_cast<uint8_t>(op.aggregate_data_type));
+    PutU8(out, static_cast<uint8_t>(op.join_key_type));
+    PutI32(out, op.parallelism);
+    PutF64(out, op.tuple_width_in);
+    PutF64(out, op.tuple_width_out);
+    PutF64(out, op.input_event_rate);
+    PutF64(out, op.window.size);
+    PutF64(out, op.window.slide);
+    PutF64(out, op.selectivity);
+    PutF64(out, op.frac_int);
+    PutF64(out, op.frac_double);
+    PutF64(out, op.frac_string);
+    PutU32(out, static_cast<uint32_t>(op.tuple_data_types.size()));
+    for (dsps::DataType t : op.tuple_data_types) {
+      PutU8(out, static_cast<uint8_t>(t));
+    }
+  }
+
+  PutU32(out, static_cast<uint32_t>(record.query.edges().size()));
+  for (const auto& [from, to] : record.query.edges()) {
+    PutI32(out, from);
+    PutI32(out, to);
+  }
+
+  PutU32(out, static_cast<uint32_t>(record.cluster.nodes.size()));
+  for (const sim::HardwareNode& node : record.cluster.nodes) {
+    PutF64(out, node.cpu_pct);
+    PutF64(out, node.ram_mb);
+    PutF64(out, node.bandwidth_mbits);
+    PutF64(out, node.latency_ms);
+  }
+
+  PutU32(out, static_cast<uint32_t>(record.placement.size()));
+  for (int n : record.placement) PutI32(out, n);
+
+  PutF64(out, record.metrics.throughput);
+  PutF64(out, record.metrics.processing_latency_ms);
+  PutF64(out, record.metrics.e2e_latency_ms);
+  PutU8(out, record.metrics.backpressure ? 1 : 0);
+  PutU8(out, record.metrics.success ? 1 : 0);
+}
+
+bool ParseRecordBody(Cursor body, TraceRecord* record) {
+  uint8_t template_kind = 0;
+  if (!body.GetU8(&template_kind)) return false;
+  record->template_kind = static_cast<QueryTemplate>(template_kind);
+  if (!body.GetI32(&record->num_filters)) return false;
+
+  uint32_t num_ops = 0;
+  if (!body.GetU32(&num_ops) || !body.CountFits(num_ops, kMinOpBytes)) {
+    return false;
+  }
+  std::vector<std::pair<int, OperatorDescriptor>> ops;
+  ops.reserve(num_ops);
+  for (uint32_t i = 0; i < num_ops; ++i) {
+    OperatorDescriptor op;
+    uint8_t type = 0, ff = 0, lit = 0, wt = 0, wp = 0, af = 0, gb = 0, at = 0,
+            jk = 0;
+    if (!body.GetU8(&type) || !body.GetU8(&ff) || !body.GetU8(&lit) ||
+        !body.GetU8(&wt) || !body.GetU8(&wp) || !body.GetU8(&af) ||
+        !body.GetU8(&gb) || !body.GetU8(&at) || !body.GetU8(&jk)) {
+      return false;
+    }
+    op.type = static_cast<OperatorType>(type);
+    op.filter_function = static_cast<dsps::FilterFunction>(ff);
+    op.literal_data_type = static_cast<dsps::DataType>(lit);
+    op.window.type = static_cast<dsps::WindowType>(wt);
+    op.window.policy = static_cast<dsps::WindowPolicy>(wp);
+    op.aggregate_function = static_cast<dsps::AggregateFunction>(af);
+    op.group_by_type = static_cast<dsps::GroupByType>(gb);
+    op.aggregate_data_type = static_cast<dsps::DataType>(at);
+    op.join_key_type = static_cast<dsps::DataType>(jk);
+    if (!body.GetI32(&op.parallelism) || !body.GetF64(&op.tuple_width_in) ||
+        !body.GetF64(&op.tuple_width_out) ||
+        !body.GetF64(&op.input_event_rate) || !body.GetF64(&op.window.size) ||
+        !body.GetF64(&op.window.slide) || !body.GetF64(&op.selectivity) ||
+        !body.GetF64(&op.frac_int) || !body.GetF64(&op.frac_double) ||
+        !body.GetF64(&op.frac_string)) {
+      return false;
+    }
+    uint32_t num_types = 0;
+    if (!body.GetU32(&num_types) || !body.CountFits(num_types, 1)) {
+      return false;
+    }
+    op.tuple_data_types.reserve(num_types);
+    for (uint32_t t = 0; t < num_types; ++t) {
+      uint8_t dt = 0;
+      if (!body.GetU8(&dt)) return false;
+      op.tuple_data_types.push_back(static_cast<dsps::DataType>(dt));
+    }
+    ops.emplace_back(static_cast<int>(i), std::move(op));
+  }
+
+  uint32_t num_edges = 0;
+  if (!body.GetU32(&num_edges) || !body.CountFits(num_edges, kEdgeBytes)) {
+    return false;
+  }
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(num_edges);
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    int32_t from = 0, to = 0;
+    if (!body.GetI32(&from) || !body.GetI32(&to)) return false;
+    edges.emplace_back(from, to);
+  }
+
+  uint32_t num_nodes = 0;
+  if (!body.GetU32(&num_nodes) || !body.CountFits(num_nodes, kNodeBytes)) {
+    return false;
+  }
+  record->cluster.nodes.reserve(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    sim::HardwareNode node;
+    if (!body.GetF64(&node.cpu_pct) || !body.GetF64(&node.ram_mb) ||
+        !body.GetF64(&node.bandwidth_mbits) || !body.GetF64(&node.latency_ms)) {
+      return false;
+    }
+    record->cluster.nodes.push_back(node);
+  }
+
+  uint32_t placement_size = 0;
+  if (!body.GetU32(&placement_size) ||
+      !body.CountFits(placement_size, kPlacementEntryBytes)) {
+    return false;
+  }
+  record->placement.reserve(placement_size);
+  for (uint32_t i = 0; i < placement_size; ++i) {
+    int32_t n = 0;
+    if (!body.GetI32(&n)) return false;
+    record->placement.push_back(n);
+  }
+
+  uint8_t bp = 0, success = 0;
+  if (!body.GetF64(&record->metrics.throughput) ||
+      !body.GetF64(&record->metrics.processing_latency_ms) ||
+      !body.GetF64(&record->metrics.e2e_latency_ms) || !body.GetU8(&bp) ||
+      !body.GetU8(&success)) {
+    return false;
+  }
+  record->metrics.backpressure = bp != 0;
+  record->metrics.success = success != 0;
+
+  // A record body that leaves trailing bytes has a lying length prefix.
+  if (body.remaining() != 0) return false;
+  return FinalizeRecord(std::move(ops), edges, record);
+}
+
+bool IsV2Image(const char* data, size_t size) {
+  return size >= sizeof(kMagicV2) &&
+         std::memcmp(data, kMagicV2, sizeof(kMagicV2)) == 0;
+}
+
+}  // namespace
+
+void SaveTraces(std::ostream& os, const std::vector<TraceRecord>& records) {
+  obs::ScopedTimer timer(SaveLatency());
+  const auto start = os.tellp();
+  os.precision(17);
+  os << kHeader << '\n';
+  for (const TraceRecord& record : records) {
+    os << "record\n";
+    os << "template " << static_cast<int>(record.template_kind) << " filters "
+       << record.num_filters << '\n';
+    for (int i = 0; i < record.query.num_operators(); ++i) {
+      WriteOperator(os, i, record.query.op(i));
+    }
+    for (const auto& [from, to] : record.query.edges()) {
+      os << "edge " << from << ' ' << to << '\n';
+    }
+    for (const sim::HardwareNode& node : record.cluster.nodes) {
+      os << "node " << node.cpu_pct << ' ' << node.ram_mb << ' '
+         << node.bandwidth_mbits << ' ' << node.latency_ms << '\n';
+    }
+    os << "placement";
+    for (int n : record.placement) os << ' ' << n;
+    os << '\n';
+    os << "metrics T " << record.metrics.throughput << " Lp "
+       << record.metrics.processing_latency_ms << " Le "
+       << record.metrics.e2e_latency_ms << " bp "
+       << (record.metrics.backpressure ? 1 : 0) << " success "
+       << (record.metrics.success ? 1 : 0) << '\n';
+    os << "end\n";
+  }
+  SaveRecordsCounter().Add(records.size());
+  const auto end = os.tellp();
+  if (start >= 0 && end > start) {
+    SaveBytesCounter().Add(static_cast<uint64_t>(end - start));
+  }
+}
+
+void SaveTracesV2(std::ostream& os, const std::vector<TraceRecord>& records) {
+  obs::ScopedTimer timer(SaveLatency());
+  // The whole image is assembled in memory and written with one call:
+  // length-prefixing each record needs its size before its bytes, and a
+  // single bulk write is considerably faster than streaming thousands of
+  // small field inserts through the ostream locale machinery.
+  std::string image;
+  image.reserve(1024 * records.size() + kHeaderBytesV2);
+  image.append(kMagicV2, sizeof(kMagicV2));
+  PutU32(&image, kVersionV2);
+  PutU32(&image, kHeaderBytesV2);
+  PutU64(&image, static_cast<uint64_t>(records.size()));
+
+  std::string body;
+  for (const TraceRecord& record : records) {
+    body.clear();
+    AppendRecordBody(record, &body);
+    PutU32(&image, static_cast<uint32_t>(body.size()));
+    image.append(body);
+  }
+  os.write(image.data(), static_cast<std::streamsize>(image.size()));
+  SaveRecordsCounter().Add(records.size());
+  SaveBytesCounter().Add(image.size());
+}
+
+bool LoadTracesV2(const char* data, size_t size,
+                  std::vector<TraceRecord>* records) {
+  COSTREAM_CHECK(records != nullptr);
+  records->clear();
+  obs::ScopedTimer timer(LoadLatency());
+  Cursor cur{reinterpret_cast<const unsigned char*>(data),
+             reinterpret_cast<const unsigned char*>(data) + size};
+  if (!IsV2Image(data, size) || !cur.Skip(sizeof(kMagicV2))) return false;
+  uint32_t version = 0, header_bytes = 0;
+  uint64_t record_count = 0;
+  if (!cur.GetU32(&version) || version != kVersionV2) return false;
+  if (!cur.GetU32(&header_bytes) || header_bytes < kHeaderBytesV2) {
+    return false;
+  }
+  if (!cur.GetU64(&record_count)) return false;
+  // Future minor revisions may grow the header; skip what we don't know.
+  if (!cur.Skip(header_bytes - kHeaderBytesV2)) return false;
+  if (!cur.CountFits(record_count > std::numeric_limits<uint32_t>::max()
+                         ? std::numeric_limits<uint32_t>::max()
+                         : static_cast<uint32_t>(record_count),
+                     4) ||
+      record_count > std::numeric_limits<uint32_t>::max()) {
+    return false;
+  }
+  records->reserve(static_cast<size_t>(record_count));
+
+  for (uint64_t i = 0; i < record_count; ++i) {
+    uint32_t payload = 0;
+    if (!cur.GetU32(&payload) || cur.remaining() < payload) return false;
+    Cursor body{cur.p, cur.p + payload};
+    TraceRecord record;
+    if (!ParseRecordBody(body, &record)) return false;
+    cur.p += payload;
+    records->push_back(std::move(record));
+  }
+  if (cur.remaining() != 0) return false;  // trailing garbage
+  LoadRecordsCounter().Add(records->size());
+  LoadBytesCounter().Add(size);
+  return true;
+}
+
+bool LoadTraces(std::istream& is, std::vector<TraceRecord>* records) {
+  COSTREAM_CHECK(records != nullptr);
+  records->clear();
+  // Peek enough bytes to tell the formats apart, then hand the stream (v1)
+  // or a fully buffered image (v2) to the right parser.
+  char magic[sizeof(kMagicV2)] = {};
+  is.read(magic, sizeof(magic));
+  const std::streamsize got = is.gcount();
+  if (got == static_cast<std::streamsize>(sizeof(magic)) &&
+      IsV2Image(magic, sizeof(magic))) {
+    std::string image(magic, sizeof(magic));
+    std::ostringstream rest;
+    rest << is.rdbuf();
+    image.append(rest.str());
+    return LoadTracesV2(image.data(), image.size(), records);
+  }
+  // Text path: un-read the probe bytes and parse lines.
+  is.clear();
+  for (std::streamsize i = got; i > 0; --i) {
+    is.putback(magic[i - 1]);
+    if (is.fail()) return false;
+  }
+  obs::ScopedTimer timer(LoadLatency());
+  const bool ok = LoadTracesV1(is, records);
+  if (ok) LoadRecordsCounter().Add(records->size());
+  return ok;
+}
+
 bool SaveTracesToFile(const std::string& path,
-                      const std::vector<TraceRecord>& records) {
-  std::ofstream os(path);
+                      const std::vector<TraceRecord>& records,
+                      TraceFormat format) {
+  std::ofstream os(path, format == TraceFormat::kBinaryV2
+                             ? std::ios::out | std::ios::binary
+                             : std::ios::out);
   if (!os) return false;
-  SaveTraces(os, records);
+  if (format == TraceFormat::kBinaryV2) {
+    SaveTracesV2(os, records);
+  } else {
+    SaveTraces(os, records);
+  }
   return os.good();
 }
 
 bool LoadTracesFromFile(const std::string& path,
                         std::vector<TraceRecord>* records) {
-  std::ifstream is(path);
+  COSTREAM_CHECK(records != nullptr);
+  std::ifstream is(path, std::ios::in | std::ios::binary);
   if (!is) return false;
-  return LoadTraces(is, records);
+  // One buffered slurp: the v2 parser is zero-copy over the image, and even
+  // the v1 text parser is faster over a memory-backed stream than over
+  // line-by-line file reads.
+  std::string image((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  if (IsV2Image(image.data(), image.size())) {
+    return LoadTracesV2(image.data(), image.size(), records);
+  }
+  std::istringstream text(std::move(image));
+  return LoadTraces(text, records);
 }
 
 }  // namespace costream::workload

@@ -1,6 +1,7 @@
 #ifndef COSTREAM_WORKLOAD_TRACE_IO_H_
 #define COSTREAM_WORKLOAD_TRACE_IO_H_
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -10,8 +11,9 @@
 namespace costream::workload {
 
 // Persistence for the cost estimation benchmark (paper Section VI releases
-// the corpus of query traces as a community artifact). The format is a
-// line-oriented, versioned text format: human-diffable, append-friendly and
+// the corpus of query traces as a community artifact). Two formats exist:
+//
+// v1 — line-oriented, versioned text: human-diffable, append-friendly and
 // dependency-free.
 //
 //   #costream-traces v1
@@ -24,14 +26,46 @@ namespace costream::workload {
 //   metrics T <t> Lp <ms> Le <ms> bp <0|1> success <0|1>
 //   end
 //
-// Save/Load round-trip exactly (doubles are printed with enough digits).
+// v2 — versioned little-endian binary, the default for large corpora (the
+// text format is the corpus-load bottleneck at paper scale, ~43k traces):
+//
+//   header   8-byte magic "CSTRACE2", u32 version (=2), u32 header size,
+//            u64 record count
+//   records  u32 payload size, then the record body (fixed-width fields,
+//            length-prefixed sections) — readers can skip or validate a
+//            record without parsing it
+//
+// Doubles are stored as raw IEEE-754 bit patterns, so both formats
+// round-trip exactly. Loaders auto-detect the format from the leading magic
+// bytes; v1 stays writable behind `TraceFormat::kTextV1` for human-diffable
+// artifacts. See DESIGN.md, "Trace format v2".
+enum class TraceFormat {
+  kTextV1,
+  kBinaryV2,
+};
+
+// Writes v1 text.
 void SaveTraces(std::ostream& os, const std::vector<TraceRecord>& records);
-// Returns false on parse errors; `records` receives successfully parsed
-// entries up to the first error.
+// Writes v2 binary. The stream must be binary-clean (std::ios::binary for
+// files).
+void SaveTracesV2(std::ostream& os, const std::vector<TraceRecord>& records);
+
+// Reads either format (auto-detected from the first bytes). Returns false on
+// parse errors; `records` receives successfully parsed entries up to the
+// first error. Malformed v2 input (bad magic/version, truncated record,
+// lying length prefix) fails closed — no crash, no unbounded allocation.
 bool LoadTraces(std::istream& is, std::vector<TraceRecord>* records);
 
+// Zero-copy v2 parse of an in-memory image (no stream, no intermediate
+// copies beyond the output records themselves).
+bool LoadTracesV2(const char* data, size_t size,
+                  std::vector<TraceRecord>* records);
+
 bool SaveTracesToFile(const std::string& path,
-                      const std::vector<TraceRecord>& records);
+                      const std::vector<TraceRecord>& records,
+                      TraceFormat format = TraceFormat::kBinaryV2);
+// Auto-detects v1 / v2 (v2 is read through a single buffered slurp and the
+// zero-copy parser).
 bool LoadTracesFromFile(const std::string& path,
                         std::vector<TraceRecord>* records);
 

@@ -90,14 +90,35 @@ TEST_F(MetricsTest, HistogramAggregates) {
   EXPECT_DOUBLE_EQ(h.Sum(), 104.0);
   EXPECT_DOUBLE_EQ(h.Mean(), 104.0 / 3.0);
   EXPECT_DOUBLE_EQ(h.Max(), 100.0);
-  // Quantiles are log2-bucket upper bounds clamped to the observed max:
-  // p50 falls in bucket (2,4] -> 4; p100 clamps to 100.
-  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.0);
+  // Quantiles are log-linear bucket upper bounds clamped to the observed
+  // max: 3.0 sits on the (2.5, 3] sub-bucket boundary -> p50 is exactly 3;
+  // p100 clamps to 100.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 3.0);
   EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
   h.Reset();
   EXPECT_EQ(h.Count(), 0u);
   EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramLogLinearResolution) {
+  // 4 sub-buckets per octave: quantile upper bounds step by at most 25%
+  // instead of the 2x of plain log2 buckets.
+  Histogram& h = GetHistogram("test.hist.loglinear");
+  h.Record(5.3);  // octave [4,8), sub-bucket (5,6]
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.3);  // clamped to max
+  h.Record(1000.0);  // pushes p50's bucket bound below the max clamp
+  EXPECT_DOUBLE_EQ(h.Quantile(0.4), 6.0);
+  // Boundary samples land in the bucket they close (half-open intervals).
+  Histogram& edge = GetHistogram("test.hist.loglinear.edge");
+  edge.Record(2.0);   // closes octave 0's last sub-bucket (1.75, 2]
+  edge.Record(80.0);  // keeps the max clamp away from p50's bound
+  EXPECT_DOUBLE_EQ(edge.Quantile(0.4), 2.0);
+  // Values just above a power of two resolve to a 1.25x bound, not 2x.
+  Histogram& fine = GetHistogram("test.hist.loglinear.fine");
+  fine.Record(33.0);  // (32, 40]
+  fine.Record(500.0);
+  EXPECT_DOUBLE_EQ(fine.Quantile(0.4), 40.0);
 }
 
 TEST_F(MetricsTest, HistogramExactSumAcrossThreads) {

@@ -2,10 +2,13 @@
 #include "workload/corpus.h"
 #include "workload/generator.h"
 #include "workload/grids.h"
+#include "workload/trace_io.h"
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -180,6 +183,55 @@ TEST(CorpusTest, DeterministicForSeed) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].metrics.throughput, b[i].metrics.throughput);
     EXPECT_EQ(a[i].placement, b[i].placement);
+  }
+}
+
+// The tentpole determinism contract: record i's RNG stream derives from
+// (seed, i) alone, so generation is bitwise-identical at any thread count.
+// Compared through the v2 binary serialization, which is itself bit-exact.
+TEST(CorpusTest, ParallelGenerationBitwiseIdentical) {
+  CorpusConfig config;
+  config.num_queries = 60;
+  config.seed = 2024;
+  std::map<int, std::string> images;
+  for (int threads : {1, 2, 8}) {
+    config.num_threads = threads;
+    std::ostringstream os;
+    SaveTracesV2(os, BuildCorpus(config));
+    images[threads] = std::move(os).str();
+  }
+  EXPECT_FALSE(images[1].empty());
+  EXPECT_EQ(images[1], images[2]);
+  EXPECT_EQ(images[1], images[8]);
+}
+
+TEST(CorpusTest, ParallelFeaturizationMatchesSerial) {
+  CorpusConfig config;
+  config.num_queries = 80;
+  config.seed = 2025;
+  const auto records = BuildCorpus(config);
+  for (sim::Metric metric :
+       {sim::Metric::kThroughput, sim::Metric::kSuccess}) {
+    const auto serial = ToTrainSamples(records, metric,
+                                       core::FeaturizationMode::kFull, 1);
+    const auto parallel = ToTrainSamples(records, metric,
+                                         core::FeaturizationMode::kFull, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].regression_target, parallel[i].regression_target);
+      EXPECT_EQ(serial[i].label, parallel[i].label);
+      ASSERT_EQ(serial[i].graph.nodes.size(), parallel[i].graph.nodes.size());
+      for (size_t v = 0; v < serial[i].graph.nodes.size(); ++v) {
+        EXPECT_EQ(serial[i].graph.nodes[v].features,
+                  parallel[i].graph.nodes[v].features);
+      }
+    }
+    std::vector<std::vector<double>> x1, x8;
+    std::vector<double> y1, y8;
+    ToFlatDataset(records, metric, &x1, &y1, 1);
+    ToFlatDataset(records, metric, &x8, &y8, 8);
+    EXPECT_EQ(x1, x8);
+    EXPECT_EQ(y1, y8);
   }
 }
 

@@ -1,0 +1,146 @@
+// Randomized robustness sweep for the trace loaders: byte flips, truncations
+// and splices over valid v1/v2 images must never crash, read out of bounds
+// (CI runs this under AddressSanitizer) or allocate absurdly — every outcome
+// is either a clean `false` or a successfully validated corpus.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/random.h"
+#include "sim/hardware.h"
+#include "workload/trace_io.h"
+
+namespace costream::workload {
+namespace {
+
+std::vector<TraceRecord> FuzzCorpus() {
+  CorpusConfig config;
+  config.num_queries = 6;
+  config.seed = 31337;
+  config.duration_s = 20.0;
+  return BuildCorpus(config);
+}
+
+std::string V2Image(const std::vector<TraceRecord>& records) {
+  std::ostringstream os;
+  SaveTracesV2(os, records);
+  return std::move(os).str();
+}
+
+std::string V1Image(const std::vector<TraceRecord>& records) {
+  std::ostringstream os;
+  SaveTraces(os, records);
+  return std::move(os).str();
+}
+
+// Every record a loader hands back must be structurally sound — the parsers
+// promise validated queries and placements even for records recovered from
+// a corrupt file.
+void ExpectLoadedRecordsValid(const std::vector<TraceRecord>& records) {
+  for (const TraceRecord& r : records) {
+    EXPECT_EQ(r.query.Validate(), "");
+    EXPECT_EQ(sim::ValidatePlacement(r.query, r.cluster, r.placement), "");
+  }
+}
+
+void RunV2(const std::string& image) {
+  std::vector<TraceRecord> loaded;
+  if (LoadTracesV2(image.data(), image.size(), &loaded)) {
+    ExpectLoadedRecordsValid(loaded);
+  }
+  // The auto-detecting stream path must agree on whether the image is sane.
+  std::istringstream is(image);
+  std::vector<TraceRecord> stream_loaded;
+  if (LoadTraces(is, &stream_loaded)) {
+    ExpectLoadedRecordsValid(stream_loaded);
+  }
+}
+
+TEST(TraceFuzzTest, TruncatedV2ImagesNeverCrash) {
+  const std::string image = V2Image(FuzzCorpus());
+  nn::Rng rng(1);
+  // Every header boundary plus a random sample of interior cuts.
+  for (size_t cut = 0; cut <= 64 && cut < image.size(); ++cut) {
+    RunV2(image.substr(0, cut));
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    RunV2(image.substr(
+        0, static_cast<size_t>(
+               rng.Int(0, static_cast<int>(image.size()) - 1))));
+  }
+}
+
+TEST(TraceFuzzTest, ByteFlippedV2ImagesNeverCrash) {
+  const std::string image = V2Image(FuzzCorpus());
+  nn::Rng rng(2);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = image;
+    const int flips = rng.Int(1, 4);
+    for (int f = 0; f < flips; ++f) {
+      const int pos = rng.Int(0, static_cast<int>(mutated.size()) - 1);
+      mutated[pos] = static_cast<char>(rng.Int(0, 255));
+    }
+    RunV2(mutated);
+  }
+}
+
+TEST(TraceFuzzTest, SplicedV2ImagesNeverCrash) {
+  const std::string image = V2Image(FuzzCorpus());
+  nn::Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string mutated = image;
+    const int pos = rng.Int(0, static_cast<int>(mutated.size()));
+    std::string garbage(static_cast<size_t>(rng.Int(1, 32)), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.Int(0, 255));
+    mutated.insert(static_cast<size_t>(pos), garbage);
+    RunV2(mutated);
+  }
+}
+
+TEST(TraceFuzzTest, MutatedV1TextNeverCrashes) {
+  const std::string image = V1Image(FuzzCorpus());
+  nn::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = image;
+    switch (rng.Int(0, 2)) {
+      case 0:
+        mutated = mutated.substr(
+            0, static_cast<size_t>(
+                   rng.Int(0, static_cast<int>(mutated.size()) - 1)));
+        break;
+      case 1: {
+        const int pos = rng.Int(0, static_cast<int>(mutated.size()) - 1);
+        mutated[pos] = static_cast<char>(rng.Int(32, 126));
+        break;
+      }
+      default: {
+        const int pos = rng.Int(0, static_cast<int>(mutated.size()));
+        mutated.insert(static_cast<size_t>(pos), "garbage\n");
+        break;
+      }
+    }
+    std::istringstream is(mutated);
+    std::vector<TraceRecord> loaded;
+    if (LoadTraces(is, &loaded)) {
+      ExpectLoadedRecordsValid(loaded);
+    }
+  }
+}
+
+// A v1 file whose first bytes happen to be shorter than the v2 magic still
+// takes the text path cleanly.
+TEST(TraceFuzzTest, TinyInputsNeverCrash) {
+  for (const std::string& input :
+       {std::string(""), std::string("C"), std::string("CSTRACE"),
+        std::string("CSTRACE2"), std::string("CSTRACE2\x02"),
+        std::string("#costream"), std::string("\n\n\n")}) {
+    std::istringstream is(input);
+    std::vector<TraceRecord> loaded;
+    EXPECT_FALSE(LoadTraces(is, &loaded));
+  }
+}
+
+}  // namespace
+}  // namespace costream::workload

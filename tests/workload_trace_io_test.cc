@@ -1,5 +1,6 @@
 #include "workload/trace_io.h"
 
+#include <bit>
 #include <cstdio>
 #include <sstream>
 
@@ -206,6 +207,161 @@ TEST(TraceIoTest, RejectsNonNumericDoubleField) {
 
 TEST(TraceIoTest, RejectsEmptyNumericValue) {
   EXPECT_FALSE(Loads(ReplaceFirstToken(SerializedCorpus(), "par", "")));
+}
+
+// --- v2 binary format -------------------------------------------------------
+
+std::string SerializeV2(const std::vector<TraceRecord>& records) {
+  std::ostringstream os;
+  SaveTracesV2(os, records);
+  return std::move(os).str();
+}
+
+TEST(TraceIoV2Test, RoundTripPreservesEverything) {
+  const auto records = SmallCorpus(20, 21);
+  const std::string image = SerializeV2(records);
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(LoadTracesV2(image.data(), image.size(), &loaded));
+  ASSERT_EQ(loaded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectRecordsEqual(records[i], loaded[i]);
+  }
+}
+
+TEST(TraceIoV2Test, DoublesRoundTripBitExactly) {
+  const auto records = SmallCorpus(10, 22);
+  const std::string image = SerializeV2(records);
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(LoadTracesV2(image.data(), image.size(), &loaded));
+  ASSERT_EQ(loaded.size(), records.size());
+  const auto bits = [](double v) { return std::bit_cast<uint64_t>(v); };
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(bits(records[i].metrics.throughput),
+              bits(loaded[i].metrics.throughput));
+    EXPECT_EQ(bits(records[i].metrics.processing_latency_ms),
+              bits(loaded[i].metrics.processing_latency_ms));
+    EXPECT_EQ(bits(records[i].metrics.e2e_latency_ms),
+              bits(loaded[i].metrics.e2e_latency_ms));
+    for (int op = 0; op < records[i].query.num_operators(); ++op) {
+      EXPECT_EQ(bits(records[i].query.op(op).selectivity),
+                bits(loaded[i].query.op(op).selectivity));
+      EXPECT_EQ(bits(records[i].query.op(op).input_event_rate),
+                bits(loaded[i].query.op(op).input_event_rate));
+    }
+  }
+}
+
+// The same randomized corpus through both formats must load equivalently.
+TEST(TraceIoV2Test, V1V2Equivalence) {
+  const auto records = SmallCorpus(25, 23);
+  std::stringstream v1;
+  SaveTraces(v1, records);
+  const std::string v2 = SerializeV2(records);
+  std::vector<TraceRecord> from_v1;
+  std::vector<TraceRecord> from_v2;
+  ASSERT_TRUE(LoadTraces(v1, &from_v1));
+  ASSERT_TRUE(LoadTracesV2(v2.data(), v2.size(), &from_v2));
+  ASSERT_EQ(from_v1.size(), records.size());
+  ASSERT_EQ(from_v2.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectRecordsEqual(from_v1[i], from_v2[i]);
+  }
+}
+
+TEST(TraceIoV2Test, StreamLoaderAutoDetectsV2) {
+  const auto records = SmallCorpus(4, 24);
+  std::stringstream buffer;
+  SaveTracesV2(buffer, records);
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(LoadTraces(buffer, &loaded));
+  ASSERT_EQ(loaded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectRecordsEqual(records[i], loaded[i]);
+  }
+}
+
+TEST(TraceIoV2Test, FileLoaderAutoDetectsBothFormats) {
+  const auto records = SmallCorpus(5, 25);
+  const std::string v1_path = ::testing::TempDir() + "/costream_v1.txt";
+  const std::string v2_path = ::testing::TempDir() + "/costream_v2.bin";
+  ASSERT_TRUE(SaveTracesToFile(v1_path, records, TraceFormat::kTextV1));
+  ASSERT_TRUE(SaveTracesToFile(v2_path, records));  // default: binary v2
+  std::vector<TraceRecord> from_v1;
+  std::vector<TraceRecord> from_v2;
+  ASSERT_TRUE(LoadTracesFromFile(v1_path, &from_v1));
+  ASSERT_TRUE(LoadTracesFromFile(v2_path, &from_v2));
+  ASSERT_EQ(from_v1.size(), records.size());
+  ASSERT_EQ(from_v2.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectRecordsEqual(from_v1[i], from_v2[i]);
+  }
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST(TraceIoV2Test, EmptyCorpusRoundTrips) {
+  const std::string image = SerializeV2({});
+  std::vector<TraceRecord> loaded;
+  EXPECT_TRUE(LoadTracesV2(image.data(), image.size(), &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceIoV2Test, TruncationFailsClosedKeepingParsedRecords) {
+  const auto records = SmallCorpus(6, 26);
+  const std::string image = SerializeV2(records);
+  // Chop in the middle of the last record: everything before it must
+  // survive, the return value must say the file is bad.
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(LoadTracesV2(image.data(), image.size() - 10, &loaded));
+  EXPECT_EQ(loaded.size(), records.size() - 1);
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    ExpectRecordsEqual(records[i], loaded[i]);
+  }
+  // Chop inside the header: nothing parses.
+  EXPECT_FALSE(LoadTracesV2(image.data(), 12, &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceIoV2Test, RejectsCorruptedMagicAndVersion) {
+  const std::string image = SerializeV2(SmallCorpus(2, 27));
+  std::vector<TraceRecord> loaded;
+  std::string bad_magic = image;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(LoadTracesV2(bad_magic.data(), bad_magic.size(), &loaded));
+  std::string bad_version = image;
+  bad_version[8] = 9;  // version field, little-endian low byte
+  EXPECT_FALSE(
+      LoadTracesV2(bad_version.data(), bad_version.size(), &loaded));
+}
+
+TEST(TraceIoV2Test, RejectsLyingLengthPrefixWithoutAllocating) {
+  const std::string image = SerializeV2(SmallCorpus(2, 28));
+  // The first record's u32 payload size sits right after the 24-byte
+  // header; claim 4 GB and make sure the loader fails instead of reading
+  // past the buffer or reserving absurd memory.
+  std::string lying = image;
+  lying[24] = '\xff';
+  lying[25] = '\xff';
+  lying[26] = '\xff';
+  lying[27] = '\xff';
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(LoadTracesV2(lying.data(), lying.size(), &loaded));
+  // Also a lying element count inside the record body: the u32 operator
+  // count sits after the payload prefix (4), template kind (1) and filter
+  // count (4) — bytes 33..36 of the image.
+  std::string bomb = image;
+  bomb[33] = '\xff';
+  bomb[34] = '\xff';
+  bomb[35] = '\xff';
+  bomb[36] = '\xff';
+  EXPECT_FALSE(LoadTracesV2(bomb.data(), bomb.size(), &loaded));
+}
+
+TEST(TraceIoV2Test, RejectsTrailingGarbage) {
+  std::string image = SerializeV2(SmallCorpus(2, 29));
+  image += "extra";
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(LoadTracesV2(image.data(), image.size(), &loaded));
 }
 
 // Extreme but representable values must survive the parse exactly.
