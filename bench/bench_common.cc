@@ -50,6 +50,33 @@ workload::TraceFormat BenchTraceFormat() {
   return format;
 }
 
+namespace {
+
+// Retention cap for results/history/: every bench run adds one snapshot, so
+// without a cap the directory grows without bound. Newest files (by
+// modification time, name as the tie-break) are kept; the rest are pruned.
+constexpr size_t kHistoryRetention = 50;
+
+void PruneHistory(const std::filesystem::path& dir) {
+  std::error_code ec;
+  using Entry = std::pair<std::filesystem::file_time_type, std::string>;
+  std::vector<Entry> entries;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec) && entry.path().extension() == ".json") {
+      entries.emplace_back(entry.last_write_time(ec),
+                           entry.path().filename().string());
+    }
+  }
+  if (entries.size() <= kHistoryRetention) return;
+  std::sort(entries.begin(), entries.end());
+  const size_t excess = entries.size() - kHistoryRetention;
+  for (size_t i = 0; i < excess; ++i) {
+    std::filesystem::remove(dir / entries[i].second, ec);
+  }
+}
+
+}  // namespace
+
 std::string SaveMetricsHistory(const std::string& json_path) {
   std::ifstream in(json_path, std::ios::binary);
   if (!in) return "";
@@ -67,7 +94,9 @@ std::string SaveMetricsHistory(const std::string& json_path) {
   std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
   out << in.rdbuf();
   out.flush();
-  return out.good() ? out_path : "";
+  if (!out.good()) return "";
+  PruneHistory("results/history");
+  return out_path;
 }
 
 SplitCorpusResult BuildSplitCorpus(const workload::CorpusConfig& config) {

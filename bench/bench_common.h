@@ -36,8 +36,9 @@ workload::TraceFormat BenchTraceFormat();
 
 // Copies `json_path` into results/history/<stem>-<UTC timestamp>.json so
 // metric exports persist across bench runs (before/after comparisons stop
-// relying on git-diffing the live file). Returns the history path, or "" if
-// the source file does not exist or the copy failed.
+// relying on git-diffing the live file). Keeps only the newest 50 snapshots
+// (older .json files in results/history/ are pruned). Returns the history
+// path, or "" if the source file does not exist or the copy failed.
 std::string SaveMetricsHistory(const std::string& json_path);
 
 // Standard 80/10/10 split of a freshly built corpus. Generation runs on

@@ -29,6 +29,7 @@
 #include "placement/optimizer.h"
 #include "sim/des.h"
 #include "sim/fluid_engine.h"
+#include "verify/verify.h"
 #include "workload/corpus.h"
 #include "workload/trace_io.h"
 
@@ -441,6 +442,63 @@ void AppendMetricsSection(const std::string& path) {
   SpliceJsonSection(path, section.str());
 }
 
+// --- Static-verification overhead section -----------------------------------
+//
+// Candidate-scoring rate with the costream-verify entry-point checks forced
+// on vs off, spliced into the JSON as a "verify" section. The scorer
+// verifies a query/cluster/plan triple once at construction and never per
+// candidate, so the budget CI gates on (overhead_pct <= 2) holds with head-
+// room; the verify.runs counter proves the checks actually executed.
+void AppendVerifySection(const std::string& path) {
+  const auto record = MakeRecord(workload::QueryTemplate::kThreeWayJoin, 13);
+  core::CostModelConfig target_config;
+  target_config.hidden_dim = 16;
+  const core::Ensemble target(target_config, 3);
+  core::CostModelConfig success_config;
+  success_config.hidden_dim = 16;
+  success_config.head = core::HeadKind::kClassification;
+  success_config.seed = 5;
+  const core::Ensemble success(success_config, 3);
+  const placement::PlacementOptimizer optimizer(&target, &success, &success);
+  placement::OptimizerConfig config;
+  config.enumeration.num_candidates = 32;
+  config.num_threads = 1;
+  config.enumeration.num_threads = 1;
+
+  constexpr int kReps = 3;
+  constexpr int kOptimizeCalls = 8;
+  const bool was_enabled = verify::VerificationEnabled();
+  verify::SetVerificationEnabled(true);
+  CandidateScoringRate(record, optimizer, config, 1, 2);  // warm-up
+  obs::SetEnabled(true);
+  obs::Registry::Default().ResetValues();
+  const double rate_verified =
+      CandidateScoringRate(record, optimizer, config, kReps, kOptimizeCalls);
+  const uint64_t verify_runs = obs::GetCounter("verify.runs").Value();
+  const uint64_t verify_failed =
+      obs::GetCounter("verify.reports_failed").Value();
+  verify::SetVerificationEnabled(false);
+  const double rate_unverified =
+      CandidateScoringRate(record, optimizer, config, kReps, kOptimizeCalls);
+  verify::SetVerificationEnabled(was_enabled);
+  const double overhead_pct =
+      rate_unverified > 0.0
+          ? (rate_unverified - rate_verified) / rate_unverified * 100.0
+          : 0.0;
+
+  std::ostringstream section;
+  section.precision(17);
+  section << ",\n  \"verify\": {\n"
+          << "    \"scoring_candidates_per_s_verified\": " << rate_verified
+          << ",\n"
+          << "    \"scoring_candidates_per_s_unverified\": " << rate_unverified
+          << ",\n"
+          << "    \"overhead_pct\": " << overhead_pct << ",\n"
+          << "    \"verify_runs\": " << verify_runs << ",\n"
+          << "    \"verify_reports_failed\": " << verify_failed << "\n  }\n";
+  SpliceJsonSection(path, section.str());
+}
+
 // --- Corpus-pipeline section ------------------------------------------------
 //
 // Direct best-of-N timings of the label-collection pipeline on a smoke
@@ -582,6 +640,7 @@ int main(int argc, char** argv) {
   // sections into the JSON report for CI consumption. A timestamped copy
   // lands under results/history/ so runs stay comparable over time.
   costream::AppendMetricsSection(out_path);
+  costream::AppendVerifySection(out_path);
   costream::AppendCorpusPipelineSection(out_path);
   const std::string history = costream::bench::SaveMetricsHistory(out_path);
   if (!history.empty()) {

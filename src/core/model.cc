@@ -496,6 +496,22 @@ void CostModel::RestoreParameters(const std::vector<nn::Matrix>& snapshot) {
   }
 }
 
+std::vector<std::vector<int>> CostModel::EncoderDims() const {
+  std::vector<std::vector<int>> dims;
+  dims.reserve(encoders_.size());
+  for (const nn::Mlp& mlp : encoders_) dims.push_back(mlp.dims());
+  return dims;
+}
+
+std::vector<std::vector<int>> CostModel::UpdateDims() const {
+  std::vector<std::vector<int>> dims;
+  dims.reserve(updates_.size());
+  for (const nn::Mlp& mlp : updates_) dims.push_back(mlp.dims());
+  return dims;
+}
+
+std::vector<int> CostModel::ReadoutDims() const { return readout_[0].dims(); }
+
 bool CostModel::Save(const std::string& path) const {
   return nn::SaveParametersToFile(path, params_);
 }

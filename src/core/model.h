@@ -161,6 +161,12 @@ class CostModel {
   const CostModelConfig& config() const { return config_; }
   const std::vector<nn::Parameter*>& parameters() { return params_; }
 
+  // Layer-boundary dims of every MLP (per NodeKind for the encoders and
+  // update nets), consumed by the verify library's symbolic shape propagator.
+  std::vector<std::vector<int>> EncoderDims() const;
+  std::vector<std::vector<int>> UpdateDims() const;
+  std::vector<int> ReadoutDims() const;
+
   // Checkpointing (used to restore the best validation epoch).
   std::vector<nn::Matrix> SnapshotParameters() const;
   void RestoreParameters(const std::vector<nn::Matrix>& snapshot);

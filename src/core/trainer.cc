@@ -10,6 +10,8 @@
 #include "common/thread_pool.h"
 #include "nn/random.h"
 #include "obs/metrics.h"
+#include "verify/plan_rules.h"
+#include "verify/verify.h"
 
 namespace costream::core {
 
@@ -100,6 +102,34 @@ TrainResult TrainModel(CostModel& model, const std::vector<TrainSample>& train,
                        const TrainConfig& config) {
   COSTREAM_CHECK(!train.empty());
   COSTREAM_CHECK(config.epochs > 0 && config.batch_size > 0);
+
+  if (verify::VerificationEnabled()) {
+    // Statically verify every sample's joint graph against the model's
+    // encoder widths before the first epoch, plus one full forward-plan
+    // shape proof on a representative sample — a malformed sample then
+    // fails with a located diagnostic instead of mid-epoch inside a GEMM.
+    const verify::ModelLayerDims dims = verify::DimsFromModel(model);
+    verify::VerifyReport report;
+    const auto check_set = [&](const std::vector<TrainSample>& samples,
+                               const char* name) {
+      for (size_t i = 0; i < samples.size(); ++i) {
+        report.PushLocationPrefix(std::string(name) + "[" +
+                                  std::to_string(i) + "].");
+        verify::VerifyJointGraph(samples[i].graph, &dims, &report);
+        report.PopLocationPrefix();
+      }
+    };
+    check_set(train, "train");
+    check_set(val, "val");
+    if (report.ok() && model.config().execution == ExecutionMode::kBatched) {
+      ForwardPlan plan;
+      model.BuildForwardPlan(train.front().graph, plan);
+      report.PushLocationPrefix("train[0].");
+      verify::VerifyForwardPlan(train.front().graph, plan, dims, &report);
+      report.PopLocationPrefix();
+    }
+    verify::CheckOrDie(report, "TrainModel");
+  }
 
   nn::AdamConfig adam_config;
   adam_config.learning_rate = config.learning_rate;

@@ -54,6 +54,17 @@ class Mlp {
   int in_features() const { return layers_.front().in_features(); }
   int out_features() const { return layers_.back().out_features(); }
 
+  // The layer-boundary sizes this Mlp was built with, e.g. {12, 32, 32}.
+  // The static shape verifier lowers Apply() into one symbolic GEMM per
+  // boundary pair (activations and bias adds never change shapes).
+  std::vector<int> dims() const {
+    std::vector<int> d;
+    d.reserve(layers_.size() + 1);
+    d.push_back(layers_.front().in_features());
+    for (const Linear& layer : layers_) d.push_back(layer.out_features());
+    return d;
+  }
+
   void CollectParameters(std::vector<Parameter*>& out);
 
  private:

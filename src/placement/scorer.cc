@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "verify/plan_rules.h"
+#include "verify/verify.h"
 
 namespace costream::placement {
 
@@ -27,6 +29,30 @@ PlacementScorer::PlacementScorer(const dsps::QueryGraph& query,
       num_operators_(query.num_operators()),
       num_hw_nodes_(cluster.num_nodes()) {
   COSTREAM_CHECK(target_ != nullptr);
+
+  if (verify::VerificationEnabled()) {
+    // Verified once at construction, never per candidate: query and cluster
+    // structure are candidate-invariant, and a forward-plan shape proof on
+    // one canonical placement covers every candidate because Bind() derives
+    // each candidate's plan with the same builder from the same prototype.
+    verify::VerifyReport report;
+    verify::VerifyQueryGraph(query, &report);
+    verify::VerifyCluster(cluster, &report);
+    if (report.ok()) {
+      const core::CostModel& member = target_->member(0);
+      const sim::Placement canonical(query.num_operators(), 0);
+      const core::JointGraph canonical_graph = core::BuildJointGraph(
+          query, cluster, canonical, member.config().featurization);
+      core::ForwardPlan canonical_plan;
+      member.BuildForwardPlan(canonical_graph, canonical_plan);
+      report.PushLocationPrefix("canonical.");
+      verify::VerifyForwardPlan(canonical_graph, canonical_plan,
+                                verify::DimsFromModel(member), &report);
+      report.PopLocationPrefix();
+    }
+    verify::CheckOrDie(report, "PlacementScorer");
+  }
+
   const core::JointGraph prototype = core::BuildOperatorGraph(query);
 
   const auto slot_for = [&](const core::Ensemble* ensemble) {

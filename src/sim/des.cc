@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "nn/random.h"
+#include "verify/verify.h"
 #include "obs/metrics.h"
 #include "sim/cost_model.h"
 #include "sim/data_generator.h"
@@ -655,6 +656,11 @@ void DesEngine::Route(int op, const Tuple& out, double now) {
 
 DesReport RunDes(const QueryGraph& query, const Cluster& cluster,
                  const Placement& placement, const DesConfig& config) {
+  if (verify::VerificationEnabled()) {
+    verify::VerifyReport vreport;
+    verify::VerifyPlacedQuery(query, cluster, placement, &vreport);
+    verify::CheckOrDie(vreport, "RunDes");
+  }
   DesEngine engine(query, cluster, placement, config);
   return engine.Run();
 }

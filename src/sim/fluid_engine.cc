@@ -7,6 +7,7 @@
 #include "nn/random.h"
 #include "obs/metrics.h"
 #include "sim/cost_model.h"
+#include "verify/verify.h"
 
 namespace costream::sim {
 
@@ -220,6 +221,11 @@ FluidReport EvaluateFluid(const QueryGraph& query, const Cluster& cluster,
   COSTREAM_CHECK_MSG(query.Validate().empty(), query.Validate().c_str());
   COSTREAM_CHECK_MSG(ValidatePlacement(query, cluster, placement).empty(),
                      "invalid placement");
+  if (verify::VerificationEnabled()) {
+    verify::VerifyReport vreport;
+    verify::VerifyPlacedQuery(query, cluster, placement, &vreport);
+    verify::CheckOrDie(vreport, "EvaluateFluid");
+  }
   static obs::Counter& metric_evals = obs::GetCounter("sim.fluid.evaluations");
   static obs::Counter& metric_bisect_iters =
       obs::GetCounter("sim.fluid.bisection_iterations");

@@ -1,0 +1,106 @@
+#include "verify/artifact_lint.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dsps/query_builder.h"
+#include "verify/placement_rules.h"
+#include "verify/plan_rules.h"
+#include "workload/trace_io.h"
+
+namespace costream::verify {
+
+namespace {
+
+// Leading magics of the two on-disk artifact formats (see
+// src/workload/trace_io.h and src/nn/serialize.cc).
+constexpr char kTraceV1Magic[] = "#costream-traces";
+constexpr char kTraceV2Magic[] = "CSTRACE2";
+constexpr uint32_t kModelMagic = 0xC057EA30;
+
+}  // namespace
+
+ArtifactKind DetectArtifactKind(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  char head[16] = {};
+  is.read(head, sizeof(head));
+  if (is.gcount() < 8) return ArtifactKind::kUnknown;
+  if (std::memcmp(head, kTraceV2Magic, 8) == 0 ||
+      std::memcmp(head, kTraceV1Magic, sizeof(kTraceV1Magic) - 1) == 0) {
+    return ArtifactKind::kTraceCorpus;
+  }
+  uint32_t magic = 0;
+  std::memcpy(&magic, head, sizeof(magic));
+  if (magic == kModelMagic) return ArtifactKind::kModelFile;
+  return ArtifactKind::kUnknown;
+}
+
+void LintTraceFile(const std::string& path, VerifyReport* report,
+                   int max_records) {
+  std::vector<workload::TraceRecord> records;
+  if (!workload::LoadTracesFromFile(path, &records)) {
+    report->Add(kRuleTraceParseFailed, Severity::kError, path,
+                "trace file failed to parse (" +
+                    std::to_string(records.size()) +
+                    " records read before the error)",
+                "regenerate the corpus or check the format version");
+    return;
+  }
+  int limit = static_cast<int>(records.size());
+  if (max_records > 0 && max_records < limit) limit = max_records;
+  for (int i = 0; i < limit; ++i) {
+    report->PushLocationPrefix("record[" + std::to_string(i) + "].");
+    VerifyPlacedQuery(records[i].query, records[i].cluster,
+                      records[i].placement, report);
+    report->PopLocationPrefix();
+  }
+}
+
+void LintModelFile(const std::string& path, const core::CostModelConfig& config,
+                   VerifyReport* report) {
+  core::CostModel model(config);
+  if (!model.Load(path)) {
+    report->Add(kRuleModelLoadFailed, Severity::kError, path,
+                "model file does not load into the configured architecture "
+                "(hidden_dim " +
+                    std::to_string(config.hidden_dim) + ")",
+                "shape or parameter-count mismatch, or a truncated file");
+    return;
+  }
+  for (size_t p = 0; p < model.parameters().size(); ++p) {
+    const nn::Matrix& value = model.parameters()[p]->value;
+    for (int i = 0; i < value.size(); ++i) {
+      if (!std::isfinite(value.data()[i])) {
+        report->Add(kRuleModelNonFinite, Severity::kError,
+                    "param[" + std::to_string(p) + "]",
+                    "parameter holds a non-finite value",
+                    "the checkpoint is corrupt or training diverged");
+        break;  // one finding per tensor is enough
+      }
+    }
+  }
+  // Shape-check a forward of the loaded model on a probe query: a minimal
+  // source -> filter -> sink pipeline placed on a one-node cluster exercises
+  // encode, every staged message pass and the readout.
+  dsps::QueryBuilder builder;
+  const auto source =
+      builder.Source(1000.0, {dsps::DataType::kInt, dsps::DataType::kInt});
+  const auto filtered = builder.Filter(source, dsps::FilterFunction::kLess,
+                                       dsps::DataType::kInt, 0.5);
+  const dsps::QueryGraph query = builder.Sink(filtered);
+  sim::Cluster cluster;
+  cluster.nodes.push_back({400.0, 16000.0, 1000.0, 5.0});
+  const core::JointGraph graph = core::BuildJointGraph(
+      query, cluster, sim::Placement{0, 0, 0}, config.featurization);
+  core::ForwardPlan plan;
+  model.BuildForwardPlan(graph, plan);
+  report->PushLocationPrefix("probe.");
+  VerifyForwardPlan(graph, plan, DimsFromModel(model), report);
+  report->PopLocationPrefix();
+}
+
+}  // namespace costream::verify

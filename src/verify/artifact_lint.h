@@ -1,0 +1,42 @@
+#ifndef COSTREAM_VERIFY_ARTIFACT_LINT_H_
+#define COSTREAM_VERIFY_ARTIFACT_LINT_H_
+
+#include <string>
+
+#include "core/model.h"
+#include "verify/rules.h"
+
+namespace costream::verify {
+
+// File-level linters behind `costream_lint`. They live in a separate library
+// (costream_verify_io) because they pull in the workload / core / nn I-O
+// stacks, which the in-process rule library must not depend on.
+
+// Kinds of artifact files the linters understand, detected from the leading
+// magic bytes.
+enum class ArtifactKind {
+  kUnknown,
+  kTraceCorpus,  // "#costream-traces v1" text or "CSTRACE2" binary
+  kModelFile,    // nn::SaveParameters magic
+};
+
+ArtifactKind DetectArtifactKind(const std::string& path);
+
+// Lints a trace-corpus file: parses it (TR001 on failure), then runs the
+// graph / cluster / placement rules over every embedded record, with
+// locations prefixed "record[i].". `max_records` > 0 caps how many records
+// are verified (0 = all).
+void LintTraceFile(const std::string& path, VerifyReport* report,
+                   int max_records = 0);
+
+// Lints a serialized model against `config`: MF001 when the file does not
+// load into that architecture, MF002 when any parameter is NaN/Inf, then a
+// full forward-plan shape check (JG/FP/TP rules) of the loaded model on a
+// probe query — proving the deserialized weights wire into a runnable
+// forward before anything predicts with them.
+void LintModelFile(const std::string& path, const core::CostModelConfig& config,
+                   VerifyReport* report);
+
+}  // namespace costream::verify
+
+#endif  // COSTREAM_VERIFY_ARTIFACT_LINT_H_

@@ -1,0 +1,112 @@
+#include "verify/diagnostic.h"
+
+#include <sstream>
+
+namespace costream::verify {
+
+namespace {
+
+// Minimal JSON string escaping: quotes, backslashes and control characters.
+// Rule messages are plain ASCII prose, so this covers everything they emit.
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+const char* ToString(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+void VerifyReport::Add(std::string_view rule, Severity severity,
+                       std::string location, std::string message,
+                       std::string hint) {
+  Diagnostic d;
+  d.rule.assign(rule.data(), rule.size());
+  d.severity = severity;
+  d.location = location_prefix_.empty()
+                   ? std::move(location)
+                   : location_prefix_ + location;
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  if (severity == Severity::kError) {
+    ++num_errors_;
+  } else {
+    ++num_warnings_;
+  }
+  diagnostics_.push_back(std::move(d));
+}
+
+void VerifyReport::PushLocationPrefix(const std::string& prefix) {
+  location_prefix_ += prefix;
+}
+
+void VerifyReport::PopLocationPrefix() {
+  // Prefixes nest textually; popping removes the last pushed segment. The
+  // linters only nest one level deep, so tracking segment lengths would be
+  // overkill — drop back to the last '.' boundary or empty.
+  const size_t dot = location_prefix_.rfind('.', location_prefix_.size() - 2);
+  location_prefix_ =
+      dot == std::string::npos ? "" : location_prefix_.substr(0, dot + 1);
+}
+
+std::string VerifyReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"ok\": " << (ok() ? "true" : "false")
+     << ", \"errors\": " << num_errors_ << ", \"warnings\": " << num_warnings_
+     << ", \"diagnostics\": [";
+  for (size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    if (i > 0) os << ", ";
+    os << "{\"rule\": ";
+    AppendJsonString(os, d.rule);
+    os << ", \"severity\": \"" << ToString(d.severity) << "\", \"location\": ";
+    AppendJsonString(os, d.location);
+    os << ", \"message\": ";
+    AppendJsonString(os, d.message);
+    os << ", \"hint\": ";
+    AppendJsonString(os, d.hint);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string VerifyReport::DebugString() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) {
+    os << ToString(d.severity) << ' ' << d.rule;
+    if (!d.location.empty()) os << " at " << d.location;
+    os << ": " << d.message;
+    if (!d.hint.empty()) os << " (hint: " << d.hint << ')';
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace costream::verify

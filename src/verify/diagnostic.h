@@ -1,0 +1,69 @@
+#ifndef COSTREAM_VERIFY_DIAGNOSTIC_H_
+#define COSTREAM_VERIFY_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace costream::verify {
+
+// Severity of one finding. Errors reject the artifact (the entry-point
+// guards abort on them, costream_lint exits non-zero); warnings flag
+// heuristic pre-feasibility concerns (a capacity-tight placement is a
+// legitimate training example, so it must not be rejected).
+enum class Severity {
+  kWarning,
+  kError,
+};
+
+const char* ToString(Severity s);
+
+// One structured finding of the static analyzer. Every rule has a stable id
+// (see rules.h for the catalog), so tests, CI gates and dashboards can match
+// on it without parsing prose.
+struct Diagnostic {
+  std::string rule;      // stable rule id, e.g. "QG003"
+  Severity severity = Severity::kError;
+  std::string location;  // artifact location, e.g. "op[3]" or "record[7]"
+  std::string message;   // what is wrong
+  std::string hint;      // how to fix it (may be empty)
+};
+
+// An ordered collection of diagnostics from one verification pass.
+// Diagnostics are appended in rule-evaluation order, which is deterministic
+// for a given artifact, so two runs produce byte-identical JSON.
+class VerifyReport {
+ public:
+  void Add(std::string_view rule, Severity severity, std::string location,
+           std::string message, std::string hint = "");
+
+  // Prefixes the location of every diagnostic added from here on with
+  // `prefix` (e.g. "record[12]."). Used by artifact linters that verify many
+  // embedded artifacts into one report.
+  void PushLocationPrefix(const std::string& prefix);
+  void PopLocationPrefix();
+
+  bool ok() const { return num_errors_ == 0; }
+  int num_errors() const { return num_errors_; }
+  int num_warnings() const { return num_warnings_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  // Deterministic JSON object:
+  //   {"ok": ..., "errors": N, "warnings": N, "diagnostics": [
+  //     {"rule": ..., "severity": ..., "location": ..., "message": ...,
+  //      "hint": ...}, ...]}
+  std::string ToJson() const;
+
+  // Human-readable multi-line summary ("error QG003 at op[2]: ...").
+  std::string DebugString() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::string location_prefix_;
+  int num_errors_ = 0;
+  int num_warnings_ = 0;
+};
+
+}  // namespace costream::verify
+
+#endif  // COSTREAM_VERIFY_DIAGNOSTIC_H_

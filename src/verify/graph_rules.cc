@@ -1,0 +1,254 @@
+#include "verify/graph_rules.h"
+
+#include <cmath>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace costream::verify {
+
+namespace {
+
+using dsps::OperatorDescriptor;
+using dsps::OperatorType;
+using dsps::WindowType;
+
+std::string OpLoc(int i) {
+  return "op[" + std::to_string(i) + "]";
+}
+
+bool FiniteInUnit(double v) { return std::isfinite(v) && v >= 0.0 && v <= 1.0; }
+
+// Per-operator field rules (no topology needed).
+void CheckOperatorFields(const OperatorDescriptor& op, int i,
+                         VerifyReport* report) {
+  if (op.type == OperatorType::kWindow) {
+    const auto& w = op.window;
+    std::ostringstream bad;
+    if (!(std::isfinite(w.size) && w.size > 0.0)) {
+      bad << "size " << w.size << " must be positive";
+    } else if (!(std::isfinite(w.slide) && w.slide > 0.0)) {
+      bad << "slide " << w.slide << " must be positive";
+    } else if (w.type == WindowType::kSliding && w.slide > w.size) {
+      bad << "slide " << w.slide << " exceeds size " << w.size;
+    }
+    if (!bad.str().empty()) {
+      report->Add(kRuleGraphWindowSpec, Severity::kError, OpLoc(i),
+                  "window spec invalid: " + bad.str(),
+                  "use positive size/slide with slide <= size");
+    }
+  }
+  if (!(std::isfinite(op.selectivity) && op.selectivity >= 0.0 &&
+        op.selectivity <= 1.0)) {
+    report->Add(kRuleGraphSelectivity, Severity::kError, OpLoc(i),
+                "selectivity " + std::to_string(op.selectivity) +
+                    " outside [0, 1]",
+                "selectivities are fractions (Definitions 6-8)");
+  }
+  if (!(std::isfinite(op.tuple_width_in) && op.tuple_width_in >= 0.0) ||
+      !(std::isfinite(op.tuple_width_out) && op.tuple_width_out >= 0.0)) {
+    report->Add(kRuleGraphTupleWidth, Severity::kError, OpLoc(i),
+                "tuple widths (" + std::to_string(op.tuple_width_in) + ", " +
+                    std::to_string(op.tuple_width_out) +
+                    ") must be finite and non-negative");
+  } else if (!FiniteInUnit(op.frac_int) || !FiniteInUnit(op.frac_double) ||
+             !FiniteInUnit(op.frac_string)) {
+    report->Add(kRuleGraphTupleWidth, Severity::kError, OpLoc(i),
+                "data-type fractions outside [0, 1]",
+                "frac_int/frac_double/frac_string are attribute fractions");
+  }
+  if (op.type == OperatorType::kSource) {
+    if (!(std::isfinite(op.input_event_rate) && op.input_event_rate > 0.0)) {
+      report->Add(kRuleGraphSourceSpec, Severity::kError, OpLoc(i),
+                  "source event rate " + std::to_string(op.input_event_rate) +
+                      " must be positive");
+    }
+    if (op.tuple_data_types.empty()) {
+      report->Add(kRuleGraphSourceSpec, Severity::kError, OpLoc(i),
+                  "source declares no tuple data types");
+    }
+  }
+  if (op.parallelism < 1) {
+    report->Add(kRuleGraphParallelism, Severity::kError, OpLoc(i),
+                "parallelism " + std::to_string(op.parallelism) +
+                    " must be >= 1",
+                "every operator runs at least one instance");
+  }
+}
+
+}  // namespace
+
+void VerifyQueryGraph(const dsps::QueryGraph& query, VerifyReport* report) {
+  const int n = query.num_operators();
+  if (n == 0) {
+    report->Add(kRuleGraphEmpty, Severity::kError, "query",
+                "query graph has no operators");
+    return;
+  }
+  for (int i = 0; i < n; ++i) CheckOperatorFields(query.op(i), i, report);
+
+  // Edge endpoint validity. The builder API enforces this, but artifacts can
+  // arrive through future deserializers, so the analyzer re-proves it before
+  // any index-based topology pass below.
+  const auto& edges = query.edges();
+  bool edges_ok = true;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const auto& [from, to] = edges[e];
+    if (from < 0 || from >= n || to < 0 || to >= n || from == to) {
+      report->Add(kRuleGraphDanglingEdge, Severity::kError,
+                  "edge[" + std::to_string(e) + "]",
+                  "edge (" + std::to_string(from) + " -> " +
+                      std::to_string(to) + ") references a missing operator "
+                      "or loops on itself");
+      edges_ok = false;
+    }
+  }
+  if (!edges_ok) return;  // the remaining rules index by edge endpoints
+
+  std::vector<int> fan_in(n, 0);
+  std::vector<int> fan_out(n, 0);
+  std::vector<std::vector<int>> out_edges(n);
+  std::vector<std::vector<int>> in_edges(n);
+  for (const auto& [from, to] : edges) {
+    ++fan_out[from];
+    ++fan_in[to];
+    out_edges[from].push_back(to);
+    in_edges[to].push_back(from);
+  }
+
+  int sink = -1;
+  int num_sinks = 0;
+  for (int i = 0; i < n; ++i) {
+    const OperatorDescriptor& op = query.op(i);
+    switch (op.type) {
+      case OperatorType::kSource:
+        if (fan_in[i] != 0 || fan_out[i] < 1) {
+          report->Add(kRuleGraphArity, Severity::kError, OpLoc(i),
+                      "source has " + std::to_string(fan_in[i]) +
+                          " inputs and " + std::to_string(fan_out[i]) +
+                          " outputs (want 0 inputs, >= 1 output)");
+        }
+        break;
+      case OperatorType::kFilter:
+      case OperatorType::kWindow:
+      case OperatorType::kAggregate:
+        if (fan_in[i] != 1 || fan_out[i] < 1) {
+          report->Add(kRuleGraphArity, Severity::kError, OpLoc(i),
+                      std::string(dsps::ToString(op.type)) + " has " +
+                          std::to_string(fan_in[i]) + " inputs and " +
+                          std::to_string(fan_out[i]) +
+                          " outputs (want exactly 1 input, >= 1 output)");
+        }
+        break;
+      case OperatorType::kJoin:
+        if (fan_in[i] != 2 || fan_out[i] < 1) {
+          report->Add(kRuleGraphArity, Severity::kError, OpLoc(i),
+                      "join has " + std::to_string(fan_in[i]) +
+                          " inputs and " + std::to_string(fan_out[i]) +
+                          " outputs (want exactly 2 inputs, >= 1 output)");
+        }
+        break;
+      case OperatorType::kSink:
+        if (fan_in[i] < 1 || fan_out[i] != 0) {
+          report->Add(kRuleGraphArity, Severity::kError, OpLoc(i),
+                      "sink has " + std::to_string(fan_in[i]) +
+                          " inputs and " + std::to_string(fan_out[i]) +
+                          " outputs (want >= 1 input, 0 outputs)");
+        }
+        sink = i;
+        ++num_sinks;
+        break;
+    }
+    // Windowed aggregates/joins must read window operators so the joint
+    // graph carries the window features (paper Table I).
+    if (op.type == OperatorType::kAggregate || op.type == OperatorType::kJoin) {
+      for (int up : in_edges[i]) {
+        if (query.op(up).type != OperatorType::kWindow) {
+          report->Add(kRuleGraphWindowFeed, Severity::kError, OpLoc(i),
+                      std::string(dsps::ToString(op.type)) + " input op[" +
+                          std::to_string(up) + "] is a " +
+                          dsps::ToString(query.op(up).type) +
+                          ", not a window",
+                      "insert a window operator in front of it");
+        }
+      }
+    }
+  }
+  if (num_sinks != 1) {
+    report->Add(kRuleGraphSinkCount, Severity::kError, "query",
+                "query has " + std::to_string(num_sinks) +
+                    " sinks (want exactly 1)");
+  }
+
+  // Cycle detection (Kahn). A cycle invalidates reachability analysis, so
+  // that rule is skipped when this one fires.
+  std::vector<int> in_degree = fan_in;
+  std::queue<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) ready.push(i);
+  }
+  int visited = 0;
+  while (!ready.empty()) {
+    const int id = ready.front();
+    ready.pop();
+    ++visited;
+    for (int to : out_edges[id]) {
+      if (--in_degree[to] == 0) ready.push(to);
+    }
+  }
+  if (visited != n) {
+    report->Add(kRuleGraphCycle, Severity::kError, "query",
+                std::to_string(n - visited) +
+                    " operator(s) sit on a dataflow cycle",
+                "streaming queries are DAGs towards the sink");
+    return;
+  }
+
+  // Source -> sink reachability: every operator must see source data and
+  // contribute to the sink's output; anything else is dead dataflow.
+  std::vector<char> from_source(n, 0);
+  for (int i = 0; i < n; ++i) {
+    if (query.op(i).type == OperatorType::kSource) from_source[i] = 1;
+  }
+  std::queue<int> frontier;
+  for (int i = 0; i < n; ++i) {
+    if (from_source[i]) frontier.push(i);
+  }
+  while (!frontier.empty()) {
+    const int id = frontier.front();
+    frontier.pop();
+    for (int to : out_edges[id]) {
+      if (!from_source[to]) {
+        from_source[to] = 1;
+        frontier.push(to);
+      }
+    }
+  }
+  std::vector<char> to_sink(n, 0);
+  if (num_sinks == 1) {
+    to_sink[sink] = 1;
+    frontier.push(sink);
+    while (!frontier.empty()) {
+      const int id = frontier.front();
+      frontier.pop();
+      for (int up : in_edges[id]) {
+        if (!to_sink[up]) {
+          to_sink[up] = 1;
+          frontier.push(up);
+        }
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!from_source[i]) {
+      report->Add(kRuleGraphUnreachable, Severity::kError, OpLoc(i),
+                  "operator is unreachable from every source");
+    } else if (num_sinks == 1 && !to_sink[i]) {
+      report->Add(kRuleGraphUnreachable, Severity::kError, OpLoc(i),
+                  "operator output never reaches the sink");
+    }
+  }
+}
+
+}  // namespace costream::verify

@@ -1,0 +1,18 @@
+#ifndef COSTREAM_VERIFY_GRAPH_RULES_H_
+#define COSTREAM_VERIFY_GRAPH_RULES_H_
+
+#include "dsps/query_graph.h"
+#include "verify/rules.h"
+
+namespace costream::verify {
+
+// Runs every QG* rule over `query`, appending findings to `report`.
+// Locations are "op[i]" / "edge[i]" / "query". Unlike QueryGraph::Validate
+// (which stops at the first violation and returns prose), this pass collects
+// every finding with a stable rule id and never aborts, so it is safe on
+// artifacts loaded from disk.
+void VerifyQueryGraph(const dsps::QueryGraph& query, VerifyReport* report);
+
+}  // namespace costream::verify
+
+#endif  // COSTREAM_VERIFY_GRAPH_RULES_H_

@@ -1,0 +1,186 @@
+#include "verify/placement_rules.h"
+
+#include <cmath>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "verify/graph_rules.h"
+
+namespace costream::verify {
+
+namespace {
+
+using dsps::OperatorDescriptor;
+using dsps::OperatorType;
+using dsps::WindowPolicy;
+
+// Safety factors of the capacity pre-feasibility heuristics: only flag
+// demand that clearly exceeds capacity, so rule-conforming placements of the
+// seed grids never trip them while grossly overloaded nodes do.
+constexpr double kRamSlack = 2.0;
+constexpr double kNetSlack = 2.0;
+constexpr double kCpuOversubscription = 16.0;
+
+std::string NodeLoc(int i) { return "node[" + std::to_string(i) + "]"; }
+
+// Steady-state per-operator output rates under the selectivity definitions,
+// simplified for linting: windows pass tuples through, aggregates scale by
+// their selectivity, joins emit sel * (r_left + r_right) — a deliberately
+// rough stand-in for the fluid engine's window-pairing math, good enough to
+// order-of-magnitude the traffic a placement must carry.
+std::vector<double> EstimateOutputRates(const dsps::QueryGraph& query) {
+  const int n = query.num_operators();
+  std::vector<double> out_rate(n, 0.0);
+  for (int id : query.TopologicalOrder()) {
+    const OperatorDescriptor& op = query.op(id);
+    double in_rate = 0.0;
+    for (int up : query.Upstream(id)) in_rate += out_rate[up];
+    switch (op.type) {
+      case OperatorType::kSource:
+        out_rate[id] = op.input_event_rate;
+        break;
+      case OperatorType::kFilter:
+      case OperatorType::kAggregate:
+        out_rate[id] = in_rate * op.selectivity;
+        break;
+      case OperatorType::kJoin:
+        out_rate[id] = in_rate * op.selectivity;
+        break;
+      case OperatorType::kWindow:
+      case OperatorType::kSink:
+        out_rate[id] = in_rate;
+        break;
+    }
+  }
+  return out_rate;
+}
+
+}  // namespace
+
+void VerifyCluster(const sim::Cluster& cluster, VerifyReport* report) {
+  if (cluster.num_nodes() == 0) {
+    report->Add(kRuleClusterEmpty, Severity::kError, "cluster",
+                "cluster has no hardware nodes");
+    return;
+  }
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    const sim::HardwareNode& hw = cluster.nodes[i];
+    const bool ok = std::isfinite(hw.cpu_pct) && hw.cpu_pct > 0.0 &&
+                    std::isfinite(hw.ram_mb) && hw.ram_mb > 0.0 &&
+                    std::isfinite(hw.bandwidth_mbits) &&
+                    hw.bandwidth_mbits > 0.0 && std::isfinite(hw.latency_ms) &&
+                    hw.latency_ms >= 0.0;
+    if (!ok) {
+      report->Add(kRuleClusterBadNode, Severity::kError, NodeLoc(i),
+                  "hardware features out of range (cpu " +
+                      std::to_string(hw.cpu_pct) + "%, ram " +
+                      std::to_string(hw.ram_mb) + "MB, bandwidth " +
+                      std::to_string(hw.bandwidth_mbits) + "Mbit/s, latency " +
+                      std::to_string(hw.latency_ms) + "ms)",
+                  "cpu/ram/bandwidth must be positive, latency >= 0");
+    }
+  }
+}
+
+void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
+                     const sim::Placement& placement, VerifyReport* report) {
+  const int n = query.num_operators();
+  const int nodes = cluster.num_nodes();
+  // The Placement representation maps each operator to exactly one node by
+  // construction, so "placed exactly once" reduces to the vector covering
+  // every operator id.
+  if (static_cast<int>(placement.size()) != n) {
+    report->Add(kRulePlacementArity, Severity::kError, "placement",
+                "placement maps " + std::to_string(placement.size()) +
+                    " operators, query has " + std::to_string(n),
+                "every operator (windows and sink included) must be placed "
+                "exactly once");
+    return;
+  }
+  bool structural_ok = true;
+  for (int i = 0; i < n; ++i) {
+    if (placement[i] < 0 || placement[i] >= nodes) {
+      report->Add(kRulePlacementUnknownNode, Severity::kError,
+                  "placement[" + std::to_string(i) + "]",
+                  "operator placed on node " + std::to_string(placement[i]) +
+                      ", cluster has " + std::to_string(nodes) + " nodes");
+      structural_ok = false;
+    }
+  }
+  if (!structural_ok || n == 0 || query.Validate() != "") return;
+
+  // --- Capacity pre-feasibility (warnings) ---------------------------------
+  const std::vector<double> out_rate = EstimateOutputRates(query);
+
+  // RAM: window state per node. Instances key-partition their window, so
+  // parallelism does not change the total state.
+  std::vector<double> state_bytes(nodes, 0.0);
+  // CPU: parallel instances per node (one instance uses at most one core).
+  std::vector<double> instances(nodes, 0.0);
+  // Network: bytes/s leaving each node over cross-node dataflow edges.
+  std::vector<double> egress_bytes(nodes, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const OperatorDescriptor& op = query.op(i);
+    const int node = placement[i];
+    instances[node] += std::max(op.parallelism, 1);
+    if (op.type == OperatorType::kWindow) {
+      double in_rate = 0.0;
+      for (int up : query.Upstream(i)) in_rate += out_rate[up];
+      const double tuples = op.window.policy == WindowPolicy::kCountBased
+                                ? op.window.size
+                                : op.window.size * in_rate;
+      state_bytes[node] +=
+          tuples * dsps::TupleBytes(op.tuple_width_in, op.frac_int,
+                                    op.frac_double, op.frac_string);
+    }
+  }
+  for (const auto& [from, to] : query.edges()) {
+    if (placement[from] == placement[to]) continue;
+    const OperatorDescriptor& op = query.op(from);
+    egress_bytes[placement[from]] +=
+        out_rate[from] * dsps::TupleBytes(op.tuple_width_out, op.frac_int,
+                                          op.frac_double, op.frac_string);
+  }
+  for (int node = 0; node < nodes; ++node) {
+    const sim::HardwareNode& hw = cluster.nodes[node];
+    const double ram_bytes = hw.ram_mb * 1e6;
+    if (state_bytes[node] > kRamSlack * ram_bytes) {
+      report->Add(kRulePlacementRamFeasibility, Severity::kWarning,
+                  NodeLoc(node),
+                  "estimated window state " +
+                      std::to_string(state_bytes[node] / 1e6) +
+                      "MB exceeds " + std::to_string(hw.ram_mb) + "MB RAM",
+                  "move window operators to a larger node");
+    }
+    const double cores = std::max(hw.cpu_pct / 100.0, 1.0);
+    if (instances[node] > kCpuOversubscription * cores) {
+      report->Add(kRulePlacementCpuFeasibility, Severity::kWarning,
+                  NodeLoc(node),
+                  std::to_string(static_cast<int>(instances[node])) +
+                      " operator instances on ~" +
+                      std::to_string(static_cast<int>(cores)) + " core(s)",
+                  "lower parallelism or spread operators across nodes");
+    }
+    const double capacity_bytes = hw.bandwidth_mbits * 1e6 / 8.0;
+    if (egress_bytes[node] > kNetSlack * capacity_bytes) {
+      report->Add(kRulePlacementNetFeasibility, Severity::kWarning,
+                  NodeLoc(node),
+                  "estimated egress " +
+                      std::to_string(egress_bytes[node] * 8.0 / 1e6) +
+                      "Mbit/s exceeds " + std::to_string(hw.bandwidth_mbits) +
+                      "Mbit/s bandwidth",
+                  "co-locate chatty operators or use a better-connected node");
+    }
+  }
+}
+
+void VerifyPlacedQuery(const dsps::QueryGraph& query,
+                       const sim::Cluster& cluster,
+                       const sim::Placement& placement, VerifyReport* report) {
+  VerifyQueryGraph(query, report);
+  VerifyCluster(cluster, report);
+  VerifyPlacement(query, cluster, placement, report);
+}
+
+}  // namespace costream::verify

@@ -1,0 +1,30 @@
+#ifndef COSTREAM_VERIFY_PLACEMENT_RULES_H_
+#define COSTREAM_VERIFY_PLACEMENT_RULES_H_
+
+#include "dsps/query_graph.h"
+#include "sim/hardware.h"
+#include "verify/rules.h"
+
+namespace costream::verify {
+
+// Cluster sanity (PL003/PL004): non-empty, every node's features in range.
+void VerifyCluster(const sim::Cluster& cluster, VerifyReport* report);
+
+// Placement rules (PL001/PL002 structural errors, PL005-PL007 capacity
+// pre-feasibility warnings). The capacity heuristics run only when the
+// structural rules pass (they index through the placement). Warnings flag
+// *clearly* infeasible placements — estimates carry a safety factor, since a
+// capacity-tight placement is a legitimate (backpressure-labelled) training
+// example, not a malformed artifact.
+void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
+                     const sim::Placement& placement, VerifyReport* report);
+
+// Full pre-execution check of one placed query: graph + cluster + placement
+// rules into one report.
+void VerifyPlacedQuery(const dsps::QueryGraph& query,
+                       const sim::Cluster& cluster,
+                       const sim::Placement& placement, VerifyReport* report);
+
+}  // namespace costream::verify
+
+#endif  // COSTREAM_VERIFY_PLACEMENT_RULES_H_

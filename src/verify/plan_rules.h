@@ -1,0 +1,57 @@
+#ifndef COSTREAM_VERIFY_PLAN_RULES_H_
+#define COSTREAM_VERIFY_PLAN_RULES_H_
+
+#include <vector>
+
+#include "core/featurizer.h"
+#include "core/model.h"
+#include "verify/shape_program.h"
+
+namespace costream::verify {
+
+// Layer-boundary dimensions of a CostModel's MLPs, the only architecture
+// facts the shape verifier needs. Kept as plain vectors so this library
+// never calls into costream_core (it only reads its header-defined structs).
+struct ModelLayerDims {
+  std::vector<std::vector<int>> encoder_dims;  // per NodeKind
+  std::vector<std::vector<int>> update_dims;   // per NodeKind
+  std::vector<int> readout_dims;
+  int hidden_dim = 0;
+};
+
+// Assembles ModelLayerDims from a live model. Inline so the core symbols
+// resolve at the call site (core links verify, not the other way around).
+inline ModelLayerDims DimsFromModel(const core::CostModel& model) {
+  ModelLayerDims dims;
+  dims.encoder_dims = model.EncoderDims();
+  dims.update_dims = model.UpdateDims();
+  dims.readout_dims = model.ReadoutDims();
+  dims.hidden_dim = model.config().hidden_dim;
+  return dims;
+}
+
+// JG* structural rules over a joint operator-resource graph. When `dims` is
+// non-null, node feature lengths are additionally checked against their
+// kind's encoder input width (JG005).
+void VerifyJointGraph(const core::JointGraph& graph,
+                      const ModelLayerDims* dims, VerifyReport* report);
+
+// Lowers one batched forward pass (encode + message-passing stages +
+// readout) into a symbolic shape program. Stages with repeat > 1 lower a
+// single iteration — the index vectors and shapes are identical across
+// iterations. Requires a structurally valid graph/plan (run VerifyJointGraph
+// first; the full VerifyForwardPlan below sequences this correctly).
+ShapeProgram BuildPlanProgram(const core::JointGraph& graph,
+                              const core::ForwardPlan& plan,
+                              const ModelLayerDims& dims);
+
+// Full static check of a batched forward: JG* + FP* rules, then shape
+// inference (TP*) over the lowered program. Proves every GEMM dimension
+// agrees and every gather/scatter index is in range before execution.
+void VerifyForwardPlan(const core::JointGraph& graph,
+                       const core::ForwardPlan& plan,
+                       const ModelLayerDims& dims, VerifyReport* report);
+
+}  // namespace costream::verify
+
+#endif  // COSTREAM_VERIFY_PLAN_RULES_H_

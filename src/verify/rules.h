@@ -1,0 +1,84 @@
+#ifndef COSTREAM_VERIFY_RULES_H_
+#define COSTREAM_VERIFY_RULES_H_
+
+#include <string_view>
+#include <vector>
+
+#include "verify/diagnostic.h"
+
+namespace costream::verify {
+
+// Stable rule-id catalog of the static analyzer. Ids never change meaning;
+// retired rules keep their id reserved. Families:
+//
+//   QG* — query-graph structure (src/verify/graph_rules.cc)
+//   PL* — placement / cluster (src/verify/placement_rules.cc)
+//   JG* — joint operator-resource graph (src/verify/plan_rules.cc)
+//   FP* — batched ForwardPlan structure (src/verify/plan_rules.cc)
+//   TP* — symbolic tape-op shape inference (src/verify/shape_program.cc)
+//   MF* — serialized model files (src/verify/artifact_lint.cc)
+//   TR* — trace-corpus files (src/verify/artifact_lint.cc)
+
+// --- Query graph ------------------------------------------------------------
+inline constexpr std::string_view kRuleGraphEmpty = "QG001";
+inline constexpr std::string_view kRuleGraphDanglingEdge = "QG002";
+inline constexpr std::string_view kRuleGraphCycle = "QG003";
+inline constexpr std::string_view kRuleGraphSinkCount = "QG004";
+inline constexpr std::string_view kRuleGraphUnreachable = "QG005";
+inline constexpr std::string_view kRuleGraphArity = "QG006";
+inline constexpr std::string_view kRuleGraphWindowSpec = "QG007";
+inline constexpr std::string_view kRuleGraphSelectivity = "QG008";
+inline constexpr std::string_view kRuleGraphTupleWidth = "QG009";
+inline constexpr std::string_view kRuleGraphSourceSpec = "QG010";
+inline constexpr std::string_view kRuleGraphWindowFeed = "QG011";
+inline constexpr std::string_view kRuleGraphParallelism = "QG012";
+
+// --- Placement / cluster ----------------------------------------------------
+inline constexpr std::string_view kRulePlacementArity = "PL001";
+inline constexpr std::string_view kRulePlacementUnknownNode = "PL002";
+inline constexpr std::string_view kRuleClusterEmpty = "PL003";
+inline constexpr std::string_view kRuleClusterBadNode = "PL004";
+inline constexpr std::string_view kRulePlacementRamFeasibility = "PL005";
+inline constexpr std::string_view kRulePlacementCpuFeasibility = "PL006";
+inline constexpr std::string_view kRulePlacementNetFeasibility = "PL007";
+
+// --- Joint graph ------------------------------------------------------------
+inline constexpr std::string_view kRuleJointNodeCounts = "JG001";
+inline constexpr std::string_view kRuleJointDataflowEdge = "JG002";
+inline constexpr std::string_view kRuleJointPlacementEdge = "JG003";
+inline constexpr std::string_view kRuleJointTopoOrder = "JG004";
+inline constexpr std::string_view kRuleJointFeatureDim = "JG005";
+inline constexpr std::string_view kRuleJointHostCoverage = "JG006";
+
+// --- Forward plan -----------------------------------------------------------
+inline constexpr std::string_view kRulePlanNotReady = "FP001";
+inline constexpr std::string_view kRulePlanEncodePartition = "FP002";
+
+// --- Tape shape inference ---------------------------------------------------
+inline constexpr std::string_view kRuleTapeGemmMismatch = "TP001";
+inline constexpr std::string_view kRuleTapeConcatMismatch = "TP002";
+inline constexpr std::string_view kRuleTapeGatherRange = "TP003";
+inline constexpr std::string_view kRuleTapeScatterRange = "TP004";
+inline constexpr std::string_view kRuleTapeSegmentMalformed = "TP005";
+inline constexpr std::string_view kRuleTapeAddRowMismatch = "TP006";
+inline constexpr std::string_view kRuleTapeResultNotScalar = "TP007";
+inline constexpr std::string_view kRuleTapeBadOperand = "TP008";
+
+// --- Artifact files ---------------------------------------------------------
+inline constexpr std::string_view kRuleModelLoadFailed = "MF001";
+inline constexpr std::string_view kRuleModelNonFinite = "MF002";
+inline constexpr std::string_view kRuleTraceParseFailed = "TR001";
+
+// One catalog entry, for `costream_lint --rules` and the docs.
+struct RuleInfo {
+  std::string_view id;
+  Severity severity;
+  std::string_view summary;
+};
+
+// Every rule, ordered by id.
+const std::vector<RuleInfo>& RuleCatalog();
+
+}  // namespace costream::verify
+
+#endif  // COSTREAM_VERIFY_RULES_H_

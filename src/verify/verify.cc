@@ -1,0 +1,63 @@
+#include "verify/verify.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace costream::verify {
+
+namespace {
+
+bool DefaultEnabled() {
+#if !defined(NDEBUG) || defined(COSTREAM_FORCE_CHECKS)
+  return true;
+#else
+  const char* env = std::getenv("COSTREAM_VERIFY");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+#endif
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{DefaultEnabled()};
+  return enabled;
+}
+
+}  // namespace
+
+bool VerificationEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetVerificationEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+void RecordReport(const VerifyReport& report) {
+  static obs::Counter& runs = obs::GetCounter("verify.runs");
+  runs.Increment();
+  if (!report.ok()) {
+    static obs::Counter& failed = obs::GetCounter("verify.reports_failed");
+    failed.Increment();
+  }
+  // Rule ids come from the fixed catalog, so the registry stays small; the
+  // lookup mutex is acceptable here because reports with findings are the
+  // exceptional path.
+  for (const Diagnostic& d : report.diagnostics()) {
+    obs::GetCounter(std::string("verify.rule.") + d.rule).Increment();
+  }
+}
+
+void CheckOrDie(const VerifyReport& report, std::string_view context) {
+  RecordReport(report);
+  if (report.ok()) return;
+  const std::string text = report.DebugString();
+  std::fprintf(stderr,
+               "costream-verify rejected the input of %.*s:\n%s",
+               static_cast<int>(context.size()), context.data(), text.c_str());
+  std::abort();
+}
+
+}  // namespace costream::verify

@@ -1,0 +1,33 @@
+#ifndef COSTREAM_VERIFY_VERIFY_H_
+#define COSTREAM_VERIFY_VERIFY_H_
+
+#include <string_view>
+
+#include "verify/diagnostic.h"
+#include "verify/graph_rules.h"
+#include "verify/placement_rules.h"
+#include "verify/rules.h"
+
+namespace costream::verify {
+
+// Whether the entry-point guards (trainer, placement scorer, DES, fluid
+// engine) run the static analyzer. On by default in Debug and sanitizer
+// builds; in plain Release it costs nothing unless COSTREAM_VERIFY=1 is set
+// in the environment at process start. SetVerificationEnabled overrides the
+// environment for the rest of the process (tests and benchmarks use it).
+bool VerificationEnabled();
+void SetVerificationEnabled(bool enabled);
+
+// Bumps the per-rule observability counters ("verify.rule.<id>") and
+// "verify.runs" / "verify.reports_failed" for one finished report.
+void RecordReport(const VerifyReport& report);
+
+// Entry-point guard: records the report and, when it contains errors, prints
+// the findings and aborts (no-exceptions policy — a structurally invalid
+// artifact this deep in the pipeline is a logic error upstream). `context`
+// names the caller, e.g. "TrainModel(sample 12)".
+void CheckOrDie(const VerifyReport& report, std::string_view context);
+
+}  // namespace costream::verify
+
+#endif  // COSTREAM_VERIFY_VERIFY_H_

@@ -1,6 +1,7 @@
 #include "workload/selectivity.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cmath>
 #include <unordered_map>
 
@@ -26,15 +27,25 @@ bool IsString(const Value& v) {
   return std::holds_alternative<std::string>(v);
 }
 
-// Key for equality matching / distinct counting.
+// Key for equality matching / distinct counting. Numeric keys are formatted
+// with snprintf ("%lld" / "%f", the exact std::to_string formats): string
+// concatenation of a literal with std::to_string trips GCC 12's -Wrestrict
+// false positive (PR 105651) under -Werror.
 std::string EqualityKey(const Value& v) {
+  // %f of the largest double is ~318 characters plus the tag byte.
+  char buf[352];
   if (std::holds_alternative<int64_t>(v)) {
-    return "i" + std::to_string(std::get<int64_t>(v));
+    std::snprintf(buf, sizeof(buf), "i%lld",
+                  static_cast<long long>(std::get<int64_t>(v)));
+    return buf;
   }
   if (std::holds_alternative<double>(v)) {
-    return "d" + std::to_string(std::get<double>(v));
+    std::snprintf(buf, sizeof(buf), "d%f", std::get<double>(v));
+    return buf;
   }
-  return "s" + std::get<std::string>(v);
+  std::string key(1, 's');
+  key += std::get<std::string>(v);
+  return key;
 }
 
 bool EvaluatePredicate(const Value& value, FilterFunction function,

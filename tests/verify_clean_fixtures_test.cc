@@ -1,0 +1,178 @@
+// The flip side of the defect fixtures: every artifact the repo itself
+// produces — generated queries, sampled clusters, rule-conforming placements,
+// corpus records, serialized traces and model files — must pass the static
+// analyzer with zero error diagnostics (and, for heuristic placements, zero
+// diagnostics at all).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "nn/random.h"
+#include "placement/enumeration.h"
+#include "verify/artifact_lint.h"
+#include "verify/placement_rules.h"
+#include "verify/plan_rules.h"
+#include "workload/corpus.h"
+#include "workload/generator.h"
+#include "workload/trace_io.h"
+
+namespace costream::verify {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+int CountErrors(const VerifyReport& report) {
+  int n = 0;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+TEST(VerifyCleanFixturesTest, GeneratedQueriesAndHeuristicPlacementsAreClean) {
+  workload::GeneratorConfig config;
+  workload::QueryGenerator generator(config);
+  nn::Rng rng(7);
+  const workload::QueryTemplate templates[] = {
+      workload::QueryTemplate::kLinear, workload::QueryTemplate::kTwoWayJoin,
+      workload::QueryTemplate::kThreeWayJoin,
+      workload::QueryTemplate::kFilterChain};
+  for (const workload::QueryTemplate t : templates) {
+    for (int i = 0; i < 8; ++i) {
+      const dsps::QueryGraph query = generator.Generate(t, rng);
+      const sim::Cluster cluster = generator.GenerateCluster(rng);
+      const std::vector<int> bins = placement::CapabilityBins(cluster);
+      const sim::Placement placed =
+          placement::SamplePlacement(query, cluster, bins, rng);
+      VerifyReport report;
+      VerifyPlacedQuery(query, cluster, placed, &report);
+      EXPECT_TRUE(report.diagnostics().empty())
+          << "template " << static_cast<int>(t) << " sample " << i << ":\n"
+          << report.DebugString();
+    }
+  }
+}
+
+TEST(VerifyCleanFixturesTest, CorpusRecordsHaveNoErrors) {
+  workload::CorpusConfig config;
+  config.num_queries = 30;
+  config.seed = 11;
+  config.duration_s = 2.0;
+  // Keep the paper's deliberately-bad random placements in the mix: they may
+  // draw capacity *warnings* but must never be structural errors.
+  config.random_placement_fraction = 0.3;
+  const std::vector<workload::TraceRecord> records =
+      workload::BuildCorpus(config);
+  ASSERT_EQ(static_cast<int>(records.size()), config.num_queries);
+  for (size_t i = 0; i < records.size(); ++i) {
+    VerifyReport report;
+    VerifyPlacedQuery(records[i].query, records[i].cluster,
+                      records[i].placement, &report);
+    EXPECT_EQ(CountErrors(report), 0)
+        << "record " << i << ":\n" << report.DebugString();
+  }
+}
+
+TEST(VerifyCleanFixturesTest, SavedTraceCorpusLintsClean) {
+  workload::CorpusConfig config;
+  config.num_queries = 10;
+  config.seed = 5;
+  config.duration_s = 2.0;
+  const std::vector<workload::TraceRecord> records =
+      workload::BuildCorpus(config);
+  for (const workload::TraceFormat format :
+       {workload::TraceFormat::kTextV1, workload::TraceFormat::kBinaryV2}) {
+    const std::string path = TempPath(
+        format == workload::TraceFormat::kTextV1 ? "clean_v1.traces"
+                                                 : "clean_v2.traces");
+    ASSERT_TRUE(workload::SaveTracesToFile(path, records, format));
+    EXPECT_EQ(DetectArtifactKind(path), ArtifactKind::kTraceCorpus);
+    VerifyReport report;
+    LintTraceFile(path, &report);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(CountErrors(report), 0) << report.DebugString();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(VerifyCleanFixturesTest, TruncatedTraceFileIsTR001) {
+  const std::string path = TempPath("truncated.traces");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "CSTRACE2";  // magic with no header behind it
+  }
+  EXPECT_EQ(DetectArtifactKind(path), ArtifactKind::kTraceCorpus);
+  VerifyReport report;
+  LintTraceFile(path, &report);
+  EXPECT_FALSE(report.ok());
+  bool saw_tr001 = false;
+  for (const Diagnostic& d : report.diagnostics()) {
+    saw_tr001 = saw_tr001 || d.rule == kRuleTraceParseFailed;
+  }
+  EXPECT_TRUE(saw_tr001) << report.DebugString();
+  std::remove(path.c_str());
+}
+
+TEST(VerifyCleanFixturesTest, SavedModelLintsClean) {
+  core::CostModelConfig config;
+  config.hidden_dim = 8;
+  core::CostModel model(config);
+  const std::string path = TempPath("clean.model");
+  ASSERT_TRUE(model.Save(path));
+  EXPECT_EQ(DetectArtifactKind(path), ArtifactKind::kModelFile);
+  VerifyReport report;
+  LintModelFile(path, config, &report);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(CountErrors(report), 0) << report.DebugString();
+  std::remove(path.c_str());
+}
+
+TEST(VerifyCleanFixturesTest, NonFiniteModelWeightIsMF002) {
+  core::CostModelConfig config;
+  config.hidden_dim = 8;
+  core::CostModel model(config);
+  model.parameters().front()->value(0, 0) =
+      std::numeric_limits<double>::quiet_NaN();
+  const std::string path = TempPath("nan.model");
+  ASSERT_TRUE(model.Save(path));
+  VerifyReport report;
+  LintModelFile(path, config, &report);
+  EXPECT_FALSE(report.ok());
+  bool saw_mf002 = false;
+  for (const Diagnostic& d : report.diagnostics()) {
+    saw_mf002 = saw_mf002 || d.rule == kRuleModelNonFinite;
+  }
+  EXPECT_TRUE(saw_mf002) << report.DebugString();
+  std::remove(path.c_str());
+}
+
+TEST(VerifyCleanFixturesTest, MismatchedModelConfigIsMF001) {
+  core::CostModelConfig config;
+  config.hidden_dim = 8;
+  core::CostModel model(config);
+  const std::string path = TempPath("mismatch.model");
+  ASSERT_TRUE(model.Save(path));
+  core::CostModelConfig wider = config;
+  wider.hidden_dim = 16;  // shapes cannot match the checkpoint
+  VerifyReport report;
+  LintModelFile(path, wider, &report);
+  EXPECT_FALSE(report.ok());
+  bool saw_mf001 = false;
+  for (const Diagnostic& d : report.diagnostics()) {
+    saw_mf001 = saw_mf001 || d.rule == kRuleModelLoadFailed;
+  }
+  EXPECT_TRUE(saw_mf001) << report.DebugString();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace costream::verify

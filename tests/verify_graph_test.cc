@@ -1,0 +1,202 @@
+#include "verify/graph_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "dsps/query_builder.h"
+#include "verify/rules.h"
+
+namespace costream::verify {
+namespace {
+
+using dsps::DataType;
+using dsps::FilterFunction;
+using dsps::OperatorDescriptor;
+using dsps::OperatorType;
+using dsps::QueryBuilder;
+using dsps::QueryGraph;
+using dsps::WindowPolicy;
+using dsps::WindowSpec;
+using dsps::WindowType;
+
+OperatorDescriptor MakeOp(OperatorType type) {
+  OperatorDescriptor op;
+  op.type = type;
+  op.tuple_width_in = 2.0;
+  op.tuple_width_out = 2.0;
+  op.selectivity = 0.5;
+  if (type == OperatorType::kSource) {
+    op.input_event_rate = 1000.0;
+    op.tuple_data_types = {DataType::kInt, DataType::kInt};
+  }
+  return op;
+}
+
+bool HasRule(const VerifyReport& report, std::string_view rule) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+VerifyReport RunGraphRules(const QueryGraph& query) {
+  VerifyReport report;
+  VerifyQueryGraph(query, &report);
+  return report;
+}
+
+TEST(VerifyGraphTest, EmptyGraphIsQG001) {
+  const VerifyReport report = RunGraphRules(QueryGraph{});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasRule(report, kRuleGraphEmpty));
+}
+
+TEST(VerifyGraphTest, CyclicGraphIsQG003) {
+  QueryGraph query;
+  query.AddOperator(MakeOp(OperatorType::kSource));
+  query.AddOperator(MakeOp(OperatorType::kFilter));
+  query.AddOperator(MakeOp(OperatorType::kFilter));
+  query.AddOperator(MakeOp(OperatorType::kSink));
+  query.AddEdge(0, 1);
+  query.AddEdge(1, 2);
+  query.AddEdge(2, 1);  // the defect: dataflow cycle between the filters
+  query.AddEdge(2, 3);
+  const VerifyReport report = RunGraphRules(query);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasRule(report, kRuleGraphCycle));
+}
+
+TEST(VerifyGraphTest, TwoSinksIsQG004) {
+  QueryGraph query;
+  query.AddOperator(MakeOp(OperatorType::kSource));
+  query.AddOperator(MakeOp(OperatorType::kSink));
+  query.AddOperator(MakeOp(OperatorType::kSink));
+  query.AddEdge(0, 1);
+  query.AddEdge(0, 2);
+  const VerifyReport report = RunGraphRules(query);
+  EXPECT_TRUE(HasRule(report, kRuleGraphSinkCount));
+}
+
+TEST(VerifyGraphTest, DisconnectedOperatorIsQG005) {
+  QueryGraph query;
+  query.AddOperator(MakeOp(OperatorType::kSource));
+  query.AddOperator(MakeOp(OperatorType::kSink));
+  auto orphan = MakeOp(OperatorType::kFilter);
+  query.AddOperator(orphan);  // never wired up
+  query.AddEdge(0, 1);
+  const VerifyReport report = RunGraphRules(query);
+  EXPECT_TRUE(HasRule(report, kRuleGraphUnreachable));
+  // The orphan also violates the unary-arity rule.
+  EXPECT_TRUE(HasRule(report, kRuleGraphArity));
+}
+
+TEST(VerifyGraphTest, SlideExceedingSizeIsQG007) {
+  QueryGraph query;
+  query.AddOperator(MakeOp(OperatorType::kSource));
+  auto window = MakeOp(OperatorType::kWindow);
+  window.window =
+      WindowSpec{WindowType::kSliding, WindowPolicy::kTimeBased, 1.0, 2.0};
+  query.AddOperator(window);
+  query.AddOperator(MakeOp(OperatorType::kSink));
+  query.AddEdge(0, 1);
+  query.AddEdge(1, 2);
+  const VerifyReport report = RunGraphRules(query);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasRule(report, kRuleGraphWindowSpec));
+}
+
+TEST(VerifyGraphTest, NegativeWindowSizeIsQG007) {
+  QueryGraph query;
+  query.AddOperator(MakeOp(OperatorType::kSource));
+  auto window = MakeOp(OperatorType::kWindow);
+  window.window =
+      WindowSpec{WindowType::kTumbling, WindowPolicy::kTimeBased, -3.0, 1.0};
+  query.AddOperator(window);
+  query.AddOperator(MakeOp(OperatorType::kSink));
+  query.AddEdge(0, 1);
+  query.AddEdge(1, 2);
+  EXPECT_TRUE(HasRule(RunGraphRules(query), kRuleGraphWindowSpec));
+}
+
+TEST(VerifyGraphTest, SelectivityAboveOneIsQG008) {
+  QueryGraph query;
+  query.AddOperator(MakeOp(OperatorType::kSource));
+  auto filter = MakeOp(OperatorType::kFilter);
+  filter.selectivity = 1.5;
+  query.AddOperator(filter);
+  query.AddOperator(MakeOp(OperatorType::kSink));
+  query.AddEdge(0, 1);
+  query.AddEdge(1, 2);
+  EXPECT_TRUE(HasRule(RunGraphRules(query), kRuleGraphSelectivity));
+}
+
+TEST(VerifyGraphTest, NegativeTupleWidthIsQG009) {
+  QueryGraph query;
+  query.AddOperator(MakeOp(OperatorType::kSource));
+  auto filter = MakeOp(OperatorType::kFilter);
+  filter.tuple_width_in = -1.0;
+  query.AddOperator(filter);
+  query.AddOperator(MakeOp(OperatorType::kSink));
+  query.AddEdge(0, 1);
+  query.AddEdge(1, 2);
+  EXPECT_TRUE(HasRule(RunGraphRules(query), kRuleGraphTupleWidth));
+}
+
+TEST(VerifyGraphTest, ZeroRateSourceIsQG010) {
+  QueryGraph query;
+  auto source = MakeOp(OperatorType::kSource);
+  source.input_event_rate = 0.0;
+  query.AddOperator(source);
+  query.AddOperator(MakeOp(OperatorType::kSink));
+  query.AddEdge(0, 1);
+  EXPECT_TRUE(HasRule(RunGraphRules(query), kRuleGraphSourceSpec));
+}
+
+TEST(VerifyGraphTest, AggregateFedByFilterIsQG011) {
+  QueryGraph query;
+  query.AddOperator(MakeOp(OperatorType::kSource));
+  query.AddOperator(MakeOp(OperatorType::kFilter));
+  query.AddOperator(MakeOp(OperatorType::kAggregate));
+  query.AddOperator(MakeOp(OperatorType::kSink));
+  query.AddEdge(0, 1);
+  query.AddEdge(1, 2);  // aggregate reads a filter, not a window
+  query.AddEdge(2, 3);
+  EXPECT_TRUE(HasRule(RunGraphRules(query), kRuleGraphWindowFeed));
+}
+
+TEST(VerifyGraphTest, ZeroParallelismIsQG012) {
+  QueryGraph query;
+  query.AddOperator(MakeOp(OperatorType::kSource));
+  auto filter = MakeOp(OperatorType::kFilter);
+  filter.parallelism = 0;
+  query.AddOperator(filter);
+  query.AddOperator(MakeOp(OperatorType::kSink));
+  query.AddEdge(0, 1);
+  query.AddEdge(1, 2);
+  EXPECT_TRUE(HasRule(RunGraphRules(query), kRuleGraphParallelism));
+}
+
+TEST(VerifyGraphTest, BuilderQueriesAreClean) {
+  QueryBuilder b;
+  const auto clicks = b.Source(500.0, {DataType::kInt, DataType::kString});
+  const auto imps = b.Source(800.0, {DataType::kInt, DataType::kString});
+  const auto filtered =
+      b.Filter(clicks, FilterFunction::kNotEq, DataType::kString, 0.6);
+  const WindowSpec w{WindowType::kSliding, WindowPolicy::kTimeBased, 2.0, 1.0};
+  const auto joined =
+      b.WindowedJoin(filtered, imps, w, DataType::kInt, 0.01);
+  const VerifyReport report = RunGraphRules(b.Sink(joined));
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.diagnostics().empty()) << report.DebugString();
+}
+
+TEST(VerifyGraphTest, JsonReportIsDeterministicAndStructured) {
+  QueryGraph query;
+  const VerifyReport report = RunGraphRules(query);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\": \"QG001\""), std::string::npos) << json;
+  EXPECT_EQ(json, RunGraphRules(query).ToJson());
+}
+
+}  // namespace
+}  // namespace costream::verify

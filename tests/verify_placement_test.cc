@@ -1,0 +1,168 @@
+#include "verify/placement_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "dsps/query_builder.h"
+#include "verify/rules.h"
+
+namespace costream::verify {
+namespace {
+
+using dsps::DataType;
+using dsps::FilterFunction;
+using dsps::QueryBuilder;
+using dsps::QueryGraph;
+using sim::Cluster;
+using sim::HardwareNode;
+using sim::Placement;
+
+QueryGraph CleanQuery() {
+  QueryBuilder b;
+  const auto src = b.Source(1000.0, {DataType::kInt, DataType::kInt});
+  const auto filtered =
+      b.Filter(src, FilterFunction::kLess, DataType::kInt, 0.5);
+  return b.Sink(filtered);
+}
+
+Cluster SmallCluster() {
+  Cluster cluster;
+  cluster.nodes.push_back({400.0, 16000.0, 1000.0, 5.0});
+  cluster.nodes.push_back({100.0, 2000.0, 100.0, 25.0});
+  return cluster;
+}
+
+int CountRule(const VerifyReport& report, std::string_view rule) {
+  int n = 0;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+TEST(VerifyPlacementTest, UnplacedOperatorIsPL001) {
+  const QueryGraph query = CleanQuery();
+  const Placement placement = {0, 1};  // three operators, two entries
+  VerifyReport report;
+  VerifyPlacement(query, SmallCluster(), placement, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(CountRule(report, kRulePlacementArity), 1);
+}
+
+TEST(VerifyPlacementTest, UnknownNodeIsPL002) {
+  const QueryGraph query = CleanQuery();
+  VerifyReport report;
+  VerifyPlacement(query, SmallCluster(), Placement{0, 7, -1}, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(CountRule(report, kRulePlacementUnknownNode), 2);
+}
+
+TEST(VerifyPlacementTest, EmptyClusterIsPL003) {
+  VerifyReport report;
+  VerifyCluster(Cluster{}, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(CountRule(report, kRuleClusterEmpty), 1);
+}
+
+TEST(VerifyPlacementTest, NonPositiveHardwareFeatureIsPL004) {
+  Cluster cluster = SmallCluster();
+  cluster.nodes[1].ram_mb = 0.0;
+  cluster.nodes[1].latency_ms = -2.0;
+  VerifyReport report;
+  VerifyCluster(cluster, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(CountRule(report, kRuleClusterBadNode), 1);
+}
+
+TEST(VerifyPlacementTest, GrossRamOverloadWarnsPL005) {
+  QueryBuilder b;
+  const auto src = b.Source(50000.0, {DataType::kInt, DataType::kInt});
+  const dsps::WindowSpec w{dsps::WindowType::kTumbling,
+                           dsps::WindowPolicy::kTimeBased, 600.0, 600.0};
+  const auto agg =
+      b.WindowedAggregate(src, w, dsps::AggregateFunction::kMean,
+                          dsps::GroupByType::kNone, DataType::kInt, 0.1);
+  const QueryGraph query = b.Sink(agg);
+  Cluster cluster;
+  // A node so starved that even the safety-factored estimate cannot fit the
+  // ten-minute window state.
+  cluster.nodes.push_back({100.0, 1.0, 100.0, 5.0});
+  const Placement everything_on_node0(query.num_operators(), 0);
+  VerifyReport report;
+  VerifyPlacement(query, cluster, everything_on_node0, &report);
+  // Capacity pre-feasibility is advisory: warnings, never errors.
+  EXPECT_TRUE(report.ok()) << report.DebugString();
+  EXPECT_GE(CountRule(report, kRulePlacementRamFeasibility), 1)
+      << report.DebugString();
+}
+
+TEST(VerifyPlacementTest, GrossNetworkOverloadWarnsPL007) {
+  QueryBuilder b;
+  const auto src = b.Source(1e6, {DataType::kString, DataType::kString});
+  const auto filtered =
+      b.Filter(src, FilterFunction::kNotEq, DataType::kString, 1.0);
+  const QueryGraph query = b.Sink(filtered);
+  Cluster cluster;
+  cluster.nodes.push_back({400.0, 16000.0, 0.001, 5.0});
+  cluster.nodes.push_back({400.0, 16000.0, 0.001, 5.0});
+  // Source on node 0 streams a megahertz of wide tuples over a 1 kbit/s
+  // uplink to the filter on node 1.
+  VerifyReport report;
+  VerifyPlacement(query, cluster, Placement{0, 1, 1}, &report);
+  EXPECT_TRUE(report.ok()) << report.DebugString();
+  EXPECT_GE(CountRule(report, kRulePlacementNetFeasibility), 1)
+      << report.DebugString();
+}
+
+TEST(VerifyPlacementTest, GrossCpuOverloadWarnsPL006) {
+  QueryGraph query;
+  dsps::OperatorDescriptor source;
+  source.type = dsps::OperatorType::kSource;
+  source.input_event_rate = 1000.0;
+  source.tuple_data_types = {DataType::kInt, DataType::kInt};
+  source.tuple_width_out = 2.0;
+  query.AddOperator(source);
+  dsps::OperatorDescriptor filter;
+  filter.type = dsps::OperatorType::kFilter;
+  filter.selectivity = 0.5;
+  filter.tuple_width_in = 2.0;
+  filter.tuple_width_out = 2.0;
+  filter.parallelism = 40;  // 41 instances on a single-core node
+  query.AddOperator(filter);
+  dsps::OperatorDescriptor sink;
+  sink.type = dsps::OperatorType::kSink;
+  sink.tuple_width_in = 2.0;
+  query.AddOperator(sink);
+  query.AddEdge(0, 1);
+  query.AddEdge(1, 2);
+  Cluster cluster;
+  cluster.nodes.push_back({100.0, 16000.0, 1000.0, 5.0});
+  const Placement everything_on_node0(query.num_operators(), 0);
+  VerifyReport report;
+  VerifyPlacement(query, cluster, everything_on_node0, &report);
+  EXPECT_TRUE(report.ok()) << report.DebugString();
+  EXPECT_GE(CountRule(report, kRulePlacementCpuFeasibility), 1)
+      << report.DebugString();
+}
+
+TEST(VerifyPlacementTest, ReasonablePlacedQueryIsClean) {
+  const QueryGraph query = CleanQuery();
+  VerifyReport report;
+  VerifyPlacedQuery(query, SmallCluster(), Placement{0, 1, 0}, &report);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.diagnostics().empty()) << report.DebugString();
+}
+
+TEST(VerifyPlacementTest, StructuralErrorsSuppressCapacityHeuristics) {
+  // With a malformed placement the capacity estimators must not run (they
+  // index placement[op]); the report carries only the structural errors.
+  const QueryGraph query = CleanQuery();
+  VerifyReport report;
+  VerifyPlacement(query, SmallCluster(), Placement{0}, &report);
+  EXPECT_EQ(CountRule(report, kRulePlacementArity), 1);
+  EXPECT_EQ(CountRule(report, kRulePlacementRamFeasibility), 0);
+  EXPECT_EQ(CountRule(report, kRulePlacementCpuFeasibility), 0);
+  EXPECT_EQ(CountRule(report, kRulePlacementNetFeasibility), 0);
+}
+
+}  // namespace
+}  // namespace costream::verify

@@ -1,0 +1,274 @@
+// costream_lint: command-line front end of the costream-verify static
+// analyzer. Lints serialized artifacts — trace corpora (queries, clusters
+// and placements embedded in every record) and model files — without
+// executing anything.
+//
+//   costream_lint [--json] [--max-records N] [--hidden-dim H] FILE...
+//   costream_lint --rules      # print the rule catalog
+//   costream_lint --selftest   # run the embedded seeded-defect fixtures
+//
+// Exit status: 0 = no errors (warnings allowed), 1 = at least one error
+// diagnostic (or a failed selftest), 2 = usage / unreadable artifact.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/featurizer.h"
+#include "core/model.h"
+#include "dsps/query_builder.h"
+#include "verify/artifact_lint.h"
+#include "verify/plan_rules.h"
+#include "verify/verify.h"
+
+namespace {
+
+using costream::verify::VerifyReport;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: costream_lint [--json] [--max-records N] [--hidden-dim H] "
+      "FILE...\n"
+      "       costream_lint --rules | --selftest\n"
+      "FILE is a trace corpus (v1 text / v2 binary) or a serialized model;\n"
+      "the kind is auto-detected from the leading magic bytes.\n");
+  return 2;
+}
+
+int PrintRules() {
+  for (const costream::verify::RuleInfo& rule :
+       costream::verify::RuleCatalog()) {
+    std::printf("%-6s %-8s %.*s\n", std::string(rule.id).c_str(),
+                costream::verify::ToString(rule.severity),
+                static_cast<int>(rule.summary.size()), rule.summary.data());
+  }
+  return 0;
+}
+
+// --- Selftest fixtures ------------------------------------------------------
+// One deliberately defective artifact per representative rule family, each
+// expected to trip exactly the listed rule, plus a clean fixture that must
+// produce zero diagnostics. This is what CI runs to prove the analyzer still
+// rejects what it is specified to reject.
+
+costream::dsps::OperatorDescriptor MakeOp(costream::dsps::OperatorType type) {
+  costream::dsps::OperatorDescriptor op;
+  op.type = type;
+  op.tuple_width_in = 2.0;
+  op.tuple_width_out = 2.0;
+  op.selectivity = 0.5;
+  if (type == costream::dsps::OperatorType::kSource) {
+    op.input_event_rate = 1000.0;
+    op.tuple_data_types = {costream::dsps::DataType::kInt,
+                           costream::dsps::DataType::kInt};
+  }
+  return op;
+}
+
+costream::dsps::QueryGraph CleanQuery() {
+  costream::dsps::QueryBuilder builder;
+  const auto source = builder.Source(1000.0, {costream::dsps::DataType::kInt,
+                                              costream::dsps::DataType::kInt});
+  const auto filtered =
+      builder.Filter(source, costream::dsps::FilterFunction::kLess,
+                     costream::dsps::DataType::kInt, 0.5);
+  return builder.Sink(filtered);
+}
+
+costream::sim::Cluster SmallCluster() {
+  costream::sim::Cluster cluster;
+  cluster.nodes.push_back({400.0, 16000.0, 1000.0, 5.0});
+  cluster.nodes.push_back({100.0, 2000.0, 100.0, 25.0});
+  return cluster;
+}
+
+bool HasRule(const VerifyReport& report, std::string_view rule) {
+  for (const costream::verify::Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+bool ExpectRule(const char* name, const VerifyReport& report,
+                std::string_view rule) {
+  if (HasRule(report, rule)) {
+    std::printf("selftest %-24s OK (%.*s)\n", name,
+                static_cast<int>(rule.size()), rule.data());
+    return true;
+  }
+  std::printf("selftest %-24s FAILED: expected %.*s, got:\n%s", name,
+              static_cast<int>(rule.size()), rule.data(),
+              report.DebugString().c_str());
+  return false;
+}
+
+int SelfTest() {
+  using costream::dsps::OperatorType;
+  bool ok = true;
+
+  {  // A dataflow cycle must trip QG003.
+    costream::dsps::QueryGraph query;
+    query.AddOperator(MakeOp(OperatorType::kSource));
+    query.AddOperator(MakeOp(OperatorType::kFilter));
+    query.AddOperator(MakeOp(OperatorType::kFilter));
+    query.AddOperator(MakeOp(OperatorType::kSink));
+    query.AddEdge(0, 1);
+    query.AddEdge(1, 2);
+    query.AddEdge(2, 1);
+    query.AddEdge(2, 3);
+    VerifyReport report;
+    costream::verify::VerifyQueryGraph(query, &report);
+    ok &= ExpectRule("cyclic-graph", report, costream::verify::kRuleGraphCycle);
+  }
+  {  // A placement that leaves an operator unplaced must trip PL001.
+    VerifyReport report;
+    costream::verify::VerifyPlacement(CleanQuery(), SmallCluster(), {0, 1},
+                                      &report);
+    ok &= ExpectRule("unplaced-operator", report,
+                     costream::verify::kRulePlacementArity);
+  }
+  {  // A sliding window whose slide exceeds its size must trip QG007.
+    costream::dsps::QueryGraph query;
+    query.AddOperator(MakeOp(OperatorType::kSource));
+    auto window = MakeOp(OperatorType::kWindow);
+    window.window = {costream::dsps::WindowType::kSliding,
+                     costream::dsps::WindowPolicy::kTimeBased, 1.0, 2.0};
+    query.AddOperator(window);
+    query.AddOperator(MakeOp(OperatorType::kSink));
+    query.AddEdge(0, 1);
+    query.AddEdge(1, 2);
+    VerifyReport report;
+    costream::verify::VerifyQueryGraph(query, &report);
+    ok &= ExpectRule("slide-exceeds-window", report,
+                     costream::verify::kRuleGraphWindowSpec);
+  }
+  {  // A GEMM whose inner dimensions disagree must trip TP001.
+    costream::verify::ShapeProgram program;
+    costream::verify::ShapeOp x;
+    x.kind = costream::verify::ShapeOp::Kind::kInput;
+    x.rows = 4;
+    x.cols = 3;
+    x.label = "x";
+    program.ops.push_back(x);
+    costream::verify::ShapeOp gemm;
+    gemm.kind = costream::verify::ShapeOp::Kind::kLinear;
+    gemm.a = 0;
+    gemm.rows = 5;  // weight expects 5 input columns, x provides 3
+    gemm.cols = 2;
+    gemm.label = "bad_gemm";
+    program.ops.push_back(gemm);
+    program.result = 1;
+    VerifyReport report;
+    costream::verify::InferShapes(program, &report);
+    ok &= ExpectRule("gemm-mismatch", report,
+                     costream::verify::kRuleTapeGemmMismatch);
+  }
+  {  // A scatter writing outside its base matrix must trip TP004.
+    costream::verify::ShapeProgram program;
+    costream::verify::ShapeOp base;
+    base.kind = costream::verify::ShapeOp::Kind::kInput;
+    base.rows = 3;
+    base.cols = 2;
+    base.label = "base";
+    program.ops.push_back(base);
+    costream::verify::ShapeOp update;
+    update.kind = costream::verify::ShapeOp::Kind::kInput;
+    update.rows = 1;
+    update.cols = 2;
+    update.label = "update";
+    program.ops.push_back(update);
+    costream::verify::ShapeOp scatter;
+    scatter.kind = costream::verify::ShapeOp::Kind::kRowScatter;
+    scatter.a = 0;
+    scatter.b = 1;
+    scatter.indices = {5};  // base has rows 0..2
+    scatter.label = "bad_scatter";
+    program.ops.push_back(scatter);
+    VerifyReport report;
+    costream::verify::InferShapes(program, &report);
+    ok &= ExpectRule("scatter-out-of-range", report,
+                     costream::verify::kRuleTapeScatterRange);
+  }
+  {  // The clean fixture must produce zero diagnostics, end to end: graph,
+     // cluster, placement and a full forward-plan shape check.
+    const costream::dsps::QueryGraph query = CleanQuery();
+    const costream::sim::Cluster cluster = SmallCluster();
+    const costream::sim::Placement placement = {0, 1, 0};
+    VerifyReport report;
+    costream::verify::VerifyPlacedQuery(query, cluster, placement, &report);
+    costream::core::CostModel model(costream::core::CostModelConfig{});
+    const costream::core::JointGraph graph =
+        costream::core::BuildJointGraph(query, cluster, placement);
+    costream::core::ForwardPlan plan;
+    model.BuildForwardPlan(graph, plan);
+    costream::verify::VerifyForwardPlan(
+        graph, plan, costream::verify::DimsFromModel(model), &report);
+    if (report.diagnostics().empty()) {
+      std::printf("selftest %-24s OK (0 diagnostics)\n", "clean-fixture");
+    } else {
+      std::printf("selftest %-24s FAILED:\n%s", "clean-fixture",
+                  report.DebugString().c_str());
+      ok = false;
+    }
+  }
+  std::printf("selftest %s\n", ok ? "PASSED" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  int max_records = 0;
+  costream::core::CostModelConfig model_config;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") return PrintRules();
+    if (arg == "--selftest") return SelfTest();
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--max-records" && i + 1 < argc) {
+      max_records = std::atoi(argv[++i]);
+    } else if (arg == "--hidden-dim" && i + 1 < argc) {
+      model_config.hidden_dim = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage();
+
+  int exit_code = 0;
+  for (const std::string& path : files) {
+    VerifyReport report;
+    switch (costream::verify::DetectArtifactKind(path)) {
+      case costream::verify::ArtifactKind::kTraceCorpus:
+        costream::verify::LintTraceFile(path, &report, max_records);
+        break;
+      case costream::verify::ArtifactKind::kModelFile:
+        costream::verify::LintModelFile(path, model_config, &report);
+        break;
+      case costream::verify::ArtifactKind::kUnknown:
+        std::fprintf(stderr, "%s: unreadable or unrecognized artifact\n",
+                     path.c_str());
+        return 2;
+    }
+    costream::verify::RecordReport(report);
+    if (json) {
+      std::printf("%s\n", report.ToJson().c_str());
+    } else {
+      std::printf("%s: %d error(s), %d warning(s)\n", path.c_str(),
+                  report.num_errors(), report.num_warnings());
+      if (!report.diagnostics().empty()) {
+        std::printf("%s", report.DebugString().c_str());
+      }
+    }
+    if (!report.ok()) exit_code = 1;
+  }
+  return exit_code;
+}
