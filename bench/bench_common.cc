@@ -7,6 +7,7 @@
 #include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "baselines/flat_vector.h"
 #include "common/check.h"
@@ -76,6 +77,21 @@ void PruneHistory(const std::filesystem::path& dir) {
 }
 
 }  // namespace
+
+bool SpliceJsonSection(const std::string& path, const std::string& section) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  in.close();
+  const size_t close = json.rfind('}');
+  if (close == std::string::npos) return false;
+  json.insert(close, section);
+  std::ofstream out(path, std::ios::trunc);
+  out << json;
+  return out.good();
+}
 
 std::string SaveMetricsHistory(const std::string& json_path) {
   std::ifstream in(json_path, std::ios::binary);

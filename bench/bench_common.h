@@ -34,6 +34,12 @@ int BenchThreads();
 // default).
 workload::TraceFormat BenchTraceFormat();
 
+// Inserts `section` (",\n  \"name\": {...}\n") before the final '}' of the
+// JSON report at `path`. Shared by every post-run section writer
+// (bench_micro's metrics/verify/corpus sections, bench_service's service
+// section). Returns false when the file is missing or not JSON-shaped.
+bool SpliceJsonSection(const std::string& path, const std::string& section);
+
 // Copies `json_path` into results/history/<stem>-<UTC timestamp>.json so
 // metric exports persist across bench runs (before/after comparisons stop
 // relying on git-diffing the live file). Keeps only the newest 50 snapshots

@@ -350,22 +350,7 @@ BENCHMARK(BM_ParallelFeaturization)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 // on the encode-cache hit rate and on the export being valid JSON; the
 // overhead number is recorded so regressions are visible in before/after
 // diffs (budget: <= 2%).
-// Inserts `section` (",\n  \"name\": {...}\n") before the final '}' of the
-// JSON report at `path`. Shared by every post-run section writer.
-bool SpliceJsonSection(const std::string& path, const std::string& section) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  std::string json = buffer.str();
-  in.close();
-  const size_t close = json.rfind('}');
-  if (close == std::string::npos) return false;
-  json.insert(close, section);
-  std::ofstream out(path, std::ios::trunc);
-  out << json;
-  return out.good();
-}
+using bench::SpliceJsonSection;
 
 double CandidateScoringRate(const workload::TraceRecord& record,
                             const placement::PlacementOptimizer& optimizer,

@@ -1,0 +1,220 @@
+// Multi-tenant placement-service benchmark: ramps the service to ~1000
+// concurrent queries on a fog-sized cluster, churns arrivals/departures
+// against the shared ledger, converges with the negotiated-congestion
+// rip-up loop, and reports sustained placements/s plus the aggregate
+// predicted-vs-DES throughput of the converged deployment. Results are
+// spliced as a "service" section into BENCH_micro.json (created when the
+// micro-bench has not run yet), matching the other post-run sections.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ensemble.h"
+#include "core/trainer.h"
+#include "obs/metrics.h"
+#include "service/placement_service.h"
+#include "sim/fluid_engine.h"
+#include "workload/corpus.h"
+
+namespace costream {
+namespace {
+
+// ~1000 tenants at ~220 MB worker memory per query per *touched node* —
+// enumerated placements spread a join query over ~8 nodes, so the deployment
+// demands close to 1.8 TB of worker memory: 24 nodes with cloud-server RAM
+// (96–192 GB tiers) keep the scenario feasible while CPU stays the
+// contended resource under churn.
+sim::Cluster ServiceCluster() {
+  sim::Cluster cluster;
+  for (int i = 0; i < 24; ++i) {
+    switch (i % 3) {
+      case 0:
+        cluster.nodes.push_back({400.0, 98304.0, 1000.0, 10.0});
+        break;
+      case 1:
+        cluster.nodes.push_back({600.0, 147456.0, 2000.0, 5.0});
+        break;
+      default:
+        cluster.nodes.push_back({800.0, 196608.0, 10000.0, 1.0});
+        break;
+    }
+  }
+  return cluster;
+}
+
+// Light event rates: a thousand tenants must fit the cluster's CPU budget.
+workload::GeneratorConfig TenantWorkload() {
+  workload::GeneratorConfig config;
+  config.workload.event_rate_linear = {100, 200, 400};
+  config.workload.event_rate_two_way = {50, 100};
+  config.workload.event_rate_three_way = {20, 50};
+  config.workload.window_count_sizes = {5, 10, 20};
+  config.workload.window_time_sizes = {0.25, 0.5, 1};
+  return config;
+}
+
+core::Ensemble TrainThroughputEnsemble() {
+  workload::CorpusConfig cc;
+  cc.num_queries = bench::ScaledCorpusSize(150);
+  cc.seed = 71;
+  cc.duration_s = 30.0;
+  cc.num_threads = bench::BenchThreads();
+  const auto records = workload::BuildCorpus(cc);
+  core::CostModelConfig config;
+  config.hidden_dim = 16;
+  core::Ensemble ensemble(config, 1);
+  auto samples = workload::ToTrainSamples(records, sim::Metric::kThroughput,
+                                          core::FeaturizationMode::kFull,
+                                          bench::BenchThreads());
+  core::TrainConfig tc;
+  tc.epochs = bench::ScaledEpochs(3);
+  tc.num_threads = bench::BenchThreads();
+  ensemble.Train(samples, {}, tc);
+  return ensemble;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+}  // namespace costream
+
+int main(int argc, char** argv) {
+  using namespace costream;
+
+  std::string out_path = "BENCH_micro.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+
+  constexpr int kConcurrent = 1000;
+  constexpr int kChurnEvents = 300;
+  constexpr int kMeasureQueries = 64;
+  constexpr double kDesDuration = 0.5;
+
+  std::printf("[bench_service] training throughput ensemble (scale %.2f)\n",
+              bench::BenchScale());
+  const core::Ensemble target = TrainThroughputEnsemble();
+
+  service::ServiceConfig config;
+  config.target = sim::Metric::kThroughput;
+  config.num_candidates = 8;
+  config.seed = 4242;
+  config.num_threads = bench::BenchThreads();
+  service::PlacementService service(ServiceCluster(), &target, nullptr,
+                                    nullptr, config);
+  workload::QueryGenerator generator(TenantWorkload());
+  nn::Rng rng(1234);
+
+  // Ramp to the concurrency target.
+  std::printf("[bench_service] ramping to %d concurrent queries\n",
+              kConcurrent);
+  std::vector<int64_t> live;
+  live.reserve(kConcurrent);
+  const auto ramp_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kConcurrent; ++i) {
+    const auto t = static_cast<workload::QueryTemplate>(rng.Int(0, 2));
+    live.push_back(service.Admit(generator.Generate(t, rng)).id);
+  }
+  const double ramp_s = Seconds(ramp_start);
+
+  // Churn: one departure + one arrival per event keeps concurrency at the
+  // target while every event exercises the ledger under full load.
+  std::printf("[bench_service] churning %d events at %d concurrent\n",
+              kChurnEvents, kConcurrent);
+  const auto churn_start = std::chrono::steady_clock::now();
+  for (int e = 0; e < kChurnEvents; ++e) {
+    const size_t pick =
+        static_cast<size_t>(rng.Int(0, static_cast<int>(live.size()) - 1));
+    service.Retire(live[pick]);
+    const auto t = static_cast<workload::QueryTemplate>(rng.Int(0, 2));
+    live[pick] = service.Admit(generator.Generate(t, rng)).id;
+  }
+  const double churn_s = Seconds(churn_start);
+
+  const auto converge_start = std::chrono::steady_clock::now();
+  const service::ConvergeResult converge = service.Converge();
+  const double converge_s = Seconds(converge_start);
+
+  const int placements = kConcurrent + kChurnEvents + converge.ripups;
+  const double placement_time = ramp_s + churn_s + converge_s;
+  const double placements_per_s =
+      placement_time > 0.0 ? placements / placement_time : 0.0;
+
+  std::printf("[bench_service] measuring aggregate throughput (%d queries)\n",
+              kMeasureQueries);
+  const service::AggregateThroughput agg =
+      service.MeasureAggregateThroughput(kMeasureQueries, kDesDuration);
+  const double ratio = agg.des > 0.0 ? agg.predicted / agg.des : 0.0;
+  const std::string ledger_check = service.ledger().CheckInvariants();
+
+  std::printf(
+      "[bench_service] %d placements in %.2fs (%.1f placements/s), "
+      "converged=%d iterations=%d ripups=%d\n",
+      placements, placement_time, placements_per_s, converge.converged,
+      converge.iterations, converge.ripups);
+  std::printf(
+      "[bench_service] aggregate over %d queries: predicted %.1f t/s, "
+      "DES %.1f t/s (ratio %.3f)\n",
+      agg.queries, agg.predicted, agg.des, ratio);
+  if (!ledger_check.empty()) {
+    std::printf("[bench_service] LEDGER INVARIANT VIOLATION: %s\n",
+                ledger_check.c_str());
+    return 1;
+  }
+
+  // Splice the section; create a minimal report first if bench_micro has not
+  // produced one (the seed needs one member — spliced sections lead with a
+  // comma).
+  {
+    std::ifstream probe(out_path);
+    if (!probe) {
+      std::ofstream create(out_path, std::ios::trunc);
+      create << "{\n  \"bench_service_standalone\": true\n}\n";
+    }
+  }
+  std::ostringstream section;
+  section.precision(17);
+  section << ",\n  \"service\": {\n"
+          << "    \"concurrent_queries\": " << service.live_queries() << ",\n"
+          << "    \"churn_events\": " << kChurnEvents << ",\n"
+          << "    \"placements\": " << placements << ",\n"
+          << "    \"placements_per_s\": " << placements_per_s << ",\n"
+          << "    \"ramp_s\": " << ramp_s << ",\n"
+          << "    \"churn_s\": " << churn_s << ",\n"
+          << "    \"converge_s\": " << converge_s << ",\n"
+          << "    \"converged\": " << (converge.converged ? "true" : "false")
+          << ",\n"
+          << "    \"converge_iterations\": " << converge.iterations << ",\n"
+          << "    \"ripups\": " << converge.ripups << ",\n"
+          << "    \"overflowed_nodes\": " << converge.overflowed_nodes.size()
+          << ",\n"
+          << "    \"measured_queries\": " << agg.queries << ",\n"
+          << "    \"aggregate_predicted_tuples_per_s\": " << agg.predicted
+          << ",\n"
+          << "    \"aggregate_des_tuples_per_s\": " << agg.des << ",\n"
+          << "    \"predicted_vs_des_ratio\": " << ratio << ",\n"
+          << "    \"ledger_consistent\": "
+          << (ledger_check.empty() ? "true" : "false") << "\n  }\n";
+  if (!bench::SpliceJsonSection(out_path, section.str())) {
+    std::printf("[bench_service] failed to splice section into %s\n",
+                out_path.c_str());
+    return 1;
+  }
+  std::printf("[bench_service] spliced \"service\" section into %s\n",
+              out_path.c_str());
+  const std::string history = bench::SaveMetricsHistory(out_path);
+  if (!history.empty()) {
+    std::printf("[bench_service] history snapshot: %s\n", history.c_str());
+  }
+  return 0;
+}

@@ -138,6 +138,44 @@ elif cp["build_speedup_4t"] <= 2.0:
              "at 4 threads below the 2x gate")
 EOF
 
+echo "=== Placement-service bench + gates ==="
+# bench_service ramps the multi-tenant placement service to 1000 concurrent
+# queries on a 24-node cluster, churns arrivals/departures against the shared
+# ledger, runs the negotiated-congestion convergence loop, and splices a
+# "service" section into BENCH_micro.json. Hard gates: valid JSON, the
+# concurrency target actually sustained, a conservative placements/s floor
+# (measured ~2000/s on the reference machine; the floor leaves 20x headroom
+# for slow CI boxes), convergence, and ledger consistency.
+./build-ci/bench/bench_service
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_micro.json") as f:
+    report = json.load(f)  # raises on invalid JSON -> CI failure
+s = report.get("service")
+if s is None:
+    sys.exit("BENCH_micro.json is missing the spliced 'service' section")
+print(f"service: {s['concurrent_queries']} concurrent queries, "
+      f"{s['placements']} placements at {s['placements_per_s']:.0f}/s, "
+      f"converged={s['converged']} (iterations {s['converge_iterations']}, "
+      f"ripups {s['ripups']})")
+print(f"aggregate over {s['measured_queries']} queries: "
+      f"predicted {s['aggregate_predicted_tuples_per_s']:.0f} t/s, "
+      f"DES {s['aggregate_des_tuples_per_s']:.0f} t/s "
+      f"(ratio {s['predicted_vs_des_ratio']:.2f})")
+if s["concurrent_queries"] < 1000:
+    sys.exit(f"service sustained only {s['concurrent_queries']} concurrent "
+             "queries (target 1000)")
+if s["placements_per_s"] < 100.0:
+    sys.exit(f"placement rate {s['placements_per_s']:.0f}/s below the "
+             "100/s floor")
+if not s["converged"]:
+    sys.exit(f"service did not converge ({s['overflowed_nodes']} nodes "
+             "left overflowed)")
+if not s["ledger_consistent"]:
+    sys.exit("ledger invariants violated after the bench scenario")
+EOF
+
 echo "=== clang-format check ==="
 # Check-only (no in-place edits): a formatting drift fails CI where the tool
 # exists and is reported as skipped where it does not (the baked CI image
@@ -177,7 +215,14 @@ echo "=== AddressSanitizer trace-loader fuzz sweep ==="
 # already ran under TSan above.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCOSTREAM_SANITIZE=address >/dev/null
-cmake --build build-asan -j "$JOBS" --target workload_trace_fuzz_test
+cmake --build build-asan -j "$JOBS" --target workload_trace_fuzz_test service_churn_test
 ctest --test-dir build-asan -R workload_trace_fuzz_test --output-on-failure
+
+echo "=== AddressSanitizer service churn sweep ==="
+# The churn suite drives the long-lived service through hundreds of
+# admit/retire cycles — the most allocation-heavy ownership pattern in the
+# repo (ledger entries, per-candidate workspaces, re-placements), so it runs
+# once under ASan on top of the usual Release/TSan/UBSan legs.
+ctest --test-dir build-asan -R service_churn_test --output-on-failure
 
 echo "CI passed."

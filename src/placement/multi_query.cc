@@ -1,7 +1,5 @@
 #include "placement/multi_query.h"
 
-#include <algorithm>
-
 #include "common/check.h"
 
 namespace costream::placement {
@@ -20,23 +18,7 @@ sim::BackgroundLoad AggregateLoad(const std::vector<DeployedQuery>& deployed,
 
 sim::Cluster EffectiveCluster(const sim::Cluster& cluster,
                               const sim::BackgroundLoad& background) {
-  if (background.empty()) return cluster;
-  COSTREAM_CHECK(static_cast<int>(background.cpu_load_us.size()) ==
-                 cluster.num_nodes());
-  sim::Cluster effective = cluster;
-  for (int n = 0; n < cluster.num_nodes(); ++n) {
-    sim::HardwareNode& hw = effective.nodes[n];
-    const double cores = hw.cpu_pct / 100.0;
-    const double cpu_util =
-        background.cpu_load_us[n] / 1e6 / std::max(cores, 1e-3);
-    hw.cpu_pct = std::max(hw.cpu_pct * (1.0 - cpu_util), 10.0);
-    const double net_util = background.out_bytes_per_s[n] * 8.0 /
-                            std::max(hw.bandwidth_mbits * 1e6, 1.0);
-    hw.bandwidth_mbits =
-        std::max(hw.bandwidth_mbits * (1.0 - net_util), 1.0);
-    hw.ram_mb = std::max(hw.ram_mb - background.memory_mb[n], 128.0);
-  }
-  return effective;
+  return sim::DerateCluster(cluster, background);
 }
 
 }  // namespace costream::placement

@@ -1,0 +1,339 @@
+#include "service/placement_service.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "placement/enumeration.h"
+#include "placement/scorer.h"
+#include "sim/des.h"
+
+namespace costream::service {
+
+namespace {
+
+// splitmix64 (same mixer as the corpus pipeline's per-record seeds): every
+// enumeration seed is a pure function of (service seed, query id, iteration),
+// so decisions replay bitwise from the admission history alone.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t id, uint64_t iteration) {
+  return Mix64(seed ^ Mix64(id + 1) ^ Mix64((iteration + 1) << 20));
+}
+
+}  // namespace
+
+PlacementService::PlacementService(sim::Cluster cluster,
+                                   const core::Ensemble* target,
+                                   const core::Ensemble* success,
+                                   const core::Ensemble* backpressure,
+                                   const ServiceConfig& config)
+    : target_(target),
+      success_(success),
+      backpressure_(backpressure),
+      config_(config),
+      ledger_(std::move(cluster), config.ledger) {
+  COSTREAM_CHECK(sim::IsRegressionMetric(config_.target));
+  if (config_.policy == AdmissionPolicy::kLearned) {
+    COSTREAM_CHECK(target_ != nullptr);
+    COSTREAM_CHECK(target_->head() == core::HeadKind::kRegression);
+  }
+  if (success_ != nullptr) {
+    COSTREAM_CHECK(success_->head() == core::HeadKind::kClassification);
+  }
+  if (backpressure_ != nullptr) {
+    COSTREAM_CHECK(backpressure_->head() == core::HeadKind::kClassification);
+  }
+  COSTREAM_CHECK(config_.num_candidates > 0);
+  COSTREAM_CHECK(config_.max_iterations > 0);
+  COSTREAM_CHECK(config_.penalty_weight >= 0.0);
+}
+
+double PlacementService::CandidatePenaltyFactor(
+    const dsps::QueryGraph& query, const sim::Placement& placement,
+    const sim::BackgroundLoad& total) const {
+  // Present congestion: the candidate is priced with its own steady-state
+  // demand added to the current ledger totals, so overflow a candidate
+  // *would* cause costs immediately — not only after the next repricing.
+  const double price = ledger_.PlacementPenalty(
+      sim::ComputeBackgroundLoad(query, ledger_.cluster(), placement), total);
+  return 1.0 + config_.penalty_weight * (price - 1.0);
+}
+
+PlacementService::Choice PlacementService::PlaceOne(
+    const dsps::QueryGraph& query, const sim::Cluster& view,
+    uint64_t salt) const {
+  if (config_.policy == AdmissionPolicy::kGreedyFirstFit) {
+    return PlaceGreedyFirstFit(query);
+  }
+  const bool maximize = config_.target == sim::Metric::kThroughput;
+
+  placement::EnumerationConfig ec;
+  ec.num_candidates = config_.num_candidates;
+  ec.num_bins = config_.num_bins;
+  ec.seed = salt;
+  ec.num_threads = config_.num_threads;
+  const std::vector<sim::Placement> candidates =
+      placement::EnumerateCandidates(query, view, ec);
+  COSTREAM_CHECK(!candidates.empty());
+
+  // Batched scoring against the load-adjusted view, exactly like the one-shot
+  // optimizer: per-candidate slots, selection in enumeration order, so the
+  // decision is identical for every thread count.
+  const placement::PlacementScorer scorer(query, view, target_, success_,
+                                          backpressure_);
+  const int n = static_cast<int>(candidates.size());
+  const int threads =
+      std::min(common::ResolveNumThreads(config_.num_threads), n);
+  std::vector<placement::PlacementScorer::Workspace> workspaces;
+  workspaces.reserve(std::max(threads, 1));
+  for (int t = 0; t < std::max(threads, 1); ++t) {
+    workspaces.push_back(scorer.MakeWorkspace());
+  }
+  std::vector<placement::PlacementScorer::CandidateScore> scored(n);
+  std::vector<double> factors(n);
+  const sim::BackgroundLoad total = ledger_.TotalLoad();
+  common::ParallelForIndexed(threads, n, [&](int worker, int i) {
+    scored[i] = scorer.Score(workspaces[worker], candidates[i]);
+    factors[i] = CandidatePenaltyFactor(query, candidates[i], total);
+  });
+
+  Choice choice;
+  choice.candidates_evaluated = n;
+  double best_feasible = maximize ? -std::numeric_limits<double>::infinity()
+                                  : std::numeric_limits<double>::infinity();
+  double best_any = best_feasible;
+  int best_feasible_idx = -1;
+  int best_any_idx = -1;
+  std::vector<double> penalized(n);
+  for (int i = 0; i < n; ++i) {
+    // Negotiated congestion: the learned prediction is repriced by the
+    // penalties of the nodes the candidate uses. Minimized metrics get more
+    // expensive on contended nodes, maximized ones less attractive.
+    penalized[i] =
+        maximize ? scored[i].cost / factors[i] : scored[i].cost * factors[i];
+    const bool better_any =
+        maximize ? penalized[i] > best_any : penalized[i] < best_any;
+    if (better_any || best_any_idx < 0) {
+      best_any = penalized[i];
+      best_any_idx = i;
+    }
+    if (!scored[i].feasible) continue;
+    const bool better =
+        maximize ? penalized[i] > best_feasible : penalized[i] < best_feasible;
+    if (better || best_feasible_idx < 0) {
+      best_feasible = penalized[i];
+      best_feasible_idx = i;
+    }
+  }
+  const int chosen = best_feasible_idx >= 0 ? best_feasible_idx : best_any_idx;
+  choice.placement = candidates[chosen];
+  choice.predicted = scored[chosen].cost;
+  choice.penalized = penalized[chosen];
+  choice.feasible = best_feasible_idx >= 0;
+  return choice;
+}
+
+PlacementService::Choice PlacementService::PlaceGreedyFirstFit(
+    const dsps::QueryGraph& query) const {
+  const sim::Cluster& cluster = ledger_.cluster();
+  const sim::BackgroundLoad total = ledger_.TotalLoad();
+  const double margin = config_.ledger.capacity_margin;
+
+  Choice choice;
+  choice.feasible = false;
+  int fallback = 0;
+  double fallback_util = std::numeric_limits<double>::infinity();
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    const sim::Placement all_on_n(query.num_operators(), n);
+    const sim::BackgroundLoad extra =
+        sim::ComputeBackgroundLoad(query, cluster, all_on_n);
+    const sim::NodeCapacity cap = sim::CapacityOf(cluster.nodes[n]);
+    double cpu = extra.cpu_load_us[n];
+    double net = extra.out_bytes_per_s[n];
+    double mem = extra.memory_mb[n];
+    if (!total.empty()) {
+      cpu += total.cpu_load_us[n];
+      net += total.out_bytes_per_s[n];
+      mem += total.memory_mb[n];
+    }
+    const double util =
+        std::max({cpu / cap.cpu_us_per_s, net / cap.net_bytes_per_s,
+                  mem / std::max(cap.ram_mb, 1.0)});
+    if (util <= margin) {
+      choice.placement = all_on_n;
+      choice.feasible = true;
+      choice.candidates_evaluated = n + 1;
+      return choice;
+    }
+    if (util < fallback_util) {
+      fallback_util = util;
+      fallback = n;
+    }
+  }
+  // Nothing fits: least-loaded node (first-fit semantics still deterministic).
+  choice.placement.assign(query.num_operators(), fallback);
+  choice.candidates_evaluated = cluster.num_nodes();
+  return choice;
+}
+
+AdmitResult PlacementService::Record(int64_t id, const dsps::QueryGraph& query,
+                                     const Choice& choice) {
+  static obs::Counter& metric_admissions =
+      obs::GetCounter("service.admissions");
+  static obs::Gauge& metric_live = obs::GetGauge("service.live_queries");
+  ledger_.Admit(id, sim::ComputeBackgroundLoad(query, ledger_.cluster(),
+                                               choice.placement));
+  entries_.emplace(id, Entry{query, choice.placement});
+  metric_admissions.Increment();
+  metric_live.Set(static_cast<double>(ledger_.live_queries()));
+  AdmitResult result;
+  result.id = id;
+  result.placement = choice.placement;
+  result.predicted = choice.predicted;
+  result.penalized = choice.penalized;
+  result.feasible = choice.feasible;
+  result.candidates_evaluated = choice.candidates_evaluated;
+  return result;
+}
+
+AdmitResult PlacementService::Admit(const dsps::QueryGraph& query) {
+  static obs::Histogram& metric_admit_us =
+      obs::GetHistogram("service.admit_us");
+  obs::ScopedTimer timer(metric_admit_us);
+  const int64_t id = next_id_++;
+  const sim::Cluster view = ledger_.LoadedView();
+  const Choice choice =
+      PlaceOne(query, view, DeriveSeed(config_.seed, id, 0));
+  return Record(id, query, choice);
+}
+
+AdmitResult PlacementService::AdmitWithPlacement(
+    const dsps::QueryGraph& query, const sim::Placement& placement) {
+  COSTREAM_CHECK_MSG(
+      sim::ValidatePlacement(query, ledger_.cluster(), placement).empty(),
+      "invalid forced placement");
+  const int64_t id = next_id_++;
+  Choice choice;
+  choice.placement = placement;
+  return Record(id, query, choice);
+}
+
+bool PlacementService::Retire(int64_t id) {
+  static obs::Counter& metric_retirements =
+      obs::GetCounter("service.retirements");
+  static obs::Gauge& metric_live = obs::GetGauge("service.live_queries");
+  if (!ledger_.Retire(id)) return false;
+  entries_.erase(id);
+  metric_retirements.Increment();
+  metric_live.Set(static_cast<double>(ledger_.live_queries()));
+  return true;
+}
+
+ConvergeResult PlacementService::Converge() {
+  static obs::Counter& metric_calls = obs::GetCounter("service.converge_calls");
+  static obs::Counter& metric_ripups = obs::GetCounter("service.ripups");
+  static obs::Counter& metric_overflow_events =
+      obs::GetCounter("service.overflow_node_events");
+  static obs::Histogram& metric_iterations =
+      obs::GetHistogram("service.converge_iterations");
+  static obs::Histogram& metric_converge_us =
+      obs::GetHistogram("service.converge_us");
+  metric_calls.Increment();
+  obs::ScopedTimer timer(metric_converge_us);
+
+  ConvergeResult result;
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    // Reprice: overflowed nodes gain history, overflow counts refresh from
+    // the current demand, and the escalating penalty table makes staying on
+    // a contended node progressively less attractive.
+    const std::vector<int> overflowed = ledger_.UpdateCongestion();
+    if (overflowed.empty()) break;
+    ++result.iterations;
+    metric_overflow_events.Add(overflowed.size());
+
+    std::vector<char> node_overflowed(ledger_.num_nodes(), 0);
+    for (int n : overflowed) node_overflowed[n] = 1;
+    // Rip up every query touching an overflowed node, ascending id (the
+    // entries_ map order), and re-place each against the view without it.
+    std::vector<int64_t> victims;
+    for (const auto& [id, entry] : entries_) {
+      for (int node : entry.placement) {
+        if (node_overflowed[node]) {
+          victims.push_back(id);
+          break;
+        }
+      }
+    }
+    for (int64_t id : victims) {
+      Entry& entry = entries_.at(id);
+      ledger_.Retire(id);
+      const sim::Cluster view = ledger_.LoadedView();
+      const Choice choice = PlaceOne(
+          entry.query, view,
+          DeriveSeed(config_.seed, static_cast<uint64_t>(id), iter + 1));
+      entry.placement = choice.placement;
+      ledger_.Admit(id, sim::ComputeBackgroundLoad(
+                            entry.query, ledger_.cluster(), entry.placement));
+      ++result.ripups;
+    }
+  }
+  result.overflowed_nodes = ledger_.OverflowedNodes();
+  result.converged = result.overflowed_nodes.empty();
+  metric_ripups.Add(static_cast<uint64_t>(result.ripups));
+  metric_iterations.Record(static_cast<double>(result.iterations));
+  return result;
+}
+
+AggregateThroughput PlacementService::MeasureAggregateThroughput(
+    int max_queries, double des_duration_s) const {
+  AggregateThroughput agg;
+  const std::vector<int64_t> ids = ledger_.QueryIds();
+  if (ids.empty()) return agg;
+  const size_t take = max_queries <= 0
+                          ? ids.size()
+                          : std::min(ids.size(),
+                                     static_cast<size_t>(max_queries));
+  for (size_t k = 0; k < take; ++k) {
+    // Deterministic stride over the ascending id order.
+    const int64_t id = ids[k * ids.size() / take];
+    const Entry& entry = entries_.at(id);
+    const sim::Cluster view = ledger_.LoadedViewExcluding(id);
+    if (target_ != nullptr) {
+      const placement::PlacementScorer scorer(entry.query, view, target_,
+                                              nullptr, nullptr);
+      placement::PlacementScorer::Workspace ws = scorer.MakeWorkspace();
+      agg.predicted +=
+          std::max(scorer.PredictTarget(ws, entry.placement), 0.0);
+    }
+    sim::DesConfig dc;
+    dc.duration_s = des_duration_s;
+    dc.seed = Mix64(static_cast<uint64_t>(id) + 0x5157ull);
+    const sim::DesReport des =
+        sim::RunDes(entry.query, view, entry.placement, dc);
+    agg.des += des.metrics.throughput;
+    ++agg.queries;
+  }
+  return agg;
+}
+
+const sim::Placement& PlacementService::PlacementOf(int64_t id) const {
+  const auto it = entries_.find(id);
+  COSTREAM_CHECK(it != entries_.end());
+  return it->second.placement;
+}
+
+const dsps::QueryGraph& PlacementService::QueryOf(int64_t id) const {
+  const auto it = entries_.find(id);
+  COSTREAM_CHECK(it != entries_.end());
+  return it->second.query;
+}
+
+}  // namespace costream::service

@@ -1,0 +1,175 @@
+#ifndef COSTREAM_SERVICE_PLACEMENT_SERVICE_H_
+#define COSTREAM_SERVICE_PLACEMENT_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/ensemble.h"
+#include "dsps/query_graph.h"
+#include "service/load_ledger.h"
+#include "sim/cost_metrics.h"
+#include "sim/hardware.h"
+
+namespace costream::service {
+
+// How a query's initial placement is chosen at admission.
+enum class AdmissionPolicy {
+  // Learned scoring (PlacementScorer over the load-adjusted cluster view)
+  // with negotiated-congestion penalties. The production policy.
+  kLearned,
+  // Co-locate every operator on the first node (by index) with enough
+  // residual capacity, falling back to the least-utilized node. The baseline
+  // the convergence property test and bench compare against.
+  kGreedyFirstFit,
+};
+
+struct ServiceConfig {
+  // Optimization objective; throughput is maximized, latencies minimized.
+  sim::Metric target = sim::Metric::kThroughput;
+  AdmissionPolicy policy = AdmissionPolicy::kLearned;
+  // Candidate enumeration per (re-)placement.
+  int num_candidates = 16;
+  int num_bins = 3;
+  // Base seed; per-placement enumeration seeds are splitmix64-derived from
+  // (seed, query id, iteration), so decisions depend on nothing but the
+  // admission history — never on thread count or wall clock.
+  uint64_t seed = 1;
+  // Worker threads for candidate scoring (<= 0: all hardware threads).
+  // Results are bitwise-identical for every value (per-candidate slots,
+  // selection in enumeration order).
+  int num_threads = 0;
+  // Rip-up iteration cap of Converge().
+  int max_iterations = 16;
+  // Scales the congestion term when penalizing candidate scores.
+  double penalty_weight = 1.0;
+  LedgerConfig ledger;
+};
+
+struct AdmitResult {
+  int64_t id = -1;
+  sim::Placement placement;
+  // Prediction of the target ensemble for the chosen candidate (on the
+  // load-adjusted view at admission time).
+  double predicted = 0.0;
+  // `predicted` adjusted by the congestion penalties of the used nodes —
+  // what the admission actually minimized/maximized.
+  double penalized = 0.0;
+  // True when the chosen candidate survived the success/backpressure filter.
+  bool feasible = false;
+  int candidates_evaluated = 0;
+};
+
+struct ConvergeResult {
+  // Rip-up iterations executed (0 when the ledger was already clean).
+  int iterations = 0;
+  // Query re-placements across all iterations.
+  int ripups = 0;
+  bool converged = false;
+  // Nodes still overflowed when the loop stopped (empty iff converged).
+  std::vector<int> overflowed_nodes;
+};
+
+// Aggregate steady-state throughput of the live queries, each evaluated on
+// the cluster derated by everyone else's demand.
+struct AggregateThroughput {
+  int queries = 0;          // queries actually evaluated (<= live)
+  double predicted = 0.0;   // sum of learned predictions
+  double des = 0.0;         // sum of DES sink throughputs
+};
+
+// Long-lived multi-tenant placement service (ROADMAP: negotiated-congestion
+// re-placement). Queries arrive (Admit) and depart (Retire) continuously;
+// node load is shared state in a ClusterLoadLedger; and contended nodes
+// reprice over Converge() iterations: every overflowed node's history and
+// overflow penalties escalate, the queries touching it are ripped up, and
+// each is re-placed with the learned scorer against the load-adjusted view —
+// candidates using expensive nodes score worse, so queries negotiate their
+// way off contended hardware until no node exceeds capacity or the iteration
+// cap hits.
+//
+// All decisions are deterministic in (config.seed, admission history) and
+// bitwise-identical for every num_threads.
+class PlacementService {
+ public:
+  // `target` must be a regression ensemble matching `config.target`;
+  // `success` / `backpressure` may be null to skip the sanity filter. The
+  // ensembles must outlive the service.
+  PlacementService(sim::Cluster cluster, const core::Ensemble* target,
+                   const core::Ensemble* success,
+                   const core::Ensemble* backpressure,
+                   const ServiceConfig& config);
+
+  // Places `query` against the current loaded view and records it in the
+  // ledger. The query is copied (re-placement needs it after the caller
+  // moves on).
+  AdmitResult Admit(const dsps::QueryGraph& query);
+
+  // Admits `query` at a forced `placement` (no scoring). Used to replay
+  // recorded decisions and to build adversarial contention fixtures.
+  AdmitResult AdmitWithPlacement(const dsps::QueryGraph& query,
+                                 const sim::Placement& placement);
+
+  // Removes the query from the service and its demand from the ledger.
+  // Returns false when `id` is not live.
+  bool Retire(int64_t id);
+
+  // Rip-up-and-re-place until no node exceeds capacity or
+  // config.max_iterations is reached.
+  ConvergeResult Converge();
+
+  // Evaluates up to `max_queries` live queries (deterministic stride over the
+  // ascending id order; <= 0 means all): the learned prediction and a DES run
+  // of `des_duration_s` simulated seconds, both on the cluster derated by the
+  // other queries' demand.
+  AggregateThroughput MeasureAggregateThroughput(int max_queries,
+                                                 double des_duration_s) const;
+
+  const ClusterLoadLedger& ledger() const { return ledger_; }
+  const ServiceConfig& config() const { return config_; }
+  int live_queries() const { return ledger_.live_queries(); }
+  // Ids of the live queries, ascending.
+  std::vector<int64_t> QueryIds() const { return ledger_.QueryIds(); }
+  // `id` must be live.
+  const sim::Placement& PlacementOf(int64_t id) const;
+  const dsps::QueryGraph& QueryOf(int64_t id) const;
+
+ private:
+  struct Entry {
+    dsps::QueryGraph query;
+    sim::Placement placement;
+  };
+
+  struct Choice {
+    sim::Placement placement;
+    double predicted = 0.0;
+    double penalized = 0.0;
+    bool feasible = false;
+    int candidates_evaluated = 0;
+  };
+
+  // One learned (or greedy) placement decision for `query` against `view`.
+  Choice PlaceOne(const dsps::QueryGraph& query, const sim::Cluster& view,
+                  uint64_t salt) const;
+  Choice PlaceGreedyFirstFit(const dsps::QueryGraph& query) const;
+  // Congestion multiplier of a candidate: the ledger's present-congestion
+  // price of adding the candidate's steady-state demand, scaled by
+  // config.penalty_weight.
+  double CandidatePenaltyFactor(const dsps::QueryGraph& query,
+                                const sim::Placement& placement,
+                                const sim::BackgroundLoad& total) const;
+  AdmitResult Record(int64_t id, const dsps::QueryGraph& query,
+                     const Choice& choice);
+
+  const core::Ensemble* target_;
+  const core::Ensemble* success_;
+  const core::Ensemble* backpressure_;
+  ServiceConfig config_;
+  ClusterLoadLedger ledger_;
+  std::map<int64_t, Entry> entries_;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace costream::service
+
+#endif  // COSTREAM_SERVICE_PLACEMENT_SERVICE_H_

@@ -453,4 +453,31 @@ void AccumulateBackgroundLoad(const BackgroundLoad& extra, int nodes,
   }
 }
 
+NodeCapacity CapacityOf(const HardwareNode& node) {
+  NodeCapacity cap;
+  // Mirrors EvaluateNodes: cpu_utilization = cpu_load_us / 1e6 / cores and
+  // net_utilization = out_bytes * 8 / (bandwidth_mbits * 1e6).
+  cap.cpu_us_per_s = std::max(node.cpu_pct / 100.0, 1e-3) * 1e6;
+  cap.net_bytes_per_s = std::max(node.bandwidth_mbits * 1e6, 1.0) / 8.0;
+  cap.ram_mb = node.ram_mb;
+  return cap;
+}
+
+Cluster DerateCluster(const Cluster& cluster, const BackgroundLoad& background) {
+  if (background.empty()) return cluster;
+  COSTREAM_CHECK(static_cast<int>(background.cpu_load_us.size()) ==
+                 cluster.num_nodes());
+  Cluster derated = cluster;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    HardwareNode& hw = derated.nodes[n];
+    const NodeCapacity cap = CapacityOf(hw);
+    const double cpu_util = background.cpu_load_us[n] / cap.cpu_us_per_s;
+    hw.cpu_pct = std::max(hw.cpu_pct * (1.0 - cpu_util), 10.0);
+    const double net_util = background.out_bytes_per_s[n] / cap.net_bytes_per_s;
+    hw.bandwidth_mbits = std::max(hw.bandwidth_mbits * (1.0 - net_util), 1.0);
+    hw.ram_mb = std::max(hw.ram_mb - background.memory_mb[n], 128.0);
+  }
+  return derated;
+}
+
 }  // namespace costream::sim

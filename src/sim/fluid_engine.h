@@ -97,6 +97,25 @@ BackgroundLoad ComputeBackgroundLoad(const dsps::QueryGraph& query,
 void AccumulateBackgroundLoad(const BackgroundLoad& extra, int nodes,
                               BackgroundLoad* base);
 
+// Absolute per-node capacity in the BackgroundLoad units. This is the single
+// definition of "how much demand a node can carry" shared by the fluid
+// engine's utilization math and the placement service's admission ledger.
+struct NodeCapacity {
+  double cpu_us_per_s = 0.0;    // reference-core microseconds per second
+  double net_bytes_per_s = 0.0; // outgoing bytes per second
+  double ram_mb = 0.0;
+};
+
+NodeCapacity CapacityOf(const HardwareNode& node);
+
+// Returns the cluster as seen by a *new* query: per-node CPU and bandwidth
+// reduced by the background utilization, RAM reduced by the background
+// memory footprint (floored at small positive capacities). The zero-shot
+// cost model describes hardware by its *available* resources, so a loaded
+// cluster is presented to the model as a weaker idle one — no retraining
+// needed (the paper's transferable-feature property).
+Cluster DerateCluster(const Cluster& cluster, const BackgroundLoad& background);
+
 }  // namespace costream::sim
 
 #endif  // COSTREAM_SIM_FLUID_ENGINE_H_

@@ -1,10 +1,14 @@
 // Tests of the multi-query placement support: background load in the fluid
-// engine, load aggregation, and the effective-cluster transformation.
+// engine, load aggregation, and the effective-cluster transformation. Load
+// bookkeeping routes through the service-layer ClusterLoadLedger — the
+// shared state every deployed query registers with — instead of ad-hoc
+// accumulation.
 #include "placement/multi_query.h"
 
 #include <gtest/gtest.h>
 
 #include "dsps/query_builder.h"
+#include "service/load_ledger.h"
 
 namespace costream::placement {
 namespace {
@@ -75,15 +79,17 @@ TEST(BackgroundLoadTest, BackgroundCausesBackpressureForTheNewQuery) {
       sim::EvaluateFluid(light, cluster, light_placement, Noiseless());
   EXPECT_FALSE(idle.metrics.backpressure);
 
-  // Stack three heavy queries on node 0 as background: the shared node is
-  // saturated and the new light query backpressures.
-  sim::FluidConfig config = Noiseless();
+  // Deploy three heavy queries on node 0 into a shared ledger: the node is
+  // saturated and the new light query backpressures against the ledger's
+  // aggregated demand.
+  service::ClusterLoadLedger ledger(cluster);
   const sim::BackgroundLoad one =
       sim::ComputeBackgroundLoad(heavy, cluster, heavy_placement);
-  for (int i = 0; i < 3; ++i) {
-    sim::AccumulateBackgroundLoad(one, cluster.num_nodes(),
-                                  &config.background);
-  }
+  for (int i = 0; i < 3; ++i) ledger.Admit(i, one);
+  EXPECT_GT(ledger.NodeUtilization(0), 1.0);
+
+  sim::FluidConfig config = Noiseless();
+  config.background = ledger.TotalLoad();
   const sim::FluidReport shared =
       sim::EvaluateFluid(light, cluster, light_placement, config);
   EXPECT_TRUE(shared.metrics.backpressure);
@@ -106,6 +112,19 @@ TEST(BackgroundLoadTest, AggregateLoadSumsDeployedQueries) {
     EXPECT_NEAR(combined.memory_mb[n], la.memory_mb[n] + lb.memory_mb[n],
                 1e-9);
   }
+
+  // The ledger computes the identical totals (bitwise: both sum the same
+  // per-query loads in the same ascending order).
+  service::ClusterLoadLedger ledger(cluster);
+  ledger.Admit(0, la);
+  ledger.Admit(1, lb);
+  const sim::BackgroundLoad total = ledger.TotalLoad();
+  for (int n = 0; n < 2; ++n) {
+    EXPECT_EQ(total.cpu_load_us[n], combined.cpu_load_us[n]);
+    EXPECT_EQ(total.out_bytes_per_s[n], combined.out_bytes_per_s[n]);
+    EXPECT_EQ(total.memory_mb[n], combined.memory_mb[n]);
+  }
+  EXPECT_EQ(ledger.CheckInvariants(), "");
 }
 
 TEST(EffectiveClusterTest, EmptyBackgroundIsIdentity) {
@@ -131,6 +150,29 @@ TEST(EffectiveClusterTest, BusyNodesShrink) {
   // Capacities never collapse to zero.
   EXPECT_GT(effective.nodes[0].cpu_pct, 0.0);
   EXPECT_GT(effective.nodes[0].ram_mb, 0.0);
+}
+
+TEST(EffectiveClusterTest, MatchesLedgerLoadedView) {
+  // EffectiveCluster and the ledger's LoadedView are the same
+  // transformation (sim::DerateCluster) fed the same totals.
+  const sim::Cluster cluster = TwoNodeCluster();
+  const QueryGraph heavy = HeavyQuery();
+  const sim::Placement placement(heavy.num_operators(), 0);
+  const sim::BackgroundLoad load =
+      sim::ComputeBackgroundLoad(heavy, cluster, placement);
+
+  service::ClusterLoadLedger ledger(cluster);
+  ledger.Admit(42, load);
+  const sim::Cluster from_helper = EffectiveCluster(cluster, load);
+  const sim::Cluster from_ledger = ledger.LoadedView();
+  ASSERT_EQ(from_ledger.num_nodes(), from_helper.num_nodes());
+  for (int n = 0; n < from_helper.num_nodes(); ++n) {
+    EXPECT_EQ(from_ledger.nodes[n].cpu_pct, from_helper.nodes[n].cpu_pct);
+    EXPECT_EQ(from_ledger.nodes[n].ram_mb, from_helper.nodes[n].ram_mb);
+    EXPECT_EQ(from_ledger.nodes[n].bandwidth_mbits,
+              from_helper.nodes[n].bandwidth_mbits);
+    EXPECT_EQ(from_ledger.nodes[n].latency_ms, from_helper.nodes[n].latency_ms);
+  }
 }
 
 TEST(EffectiveClusterTest, LatencyIsUnaffected) {

@@ -1,0 +1,173 @@
+// Property tests of the negotiated-congestion rip-up loop: escalating
+// history/overflow penalties must make Converge() terminate on adversarial
+// fixtures where every query initially prefers the same node — spreading the
+// load when a conforming spread exists, and stopping at the iteration cap
+// when none does — and the converged placement's aggregate DES throughput
+// must be no worse than greedy first-fit admission.
+//
+// Fixture sizing (ComputeBackgroundLoad of the heavy query on a 4-core
+// node): one query demands ~0.44 utilization, so 3+ piled on one node
+// overflow it, up to 2 per node conform, and 12 queries overflow even a
+// perfect spread.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "dsps/query_builder.h"
+#include "service/placement_service.h"
+#include "sim/fluid_engine.h"
+#include "workload/corpus.h"
+
+namespace costream::service {
+namespace {
+
+using dsps::DataType;
+using dsps::FilterFunction;
+using dsps::QueryBuilder;
+using dsps::QueryGraph;
+
+QueryGraph HeavyQuery() {
+  QueryBuilder b;
+  auto s = b.Source(12800.0, std::vector<DataType>(8, DataType::kString));
+  auto f = b.Filter(s, FilterFunction::kStartsWith, DataType::kString, 0.8);
+  return b.Sink(f);
+}
+
+sim::Cluster FourNodeCluster() {
+  sim::Cluster cluster;
+  for (int i = 0; i < 4; ++i) {
+    cluster.nodes.push_back({400.0, 16000.0, 2000.0, 5.0});
+  }
+  return cluster;
+}
+
+core::Ensemble TinyThroughputEnsemble() {
+  workload::CorpusConfig cc;
+  cc.num_queries = 50;
+  cc.seed = 41;
+  cc.duration_s = 30.0;
+  const auto records = workload::BuildCorpus(cc);
+  core::CostModelConfig config;
+  config.hidden_dim = 8;
+  core::Ensemble ensemble(config, 1);
+  auto samples = workload::ToTrainSamples(records, sim::Metric::kThroughput);
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  ensemble.Train(samples, {}, tc);
+  return ensemble;
+}
+
+ServiceConfig LearnedConfig() {
+  ServiceConfig config;
+  config.target = sim::Metric::kThroughput;
+  config.num_candidates = 16;
+  config.seed = 3;
+  config.num_threads = 1;
+  return config;
+}
+
+// N queries forced onto node 0; a conforming spread exists for every N here
+// (at most 2 heavy queries fit one node, 4 nodes).
+class RipUpConvergenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RipUpConvergenceTest, EscalatingPenaltiesSpreadThePileup) {
+  const int n_queries = GetParam();
+  const core::Ensemble target = TinyThroughputEnsemble();
+  PlacementService service(FourNodeCluster(), &target, nullptr, nullptr,
+                           LearnedConfig());
+
+  const QueryGraph query = HeavyQuery();
+  for (int i = 0; i < n_queries; ++i) {
+    service.AdmitWithPlacement(query,
+                               sim::Placement(query.num_operators(), 0));
+  }
+  ASSERT_GT(service.ledger().NodeUtilization(0), 1.0);
+  ASSERT_EQ(service.ledger().OverflowedNodes(), std::vector<int>{0});
+
+  const ConvergeResult result = service.Converge();
+  EXPECT_TRUE(result.converged) << "N=" << n_queries;
+  EXPECT_TRUE(result.overflowed_nodes.empty());
+  EXPECT_TRUE(service.ledger().OverflowedNodes().empty());
+  EXPECT_GE(result.iterations, 1);
+  EXPECT_LE(result.iterations, service.config().max_iterations);
+  // Every pile-up query was ripped up at least once in the first iteration.
+  EXPECT_GE(result.ripups, n_queries);
+  // The contended node accumulated history, so it stays expensive: its
+  // price reflects the contention even after the overflow clears.
+  EXPECT_GE(service.ledger().history(0), 1);
+  EXPECT_GT(service.ledger().NodePenalty(0), 1.0);
+  EXPECT_EQ(service.ledger().CheckInvariants(), "");
+
+  // All re-placements still conform to the placement rules.
+  for (const int64_t id : service.QueryIds()) {
+    EXPECT_EQ(sim::ValidatePlacement(service.QueryOf(id),
+                                     service.ledger().cluster(),
+                                     service.PlacementOf(id)),
+              "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PileupSizes, RipUpConvergenceTest,
+                         ::testing::Values(3, 4, 6));
+
+TEST(RipUpTerminationTest, HopelessFixtureStopsAtIterationCap) {
+  // 12 heavy queries demand ~1.32 utilization per node even when spread
+  // perfectly — no conforming assignment exists, so the only correct
+  // behaviour is to terminate at the cap with the overflow reported.
+  const core::Ensemble target = TinyThroughputEnsemble();
+  ServiceConfig config = LearnedConfig();
+  config.max_iterations = 6;
+  PlacementService service(FourNodeCluster(), &target, nullptr, nullptr,
+                           config);
+  const QueryGraph query = HeavyQuery();
+  for (int i = 0; i < 12; ++i) {
+    service.AdmitWithPlacement(query,
+                               sim::Placement(query.num_operators(), 0));
+  }
+  const ConvergeResult result = service.Converge();
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, config.max_iterations);
+  EXPECT_FALSE(result.overflowed_nodes.empty());
+  EXPECT_EQ(service.ledger().CheckInvariants(), "");
+  // Penalties stayed finite despite the escalation (clamped table).
+  for (int n = 0; n < service.ledger().num_nodes(); ++n) {
+    EXPECT_LE(service.ledger().NodePenalty(n),
+              (1.0 + 0.5 * config.max_iterations * 2.0) *
+                  service.ledger().config().max_penalty);
+  }
+}
+
+TEST(ConvergedThroughputTest, NoWorseThanGreedyFirstFit) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const QueryGraph query = HeavyQuery();
+  constexpr int kQueries = 6;
+
+  // Greedy first-fit admission, no convergence loop.
+  ServiceConfig greedy_config = LearnedConfig();
+  greedy_config.policy = AdmissionPolicy::kGreedyFirstFit;
+  PlacementService greedy(FourNodeCluster(), nullptr, nullptr, nullptr,
+                          greedy_config);
+  for (int i = 0; i < kQueries; ++i) greedy.Admit(query);
+
+  // Learned admission + negotiated-congestion convergence.
+  PlacementService learned(FourNodeCluster(), &target, nullptr, nullptr,
+                           LearnedConfig());
+  for (int i = 0; i < kQueries; ++i) learned.Admit(query);
+  const ConvergeResult converge = learned.Converge();
+  EXPECT_TRUE(converge.converged);
+
+  const AggregateThroughput g = greedy.MeasureAggregateThroughput(0, 1.0);
+  const AggregateThroughput l = learned.MeasureAggregateThroughput(0, 1.0);
+  ASSERT_EQ(g.queries, kQueries);
+  ASSERT_EQ(l.queries, kQueries);
+  EXPECT_GT(g.des, 0.0);
+  EXPECT_GT(l.des, 0.0);
+  EXPECT_GT(l.predicted, 0.0);
+  // The converged learned placement must not lose throughput against the
+  // greedy baseline (small tolerance for DES noise).
+  EXPECT_GE(l.des, 0.95 * g.des);
+}
+
+}  // namespace
+}  // namespace costream::service

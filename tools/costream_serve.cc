@@ -1,0 +1,209 @@
+// costream_serve: demo CLI of the multi-tenant placement service. Trains a
+// small throughput ensemble, then drives a PlacementService through an
+// arrive/depart churn script against a shared cluster ledger, converging
+// with the negotiated-congestion rip-up loop and printing one line per
+// event plus a final summary (placements/s, convergence, aggregate
+// predicted-vs-DES throughput).
+//
+//   costream_serve [--queries N] [--events M] [--nodes K] [--seed S]
+//                  [--threads T] [--check] [--quiet]
+//
+//   --queries N   initial concurrent queries to ramp to     (default 32)
+//   --events M    churn events after the ramp               (default 100)
+//   --nodes K     cluster size                              (default 8)
+//   --seed S      script / service seed                     (default 1)
+//   --threads T   scorer threads, <= 0 = all hardware       (default 0)
+//   --check       verify ledger invariants after every event
+//   --quiet       suppress per-event lines
+//
+// Exit status: 0 = ran to completion (converged or not — the summary says
+// which), 1 = ledger invariant violation, 2 = usage error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "service/placement_service.h"
+#include "sim/fluid_engine.h"
+#include "workload/corpus.h"
+
+namespace {
+
+using namespace costream;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: costream_serve [--queries N] [--events M] [--nodes K] "
+               "[--seed S]\n"
+               "                      [--threads T] [--check] [--quiet]\n");
+  return 2;
+}
+
+sim::Cluster DemoCluster(int nodes, nn::Rng& rng) {
+  workload::GeneratorConfig config;
+  config.min_cluster_nodes = nodes;
+  config.max_cluster_nodes = nodes;
+  sim::Cluster cluster = workload::QueryGenerator(config).GenerateCluster(rng);
+  // The tenants' worker memory (~220 MB per query per node) has to fit, so
+  // pad the sampled grid RAM up to fog size.
+  for (sim::HardwareNode& node : cluster.nodes) {
+    node.ram_mb = std::max(node.ram_mb, 16000.0);
+  }
+  return cluster;
+}
+
+workload::GeneratorConfig TenantWorkload() {
+  workload::GeneratorConfig config;
+  config.workload.event_rate_linear = {100, 200, 400};
+  config.workload.event_rate_two_way = {50, 100};
+  config.workload.event_rate_three_way = {20, 50};
+  config.workload.window_count_sizes = {5, 10, 20};
+  config.workload.window_time_sizes = {0.25, 0.5, 1};
+  return config;
+}
+
+core::Ensemble TrainTinyEnsemble(uint64_t seed) {
+  workload::CorpusConfig cc;
+  cc.num_queries = 60;
+  cc.seed = seed;
+  cc.duration_s = 30.0;
+  const auto records = workload::BuildCorpus(cc);
+  core::CostModelConfig config;
+  config.hidden_dim = 8;
+  core::Ensemble ensemble(config, 1);
+  auto samples = workload::ToTrainSamples(records, sim::Metric::kThroughput);
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  ensemble.Train(samples, {}, tc);
+  return ensemble;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int queries = 32;
+  int events = 100;
+  int nodes = 8;
+  uint64_t seed = 1;
+  int threads = 0;
+  bool check = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atoi(argv[++i]);
+      return true;
+    };
+    if (arg == "--queries") {
+      if (!next_int(&queries) || queries < 1) return Usage();
+    } else if (arg == "--events") {
+      if (!next_int(&events) || events < 0) return Usage();
+    } else if (arg == "--nodes") {
+      if (!next_int(&nodes) || nodes < 1) return Usage();
+    } else if (arg == "--seed") {
+      int s = 0;
+      if (!next_int(&s) || s < 0) return Usage();
+      seed = static_cast<uint64_t>(s);
+    } else if (arg == "--threads") {
+      if (!next_int(&threads)) return Usage();
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::printf("costream_serve: training throughput ensemble...\n");
+  const core::Ensemble target = TrainTinyEnsemble(seed + 100);
+
+  nn::Rng rng(seed);
+  service::ServiceConfig config;
+  config.target = sim::Metric::kThroughput;
+  config.num_candidates = 8;
+  config.seed = seed;
+  config.num_threads = threads;
+  service::PlacementService service(DemoCluster(nodes, rng), &target, nullptr,
+                                    nullptr, config);
+  workload::QueryGenerator generator(TenantWorkload());
+
+  auto check_ledger = [&](const char* when) {
+    if (!check) return true;
+    const std::string error = service.ledger().CheckInvariants();
+    if (error.empty()) return true;
+    std::fprintf(stderr, "ledger invariant violation (%s): %s\n", when,
+                 error.c_str());
+    return false;
+  };
+
+  std::vector<int64_t> live;
+  for (int i = 0; i < queries; ++i) {
+    const auto t = static_cast<workload::QueryTemplate>(rng.Int(0, 2));
+    const service::AdmitResult result =
+        service.Admit(generator.Generate(t, rng));
+    live.push_back(result.id);
+    if (!quiet) {
+      std::printf("admit  q%-4lld predicted %.1f t/s on %d nodes%s\n",
+                  static_cast<long long>(result.id), result.predicted,
+                  static_cast<int>(result.placement.size()),
+                  result.feasible ? "" : " (no feasible candidate)");
+    }
+    if (!check_ledger("ramp")) return 1;
+  }
+
+  for (int e = 0; e < events; ++e) {
+    if (live.empty() || rng.Uniform(0.0, 1.0) < 0.5) {
+      const auto t = static_cast<workload::QueryTemplate>(rng.Int(0, 2));
+      const service::AdmitResult result =
+          service.Admit(generator.Generate(t, rng));
+      live.push_back(result.id);
+      if (!quiet) {
+        std::printf("admit  q%-4lld predicted %.1f t/s (live %d)\n",
+                    static_cast<long long>(result.id), result.predicted,
+                    service.live_queries());
+      }
+    } else {
+      const size_t pick = static_cast<size_t>(
+          rng.Int(0, static_cast<int>(live.size()) - 1));
+      service.Retire(live[pick]);
+      if (!quiet) {
+        std::printf("retire q%-4lld (live %d)\n",
+                    static_cast<long long>(live[pick]),
+                    service.live_queries());
+      }
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    if (!check_ledger("churn")) return 1;
+  }
+
+  const service::ConvergeResult converge = service.Converge();
+  if (!check_ledger("converge")) return 1;
+  const service::AggregateThroughput agg =
+      service.MeasureAggregateThroughput(32, 0.5);
+
+  std::printf("---\n");
+  std::printf("live queries:        %d\n", service.live_queries());
+  std::printf("converged:           %s (iterations %d, ripups %d)\n",
+              converge.converged ? "yes" : "NO", converge.iterations,
+              converge.ripups);
+  if (!converge.converged) {
+    std::printf("overflowed nodes:    %d\n",
+                static_cast<int>(converge.overflowed_nodes.size()));
+  }
+  for (int n = 0; n < service.ledger().num_nodes(); ++n) {
+    const double util = service.ledger().NodeUtilization(n);
+    if (util > 0.0 && !quiet) {
+      std::printf("node %-2d utilization: %.2f penalty %.2f\n", n, util,
+                  service.ledger().NodePenalty(n));
+    }
+  }
+  std::printf("aggregate (over %d): predicted %.1f t/s, DES %.1f t/s\n",
+              agg.queries, agg.predicted, agg.des);
+  return 0;
+}
