@@ -11,6 +11,7 @@
 
 #include "baselines/flat_vector.h"
 #include "common/check.h"
+#include "nn/kernel_dispatch.h"
 
 namespace costream::bench {
 
@@ -77,6 +78,30 @@ void PruneHistory(const std::filesystem::path& dir) {
 }
 
 }  // namespace
+
+std::string KernelContextJson(const std::string& indent) {
+  std::ostringstream os;
+  os << indent << "\"context\": {\n"
+     << indent << "  \"kernel_detected\": \""
+     << nn::KernelTierName(nn::DetectedKernelTier()) << "\",\n"
+     << indent << "  \"kernel_active\": \""
+     << nn::KernelTierName(nn::ActiveKernelTier()) << "\",\n"
+     << indent << "  \"kernel_env_override\": ";
+  const char* override_env = nn::KernelTierEnvOverride();
+  if (override_env == nullptr) {
+    os << "null";
+  } else {
+    // The override is user-controlled text destined for a JSON string;
+    // keep only characters that cannot break out of it.
+    os << '"';
+    for (const char* p = override_env; *p != '\0'; ++p) {
+      if (*p >= 0x20 && *p != '"' && *p != '\\') os << *p;
+    }
+    os << '"';
+  }
+  os << "\n" << indent << "}";
+  return os.str();
+}
 
 bool SpliceJsonSection(const std::string& path, const std::string& section) {
   std::ifstream in(path);

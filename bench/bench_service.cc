@@ -185,6 +185,7 @@ int main(int argc, char** argv) {
   std::ostringstream section;
   section.precision(17);
   section << ",\n  \"service\": {\n"
+          << bench::KernelContextJson("    ") << ",\n"
           << "    \"concurrent_queries\": " << service.live_queries() << ",\n"
           << "    \"churn_events\": " << kChurnEvents << ",\n"
           << "    \"placements\": " << placements << ",\n"

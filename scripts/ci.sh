@@ -38,6 +38,11 @@ echo "=== Release bench smoke (BENCH_micro.json) ==="
 # JSON lands in the repo root for machine-readable before/after comparisons.
 # Metrics are explicitly enabled so the spliced "metrics" section reflects a
 # fully instrumented run.
+# Remember which history snapshots predate this run: the scoring-throughput
+# regression gate below compares against the newest PRE-EXISTING snapshot,
+# not the one this very run writes.
+PREEXISTING_HISTORY="$(ls -1 results/history/BENCH_micro-*.json 2>/dev/null | sort | tr '\n' ':' || true)"
+export PREEXISTING_HISTORY
 COSTREAM_METRICS=1 ./build-ci/bench/bench_micro \
   --benchmark_filter='BM_GnnInference|BM_GnnTrainStep|BM_ParallelCandidateScoring|BM_BuildJointGraph' \
   --benchmark_min_time=0.05 \
@@ -68,6 +73,127 @@ print(f"metrics overhead: {metrics['overhead_pct']:.2f}% "
       f"disabled {metrics['scoring_candidates_per_s_disabled']:.0f} cand/s)")
 if hit_rate < floor:
     sys.exit(f"encode-cache hit rate {hit_rate:.4f} below baseline {floor}")
+EOF
+
+echo "=== Scoring fast-path gate ==="
+# bench_micro splices a "scoring_fastpath" section: the cross-request batched
+# scoring engine (quantized ranking tier + candidate cache, single thread)
+# against per-request full-precision scoring on the same workload. Hard
+# gates: the ranking tier actually ran, top-1 decision agreement >= 0.99 for
+# BOTH quantization kinds (the decisions a tenant sees must match the
+# fp32-only path), the timed workload's decisions agree, and the candidate
+# cache hit rate clears its recorded floor. The >= 10x speedup gate applies
+# on the reference ISA (avx512, where the quantized kernels have their full
+# vector clones); other boxes get a conservative 3x floor with an explicit
+# line, since no honest 10x number exists without the avx512 tier.
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_micro.json") as f:
+    report = json.load(f)
+fp = report.get("scoring_fastpath")
+if fp is None:
+    sys.exit("BENCH_micro.json is missing the spliced 'scoring_fastpath' "
+             "section")
+with open("scripts/metrics_baseline.json") as f:
+    baseline = json.load(f)
+kernel = fp.get("context", {}).get("kernel_active", "unknown")
+print(f"fast path: {fp['fast_candidates_per_s']:.0f} cand/s vs baseline "
+      f"{fp['baseline_candidates_per_s']:.0f} cand/s "
+      f"(speedup {fp['speedup']:.2f}x, kernel {kernel})")
+print(f"agreement: top-1 int8 {fp['top1_agreement_int8']:.4f} / "
+      f"bf16 {fp['top1_agreement_bf16']:.4f} over "
+      f"{fp['agreement_queries']} queries; timed decisions "
+      f"{fp['timed_decision_agreement']:.4f}")
+print(f"cache: hit rate {fp['cache_hit_rate']:.4f} "
+      f"({fp['cache_hits']} hits / {fp['cache_misses']} misses), "
+      f"rank-cache hits {fp['rank_cache_hits']}, "
+      f"fallbacks {fp['rank_fallbacks']}")
+if not fp["ranking_active"]:
+    sys.exit("quantized ranking tier was inactive during the fast-path run")
+for kind in ("int8", "bf16"):
+    if fp[f"top1_agreement_{kind}"] < 0.99:
+        sys.exit(f"top-1 agreement ({kind}) "
+                 f"{fp[f'top1_agreement_{kind}']:.4f} below the 0.99 gate")
+if fp["timed_decision_agreement"] < 0.99:
+    sys.exit(f"timed decision agreement "
+             f"{fp['timed_decision_agreement']:.4f} below the 0.99 gate")
+floor = baseline["min_scoring_cache_hit_rate"]
+if fp["cache_hit_rate"] < floor:
+    sys.exit(f"candidate-cache hit rate {fp['cache_hit_rate']:.4f} below "
+             f"the recorded floor {floor}")
+speedup_floor = 10.0 if kernel == "avx512" else 3.0
+if kernel != "avx512":
+    print(f"speedup gate: relaxed to {speedup_floor}x "
+          f"(kernel '{kernel}' is not the reference avx512 tier)")
+if fp["speedup"] < speedup_floor:
+    sys.exit(f"fast-path speedup {fp['speedup']:.2f}x below the "
+             f"{speedup_floor}x gate")
+EOF
+
+echo "=== Scoring-throughput regression gate ==="
+# Compares this run's fast-path throughput against the newest history
+# snapshot that (a) predates this CI run and (b) already has a
+# scoring_fastpath section. A drop below 0.9x the recorded rate fails CI; if
+# no prior snapshot qualifies (first run with the fast path), the gate is
+# reported as skipped — there is nothing honest to regress against.
+python3 - <<'EOF'
+import json, os, sys
+
+with open("BENCH_micro.json") as f:
+    current = json.load(f)["scoring_fastpath"]
+candidates = [p for p in os.environ.get("PREEXISTING_HISTORY", "").split(":")
+              if p]
+reference = None
+for path in reversed(candidates):  # newest first (names sort by timestamp)
+    try:
+        with open(path) as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        continue
+    if "scoring_fastpath" in snap:
+        reference = (path, snap["scoring_fastpath"])
+        break
+if reference is None:
+    print("scoring-throughput regression gate: SKIPPED (no prior history "
+          "snapshot with a scoring_fastpath section)")
+    sys.exit(0)
+path, prior = reference
+ratio = current["fast_candidates_per_s"] / prior["fast_candidates_per_s"]
+print(f"fast-path throughput: {current['fast_candidates_per_s']:.0f} cand/s "
+      f"vs {prior['fast_candidates_per_s']:.0f} cand/s in "
+      f"{os.path.basename(path)} (ratio {ratio:.3f})")
+if ratio < 0.9:
+    sys.exit(f"fast-path throughput regressed to {ratio:.3f}x of the "
+             "recorded rate (floor 0.9x)")
+EOF
+
+echo "=== Thread-scaling counter gate ==="
+# Every BM_ParallelCandidateScoring/N entry must carry a "workers" counter
+# equal to its thread-count argument — this is what lets downstream tooling
+# group scaling curves without parsing benchmark names, and it regressed
+# once (the counter was hardcoded to 1 for every arm).
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_micro.json") as f:
+    report = json.load(f)
+checked = 0
+for entry in report.get("benchmarks", []):
+    name = entry.get("name", "")
+    if not name.startswith("BM_ParallelCandidateScoring/"):
+        continue
+    arg = int(name.split("/")[1])
+    workers = entry.get("workers")
+    if workers is None:
+        sys.exit(f"{name} is missing its 'workers' counter")
+    if int(workers) != arg:
+        sys.exit(f"{name} reports workers={workers}, expected {arg}")
+    checked += 1
+print(f"workers counter verified on {checked} "
+      "BM_ParallelCandidateScoring entries")
+if checked == 0:
+    sys.exit("no BM_ParallelCandidateScoring entries found to check")
 EOF
 
 echo "=== Static-verification overhead gate ==="
@@ -224,5 +350,16 @@ echo "=== AddressSanitizer service churn sweep ==="
 # repo (ledger entries, per-candidate workspaces, re-placements), so it runs
 # once under ASan on top of the usual Release/TSan/UBSan legs.
 ctest --test-dir build-asan -R service_churn_test --output-on-failure
+
+echo "=== AddressSanitizer fast-path sweep ==="
+# The quantized kernels hand-index packed bf16/int8 weight blocks with raw
+# pointers and the scoring engine pools workspaces across requests, so the
+# kernel-dispatch parity suite, the quantization suite, and the fast-path
+# agreement suite each get an ASan pass too.
+cmake --build build-asan -j "$JOBS" \
+  --target nn_kernel_dispatch_test nn_quantized_test service_fastpath_test
+ctest --test-dir build-asan \
+  -R 'nn_kernel_dispatch_test|nn_quantized_test|service_fastpath_test' \
+  --output-on-failure
 
 echo "CI passed."

@@ -161,6 +161,16 @@ class CostModel {
   const CostModelConfig& config() const { return config_; }
   const std::vector<nn::Parameter*>& parameters() { return params_; }
 
+  // Read-only access to the MLPs; the quantized ranking tier
+  // (placement::QuantizedRanker) snapshots them into bf16/int8 copies.
+  const nn::Mlp& encoder_mlp(NodeKind kind) const {
+    return encoders_[static_cast<int>(kind)];
+  }
+  const nn::Mlp& update_mlp(NodeKind kind) const {
+    return updates_[static_cast<int>(kind)];
+  }
+  const nn::Mlp& readout_mlp() const { return readout_[0]; }
+
   // Layer-boundary dims of every MLP (per NodeKind for the encoders and
   // update nets), consumed by the verify library's symbolic shape propagator.
   std::vector<std::vector<int>> EncoderDims() const;

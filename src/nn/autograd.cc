@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <utility>
 
+#include "nn/kernel_dispatch.h"
+
 namespace costream::nn {
 
 int NextParameterUid() {
@@ -26,12 +28,13 @@ namespace {
 //  * the dA kernel (MatMulTransBAccum) computes each element as a fresh dot
 //    product added to y once, so row batching cannot change its rounding.
 //
-// Each kernel body is compiled twice — for the baseline x86-64 ISA and, on
-// compilers/CPUs that provide them, for AVX2+FMA — and resolved once at
-// startup. SIMD across the independent column accumulators preserves the
-// per-element term order, so the batched/per-node equivalence holds under
-// either clone; absolute values may differ between machines (FMA
-// contraction), which the equivalence contract does not promise.
+// Each kernel body is compiled once per ISA tier (baseline x86-64, AVX2+FMA
+// target, AVX-512) and dispatched through a per-tier table selected by
+// kernel_dispatch.h. SIMD across the independent column accumulators
+// preserves the per-element term order, and this TU builds with
+// -ffp-contract=off (see src/nn/CMakeLists.txt) so no tier fuses a*b+c into
+// an FMA with different rounding: all tiers are bitwise identical, which the
+// kernel-dispatch parity tests enforce.
 
 // Column-block widths. Each output column owns an independent accumulator,
 // so the grouping of columns into blocks never changes any element's term
@@ -226,16 +229,25 @@ inline __attribute__((always_inline)) void AddRowBody(const double* a,
   }
 }
 
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
-#define COSTREAM_HAVE_ISA_CLONES 1
-#endif
-
 using GemmFn = void (*)(const double*, const double*, double*, int, int, int);
 using LinearFn = void (*)(const double*, const double*, const double*,
                           double*, int, int, int, int);
 using AccumRowFn = void (*)(double*, const double*, int);
 using ReluFn = void (*)(const double*, double*, int);
 using AddRowFn = void (*)(const double*, const double*, double*, int, int);
+
+// One function-pointer table per ISA tier; ActiveKernels() indexes the table
+// array by the runtime-selected KernelTier. Unsupported tiers alias the
+// scalar table so a stale tier index can never reach an illegal instruction.
+struct KernelTable {
+  GemmFn matmul_accum;
+  GemmFn matmul_ta_accum;
+  GemmFn matmul_tb_accum;
+  LinearFn linear;
+  AccumRowFn accum_row;
+  ReluFn relu;
+  AddRowFn add_row;
+};
 
 void MatMulAccumBase(const double* ad, const double* bd, double* yd, int m,
                      int k, int n) {
@@ -262,77 +274,107 @@ void AddRowBase(const double* a, const double* rd, double* y, int rows,
   AddRowBody(a, rd, y, rows, cols);
 }
 
+constexpr KernelTable kScalarTable = {
+    MatMulAccumBase, MatMulTransAAccumBase, MatMulTransBAccumBase,
+    LinearBase,      AccumRowBase,          ReluBase,
+    AddRowBase};
+
 #ifdef COSTREAM_HAVE_ISA_CLONES
-__attribute__((target("avx2,fma"))) void MatMulAccumAvx2(
+__attribute__((target(COSTREAM_TARGET_AVX2))) void MatMulAccumAvx2(
     const double* ad, const double* bd, double* yd, int m, int k, int n) {
   MatMulAccumBody(ad, bd, yd, m, k, n);
 }
-__attribute__((target("avx2,fma"))) void MatMulTransAAccumAvx2(
+__attribute__((target(COSTREAM_TARGET_AVX2))) void MatMulTransAAccumAvx2(
     const double* ad, const double* bd, double* yd, int k, int m, int n) {
   MatMulTransAAccumBody(ad, bd, yd, k, m, n);
 }
-__attribute__((target("avx2,fma"))) void MatMulTransBAccumAvx2(
+__attribute__((target(COSTREAM_TARGET_AVX2))) void MatMulTransBAccumAvx2(
     const double* ad, const double* bd, double* yd, int m, int k, int n) {
   MatMulTransBAccumBody(ad, bd, yd, m, k, n);
 }
-__attribute__((target("avx2,fma"))) void LinearAvx2(
+__attribute__((target(COSTREAM_TARGET_AVX2))) void LinearAvx2(
     const double* xd, const double* wd, const double* bd, double* yd, int m,
     int k, int n, int relu) {
   LinearBody(xd, wd, bd, yd, m, k, n, relu);
 }
-__attribute__((target("avx2,fma"))) void AccumRowAvx2(double* d,
-                                                      const double* g,
-                                                      int cols) {
+__attribute__((target(COSTREAM_TARGET_AVX2))) void AccumRowAvx2(
+    double* d, const double* g, int cols) {
   AccumRowBody(d, g, cols);
 }
-__attribute__((target("avx2,fma"))) void ReluAvx2(const double* a, double* y,
-                                                  int size) {
+__attribute__((target(COSTREAM_TARGET_AVX2))) void ReluAvx2(const double* a,
+                                                            double* y,
+                                                            int size) {
   ReluBody(a, y, size);
 }
-__attribute__((target("avx2,fma"))) void AddRowAvx2(const double* a,
-                                                    const double* rd,
-                                                    double* y, int rows,
-                                                    int cols) {
+__attribute__((target(COSTREAM_TARGET_AVX2))) void AddRowAvx2(
+    const double* a, const double* rd, double* y, int rows, int cols) {
   AddRowBody(a, rd, y, rows, cols);
 }
 
-bool CpuHasAvx2Fma() {
-  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+__attribute__((target(COSTREAM_TARGET_AVX512))) void MatMulAccumAvx512(
+    const double* ad, const double* bd, double* yd, int m, int k, int n) {
+  MatMulAccumBody(ad, bd, yd, m, k, n);
 }
-const bool kUseAvx2 = CpuHasAvx2Fma();
-const GemmFn kMatMulAccum = kUseAvx2 ? MatMulAccumAvx2 : MatMulAccumBase;
-const GemmFn kMatMulTransAAccum =
-    kUseAvx2 ? MatMulTransAAccumAvx2 : MatMulTransAAccumBase;
-const GemmFn kMatMulTransBAccum =
-    kUseAvx2 ? MatMulTransBAccumAvx2 : MatMulTransBAccumBase;
-const LinearFn kLinear = kUseAvx2 ? LinearAvx2 : LinearBase;
-const AccumRowFn kAccumRow = kUseAvx2 ? AccumRowAvx2 : AccumRowBase;
-const ReluFn kRelu = kUseAvx2 ? ReluAvx2 : ReluBase;
-const AddRowFn kAddRow = kUseAvx2 ? AddRowAvx2 : AddRowBase;
+__attribute__((target(COSTREAM_TARGET_AVX512))) void MatMulTransAAccumAvx512(
+    const double* ad, const double* bd, double* yd, int k, int m, int n) {
+  MatMulTransAAccumBody(ad, bd, yd, k, m, n);
+}
+__attribute__((target(COSTREAM_TARGET_AVX512))) void MatMulTransBAccumAvx512(
+    const double* ad, const double* bd, double* yd, int m, int k, int n) {
+  MatMulTransBAccumBody(ad, bd, yd, m, k, n);
+}
+__attribute__((target(COSTREAM_TARGET_AVX512))) void LinearAvx512(
+    const double* xd, const double* wd, const double* bd, double* yd, int m,
+    int k, int n, int relu) {
+  LinearBody(xd, wd, bd, yd, m, k, n, relu);
+}
+__attribute__((target(COSTREAM_TARGET_AVX512))) void AccumRowAvx512(
+    double* d, const double* g, int cols) {
+  AccumRowBody(d, g, cols);
+}
+__attribute__((target(COSTREAM_TARGET_AVX512))) void ReluAvx512(
+    const double* a, double* y, int size) {
+  ReluBody(a, y, size);
+}
+__attribute__((target(COSTREAM_TARGET_AVX512))) void AddRowAvx512(
+    const double* a, const double* rd, double* y, int rows, int cols) {
+  AddRowBody(a, rd, y, rows, cols);
+}
+
+constexpr KernelTable kAvx2Table = {
+    MatMulAccumAvx2, MatMulTransAAccumAvx2, MatMulTransBAccumAvx2,
+    LinearAvx2,      AccumRowAvx2,          ReluAvx2,
+    AddRowAvx2};
+constexpr KernelTable kAvx512Table = {
+    MatMulAccumAvx512, MatMulTransAAccumAvx512, MatMulTransBAccumAvx512,
+    LinearAvx512,      AccumRowAvx512,          ReluAvx512,
+    AddRowAvx512};
+constexpr KernelTable kTables[kNumKernelTiers] = {kScalarTable, kAvx2Table,
+                                                 kAvx512Table};
 #else
-const GemmFn kMatMulAccum = MatMulAccumBase;
-const GemmFn kMatMulTransAAccum = MatMulTransAAccumBase;
-const GemmFn kMatMulTransBAccum = MatMulTransBAccumBase;
-const LinearFn kLinear = LinearBase;
-const AccumRowFn kAccumRow = AccumRowBase;
-const ReluFn kRelu = ReluBase;
-const AddRowFn kAddRow = AddRowBase;
+constexpr KernelTable kTables[kNumKernelTiers] = {kScalarTable, kScalarTable,
+                                                 kScalarTable};
 #endif
+
+inline const KernelTable& ActiveKernels() {
+  return kTables[static_cast<int>(ActiveKernelTier())];
+}
 
 // Matrix-typed wrappers used by the tape ops.
 inline void MatMulAccum(const Matrix& a, const Matrix& b, Matrix& y) {
-  kMatMulAccum(a.data(), b.data(), y.data(), a.rows(), a.cols(), b.cols());
+  ActiveKernels().matmul_accum(a.data(), b.data(), y.data(), a.rows(),
+                               a.cols(), b.cols());
 }
 inline void MatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix& y) {
-  kMatMulTransAAccum(a.data(), b.data(), y.data(), a.rows(), a.cols(),
-                     b.cols());
+  ActiveKernels().matmul_ta_accum(a.data(), b.data(), y.data(), a.rows(),
+                                  a.cols(), b.cols());
 }
 inline void MatMulTransBAccum(const Matrix& a, const Matrix& b, Matrix& y) {
-  kMatMulTransBAccum(a.data(), b.data(), y.data(), a.rows(), a.cols(),
-                     b.rows());
+  ActiveKernels().matmul_tb_accum(a.data(), b.data(), y.data(), a.rows(),
+                                  a.cols(), b.rows());
 }
 inline void AccumRow(double* d, const double* g, int cols) {
-  kAccumRow(d, g, cols);
+  ActiveKernels().accum_row(d, g, cols);
 }
 
 }  // namespace
@@ -463,8 +505,8 @@ Var Tape::Linear(Var x, Var w, Var b, bool relu) {
   n.c = b.index;
   n.scalar = relu ? 1.0 : 0.0;
   n.value.ResizeUninit(xv.rows(), wv.cols());
-  kLinear(xv.data(), wv.data(), bv.data(), n.value.data(), xv.rows(),
-          xv.cols(), wv.cols(), relu ? 1 : 0);
+  ActiveKernels().linear(xv.data(), wv.data(), bv.data(), n.value.data(),
+                         xv.rows(), xv.cols(), wv.cols(), relu ? 1 : 0);
   return Var{idx};
 }
 
@@ -490,7 +532,8 @@ Var Tape::AddRow(Var a, Var row) {
   n.a = a.index;
   n.b = row.index;
   n.value.ResizeUninit(av.rows(), av.cols());
-  kAddRow(av.data(), rv.data(), n.value.data(), av.rows(), av.cols());
+  ActiveKernels().add_row(av.data(), rv.data(), n.value.data(), av.rows(),
+                          av.cols());
   return Var{idx};
 }
 
@@ -555,7 +598,7 @@ Var Tape::Relu(Var a) {
   n.a = a.index;
   const Matrix& av = nodes_[a.index].value;
   n.value.ResizeUninit(av.rows(), av.cols());
-  kRelu(av.data(), n.value.data(), n.value.size());
+  ActiveKernels().relu(av.data(), n.value.data(), n.value.size());
   return Var{idx};
 }
 

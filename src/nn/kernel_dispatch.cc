@@ -1,0 +1,101 @@
+#include "nn/kernel_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace costream::nn {
+namespace {
+
+bool CpuSupports(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return true;
+#ifdef COSTREAM_HAVE_ISA_CLONES
+    case KernelTier::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case KernelTier::kAvx512:
+      // Must match COSTREAM_TARGET_AVX512 feature-for-feature.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512dq");
+#else
+    case KernelTier::kAvx2:
+    case KernelTier::kAvx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool ParseTier(const char* name, KernelTier* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = KernelTier::kScalar;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = KernelTier::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *out = KernelTier::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+KernelTier ResolveInitialTier() {
+  KernelTier tier = DetectedKernelTier();
+  KernelTier requested;
+  if (ParseTier(KernelTierEnvOverride(), &requested)) {
+    // Clamp: asking for a tier the CPU lacks silently degrades to the best
+    // supported one instead of crashing on an illegal instruction.
+    if (static_cast<int>(requested) < static_cast<int>(tier)) tier = requested;
+  }
+  return tier;
+}
+
+// -1 = not resolved yet; otherwise a KernelTier. Relaxed is enough: the
+// value is a pure function of the environment until a test pins it, and
+// tests that pin it are single-threaded around the switch.
+std::atomic<int> g_active_tier{-1};
+
+}  // namespace
+
+const char* KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kAvx2:
+      return "avx2";
+    case KernelTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool KernelTierSupported(KernelTier tier) { return CpuSupports(tier); }
+
+KernelTier DetectedKernelTier() {
+  if (CpuSupports(KernelTier::kAvx512)) return KernelTier::kAvx512;
+  if (CpuSupports(KernelTier::kAvx2)) return KernelTier::kAvx2;
+  return KernelTier::kScalar;
+}
+
+KernelTier ActiveKernelTier() {
+  int tier = g_active_tier.load(std::memory_order_relaxed);
+  if (tier < 0) {
+    tier = static_cast<int>(ResolveInitialTier());
+    g_active_tier.store(tier, std::memory_order_relaxed);
+  }
+  return static_cast<KernelTier>(tier);
+}
+
+bool SetKernelTier(KernelTier tier) {
+  if (!CpuSupports(tier)) return false;
+  g_active_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+  return true;
+}
+
+const char* KernelTierEnvOverride() { return std::getenv("COSTREAM_KERNEL"); }
+
+}  // namespace costream::nn

@@ -1,0 +1,56 @@
+#ifndef COSTREAM_NN_KERNEL_DISPATCH_H_
+#define COSTREAM_NN_KERNEL_DISPATCH_H_
+
+// Runtime ISA dispatch for the GEMM/elementwise kernels in autograd.cc and
+// quantized.cc. Every kernel body is compiled once per tier (baseline
+// x86-64, AVX2+FMA, AVX-512) from the same source with identical
+// accumulation order, and all kernel TUs build with -ffp-contract=off, so
+// the tiers produce bitwise-identical results — which tier runs is purely a
+// throughput choice. The active tier resolves once on first use from the
+// CPU's capabilities, can be pinned with COSTREAM_KERNEL=scalar|avx2|avx512
+// (clamped to what the CPU supports), and can be switched at runtime by
+// tests via SetKernelTier.
+
+namespace costream::nn {
+
+// Tiers are ordered: a CPU that supports tier t supports every tier below
+// it, so "clamp to supported" is a simple min.
+enum class KernelTier : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+inline constexpr int kNumKernelTiers = 3;
+
+// "scalar" / "avx2" / "avx512".
+const char* KernelTierName(KernelTier tier);
+
+// True when this build compiled clones for `tier` AND the CPU executes them.
+// kScalar is always supported.
+bool KernelTierSupported(KernelTier tier);
+
+// The best tier this machine supports (ignores any override).
+KernelTier DetectedKernelTier();
+
+// The tier the kernels actually dispatch to: DetectedKernelTier() clamped by
+// a COSTREAM_KERNEL override (if set), unless a test pinned it explicitly.
+KernelTier ActiveKernelTier();
+
+// Pins the active tier (tests / benchmarks). Returns false — leaving the
+// active tier unchanged — when the tier is not supported here.
+bool SetKernelTier(KernelTier tier);
+
+// The raw COSTREAM_KERNEL value, or nullptr when the variable is unset.
+// Recorded in bench context blocks so history is comparable across machines.
+const char* KernelTierEnvOverride();
+
+}  // namespace costream::nn
+
+// Shared by autograd.cc / quantized.cc: GCC's target attribute clones.
+// (clang also supports the attribute but is not exercised on this image; the
+// scalar fallback keeps the build correct there.)
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define COSTREAM_HAVE_ISA_CLONES 1
+// The exact feature sets the clones are compiled for; detection must test
+// the same list or the dispatcher could jump into an illegal instruction.
+#define COSTREAM_TARGET_AVX2 "avx2,fma"
+#define COSTREAM_TARGET_AVX512 "avx512f,avx512bw,avx512vl,avx512dq"
+#endif
+
+#endif  // COSTREAM_NN_KERNEL_DISPATCH_H_

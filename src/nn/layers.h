@@ -33,6 +33,11 @@ class Linear {
   // the lifetime of the Linear (which must not be moved after registration).
   void CollectParameters(std::vector<Parameter*>& out);
 
+  // Read-only access to the current values; the quantized ranking tier
+  // (nn/quantized.h) snapshots these into bf16/int8 copies.
+  const Matrix& weight_value() const { return weight_.value; }
+  const Matrix& bias_value() const { return bias_.value; }
+
  private:
   // Mutable because Tape::Leaf needs a non-const Parameter* to accumulate
   // gradients; Apply is logically const (it does not change the values).
@@ -66,6 +71,10 @@ class Mlp {
   }
 
   void CollectParameters(std::vector<Parameter*>& out);
+
+  const std::vector<Linear>& layers() const { return layers_; }
+  Activation hidden_activation() const { return hidden_activation_; }
+  bool activate_output() const { return activate_output_; }
 
  private:
   std::vector<Linear> layers_;

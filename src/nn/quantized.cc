@@ -1,0 +1,542 @@
+#include "nn/quantized.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "nn/kernel_dispatch.h"
+
+#ifdef COSTREAM_HAVE_ISA_CLONES
+#include <immintrin.h>
+#endif
+
+namespace costream::nn {
+namespace {
+
+// Same column blocking as autograd.cc: every output column owns an
+// independent float accumulator with k-terms added ascending, so the
+// grouping of columns into blocks (and SIMD across a block) never changes
+// any element's term order. With -ffp-contract=off on this TU, all ISA
+// clones of these bodies are bitwise identical.
+constexpr int kColBlock = 16;
+constexpr int kColBlockSmall = 8;
+
+inline float Bf16Value(uint16_t bits) {
+  const uint32_t u = static_cast<uint32_t>(bits) << 16;
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+// y = x * W + b (+relu), x: (m x k) float, w: (k x n) bf16, b/y: float.
+inline __attribute__((always_inline)) void LinearBf16Body(
+    const float* xd, const uint16_t* wd, const float* bd, float* yd, int m,
+    int k, int n, int relu) {
+  for (int i = 0; i < m; ++i) {
+    const float* xrow = xd + static_cast<size_t>(i) * k;
+    float* yrow = yd + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + kColBlock <= n; j += kColBlock) {
+      float acc[kColBlock];
+      for (int u = 0; u < kColBlock; ++u) acc[u] = 0.0f;
+      const uint16_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const float xv = xrow[p];
+        for (int u = 0; u < kColBlock; ++u) acc[u] += xv * Bf16Value(wp[u]);
+      }
+      for (int u = 0; u < kColBlock; ++u) {
+        float v = acc[u] + bd[j + u];
+        if (relu && v < 0.0f) v = 0.0f;
+        yrow[j + u] = v;
+      }
+    }
+    for (; j + kColBlockSmall <= n; j += kColBlockSmall) {
+      float acc[kColBlockSmall];
+      for (int u = 0; u < kColBlockSmall; ++u) acc[u] = 0.0f;
+      const uint16_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const float xv = xrow[p];
+        for (int u = 0; u < kColBlockSmall; ++u) {
+          acc[u] += xv * Bf16Value(wp[u]);
+        }
+      }
+      for (int u = 0; u < kColBlockSmall; ++u) {
+        float v = acc[u] + bd[j + u];
+        if (relu && v < 0.0f) v = 0.0f;
+        yrow[j + u] = v;
+      }
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      const uint16_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) acc += xrow[p] * Bf16Value(*wp);
+      acc += bd[j];
+      if (relu && acc < 0.0f) acc = 0.0f;
+      yrow[j] = acc;
+    }
+  }
+}
+
+// y = x * (q * scale) + b (+relu): accumulate x against the raw int8 codes
+// (exact in float up to |acc| < 2^24), apply the per-column scale once.
+inline __attribute__((always_inline)) void LinearInt8Body(
+    const float* xd, const int8_t* wd, const float* sd, const float* bd,
+    float* yd, int m, int k, int n, int relu) {
+  for (int i = 0; i < m; ++i) {
+    const float* xrow = xd + static_cast<size_t>(i) * k;
+    float* yrow = yd + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + kColBlock <= n; j += kColBlock) {
+      float acc[kColBlock];
+      for (int u = 0; u < kColBlock; ++u) acc[u] = 0.0f;
+      const int8_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const float xv = xrow[p];
+        for (int u = 0; u < kColBlock; ++u) {
+          acc[u] += xv * static_cast<float>(wp[u]);
+        }
+      }
+      for (int u = 0; u < kColBlock; ++u) {
+        float v = acc[u] * sd[j + u] + bd[j + u];
+        if (relu && v < 0.0f) v = 0.0f;
+        yrow[j + u] = v;
+      }
+    }
+    for (; j + kColBlockSmall <= n; j += kColBlockSmall) {
+      float acc[kColBlockSmall];
+      for (int u = 0; u < kColBlockSmall; ++u) acc[u] = 0.0f;
+      const int8_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const float xv = xrow[p];
+        for (int u = 0; u < kColBlockSmall; ++u) {
+          acc[u] += xv * static_cast<float>(wp[u]);
+        }
+      }
+      for (int u = 0; u < kColBlockSmall; ++u) {
+        float v = acc[u] * sd[j + u] + bd[j + u];
+        if (relu && v < 0.0f) v = 0.0f;
+        yrow[j + u] = v;
+      }
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      const int8_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        acc += xrow[p] * static_cast<float>(*wp);
+      }
+      acc = acc * sd[j] + bd[j];
+      if (relu && acc < 0.0f) acc = 0.0f;
+      yrow[j] = acc;
+    }
+  }
+}
+
+using LinearBf16Fn = void (*)(const float*, const uint16_t*, const float*,
+                              float*, int, int, int, int);
+using LinearInt8Fn = void (*)(const float*, const int8_t*, const float*,
+                              const float*, float*, int, int, int, int);
+
+struct QuantKernelTable {
+  LinearBf16Fn linear_bf16;
+  LinearInt8Fn linear_int8;
+};
+
+void LinearBf16Base(const float* xd, const uint16_t* wd, const float* bd,
+                    float* yd, int m, int k, int n, int relu) {
+  LinearBf16Body(xd, wd, bd, yd, m, k, n, relu);
+}
+void LinearInt8Base(const float* xd, const int8_t* wd, const float* sd,
+                    const float* bd, float* yd, int m, int k, int n,
+                    int relu) {
+  LinearInt8Body(xd, wd, sd, bd, yd, m, k, n, relu);
+}
+
+constexpr QuantKernelTable kScalarTable = {LinearBf16Base, LinearInt8Base};
+
+#ifdef COSTREAM_HAVE_ISA_CLONES
+// GCC 12's avx512fintrin.h widening intrinsics expand through
+// _mm512_undefined_si512(), which -Wmaybe-uninitialized flags when inlined
+// here; the value is fully overwritten before use.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+// Hand-vectorized clones. GCC does not auto-vectorize the decode-multiply
+// accumulator loops above (the bf16/int8 widening defeats SLP), so the
+// target clones spell out the SIMD explicitly. Bitwise parity with the
+// scalar body is by construction: each output column keeps its own lane,
+// k-terms are added in ascending order as separate IEEE mul + add (no FMA,
+// matching -ffp-contract=off), and ReLU is a `v < 0` compare + blend so
+// NaN and -0.0 pass through exactly as the scalar `if (v < 0.0f)` does.
+
+__attribute__((target(COSTREAM_TARGET_AVX2))) void LinearBf16Avx2(
+    const float* xd, const uint16_t* wd, const float* bd, float* yd, int m,
+    int k, int n, int relu) {
+  const __m256 zero8 = _mm256_setzero_ps();
+  for (int i = 0; i < m; ++i) {
+    const float* xrow = xd + static_cast<size_t>(i) * k;
+    float* yrow = yd + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + kColBlock <= n; j += kColBlock) {
+      __m256 acc0 = zero8, acc1 = zero8;
+      const uint16_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const __m256 xv = _mm256_set1_ps(xrow[p]);
+        const __m128i w0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(wp));
+        const __m128i w1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(wp + 8));
+        const __m256 f0 = _mm256_castsi256_ps(
+            _mm256_slli_epi32(_mm256_cvtepu16_epi32(w0), 16));
+        const __m256 f1 = _mm256_castsi256_ps(
+            _mm256_slli_epi32(_mm256_cvtepu16_epi32(w1), 16));
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(xv, f0));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(xv, f1));
+      }
+      __m256 v0 = _mm256_add_ps(acc0, _mm256_loadu_ps(bd + j));
+      __m256 v1 = _mm256_add_ps(acc1, _mm256_loadu_ps(bd + j + 8));
+      if (relu) {
+        v0 = _mm256_blendv_ps(v0, zero8,
+                              _mm256_cmp_ps(v0, zero8, _CMP_LT_OQ));
+        v1 = _mm256_blendv_ps(v1, zero8,
+                              _mm256_cmp_ps(v1, zero8, _CMP_LT_OQ));
+      }
+      _mm256_storeu_ps(yrow + j, v0);
+      _mm256_storeu_ps(yrow + j + 8, v1);
+    }
+    for (; j + kColBlockSmall <= n; j += kColBlockSmall) {
+      __m256 acc = zero8;
+      const uint16_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const __m256 xv = _mm256_set1_ps(xrow[p]);
+        const __m128i w0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(wp));
+        const __m256 f0 = _mm256_castsi256_ps(
+            _mm256_slli_epi32(_mm256_cvtepu16_epi32(w0), 16));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(xv, f0));
+      }
+      __m256 v = _mm256_add_ps(acc, _mm256_loadu_ps(bd + j));
+      if (relu) {
+        v = _mm256_blendv_ps(v, zero8, _mm256_cmp_ps(v, zero8, _CMP_LT_OQ));
+      }
+      _mm256_storeu_ps(yrow + j, v);
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      const uint16_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) acc += xrow[p] * Bf16Value(*wp);
+      acc += bd[j];
+      if (relu && acc < 0.0f) acc = 0.0f;
+      yrow[j] = acc;
+    }
+  }
+}
+
+__attribute__((target(COSTREAM_TARGET_AVX2))) void LinearInt8Avx2(
+    const float* xd, const int8_t* wd, const float* sd, const float* bd,
+    float* yd, int m, int k, int n, int relu) {
+  const __m256 zero8 = _mm256_setzero_ps();
+  for (int i = 0; i < m; ++i) {
+    const float* xrow = xd + static_cast<size_t>(i) * k;
+    float* yrow = yd + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + kColBlock <= n; j += kColBlock) {
+      __m256 acc0 = zero8, acc1 = zero8;
+      const int8_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const __m256 xv = _mm256_set1_ps(xrow[p]);
+        const __m128i q0 =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(wp));
+        const __m128i q1 =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(wp + 8));
+        const __m256 f0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q0));
+        const __m256 f1 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q1));
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(xv, f0));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(xv, f1));
+      }
+      __m256 v0 = _mm256_add_ps(_mm256_mul_ps(acc0, _mm256_loadu_ps(sd + j)),
+                                _mm256_loadu_ps(bd + j));
+      __m256 v1 =
+          _mm256_add_ps(_mm256_mul_ps(acc1, _mm256_loadu_ps(sd + j + 8)),
+                        _mm256_loadu_ps(bd + j + 8));
+      if (relu) {
+        v0 = _mm256_blendv_ps(v0, zero8,
+                              _mm256_cmp_ps(v0, zero8, _CMP_LT_OQ));
+        v1 = _mm256_blendv_ps(v1, zero8,
+                              _mm256_cmp_ps(v1, zero8, _CMP_LT_OQ));
+      }
+      _mm256_storeu_ps(yrow + j, v0);
+      _mm256_storeu_ps(yrow + j + 8, v1);
+    }
+    for (; j + kColBlockSmall <= n; j += kColBlockSmall) {
+      __m256 acc = zero8;
+      const int8_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const __m256 xv = _mm256_set1_ps(xrow[p]);
+        const __m128i q0 =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(wp));
+        const __m256 f0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q0));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(xv, f0));
+      }
+      __m256 v = _mm256_add_ps(_mm256_mul_ps(acc, _mm256_loadu_ps(sd + j)),
+                               _mm256_loadu_ps(bd + j));
+      if (relu) {
+        v = _mm256_blendv_ps(v, zero8, _mm256_cmp_ps(v, zero8, _CMP_LT_OQ));
+      }
+      _mm256_storeu_ps(yrow + j, v);
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      const int8_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        acc += xrow[p] * static_cast<float>(*wp);
+      }
+      acc = acc * sd[j] + bd[j];
+      if (relu && acc < 0.0f) acc = 0.0f;
+      yrow[j] = acc;
+    }
+  }
+}
+
+__attribute__((target(COSTREAM_TARGET_AVX512))) void LinearBf16Avx512(
+    const float* xd, const uint16_t* wd, const float* bd, float* yd, int m,
+    int k, int n, int relu) {
+  const __m512 zero16 = _mm512_setzero_ps();
+  const __m256 zero8 = _mm256_setzero_ps();
+  for (int i = 0; i < m; ++i) {
+    const float* xrow = xd + static_cast<size_t>(i) * k;
+    float* yrow = yd + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + kColBlock <= n; j += kColBlock) {
+      __m512 acc = zero16;
+      const uint16_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const __m512 xv = _mm512_set1_ps(xrow[p]);
+        const __m256i w0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wp));
+        const __m512 f0 = _mm512_castsi512_ps(
+            _mm512_slli_epi32(_mm512_cvtepu16_epi32(w0), 16));
+        acc = _mm512_add_ps(acc, _mm512_mul_ps(xv, f0));
+      }
+      __m512 v = _mm512_add_ps(acc, _mm512_loadu_ps(bd + j));
+      if (relu) {
+        v = _mm512_mask_mov_ps(v, _mm512_cmp_ps_mask(v, zero16, _CMP_LT_OQ),
+                               zero16);
+      }
+      _mm512_storeu_ps(yrow + j, v);
+    }
+    for (; j + kColBlockSmall <= n; j += kColBlockSmall) {
+      __m256 acc = zero8;
+      const uint16_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const __m256 xv = _mm256_set1_ps(xrow[p]);
+        const __m128i w0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(wp));
+        const __m256 f0 = _mm256_castsi256_ps(
+            _mm256_slli_epi32(_mm256_cvtepu16_epi32(w0), 16));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(xv, f0));
+      }
+      __m256 v = _mm256_add_ps(acc, _mm256_loadu_ps(bd + j));
+      if (relu) {
+        v = _mm256_blendv_ps(v, zero8, _mm256_cmp_ps(v, zero8, _CMP_LT_OQ));
+      }
+      _mm256_storeu_ps(yrow + j, v);
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      const uint16_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) acc += xrow[p] * Bf16Value(*wp);
+      acc += bd[j];
+      if (relu && acc < 0.0f) acc = 0.0f;
+      yrow[j] = acc;
+    }
+  }
+}
+
+__attribute__((target(COSTREAM_TARGET_AVX512))) void LinearInt8Avx512(
+    const float* xd, const int8_t* wd, const float* sd, const float* bd,
+    float* yd, int m, int k, int n, int relu) {
+  const __m512 zero16 = _mm512_setzero_ps();
+  const __m256 zero8 = _mm256_setzero_ps();
+  for (int i = 0; i < m; ++i) {
+    const float* xrow = xd + static_cast<size_t>(i) * k;
+    float* yrow = yd + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + kColBlock <= n; j += kColBlock) {
+      __m512 acc = zero16;
+      const int8_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const __m512 xv = _mm512_set1_ps(xrow[p]);
+        const __m128i q0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(wp));
+        const __m512 f0 = _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(q0));
+        acc = _mm512_add_ps(acc, _mm512_mul_ps(xv, f0));
+      }
+      __m512 v = _mm512_add_ps(_mm512_mul_ps(acc, _mm512_loadu_ps(sd + j)),
+                               _mm512_loadu_ps(bd + j));
+      if (relu) {
+        v = _mm512_mask_mov_ps(v, _mm512_cmp_ps_mask(v, zero16, _CMP_LT_OQ),
+                               zero16);
+      }
+      _mm512_storeu_ps(yrow + j, v);
+    }
+    for (; j + kColBlockSmall <= n; j += kColBlockSmall) {
+      __m256 acc = zero8;
+      const int8_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        const __m256 xv = _mm256_set1_ps(xrow[p]);
+        const __m128i q0 =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(wp));
+        const __m256 f0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q0));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(xv, f0));
+      }
+      __m256 v = _mm256_add_ps(_mm256_mul_ps(acc, _mm256_loadu_ps(sd + j)),
+                               _mm256_loadu_ps(bd + j));
+      if (relu) {
+        v = _mm256_blendv_ps(v, zero8, _mm256_cmp_ps(v, zero8, _CMP_LT_OQ));
+      }
+      _mm256_storeu_ps(yrow + j, v);
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      const int8_t* wp = wd + j;
+      for (int p = 0; p < k; ++p, wp += n) {
+        acc += xrow[p] * static_cast<float>(*wp);
+      }
+      acc = acc * sd[j] + bd[j];
+      if (relu && acc < 0.0f) acc = 0.0f;
+      yrow[j] = acc;
+    }
+  }
+}
+
+#pragma GCC diagnostic pop
+
+constexpr QuantKernelTable kTables[kNumKernelTiers] = {
+    kScalarTable,
+    {LinearBf16Avx2, LinearInt8Avx2},
+    {LinearBf16Avx512, LinearInt8Avx512}};
+#else
+constexpr QuantKernelTable kTables[kNumKernelTiers] = {
+    kScalarTable, kScalarTable, kScalarTable};
+#endif
+
+inline const QuantKernelTable& ActiveKernels() {
+  return kTables[static_cast<int>(ActiveKernelTier())];
+}
+
+}  // namespace
+
+const char* ToString(QuantKind kind) {
+  switch (kind) {
+    case QuantKind::kBf16:
+      return "bf16";
+    case QuantKind::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+uint16_t Bf16FromFloat(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  if ((bits & 0x7fffffffu) > 0x7f800000u) {
+    // NaN: keep sign, force a quiet NaN payload that survives truncation.
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+  }
+  // Round to nearest, ties to even on the truncated 16-bit boundary.
+  const uint32_t lsb = (bits >> 16) & 1u;
+  bits += 0x7fffu + lsb;
+  return static_cast<uint16_t>(bits >> 16);
+}
+
+float FloatFromBf16(uint16_t bits) { return Bf16Value(bits); }
+
+Bf16Matrix QuantizeBf16(const Matrix& m) {
+  Bf16Matrix q;
+  q.rows = m.rows();
+  q.cols = m.cols();
+  q.data.resize(static_cast<size_t>(m.rows()) * m.cols());
+  for (int i = 0; i < m.size(); ++i) {
+    q.data[i] = Bf16FromFloat(static_cast<float>(m.data()[i]));
+  }
+  return q;
+}
+
+Int8Matrix QuantizeInt8(const Matrix& m) {
+  Int8Matrix q;
+  q.rows = m.rows();
+  q.cols = m.cols();
+  q.data.resize(static_cast<size_t>(m.rows()) * m.cols());
+  q.scale.assign(m.cols(), 0.0f);
+  for (int c = 0; c < m.cols(); ++c) {
+    double max_abs = 0.0;
+    for (int r = 0; r < m.rows(); ++r) {
+      max_abs = std::max(max_abs, std::fabs(m(r, c)));
+    }
+    if (max_abs == 0.0) continue;  // all-zero column: codes stay 0
+    const double scale = max_abs / 127.0;
+    q.scale[c] = static_cast<float>(scale);
+    for (int r = 0; r < m.rows(); ++r) {
+      const double code = std::nearbyint(m(r, c) / scale);
+      q.data[static_cast<size_t>(r) * m.cols() + c] = static_cast<int8_t>(
+          std::max(-127.0, std::min(127.0, code)));
+    }
+  }
+  return q;
+}
+
+void QuantizedLinear::Apply(const FloatMatrix& x, FloatMatrix& y) const {
+  COSTREAM_CHECK(x.cols() == in_features);
+  y.ResizeUninit(x.rows(), out_features);
+  if (kind == QuantKind::kBf16) {
+    ActiveKernels().linear_bf16(x.data(), w_bf16.data.data(), bias.data(),
+                                y.data(), x.rows(), in_features, out_features,
+                                relu ? 1 : 0);
+  } else {
+    ActiveKernels().linear_int8(x.data(), w_int8.data.data(),
+                                w_int8.scale.data(), bias.data(), y.data(),
+                                x.rows(), in_features, out_features,
+                                relu ? 1 : 0);
+  }
+}
+
+QuantizedMlp::QuantizedMlp(const Mlp& mlp, QuantKind kind) {
+  // The ranking tier only mirrors the cost model's MLP shapes: ReLU between
+  // layers, identity (or ReLU) on the output.
+  COSTREAM_CHECK(mlp.hidden_activation() == Activation::kRelu);
+  const std::vector<Linear>& layers = mlp.layers();
+  layers_.reserve(layers.size());
+  for (size_t i = 0; i < layers.size(); ++i) {
+    QuantizedLinear& layer = layers_.emplace_back();
+    layer.kind = kind;
+    const Matrix& w = layers[i].weight_value();
+    const Matrix& b = layers[i].bias_value();
+    layer.in_features = w.rows();
+    layer.out_features = w.cols();
+    layer.relu = i + 1 < layers.size() || mlp.activate_output();
+    if (kind == QuantKind::kBf16) {
+      layer.w_bf16 = QuantizeBf16(w);
+    } else {
+      layer.w_int8 = QuantizeInt8(w);
+    }
+    layer.bias.resize(b.cols());
+    for (int c = 0; c < b.cols(); ++c) {
+      layer.bias[c] = static_cast<float>(b(0, c));
+    }
+  }
+}
+
+void QuantizedMlp::Apply(const FloatMatrix& x, FloatMatrix& y,
+                         FloatMatrix& scratch) const {
+  COSTREAM_CHECK(!layers_.empty());
+  const int last = static_cast<int>(layers_.size()) - 1;
+  const FloatMatrix* cur = &x;
+  for (int i = 0; i <= last; ++i) {
+    // Walk backwards from the requirement that layer `last` writes y: the
+    // buffers alternate y/scratch so no layer ever reads the buffer it
+    // writes (the kernels overwrite output rows while input rows are live).
+    FloatMatrix& dst = ((last - i) % 2 == 0) ? y : scratch;
+    layers_[i].Apply(*cur, dst);
+    cur = &dst;
+  }
+}
+
+}  // namespace costream::nn

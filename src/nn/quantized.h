@@ -1,0 +1,129 @@
+#ifndef COSTREAM_NN_QUANTIZED_H_
+#define COSTREAM_NN_QUANTIZED_H_
+
+// Low-precision weight copies for the candidate *ranking* tier of the
+// placement fast path. A QuantizedMlp snapshots an nn::Mlp's weights into
+// bf16 (truncated fp32, round-to-nearest-even) or int8 (symmetric, one scale
+// per output column) and runs a float-accumulated, tape-free forward. It
+// exists to order placement candidates cheaply; the decision itself is
+// always re-scored through the full-precision tape path, so quantization
+// error can only change which candidates make the top-k, never the bits of
+// a decision score. The GEMM kernels mirror autograd.cc's blocked
+// accumulation order, carry scalar/AVX2/AVX-512 clones dispatched by
+// kernel_dispatch.h, and build with -ffp-contract=off — results are bitwise
+// identical across ISA tiers and machine-independent.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+
+namespace costream::nn {
+
+// Row-major float matrix for ranking-tier activations (the double-typed
+// nn::Matrix stays the currency of the full-precision path).
+class FloatMatrix {
+ public:
+  FloatMatrix() = default;
+
+  void ResizeUninit(int rows, int cols) {
+    COSTREAM_CHECK(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<size_t>(rows) * cols);
+  }
+  void ResizeZero(int rows, int cols) {
+    ResizeUninit(rows, cols);
+    std::fill(data_.begin(), data_.end(), 0.0f);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Which low-precision representation a weight copy uses.
+enum class QuantKind { kBf16, kInt8 };
+const char* ToString(QuantKind kind);
+
+// fp32 -> bf16 with round-to-nearest-even (the float keeps the top 16 bits
+// of its pattern; ties go to the even mantissa). NaN payloads collapse to a
+// quiet NaN so the round-up carry cannot turn a NaN into infinity.
+uint16_t Bf16FromFloat(float v);
+float FloatFromBf16(uint16_t bits);
+
+// bf16 weight copy: one uint16 bit pattern per element.
+struct Bf16Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<uint16_t> data;
+};
+
+// int8 weight copy, symmetric per-output-column scales:
+//   w[r][c] ~= q[r][c] * scale[c],  q in [-127, 127],
+//   scale[c] = max_r |w[r][c]| / 127 (0 for all-zero columns).
+// Per-column (not per-tensor) scales matter here: encoder weight columns
+// feed differently normalized features, so one tensor-wide scale would
+// crush the small-magnitude columns to zero.
+struct Int8Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int8_t> data;
+  std::vector<float> scale;  // one per column
+};
+
+Bf16Matrix QuantizeBf16(const Matrix& m);
+Int8Matrix QuantizeInt8(const Matrix& m);
+
+// One linear layer of a QuantizedMlp. The bias stays float: it is O(out)
+// data with O(m * in * out) compute, so quantizing it saves nothing.
+struct QuantizedLinear {
+  QuantKind kind = QuantKind::kBf16;
+  Bf16Matrix w_bf16;
+  Int8Matrix w_int8;
+  std::vector<float> bias;
+  int in_features = 0;
+  int out_features = 0;
+  bool relu = false;  // fused activation, mirroring Tape::Linear
+
+  // y = x * W + bias (+relu); y is resized to (x.rows x out_features).
+  void Apply(const FloatMatrix& x, FloatMatrix& y) const;
+};
+
+// Low-precision snapshot of an nn::Mlp (ReLU hidden activations, as the
+// cost model uses throughout). The snapshot is taken at construction; the
+// source Mlp may train on afterwards without affecting the copy.
+class QuantizedMlp {
+ public:
+  QuantizedMlp() = default;
+  QuantizedMlp(const Mlp& mlp, QuantKind kind);
+
+  // Runs the forward. `scratch` ping-pongs the hidden activations so
+  // steady-state calls allocate nothing; x may not alias y or scratch.
+  void Apply(const FloatMatrix& x, FloatMatrix& y, FloatMatrix& scratch) const;
+
+  int in_features() const { return layers_.front().in_features; }
+  int out_features() const { return layers_.back().out_features; }
+  bool empty() const { return layers_.empty(); }
+
+ private:
+  std::vector<QuantizedLinear> layers_;
+};
+
+}  // namespace costream::nn
+
+#endif  // COSTREAM_NN_QUANTIZED_H_

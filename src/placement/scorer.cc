@@ -122,6 +122,37 @@ PlacementScorer::Workspace PlacementScorer::MakeWorkspace() const {
   return ws;
 }
 
+void PlacementScorer::ResetWorkspace(Workspace& ws) const {
+  if (ws.graphs.size() != modes_.size() ||
+      ws.enc_caches.size() != enc_owners_.size()) {
+    ws = MakeWorkspace();
+    return;
+  }
+  for (size_t i = 0; i < modes_.size(); ++i) {
+    const core::JointGraph& proto = modes_[i].prototype;
+    core::JointGraph& g = ws.graphs[i];
+    g.nodes.resize(proto.nodes.size());
+    for (size_t v = 0; v < proto.nodes.size(); ++v) {
+      g.nodes[v].kind = proto.nodes[v].kind;
+      g.nodes[v].features.assign(proto.nodes[v].features.begin(),
+                                 proto.nodes[v].features.end());
+    }
+    g.dataflow_edges.assign(proto.dataflow_edges.begin(),
+                            proto.dataflow_edges.end());
+    g.placement_edges.clear();
+    g.topo_order.assign(proto.topo_order.begin(), proto.topo_order.end());
+    g.num_operator_nodes = proto.num_operator_nodes;
+    g.num_host_nodes = 0;
+    // The structure may match the previous tenant's, but features moved:
+    // conservatively rebuild the plan on the next Bind.
+    ws.plans[i].ready = false;
+  }
+  for (Workspace::EncodeCache& cache : ws.enc_caches) {
+    cache.ops_ready = false;
+    cache.hosts_ready = false;
+  }
+}
+
 void PlacementScorer::Bind(Workspace& ws, int slot,
                            const sim::Placement& placement) const {
   const ModeCache& cache = modes_[slot];

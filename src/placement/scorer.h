@@ -67,6 +67,15 @@ class PlacementScorer {
 
   Workspace MakeWorkspace() const;
 
+  // Re-targets a workspace built by any scorer with the same ensemble set to
+  // THIS scorer's (query, cluster): working graphs are rewritten from the
+  // new prototypes in place and encoder caches invalidated, but every
+  // capacity — graph node storage, forward-plan index vectors, tapes,
+  // encoder matrices — survives. The scoring engine pools workspaces per
+  // query structure across requests so repeat tenants never re-allocate.
+  // Falls back to a fresh MakeWorkspace() on a shape mismatch.
+  void ResetWorkspace(Workspace& ws) const;
+
   // Target-metric prediction for `placement`.
   double PredictTarget(Workspace& ws, const sim::Placement& placement) const;
 

@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "placement/enumeration.h"
 #include "placement/scorer.h"
+#include "service/scoring_engine.h"
 #include "sim/des.h"
 
 namespace costream::service {
@@ -54,7 +55,22 @@ PlacementService::PlacementService(sim::Cluster cluster,
   COSTREAM_CHECK(config_.num_candidates > 0);
   COSTREAM_CHECK(config_.max_iterations > 0);
   COSTREAM_CHECK(config_.penalty_weight >= 0.0);
+  if (config_.policy == AdmissionPolicy::kLearned) {
+    FastPathConfig fast;
+    fast.enabled = config_.fast_path;
+    fast.quantized_ranking = config_.quantized_ranking;
+    fast.quant_kind = config_.quant_kind;
+    fast.rank_top_k = config_.rank_top_k;
+    fast.rank_members = config_.rank_members;
+    fast.rank_widen_rounds = config_.rank_widen_rounds;
+    fast.candidate_cache = config_.candidate_cache;
+    fast.num_threads = config_.num_threads;
+    engine_ = std::make_unique<ScoringEngine>(target_, success_,
+                                              backpressure_, fast);
+  }
 }
+
+PlacementService::~PlacementService() = default;
 
 double PlacementService::CandidatePenaltyFactor(
     const dsps::QueryGraph& query, const sim::Placement& placement,
@@ -73,7 +89,6 @@ PlacementService::Choice PlacementService::PlaceOne(
   if (config_.policy == AdmissionPolicy::kGreedyFirstFit) {
     return PlaceGreedyFirstFit(query);
   }
-  const bool maximize = config_.target == sim::Metric::kThroughput;
 
   placement::EnumerationConfig ec;
   ec.num_candidates = config_.num_candidates;
@@ -84,26 +99,38 @@ PlacementService::Choice PlacementService::PlaceOne(
       placement::EnumerateCandidates(query, view, ec);
   COSTREAM_CHECK(!candidates.empty());
 
+  std::vector<std::vector<double>> ranked;
+  engine_->RankRequests({&query}, {&candidates}, view, ranked);
+  return SelectCandidates(query, view, candidates,
+                          ranked.empty() ? nullptr : &ranked[0]);
+}
+
+PlacementService::Choice PlacementService::SelectCandidates(
+    const dsps::QueryGraph& query, const sim::Cluster& view,
+    const std::vector<sim::Placement>& candidates,
+    const std::vector<double>* ranked) const {
+  const bool maximize = config_.target == sim::Metric::kThroughput;
+  const int n = static_cast<int>(candidates.size());
+
+  // Congestion factors first: the engine's top-k pre-selection ranks under
+  // the same penalized objective the final selection uses.
+  std::vector<double> factors(n);
+  const sim::BackgroundLoad total = ledger_.TotalLoad();
+  const int threads =
+      std::max(1, std::min(common::ResolveNumThreads(config_.num_threads), n));
+  common::ParallelForIndexed(threads, n, [&](int /*worker*/, int i) {
+    factors[i] = CandidatePenaltyFactor(query, candidates[i], total);
+  });
+
   // Batched scoring against the load-adjusted view, exactly like the one-shot
   // optimizer: per-candidate slots, selection in enumeration order, so the
   // decision is identical for every thread count.
-  const placement::PlacementScorer scorer(query, view, target_, success_,
-                                          backpressure_);
-  const int n = static_cast<int>(candidates.size());
-  const int threads =
-      std::min(common::ResolveNumThreads(config_.num_threads), n);
-  std::vector<placement::PlacementScorer::Workspace> workspaces;
-  workspaces.reserve(std::max(threads, 1));
-  for (int t = 0; t < std::max(threads, 1); ++t) {
-    workspaces.push_back(scorer.MakeWorkspace());
-  }
-  std::vector<placement::PlacementScorer::CandidateScore> scored(n);
-  std::vector<double> factors(n);
-  const sim::BackgroundLoad total = ledger_.TotalLoad();
-  common::ParallelForIndexed(threads, n, [&](int worker, int i) {
-    scored[i] = scorer.Score(workspaces[worker], candidates[i]);
-    factors[i] = CandidatePenaltyFactor(query, candidates[i], total);
-  });
+  static const std::vector<double> kNoRank;
+  const ScoringEngine::ScoreResult result = engine_->ScoreRequest(
+      query, view, candidates, factors, maximize,
+      ranked != nullptr ? *ranked : kNoRank);
+  const std::vector<placement::PlacementScorer::CandidateScore>& scored =
+      result.scored;
 
   Choice choice;
   choice.candidates_evaluated = n;
@@ -114,6 +141,11 @@ PlacementService::Choice PlacementService::PlaceOne(
   int best_any_idx = -1;
   std::vector<double> penalized(n);
   for (int i = 0; i < n; ++i) {
+    // The quantized tier may have skipped candidates outside the re-scored
+    // top-k; they have no full-precision score and never win (when none of
+    // the top-k was feasible the engine fell back to scoring everything, so
+    // the best-any domain is complete exactly when it matters).
+    if (!result.have_full[i]) continue;
     // Negotiated congestion: the learned prediction is repriced by the
     // penalties of the nodes the candidate uses. Minimized metrics get more
     // expensive on contended nodes, maximized ones less attractive.
@@ -213,6 +245,72 @@ AdmitResult PlacementService::Admit(const dsps::QueryGraph& query) {
   const Choice choice =
       PlaceOne(query, view, DeriveSeed(config_.seed, id, 0));
   return Record(id, query, choice);
+}
+
+int64_t PlacementService::AdmitAsync(const dsps::QueryGraph& query) {
+  static obs::Counter& metric_enqueued =
+      obs::GetCounter("service.async_admissions_enqueued");
+  const int64_t id = next_id_++;
+  pending_.emplace_back(id, query);
+  metric_enqueued.Increment();
+  return id;
+}
+
+std::vector<AdmitResult> PlacementService::DrainAdmissions() {
+  static obs::Histogram& metric_batch =
+      obs::GetHistogram("service.async_drain_batch");
+  static obs::Histogram& metric_drain_us =
+      obs::GetHistogram("service.async_drain_us");
+  std::vector<AdmitResult> results;
+  if (pending_.empty()) return results;
+  obs::ScopedTimer timer(metric_drain_us);
+  metric_batch.Record(static_cast<double>(pending_.size()));
+  results.reserve(pending_.size());
+
+  if (config_.policy == AdmissionPolicy::kGreedyFirstFit) {
+    for (const auto& [id, query] : pending_) {
+      results.push_back(Record(id, query, PlaceGreedyFirstFit(query)));
+    }
+    pending_.clear();
+    return results;
+  }
+
+  // One consistent snapshot for the whole batch: every request enumerates
+  // and scores against the drain-start view (a batch of one is therefore
+  // bitwise identical to a synchronous Admit). Congestion penalties still
+  // read the live ledger at each request's turn, so requests of one batch
+  // price each other's load.
+  const sim::Cluster snapshot = ledger_.LoadedView();
+  std::vector<std::vector<sim::Placement>> candidates(pending_.size());
+  std::vector<const dsps::QueryGraph*> queries(pending_.size());
+  std::vector<const std::vector<sim::Placement>*> candidate_ptrs(
+      pending_.size());
+  for (size_t r = 0; r < pending_.size(); ++r) {
+    placement::EnumerationConfig ec;
+    ec.num_candidates = config_.num_candidates;
+    ec.num_bins = config_.num_bins;
+    ec.seed = DeriveSeed(config_.seed,
+                         static_cast<uint64_t>(pending_[r].first), 0);
+    ec.num_threads = config_.num_threads;
+    candidates[r] =
+        placement::EnumerateCandidates(pending_[r].second, snapshot, ec);
+    COSTREAM_CHECK(!candidates[r].empty());
+    queries[r] = &pending_[r].second;
+    candidate_ptrs[r] = &candidates[r];
+  }
+
+  // Cross-request ranking: all same-structure requests share stage GEMMs.
+  std::vector<std::vector<double>> ranked;
+  engine_->RankRequests(queries, candidate_ptrs, snapshot, ranked);
+
+  for (size_t r = 0; r < pending_.size(); ++r) {
+    const Choice choice =
+        SelectCandidates(pending_[r].second, snapshot, candidates[r],
+                         ranked.empty() ? nullptr : &ranked[r]);
+    results.push_back(Record(pending_[r].first, pending_[r].second, choice));
+  }
+  pending_.clear();
+  return results;
 }
 
 AdmitResult PlacementService::AdmitWithPlacement(

@@ -3,15 +3,20 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/ensemble.h"
 #include "dsps/query_graph.h"
+#include "nn/quantized.h"
 #include "service/load_ledger.h"
 #include "sim/cost_metrics.h"
 #include "sim/hardware.h"
 
 namespace costream::service {
+
+class ScoringEngine;
 
 // How a query's initial placement is chosen at admission.
 enum class AdmissionPolicy {
@@ -44,6 +49,28 @@ struct ServiceConfig {
   // Scales the congestion term when penalizing candidate scores.
   double penalty_weight = 1.0;
   LedgerConfig ledger;
+
+  // --- Scoring fast path (service/scoring_engine.h) ---
+  // Pools per-structure scoring workspaces and forward plans across requests
+  // and caches candidate scores on (query, view, co-location signature).
+  // Decisions stay bitwise identical to the unpooled path.
+  bool fast_path = true;
+  // Rank candidates with the low-precision tier (bf16/int8 weight copies)
+  // and re-score only the top rank_top_k in full precision. Changes which
+  // candidates reach the full model — decisions agree with the
+  // full-precision path within the benched agreement gate — so it is off by
+  // default; latency-sensitive deployments opt in.
+  bool quantized_ranking = false;
+  nn::QuantKind quant_kind = nn::QuantKind::kInt8;
+  int rank_top_k = 4;
+  // Ensemble members the ranking tier snapshots (0 = all; a subset is
+  // cheaper but measurably costs top-1 agreement).
+  int rank_members = 0;
+  // Doubling rounds the infeasible-head fallback may widen the re-scored
+  // set by before resolving best-any over what it scored (< 0: scan to the
+  // exact full-precision best-any). See FastPathConfig::rank_widen_rounds.
+  int rank_widen_rounds = 2;
+  bool candidate_cache = true;
 };
 
 struct AdmitResult {
@@ -99,11 +126,25 @@ class PlacementService {
                    const core::Ensemble* success,
                    const core::Ensemble* backpressure,
                    const ServiceConfig& config);
+  ~PlacementService();
 
   // Places `query` against the current loaded view and records it in the
   // ledger. The query is copied (re-placement needs it after the caller
   // moves on).
   AdmitResult Admit(const dsps::QueryGraph& query);
+
+  // Async admission queue. AdmitAsync enqueues `query` and returns the id it
+  // will be admitted under (assigned at submission, so sync and async
+  // admissions interleave deterministically); DrainAdmissions then admits
+  // every queued query in FIFO order against ONE consistent snapshot of the
+  // loaded view, batching all same-structure requests' candidates into
+  // shared ranking GEMMs. Ledger updates still apply sequentially per
+  // request, so later requests in a batch see earlier ones through the
+  // congestion penalties; only the derated node features are shared. A batch
+  // of one is bitwise identical to a synchronous Admit.
+  int64_t AdmitAsync(const dsps::QueryGraph& query);
+  std::vector<AdmitResult> DrainAdmissions();
+  int pending_admissions() const { return static_cast<int>(pending_.size()); }
 
   // Admits `query` at a forced `placement` (no scoring). Used to replay
   // recorded decisions and to build adversarial contention fixtures.
@@ -151,6 +192,13 @@ class PlacementService {
   // One learned (or greedy) placement decision for `query` against `view`.
   Choice PlaceOne(const dsps::QueryGraph& query, const sim::Cluster& view,
                   uint64_t salt) const;
+  // Scores `candidates` through the engine (ranked non-null: quantized
+  // pre-ranking results) and selects under the congestion-penalized
+  // objective, in enumeration order.
+  Choice SelectCandidates(const dsps::QueryGraph& query,
+                          const sim::Cluster& view,
+                          const std::vector<sim::Placement>& candidates,
+                          const std::vector<double>* ranked) const;
   Choice PlaceGreedyFirstFit(const dsps::QueryGraph& query) const;
   // Congestion multiplier of a candidate: the ledger's present-congestion
   // price of adding the candidate's steady-state demand, scaled by
@@ -168,6 +216,11 @@ class PlacementService {
   ClusterLoadLedger ledger_;
   std::map<int64_t, Entry> entries_;
   int64_t next_id_ = 0;
+  std::vector<std::pair<int64_t, dsps::QueryGraph>> pending_;
+  // Cross-request scoring state (pooled workspaces, candidate cache,
+  // quantized weight snapshots). Mutable because placement decisions are
+  // logically const; the service's public API is externally serialized.
+  mutable std::unique_ptr<ScoringEngine> engine_;
 };
 
 }  // namespace costream::service

@@ -1,0 +1,211 @@
+// Unit tests of the low-precision weight copies behind the placement
+// fast path's ranking tier: bf16 round-to-nearest-even conversion, int8
+// per-column symmetric scales, and QuantizedMlp forwards staying close to
+// (and deterministic against) the full-precision Mlp they snapshot.
+#include "nn/quantized.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/autograd.h"
+#include "nn/layers.h"
+#include "nn/random.h"
+
+namespace costream::nn {
+namespace {
+
+float FromBits(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+uint32_t ToBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+TEST(Bf16Test, ExactValuesPassThrough) {
+  EXPECT_EQ(Bf16FromFloat(0.0f), 0x0000);
+  EXPECT_EQ(Bf16FromFloat(1.0f), 0x3f80);
+  EXPECT_EQ(Bf16FromFloat(-2.0f), 0xc000);
+  EXPECT_EQ(FloatFromBf16(Bf16FromFloat(1.5f)), 1.5f);
+}
+
+TEST(Bf16Test, RoundsToNearestEven) {
+  // Tie (lower half exactly 0x8000) with even upper half: stays.
+  EXPECT_EQ(Bf16FromFloat(FromBits(0x3f808000u)), 0x3f80);
+  // Tie with odd upper half: rounds up to even.
+  EXPECT_EQ(Bf16FromFloat(FromBits(0x3f818000u)), 0x3f82);
+  // Just above the tie: always rounds up.
+  EXPECT_EQ(Bf16FromFloat(FromBits(0x3f808001u)), 0x3f81);
+  // Just below the tie: always rounds down.
+  EXPECT_EQ(Bf16FromFloat(FromBits(0x3f807fffu)), 0x3f80);
+}
+
+TEST(Bf16Test, RoundTripErrorBounded) {
+  // bf16 keeps 8 mantissa bits: relative round-trip error < 2^-8.
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.Uniform(-100.0, 100.0));
+    const float back = FloatFromBf16(Bf16FromFloat(v));
+    EXPECT_LE(std::fabs(back - v), std::fabs(v) * (1.0f / 256.0f) + 1e-30f);
+  }
+}
+
+TEST(Bf16Test, SpecialsSurvive) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(FloatFromBf16(Bf16FromFloat(inf)), inf);
+  EXPECT_EQ(FloatFromBf16(Bf16FromFloat(-inf)), -inf);
+  // NaN stays NaN; the rounding carry must not overflow it into infinity.
+  const float nan_payload = FromBits(0x7f800001u | 0x00007fffu);
+  EXPECT_TRUE(std::isnan(FloatFromBf16(Bf16FromFloat(nan_payload))));
+  EXPECT_TRUE(std::isnan(
+      FloatFromBf16(Bf16FromFloat(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+Matrix RandomMatrix(int rows, int cols, uint64_t seed, double lo = -2.0,
+                    double hi = 2.0) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng.Uniform(lo, hi);
+  }
+  return m;
+}
+
+TEST(Int8Test, PerColumnScaleAndBounds) {
+  const Matrix w = RandomMatrix(9, 5, 11);
+  const Int8Matrix q = QuantizeInt8(w);
+  ASSERT_EQ(q.rows, 9);
+  ASSERT_EQ(q.cols, 5);
+  ASSERT_EQ(static_cast<int>(q.scale.size()), 5);
+  for (int c = 0; c < 5; ++c) {
+    double max_abs = 0.0;
+    for (int r = 0; r < 9; ++r) max_abs = std::max(max_abs, std::fabs(w(r, c)));
+    // The scale is stored as float; compare at float precision.
+    EXPECT_NEAR(q.scale[c], max_abs / 127.0, max_abs * 1e-6);
+    for (int r = 0; r < 9; ++r) {
+      const int code = q.data[static_cast<size_t>(r) * 5 + c];
+      EXPECT_GE(code, -127);
+      EXPECT_LE(code, 127);
+      // Reconstruction error is at most half a quantization step.
+      const double back = static_cast<double>(code) * q.scale[c];
+      EXPECT_LE(std::fabs(back - w(r, c)), q.scale[c] * 0.500001 + 1e-12);
+    }
+  }
+}
+
+TEST(Int8Test, AllZeroColumnGetsZeroScale) {
+  Matrix w(4, 2);
+  w(0, 1) = 3.0;
+  const Int8Matrix q = QuantizeInt8(w);
+  EXPECT_EQ(q.scale[0], 0.0f);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(q.data[static_cast<size_t>(r) * 2], 0);
+}
+
+// Full-precision reference forward of `mlp` on `x`.
+Matrix ReferenceForward(const Mlp& mlp, const Matrix& x) {
+  Tape tape;
+  const Var y = mlp.Apply(tape, tape.Input(x));
+  return tape.value(y);
+}
+
+void FillFloat(const Matrix& src, FloatMatrix& dst) {
+  dst.ResizeUninit(src.rows(), src.cols());
+  for (int r = 0; r < src.rows(); ++r) {
+    for (int c = 0; c < src.cols(); ++c) {
+      dst.row(r)[c] = static_cast<float>(src(r, c));
+    }
+  }
+}
+
+void CheckClose(const Mlp& mlp, QuantKind kind, double rel_tol) {
+  const Matrix x = RandomMatrix(7, mlp.in_features(), 23, -1.5, 1.5);
+  const Matrix ref = ReferenceForward(mlp, x);
+
+  const QuantizedMlp qmlp(mlp, kind);
+  FloatMatrix xf, y, scratch;
+  FillFloat(x, xf);
+  qmlp.Apply(xf, y, scratch);
+  ASSERT_EQ(y.rows(), ref.rows());
+  ASSERT_EQ(y.cols(), ref.cols());
+  double ref_scale = 1.0;
+  for (int r = 0; r < ref.rows(); ++r) {
+    for (int c = 0; c < ref.cols(); ++c) {
+      ref_scale = std::max(ref_scale, std::fabs(ref(r, c)));
+    }
+  }
+  for (int r = 0; r < ref.rows(); ++r) {
+    for (int c = 0; c < ref.cols(); ++c) {
+      EXPECT_NEAR(y.row(r)[c], ref(r, c), rel_tol * ref_scale)
+          << ToString(kind) << " at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(QuantizedMlpTest, Bf16TracksFullPrecision) {
+  Rng rng(41);
+  const Mlp mlp({6, 16, 16, 3}, rng);
+  CheckClose(mlp, QuantKind::kBf16, 0.02);
+}
+
+TEST(QuantizedMlpTest, Int8TracksFullPrecision) {
+  Rng rng(42);
+  const Mlp mlp({6, 16, 16, 3}, rng);
+  CheckClose(mlp, QuantKind::kInt8, 0.08);
+}
+
+TEST(QuantizedMlpTest, ReluFusionMatchesHiddenActivations) {
+  // A 2-layer MLP without output activation: hidden layer relu'd, output
+  // not. With non-negative weights and inputs the bf16 copy is exact for
+  // representable values, so activations can be compared tightly.
+  Rng rng(43);
+  const Mlp mlp({4, 8, 2}, rng);
+  CheckClose(mlp, QuantKind::kBf16, 0.02);
+}
+
+TEST(QuantizedMlpTest, ApplyIsDeterministic) {
+  Rng rng(44);
+  const Mlp mlp({5, 12, 4}, rng);
+  const QuantizedMlp qmlp(mlp, QuantKind::kInt8);
+  const Matrix x = RandomMatrix(9, 5, 77);
+  FloatMatrix xf, y1, y2, scratch;
+  FillFloat(x, xf);
+  qmlp.Apply(xf, y1, scratch);
+  qmlp.Apply(xf, y2, scratch);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (int i = 0; i < y1.size(); ++i) {
+    EXPECT_EQ(ToBits(y1.data()[i]), ToBits(y2.data()[i])) << "element " << i;
+  }
+}
+
+TEST(QuantizedMlpTest, SnapshotIsDecoupledFromSource) {
+  Rng rng(45);
+  Mlp mlp({3, 6, 2}, rng);
+  const QuantizedMlp qmlp(mlp, QuantKind::kBf16);
+  const Matrix x = RandomMatrix(2, 3, 5);
+  FloatMatrix xf, before, after, scratch;
+  FillFloat(x, xf);
+  qmlp.Apply(xf, before, scratch);
+  // Perturb the source weights; the snapshot must not move.
+  std::vector<Parameter*> params;
+  mlp.CollectParameters(params);
+  for (Parameter* p : params) {
+    for (int r = 0; r < p->value.rows(); ++r) {
+      for (int c = 0; c < p->value.cols(); ++c) p->value(r, c) += 0.5;
+    }
+  }
+  qmlp.Apply(xf, after, scratch);
+  for (int i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before.data()[i], after.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace costream::nn

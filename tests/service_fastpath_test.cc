@@ -1,0 +1,279 @@
+// End-to-end contracts of the cross-request scoring fast path:
+//  * pooled workspaces + candidate cache change NO decision bits (fast path
+//    on/off and cache on/off replay identical admission scripts),
+//  * the async admission queue is deterministic, a batch of one is bitwise
+//    identical to a synchronous Admit, and batches replay bitwise,
+//  * the quantized ranking tier keeps decisions bitwise thread-count
+//    independent and agrees with the full-precision path on most decisions,
+//  * the candidate cache actually hits (duplicate co-location patterns and
+//    feature-identical nodes are common in enumeration).
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "obs/metrics.h"
+#include "service/placement_service.h"
+#include "service/scoring_engine.h"
+#include "workload/corpus.h"
+
+namespace costream::service {
+namespace {
+
+sim::Cluster FixtureCluster() {
+  // Three tiers of feature-identical nodes: interchangeable-node cache hits
+  // are possible by construction (as in a real edge/fog/cloud landscape).
+  sim::Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.nodes.push_back({100.0, 4000.0, 50.0, 40.0});
+  for (int i = 0; i < 3; ++i) cluster.nodes.push_back({300.0, 24000.0, 800.0, 10.0});
+  for (int i = 0; i < 2; ++i) cluster.nodes.push_back({600.0, 48000.0, 2000.0, 2.0});
+  return cluster;
+}
+
+core::Ensemble TinyThroughputEnsemble() {
+  workload::CorpusConfig cc;
+  cc.num_queries = 50;
+  cc.seed = 31;
+  cc.duration_s = 30.0;
+  const auto records = workload::BuildCorpus(cc);
+  core::CostModelConfig config;
+  config.hidden_dim = 8;
+  core::Ensemble ensemble(config, 1);
+  auto samples = workload::ToTrainSamples(records, sim::Metric::kThroughput);
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  ensemble.Train(samples, {}, tc);
+  return ensemble;
+}
+
+ServiceConfig BaseConfig() {
+  ServiceConfig config;
+  config.target = sim::Metric::kThroughput;
+  config.num_candidates = 12;
+  config.seed = 177;
+  config.num_threads = 1;
+  return config;
+}
+
+std::vector<dsps::QueryGraph> ScriptQueries(int count) {
+  workload::QueryGenerator generator(workload::GeneratorConfig{});
+  nn::Rng rng(515);
+  std::vector<dsps::QueryGraph> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const auto t = static_cast<workload::QueryTemplate>(rng.Int(0, 2));
+    queries.push_back(generator.Generate(t, rng));
+  }
+  return queries;
+}
+
+std::vector<AdmitResult> RunSync(const core::Ensemble& target,
+                                 const ServiceConfig& config,
+                                 const std::vector<dsps::QueryGraph>& queries) {
+  PlacementService service(FixtureCluster(), &target, nullptr, nullptr,
+                           config);
+  std::vector<AdmitResult> results;
+  for (const dsps::QueryGraph& query : queries) {
+    results.push_back(service.Admit(query));
+  }
+  return results;
+}
+
+void ExpectSameDecisions(const std::vector<AdmitResult>& a,
+                         const std::vector<AdmitResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "admission " << i;
+    EXPECT_EQ(a[i].placement, b[i].placement) << "admission " << i;
+    EXPECT_EQ(a[i].predicted, b[i].predicted) << "admission " << i;
+    EXPECT_EQ(a[i].penalized, b[i].penalized) << "admission " << i;
+    EXPECT_EQ(a[i].feasible, b[i].feasible) << "admission " << i;
+  }
+}
+
+TEST(ServiceFastPathTest, FastPathOffAndOnAgreeBitwise) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const std::vector<dsps::QueryGraph> queries = ScriptQueries(20);
+
+  ServiceConfig off = BaseConfig();
+  off.fast_path = false;
+  ServiceConfig on = BaseConfig();
+  on.fast_path = true;
+  on.candidate_cache = true;
+  // Quantized ranking stays off: with only pooling and caching active the
+  // fast path must not move a single decision bit.
+  ExpectSameDecisions(RunSync(target, off, queries),
+                      RunSync(target, on, queries));
+}
+
+TEST(ServiceFastPathTest, CandidateCacheOnOffAgreeBitwise) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const std::vector<dsps::QueryGraph> queries = ScriptQueries(20);
+
+  ServiceConfig cached = BaseConfig();
+  cached.candidate_cache = true;
+  ServiceConfig uncached = BaseConfig();
+  uncached.candidate_cache = false;
+  ExpectSameDecisions(RunSync(target, cached, queries),
+                      RunSync(target, uncached, queries));
+}
+
+TEST(ServiceFastPathTest, CandidateCacheHitsOnInterchangeableAndRepeat) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const sim::Cluster cluster = FixtureCluster();
+  FastPathConfig fast;
+  fast.enabled = true;
+  fast.candidate_cache = true;
+  fast.num_threads = 1;
+  ScoringEngine engine(&target, nullptr, nullptr, fast);
+
+  const dsps::QueryGraph query = ScriptQueries(1)[0];
+  const int n_ops = query.num_operators();
+  std::vector<sim::Placement> candidates;
+  candidates.push_back(sim::Placement(n_ops, 0));  // all ops on edge node 0
+  candidates.push_back(sim::Placement(n_ops, 1));  // feature-identical node
+  candidates.push_back(sim::Placement(n_ops, 7));  // different class (cloud)
+  const std::vector<double> factors(candidates.size(), 1.0);
+
+  obs::Counter& hits = obs::GetCounter("service.scoring.cache_hits");
+  obs::Counter& misses = obs::GetCounter("service.scoring.cache_misses");
+  const uint64_t hits0 = hits.Value();
+  const uint64_t misses0 = misses.Value();
+
+  // Candidate 1 places on a node bit-identical to candidate 0's: it never
+  // reaches the model and returns candidate 0's exact bits.
+  const ScoringEngine::ScoreResult first =
+      engine.ScoreRequest(query, cluster, candidates, factors, true, {});
+  EXPECT_EQ(hits.Value() - hits0, 1u);
+  EXPECT_EQ(misses.Value() - misses0, 2u);
+  EXPECT_EQ(first.scored[0].cost, first.scored[1].cost);
+  EXPECT_EQ(first.scored[0].feasible, first.scored[1].feasible);
+
+  // Re-scoring the same request (rip-up against an unchanged view) is pure
+  // cache: no new misses, bitwise-identical scores.
+  const ScoringEngine::ScoreResult second =
+      engine.ScoreRequest(query, cluster, candidates, factors, true, {});
+  EXPECT_EQ(hits.Value() - hits0, 4u);
+  EXPECT_EQ(misses.Value() - misses0, 2u);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(first.scored[i].cost, second.scored[i].cost) << i;
+    EXPECT_EQ(first.scored[i].feasible, second.scored[i].feasible) << i;
+  }
+}
+
+TEST(ServiceFastPathTest, AsyncBatchOfOneMatchesSynchronousAdmit) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const std::vector<dsps::QueryGraph> queries = ScriptQueries(12);
+  const ServiceConfig config = BaseConfig();
+
+  const std::vector<AdmitResult> sync = RunSync(target, config, queries);
+
+  PlacementService service(FixtureCluster(), &target, nullptr, nullptr,
+                           config);
+  std::vector<AdmitResult> async;
+  for (const dsps::QueryGraph& query : queries) {
+    const int64_t ticket = service.AdmitAsync(query);
+    EXPECT_EQ(service.pending_admissions(), 1);
+    const std::vector<AdmitResult> drained = service.DrainAdmissions();
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_EQ(drained[0].id, ticket);
+    async.push_back(drained[0]);
+  }
+  EXPECT_EQ(service.pending_admissions(), 0);
+  ExpectSameDecisions(sync, async);
+}
+
+TEST(ServiceFastPathTest, AsyncBatchIsDeterministicAndFifo) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const std::vector<dsps::QueryGraph> queries = ScriptQueries(10);
+
+  const auto run_batched = [&](int num_threads) {
+    ServiceConfig config = BaseConfig();
+    config.num_threads = num_threads;
+    PlacementService service(FixtureCluster(), &target, nullptr, nullptr,
+                             config);
+    std::vector<int64_t> tickets;
+    for (const dsps::QueryGraph& query : queries) {
+      tickets.push_back(service.AdmitAsync(query));
+    }
+    EXPECT_EQ(service.pending_admissions(),
+              static_cast<int>(queries.size()));
+    const std::vector<AdmitResult> results = service.DrainAdmissions();
+    EXPECT_TRUE(service.DrainAdmissions().empty());
+    // FIFO: results come back in submission order under submission ids.
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].id, tickets[i]);
+    }
+    return results;
+  };
+
+  const std::vector<AdmitResult> once = run_batched(1);
+  const std::vector<AdmitResult> again = run_batched(1);
+  const std::vector<AdmitResult> parallel = run_batched(4);
+  ExpectSameDecisions(once, again);
+  ExpectSameDecisions(once, parallel);
+}
+
+TEST(ServiceFastPathTest, QuantizedRankingIsThreadCountIndependent) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const std::vector<dsps::QueryGraph> queries = ScriptQueries(16);
+
+  const auto run = [&](int num_threads) {
+    ServiceConfig config = BaseConfig();
+    config.quantized_ranking = true;
+    config.quant_kind = nn::QuantKind::kInt8;
+    config.rank_top_k = 3;
+    config.num_threads = num_threads;
+    return RunSync(target, config, queries);
+  };
+  ExpectSameDecisions(run(1), run(4));
+}
+
+TEST(ServiceFastPathTest, QuantizedRankingMostlyAgreesWithFullPrecision) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const std::vector<dsps::QueryGraph> queries = ScriptQueries(30);
+
+  const std::vector<AdmitResult> full =
+      RunSync(target, BaseConfig(), queries);
+  for (const nn::QuantKind kind :
+       {nn::QuantKind::kBf16, nn::QuantKind::kInt8}) {
+    ServiceConfig config = BaseConfig();
+    config.quantized_ranking = true;
+    config.quant_kind = kind;
+    config.rank_top_k = 4;
+    const std::vector<AdmitResult> fast = RunSync(target, config, queries);
+    ASSERT_EQ(full.size(), fast.size());
+    int agree = 0;
+    for (size_t i = 0; i < full.size(); ++i) {
+      if (full[i].placement == fast[i].placement) ++agree;
+    }
+    // The hard >= 99% top-1 agreement gate runs in the bench over large
+    // candidate sets; this is the unit-sized sanity floor.
+    EXPECT_GE(agree, static_cast<int>(full.size() * 9) / 10)
+        << ToString(kind) << ": " << agree << "/" << full.size();
+  }
+}
+
+TEST(ServiceFastPathTest, QuantizedRankingReducesFullScores) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const std::vector<dsps::QueryGraph> queries = ScriptQueries(10);
+  obs::Counter& rescored =
+      obs::GetCounter("service.scoring.rescored_candidates");
+  obs::Counter& ranked = obs::GetCounter("service.scoring.ranked_candidates");
+  const uint64_t rescored_before = rescored.Value();
+  const uint64_t ranked_before = ranked.Value();
+  ServiceConfig config = BaseConfig();
+  config.quantized_ranking = true;
+  config.rank_top_k = 3;
+  RunSync(target, config, queries);
+  const uint64_t ranked_delta = ranked.Value() - ranked_before;
+  const uint64_t rescored_delta = rescored.Value() - rescored_before;
+  EXPECT_GT(ranked_delta, 0u);
+  EXPECT_GT(rescored_delta, 0u);
+  // Ranking looked at every candidate; full precision touched only top-k's.
+  EXPECT_LT(rescored_delta, ranked_delta);
+}
+
+}  // namespace
+}  // namespace costream::service
