@@ -953,6 +953,97 @@ void AppendScoringFastpathSection(const std::string& path) {
   SpliceJsonSection(path, section.str());
 }
 
+// --- Geo-distributed DES-vs-fluid section ------------------------------------
+//
+// A randomized population of multi-region geo clusters (every cluster carries
+// a per-link WAN matrix, half the operators run parallelism 2 or 4, the DES
+// uses per-instance scheduling) evaluated by both engines. CI gates on the
+// off-boundary label agreement rate and on DES event throughput not
+// regressing against the history snapshot.
+void AppendGeoSection(const std::string& path) {
+  constexpr int kCases = 16;
+
+  workload::GeneratorConfig gen_config;
+  gen_config.hardware.geo_probability = 1.0;
+  gen_config.parallelism_fraction = 0.5;
+  gen_config.parallelism_choices = {2, 4};
+  const workload::QueryGenerator generator{gen_config};
+  const workload::QueryTemplate templates[] = {
+      workload::QueryTemplate::kLinear, workload::QueryTemplate::kTwoWayJoin,
+      workload::QueryTemplate::kThreeWayJoin};
+  nn::Rng rng(6117);
+
+  int geo_clusters = 0;
+  int label_checked = 0;
+  int label_agreements = 0;
+  std::vector<double> ratios;
+  uint64_t des_events = 0;
+  double des_seconds = 0.0;
+  for (int i = 0; i < kCases; ++i) {
+    const auto query = generator.Generate(templates[i % 3], rng);
+    const auto cluster = generator.GenerateCluster(rng);
+    if (cluster.has_link_matrix()) ++geo_clusters;
+    const auto bins = placement::CapabilityBins(cluster);
+    const auto placed =
+        placement::SamplePlacement(query, cluster, bins, rng);
+
+    sim::FluidConfig fluid_config;
+    fluid_config.noise_sigma = 0.0;
+    const sim::FluidReport fluid =
+        sim::EvaluateFluid(query, cluster, placed, fluid_config);
+    sim::DesConfig des_config;
+    des_config.duration_s = 10.0;
+    des_config.seed = 6200 + static_cast<uint64_t>(i);
+    des_config.per_instance_scheduling = true;
+    const auto start = std::chrono::steady_clock::now();
+    const sim::DesReport des = sim::RunDes(query, cluster, placed, des_config);
+    des_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    des_events += des.events_processed;
+
+    // Label agreement is only meaningful off the saturation boundary, same
+    // acceptance structure as the randomized DES-vs-fluid test sweeps.
+    const bool borderline = fluid.bottleneck_utilization > 0.7 &&
+                            fluid.bottleneck_utilization < 1.5;
+    if (borderline) continue;
+    ++label_checked;
+    if (fluid.metrics.backpressure == des.metrics.backpressure &&
+        fluid.metrics.success == des.metrics.success) {
+      ++label_agreements;
+    }
+    if (fluid.metrics.success && des.metrics.success &&
+        !fluid.metrics.backpressure && !des.metrics.backpressure) {
+      ratios.push_back(std::max(fluid.metrics.throughput, 1e-9) /
+                       std::max(des.metrics.throughput, 1e-9));
+    }
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double ratio_median =
+      ratios.empty() ? 0.0 : ratios[ratios.size() / 2];
+  const double agreement_rate =
+      label_checked > 0
+          ? static_cast<double>(label_agreements) / label_checked
+          : 1.0;
+  const double des_events_per_s =
+      des_seconds > 0.0 ? static_cast<double>(des_events) / des_seconds : 0.0;
+
+  std::ostringstream section;
+  section.precision(17);
+  section << ",\n  \"geo\": {\n"
+          << bench::KernelContextJson("    ") << ",\n"
+          << "    \"cases\": " << kCases << ",\n"
+          << "    \"geo_clusters\": " << geo_clusters << ",\n"
+          << "    \"label_checked\": " << label_checked << ",\n"
+          << "    \"label_agreements\": " << label_agreements << ",\n"
+          << "    \"label_agreement_rate\": " << agreement_rate << ",\n"
+          << "    \"throughput_ratio_cases\": " << ratios.size() << ",\n"
+          << "    \"throughput_ratio_median\": " << ratio_median << ",\n"
+          << "    \"des_events\": " << des_events << ",\n"
+          << "    \"des_events_per_s\": " << des_events_per_s << "\n  }\n";
+  SpliceJsonSection(path, section.str());
+}
+
 }  // namespace
 }  // namespace costream
 
@@ -991,6 +1082,7 @@ int main(int argc, char** argv) {
   costream::AppendVerifySection(out_path);
   costream::AppendCorpusPipelineSection(out_path);
   costream::AppendScoringFastpathSection(out_path);
+  costream::AppendGeoSection(out_path);
   const std::string history = costream::bench::SaveMetricsHistory(out_path);
   if (!history.empty()) {
     std::printf("metrics history written to %s\n", history.c_str());

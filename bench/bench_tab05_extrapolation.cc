@@ -92,6 +92,11 @@ int Run() {
       {"Latency",
        [](workload::HardwareGrid& g) { g.latency_ms = {5, 10, 20, 40, 80, 160}; },
        [](workload::HardwareGrid& g) { g.latency_ms = {1, 2}; }},
+      // Geo axis: trained exclusively on multi-region WAN topologies,
+      // evaluated on single-region clusters whose links are all local.
+      {"Geo-WAN",
+       [](workload::HardwareGrid& g) { g.geo_probability = 1.0; },
+       [](workload::HardwareGrid& g) { g.geo_probability = 0.0; }},
   };
   // (B) towards weaker resources (Table V B).
   const std::vector<ExtrapolationCase> weaker = {
@@ -111,6 +116,13 @@ int Run() {
       {"Latency",
        [](workload::HardwareGrid& g) { g.latency_ms = {1, 2, 5, 10, 20, 40}; },
        [](workload::HardwareGrid& g) { g.latency_ms = {80, 160}; }},
+      // Geo axis (the hard direction): trained only on single-region
+      // clusters, evaluated on geo-distributed topologies whose per-link WAN
+      // matrix constrains bandwidth and stacks propagation latency the
+      // training corpus never observed.
+      {"Geo-WAN",
+       [](workload::HardwareGrid& g) { g.geo_probability = 0.0; },
+       [](workload::HardwareGrid& g) { g.geo_probability = 1.0; }},
   };
   RunDirection("stronger", stronger);
   RunDirection("weaker", weaker);

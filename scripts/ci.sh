@@ -168,6 +168,63 @@ if ratio < 0.9:
              "recorded rate (floor 0.9x)")
 EOF
 
+echo "=== Geo DES-vs-fluid gate ==="
+# bench_micro splices a "geo" section: a randomized population of
+# multi-region WAN clusters evaluated by both engines with per-instance DES
+# scheduling. Gates: the section must exist and be valid JSON, every sampled
+# cluster must actually carry a link matrix, the off-boundary label
+# agreement between the engines must stay above the floor, and the DES event
+# rate must not collapse against the newest pre-existing history snapshot
+# (explicitly skipped on the first run — nothing honest to regress against).
+python3 - <<'EOF'
+import json, os, sys
+
+with open("BENCH_micro.json") as f:
+    report = json.load(f)  # raises on invalid JSON -> CI failure
+geo = report.get("geo")
+if geo is None:
+    sys.exit("BENCH_micro.json is missing the spliced 'geo' section")
+if geo["geo_clusters"] != geo["cases"]:
+    sys.exit(f"only {geo['geo_clusters']} of {geo['cases']} sampled clusters "
+             "carry a link matrix (geo_probability=1 should be exhaustive)")
+rate = geo["label_agreement_rate"]
+print(f"geo DES-vs-fluid label agreement: {rate:.3f} "
+      f"({geo['label_agreements']}/{geo['label_checked']} off-boundary), "
+      f"throughput ratio median {geo['throughput_ratio_median']:.3f}, "
+      f"DES {geo['des_events_per_s']:.0f} events/s")
+if geo["label_checked"] > 0 and rate < 0.75:
+    sys.exit(f"geo label agreement {rate:.3f} below the 0.75 floor")
+
+candidates = [p for p in os.environ.get("PREEXISTING_HISTORY", "").split(":")
+              if p]
+reference = None
+for path in reversed(candidates):  # newest first (names sort by timestamp)
+    try:
+        with open(path) as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        continue
+    if "geo" in snap:
+        reference = (path, snap["geo"])
+        break
+if reference is None:
+    print("geo DES event-rate regression gate: SKIPPED (no prior history "
+          "snapshot with a geo section)")
+    sys.exit(0)
+path, prior = reference
+if prior["des_events_per_s"] <= 0:
+    print("geo DES event-rate regression gate: SKIPPED (prior snapshot has "
+          "no DES timing)")
+    sys.exit(0)
+ratio = geo["des_events_per_s"] / prior["des_events_per_s"]
+print(f"geo DES event rate: {geo['des_events_per_s']:.0f}/s vs "
+      f"{prior['des_events_per_s']:.0f}/s in {os.path.basename(path)} "
+      f"(ratio {ratio:.3f})")
+if ratio < 0.5:
+    sys.exit(f"geo DES event rate regressed to {ratio:.3f}x of the recorded "
+             "rate (floor 0.5x)")
+EOF
+
 echo "=== Thread-scaling counter gate ==="
 # Every BM_ParallelCandidateScoring/N entry must carry a "workers" counter
 # equal to its thread-count argument — this is what lets downstream tooling
@@ -361,5 +418,15 @@ cmake --build build-asan -j "$JOBS" \
 ctest --test-dir build-asan \
   -R 'nn_kernel_dispatch_test|nn_quantized_test|service_fastpath_test' \
   --output-on-failure
+
+echo "=== AddressSanitizer geo / per-instance DES sweep ==="
+# The per-instance DES scheduler moves work between per-operator FIFOs and a
+# pooled in-flight slot vector that reallocates mid-event (FinishInstance
+# routes outputs that can re-enter the same node), and the per-link WAN path
+# indexes a flattened n x n matrix — both are exactly the pointer-stability
+# patterns ASan exists for. This also covers the parallelism > 1
+# backpressure-boundary sweep required to run under ASan.
+cmake --build build-asan -j "$JOBS" --target sim_geo_test
+ctest --test-dir build-asan -R sim_geo_test --output-on-failure
 
 echo "CI passed."

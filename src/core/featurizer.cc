@@ -63,7 +63,7 @@ int FeatureDim(NodeKind kind) {
     case NodeKind::kSink:
       return 2;  // width, parallelism
     case NodeKind::kHost:
-      return 4;  // cpu, ram, bandwidth, latency
+      return 6;  // cpu, ram, bandwidth, latency, link bandwidth, link latency
   }
   return 0;
 }
@@ -163,17 +163,62 @@ std::vector<double> OperatorFeatures(const OperatorDescriptor& op) {
 
 }  // namespace
 
-std::vector<double> HostNodeFeatures(const sim::HardwareNode& hw,
-                                     FeaturizationMode mode) {
+namespace {
+
+// Mean outgoing link profile of `node`: the WAN features of a geo-distributed
+// cluster. For legacy clusters (or single-node ones) the link accessors fall
+// back to the per-node NIC, so these degenerate to the node's own
+// bandwidth/latency and the encoding stays deterministic across formats.
+void MeanOutgoingLink(const sim::Cluster& cluster, int node, double* bw,
+                      double* lat) {
+  const int n = cluster.num_nodes();
+  if (n <= 1) {
+    *bw = cluster.nodes[node].bandwidth_mbits;
+    *lat = cluster.nodes[node].latency_ms;
+    return;
+  }
+  double bw_sum = 0.0;
+  double lat_sum = 0.0;
+  for (int to = 0; to < n; ++to) {
+    if (to == node) continue;
+    bw_sum += cluster.LinkBandwidthMbits(node, to);
+    lat_sum += cluster.LinkLatencyMs(node, to);
+  }
+  *bw = bw_sum / (n - 1);
+  *lat = lat_sum / (n - 1);
+}
+
+std::vector<double> HostFeatureVector(const sim::HardwareNode& hw,
+                                      double link_bw, double link_lat,
+                                      FeaturizationMode mode) {
   COSTREAM_CHECK(mode != FeaturizationMode::kOperatorsOnly);
   if (mode == FeaturizationMode::kPlacementOnly) {
     // The host node exists (placement/co-location is visible) but carries no
     // hardware information (Exp 7a, middle scheme of Figure 12).
-    return {0.5, 0.5, 0.5, 0.5};
+    return {0.5, 0.5, 0.5, 0.5, 0.5, 0.5};
   }
-  return {NormalizeCpu(hw.cpu_pct), NormalizeRam(hw.ram_mb),
+  return {NormalizeCpu(hw.cpu_pct),
+          NormalizeRam(hw.ram_mb),
           NormalizeBandwidth(hw.bandwidth_mbits),
-          NormalizeNetworkLatency(hw.latency_ms)};
+          NormalizeNetworkLatency(hw.latency_ms),
+          NormalizeBandwidth(link_bw),
+          NormalizeNetworkLatency(link_lat)};
+}
+
+}  // namespace
+
+std::vector<double> HostNodeFeatures(const sim::HardwareNode& hw,
+                                     FeaturizationMode mode) {
+  // Per-node fallback: every outgoing link runs at the NIC profile.
+  return HostFeatureVector(hw, hw.bandwidth_mbits, hw.latency_ms, mode);
+}
+
+std::vector<double> HostNodeFeatures(const sim::Cluster& cluster, int node,
+                                     FeaturizationMode mode) {
+  double link_bw = 0.0;
+  double link_lat = 0.0;
+  MeanOutgoingLink(cluster, node, &link_bw, &link_lat);
+  return HostFeatureVector(cluster.nodes[node], link_bw, link_lat, mode);
 }
 
 JointGraph BuildOperatorGraph(const dsps::QueryGraph& query) {
@@ -216,7 +261,7 @@ JointGraph BuildJointGraph(const dsps::QueryGraph& query,
       if (host_node_of[hw] == -1) {
         JointNode node;
         node.kind = NodeKind::kHost;
-        node.features = HostNodeFeatures(cluster.nodes[hw], mode);
+        node.features = HostNodeFeatures(cluster, hw, mode);
         host_node_of[hw] = static_cast<int>(graph.nodes.size());
         graph.nodes.push_back(std::move(node));
         ++graph.num_host_nodes;

@@ -96,8 +96,14 @@ JointGraph BuildJointGraph(const dsps::QueryGraph& query,
 JointGraph BuildOperatorGraph(const dsps::QueryGraph& query);
 
 // The feature vector of a host node under `mode` (kPlacementOnly blanks the
-// hardware features; must not be called for kOperatorsOnly).
+// hardware features; must not be called for kOperatorsOnly). The cluster
+// overload additionally derives the node's geo/WAN link features (mean
+// outgoing link bandwidth and latency from the cluster's link matrix); the
+// per-node overload uses the legacy fallback where every outgoing link runs
+// at the NIC profile, so both agree on matrix-free clusters.
 std::vector<double> HostNodeFeatures(const sim::HardwareNode& hw,
+                                     FeaturizationMode mode);
+std::vector<double> HostNodeFeatures(const sim::Cluster& cluster, int node,
                                      FeaturizationMode mode);
 
 // Overwrites the parallelism feature (the trailing entry of every operator

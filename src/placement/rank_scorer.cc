@@ -125,12 +125,11 @@ void QuantizedRanker::EncodeStructure(const dsps::QueryGraph& query,
   if (num_hw_ > 0) {
     const int host_kind = static_cast<int>(core::NodeKind::kHost);
     nn::FloatMatrix feats;
-    std::vector<double> host_feats =
-        core::HostNodeFeatures(cluster.nodes[0], mode_);
+    std::vector<double> host_feats = core::HostNodeFeatures(cluster, 0, mode_);
     const int dim = static_cast<int>(host_feats.size());
     feats.ResizeUninit(num_hw_, dim);
     for (int hw = 0; hw < num_hw_; ++hw) {
-      host_feats = core::HostNodeFeatures(cluster.nodes[hw], mode_);
+      host_feats = core::HostNodeFeatures(cluster, hw, mode_);
       float* row = feats.row(hw);
       for (int c = 0; c < dim; ++c) row[c] = static_cast<float>(host_feats[c]);
     }

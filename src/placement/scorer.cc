@@ -76,8 +76,9 @@ PlacementScorer::PlacementScorer(const dsps::QueryGraph& query,
     cache.prototype = prototype;
     if (cache.mode != core::FeaturizationMode::kOperatorsOnly) {
       cache.host_features.reserve(cluster.num_nodes());
-      for (const sim::HardwareNode& hw : cluster.nodes) {
-        cache.host_features.push_back(core::HostNodeFeatures(hw, cache.mode));
+      for (int hw = 0; hw < cluster.num_nodes(); ++hw) {
+        cache.host_features.push_back(
+            core::HostNodeFeatures(cluster, hw, cache.mode));
       }
     }
     modes_.push_back(std::move(cache));

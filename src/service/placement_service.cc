@@ -142,9 +142,11 @@ PlacementService::Choice PlacementService::SelectCandidates(
   std::vector<double> penalized(n);
   for (int i = 0; i < n; ++i) {
     // The quantized tier may have skipped candidates outside the re-scored
-    // top-k; they have no full-precision score and never win (when none of
-    // the top-k was feasible the engine fell back to scoring everything, so
-    // the best-any domain is complete exactly when it matters).
+    // top-k; they have no full-precision score and never win. When none of
+    // the scored head was feasible the engine widened down the ranked order
+    // until the widening budget ran out, so best-any here ranges over that
+    // scored head — the exact best-any only under a negative
+    // rank_widen_rounds (unbounded widening scans the full list).
     if (!result.have_full[i]) continue;
     // Negotiated congestion: the learned prediction is repriced by the
     // penalties of the nodes the candidate uses. Minimized metrics get more

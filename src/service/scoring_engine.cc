@@ -449,19 +449,25 @@ ScoringEngine::ScoreResult ScoringEngine::ScoreRequest(
       metric_fallbacks.Increment();
       std::sort(order.begin() + k, order.end(), better);
       int covered = k;
+      // Window sizes k, 2k, 4k, ...: the doubling happens AFTER a window is
+      // consumed, so the cumulative full-scored total after r rounds is
+      // exactly k * 2^r — the documented budget. (Doubling before the first
+      // window would score k * (2^(r+1) - 1) and blow the budget on every
+      // short or fully infeasible candidate list.)
       int window = k;
       int rounds_left = config_.rank_widen_rounds;
       while (!any_feasible && covered < n && rounds_left != 0) {
         if (rounds_left > 0) --rounds_left;
-        window = std::min(2 * window, n - covered);
+        const int take = std::min(window, n - covered);
         std::vector<int> next(order.begin() + covered,
-                              order.begin() + covered + window);
+                              order.begin() + covered + take);
         std::sort(next.begin(), next.end());
-        metric_rescored.Add(static_cast<uint64_t>(window));
+        metric_rescored.Add(static_cast<uint64_t>(take));
         ScoreSubset(scorer, &pool, pool.workspaces, candidates, next,
                     host_class, out);
         for (int idx : next) any_feasible |= out.scored[idx].feasible;
-        covered += window;
+        covered += take;
+        window *= 2;
       }
     }
   }

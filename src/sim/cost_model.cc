@@ -127,4 +127,20 @@ double AggregateStateMb(double groups, double tuple_bytes) {
   return groups * (64.0 + tuple_bytes) / (1024.0 * 1024.0);
 }
 
+double EffectiveOpCores(int parallelism, double cpu_pct) {
+  const double cores = cpu_pct / 100.0;
+  return std::max(
+      std::min(static_cast<double>(std::max(parallelism, 1)), cores), 1e-3);
+}
+
+int OperatorInstanceCap(int parallelism, double cpu_pct) {
+  const int whole_cores = static_cast<int>(std::floor(cpu_pct / 100.0 + 1e-9));
+  return std::max(1, std::min(std::max(parallelism, 1), whole_cores));
+}
+
+double InstanceServiceCores(int parallelism, double cpu_pct) {
+  return EffectiveOpCores(parallelism, cpu_pct) /
+         static_cast<double>(OperatorInstanceCap(parallelism, cpu_pct));
+}
+
 }  // namespace costream::sim

@@ -59,6 +59,24 @@ double AggregateStateMb(double groups, double tuple_bytes);
 // (producer batching + consumer poll interval).
 inline constexpr double kBrokerBaseLatencyMs = 25.0;
 
+// Cores an operator with `parallelism` instances can actually use on a node
+// offering `cpu_pct` percent of a reference core: capped both by the node
+// and by one core per instance (Storm-executor semantics), floored so
+// service rates stay positive. This is the single capacity formula shared by
+// the fluid engine's per-operator utilization cap and the DES scheduler, so
+// the two substrates agree on capacity exactly.
+double EffectiveOpCores(int parallelism, double cpu_pct);
+
+// Number of instances the DES per-instance scheduler may run concurrently
+// for one operator: whole cores only, at least one (fractional leftovers are
+// folded into the instance speed instead of an extra server).
+int OperatorInstanceCap(int parallelism, double cpu_pct);
+
+// Service cores of a single instance under per-instance scheduling. The cap
+// times this equals EffectiveOpCores, so the aggregate service rate of a
+// fully busy operator matches the fluid capacity model.
+double InstanceServiceCores(int parallelism, double cpu_pct);
+
 }  // namespace costream::sim
 
 #endif  // COSTREAM_SIM_COST_MODEL_H_

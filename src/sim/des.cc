@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +35,7 @@ struct Event {
   int op = -1;       // kProduce: source op; kNetArrival/kTimer: target op
   int from_op = -1;  // kNetArrival: sender
   int node = -1;     // kServiceDone
+  int slot = -1;     // kServiceDone under per-instance scheduling
   Tuple tuple;       // kNetArrival payload
 };
 
@@ -49,6 +51,10 @@ struct Work {
   int from_op = -1;
   bool window_close = false;
   Tuple tuple;
+  // Node-wide arrival order, assigned on enqueue; per-instance scheduling
+  // uses it to pick the oldest startable item across the node's
+  // per-operator FIFOs.
+  uint64_t seq = 0;
 };
 
 // Entry of a window buffer: the tuple plus the time it entered the window.
@@ -85,6 +91,23 @@ struct NodeRuntime {
   double queue_bytes = 0.0;
   double state_bytes = 0.0;
   double peak_bytes = 0.0;
+  // Per-instance scheduling only: cores currently granted to running
+  // instances on this node (bounded by the node's core count).
+  double running_cores = 0.0;
+  // Per-instance scheduling only: one FIFO per operator hosted on this node
+  // (indexed by the operator's local index) so a saturated operator's
+  // backlog never has to be rescanned to find a startable item.
+  std::vector<std::deque<Work>> op_queues;
+  size_t queue_len = 0;
+};
+
+// One in-flight operator instance under per-instance scheduling. Outputs are
+// buffered here (not on the node) because several instances can be in
+// service concurrently.
+struct InFlight {
+  int op = -1;
+  double cores = 0.0;  // granted service cores, returned on completion
+  std::vector<Tuple> outputs;
 };
 
 class DesEngine {
@@ -117,6 +140,10 @@ class DesEngine {
 
   void Enqueue(int node, Work work, double now);
   void TryStart(int node, double now);
+  // Per-instance scheduling: starts every queued work item whose operator
+  // has a free instance slot and whose node has core budget left.
+  void TryStartInstances(int node, double now);
+  void FinishInstance(int node, int slot, double now);
   // Executes the operator logic of `work`, fills `outputs`, and returns the
   // CPU cost in reference-core microseconds.
   double Execute(const Work& work, double now, std::vector<Tuple>& outputs);
@@ -136,6 +163,17 @@ class DesEngine {
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   uint64_t next_seq_ = 0;
   std::vector<NodeRuntime> nodes_;
+  // Per directed (from, to) link free times, flattened row-major; only used
+  // when the cluster carries a link matrix (legacy clusters keep the
+  // per-sender NIC serialization in NodeRuntime::link_free_time).
+  std::vector<double> link_free_time_;
+  // Per-instance scheduling state (unused in the legacy single-server mode).
+  std::vector<InFlight> inflight_;
+  std::vector<int> free_slots_;
+  std::vector<int> running_instances_;  // per operator
+  std::vector<int> local_op_index_;     // op -> index into its node's FIFOs
+  std::vector<std::vector<int>> node_ops_;  // node -> hosted operator ids
+  uint64_t work_seq_ = 0;
   std::vector<AggState> agg_states_;
   std::vector<JoinState> join_states_;
   DataPlan data_plan_;
@@ -145,6 +183,9 @@ class DesEngine {
   uint64_t tuple_counter_ = 0;
   uint64_t produced_ = 0;
   uint64_t ingested_ = 0;
+  // Tuples whose link transfer completes after the simulation cut-off: the
+  // link's queue backlog at end of run (propagation-only flight excluded).
+  uint64_t net_stuck_ = 0;
   uint64_t sink_count_ = 0;
   double sink_lp_sum_ = 0.0;
   double sink_le_sum_ = 0.0;
@@ -207,6 +248,23 @@ DesReport DesEngine::Run() {
   agg_states_.resize(query_.num_operators());
   join_states_.resize(query_.num_operators());
   join_inputs_.resize(query_.num_operators(), {-1, -1});
+  if (cluster_.has_link_matrix()) {
+    link_free_time_.assign(
+        static_cast<size_t>(cluster_.num_nodes()) * cluster_.num_nodes(), 0.0);
+  }
+  if (config_.per_instance_scheduling) {
+    running_instances_.assign(query_.num_operators(), 0);
+    local_op_index_.assign(query_.num_operators(), -1);
+    node_ops_.assign(cluster_.num_nodes(), {});
+    for (int op = 0; op < query_.num_operators(); ++op) {
+      const int node = placement_[op];
+      local_op_index_[op] = static_cast<int>(node_ops_[node].size());
+      node_ops_[node].push_back(op);
+    }
+    for (int n = 0; n < cluster_.num_nodes(); ++n) {
+      nodes_[n].op_queues.resize(node_ops_[n].size());
+    }
+  }
 
   std::vector<double> expected_window(query_.num_operators(), 0.0);
   DesEngineInitPlanWindows(query_, expected_window);
@@ -281,6 +339,10 @@ DesReport DesEngine::Run() {
         break;
       }
       case Event::Kind::kServiceDone: {
+        if (config_.per_instance_scheduling) {
+          FinishInstance(e.node, e.slot, now);
+          break;
+        }
         NodeRuntime& node = nodes_[e.node];
         const int op = node.current.op;
         for (const Tuple& out : node.pending_outputs) Route(op, out, now);
@@ -336,8 +398,17 @@ DesReport DesEngine::Run() {
     m.processing_latency_ms = report.simulated_s * 1000.0;
     m.e2e_latency_ms = report.simulated_s * 1000.0;
   }
-  const double lag =
+  double lag =
       static_cast<double>(produced_) - static_cast<double>(ingested_);
+  report.net_backlog_tuples = net_stuck_;
+  if (cluster_.has_link_matrix()) {
+    // Under the per-link WAN model an oversubscribed link accumulates an
+    // unbounded transfer queue; tuples still queued on a link at cut-off are
+    // lag exactly like tuples stuck in a source queue (net_stuck_ is only
+    // incremented on the link-matrix path, so legacy per-NIC runs keep their
+    // pre-existing backpressure label bitwise).
+    lag += static_cast<double>(net_stuck_);
+  }
   report.backpressure_rate = std::max(lag, 0.0) / report.simulated_s;
   double produce_rate = 0.0;
   for (int src : query_.Sources()) {
@@ -361,8 +432,15 @@ DesReport DesEngine::Run() {
 void DesEngine::Enqueue(int node_id, Work work, double now) {
   NodeRuntime& node = nodes_[node_id];
   if (!work.window_close) node.queue_bytes += work.tuple.bytes;
-  node.queue.push_back(std::move(work));
-  peak_queue_len_ = std::max(peak_queue_len_, node.queue.size());
+  if (config_.per_instance_scheduling) {
+    work.seq = ++work_seq_;
+    node.op_queues[local_op_index_[work.op]].push_back(std::move(work));
+    ++node.queue_len;
+    peak_queue_len_ = std::max(peak_queue_len_, node.queue_len);
+  } else {
+    node.queue.push_back(std::move(work));
+    peak_queue_len_ = std::max(peak_queue_len_, node.queue.size());
+  }
   TouchPeak(node_id);
   // Crash on memory exhaustion (GC death spiral in the paper's terms).
   if (NodeMemoryMb(node_id) > CrashMemoryMb(cluster_.nodes[node_id].ram_mb)) {
@@ -372,6 +450,10 @@ void DesEngine::Enqueue(int node_id, Work work, double now) {
 }
 
 void DesEngine::TryStart(int node_id, double now) {
+  if (config_.per_instance_scheduling) {
+    TryStartInstances(node_id, now);
+    return;
+  }
   NodeRuntime& node = nodes_[node_id];
   if (node.busy || node.queue.empty()) return;
   node.current = std::move(node.queue.front());
@@ -381,15 +463,13 @@ void DesEngine::TryStart(int node_id, double now) {
   }
   node.busy = true;
   node.pending_outputs.clear();
-  const double cost_us = Execute(node.current, now, node.pending_outputs);
   // An operator can use at most min(parallelism, node cores) cores (one
-  // core per instance), matching the fluid engine's capacity model.
-  const double node_cores =
-      std::max(cluster_.nodes[node_id].cpu_pct / 100.0, 1e-3);
-  const double cores =
-      std::min(node_cores,
-               static_cast<double>(
-                   std::max(query_.op(node.current.op).parallelism, 1)));
+  // core per instance), matching the fluid engine's capacity model — the
+  // whole cap as one aggregated server in this legacy mode (per-instance
+  // scheduling models the cap as concurrent instances instead).
+  const double cost_us = Execute(node.current, now, node.pending_outputs);
+  const double cores = EffectiveOpCores(
+      query_.op(node.current.op).parallelism, cluster_.nodes[node_id].cpu_pct);
   const double gc = GcSlowdown(NodeMemoryMb(node_id),
                                cluster_.nodes[node_id].ram_mb);
   const double service_s = cost_us * gc / cores / 1e6;
@@ -398,6 +478,84 @@ void DesEngine::TryStart(int node_id, double now) {
   done.kind = Event::Kind::kServiceDone;
   done.node = node_id;
   Schedule(std::move(done));
+}
+
+void DesEngine::TryStartInstances(int node_id, double now) {
+  NodeRuntime& node = nodes_[node_id];
+  const double cpu_pct = cluster_.nodes[node_id].cpu_pct;
+  const double node_cores = std::max(cpu_pct / 100.0, 1e-3);
+  // Keep starting the oldest startable item across the node's per-operator
+  // FIFOs: a blocked operator (instance cap reached, or no core budget for
+  // its share) only costs one front peek per pass instead of a scan of its
+  // whole backlog, while FIFO order within each operator — and across
+  // operators, by arrival seq — is preserved. Deterministic by construction.
+  while (true) {
+    int best_local = -1;
+    uint64_t best_seq = std::numeric_limits<uint64_t>::max();
+    for (size_t li = 0; li < node.op_queues.size(); ++li) {
+      const std::deque<Work>& q = node.op_queues[li];
+      if (q.empty() || q.front().seq >= best_seq) continue;
+      const int op_id = node_ops_[node_id][li];
+      const int par = query_.op(op_id).parallelism;
+      if (running_instances_[op_id] >= OperatorInstanceCap(par, cpu_pct)) {
+        continue;
+      }
+      const double speed = InstanceServiceCores(par, cpu_pct);
+      if (node.running_cores + speed > node_cores + 1e-9) continue;
+      best_local = static_cast<int>(li);
+      best_seq = q.front().seq;
+    }
+    if (best_local < 0) return;
+
+    std::deque<Work>& q = node.op_queues[best_local];
+    Work work = std::move(q.front());
+    q.pop_front();
+    --node.queue_len;
+    if (!work.window_close) node.queue_bytes -= work.tuple.bytes;
+
+    const int op_id = work.op;
+    const double speed =
+        InstanceServiceCores(query_.op(op_id).parallelism, cpu_pct);
+    int slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<int>(inflight_.size());
+      inflight_.emplace_back();
+    }
+    InFlight& fl = inflight_[slot];
+    fl.op = op_id;
+    fl.cores = speed;
+    fl.outputs.clear();
+    const double cost_us = Execute(work, now, fl.outputs);
+    const double gc = GcSlowdown(NodeMemoryMb(node_id),
+                                 cluster_.nodes[node_id].ram_mb);
+    const double service_s = cost_us * gc / std::max(speed, 1e-3) / 1e6;
+    node.running_cores += speed;
+    ++running_instances_[op_id];
+    Event done;
+    done.time = now + service_s;
+    done.kind = Event::Kind::kServiceDone;
+    done.node = node_id;
+    done.slot = slot;
+    Schedule(std::move(done));
+  }
+}
+
+void DesEngine::FinishInstance(int node_id, int slot, double now) {
+  COSTREAM_CHECK(slot >= 0 && slot < static_cast<int>(inflight_.size()));
+  // Move the record out before routing: Route can enqueue onto this very
+  // node, recurse into TryStartInstances and grow `inflight_`, which would
+  // invalidate any reference held across the call.
+  InFlight fl = std::move(inflight_[slot]);
+  inflight_[slot].op = -1;
+  NodeRuntime& node = nodes_[node_id];
+  node.running_cores = std::max(node.running_cores - fl.cores, 0.0);
+  --running_instances_[fl.op];
+  free_slots_.push_back(slot);
+  for (const Tuple& out : fl.outputs) Route(fl.op, out, now);
+  TryStartInstances(node_id, now);
 }
 
 double DesEngine::Execute(const Work& work, double now,
@@ -637,11 +795,28 @@ void DesEngine::Route(int op, const Tuple& out, double now) {
     }
     NodeRuntime& sender = nodes_[from_node];
     const HardwareNode& hw = cluster_.nodes[from_node];
-    const double transfer_s =
-        out.bytes * 8.0 / std::max(hw.bandwidth_mbits * 1e6, 1.0);
-    const double start = std::max(now, sender.link_free_time);
-    sender.link_free_time = start + transfer_s;
-    const double arrival = sender.link_free_time + hw.latency_ms / 1000.0;
+    double arrival;
+    if (cluster_.has_link_matrix()) {
+      // Per-link WAN model: each directed (from, to) pair is its own queue,
+      // shared by every co-routed flow, with the link's own bandwidth and
+      // propagation delay.
+      double& free_time =
+          link_free_time_[from_node * cluster_.num_nodes() + to_node];
+      const double transfer_s =
+          out.bytes * 8.0 /
+          std::max(cluster_.LinkBandwidthMbits(from_node, to_node) * 1e6, 1.0);
+      free_time = std::max(now, free_time) + transfer_s;
+      if (free_time > config_.duration_s) ++net_stuck_;
+      arrival =
+          free_time + cluster_.LinkLatencyMs(from_node, to_node) / 1000.0;
+    } else {
+      // Legacy per-node model: one serialized NIC per sender.
+      const double transfer_s =
+          out.bytes * 8.0 / std::max(hw.bandwidth_mbits * 1e6, 1.0);
+      const double start = std::max(now, sender.link_free_time);
+      sender.link_free_time = start + transfer_s;
+      arrival = sender.link_free_time + hw.latency_ms / 1000.0;
+    }
     Event e;
     e.time = arrival;
     e.kind = Event::Kind::kNetArrival;

@@ -19,6 +19,14 @@ struct DesConfig {
   bool poisson_arrivals = true;
   // Safety cap; the run is truncated (and `simulated_s` shortened) when hit.
   uint64_t max_events = 20'000'000;
+  // Schedule operator *instances* instead of one server per node: an
+  // operator with parallelism p runs up to OperatorInstanceCap(p, cpu_pct)
+  // concurrent instances, subject to a node-wide running-core budget, so a
+  // parallelism > 1 operator on a multi-core node gets true concurrent
+  // service matching the fluid engine's min(parallelism, cores) capacity.
+  // Off by default: the legacy single-server model keeps existing corpora
+  // and traces bitwise stable.
+  bool per_instance_scheduling = false;
 };
 
 // Result of a discrete-event simulation.
@@ -29,6 +37,7 @@ struct DesReport {
   uint64_t produced_tuples = 0;   // generated at the broker
   uint64_t ingested_tuples = 0;   // consumed by source operators
   uint64_t sink_tuples = 0;
+  uint64_t net_backlog_tuples = 0;  // still queued on links at end of run
   double backpressure_rate = 0.0;  // tuples/s accumulating in source queues
   bool crashed = false;
   std::vector<double> node_peak_memory_mb;

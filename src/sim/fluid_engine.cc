@@ -21,7 +21,6 @@ using dsps::WindowPolicy;
 constexpr double kEpsRate = 1e-9;
 constexpr double kMaxDuration = 1e12;
 
-double EffectiveOpCores(const OperatorDescriptor& op, const HardwareNode& hw);
 // Utilization above which queueing delays are capped (fluid M/M/1 waiting
 // time would diverge at 1.0).
 constexpr double kQueueCap = 0.97;
@@ -136,6 +135,9 @@ std::vector<OpFlow> ComputeFlows(const QueryGraph& query,
 
 struct NodeEval {
   std::vector<NodeStats> stats;
+  // Per directed link (flattened row-major), only filled when the cluster
+  // carries a link matrix; empty for legacy per-node clusters.
+  std::vector<double> link_utilization;
   double max_utilization = 0.0;
 };
 
@@ -167,9 +169,21 @@ NodeEval EvaluateNodes(const QueryGraph& query, const Cluster& cluster,
     eval.stats[node].memory_mb +=
         flows[id].in_rate * flows[id].in_bytes * 0.05 / (1024.0 * 1024.0);
   }
+  // Per-link traffic: co-routed flows (edges placed over the same directed
+  // node pair) sum into the same link and therefore share its capacity.
+  const bool has_links = cluster.has_link_matrix();
+  std::vector<double> link_bytes;
+  if (has_links) {
+    link_bytes.assign(
+        static_cast<size_t>(cluster.num_nodes()) * cluster.num_nodes(), 0.0);
+  }
   for (const auto& [from, to] : query.edges()) {
     if (placement[from] != placement[to]) {
       out_bytes[placement[from]] += flows[from].out_rate * flows[from].out_bytes;
+      if (has_links) {
+        link_bytes[placement[from] * cluster.num_nodes() + placement[to]] +=
+            flows[from].out_rate * flows[from].out_bytes;
+      }
     }
   }
   for (int n = 0; n < cluster.num_nodes(); ++n) {
@@ -185,6 +199,23 @@ NodeEval EvaluateNodes(const QueryGraph& query, const Cluster& cluster,
     eval.max_utilization = std::max(
         eval.max_utilization, std::max(s.cpu_utilization, s.net_utilization));
   }
+  // Per-link constraint: a WAN link saturates independently of the sender's
+  // NIC, and every flow routed over it is throttled together.
+  if (has_links) {
+    const int n = cluster.num_nodes();
+    eval.link_utilization.assign(static_cast<size_t>(n) * n, 0.0);
+    for (int from = 0; from < n; ++from) {
+      for (int to = 0; to < n; ++to) {
+        const double bytes = link_bytes[from * n + to];
+        if (bytes <= 0.0) continue;
+        const double util =
+            bytes * 8.0 /
+            std::max(cluster.LinkBandwidthMbits(from, to) * 1e6, 1.0);
+        eval.link_utilization[from * n + to] = util;
+        eval.max_utilization = std::max(eval.max_utilization, util);
+      }
+    }
+  }
   // Per-operator constraint: one operator instance runs single-threaded, so
   // an operator can use at most min(parallelism, node cores) cores even on
   // otherwise idle machines (Storm-executor semantics; the parallelism
@@ -192,7 +223,8 @@ NodeEval EvaluateNodes(const QueryGraph& query, const Cluster& cluster,
   for (int id = 0; id < query.num_operators(); ++id) {
     const int n = placement[id];
     const HardwareNode& hw = cluster.nodes[n];
-    const double op_cores = EffectiveOpCores(query.op(id), hw);
+    const double op_cores =
+        EffectiveOpCores(query.op(id).parallelism, hw.cpu_pct);
     const double op_util =
         flows[id].cpu_load_us * eval.stats[n].gc_factor / 1e6 / op_cores;
     eval.max_utilization = std::max(eval.max_utilization, op_util);
@@ -202,15 +234,6 @@ NodeEval EvaluateNodes(const QueryGraph& query, const Cluster& cluster,
 
 double QueueMultiplier(double utilization) {
   return 1.0 / (1.0 - std::min(utilization, kQueueCap));
-}
-
-// Cores an operator can actually use on its node: capped both by the node
-// and by the operator's degree of parallelism.
-double EffectiveOpCores(const OperatorDescriptor& op, const HardwareNode& hw) {
-  const double cores = hw.cpu_pct / 100.0;
-  return std::max(std::min(static_cast<double>(std::max(op.parallelism, 1)),
-                           cores),
-                  1e-3);
 }
 
 }  // namespace
@@ -274,6 +297,7 @@ FluidReport EvaluateFluid(const QueryGraph& query, const Cluster& cluster,
   const NodeEval eval =
       EvaluateNodes(query, cluster, placement, flows, config.background);
   report.node_stats = eval.stats;
+  report.link_utilization = eval.link_utilization;
   report.op_cpu_load_us.reserve(query.num_operators());
   report.op_state_mb.reserve(query.num_operators());
   for (int id = 0; id < query.num_operators(); ++id) {
@@ -336,11 +360,24 @@ FluidReport EvaluateFluid(const QueryGraph& query, const Cluster& cluster,
       if (up_node != node) {
         const NodeStats& up_stats = report.node_stats[up_node];
         const HardwareNode& up_hw = cluster.nodes[up_node];
-        const double transfer_ms =
-            flows[up].out_bytes * 8.0 /
-            std::max(up_hw.bandwidth_mbits * 1e6, 1.0) * 1000.0;
-        edge_ms = up_hw.latency_ms +
-                  transfer_ms * QueueMultiplier(up_stats.net_utilization);
+        if (cluster.has_link_matrix()) {
+          // Per-link WAN model: the edge pays the link's own latency and is
+          // queued behind every co-routed flow sharing this link.
+          const double link_util =
+              report.link_utilization[up_node * cluster.num_nodes() + node];
+          const double transfer_ms =
+              flows[up].out_bytes * 8.0 /
+              std::max(cluster.LinkBandwidthMbits(up_node, node) * 1e6, 1.0) *
+              1000.0;
+          edge_ms = cluster.LinkLatencyMs(up_node, node) +
+                    transfer_ms * QueueMultiplier(link_util);
+        } else {
+          const double transfer_ms =
+              flows[up].out_bytes * 8.0 /
+              std::max(up_hw.bandwidth_mbits * 1e6, 1.0) * 1000.0;
+          edge_ms = up_hw.latency_ms +
+                    transfer_ms * QueueMultiplier(up_stats.net_utilization);
+        }
       }
       arrival = std::max(arrival, latency_ms[up] + edge_ms);
     }

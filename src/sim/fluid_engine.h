@@ -56,6 +56,10 @@ struct FluidReport {
   // Aggregate backpressure rate R (Definition 4): tuples/s queuing up.
   double backpressure_rate = 0.0;
   std::vector<NodeStats> node_stats;
+  // Per directed link utilization (flattened row-major num_nodes()^2) at the
+  // sustained scale. Only populated when the cluster carries a link matrix;
+  // empty for legacy per-node clusters.
+  std::vector<double> link_utilization;
   // Nominal (pre-noise) metric values, for deterministic tests.
   CostMetrics noiseless_metrics;
   // Per-operator diagnostics at the sustained scale (used by the online

@@ -1,0 +1,67 @@
+#include "sim/geo.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace costream::sim {
+
+void ApplyGeoRegions(const std::vector<int>& region, const GeoWanProfile& wan,
+                     Cluster* cluster) {
+  COSTREAM_CHECK(cluster != nullptr);
+  const int n = cluster->num_nodes();
+  COSTREAM_CHECK(static_cast<int>(region.size()) == n);
+  cluster->link_bandwidth_mbits.assign(static_cast<size_t>(n) * n, 0.0);
+  cluster->link_latency_ms.assign(static_cast<size_t>(n) * n, 0.0);
+  for (int from = 0; from < n; ++from) {
+    const HardwareNode& hw = cluster->nodes[from];
+    for (int to = 0; to < n; ++to) {
+      double bw = hw.bandwidth_mbits;
+      double lat = hw.latency_ms;
+      if (from != to && region[from] != region[to]) {
+        bw = std::min(bw, wan.wan_bandwidth_mbits);
+        lat += wan.wan_latency_ms;
+      }
+      cluster->link_bandwidth_mbits[from * n + to] = bw;
+      cluster->link_latency_ms[from * n + to] = lat;
+    }
+  }
+  COSTREAM_CHECK_MSG(ValidateLinkMatrix(*cluster).empty(),
+                     ValidateLinkMatrix(*cluster).c_str());
+}
+
+Cluster MakeGeoCluster(const GeoClusterConfig& config) {
+  COSTREAM_CHECK(config.regions >= 1);
+  COSTREAM_CHECK(config.edge_per_region >= 0 && config.fog_per_region >= 0);
+  COSTREAM_CHECK(config.cloud_nodes >= 0);
+  Cluster cluster;
+  std::vector<int> region;
+  for (int r = 0; r < config.regions; ++r) {
+    for (int i = 0; i < config.edge_per_region; ++i) {
+      cluster.nodes.push_back(config.edge);
+      region.push_back(r);
+    }
+    for (int i = 0; i < config.fog_per_region; ++i) {
+      cluster.nodes.push_back(config.fog);
+      region.push_back(r);
+    }
+  }
+  for (int i = 0; i < config.cloud_nodes; ++i) {
+    cluster.nodes.push_back(config.cloud);
+    region.push_back(config.regions);  // the cloud is its own region
+  }
+  COSTREAM_CHECK(!cluster.nodes.empty());
+  ApplyGeoRegions(region, config.wan, &cluster);
+  return cluster;
+}
+
+GeoTier GeoTierOf(const GeoClusterConfig& config, int index) {
+  const int per_region = config.edge_per_region + config.fog_per_region;
+  const int regional = config.regions * per_region;
+  COSTREAM_CHECK(index >= 0);
+  if (index >= regional) return GeoTier::kCloud;
+  return index % per_region < config.edge_per_region ? GeoTier::kEdge
+                                                     : GeoTier::kFog;
+}
+
+}  // namespace costream::sim

@@ -1,0 +1,61 @@
+#ifndef COSTREAM_SIM_GEO_H_
+#define COSTREAM_SIM_GEO_H_
+
+#include <vector>
+
+#include "sim/hardware.h"
+
+namespace costream::sim {
+
+// Geo-distributed cluster construction (Michailidou et al. direction): the
+// landscape is partitioned into regions, each holding an edge tier and a fog
+// tier, plus one shared cloud region. Links inside a region run at the
+// sender's NIC speed; links that cross a region boundary traverse the WAN
+// and are capped by the WAN profile, with the WAN propagation delay added on
+// top of the sender's own latency. All flows routed over the same directed
+// node pair share that link's capacity (see the fluid/DES engines).
+
+// Tier of a node inside a geo topology, ordered edge -> fog -> cloud.
+enum class GeoTier { kEdge, kFog, kCloud };
+
+// Region assignment used to derive a per-link matrix from per-node NICs.
+// `region[i]` is the region id of node i; cloud nodes conventionally share
+// one region of their own. Any two nodes with different region ids are
+// connected through the WAN.
+struct GeoWanProfile {
+  double wan_bandwidth_mbits = 100.0;  // cap on cross-region links
+  double wan_latency_ms = 60.0;        // extra one-way cross-region delay
+};
+
+// Fills `cluster`'s link matrices from a region assignment:
+//   same region:  bandwidth = sender NIC, latency = sender latency
+//   cross region: bandwidth = min(sender NIC, wan bandwidth),
+//                 latency  = sender latency + wan latency
+// `region` must have one entry per node. Diagonal entries mirror the
+// sender's NIC (they are never consulted by the engines).
+void ApplyGeoRegions(const std::vector<int>& region, const GeoWanProfile& wan,
+                     Cluster* cluster);
+
+// Parametric edge->fog->cloud landscape: `regions` sites of
+// `edge_per_region` edge nodes and `fog_per_region` fog nodes each, plus
+// `cloud_nodes` nodes in one shared cloud region. Node order is region 0
+// edges, region 0 fogs, region 1 edges, ..., cloud nodes last.
+struct GeoClusterConfig {
+  int regions = 2;
+  int edge_per_region = 2;
+  int fog_per_region = 1;
+  int cloud_nodes = 2;
+  HardwareNode edge{50.0, 2000.0, 25.0, 20.0};
+  HardwareNode fog{200.0, 8000.0, 200.0, 5.0};
+  HardwareNode cloud{800.0, 16000.0, 1000.0, 1.0};
+  GeoWanProfile wan;
+};
+
+Cluster MakeGeoCluster(const GeoClusterConfig& config);
+
+// Tier of node `index` under the layout of MakeGeoCluster(config).
+GeoTier GeoTierOf(const GeoClusterConfig& config, int index);
+
+}  // namespace costream::sim
+
+#endif  // COSTREAM_SIM_GEO_H_

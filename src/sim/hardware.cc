@@ -18,6 +18,33 @@ std::string ValidatePlacement(const dsps::QueryGraph& query,
   return "";
 }
 
+std::string ValidateLinkMatrix(const Cluster& cluster) {
+  const size_t bw = cluster.link_bandwidth_mbits.size();
+  const size_t lat = cluster.link_latency_ms.size();
+  if (bw == 0 && lat == 0) return "";
+  const size_t n = static_cast<size_t>(cluster.num_nodes());
+  if (bw != lat) {
+    return "link matrices must both be present with the same size";
+  }
+  if (bw != n * n) {
+    return "link matrix size differs from num_nodes()^2";
+  }
+  for (size_t from = 0; from < n; ++from) {
+    for (size_t to = 0; to < n; ++to) {
+      if (from == to) continue;  // diagonal is never consulted
+      const double b = cluster.link_bandwidth_mbits[from * n + to];
+      const double l = cluster.link_latency_ms[from * n + to];
+      if (!std::isfinite(b) || b <= 0.0) {
+        return "link bandwidth must be finite and positive";
+      }
+      if (!std::isfinite(l) || l < 0.0) {
+        return "link latency must be finite and non-negative";
+      }
+    }
+  }
+  return "";
+}
+
 double CapabilityScore(const HardwareNode& node) {
   // Log scales keep the grid spacing of the paper's Table II roughly uniform;
   // the weights favour compute and memory, which dominate operator cost.

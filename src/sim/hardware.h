@@ -20,10 +20,39 @@ struct HardwareNode {
 };
 
 // An edge-cloud landscape of heterogeneous nodes.
+//
+// Geo-distributed deployments additionally carry a per-link WAN model: a
+// directed bandwidth/latency matrix over node pairs, so that cross-region
+// links can be slower than the nodes' own NICs and co-routed flows share a
+// link's capacity. The matrices are optional — when empty (the legacy
+// default), every outgoing link of node `i` falls back to the per-node
+// `nodes[i].bandwidth_mbits` / `latency_ms`, which keeps every existing
+// trace, corpus and caller bitwise unchanged.
 struct Cluster {
   std::vector<HardwareNode> nodes;
 
+  // Flattened row-major num_nodes() x num_nodes() directed link matrices.
+  // Either both are empty or both are sized num_nodes()^2 (the diagonal is
+  // ignored: same-node handoffs never touch the network). The explicit
+  // default initializers keep `Cluster{{...}}` aggregate initialization at
+  // existing call sites warning-free.
+  std::vector<double> link_bandwidth_mbits = {};
+  std::vector<double> link_latency_ms = {};
+
   int num_nodes() const { return static_cast<int>(nodes.size()); }
+
+  bool has_link_matrix() const { return !link_bandwidth_mbits.empty(); }
+
+  // Bandwidth / latency of the directed link from -> to, falling back to the
+  // sender's per-node features when no matrix is present.
+  double LinkBandwidthMbits(int from, int to) const {
+    if (link_bandwidth_mbits.empty()) return nodes[from].bandwidth_mbits;
+    return link_bandwidth_mbits[from * num_nodes() + to];
+  }
+  double LinkLatencyMs(int from, int to) const {
+    if (link_latency_ms.empty()) return nodes[from].latency_ms;
+    return link_latency_ms[from * num_nodes() + to];
+  }
 };
 
 // Operator placement: placement[op_id] = node index (paper: w_i -> n_j).
@@ -35,6 +64,12 @@ using Placement = std::vector<int>;
 std::string ValidatePlacement(const dsps::QueryGraph& query,
                               const Cluster& cluster,
                               const Placement& placement);
+
+// Structural validation of the optional link matrices: both-or-neither
+// present, sized num_nodes()^2, finite positive bandwidths and finite
+// non-negative latencies on every off-diagonal entry. Returns an empty
+// string when valid (including for legacy clusters without matrices).
+std::string ValidateLinkMatrix(const Cluster& cluster);
 
 // Scalar capability score used to order nodes from "edge-like" to
 // "cloud-like" (placement rule 2 of Fig. 5 classifies hardware into bins by

@@ -81,6 +81,13 @@ void VerifyCluster(const sim::Cluster& cluster, VerifyReport* report) {
                   "cpu/ram/bandwidth must be positive, latency >= 0");
     }
   }
+  const std::string link_error = sim::ValidateLinkMatrix(cluster);
+  if (!link_error.empty()) {
+    report->Add(kRuleClusterLinkMatrix, Severity::kError, "cluster.links",
+                link_error,
+                "provide both n*n row-major matrices with positive "
+                "off-diagonal bandwidth and non-negative latency");
+  }
 }
 
 void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
@@ -135,12 +142,41 @@ void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
                                     op.frac_double, op.frac_string);
     }
   }
+  // Per-link traffic: flows between the same directed node pair share one
+  // link, so their rates accumulate (only meaningful with a link matrix).
+  const bool has_links =
+      cluster.has_link_matrix() && sim::ValidateLinkMatrix(cluster).empty();
+  std::vector<double> link_bytes(
+      has_links ? static_cast<size_t>(nodes) * nodes : 0, 0.0);
   for (const auto& [from, to] : query.edges()) {
     if (placement[from] == placement[to]) continue;
     const OperatorDescriptor& op = query.op(from);
-    egress_bytes[placement[from]] +=
+    const double bytes =
         out_rate[from] * dsps::TupleBytes(op.tuple_width_out, op.frac_int,
                                           op.frac_double, op.frac_string);
+    egress_bytes[placement[from]] += bytes;
+    if (has_links) link_bytes[placement[from] * nodes + placement[to]] += bytes;
+  }
+  if (has_links) {
+    for (int from = 0; from < nodes; ++from) {
+      for (int to = 0; to < nodes; ++to) {
+        if (from == to) continue;
+        const double bytes = link_bytes[from * nodes + to];
+        const double capacity =
+            cluster.LinkBandwidthMbits(from, to) * 1e6 / 8.0;
+        if (bytes > kNetSlack * capacity) {
+          report->Add(kRulePlacementLinkFeasibility, Severity::kWarning,
+                      "link[" + std::to_string(from) + "->" +
+                          std::to_string(to) + "]",
+                      "estimated traffic " + std::to_string(bytes * 8.0 / 1e6) +
+                          "Mbit/s exceeds " +
+                          std::to_string(cluster.LinkBandwidthMbits(from, to)) +
+                          "Mbit/s link bandwidth",
+                      "keep chatty operator pairs within a region or route "
+                      "them over a better-provisioned link");
+        }
+      }
+    }
   }
   for (int node = 0; node < nodes; ++node) {
     const sim::HardwareNode& hw = cluster.nodes[node];

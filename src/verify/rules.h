@@ -41,6 +41,8 @@ inline constexpr std::string_view kRuleClusterBadNode = "PL004";
 inline constexpr std::string_view kRulePlacementRamFeasibility = "PL005";
 inline constexpr std::string_view kRulePlacementCpuFeasibility = "PL006";
 inline constexpr std::string_view kRulePlacementNetFeasibility = "PL007";
+inline constexpr std::string_view kRuleClusterLinkMatrix = "PL008";
+inline constexpr std::string_view kRulePlacementLinkFeasibility = "PL009";
 
 // --- Joint graph ------------------------------------------------------------
 inline constexpr std::string_view kRuleJointNodeCounts = "JG001";

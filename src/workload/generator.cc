@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "dsps/query_builder.h"
+#include "sim/geo.h"
 
 namespace costream::workload {
 
@@ -218,6 +219,19 @@ sim::Cluster QueryGenerator::GenerateCluster(nn::Rng& rng) const {
     node.bandwidth_mbits = rng.Choice(grid.bandwidth_mbits);
     node.latency_ms = rng.Choice(grid.latency_ms);
     cluster.nodes.push_back(node);
+  }
+  // Geo-distribution axis: optionally split the nodes into regions and
+  // derive a per-link WAN matrix. The guard keeps the rng stream untouched
+  // at the default probability of 0, so legacy corpora stay bitwise
+  // reproducible.
+  if (grid.geo_probability > 0.0 && rng.Bernoulli(grid.geo_probability)) {
+    const int regions = rng.Choice(grid.geo_region_choices);
+    std::vector<int> region(cluster.num_nodes());
+    for (int& r : region) r = rng.Int(0, regions - 1);
+    sim::GeoWanProfile wan;
+    wan.wan_bandwidth_mbits = rng.Choice(grid.wan_bandwidth_mbits);
+    wan.wan_latency_ms = rng.Choice(grid.wan_latency_ms);
+    sim::ApplyGeoRegions(region, wan, &cluster);
   }
   return cluster;
 }

@@ -15,6 +15,16 @@ struct HardwareGrid {
   std::vector<double> bandwidth_mbits;
   std::vector<double> latency_ms;
 
+  // Geo-distribution axis: probability that a generated cluster is a
+  // multi-region topology carrying a per-link WAN matrix (nodes are split
+  // into regions; cross-region links are capped by the WAN profile). The
+  // default of 0 skips all geo sampling, keeping legacy corpora bitwise
+  // reproducible.
+  double geo_probability = 0.0;
+  std::vector<int> geo_region_choices = {2, 3};
+  std::vector<double> wan_bandwidth_mbits = {50.0, 100.0, 200.0};
+  std::vector<double> wan_latency_ms = {40.0, 80.0, 160.0};
+
   // Training grid of Table II.
   static HardwareGrid Training();
   // Unseen in-range evaluation grid of Table IV (A) (Exp 3).

@@ -184,6 +184,7 @@ bool FinalizeRecord(std::vector<std::pair<int, OperatorDescriptor>>&& ops,
     record->query.AddEdge(from, to);
   }
   if (!record->query.Validate().empty()) return false;
+  if (!sim::ValidateLinkMatrix(record->cluster).empty()) return false;
   if (!sim::ValidatePlacement(record->query, record->cluster,
                               record->placement)
            .empty()) {
@@ -235,6 +236,14 @@ bool LoadTracesV1(std::istream& is, std::vector<TraceRecord>* records) {
           return false;
         }
         record.cluster.nodes.push_back(node);
+      } else if (tag == "linkbw" || tag == "linklat") {
+        std::vector<double>& dest =
+            tag == "linkbw" ? record.cluster.link_bandwidth_mbits
+                            : record.cluster.link_latency_ms;
+        double v = 0.0;
+        while (ls >> v) dest.push_back(v);
+        // A non-numeric token mid-row is corruption, not end-of-line.
+        if (!ls.eof()) return false;
       } else if (tag == "placement") {
         int n = 0;
         while (ls >> n) record.placement.push_back(n);
@@ -268,6 +277,13 @@ bool LoadTracesV1(std::istream& is, std::vector<TraceRecord>* records) {
 constexpr char kMagicV2[8] = {'C', 'S', 'T', 'R', 'A', 'C', 'E', '2'};
 constexpr uint32_t kVersionV2 = 2;
 constexpr uint32_t kHeaderBytesV2 = 24;  // magic + version + size + count
+// Extensible-header revision carrying a feature-flag word (+ a reserved
+// word): only written when at least one record needs a flagged feature, so
+// flag-free corpora stay bitwise identical to the original v2 image.
+constexpr uint32_t kHeaderBytesV2Ext = kHeaderBytesV2 + 8;
+// Record bodies carry a per-cluster link-matrix section (u8 presence byte,
+// then 2 * num_nodes^2 doubles) after the hardware-node section.
+constexpr uint32_t kHeaderFlagLinkMatrix = 1u << 0;
 
 void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
@@ -353,7 +369,12 @@ constexpr size_t kEdgeBytes = 8;
 constexpr size_t kNodeBytes = 32;
 constexpr size_t kPlacementEntryBytes = 4;
 
-void AppendRecordBody(const TraceRecord& record, std::string* out) {
+// `with_links` mirrors the image-level kHeaderFlagLinkMatrix flag: when set,
+// every body carries a link-matrix section (presence byte + matrices) so the
+// reader needs no per-record guessing; when clear the body layout is bitwise
+// identical to the original v2 encoding.
+void AppendRecordBody(const TraceRecord& record, bool with_links,
+                      std::string* out) {
   PutU8(out, static_cast<uint8_t>(record.template_kind));
   PutI32(out, record.num_filters);
 
@@ -399,6 +420,15 @@ void AppendRecordBody(const TraceRecord& record, std::string* out) {
     PutF64(out, node.latency_ms);
   }
 
+  if (with_links) {
+    const bool has = record.cluster.has_link_matrix();
+    PutU8(out, has ? 1 : 0);
+    if (has) {
+      for (double v : record.cluster.link_bandwidth_mbits) PutF64(out, v);
+      for (double v : record.cluster.link_latency_ms) PutF64(out, v);
+    }
+  }
+
   PutU32(out, static_cast<uint32_t>(record.placement.size()));
   for (int n : record.placement) PutI32(out, n);
 
@@ -409,7 +439,7 @@ void AppendRecordBody(const TraceRecord& record, std::string* out) {
   PutU8(out, record.metrics.success ? 1 : 0);
 }
 
-bool ParseRecordBody(Cursor body, TraceRecord* record) {
+bool ParseRecordBody(Cursor body, bool link_fields, TraceRecord* record) {
   uint8_t template_kind = 0;
   if (!body.GetU8(&template_kind)) return false;
   record->template_kind = static_cast<QueryTemplate>(template_kind);
@@ -486,6 +516,30 @@ bool ParseRecordBody(Cursor body, TraceRecord* record) {
     record->cluster.nodes.push_back(node);
   }
 
+  if (link_fields) {
+    uint8_t has_links = 0;
+    if (!body.GetU8(&has_links) || has_links > 1) return false;
+    if (has_links == 1) {
+      // A flagged body must carry both full n*n matrices; a file truncated
+      // mid-matrix fails closed here via the bounds-checked cursor.
+      const size_t entries =
+          static_cast<size_t>(num_nodes) * static_cast<size_t>(num_nodes);
+      if (entries > body.remaining() / (2 * sizeof(double))) return false;
+      record->cluster.link_bandwidth_mbits.reserve(entries);
+      record->cluster.link_latency_ms.reserve(entries);
+      for (size_t i = 0; i < entries; ++i) {
+        double v = 0.0;
+        if (!body.GetF64(&v)) return false;
+        record->cluster.link_bandwidth_mbits.push_back(v);
+      }
+      for (size_t i = 0; i < entries; ++i) {
+        double v = 0.0;
+        if (!body.GetF64(&v)) return false;
+        record->cluster.link_latency_ms.push_back(v);
+      }
+    }
+  }
+
   uint32_t placement_size = 0;
   if (!body.GetU32(&placement_size) ||
       !body.CountFits(placement_size, kPlacementEntryBytes)) {
@@ -539,6 +593,26 @@ void SaveTraces(std::ostream& os, const std::vector<TraceRecord>& records) {
       os << "node " << node.cpu_pct << ' ' << node.ram_mb << ' '
          << node.bandwidth_mbits << ' ' << node.latency_ms << '\n';
     }
+    // Per-link matrices are written one row per line and only when present,
+    // so link-free corpora remain readable by pre-extension parsers (which
+    // reject unknown tags).
+    if (record.cluster.has_link_matrix()) {
+      const int n = record.cluster.num_nodes();
+      for (int row = 0; row < n; ++row) {
+        os << "linkbw";
+        for (int to = 0; to < n; ++to) {
+          os << ' ' << record.cluster.link_bandwidth_mbits[row * n + to];
+        }
+        os << '\n';
+      }
+      for (int row = 0; row < n; ++row) {
+        os << "linklat";
+        for (int to = 0; to < n; ++to) {
+          os << ' ' << record.cluster.link_latency_ms[row * n + to];
+        }
+        os << '\n';
+      }
+    }
     os << "placement";
     for (int n : record.placement) os << ' ' << n;
     os << '\n';
@@ -562,17 +636,32 @@ void SaveTracesV2(std::ostream& os, const std::vector<TraceRecord>& records) {
   // length-prefixing each record needs its size before its bytes, and a
   // single bulk write is considerably faster than streaming thousands of
   // small field inserts through the ostream locale machinery.
+  // The extended (flag-bearing) header is emitted only when some record
+  // actually carries a link matrix, so link-free corpora keep producing
+  // images bitwise identical to the original v2 encoding and stay loadable
+  // by pre-extension readers.
+  bool any_links = false;
+  for (const TraceRecord& record : records) {
+    COSTREAM_CHECK_MSG(sim::ValidateLinkMatrix(record.cluster).empty(),
+                       "SaveTracesV2: invalid cluster link matrix");
+    any_links = any_links || record.cluster.has_link_matrix();
+  }
+
   std::string image;
-  image.reserve(1024 * records.size() + kHeaderBytesV2);
+  image.reserve(1024 * records.size() + kHeaderBytesV2Ext);
   image.append(kMagicV2, sizeof(kMagicV2));
   PutU32(&image, kVersionV2);
-  PutU32(&image, kHeaderBytesV2);
+  PutU32(&image, any_links ? kHeaderBytesV2Ext : kHeaderBytesV2);
   PutU64(&image, static_cast<uint64_t>(records.size()));
+  if (any_links) {
+    PutU32(&image, kHeaderFlagLinkMatrix);
+    PutU32(&image, 0);  // reserved
+  }
 
   std::string body;
   for (const TraceRecord& record : records) {
     body.clear();
-    AppendRecordBody(record, &body);
+    AppendRecordBody(record, any_links, &body);
     PutU32(&image, static_cast<uint32_t>(body.size()));
     image.append(body);
   }
@@ -596,8 +685,20 @@ bool LoadTracesV2(const char* data, size_t size,
     return false;
   }
   if (!cur.GetU64(&record_count)) return false;
-  // Future minor revisions may grow the header; skip what we don't know.
-  if (!cur.Skip(header_bytes - kHeaderBytesV2)) return false;
+  // Extended headers lead with a feature-flag word describing extra record
+  // sections. Unknown flags change the body layout in ways this reader
+  // cannot parse, so they fail closed; unknown header *tail* bytes beyond
+  // the words we understand are skippable padding.
+  bool link_fields = false;
+  uint32_t ext_consumed = 0;
+  if (header_bytes >= kHeaderBytesV2Ext) {
+    uint32_t flags = 0, reserved = 0;
+    if (!cur.GetU32(&flags) || !cur.GetU32(&reserved)) return false;
+    if ((flags & ~kHeaderFlagLinkMatrix) != 0) return false;
+    link_fields = (flags & kHeaderFlagLinkMatrix) != 0;
+    ext_consumed = kHeaderBytesV2Ext - kHeaderBytesV2;
+  }
+  if (!cur.Skip(header_bytes - kHeaderBytesV2 - ext_consumed)) return false;
   if (!cur.CountFits(record_count > std::numeric_limits<uint32_t>::max()
                          ? std::numeric_limits<uint32_t>::max()
                          : static_cast<uint32_t>(record_count),
@@ -612,7 +713,7 @@ bool LoadTracesV2(const char* data, size_t size,
     if (!cur.GetU32(&payload) || cur.remaining() < payload) return false;
     Cursor body{cur.p, cur.p + payload};
     TraceRecord record;
-    if (!ParseRecordBody(body, &record)) return false;
+    if (!ParseRecordBody(body, link_fields, &record)) return false;
     cur.p += payload;
     records->push_back(std::move(record));
   }

@@ -26,14 +26,27 @@ namespace costream::workload {
 //   metrics T <t> Lp <ms> Le <ms> bp <0|1> success <0|1>
 //   end
 //
+// Geo-distributed clusters additionally write one `linkbw ...` and one
+// `linklat ...` row-major matrix line per node between the node and
+// placement lines; link-free records omit them entirely, so such files stay
+// loadable by pre-extension parsers (which reject unknown tags).
+//
 // v2 — versioned little-endian binary, the default for large corpora (the
 // text format is the corpus-load bottleneck at paper scale, ~43k traces):
 //
 //   header   8-byte magic "CSTRACE2", u32 version (=2), u32 header size,
-//            u64 record count
+//            u64 record count. When any record carries a per-link matrix the
+//            header grows by a u32 feature-flag word (bit 0 = link matrices
+//            in bodies) plus a reserved u32; readers skip unknown header
+//            tail bytes but fail closed on unknown feature flags (flags
+//            change the body layout). Link-free corpora keep the original
+//            24-byte header and are bitwise identical to pre-extension
+//            images.
 //   records  u32 payload size, then the record body (fixed-width fields,
 //            length-prefixed sections) — readers can skip or validate a
-//            record without parsing it
+//            record without parsing it. Under the link flag each body gains
+//            a u8 presence byte after the hardware-node section, followed
+//            (when 1) by the row-major n*n bandwidth and latency matrices.
 //
 // Doubles are stored as raw IEEE-754 bit patterns, so both formats
 // round-trip exactly. Loaders auto-detect the format from the leading magic

@@ -275,5 +275,160 @@ TEST(ServiceFastPathTest, QuantizedRankingReducesFullScores) {
   EXPECT_LT(rescored_delta, ranked_delta);
 }
 
+// --- Rank-widening budget boundary -------------------------------------------
+
+// A success classifier trained on all-false labels: every candidate scores
+// infeasible, forcing the widening fallback down its full path.
+core::Ensemble AlwaysInfeasibleSuccessEnsemble() {
+  workload::CorpusConfig cc;
+  cc.num_queries = 30;
+  cc.seed = 77;
+  cc.duration_s = 20.0;
+  auto records = workload::BuildCorpus(cc);
+  for (auto& r : records) r.metrics.success = false;
+  core::CostModelConfig config;
+  config.hidden_dim = 8;
+  config.head = core::HeadKind::kClassification;
+  core::Ensemble ensemble(config, 1);
+  auto samples = workload::ToTrainSamples(records, sim::Metric::kSuccess);
+  core::TrainConfig tc;
+  tc.epochs = 5;
+  ensemble.Train(samples, {}, tc);
+  return ensemble;
+}
+
+// One candidate per cluster node (all operators co-located), so candidate
+// counts and score domains are exact and enumerable.
+std::vector<sim::Placement> CoLocatedCandidates(const dsps::QueryGraph& query,
+                                                const sim::Cluster& cluster) {
+  std::vector<sim::Placement> candidates;
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    candidates.emplace_back(query.num_operators(), node);
+  }
+  return candidates;
+}
+
+struct WidenRun {
+  ScoringEngine::ScoreResult result;
+  bool ranking_was_active = false;
+};
+
+WidenRun RunWidening(const core::Ensemble& target,
+                     const core::Ensemble* success, int num_candidates,
+                     int rank_top_k, int rank_widen_rounds) {
+  const sim::Cluster cluster = FixtureCluster();
+  dsps::QueryGraph query = ScriptQueries(1)[0];
+  std::vector<sim::Placement> candidates =
+      CoLocatedCandidates(query, cluster);
+  candidates.resize(static_cast<size_t>(num_candidates),
+                    candidates.empty() ? sim::Placement{} : candidates[0]);
+
+  FastPathConfig config;
+  config.quantized_ranking = true;
+  config.rank_top_k = rank_top_k;
+  config.rank_widen_rounds = rank_widen_rounds;
+  config.num_threads = 1;
+  ScoringEngine engine(&target, success, nullptr, config);
+
+  WidenRun run;
+  run.ranking_was_active = engine.RankingActive(num_candidates);
+  std::vector<std::vector<double>> ranked;
+  engine.RankRequests({&query}, {&candidates}, cluster, ranked);
+  const std::vector<double> rank_row =
+      ranked.empty() ? std::vector<double>{} : ranked[0];
+  const std::vector<double> factors(candidates.size(), 1.0);
+  run.result = engine.ScoreRequest(query, cluster, candidates, factors,
+                                   /*maximize=*/true, rank_row);
+  return run;
+}
+
+// The documented widening budget is rank_top_k * 2^rounds full-scored
+// candidates (scoring_engine.h). Regression: the pre-fix loop doubled the
+// window BEFORE its first use, scoring k * (2^(r+1) - 1) — e.g. 3 where the
+// budget promises 2 — on every fully infeasible list.
+TEST(ServiceFastPathTest, WideningRespectsDocumentedBudget) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const core::Ensemble never = AlwaysInfeasibleSuccessEnsemble();
+
+  // k=1, one widening round, all 9 candidates infeasible: budget 1*2^1 = 2.
+  {
+    const WidenRun run = RunWidening(target, &never, 9, 1, 1);
+    ASSERT_TRUE(run.ranking_was_active);
+    for (int i = 0; i < 9; ++i) {
+      if (run.result.have_full[i]) {
+        EXPECT_FALSE(run.result.scored[i].feasible);
+      }
+    }
+    EXPECT_LE(run.result.full_scored, 2);
+    EXPECT_GE(run.result.full_scored, 1);  // budget still buys a widening
+  }
+  // k=2, two rounds, all infeasible: budget 2*2^2 = 8 of 9.
+  {
+    const WidenRun run = RunWidening(target, &never, 9, 2, 2);
+    ASSERT_TRUE(run.ranking_was_active);
+    EXPECT_LE(run.result.full_scored, 8);
+    EXPECT_GE(run.result.full_scored, 2);
+  }
+}
+
+// An unbounded budget (negative rounds) must scan the whole list, resolving
+// the exact best-any candidate even when nothing is feasible.
+TEST(ServiceFastPathTest, UnboundedWideningScansAllCandidatesWhenInfeasible) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const core::Ensemble never = AlwaysInfeasibleSuccessEnsemble();
+  const WidenRun run = RunWidening(target, &never, 9, 1, -1);
+  ASSERT_TRUE(run.ranking_was_active);
+  EXPECT_EQ(run.result.full_scored, 9);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_TRUE(run.result.have_full[i]) << "candidate " << i;
+    EXPECT_FALSE(run.result.scored[i].feasible) << "candidate " << i;
+  }
+}
+
+// Boundary: a single-candidate list (and any list no longer than
+// rank_top_k) never activates ranking — the lone candidate is scored in
+// full precision and the request resolves.
+TEST(ServiceFastPathTest, SingleCandidateListBypassesRanking) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const core::Ensemble never = AlwaysInfeasibleSuccessEnsemble();
+  {
+    const WidenRun run = RunWidening(target, &never, 1, 4, 2);
+    EXPECT_FALSE(run.ranking_was_active);
+    EXPECT_EQ(run.result.full_scored, 1);
+    EXPECT_TRUE(run.result.have_full[0]);
+  }
+  // rank_top_k >= candidate count: same bypass, every candidate scored.
+  {
+    const WidenRun run = RunWidening(target, nullptr, 4, 4, 2);
+    EXPECT_FALSE(run.ranking_was_active);
+    EXPECT_EQ(run.result.full_scored, 4);
+  }
+}
+
+// Service-level contract: an all-infeasible admission under an exhausted
+// widening budget still resolves to a valid placement (best-any over the
+// scored head), flagged infeasible — never a crash, never an empty result.
+TEST(ServiceFastPathTest, AllInfeasibleAdmissionResolvesBestAny) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  const core::Ensemble never = AlwaysInfeasibleSuccessEnsemble();
+  ServiceConfig config = BaseConfig();
+  config.quantized_ranking = true;
+  config.rank_top_k = 1;
+  config.rank_widen_rounds = 1;
+  PlacementService service(FixtureCluster(), &target, &never, nullptr,
+                           config);
+  const std::vector<dsps::QueryGraph> queries = ScriptQueries(4);
+  for (const dsps::QueryGraph& query : queries) {
+    const AdmitResult result = service.Admit(query);
+    EXPECT_FALSE(result.feasible);
+    ASSERT_EQ(static_cast<int>(result.placement.size()),
+              query.num_operators());
+    for (int node : result.placement) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, FixtureCluster().num_nodes());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace costream::service

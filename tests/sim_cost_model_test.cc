@@ -1,7 +1,11 @@
 #include "sim/cost_model.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
+#include "nn/random.h"
 #include "sim/hardware.h"
 
 namespace costream::sim {
@@ -88,6 +92,55 @@ TEST(CostModelTest, WindowStateScalesWithTuplesAndBytes) {
   EXPECT_GT(WindowStateMb(1000.0, 200.0), WindowStateMb(100.0, 200.0));
   EXPECT_GT(WindowStateMb(1000.0, 400.0), WindowStateMb(1000.0, 200.0));
   EXPECT_EQ(WindowStateMb(0.0, 200.0), 0.0);
+}
+
+// The shared effective-core cap must be bitwise-equal to BOTH formulations
+// it replaced: the fluid engine computed max(min(par, cores), 1e-3) and the
+// DES computed min(max(cores, 1e-3), par) — provably equal for par >= 1, and
+// the helper clamps par below 1 first, so randomized pairs must agree with
+// both expressions exactly (this is what keeps the engines' capacity models
+// in lockstep).
+TEST(EffectiveOpCoresTest, MatchesBothLegacyFormulationsBitwise) {
+  nn::Rng rng(424242);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int par = rng.Int(1, 12);
+    // Mix grid-like values, fractional cores, and tiny/zero capacities.
+    const double cpu_pct = trial % 3 == 0
+                               ? 100.0 * rng.Int(0, 8)
+                               : rng.Uniform(0.0, 900.0);
+    const double cores = cpu_pct / 100.0;
+    const double fluid_legacy =
+        std::max(std::min(static_cast<double>(par), cores), 1e-3);
+    const double des_legacy =
+        std::min(std::max(cores, 1e-3), static_cast<double>(par));
+    const double shared = EffectiveOpCores(par, cpu_pct);
+    ASSERT_EQ(shared, fluid_legacy) << "par " << par << " cpu " << cpu_pct;
+    ASSERT_EQ(shared, des_legacy) << "par " << par << " cpu " << cpu_pct;
+  }
+}
+
+// Per-instance decomposition: cap * per-instance speed reconstructs the
+// aggregate effective cores exactly, the cap never exceeds parallelism or
+// whole cores, and integer-core nodes with par <= cores run every instance
+// at exactly speed 1 (the regime where DES capacity equals fluid capacity).
+TEST(EffectiveOpCoresTest, InstanceDecompositionInvariants) {
+  nn::Rng rng(5150);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int par = rng.Int(1, 12);
+    const double cpu_pct =
+        trial % 2 == 0 ? 100.0 * rng.Int(1, 8) : rng.Uniform(10.0, 900.0);
+    const int cap = OperatorInstanceCap(par, cpu_pct);
+    const double speed = InstanceServiceCores(par, cpu_pct);
+    ASSERT_GE(cap, 1);
+    ASSERT_LE(cap, std::max(par, 1));
+    ASSERT_LE(cap, std::max(1, static_cast<int>(cpu_pct / 100.0 + 1e-9)));
+    ASSERT_DOUBLE_EQ(cap * speed, EffectiveOpCores(par, cpu_pct));
+    const bool integer_cores =
+        cpu_pct == 100.0 * static_cast<int>(cpu_pct / 100.0 + 1e-9);
+    if (integer_cores && par <= static_cast<int>(cpu_pct / 100.0 + 1e-9)) {
+      ASSERT_EQ(speed, 1.0) << "par " << par << " cpu " << cpu_pct;
+    }
+  }
 }
 
 TEST(CapabilityScoreTest, StrongerNodesScoreHigher) {

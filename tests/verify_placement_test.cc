@@ -144,6 +144,57 @@ TEST(VerifyPlacementTest, GrossCpuOverloadWarnsPL006) {
       << report.DebugString();
 }
 
+TEST(VerifyPlacementTest, MalformedLinkMatrixIsPL008) {
+  Cluster cluster = SmallCluster();
+  // Bandwidth matrix without its latency sibling.
+  cluster.link_bandwidth_mbits = {1000.0, 100.0, 1000.0, 100.0};
+  VerifyReport report;
+  VerifyCluster(cluster, &report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(CountRule(report, kRuleClusterLinkMatrix), 1);
+
+  // Wrong shape (2x2 cluster needs 4 entries per matrix).
+  cluster.link_latency_ms = {5.0, 25.0};
+  VerifyReport report2;
+  VerifyCluster(cluster, &report2);
+  EXPECT_EQ(CountRule(report2, kRuleClusterLinkMatrix), 1);
+
+  // Well-formed matrices are clean.
+  cluster.link_latency_ms = {5.0, 25.0, 5.0, 25.0};
+  VerifyReport report3;
+  VerifyCluster(cluster, &report3);
+  EXPECT_TRUE(report3.ok()) << report3.DebugString();
+  EXPECT_EQ(CountRule(report3, kRuleClusterLinkMatrix), 0);
+}
+
+TEST(VerifyPlacementTest, ChokedLinkWarnsPL009) {
+  QueryBuilder b;
+  const auto src = b.Source(1e6, {DataType::kString, DataType::kString});
+  const auto filtered =
+      b.Filter(src, FilterFunction::kNotEq, DataType::kString, 1.0);
+  const QueryGraph query = b.Sink(filtered);
+  Cluster cluster;
+  // Fat per-node NICs: the per-node egress heuristic (PL007) stays quiet;
+  // only the starved 0 -> 1 link in the matrix is the problem.
+  cluster.nodes.push_back({400.0, 16000.0, 100000.0, 5.0});
+  cluster.nodes.push_back({400.0, 16000.0, 100000.0, 5.0});
+  cluster.link_bandwidth_mbits = {100000.0, 0.001, 100000.0, 100000.0};
+  cluster.link_latency_ms = {5.0, 80.0, 80.0, 5.0};
+  VerifyReport report;
+  VerifyPlacement(query, cluster, Placement{0, 1, 1}, &report);
+  EXPECT_TRUE(report.ok()) << report.DebugString();
+  EXPECT_GE(CountRule(report, kRulePlacementLinkFeasibility), 1)
+      << report.DebugString();
+  EXPECT_EQ(CountRule(report, kRulePlacementNetFeasibility), 0)
+      << report.DebugString();
+
+  // The reverse placement routes over the healthy 1 -> 0 link: no warning.
+  VerifyReport report2;
+  VerifyPlacement(query, cluster, Placement{1, 0, 0}, &report2);
+  EXPECT_EQ(CountRule(report2, kRulePlacementLinkFeasibility), 0)
+      << report2.DebugString();
+}
+
 TEST(VerifyPlacementTest, ReasonablePlacedQueryIsClean) {
   const QueryGraph query = CleanQuery();
   VerifyReport report;

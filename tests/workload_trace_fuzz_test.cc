@@ -2,6 +2,8 @@
 // and splices over valid v1/v2 images must never crash, read out of bounds
 // (CI runs this under AddressSanitizer) or allocate absurdly — every outcome
 // is either a clean `false` or a successfully validated corpus.
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -9,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "nn/random.h"
+#include "sim/geo.h"
 #include "sim/hardware.h"
 #include "workload/trace_io.h"
 
@@ -21,6 +24,21 @@ std::vector<TraceRecord> FuzzCorpus() {
   config.seed = 31337;
   config.duration_s = 20.0;
   return BuildCorpus(config);
+}
+
+// Same corpus with a two-region WAN link matrix stamped onto every cluster,
+// exercising the flagged v2 extended header and the per-record link section.
+std::vector<TraceRecord> GeoCorpus() {
+  std::vector<TraceRecord> records = FuzzCorpus();
+  const sim::GeoWanProfile wan;
+  for (TraceRecord& record : records) {
+    std::vector<int> region(record.cluster.nodes.size());
+    for (size_t n = 0; n < region.size(); ++n) {
+      region[n] = static_cast<int>(n % 2);
+    }
+    sim::ApplyGeoRegions(region, wan, &record.cluster);
+  }
+  return records;
 }
 
 std::string V2Image(const std::vector<TraceRecord>& records) {
@@ -121,6 +139,145 @@ TEST(TraceFuzzTest, MutatedV1TextNeverCrashes) {
         break;
       }
     }
+    std::istringstream is(mutated);
+    std::vector<TraceRecord> loaded;
+    if (LoadTraces(is, &loaded)) {
+      ExpectLoadedRecordsValid(loaded);
+    }
+  }
+}
+
+// Link matrices survive both serialization formats bitwise (v1 prints with
+// precision 17, which is lossless for IEEE doubles).
+TEST(TraceFuzzTest, LinkMatricesRoundTripBitwise) {
+  const std::vector<TraceRecord> records = GeoCorpus();
+  const std::string v2 = V2Image(records);
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(LoadTracesV2(v2.data(), v2.size(), &loaded));
+  ASSERT_EQ(loaded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(loaded[i].cluster.has_link_matrix());
+    EXPECT_EQ(loaded[i].cluster.link_bandwidth_mbits,
+              records[i].cluster.link_bandwidth_mbits);
+    EXPECT_EQ(loaded[i].cluster.link_latency_ms,
+              records[i].cluster.link_latency_ms);
+  }
+  std::istringstream v1(V1Image(records));
+  std::vector<TraceRecord> v1_loaded;
+  ASSERT_TRUE(LoadTraces(v1, &v1_loaded));
+  ASSERT_EQ(v1_loaded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(v1_loaded[i].cluster.link_bandwidth_mbits,
+              records[i].cluster.link_bandwidth_mbits);
+    EXPECT_EQ(v1_loaded[i].cluster.link_latency_ms,
+              records[i].cluster.link_latency_ms);
+  }
+}
+
+// Corpora without link matrices must keep emitting the pre-extension 24-byte
+// header so older readers load them unchanged; geo corpora advertise the
+// link section via the flags word of the 32-byte extended header.
+TEST(TraceFuzzTest, LinkFreeImagesKeepLegacyHeader) {
+  const std::string plain = V2Image(FuzzCorpus());
+  const std::string geo = V2Image(GeoCorpus());
+  const auto header_bytes = [](const std::string& image) {
+    uint32_t v = 0;
+    std::memcpy(&v, image.data() + 12, sizeof(v));
+    return v;
+  };
+  EXPECT_EQ(header_bytes(plain), 24u);
+  EXPECT_EQ(header_bytes(geo), 32u);
+  uint32_t flags = 0;
+  std::memcpy(&flags, geo.data() + 24, sizeof(flags));
+  EXPECT_EQ(flags, 1u);
+}
+
+// The flags word is load-bearing: clearing it leaves unparsed link bytes in
+// every record body, and any unknown bit must fail closed — both reject.
+TEST(TraceFuzzTest, TamperedHeaderFlagsFailClosed) {
+  const std::string geo = V2Image(GeoCorpus());
+  std::string cleared = geo;
+  cleared[24] = '\0';
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(LoadTracesV2(cleared.data(), cleared.size(), &loaded));
+  std::string unknown_bit = geo;
+  unknown_bit[24] = static_cast<char>(unknown_bit[24] | 0x02);
+  loaded.clear();
+  EXPECT_FALSE(LoadTracesV2(unknown_bit.data(), unknown_bit.size(), &loaded));
+}
+
+// Truncating inside a later record's body (which ends with the link matrix)
+// fails the load but keeps every record parsed before the damage.
+TEST(TraceFuzzTest, TruncatedLinkMatrixKeepsEarlierRecords) {
+  const std::string geo = V2Image(GeoCorpus());
+  // Walk the record framing: [u32 body_size][body] repeated after the header.
+  uint32_t header_bytes = 0;
+  std::memcpy(&header_bytes, geo.data() + 12, sizeof(header_bytes));
+  size_t offset = header_bytes;
+  uint32_t first_body = 0;
+  std::memcpy(&first_body, geo.data() + offset, sizeof(first_body));
+  const size_t record2 = offset + sizeof(uint32_t) + first_body;
+  uint32_t second_body = 0;
+  std::memcpy(&second_body, geo.data() + record2, sizeof(second_body));
+  // Cut a handful of points across record 2's body, including its final
+  // bytes (the link latency matrix).
+  for (uint32_t keep :
+       {second_body / 4, second_body / 2, second_body - 9, second_body - 1}) {
+    // Plain truncation: the frame check sees fewer bytes than advertised.
+    const std::string cut = geo.substr(0, record2 + sizeof(uint32_t) + keep);
+    std::vector<TraceRecord> loaded;
+    EXPECT_FALSE(LoadTracesV2(cut.data(), cut.size(), &loaded));
+    ASSERT_EQ(loaded.size(), 1u) << "keep " << keep;
+    EXPECT_TRUE(loaded[0].cluster.has_link_matrix());
+    ExpectLoadedRecordsValid(loaded);
+    // Shrink the declared body size to match the cut so the body parser
+    // itself runs and hits a bounds check mid-record (for the larger keeps,
+    // inside the link matrix at the body's tail).
+    std::string shrunk = cut;
+    std::memcpy(shrunk.data() + record2, &keep, sizeof(keep));
+    loaded.clear();
+    EXPECT_FALSE(LoadTracesV2(shrunk.data(), shrunk.size(), &loaded));
+    ASSERT_EQ(loaded.size(), 1u) << "shrunk keep " << keep;
+    ExpectLoadedRecordsValid(loaded);
+  }
+}
+
+// The generic mutation sweeps must hold over flagged geo images too.
+TEST(TraceFuzzTest, MutatedGeoImagesNeverCrash) {
+  const std::string image = V2Image(GeoCorpus());
+  nn::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = image;
+    switch (rng.Int(0, 2)) {
+      case 0:
+        mutated = mutated.substr(
+            0, static_cast<size_t>(
+                   rng.Int(0, static_cast<int>(mutated.size()) - 1)));
+        break;
+      case 1: {
+        const int flips = rng.Int(1, 4);
+        for (int f = 0; f < flips; ++f) {
+          const int pos = rng.Int(0, static_cast<int>(mutated.size()) - 1);
+          mutated[pos] = static_cast<char>(rng.Int(0, 255));
+        }
+        break;
+      }
+      default: {
+        const int pos = rng.Int(0, static_cast<int>(mutated.size()));
+        std::string garbage(static_cast<size_t>(rng.Int(1, 32)), '\0');
+        for (char& c : garbage) c = static_cast<char>(rng.Int(0, 255));
+        mutated.insert(static_cast<size_t>(pos), garbage);
+        break;
+      }
+    }
+    RunV2(mutated);
+  }
+  const std::string text = V1Image(GeoCorpus());
+  nn::Rng text_rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string mutated = text;
+    const int pos = rng.Int(0, static_cast<int>(mutated.size()) - 1);
+    mutated[pos] = static_cast<char>(text_rng.Int(32, 126));
     std::istringstream is(mutated);
     std::vector<TraceRecord> loaded;
     if (LoadTraces(is, &loaded)) {
