@@ -148,7 +148,7 @@ SplitCorpusResult BuildSplitCorpus(const workload::CorpusConfig& config) {
   if (cfg.num_threads == 1) cfg.num_threads = BenchThreads();
   const auto records = workload::BuildCorpus(cfg);
   const workload::SplitIndices split = workload::SplitCorpus(
-      static_cast<int>(records.size()), 0.8, 0.1, config.seed ^ 0x5517ull);
+      static_cast<int64_t>(records.size()), 0.8, 0.1, config.seed ^ 0x5517ull);
   SplitCorpusResult result;
   result.train = workload::Gather(records, split.train);
   result.val = workload::Gather(records, split.val);

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <numeric>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -22,6 +23,7 @@
 #include "baselines/flat_vector.h"
 #include "baselines/gbdt.h"
 #include "bench_common.h"
+#include "common/codec.h"
 #include "core/ensemble.h"
 #include "core/model.h"
 #include "core/trainer.h"
@@ -34,7 +36,9 @@
 #include "sim/fluid_engine.h"
 #include "verify/verify.h"
 #include "workload/corpus.h"
+#include "workload/streaming.h"
 #include "workload/trace_io.h"
+#include "workload/trace_reader.h"
 
 namespace costream {
 namespace {
@@ -607,6 +611,176 @@ void AppendCorpusPipelineSection(const std::string& path) {
   SpliceJsonSection(path, section.str());
 }
 
+// --- Out-of-core corpus section ---------------------------------------------
+//
+// The block-compressed trace format and the streaming training pipeline:
+// load throughput of the three on-disk formats, the compressed/plain size
+// ratio, shuffled-epoch sample throughput through StreamingCorpus over a
+// bounded-cache TraceReader, and an order-sensitive FNV-1a hash over every
+// featurized sample proving the streamed samples are bitwise-identical to
+// the in-memory ToTrainSamples path. CI gates on the hash equality, the
+// compressed loader's speedup over v1 text, the size ratio, the cache
+// bound, and (against history) the epoch throughput.
+
+uint64_t HashSample(uint64_t h, const core::TrainSample& sample) {
+  h = common::Fnv1a64(&sample.regression_target, sizeof(double), h);
+  for (const auto& node : sample.graph.nodes) {
+    h = common::Fnv1a64(node.features.data(),
+                        node.features.size() * sizeof(double), h);
+  }
+  return h;
+}
+
+void AppendCorpusOutOfCoreSection(const std::string& path) {
+  workload::CorpusConfig config;
+  config.num_queries = 256;
+  config.seed = 1717;
+  config.duration_s = 30.0;
+  config.num_threads = 4;
+  const auto records = workload::BuildCorpus(config);
+  constexpr int kReps = 3;
+  constexpr size_t kBlockBytes = size_t{32} << 10;
+
+  const std::string v1_image =
+      SerializeCorpus(records, workload::TraceFormat::kTextV1);
+  const std::string v2_image =
+      SerializeCorpus(records, workload::TraceFormat::kBinaryV2);
+  std::ostringstream v2c_os;
+  workload::SaveTracesV2Compressed(v2c_os, records, kBlockBytes);
+  const std::string v2c_image = std::move(v2c_os).str();
+
+  std::vector<workload::TraceRecord> loaded;
+  const double v1_load_s = BestSeconds(kReps, [&] {
+    std::istringstream is(v1_image);
+    workload::LoadTraces(is, &loaded);
+  });
+  bool load_ok = loaded.size() == records.size();
+  const double v2_load_s = BestSeconds(kReps, [&] {
+    workload::LoadTracesV2(v2_image.data(), v2_image.size(), &loaded);
+  });
+  load_ok = load_ok && loaded.size() == records.size();
+  const double v2c_load_s = BestSeconds(kReps, [&] {
+    workload::LoadTracesV2(v2c_image.data(), v2c_image.size(), &loaded);
+  });
+  load_ok = load_ok && loaded.size() == records.size();
+
+  // In-memory reference: featurize everything, hash in sample order.
+  const sim::Metric metric = sim::Metric::kThroughput;
+  const auto reference = workload::ToTrainSamples(records, metric);
+  uint64_t inmemory_hash = 0;
+  for (const auto& sample : reference) {
+    inmemory_hash = HashSample(inmemory_hash, sample);
+  }
+
+  // Streaming pass: same samples through the mmap reader's bounded block
+  // cache. The cache cap (4 blocks) is far below the block count, so the
+  // peak-cached-bytes proxy proves the corpus never sat in memory whole.
+  const std::string tmp = path + ".ooc_tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    os.write(v2c_image.data(),
+             static_cast<std::streamsize>(v2c_image.size()));
+  }
+  workload::TraceReaderOptions reader_opts;
+  reader_opts.max_cached_blocks = 4;
+  reader_opts.num_threads = 4;
+  auto reader = workload::TraceReader::Open(tmp, reader_opts);
+  uint64_t streaming_hash = 1;  // != 0 so a dead reader can never "match"
+  double epoch_s = 0.0;
+  uint64_t peak_cached = 0;
+  uint64_t uncompressed_total = 0;
+  int64_t streamed = -1;
+  size_t num_blocks = 0;
+  if (reader != nullptr) {
+    num_blocks = reader->info().blocks.size();
+    for (const workload::TraceBlockInfo& b : reader->info().blocks) {
+      uncompressed_total += b.uncompressed_bytes;
+    }
+    std::vector<int64_t> all(records.size());
+    std::iota(all.begin(), all.end(), int64_t{0});
+    workload::StreamingCorpusOptions sc_opts;
+    sc_opts.num_threads = 4;
+    workload::StreamingCorpus corpus(reader.get(), all, metric, sc_opts);
+    streamed = corpus.size();
+    constexpr int kBatch = 64;
+    std::vector<int64_t> ids(kBatch);
+    std::vector<const core::TrainSample*> batch(kBatch);
+    streaming_hash = 0;
+    for (int64_t start = 0; start < corpus.size(); start += kBatch) {
+      const int len =
+          static_cast<int>(std::min<int64_t>(kBatch, corpus.size() - start));
+      std::iota(ids.begin(), ids.begin() + len, start);
+      corpus.Fetch(ids.data(), len, batch.data());
+      for (int i = 0; i < len; ++i) {
+        streaming_hash = HashSample(streaming_hash, *batch[i]);
+      }
+    }
+    // Shuffled epochs — the training access pattern, cache-hostile.
+    std::vector<int64_t> order(static_cast<size_t>(corpus.size()));
+    std::iota(order.begin(), order.end(), int64_t{0});
+    nn::Rng rng(99);
+    epoch_s = BestSeconds(kReps, [&] {
+      rng.Shuffle(order);
+      for (int64_t start = 0; start < corpus.size(); start += kBatch) {
+        const int len = static_cast<int>(
+            std::min<int64_t>(kBatch, corpus.size() - start));
+        corpus.Fetch(order.data() + start, len, batch.data());
+        benchmark::DoNotOptimize(batch.data());
+      }
+    });
+    peak_cached = reader->peak_cached_bytes();
+  }
+  std::remove(tmp.c_str());
+
+  const bool bitwise_equal =
+      streamed == static_cast<int64_t>(reference.size()) &&
+      streaming_hash == inmemory_hash;
+  const double n = static_cast<double>(records.size());
+  const auto rate = [n](double secs) { return secs > 0.0 ? n / secs : 0.0; };
+  const double epoch_rate =
+      epoch_s > 0.0 ? static_cast<double>(streamed) / epoch_s : 0.0;
+  std::ostringstream section;
+  section.precision(17);
+  section << std::boolalpha << ",\n  \"corpus_outofcore\": {\n"
+          << bench::KernelContextJson("    ") << ",\n"
+          << "    \"records\": " << records.size() << ",\n"
+          << "    \"block_bytes\": " << kBlockBytes << ",\n"
+          << "    \"num_blocks\": " << num_blocks << ",\n"
+          << "    \"v1_bytes\": " << v1_image.size() << ",\n"
+          << "    \"v2_bytes\": " << v2_image.size() << ",\n"
+          << "    \"v2c_bytes\": " << v2c_image.size() << ",\n"
+          << "    \"size_ratio_v2c_over_v2\": "
+          << (v2_image.empty()
+                  ? 0.0
+                  : static_cast<double>(v2c_image.size()) /
+                        static_cast<double>(v2_image.size()))
+          << ",\n"
+          << "    \"load_records_per_s_v1\": " << rate(v1_load_s) << ",\n"
+          << "    \"load_records_per_s_v2\": " << rate(v2_load_s) << ",\n"
+          << "    \"load_records_per_s_v2c\": " << rate(v2c_load_s) << ",\n"
+          << "    \"v2c_vs_v1_load_speedup\": "
+          << (v2c_load_s > 0.0 ? v1_load_s / v2c_load_s : 0.0) << ",\n"
+          << "    \"load_ok\": " << load_ok << ",\n"
+          << "    \"streaming_epoch_samples_per_s\": " << epoch_rate << ",\n"
+          << "    \"streamed_samples\": " << streamed << ",\n"
+          << "    \"inmemory_samples\": " << reference.size() << ",\n"
+          << "    \"sample_hash_inmemory\": \"" << std::hex << inmemory_hash
+          << "\",\n"
+          << "    \"sample_hash_streaming\": \"" << streaming_hash << "\",\n"
+          << std::dec << "    \"streaming_bitwise_equal\": " << bitwise_equal
+          << ",\n"
+          << "    \"peak_cached_bytes\": " << peak_cached << ",\n"
+          << "    \"uncompressed_payload_bytes\": " << uncompressed_total
+          << ",\n"
+          << "    \"peak_cached_fraction\": "
+          << (uncompressed_total > 0
+                  ? static_cast<double>(peak_cached) /
+                        static_cast<double>(uncompressed_total)
+                  : 1.0)
+          << "\n  }\n";
+  SpliceJsonSection(path, section.str());
+}
+
 // --- Scoring fast-path section ----------------------------------------------
 //
 // The cross-request scoring fast path (pooled workspaces + candidate cache +
@@ -1081,6 +1255,7 @@ int main(int argc, char** argv) {
   costream::AppendMetricsSection(out_path);
   costream::AppendVerifySection(out_path);
   costream::AppendCorpusPipelineSection(out_path);
+  costream::AppendCorpusOutOfCoreSection(out_path);
   costream::AppendScoringFastpathSection(out_path);
   costream::AppendGeoSection(out_path);
   const std::string history = costream::bench::SaveMetricsHistory(out_path);

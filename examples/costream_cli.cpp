@@ -60,7 +60,8 @@ int Usage() {
       stderr,
       "usage:\n"
       "  costream_cli generate --n <queries> [--seed S] [--threads T]\n"
-      "                        [--format v1|v2] --out <traces>\n"
+      "                        [--format v1|v2|v2c] [--compress 1]\n"
+      "                        [--block-bytes N] --out <traces>\n"
       "  costream_cli train    --traces <file> --metric <m> [--epochs E]\n"
       "                        --out <model>\n"
       "  costream_cli evaluate --traces <file> --metric <m> --model <file>\n"
@@ -68,8 +69,10 @@ int Usage() {
       "metrics: throughput | e2e-latency | processing-latency |\n"
       "         backpressure | query-success\n"
       "--threads 0 uses every hardware thread (output is identical for any\n"
-      "thread count); --format defaults to the v2 binary trace format,\n"
-      "readers auto-detect v1/v2\n");
+      "thread count); --format defaults to the v2 binary trace format\n"
+      "(v2c or --compress 1 writes block-compressed v2 with a trailing\n"
+      "index, --block-bytes sets the uncompressed block size), readers\n"
+      "auto-detect every format\n");
   return 1;
 }
 
@@ -78,18 +81,40 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
   config.num_queries = std::atoi(FlagOr(flags, "n", "1000").c_str());
   config.seed = std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
   config.num_threads = std::atoi(FlagOr(flags, "threads", "0").c_str());
-  const std::string format_name = FlagOr(flags, "format", "v2");
-  if (format_name != "v1" && format_name != "v2") return Usage();
-  const workload::TraceFormat format = format_name == "v1"
-                                           ? workload::TraceFormat::kTextV1
-                                           : workload::TraceFormat::kBinaryV2;
+  std::string format_name = FlagOr(flags, "format", "v2");
+  if (FlagOr(flags, "compress", "0") == "1") format_name = "v2c";
+  if (format_name != "v1" && format_name != "v2" && format_name != "v2c")
+    return Usage();
+  workload::TraceWriter::Options writer_options;
+  writer_options.format = format_name == "v1"
+                              ? workload::TraceFormat::kTextV1
+                          : format_name == "v2"
+                              ? workload::TraceFormat::kBinaryV2
+                              : workload::TraceFormat::kBinaryV2Compressed;
+  const long long block_bytes =
+      std::atoll(FlagOr(flags, "block-bytes", "0").c_str());
+  if (block_bytes > 0) {
+    writer_options.block_bytes = static_cast<size_t>(block_bytes);
+  }
   const std::string out = FlagOr(flags, "out", "");
   if (out.empty() || config.num_queries <= 0) return Usage();
   std::printf("generating %d traces (seed %llu, %s)...\n", config.num_queries,
               static_cast<unsigned long long>(config.seed),
               format_name.c_str());
   const auto records = workload::BuildCorpus(config);
-  if (!workload::SaveTracesToFile(out, records, format)) {
+  for (const auto& r : records) {
+    if (r.cluster.has_link_matrix()) {
+      writer_options.link_sections = true;
+      break;
+    }
+  }
+  workload::TraceWriter writer;
+  bool ok = writer.Open(out, writer_options);
+  for (size_t i = 0; ok && i < records.size(); ++i) {
+    ok = writer.Append(records[i]);
+  }
+  ok = ok && writer.Finish();
+  if (!ok) {
     std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
     return 1;
   }
@@ -124,7 +149,7 @@ int CmdTrain(const std::map<std::string, std::string>& flags) {
   const int epochs = std::atoi(FlagOr(flags, "epochs", "24").c_str());
 
   const auto split = workload::SplitCorpus(
-      static_cast<int>(records.size()), 0.9, 0.1, 17);
+      static_cast<int64_t>(records.size()), 0.9, 0.1, 17);
   const auto train = workload::ToTrainSamples(
       workload::Gather(records, split.train), metric);
   const auto val =

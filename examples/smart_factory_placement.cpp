@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
   config.num_queries = corpus_size;
   const auto records = workload::BuildCorpus(config);
   const auto split =
-      workload::SplitCorpus(static_cast<int>(records.size()), 0.9, 0.1, 3);
+      workload::SplitCorpus(static_cast<int64_t>(records.size()), 0.9, 0.1, 3);
   const auto train_recs = workload::Gather(records, split.train);
   const auto val_recs = workload::Gather(records, split.val);
 

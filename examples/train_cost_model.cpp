@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   config.num_queries = num_queries;
   const auto records = workload::BuildCorpus(config);
   const auto split = workload::SplitCorpus(
-      static_cast<int>(records.size()), 0.8, 0.1, 9);
+      static_cast<int64_t>(records.size()), 0.8, 0.1, 9);
   const auto train_recs = workload::Gather(records, split.train);
   const auto val_recs = workload::Gather(records, split.val);
   const auto test_recs = workload::Gather(records, split.test);

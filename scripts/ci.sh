@@ -321,6 +321,83 @@ elif cp["build_speedup_4t"] <= 2.0:
              "at 4 threads below the 2x gate")
 EOF
 
+echo "=== Corpus out-of-core gate ==="
+# bench_micro splices a "corpus_outofcore" section: the block-compressed v2c
+# format and the streaming training pipeline on a smoke corpus. Hard gates:
+# the FNV-1a sample hash of the samples streamed through the bounded-cache
+# TraceReader must equal the in-memory ToTrainSamples hash (bitwise
+# correctness, not speed), the compressed loader must be >= 3x faster than
+# the v1 text parser, the compressed image must be <= 0.8x the plain-v2
+# size, and the reader's peak cached bytes must stay under 0.75x of the
+# uncompressed payload (proving the corpus never sat in memory whole). The
+# streaming-epoch throughput is additionally compared against the newest
+# qualifying history snapshot; with no prior snapshot the regression leg is
+# reported as skipped.
+python3 - <<'EOF'
+import json, os, sys
+
+with open("BENCH_micro.json") as f:
+    ooc = json.load(f).get("corpus_outofcore")
+if ooc is None:
+    sys.exit("BENCH_micro.json is missing the spliced 'corpus_outofcore' "
+             "section")
+print(f"corpus: {ooc['records']} records in {ooc['num_blocks']} blocks of "
+      f"{ooc['block_bytes']} bytes")
+print(f"load: v1 {ooc['load_records_per_s_v1']:.0f} rec/s, "
+      f"v2 {ooc['load_records_per_s_v2']:.0f} rec/s, "
+      f"v2c {ooc['load_records_per_s_v2c']:.0f} rec/s "
+      f"(v2c vs v1 {ooc['v2c_vs_v1_load_speedup']:.2f}x)")
+print(f"size: v2 {ooc['v2_bytes']} -> v2c {ooc['v2c_bytes']} bytes "
+      f"(ratio {ooc['size_ratio_v2c_over_v2']:.3f})")
+print(f"streaming: {ooc['streamed_samples']} samples at "
+      f"{ooc['streaming_epoch_samples_per_s']:.0f} samples/s; "
+      f"peak cache {ooc['peak_cached_bytes']} / "
+      f"{ooc['uncompressed_payload_bytes']} bytes "
+      f"({ooc['peak_cached_fraction']:.3f})")
+if not ooc["load_ok"]:
+    sys.exit("compressed-trace load smoke failed (wrong record count)")
+if not ooc["streaming_bitwise_equal"]:
+    sys.exit("streamed samples are not bitwise-identical to the in-memory "
+             f"path (hash {ooc['sample_hash_streaming']} vs "
+             f"{ooc['sample_hash_inmemory']}, "
+             f"{ooc['streamed_samples']} vs {ooc['inmemory_samples']} "
+             "samples)")
+if ooc["v2c_vs_v1_load_speedup"] < 3.0:
+    sys.exit(f"compressed load speedup {ooc['v2c_vs_v1_load_speedup']:.2f}x "
+             "over v1 text below the 3x gate")
+if ooc["size_ratio_v2c_over_v2"] > 0.8:
+    sys.exit(f"compressed size ratio {ooc['size_ratio_v2c_over_v2']:.3f} "
+             "above the 0.8x gate")
+if ooc["peak_cached_fraction"] > 0.75:
+    sys.exit(f"reader cache peaked at {ooc['peak_cached_fraction']:.3f} of "
+             "the corpus — the bounded cache is not bounding (0.75x gate)")
+candidates = [p for p in os.environ.get("PREEXISTING_HISTORY", "").split(":")
+              if p]
+reference = None
+for path in reversed(candidates):  # newest first (names sort by timestamp)
+    try:
+        with open(path) as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        continue
+    if "corpus_outofcore" in snap:
+        reference = (path, snap["corpus_outofcore"])
+        break
+if reference is None:
+    print("streaming-epoch regression gate: SKIPPED (no prior history "
+          "snapshot with a corpus_outofcore section)")
+    sys.exit(0)
+path, prior = reference
+ratio = (ooc["streaming_epoch_samples_per_s"] /
+         prior["streaming_epoch_samples_per_s"])
+print(f"streaming epoch: {ooc['streaming_epoch_samples_per_s']:.0f} "
+      f"samples/s vs {prior['streaming_epoch_samples_per_s']:.0f} in "
+      f"{os.path.basename(path)} (ratio {ratio:.3f})")
+if ratio < 0.9:
+    sys.exit(f"streaming-epoch throughput regressed to {ratio:.3f}x of the "
+             "recorded rate (floor 0.9x)")
+EOF
+
 echo "=== Placement-service bench + gates ==="
 # bench_service ramps the multi-tenant placement service to 1000 concurrent
 # queries on a 24-node cluster, churns arrivals/departures against the shared

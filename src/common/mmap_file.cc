@@ -1,0 +1,89 @@
+#include "common/mmap_file.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COSTREAM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define COSTREAM_HAVE_MMAP 0
+#endif
+
+#include <fstream>
+#include <iterator>
+
+namespace costream::common {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  open_ = other.open_;
+  size_ = other.size_;
+  map_ = other.map_;
+  fallback_ = std::move(other.fallback_);
+  data_ = map_ != nullptr ? static_cast<const char*>(map_) : fallback_.data();
+  other.open_ = false;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.map_ = nullptr;
+  return *this;
+}
+
+bool MappedFile::Open(const std::string& path) {
+  Close();
+#if COSTREAM_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      size_ = static_cast<size_t>(st.st_size);
+      if (size_ == 0) {
+        ::close(fd);
+        open_ = true;
+        data_ = fallback_.data();
+        return true;
+      }
+      void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        map_ = map;
+        data_ = static_cast<const char*>(map_);
+        open_ = true;
+        return true;
+      }
+      size_ = 0;
+      // fall through to the buffered path
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  std::ifstream is(path, std::ios::in | std::ios::binary);
+  if (!is) return false;
+  fallback_.assign(std::istreambuf_iterator<char>(is),
+                   std::istreambuf_iterator<char>());
+  if (is.bad()) {
+    fallback_.clear();
+    return false;
+  }
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+  open_ = true;
+  return true;
+}
+
+void MappedFile::Close() {
+#if COSTREAM_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+  map_ = nullptr;
+  fallback_.clear();
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+}
+
+}  // namespace costream::common

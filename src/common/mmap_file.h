@@ -1,0 +1,46 @@
+#ifndef COSTREAM_COMMON_MMAP_FILE_H_
+#define COSTREAM_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace costream::common {
+
+// Read-only memory-mapped file. On POSIX hosts the contents are mmap'd
+// (private, read-only) so readers touch only the pages they decode — the
+// out-of-core trace pipeline depends on this staying O(working set), not
+// O(file). Where mmap is unavailable (or fails, e.g. on a pipe) the file is
+// slurped into a heap buffer instead; callers see the same data()/size()
+// either way.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Close(); }
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  // Maps `path`; returns false (and stays closed) when the file cannot be
+  // opened or stat'd. An empty file opens successfully with size() == 0.
+  bool Open(const std::string& path);
+  void Close();
+
+  bool is_open() const { return open_; }
+  // True when the contents are a real mmap rather than a heap fallback.
+  bool is_mapped() const { return map_ != nullptr; }
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  bool open_ = false;
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  void* map_ = nullptr;       // non-null iff mmap'd
+  std::string fallback_;      // heap copy when mmap is unavailable
+};
+
+}  // namespace costream::common
+
+#endif  // COSTREAM_COMMON_MMAP_FILE_H_

@@ -43,6 +43,47 @@ struct TrainResult {
   std::vector<double> val_losses;
 };
 
+// Batched access to training samples, abstracting where they live. The
+// in-memory path wraps a sample vector (VectorSampleSource); the out-of-core
+// path featurizes records on demand from a block-compressed trace file
+// (workload::StreamingCorpus). The epoch driver only ever sees this
+// interface, so both paths train through identical code and produce
+// bitwise-identical weights for identical sample sequences.
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  virtual int64_t size() const = 0;
+
+  // Fills out[i] with a pointer to the sample for ids[i] (each in
+  // [0, size())). Pointers stay valid until the next Fetch on this source
+  // or its destruction; the driver reads them concurrently but never
+  // mutates them. Implementations may fail hard (throw / CHECK) when the
+  // backing storage turns out to be corrupt.
+  virtual void Fetch(const int64_t* ids, int count,
+                     const TrainSample** out) = 0;
+
+  // Number of samples whose classification label is true — exact, used for
+  // class-balancing weights.
+  virtual int64_t CountPositiveLabels() = 0;
+};
+
+// SampleSource over an in-memory vector (borrowed, not copied).
+class VectorSampleSource final : public SampleSource {
+ public:
+  explicit VectorSampleSource(const std::vector<TrainSample>& samples)
+      : samples_(samples) {}
+  int64_t size() const override {
+    return static_cast<int64_t>(samples_.size());
+  }
+  void Fetch(const int64_t* ids, int count,
+             const TrainSample** out) override;
+  int64_t CountPositiveLabels() override;
+
+ private:
+  const std::vector<TrainSample>& samples_;
+};
+
 // Trains `model` on `train`, evaluating on `val` after every epoch and
 // restoring the parameters of the best validation epoch at the end.
 // Regression heads are trained with MSE on log1p targets (the paper's MSLE
@@ -50,6 +91,16 @@ struct TrainResult {
 TrainResult TrainModel(CostModel& model, const std::vector<TrainSample>& train,
                        const std::vector<TrainSample>& val,
                        const TrainConfig& config);
+
+// Same training loop over sample sources: per-epoch deterministic shuffle of
+// [0, train.size()), mini-batches fetched through SampleSource::Fetch, the
+// usual per-index gradient sinks and index-order reduction. With sources
+// that yield the same samples, the trained weights are bitwise-equal to
+// TrainModel at any thread count (TrainModel itself delegates here through
+// VectorSampleSource). Under verification mode fetched batches are verified
+// as they stream, since an out-of-core corpus cannot be checked up front.
+TrainResult TrainModelStreaming(CostModel& model, SampleSource& train,
+                                SampleSource& val, const TrainConfig& config);
 
 // Mean per-sample loss of `model` on `samples` (no gradient updates).
 double EvaluateLoss(const CostModel& model,

@@ -10,6 +10,7 @@
 #include "dsps/query_builder.h"
 #include "verify/placement_rules.h"
 #include "verify/plan_rules.h"
+#include "workload/trace_format.h"
 #include "workload/trace_io.h"
 
 namespace costream::verify {
@@ -39,8 +40,77 @@ ArtifactKind DetectArtifactKind(const std::string& path) {
   return ArtifactKind::kUnknown;
 }
 
+namespace {
+
+// TR002-TR005: structural validation of a block-compressed trace's trailing
+// index, from the raw entries alone — no block is decompressed. A corpus
+// that fails here would be refused by the random-access TraceReader, so the
+// lint names the reason up front.
+void LintTraceBlockIndex(const workload::TraceFileInfo& info,
+                         const std::string& path, VerifyReport* report) {
+  if (!info.index_ok) {
+    report->Add(kRuleTraceIndexUnreadable, Severity::kError, path,
+                "block index is missing, truncated, or fails its checksum",
+                "rewrite the corpus with SaveTracesV2Compressed or the "
+                "costream_trace tool");
+    return;
+  }
+  uint64_t expected_offset = info.header_bytes;
+  uint64_t expected_record = 0;
+  for (size_t b = 0; b < info.blocks.size(); ++b) {
+    const workload::TraceBlockInfo& block = info.blocks[b];
+    const std::string loc = path + ":block[" + std::to_string(b) + "]";
+    if (block.first_record != expected_record || block.record_count == 0) {
+      report->Add(kRuleTraceIndexOrder, Severity::kError, loc,
+                  "record range starts at " +
+                      std::to_string(block.first_record) + " (expected " +
+                      std::to_string(expected_record) + ") spanning " +
+                      std::to_string(block.record_count) + " records",
+                  "ranges must be non-empty, monotone and contiguous from 0");
+      return;  // later ranges are relative to this one; stop at the first lie
+    }
+    const uint64_t end = block.offset +
+                         workload::internal::kBlockFrameBytes +
+                         block.compressed_bytes;
+    if (block.offset != expected_offset || end < block.offset ||
+        end > info.index_offset ||
+        block.uncompressed_bytes >
+            workload::internal::kMaxBlockUncompressedBytes) {
+      report->Add(kRuleTraceIndexBounds, Severity::kError, loc,
+                  "block extent [" + std::to_string(block.offset) + ", " +
+                      std::to_string(end) +
+                      ") falls outside the file's block region or its "
+                      "uncompressed size is absurd",
+                  "blocks must tile [header, index) exactly");
+      return;
+    }
+    expected_offset = end;
+    expected_record += block.record_count;
+  }
+  if (expected_offset != info.index_offset) {
+    report->Add(kRuleTraceIndexBounds, Severity::kError, path,
+                "blocks end at " + std::to_string(expected_offset) +
+                    " but the index starts at " +
+                    std::to_string(info.index_offset),
+                "blocks must tile [header, index) exactly");
+  }
+  if (expected_record != info.record_count) {
+    report->Add(kRuleTraceIndexCount, Severity::kError, path,
+                "index covers " + std::to_string(expected_record) +
+                    " records but the header declares " +
+                    std::to_string(info.record_count),
+                "the file was truncated or the header count was tampered");
+  }
+}
+
+}  // namespace
+
 void LintTraceFile(const std::string& path, VerifyReport* report,
                    int max_records) {
+  workload::TraceFileInfo info;
+  if (workload::InspectTraceFile(path, &info) && info.compressed) {
+    LintTraceBlockIndex(info, path, report);
+  }
   std::vector<workload::TraceRecord> records;
   if (!workload::LoadTracesFromFile(path, &records)) {
     report->Add(kRuleTraceParseFailed, Severity::kError, path,

@@ -70,6 +70,12 @@ inline constexpr std::string_view kRuleTapeBadOperand = "TP008";
 inline constexpr std::string_view kRuleModelLoadFailed = "MF001";
 inline constexpr std::string_view kRuleModelNonFinite = "MF002";
 inline constexpr std::string_view kRuleTraceParseFailed = "TR001";
+// Block-compressed trace images carry a trailing block index; these rules
+// validate it without decompressing anything (see workload::InspectTraceFile).
+inline constexpr std::string_view kRuleTraceIndexOrder = "TR002";
+inline constexpr std::string_view kRuleTraceIndexBounds = "TR003";
+inline constexpr std::string_view kRuleTraceIndexCount = "TR004";
+inline constexpr std::string_view kRuleTraceIndexUnreadable = "TR005";
 
 // One catalog entry, for `costream_lint --rules` and the docs.
 struct RuleInfo {

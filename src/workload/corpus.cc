@@ -78,10 +78,26 @@ std::vector<TraceRecord> BuildCorpus(const CorpusConfig& config) {
   return records;
 }
 
+bool FeaturizeRecord(const TraceRecord& record, sim::Metric metric,
+                     core::FeaturizationMode mode, core::TrainSample* sample) {
+  COSTREAM_CHECK(sample != nullptr);
+  const bool regression = sim::IsRegressionMetric(metric);
+  if (regression && !record.metrics.success) return false;
+  core::TrainSample result;
+  result.graph = core::BuildJointGraph(record.query, record.cluster,
+                                       record.placement, mode);
+  if (regression) {
+    result.regression_target = sim::RegressionValue(record.metrics, metric);
+  } else {
+    result.label = sim::BinaryLabel(record.metrics, metric);
+  }
+  *sample = std::move(result);
+  return true;
+}
+
 std::vector<core::TrainSample> ToTrainSamples(
     const std::vector<TraceRecord>& records, sim::Metric metric,
     core::FeaturizationMode mode, int num_threads) {
-  const bool regression = sim::IsRegressionMetric(metric);
   const int n = static_cast<int>(records.size());
   // Featurize into per-index slots, then compact in index order: the output
   // (including the dropped-failure filter for regression metrics) matches
@@ -89,19 +105,7 @@ std::vector<core::TrainSample> ToTrainSamples(
   std::vector<core::TrainSample> slots(n);
   std::vector<char> keep(n, 0);
   common::ParallelFor(num_threads, n, [&](int i) {
-    const TraceRecord& record = records[i];
-    if (regression && !record.metrics.success) return;
-    core::TrainSample sample;
-    sample.graph =
-        core::BuildJointGraph(record.query, record.cluster, record.placement,
-                              mode);
-    if (regression) {
-      sample.regression_target = sim::RegressionValue(record.metrics, metric);
-    } else {
-      sample.label = sim::BinaryLabel(record.metrics, metric);
-    }
-    slots[i] = std::move(sample);
-    keep[i] = 1;
+    keep[i] = FeaturizeRecord(records[i], metric, mode, &slots[i]) ? 1 : 0;
   });
   std::vector<core::TrainSample> samples;
   samples.reserve(n);
@@ -143,22 +147,32 @@ void ToFlatDataset(const std::vector<TraceRecord>& records, sim::Metric metric,
   }
 }
 
-SplitIndices SplitCorpus(int num_records, double train_fraction,
-                         double val_fraction, uint64_t seed) {
+SplitBounds SplitBoundaries(int64_t num_records, double train_fraction,
+                            double val_fraction) {
   COSTREAM_CHECK(num_records > 0);
   COSTREAM_CHECK(train_fraction + val_fraction <= 1.0);
-  std::vector<int> order(num_records);
-  std::iota(order.begin(), order.end(), 0);
+  SplitBounds bounds;
+  bounds.train_end = static_cast<int64_t>(
+      static_cast<double>(num_records) * train_fraction);
+  bounds.val_end =
+      bounds.train_end +
+      static_cast<int64_t>(static_cast<double>(num_records) * val_fraction);
+  return bounds;
+}
+
+SplitIndices SplitCorpus(int64_t num_records, double train_fraction,
+                         double val_fraction, uint64_t seed) {
+  const SplitBounds bounds =
+      SplitBoundaries(num_records, train_fraction, val_fraction);
+  std::vector<int64_t> order(static_cast<size_t>(num_records));
+  std::iota(order.begin(), order.end(), int64_t{0});
   nn::Rng rng(seed);
   rng.Shuffle(order);
   SplitIndices split;
-  const int train_end = static_cast<int>(num_records * train_fraction);
-  const int val_end =
-      train_end + static_cast<int>(num_records * val_fraction);
-  for (int i = 0; i < num_records; ++i) {
-    if (i < train_end) {
+  for (int64_t i = 0; i < num_records; ++i) {
+    if (i < bounds.train_end) {
       split.train.push_back(order[i]);
-    } else if (i < val_end) {
+    } else if (i < bounds.val_end) {
       split.val.push_back(order[i]);
     } else {
       split.test.push_back(order[i]);
@@ -168,12 +182,12 @@ SplitIndices SplitCorpus(int num_records, double train_fraction,
 }
 
 std::vector<TraceRecord> Gather(const std::vector<TraceRecord>& records,
-                                const std::vector<int>& indices) {
+                                const std::vector<int64_t>& indices) {
   std::vector<TraceRecord> result;
   result.reserve(indices.size());
-  for (int i : indices) {
-    COSTREAM_CHECK(i >= 0 && i < static_cast<int>(records.size()));
-    result.push_back(records[i]);
+  for (int64_t i : indices) {
+    COSTREAM_CHECK(i >= 0 && i < static_cast<int64_t>(records.size()));
+    result.push_back(records[static_cast<size_t>(i)]);
   }
   return result;
 }

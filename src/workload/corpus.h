@@ -1,6 +1,7 @@
 #ifndef COSTREAM_WORKLOAD_CORPUS_H_
 #define COSTREAM_WORKLOAD_CORPUS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/trainer.h"
@@ -60,24 +61,43 @@ std::vector<core::TrainSample> ToTrainSamples(
     core::FeaturizationMode mode = core::FeaturizationMode::kFull,
     int num_threads = 1);
 
+// Featurizes a single record into *sample — the unit of work ToTrainSamples
+// parallelizes, shared with the out-of-core StreamingCorpus so both paths
+// produce bit-identical samples. Returns false (leaving *sample untouched)
+// when the record is dropped: a failed execution under a regression metric.
+bool FeaturizeRecord(const TraceRecord& record, sim::Metric metric,
+                     core::FeaturizationMode mode, core::TrainSample* sample);
+
 // Featurizes records for the flat-vector baseline. Targets follow the same
 // conventions as ToTrainSamples (classification labels are 0/1).
 void ToFlatDataset(const std::vector<TraceRecord>& records, sim::Metric metric,
                    std::vector<std::vector<double>>* features,
                    std::vector<double>* targets, int num_threads = 1);
 
-// Deterministic shuffled index split (train / validation / test).
+// Deterministic shuffled index split (train / validation / test). Indices
+// are 64-bit so splits address out-of-core corpora beyond 2^31 records.
 struct SplitIndices {
-  std::vector<int> train;
-  std::vector<int> val;
-  std::vector<int> test;
+  std::vector<int64_t> train;
+  std::vector<int64_t> val;
+  std::vector<int64_t> test;
 };
-SplitIndices SplitCorpus(int num_records, double train_fraction,
+SplitIndices SplitCorpus(int64_t num_records, double train_fraction,
                          double val_fraction, uint64_t seed);
+
+// The split boundary arithmetic of SplitCorpus, exposed separately so the
+// 64-bit behavior is testable without materializing billions of indices:
+// records [0, train_end) are train, [train_end, val_end) validation, the
+// rest test (positions in the shuffled order, not record ids).
+struct SplitBounds {
+  int64_t train_end = 0;
+  int64_t val_end = 0;
+};
+SplitBounds SplitBoundaries(int64_t num_records, double train_fraction,
+                            double val_fraction);
 
 // Gathers the records at `indices`.
 std::vector<TraceRecord> Gather(const std::vector<TraceRecord>& records,
-                                const std::vector<int>& indices);
+                                const std::vector<int64_t>& indices);
 
 }  // namespace costream::workload
 

@@ -1,0 +1,66 @@
+#ifndef COSTREAM_WORKLOAD_STREAMING_H_
+#define COSTREAM_WORKLOAD_STREAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trainer.h"
+#include "workload/corpus.h"
+#include "workload/trace_reader.h"
+
+namespace costream::workload {
+
+struct StreamingCorpusOptions {
+  core::FeaturizationMode mode = core::FeaturizationMode::kFull;
+  // Workers for batch featurization (<= 0 means all hardware threads).
+  // Samples featurize into per-index slots, so the value never changes what
+  // a Fetch returns.
+  int num_threads = 1;
+};
+
+// core::SampleSource over a trace file: records are read through a
+// TraceReader (bounded block cache, never the whole corpus) and featurized
+// on demand, batch by batch. Given the record indices of a split (in split
+// order), the sample sequence — including the dropped-failure filter for
+// regression metrics — is identical to
+// ToTrainSamples(Gather(records, indices), metric, mode), so training
+// through core::TrainModelStreaming produces bitwise-identical weights to
+// the in-memory path at any thread count and any trace block size.
+//
+// Construction makes one pass over the split's records (in file order, so
+// each compressed block decodes once) to learn which survive featurization
+// and how many carry positive labels. Fetch keeps pointers valid until the
+// next Fetch; a record that fails to decode mid-epoch fails hard.
+class StreamingCorpus final : public core::SampleSource {
+ public:
+  // `reader` is borrowed and must outlive the corpus. `record_indices` are
+  // indices into the trace (e.g. one member of SplitCorpus), in the order
+  // the samples should appear.
+  StreamingCorpus(TraceReader* reader, std::vector<int64_t> record_indices,
+                  sim::Metric metric, const StreamingCorpusOptions& options);
+  StreamingCorpus(TraceReader* reader, std::vector<int64_t> record_indices,
+                  sim::Metric metric);
+
+  int64_t size() const override {
+    return static_cast<int64_t>(sample_to_record_.size());
+  }
+  void Fetch(const int64_t* ids, int count,
+             const core::TrainSample** out) override;
+  int64_t CountPositiveLabels() override { return positives_; }
+
+  // Records dropped by the regression-failure filter during the scan.
+  int64_t dropped_records() const { return dropped_; }
+
+ private:
+  TraceReader* reader_;
+  sim::Metric metric_;
+  StreamingCorpusOptions options_;
+  std::vector<int64_t> sample_to_record_;  // sample id -> trace record id
+  int64_t positives_ = 0;
+  int64_t dropped_ = 0;
+  std::vector<core::TrainSample> buffer_;  // last Fetch's samples
+};
+
+}  // namespace costream::workload
+
+#endif  // COSTREAM_WORKLOAD_STREAMING_H_

@@ -1,6 +1,6 @@
 #include "workload/trace_io.h"
 
-#include <bit>
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cinttypes>
@@ -10,12 +10,16 @@
 #include <fstream>
 #include <istream>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <type_traits>
 
 #include "common/check.h"
+#include "common/codec.h"
+#include "common/mmap_file.h"
 #include "obs/metrics.h"
+#include "workload/trace_format.h"
 
 namespace costream::workload {
 
@@ -34,6 +38,10 @@ obs::Counter& SaveRecordsCounter() {
 }
 obs::Counter& SaveBytesCounter() {
   static obs::Counter& c = obs::GetCounter("workload.trace.bytes_written");
+  return c;
+}
+obs::Counter& SaveBlocksCounter() {
+  static obs::Counter& c = obs::GetCounter("workload.trace.blocks_written");
   return c;
 }
 obs::Counter& LoadRecordsCounter() {
@@ -268,106 +276,103 @@ bool LoadTracesV1(std::istream& is, std::vector<TraceRecord>* records) {
   return true;
 }
 
-// --- v2 binary format --------------------------------------------------------
+}  // namespace
+
+// --- v2 binary format internals ---------------------------------------------
 //
 // Everything is little-endian with explicit byte shifts, so images are
 // portable across hosts regardless of native endianness. Doubles travel as
-// their IEEE-754 bit pattern (exact round-trip by construction).
+// their IEEE-754 bit pattern (exact round-trip by construction). Layout
+// constants and the cursor live in trace_format.h, shared with the mmap
+// reader and the artifact linter.
 
-constexpr char kMagicV2[8] = {'C', 'S', 'T', 'R', 'A', 'C', 'E', '2'};
-constexpr uint32_t kVersionV2 = 2;
-constexpr uint32_t kHeaderBytesV2 = 24;  // magic + version + size + count
-// Extensible-header revision carrying a feature-flag word (+ a reserved
-// word): only written when at least one record needs a flagged feature, so
-// flag-free corpora stay bitwise identical to the original v2 image.
-constexpr uint32_t kHeaderBytesV2Ext = kHeaderBytesV2 + 8;
-// Record bodies carry a per-cluster link-matrix section (u8 presence byte,
-// then 2 * num_nodes^2 doubles) after the hardware-node section.
-constexpr uint32_t kHeaderFlagLinkMatrix = 1u << 0;
-
-void PutU8(std::string* out, uint8_t v) {
-  out->push_back(static_cast<char>(v));
-}
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    out->push_back(static_cast<char>((v >> shift) & 0xff));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    out->push_back(static_cast<char>((v >> shift) & 0xff));
-  }
-}
-
-void PutI32(std::string* out, int32_t v) {
-  PutU32(out, static_cast<uint32_t>(v));
-}
-
-void PutF64(std::string* out, double v) {
-  PutU64(out, std::bit_cast<uint64_t>(v));
-}
-
-// Bounds-checked read cursor over an in-memory image. Every accessor fails
-// (and stays failed) instead of reading past `end`, so a lying length prefix
-// or a truncated file degrades into a clean `false` from the loader.
-struct Cursor {
-  const unsigned char* p;
-  const unsigned char* end;
-
-  size_t remaining() const { return static_cast<size_t>(end - p); }
-
-  bool Skip(size_t n) {
-    if (remaining() < n) return false;
-    p += n;
-    return true;
-  }
-  bool GetU8(uint8_t* v) {
-    if (remaining() < 1) return false;
-    *v = *p++;
-    return true;
-  }
-  bool GetU32(uint32_t* v) {
-    if (remaining() < 4) return false;
-    uint32_t r = 0;
-    for (int i = 0; i < 4; ++i) r |= static_cast<uint32_t>(p[i]) << (8 * i);
-    p += 4;
-    *v = r;
-    return true;
-  }
-  bool GetU64(uint64_t* v) {
-    if (remaining() < 8) return false;
-    uint64_t r = 0;
-    for (int i = 0; i < 8; ++i) r |= static_cast<uint64_t>(p[i]) << (8 * i);
-    p += 8;
-    *v = r;
-    return true;
-  }
-  bool GetI32(int32_t* v) {
-    uint32_t u = 0;
-    if (!GetU32(&u)) return false;
-    *v = static_cast<int32_t>(u);
-    return true;
-  }
-  bool GetF64(double* v) {
-    uint64_t u = 0;
-    if (!GetU64(&u)) return false;
-    *v = std::bit_cast<double>(u);
-    return true;
-  }
-  // Validates a section's element count against the bytes that are actually
-  // left, so corrupted counts cannot trigger multi-gigabyte reserves.
-  bool CountFits(uint32_t count, size_t min_elem_bytes) const {
-    return min_elem_bytes == 0 || count <= remaining() / min_elem_bytes;
-  }
-};
+namespace internal {
 
 // Serialized sizes used for count sanity checks.
 constexpr size_t kMinOpBytes = 9 + 4 + 9 * 8 + 4;  // enums+par+doubles+types len
 constexpr size_t kEdgeBytes = 8;
 constexpr size_t kNodeBytes = 32;
 constexpr size_t kPlacementEntryBytes = 4;
+
+bool ParseV2Header(Cursor* cur, HeaderInfo* info) {
+  *info = HeaderInfo{};
+  if (cur->remaining() < sizeof(kMagicV2) ||
+      std::memcmp(cur->p, kMagicV2, sizeof(kMagicV2)) != 0) {
+    return false;
+  }
+  cur->Skip(sizeof(kMagicV2));
+  uint32_t version = 0;
+  if (!cur->GetU32(&version) || version != kVersionV2) return false;
+  if (!cur->GetU32(&info->header_bytes) ||
+      info->header_bytes < kHeaderBytesV2) {
+    return false;
+  }
+  if (!cur->GetU64(&info->record_count)) return false;
+  // Extended headers lead with a feature-flag word describing extra record
+  // sections. Unknown flags change the body layout in ways this reader
+  // cannot parse, so they fail closed; unknown header *tail* bytes beyond
+  // the words we understand are skippable padding.
+  uint32_t ext_consumed = 0;
+  if (info->header_bytes >= kHeaderBytesV2Ext) {
+    uint32_t reserved = 0;
+    if (!cur->GetU32(&info->flags) || !cur->GetU32(&reserved)) return false;
+    if ((info->flags & ~kKnownHeaderFlags) != 0) return false;
+    ext_consumed = kHeaderBytesV2Ext - kHeaderBytesV2;
+  }
+  return cur->Skip(info->header_bytes - kHeaderBytesV2 - ext_consumed);
+}
+
+uint64_t FrameSeed(const BlockFrame& frame) {
+  std::string head;
+  head.reserve(16);
+  PutU32(&head, frame.compressed_bytes);
+  PutU32(&head, frame.uncompressed_bytes);
+  PutU32(&head, frame.record_count);
+  PutU32(&head, frame.flags);
+  return common::Fnv1a64(head.data(), head.size());
+}
+
+void PutBlockFrame(std::string* out, const BlockFrame& frame) {
+  PutU32(out, frame.compressed_bytes);
+  PutU32(out, frame.uncompressed_bytes);
+  PutU32(out, frame.record_count);
+  PutU32(out, frame.flags);
+  PutU64(out, frame.checksum);
+}
+
+bool GetBlockFrame(Cursor* cur, BlockFrame* frame) {
+  return cur->GetU32(&frame->compressed_bytes) &&
+         cur->GetU32(&frame->uncompressed_bytes) &&
+         cur->GetU32(&frame->record_count) && cur->GetU32(&frame->flags) &&
+         cur->GetU64(&frame->checksum);
+}
+
+void PutIndexEntry(std::string* out, const IndexEntry& entry) {
+  PutU64(out, entry.offset);
+  PutU64(out, entry.compressed_bytes);
+  PutU64(out, entry.uncompressed_bytes);
+  PutU64(out, entry.first_record);
+  PutU64(out, entry.record_count);
+  PutU64(out, entry.checksum);
+}
+
+bool GetIndexEntry(Cursor* cur, IndexEntry* entry) {
+  return cur->GetU64(&entry->offset) && cur->GetU64(&entry->compressed_bytes) &&
+         cur->GetU64(&entry->uncompressed_bytes) &&
+         cur->GetU64(&entry->first_record) &&
+         cur->GetU64(&entry->record_count) && cur->GetU64(&entry->checksum);
+}
+
+bool ParseTrailer(const char* data, size_t size, Trailer* trailer) {
+  if (size < kTrailerBytes) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data) + size - kTrailerBytes;
+  if (std::memcmp(p + 24, kIndexMagic, sizeof(kIndexMagic)) != 0) return false;
+  Cursor cur{p, p + kTrailerBytes};
+  return cur.GetU64(&trailer->index_offset) &&
+         cur.GetU64(&trailer->num_blocks) &&
+         cur.GetU64(&trailer->index_checksum);
+}
 
 // `with_links` mirrors the image-level kHeaderFlagLinkMatrix flag: when set,
 // every body carries a link-matrix section (presence byte + matrices) so the
@@ -567,9 +572,323 @@ bool ParseRecordBody(Cursor body, bool link_fields, TraceRecord* record) {
   return FinalizeRecord(std::move(ops), edges, record);
 }
 
-bool IsV2Image(const char* data, size_t size) {
-  return size >= sizeof(kMagicV2) &&
-         std::memcmp(data, kMagicV2, sizeof(kMagicV2)) == 0;
+bool ParseRecordFrames(Cursor* cur, uint64_t count, bool link_fields,
+                       std::vector<TraceRecord>* records) {
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t payload = 0;
+    if (!cur->GetU32(&payload) || cur->remaining() < payload) return false;
+    Cursor body{cur->p, cur->p + payload};
+    TraceRecord record;
+    if (!ParseRecordBody(body, link_fields, &record)) return false;
+    cur->p += payload;
+    records->push_back(std::move(record));
+  }
+  return true;
+}
+
+bool DecodeBlockPayload(const unsigned char* payload, const BlockFrame& frame,
+                        std::string* out) {
+  if ((frame.flags & ~kKnownBlockFlags) != 0) return false;
+  if (frame.uncompressed_bytes > kMaxBlockUncompressedBytes) return false;
+  // The checksum is seeded with the other frame fields, so a lying size or
+  // count fails here — before the uncompressed allocation below.
+  if (common::Fnv1a64(payload, frame.compressed_bytes, FrameSeed(frame)) !=
+      frame.checksum) {
+    return false;
+  }
+  if ((frame.flags & kBlockFlagCodec) != 0) {
+    out->resize(frame.uncompressed_bytes);
+    return common::DecompressBlock(reinterpret_cast<const char*>(payload),
+                                   frame.compressed_bytes, out->data(),
+                                   out->size());
+  }
+  if (frame.compressed_bytes != frame.uncompressed_bytes) return false;
+  out->assign(reinterpret_cast<const char*>(payload), frame.compressed_bytes);
+  return true;
+}
+
+void AppendRecordTextV1(std::ostream& os, const TraceRecord& record) {
+  os << "record\n";
+  os << "template " << static_cast<int>(record.template_kind) << " filters "
+     << record.num_filters << '\n';
+  for (int i = 0; i < record.query.num_operators(); ++i) {
+    WriteOperator(os, i, record.query.op(i));
+  }
+  for (const auto& [from, to] : record.query.edges()) {
+    os << "edge " << from << ' ' << to << '\n';
+  }
+  for (const sim::HardwareNode& node : record.cluster.nodes) {
+    os << "node " << node.cpu_pct << ' ' << node.ram_mb << ' '
+       << node.bandwidth_mbits << ' ' << node.latency_ms << '\n';
+  }
+  // Per-link matrices are written one row per line and only when present,
+  // so link-free corpora remain readable by pre-extension parsers (which
+  // reject unknown tags).
+  if (record.cluster.has_link_matrix()) {
+    const int n = record.cluster.num_nodes();
+    for (int row = 0; row < n; ++row) {
+      os << "linkbw";
+      for (int to = 0; to < n; ++to) {
+        os << ' ' << record.cluster.link_bandwidth_mbits[row * n + to];
+      }
+      os << '\n';
+    }
+    for (int row = 0; row < n; ++row) {
+      os << "linklat";
+      for (int to = 0; to < n; ++to) {
+        os << ' ' << record.cluster.link_latency_ms[row * n + to];
+      }
+      os << '\n';
+    }
+  }
+  os << "placement";
+  for (int n : record.placement) os << ' ' << n;
+  os << '\n';
+  os << "metrics T " << record.metrics.throughput << " Lp "
+     << record.metrics.processing_latency_ms << " Le "
+     << record.metrics.e2e_latency_ms << " bp "
+     << (record.metrics.backpressure ? 1 : 0) << " success "
+     << (record.metrics.success ? 1 : 0) << '\n';
+  os << "end\n";
+}
+
+}  // namespace internal
+
+namespace {
+
+// Incremental v2 image writer shared by the bulk Save* entry points and the
+// TraceWriter streaming API. Plain images buffer record frames and flush in
+// fixed-size chunks; compressed images buffer one block's uncompressed
+// payload, flush it as a checksummed frame and collect the index entry.
+// Either way peak memory is O(chunk/block), not O(corpus), and the emitted
+// bytes are identical to what the former whole-image writer produced.
+class V2ImageWriter {
+ public:
+  V2ImageWriter(std::ostream& os, bool with_links, bool compress,
+                size_t block_bytes)
+      : os_(os),
+        with_links_(with_links),
+        compress_(compress),
+        block_bytes_(std::max<size_t>(block_bytes, 1)) {}
+
+  void WriteHeader(uint64_t record_count) {
+    std::string header;
+    header.append(internal::kMagicV2, sizeof(internal::kMagicV2));
+    internal::PutU32(&header, internal::kVersionV2);
+    const bool ext = with_links_ || compress_;
+    internal::PutU32(&header, ext ? internal::kHeaderBytesV2Ext
+                                  : internal::kHeaderBytesV2);
+    internal::PutU64(&header, record_count);
+    if (ext) {
+      uint32_t flags = 0;
+      if (with_links_) flags |= internal::kHeaderFlagLinkMatrix;
+      if (compress_) flags |= internal::kHeaderFlagCompressedBlocks;
+      internal::PutU32(&header, flags);
+      internal::PutU32(&header, 0);  // reserved
+    }
+    WriteBytes(header);
+  }
+
+  void Append(const TraceRecord& record) {
+    COSTREAM_CHECK_MSG(sim::ValidateLinkMatrix(record.cluster).empty(),
+                       "trace writer: invalid cluster link matrix");
+    body_.clear();
+    internal::AppendRecordBody(record, with_links_, &body_);
+    internal::PutU32(&buffer_, static_cast<uint32_t>(body_.size()));
+    buffer_.append(body_);
+    ++records_total_;
+    if (compress_) {
+      ++records_in_block_;
+      if (buffer_.size() >= block_bytes_) FlushBlock();
+    } else if (buffer_.size() >= kFlushChunkBytes) {
+      WriteBytes(buffer_);
+      buffer_.clear();
+    }
+  }
+
+  // Flushes everything pending (final partial block plus index and trailer
+  // for compressed images). Returns total bytes written.
+  uint64_t Finish() {
+    if (compress_) {
+      FlushBlock();
+      std::string tail;
+      const uint64_t index_offset = offset_;
+      for (const internal::IndexEntry& entry : index_) {
+        internal::PutIndexEntry(&tail, entry);
+      }
+      const uint64_t index_checksum =
+          common::Fnv1a64(tail.data(), tail.size());
+      internal::PutU64(&tail, index_offset);
+      internal::PutU64(&tail, static_cast<uint64_t>(index_.size()));
+      internal::PutU64(&tail, index_checksum);
+      tail.append(internal::kIndexMagic, sizeof(internal::kIndexMagic));
+      WriteBytes(tail);
+    } else if (!buffer_.empty()) {
+      WriteBytes(buffer_);
+      buffer_.clear();
+    }
+    return offset_;
+  }
+
+  uint64_t records_written() const { return records_total_; }
+
+ private:
+  static constexpr size_t kFlushChunkBytes = size_t{256} << 10;
+
+  void WriteBytes(const std::string& bytes) {
+    os_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    offset_ += bytes.size();
+  }
+
+  void FlushBlock() {
+    if (records_in_block_ == 0) return;
+    COSTREAM_CHECK_MSG(
+        buffer_.size() <= internal::kMaxBlockUncompressedBytes,
+        "trace writer: block exceeds the format's uncompressed cap");
+    scratch_.clear();
+    common::CompressBlock(buffer_.data(), buffer_.size(), &scratch_);
+    // Store raw when the codec cannot shrink the payload, so the compressed
+    // format is never larger than necessary per block.
+    const bool codec = scratch_.size() < buffer_.size();
+    const std::string& payload = codec ? scratch_ : buffer_;
+    internal::BlockFrame frame;
+    frame.compressed_bytes = static_cast<uint32_t>(payload.size());
+    frame.uncompressed_bytes = static_cast<uint32_t>(buffer_.size());
+    frame.record_count = static_cast<uint32_t>(records_in_block_);
+    frame.flags = codec ? internal::kBlockFlagCodec : 0;
+    frame.checksum = common::Fnv1a64(payload.data(), payload.size(),
+                                     internal::FrameSeed(frame));
+    internal::IndexEntry entry;
+    entry.offset = offset_;
+    entry.compressed_bytes = frame.compressed_bytes;
+    entry.uncompressed_bytes = frame.uncompressed_bytes;
+    entry.first_record = records_total_ - records_in_block_;
+    entry.record_count = frame.record_count;
+    entry.checksum = frame.checksum;
+    index_.push_back(entry);
+    std::string head;
+    internal::PutBlockFrame(&head, frame);
+    WriteBytes(head);
+    WriteBytes(payload);
+    SaveBlocksCounter().Add(1);
+    buffer_.clear();
+    records_in_block_ = 0;
+  }
+
+  std::ostream& os_;
+  const bool with_links_;
+  const bool compress_;
+  const size_t block_bytes_;
+  std::string body_;     // per-record scratch
+  std::string buffer_;   // pending record frames (one chunk / one block)
+  std::string scratch_;  // compressed payload scratch
+  std::vector<internal::IndexEntry> index_;
+  uint64_t offset_ = 0;
+  uint64_t records_in_block_ = 0;
+  uint64_t records_total_ = 0;
+};
+
+bool AnyLinkMatrices(const std::vector<TraceRecord>& records) {
+  for (const TraceRecord& record : records) {
+    if (record.cluster.has_link_matrix()) return true;
+  }
+  return false;
+}
+
+void SaveV2Common(std::ostream& os, const std::vector<TraceRecord>& records,
+                  bool compress, size_t block_bytes) {
+  obs::ScopedTimer timer(SaveLatency());
+  // The extended (flag-bearing) header is emitted only when a flag is
+  // actually needed, so plain link-free corpora keep producing images
+  // bitwise identical to the original v2 encoding and stay loadable by
+  // pre-extension readers.
+  V2ImageWriter writer(os, AnyLinkMatrices(records), compress, block_bytes);
+  writer.WriteHeader(static_cast<uint64_t>(records.size()));
+  for (const TraceRecord& record : records) writer.Append(record);
+  const uint64_t bytes = writer.Finish();
+  SaveRecordsCounter().Add(records.size());
+  SaveBytesCounter().Add(bytes);
+}
+
+bool LoadPlainRecords(internal::Cursor cur, const internal::HeaderInfo& header,
+                      std::vector<TraceRecord>* records) {
+  if (header.record_count > std::numeric_limits<uint32_t>::max() ||
+      !cur.CountFits(static_cast<uint32_t>(header.record_count), 4)) {
+    return false;
+  }
+  records->reserve(static_cast<size_t>(header.record_count));
+  if (!internal::ParseRecordFrames(&cur, header.record_count,
+                                   header.link_matrices(), records)) {
+    return false;
+  }
+  return cur.remaining() == 0;  // trailing garbage
+}
+
+bool LoadCompressedBlocks(internal::Cursor cur, const char* base, size_t size,
+                          const internal::HeaderInfo& header,
+                          std::vector<TraceRecord>* records) {
+  const bool link_fields = header.link_matrices();
+  const unsigned char* ubase = reinterpret_cast<const unsigned char*>(base);
+  std::vector<internal::IndexEntry> walked;
+  std::string payload;
+  uint64_t decoded = 0;
+  while (decoded < header.record_count) {
+    internal::IndexEntry entry;
+    entry.offset = static_cast<uint64_t>(cur.p - ubase);
+    internal::BlockFrame frame;
+    if (!internal::GetBlockFrame(&cur, &frame)) return false;
+    if (frame.record_count == 0 ||
+        frame.record_count > header.record_count - decoded) {
+      return false;
+    }
+    if (cur.remaining() < frame.compressed_bytes) return false;
+    if (!internal::DecodeBlockPayload(cur.p, frame, &payload)) return false;
+    cur.Skip(frame.compressed_bytes);
+    internal::Cursor body{
+        reinterpret_cast<const unsigned char*>(payload.data()),
+        reinterpret_cast<const unsigned char*>(payload.data()) +
+            payload.size()};
+    if (!internal::ParseRecordFrames(&body, frame.record_count, link_fields,
+                                     records)) {
+      return false;
+    }
+    if (body.remaining() != 0) return false;  // frame's record count lied
+    entry.compressed_bytes = frame.compressed_bytes;
+    entry.uncompressed_bytes = frame.uncompressed_bytes;
+    entry.first_record = decoded;
+    entry.record_count = frame.record_count;
+    entry.checksum = frame.checksum;
+    walked.push_back(entry);
+    decoded += frame.record_count;
+  }
+  // The trailing index must agree exactly with the blocks just walked: a
+  // truncated, tampered or missing index fails the load even though every
+  // record decoded (callers keep what was decoded before the error).
+  internal::Trailer trailer;
+  if (!internal::ParseTrailer(base, size, &trailer)) return false;
+  if (trailer.num_blocks != walked.size()) return false;
+  if (trailer.index_offset != static_cast<uint64_t>(cur.p - ubase)) {
+    return false;
+  }
+  const uint64_t index_bytes =
+      trailer.num_blocks * internal::kIndexEntryBytes;
+  if (cur.remaining() != index_bytes + internal::kTrailerBytes) return false;
+  if (common::Fnv1a64(cur.p, index_bytes) != trailer.index_checksum) {
+    return false;
+  }
+  for (const internal::IndexEntry& expect : walked) {
+    internal::IndexEntry got;
+    if (!internal::GetIndexEntry(&cur, &got)) return false;
+    if (got.offset != expect.offset ||
+        got.compressed_bytes != expect.compressed_bytes ||
+        got.uncompressed_bytes != expect.uncompressed_bytes ||
+        got.first_record != expect.first_record ||
+        got.record_count != expect.record_count ||
+        got.checksum != expect.checksum) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -580,48 +899,7 @@ void SaveTraces(std::ostream& os, const std::vector<TraceRecord>& records) {
   os.precision(17);
   os << kHeader << '\n';
   for (const TraceRecord& record : records) {
-    os << "record\n";
-    os << "template " << static_cast<int>(record.template_kind) << " filters "
-       << record.num_filters << '\n';
-    for (int i = 0; i < record.query.num_operators(); ++i) {
-      WriteOperator(os, i, record.query.op(i));
-    }
-    for (const auto& [from, to] : record.query.edges()) {
-      os << "edge " << from << ' ' << to << '\n';
-    }
-    for (const sim::HardwareNode& node : record.cluster.nodes) {
-      os << "node " << node.cpu_pct << ' ' << node.ram_mb << ' '
-         << node.bandwidth_mbits << ' ' << node.latency_ms << '\n';
-    }
-    // Per-link matrices are written one row per line and only when present,
-    // so link-free corpora remain readable by pre-extension parsers (which
-    // reject unknown tags).
-    if (record.cluster.has_link_matrix()) {
-      const int n = record.cluster.num_nodes();
-      for (int row = 0; row < n; ++row) {
-        os << "linkbw";
-        for (int to = 0; to < n; ++to) {
-          os << ' ' << record.cluster.link_bandwidth_mbits[row * n + to];
-        }
-        os << '\n';
-      }
-      for (int row = 0; row < n; ++row) {
-        os << "linklat";
-        for (int to = 0; to < n; ++to) {
-          os << ' ' << record.cluster.link_latency_ms[row * n + to];
-        }
-        os << '\n';
-      }
-    }
-    os << "placement";
-    for (int n : record.placement) os << ' ' << n;
-    os << '\n';
-    os << "metrics T " << record.metrics.throughput << " Lp "
-       << record.metrics.processing_latency_ms << " Le "
-       << record.metrics.e2e_latency_ms << " bp "
-       << (record.metrics.backpressure ? 1 : 0) << " success "
-       << (record.metrics.success ? 1 : 0) << '\n';
-    os << "end\n";
+    internal::AppendRecordTextV1(os, record);
   }
   SaveRecordsCounter().Add(records.size());
   const auto end = os.tellp();
@@ -631,43 +909,13 @@ void SaveTraces(std::ostream& os, const std::vector<TraceRecord>& records) {
 }
 
 void SaveTracesV2(std::ostream& os, const std::vector<TraceRecord>& records) {
-  obs::ScopedTimer timer(SaveLatency());
-  // The whole image is assembled in memory and written with one call:
-  // length-prefixing each record needs its size before its bytes, and a
-  // single bulk write is considerably faster than streaming thousands of
-  // small field inserts through the ostream locale machinery.
-  // The extended (flag-bearing) header is emitted only when some record
-  // actually carries a link matrix, so link-free corpora keep producing
-  // images bitwise identical to the original v2 encoding and stay loadable
-  // by pre-extension readers.
-  bool any_links = false;
-  for (const TraceRecord& record : records) {
-    COSTREAM_CHECK_MSG(sim::ValidateLinkMatrix(record.cluster).empty(),
-                       "SaveTracesV2: invalid cluster link matrix");
-    any_links = any_links || record.cluster.has_link_matrix();
-  }
+  SaveV2Common(os, records, /*compress=*/false, /*block_bytes=*/0);
+}
 
-  std::string image;
-  image.reserve(1024 * records.size() + kHeaderBytesV2Ext);
-  image.append(kMagicV2, sizeof(kMagicV2));
-  PutU32(&image, kVersionV2);
-  PutU32(&image, any_links ? kHeaderBytesV2Ext : kHeaderBytesV2);
-  PutU64(&image, static_cast<uint64_t>(records.size()));
-  if (any_links) {
-    PutU32(&image, kHeaderFlagLinkMatrix);
-    PutU32(&image, 0);  // reserved
-  }
-
-  std::string body;
-  for (const TraceRecord& record : records) {
-    body.clear();
-    AppendRecordBody(record, any_links, &body);
-    PutU32(&image, static_cast<uint32_t>(body.size()));
-    image.append(body);
-  }
-  os.write(image.data(), static_cast<std::streamsize>(image.size()));
-  SaveRecordsCounter().Add(records.size());
-  SaveBytesCounter().Add(image.size());
+void SaveTracesV2Compressed(std::ostream& os,
+                            const std::vector<TraceRecord>& records,
+                            size_t block_bytes) {
+  SaveV2Common(os, records, /*compress=*/true, block_bytes);
 }
 
 bool LoadTracesV2(const char* data, size_t size,
@@ -675,49 +923,14 @@ bool LoadTracesV2(const char* data, size_t size,
   COSTREAM_CHECK(records != nullptr);
   records->clear();
   obs::ScopedTimer timer(LoadLatency());
-  Cursor cur{reinterpret_cast<const unsigned char*>(data),
-             reinterpret_cast<const unsigned char*>(data) + size};
-  if (!IsV2Image(data, size) || !cur.Skip(sizeof(kMagicV2))) return false;
-  uint32_t version = 0, header_bytes = 0;
-  uint64_t record_count = 0;
-  if (!cur.GetU32(&version) || version != kVersionV2) return false;
-  if (!cur.GetU32(&header_bytes) || header_bytes < kHeaderBytesV2) {
-    return false;
-  }
-  if (!cur.GetU64(&record_count)) return false;
-  // Extended headers lead with a feature-flag word describing extra record
-  // sections. Unknown flags change the body layout in ways this reader
-  // cannot parse, so they fail closed; unknown header *tail* bytes beyond
-  // the words we understand are skippable padding.
-  bool link_fields = false;
-  uint32_t ext_consumed = 0;
-  if (header_bytes >= kHeaderBytesV2Ext) {
-    uint32_t flags = 0, reserved = 0;
-    if (!cur.GetU32(&flags) || !cur.GetU32(&reserved)) return false;
-    if ((flags & ~kHeaderFlagLinkMatrix) != 0) return false;
-    link_fields = (flags & kHeaderFlagLinkMatrix) != 0;
-    ext_consumed = kHeaderBytesV2Ext - kHeaderBytesV2;
-  }
-  if (!cur.Skip(header_bytes - kHeaderBytesV2 - ext_consumed)) return false;
-  if (!cur.CountFits(record_count > std::numeric_limits<uint32_t>::max()
-                         ? std::numeric_limits<uint32_t>::max()
-                         : static_cast<uint32_t>(record_count),
-                     4) ||
-      record_count > std::numeric_limits<uint32_t>::max()) {
-    return false;
-  }
-  records->reserve(static_cast<size_t>(record_count));
-
-  for (uint64_t i = 0; i < record_count; ++i) {
-    uint32_t payload = 0;
-    if (!cur.GetU32(&payload) || cur.remaining() < payload) return false;
-    Cursor body{cur.p, cur.p + payload};
-    TraceRecord record;
-    if (!ParseRecordBody(body, link_fields, &record)) return false;
-    cur.p += payload;
-    records->push_back(std::move(record));
-  }
-  if (cur.remaining() != 0) return false;  // trailing garbage
+  internal::Cursor cur{reinterpret_cast<const unsigned char*>(data),
+                       reinterpret_cast<const unsigned char*>(data) + size};
+  internal::HeaderInfo header;
+  if (!internal::ParseV2Header(&cur, &header)) return false;
+  const bool ok = header.compressed()
+                      ? LoadCompressedBlocks(cur, data, size, header, records)
+                      : LoadPlainRecords(cur, header, records);
+  if (!ok) return false;
   LoadRecordsCounter().Add(records->size());
   LoadBytesCounter().Add(size);
   return true;
@@ -728,11 +941,11 @@ bool LoadTraces(std::istream& is, std::vector<TraceRecord>* records) {
   records->clear();
   // Peek enough bytes to tell the formats apart, then hand the stream (v1)
   // or a fully buffered image (v2) to the right parser.
-  char magic[sizeof(kMagicV2)] = {};
+  char magic[sizeof(internal::kMagicV2)] = {};
   is.read(magic, sizeof(magic));
   const std::streamsize got = is.gcount();
   if (got == static_cast<std::streamsize>(sizeof(magic)) &&
-      IsV2Image(magic, sizeof(magic))) {
+      internal::IsV2Image(magic, sizeof(magic))) {
     std::string image(magic, sizeof(magic));
     std::ostringstream rest;
     rest << is.rdbuf();
@@ -754,14 +967,20 @@ bool LoadTraces(std::istream& is, std::vector<TraceRecord>* records) {
 bool SaveTracesToFile(const std::string& path,
                       const std::vector<TraceRecord>& records,
                       TraceFormat format) {
-  std::ofstream os(path, format == TraceFormat::kBinaryV2
-                             ? std::ios::out | std::ios::binary
-                             : std::ios::out);
+  const bool binary = format != TraceFormat::kTextV1;
+  std::ofstream os(path, binary ? std::ios::out | std::ios::binary
+                                : std::ios::out);
   if (!os) return false;
-  if (format == TraceFormat::kBinaryV2) {
-    SaveTracesV2(os, records);
-  } else {
-    SaveTraces(os, records);
+  switch (format) {
+    case TraceFormat::kTextV1:
+      SaveTraces(os, records);
+      break;
+    case TraceFormat::kBinaryV2:
+      SaveTracesV2(os, records);
+      break;
+    case TraceFormat::kBinaryV2Compressed:
+      SaveTracesV2Compressed(os, records);
+      break;
   }
   return os.good();
 }
@@ -769,18 +988,197 @@ bool SaveTracesToFile(const std::string& path,
 bool LoadTracesFromFile(const std::string& path,
                         std::vector<TraceRecord>* records) {
   COSTREAM_CHECK(records != nullptr);
-  std::ifstream is(path, std::ios::in | std::ios::binary);
-  if (!is) return false;
-  // One buffered slurp: the v2 parser is zero-copy over the image, and even
-  // the v1 text parser is faster over a memory-backed stream than over
-  // line-by-line file reads.
-  std::string image((std::istreambuf_iterator<char>(is)),
-                    std::istreambuf_iterator<char>());
-  if (IsV2Image(image.data(), image.size())) {
-    return LoadTracesV2(image.data(), image.size(), records);
+  // The file is memory-mapped so the v2 parser runs zero-copy over it; the
+  // v1 text parser still needs a stream, which costs one copy.
+  common::MappedFile file;
+  if (!file.Open(path)) return false;
+  if (internal::IsV2Image(file.data(), file.size())) {
+    return LoadTracesV2(file.data(), file.size(), records);
   }
-  std::istringstream text(std::move(image));
+  std::istringstream text(std::string(file.data(), file.size()));
   return LoadTraces(text, records);
+}
+
+// --- TraceWriter -------------------------------------------------------------
+
+struct TraceWriter::Impl {
+  std::ofstream os;
+  Options options;
+  std::unique_ptr<V2ImageWriter> v2;  // null for the v1 text format
+  uint64_t records = 0;
+  bool open = false;
+};
+
+TraceWriter::TraceWriter() = default;
+
+TraceWriter::~TraceWriter() {
+  if (impl_ != nullptr && impl_->open) Finish();
+}
+
+bool TraceWriter::Open(const std::string& path) {
+  return Open(path, Options{});
+}
+
+bool TraceWriter::Open(const std::string& path, const Options& options) {
+  COSTREAM_CHECK_MSG(impl_ == nullptr || !impl_->open,
+                     "TraceWriter::Open: writer already open");
+  impl_ = std::make_unique<Impl>();
+  impl_->options = options;
+  const bool binary = options.format != TraceFormat::kTextV1;
+  impl_->os.open(path, binary ? std::ios::out | std::ios::binary
+                              : std::ios::out);
+  if (!impl_->os) {
+    impl_.reset();
+    return false;
+  }
+  if (binary) {
+    impl_->v2 = std::make_unique<V2ImageWriter>(
+        impl_->os, options.link_sections,
+        options.format == TraceFormat::kBinaryV2Compressed,
+        options.block_bytes);
+    // The true record count is unknown until Finish(), which back-patches
+    // the u64 at byte offset 16.
+    impl_->v2->WriteHeader(0);
+  } else {
+    impl_->os.precision(17);
+    impl_->os << kHeader << '\n';
+  }
+  impl_->open = true;
+  return impl_->os.good();
+}
+
+bool TraceWriter::Append(const TraceRecord& record) {
+  COSTREAM_CHECK_MSG(impl_ != nullptr && impl_->open,
+                     "TraceWriter::Append: writer not open");
+  if (impl_->v2 != nullptr) {
+    // Link matrices change every body's layout, so they must be declared at
+    // Open time; a surprise linked record cannot be encoded mid-stream.
+    if (!impl_->options.link_sections && record.cluster.has_link_matrix()) {
+      return false;
+    }
+    impl_->v2->Append(record);
+  } else {
+    internal::AppendRecordTextV1(impl_->os, record);
+  }
+  ++impl_->records;
+  return impl_->os.good();
+}
+
+bool TraceWriter::Finish() {
+  if (impl_ == nullptr || !impl_->open) return false;
+  impl_->open = false;
+  if (impl_->v2 != nullptr) {
+    const uint64_t bytes = impl_->v2->Finish();
+    std::string count;
+    internal::PutU64(&count, impl_->records);
+    impl_->os.seekp(16);  // header record-count slot
+    impl_->os.write(count.data(),
+                    static_cast<std::streamsize>(count.size()));
+    SaveBytesCounter().Add(bytes);
+  } else {
+    const auto end = impl_->os.tellp();
+    if (end > 0) SaveBytesCounter().Add(static_cast<uint64_t>(end));
+  }
+  SaveRecordsCounter().Add(impl_->records);
+  impl_->os.flush();
+  const bool ok = impl_->os.good();
+  impl_->os.close();
+  return ok;
+}
+
+uint64_t TraceWriter::records_written() const {
+  return impl_ != nullptr ? impl_->records : 0;
+}
+
+// --- InspectTraceFile --------------------------------------------------------
+
+bool InspectTraceFile(const std::string& path, TraceFileInfo* info) {
+  COSTREAM_CHECK(info != nullptr);
+  *info = TraceFileInfo{};
+  common::MappedFile file;
+  if (!file.Open(path)) return false;
+  info->file_bytes = file.size();
+
+  if (internal::IsV2Image(file.data(), file.size())) {
+    internal::Cursor cur{
+        reinterpret_cast<const unsigned char*>(file.data()),
+        reinterpret_cast<const unsigned char*>(file.data()) + file.size()};
+    internal::HeaderInfo header;
+    if (!internal::ParseV2Header(&cur, &header)) return false;
+    info->version = 2;
+    info->header_bytes = header.header_bytes;
+    info->record_count = header.record_count;
+    info->link_matrices = header.link_matrices();
+    info->compressed = header.compressed();
+    if (!header.compressed()) return true;
+
+    // Locate and checksum-verify the trailing block index. Semantic
+    // validation of the entries is deliberately not done here — the lint
+    // rules (TR002+) and the mmap reader make their own judgments from the
+    // raw entries this returns.
+    internal::Trailer trailer;
+    if (!internal::ParseTrailer(file.data(), file.size(), &trailer)) {
+      return true;  // readable file, broken index: index_ok stays false
+    }
+    const uint64_t trailer_offset = file.size() - internal::kTrailerBytes;
+    if (trailer.index_offset < header.header_bytes ||
+        trailer.index_offset > trailer_offset) {
+      return true;
+    }
+    const uint64_t index_bytes = trailer_offset - trailer.index_offset;
+    if (index_bytes % internal::kIndexEntryBytes != 0 ||
+        trailer.num_blocks != index_bytes / internal::kIndexEntryBytes) {
+      return true;
+    }
+    const unsigned char* index_begin =
+        reinterpret_cast<const unsigned char*>(file.data()) +
+        trailer.index_offset;
+    if (common::Fnv1a64(index_begin, index_bytes) != trailer.index_checksum) {
+      return true;
+    }
+    internal::Cursor icur{index_begin, index_begin + index_bytes};
+    info->blocks.reserve(static_cast<size_t>(trailer.num_blocks));
+    for (uint64_t b = 0; b < trailer.num_blocks; ++b) {
+      internal::IndexEntry entry;
+      if (!internal::GetIndexEntry(&icur, &entry)) return true;
+      TraceBlockInfo block;
+      block.offset = entry.offset;
+      block.compressed_bytes = entry.compressed_bytes;
+      block.uncompressed_bytes = entry.uncompressed_bytes;
+      block.first_record = entry.first_record;
+      block.record_count = entry.record_count;
+      block.checksum = entry.checksum;
+      info->blocks.push_back(block);
+    }
+    info->index_offset = trailer.index_offset;
+    info->index_ok = true;
+    return true;
+  }
+
+  // v1 text: match the header line, then count record stanzas.
+  const size_t header_len = sizeof(kHeader) - 1;
+  if (file.size() < header_len ||
+      std::memcmp(file.data(), kHeader, header_len) != 0 ||
+      (file.size() > header_len && file.data()[header_len] != '\n')) {
+    return false;
+  }
+  info->version = 1;
+  info->header_bytes = header_len + 1;
+  const char* data = file.data();
+  const size_t size = file.size();
+  size_t line_start = info->header_bytes;
+  while (line_start < size) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(data + line_start, '\n', size - line_start));
+    const size_t line_len =
+        (nl != nullptr ? static_cast<size_t>(nl - data) : size) - line_start;
+    if (line_len == 6 && std::memcmp(data + line_start, "record", 6) == 0) {
+      ++info->record_count;
+    }
+    if (nl == nullptr) break;
+    line_start = static_cast<size_t>(nl - data) + 1;
+  }
+  return true;
 }
 
 }  // namespace costream::workload

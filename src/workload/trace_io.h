@@ -2,7 +2,9 @@
 #define COSTREAM_WORKLOAD_TRACE_IO_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,52 +37,151 @@ namespace costream::workload {
 // text format is the corpus-load bottleneck at paper scale, ~43k traces):
 //
 //   header   8-byte magic "CSTRACE2", u32 version (=2), u32 header size,
-//            u64 record count. When any record carries a per-link matrix the
-//            header grows by a u32 feature-flag word (bit 0 = link matrices
-//            in bodies) plus a reserved u32; readers skip unknown header
-//            tail bytes but fail closed on unknown feature flags (flags
-//            change the body layout). Link-free corpora keep the original
-//            24-byte header and are bitwise identical to pre-extension
-//            images.
+//            u64 record count. When any record carries a per-link matrix or
+//            the image is block-compressed the header grows by a u32
+//            feature-flag word (bit 0 = link matrices in bodies, bit 1 =
+//            block-compressed record region) plus a reserved u32; readers
+//            skip unknown header tail bytes but fail closed on unknown
+//            feature flags (flags change the body layout). Flag-free
+//            corpora keep the original 24-byte header and are bitwise
+//            identical to pre-extension images.
 //   records  u32 payload size, then the record body (fixed-width fields,
 //            length-prefixed sections) — readers can skip or validate a
 //            record without parsing it. Under the link flag each body gains
 //            a u8 presence byte after the hardware-node section, followed
 //            (when 1) by the row-major n*n bandwidth and latency matrices.
 //
+// Under the compression flag the record frames are grouped into blocks of
+// ~`block_bytes` uncompressed payload, each stored as a checksummed block
+// frame (sizes, record count, flags, FNV-1a checksum, then the payload —
+// LZ-compressed with the in-repo block codec, or raw when compression would
+// grow it). A trailing block index (one 48-byte entry per block) plus a
+// fixed trailer ("CSTRIDX2") makes random access possible without touching
+// the blocks; the sequential loader cross-checks the index against the
+// blocks it walked and fails closed on any disagreement, tampered checksum,
+// or unknown flag bit — keeping the records it decoded before the error.
+//
 // Doubles are stored as raw IEEE-754 bit patterns, so both formats
 // round-trip exactly. Loaders auto-detect the format from the leading magic
 // bytes; v1 stays writable behind `TraceFormat::kTextV1` for human-diffable
-// artifacts. See DESIGN.md, "Trace format v2".
+// artifacts. See DESIGN.md, "Trace format v2" and "Out-of-core corpus
+// pipeline".
 enum class TraceFormat {
   kTextV1,
   kBinaryV2,
+  kBinaryV2Compressed,
 };
+
+// Default uncompressed payload per compressed block. Large enough that the
+// codec sees cross-record redundancy, small enough that decoding one block
+// for a random record stays cheap.
+inline constexpr size_t kDefaultTraceBlockBytes = size_t{1} << 20;
 
 // Writes v1 text.
 void SaveTraces(std::ostream& os, const std::vector<TraceRecord>& records);
-// Writes v2 binary. The stream must be binary-clean (std::ios::binary for
-// files).
+// Writes v2 binary, streaming record-by-record through an O(chunk) buffer.
+// The stream must be binary-clean (std::ios::binary for files).
 void SaveTracesV2(std::ostream& os, const std::vector<TraceRecord>& records);
+// Writes block-compressed v2 binary (header flag bit 1 + trailing index).
+void SaveTracesV2Compressed(std::ostream& os,
+                            const std::vector<TraceRecord>& records,
+                            size_t block_bytes = kDefaultTraceBlockBytes);
 
 // Reads either format (auto-detected from the first bytes). Returns false on
 // parse errors; `records` receives successfully parsed entries up to the
 // first error. Malformed v2 input (bad magic/version, truncated record,
-// lying length prefix) fails closed — no crash, no unbounded allocation.
+// lying length prefix, corrupt block or index) fails closed — no crash, no
+// unbounded allocation.
 bool LoadTraces(std::istream& is, std::vector<TraceRecord>* records);
 
 // Zero-copy v2 parse of an in-memory image (no stream, no intermediate
-// copies beyond the output records themselves).
+// copies beyond the output records themselves — compressed blocks decode
+// through one reusable scratch buffer).
 bool LoadTracesV2(const char* data, size_t size,
                   std::vector<TraceRecord>* records);
 
 bool SaveTracesToFile(const std::string& path,
                       const std::vector<TraceRecord>& records,
                       TraceFormat format = TraceFormat::kBinaryV2);
-// Auto-detects v1 / v2 (v2 is read through a single buffered slurp and the
-// zero-copy parser).
+// Auto-detects v1 / v2 / compressed v2. The file is memory-mapped (heap
+// fallback where mmap is unavailable) and parsed zero-copy.
 bool LoadTracesFromFile(const std::string& path,
                         std::vector<TraceRecord>* records);
+
+// Incremental trace writer for corpora that never fit in memory: open,
+// append one record at a time, finish. Peak memory is O(one block) for the
+// compressed format and O(one flush chunk) otherwise, independent of the
+// corpus size. The record count is back-patched into the header by
+// Finish(), so the total need not be known up front. Produces byte-wise the
+// same images as the Save* bulk writers for the same record sequence.
+class TraceWriter {
+ public:
+  struct Options {
+    TraceFormat format = TraceFormat::kBinaryV2;
+    // Compressed format only: target uncompressed payload per block.
+    size_t block_bytes = kDefaultTraceBlockBytes;
+    // v2 binary only: reserve the link-matrix section in every record body.
+    // Must be declared up front because it changes the body layout; Append
+    // rejects a record carrying a link matrix when this is off.
+    bool link_sections = false;
+  };
+
+  TraceWriter();
+  // Finishes the file (best effort) when the caller forgot to.
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  // Creates/truncates `path`; false when the file cannot be opened.
+  bool Open(const std::string& path, const Options& options);
+  bool Open(const std::string& path);  // default options
+  // Serializes one record. False when the record cannot be represented
+  // under the options (link matrix without link_sections) or the stream
+  // went bad.
+  bool Append(const TraceRecord& record);
+  // Flushes pending blocks, writes the index + trailer (compressed), patches
+  // the header's record count and closes the file. Returns stream health.
+  bool Finish();
+
+  uint64_t records_written() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Structural metadata of a trace file, readable without decoding records.
+// For compressed images the trailing block index is located and
+// checksum-verified; `index_ok` reports whether that succeeded and `blocks`
+// holds the decoded entries (semantic validation — monotone ranges, bounds,
+// count agreement — is the artifact linter's job, see verify/rules.h TR002+).
+struct TraceBlockInfo {
+  uint64_t offset = 0;  // file offset of the block frame
+  uint64_t compressed_bytes = 0;
+  uint64_t uncompressed_bytes = 0;
+  uint64_t first_record = 0;
+  uint64_t record_count = 0;
+  uint64_t checksum = 0;
+};
+
+struct TraceFileInfo {
+  int version = 0;  // 1 or 2
+  bool compressed = false;
+  bool link_matrices = false;
+  uint64_t header_bytes = 0;
+  uint64_t record_count = 0;  // v1: counted by scanning record stanzas
+  uint64_t file_bytes = 0;
+  // Compressed images only.
+  bool index_ok = false;
+  uint64_t index_offset = 0;
+  std::vector<TraceBlockInfo> blocks;
+};
+
+// Reads a trace file's structural metadata. Returns false when the file
+// cannot be opened or is not a recognizable trace (bad magic/version/header
+// or unknown feature flags); a compressed image with a broken index still
+// inspects successfully with index_ok == false.
+bool InspectTraceFile(const std::string& path, TraceFileInfo* info);
 
 }  // namespace costream::workload
 

@@ -21,7 +21,7 @@ class IntegrationTest : public ::testing::Test {
     records_ = new std::vector<workload::TraceRecord>(
         workload::BuildCorpus(config));
     split_ = new workload::SplitIndices(
-        workload::SplitCorpus(static_cast<int>(records_->size()), 0.8, 0.1,
+        workload::SplitCorpus(static_cast<int64_t>(records_->size()), 0.8, 0.1,
                               5));
   }
   static void TearDownTestSuite() {

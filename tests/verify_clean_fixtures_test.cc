@@ -8,10 +8,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/codec.h"
 
 #include "core/model.h"
 #include "nn/random.h"
@@ -90,10 +95,13 @@ TEST(VerifyCleanFixturesTest, SavedTraceCorpusLintsClean) {
   const std::vector<workload::TraceRecord> records =
       workload::BuildCorpus(config);
   for (const workload::TraceFormat format :
-       {workload::TraceFormat::kTextV1, workload::TraceFormat::kBinaryV2}) {
-    const std::string path = TempPath(
-        format == workload::TraceFormat::kTextV1 ? "clean_v1.traces"
-                                                 : "clean_v2.traces");
+       {workload::TraceFormat::kTextV1, workload::TraceFormat::kBinaryV2,
+        workload::TraceFormat::kBinaryV2Compressed}) {
+    const std::string path =
+        TempPath(format == workload::TraceFormat::kTextV1 ? "clean_v1.traces"
+                 : format == workload::TraceFormat::kBinaryV2
+                     ? "clean_v2.traces"
+                     : "clean_v2c.traces");
     ASSERT_TRUE(workload::SaveTracesToFile(path, records, format));
     EXPECT_EQ(DetectArtifactKind(path), ArtifactKind::kTraceCorpus);
     VerifyReport report;
@@ -119,6 +127,91 @@ TEST(VerifyCleanFixturesTest, TruncatedTraceFileIsTR001) {
     saw_tr001 = saw_tr001 || d.rule == kRuleTraceParseFailed;
   }
   EXPECT_TRUE(saw_tr001) << report.DebugString();
+  std::remove(path.c_str());
+}
+
+// ---- TR002-TR005: compressed block-index lint rules ----
+
+std::string CompressedImage(int num_queries, uint64_t seed) {
+  workload::CorpusConfig config;
+  config.num_queries = num_queries;
+  config.seed = seed;
+  config.duration_s = 2.0;
+  std::ostringstream os;
+  workload::SaveTracesV2Compressed(os, workload::BuildCorpus(config), 2048);
+  return std::move(os).str();
+}
+
+uint64_t ReadU64At(const std::string& image, size_t offset) {
+  uint64_t v = 0;
+  std::memcpy(&v, image.data() + offset, sizeof(v));
+  return v;
+}
+
+// Rewrites u64 `field` (0..5: offset, csize, usize, first_record, count,
+// checksum) of index entry `entry`, then re-stamps the trailer's index
+// checksum so only the semantic rules — not TR005 — can object.
+std::string TamperIndexEntry(const std::string& image, size_t entry,
+                             size_t field, uint64_t value) {
+  std::string out = image;
+  const size_t trailer = out.size() - 32;
+  const uint64_t index_offset = ReadU64At(out, trailer);
+  const size_t at = index_offset + entry * 48 + field * 8;
+  std::memcpy(out.data() + at, &value, sizeof(value));
+  const uint64_t checksum = common::Fnv1a64(out.data() + index_offset,
+                                            trailer - index_offset);
+  std::memcpy(out.data() + trailer + 16, &checksum, sizeof(checksum));
+  return out;
+}
+
+bool SawRule(const VerifyReport& report, std::string_view rule) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(VerifyCleanFixturesTest, CompressedTraceIndexRulesFire) {
+  const std::string image = CompressedImage(12, 19);
+  const size_t trailer = image.size() - 32;
+  const uint64_t index_offset = ReadU64At(image, trailer);
+  const size_t num_entries = (trailer - index_offset) / 48;
+  ASSERT_GE(num_entries, 2u) << "corpus too small for a multi-block image";
+  const std::string path = TempPath("tampered_index.traces");
+  const auto lint = [&](const std::string& bytes) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.close();
+    VerifyReport report;
+    LintTraceFile(path, &report);
+    return report;
+  };
+
+  // TR005: trailer cut off.
+  EXPECT_TRUE(SawRule(lint(image.substr(0, image.size() - 8)),
+                      kRuleTraceIndexUnreadable));
+  // TR005: index bytes no longer match the trailer checksum.
+  std::string flipped = image;
+  flipped[index_offset + 3] = static_cast<char>(flipped[index_offset + 3] ^ 1);
+  EXPECT_TRUE(SawRule(lint(flipped), kRuleTraceIndexUnreadable));
+  // TR002: second block's record range no longer starts where the first ends.
+  const uint64_t first1 = ReadU64At(image, index_offset + 48 + 3 * 8);
+  EXPECT_TRUE(SawRule(lint(TamperIndexEntry(image, 1, 3, first1 + 1)),
+                      kRuleTraceIndexOrder));
+  // TR003: second block's offset breaks the contiguous tiling.
+  const uint64_t offset1 = ReadU64At(image, index_offset + 48);
+  EXPECT_TRUE(SawRule(lint(TamperIndexEntry(image, 1, 0, offset1 + 8)),
+                      kRuleTraceIndexBounds));
+  // TR003: absurd uncompressed size.
+  EXPECT_TRUE(SawRule(lint(TamperIndexEntry(image, 0, 2, uint64_t{1} << 31)),
+                      kRuleTraceIndexBounds));
+  // TR004: last block claims extra records beyond the header count.
+  const size_t last = num_entries - 1;
+  const uint64_t count_last = ReadU64At(image, index_offset + last * 48 + 4 * 8);
+  EXPECT_TRUE(SawRule(lint(TamperIndexEntry(image, last, 4, count_last + 3)),
+                      kRuleTraceIndexCount));
+  // And the untampered image is clean.
+  EXPECT_EQ(CountErrors(lint(image)), 0);
   std::remove(path.c_str());
 }
 

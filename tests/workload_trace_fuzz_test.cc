@@ -286,6 +286,157 @@ TEST(TraceFuzzTest, MutatedGeoImagesNeverCrash) {
   }
 }
 
+// ---- Block-compressed v2 images ----
+
+std::string V2CImage(const std::vector<TraceRecord>& records,
+                     size_t block_bytes = 2048) {
+  std::ostringstream os;
+  SaveTracesV2Compressed(os, records, block_bytes);
+  return std::move(os).str();
+}
+
+uint32_t ReadU32At(const std::string& image, size_t offset) {
+  uint32_t v = 0;
+  std::memcpy(&v, image.data() + offset, sizeof(v));
+  return v;
+}
+
+uint64_t ReadU64At(const std::string& image, size_t offset) {
+  uint64_t v = 0;
+  std::memcpy(&v, image.data() + offset, sizeof(v));
+  return v;
+}
+
+// Walks the block frames ([u32 csize][u32 usize][u32 count][u32 flags]
+// [u64 checksum][payload]) and returns each frame's start offset.
+std::vector<size_t> BlockOffsets(const std::string& image) {
+  const uint32_t header_bytes = ReadU32At(image, 12);
+  const uint64_t index_offset = ReadU64At(image, image.size() - 32);
+  std::vector<size_t> offsets;
+  size_t at = header_bytes;
+  while (at < index_offset) {
+    offsets.push_back(at);
+    at += 24 + ReadU32At(image, at);
+  }
+  return offsets;
+}
+
+TEST(TraceFuzzTest, CompressedImagesSurviveGenericMutations) {
+  const std::string image = V2CImage(FuzzCorpus());
+  nn::Rng rng(7);
+  for (size_t cut = 0; cut <= 64 && cut < image.size(); ++cut) {
+    RunV2(image.substr(0, cut));
+  }
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = image;
+    switch (rng.Int(0, 2)) {
+      case 0:
+        mutated = mutated.substr(
+            0, static_cast<size_t>(
+                   rng.Int(0, static_cast<int>(mutated.size()) - 1)));
+        break;
+      case 1: {
+        const int flips = rng.Int(1, 4);
+        for (int f = 0; f < flips; ++f) {
+          const int pos = rng.Int(0, static_cast<int>(mutated.size()) - 1);
+          mutated[pos] = static_cast<char>(rng.Int(0, 255));
+        }
+        break;
+      }
+      default: {
+        const int pos = rng.Int(0, static_cast<int>(mutated.size()));
+        std::string garbage(static_cast<size_t>(rng.Int(1, 32)), '\0');
+        for (char& c : garbage) c = static_cast<char>(rng.Int(0, 255));
+        mutated.insert(static_cast<size_t>(pos), garbage);
+        break;
+      }
+    }
+    RunV2(mutated);
+  }
+}
+
+// Cutting the file inside the trailing block index leaves every block frame
+// intact: the loader decodes all records, then fails the load because the
+// index cannot be validated — fail closed, nothing lost.
+TEST(TraceFuzzTest, TruncatedBlockIndexFailsClosedKeepingAllRecords) {
+  const std::vector<TraceRecord> records = FuzzCorpus();
+  const std::string image = V2CImage(records);
+  const uint64_t index_offset = ReadU64At(image, image.size() - 32);
+  ASSERT_GT(image.size(), index_offset);
+  for (const size_t keep : {size_t{0}, size_t{8}, size_t{47}}) {
+    const std::string cut = image.substr(0, index_offset + keep);
+    std::vector<TraceRecord> loaded;
+    EXPECT_FALSE(LoadTracesV2(cut.data(), cut.size(), &loaded));
+    ASSERT_EQ(loaded.size(), records.size()) << "keep " << keep;
+    ExpectLoadedRecordsValid(loaded);
+  }
+}
+
+// A tampered per-block checksum kills that block and everything after it,
+// but the blocks decoded before the damage survive.
+TEST(TraceFuzzTest, TamperedBlockChecksumFailsClosedKeepingEarlierRecords) {
+  const std::vector<TraceRecord> records = FuzzCorpus();
+  const std::string image = V2CImage(records);
+  const std::vector<size_t> blocks = BlockOffsets(image);
+  ASSERT_GE(blocks.size(), 2u) << "corpus too small for a multi-block image";
+  // Flip one checksum byte of the second block (checksum lives at frame+16).
+  std::string mutated = image;
+  mutated[blocks[1] + 16] = static_cast<char>(mutated[blocks[1] + 16] ^ 0xff);
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(LoadTracesV2(mutated.data(), mutated.size(), &loaded));
+  const uint32_t first_block_records = ReadU32At(image, blocks[0] + 8);
+  ASSERT_EQ(loaded.size(), first_block_records);
+  ExpectLoadedRecordsValid(loaded);
+}
+
+// The frame's sizes and count are hashed into the checksum seed, so lying
+// about them is caught before any decode buffer is sized from them.
+TEST(TraceFuzzTest, LyingBlockSizesFailClosed) {
+  const std::vector<TraceRecord> records = FuzzCorpus();
+  const std::string image = V2CImage(records);
+  const std::vector<size_t> blocks = BlockOffsets(image);
+  ASSERT_GE(blocks.size(), 2u);
+  const struct {
+    size_t field_offset;  // within the frame
+    uint32_t value;
+  } lies[] = {
+      {0, ReadU32At(image, blocks[0]) - 1},     // compressed_bytes shrunk
+      {4, 1u << 29},                            // uncompressed_bytes inflated
+      {4, ReadU32At(image, blocks[0] + 4) / 2}, // uncompressed_bytes shrunk
+      {8, ReadU32At(image, blocks[0] + 8) + 7}, // record_count inflated
+  };
+  for (const auto& lie : lies) {
+    std::string mutated = image;
+    std::memcpy(mutated.data() + blocks[0] + lie.field_offset, &lie.value,
+                sizeof(lie.value));
+    std::vector<TraceRecord> loaded;
+    EXPECT_FALSE(LoadTracesV2(mutated.data(), mutated.size(), &loaded));
+    EXPECT_TRUE(loaded.empty()) << "field +" << lie.field_offset;
+  }
+}
+
+// Unknown flag bits — a per-block codec bit or a header compression bit from
+// some future writer — must fail closed rather than misparse.
+TEST(TraceFuzzTest, UnknownCompressionFlagBitsFailClosed) {
+  const std::vector<TraceRecord> records = FuzzCorpus();
+  const std::string image = V2CImage(records);
+  const std::vector<size_t> blocks = BlockOffsets(image);
+  ASSERT_FALSE(blocks.empty());
+  // Block flags word is at frame+12; set an undefined bit.
+  std::string bad_block = image;
+  bad_block[blocks[0] + 12] =
+      static_cast<char>(bad_block[blocks[0] + 12] | 0x04);
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(LoadTracesV2(bad_block.data(), bad_block.size(), &loaded));
+  EXPECT_TRUE(loaded.empty());
+  // Header flags word is at offset 24 of the extended header.
+  std::string bad_header = image;
+  bad_header[24] = static_cast<char>(bad_header[24] | 0x04);
+  loaded.clear();
+  EXPECT_FALSE(LoadTracesV2(bad_header.data(), bad_header.size(), &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
 // A v1 file whose first bytes happen to be shorter than the v2 magic still
 // takes the text path cleanly.
 TEST(TraceFuzzTest, TinyInputsNeverCrash) {
