@@ -16,10 +16,12 @@
 #include "bench_common.h"
 #include "core/ensemble.h"
 #include "core/trainer.h"
+#include "dsps/query_graph.h"
 #include "obs/metrics.h"
 #include "service/placement_service.h"
 #include "sim/fluid_engine.h"
 #include "workload/corpus.h"
+#include "workload/generator.h"
 
 namespace costream {
 namespace {
@@ -82,6 +84,99 @@ double Seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+// --- Interval-pruning A/B ---------------------------------------------------
+// The tenant workload's windows are tiny against cloud-server RAM, so the
+// proven-crash pre-pass never bites there. This phase replays a workload
+// where it does — big count windows against 100 MB edge boxes — through two
+// same-seeded services with pruning on and off, and checks the demotion-tier
+// construction's promise: scoring work is skipped (service.scoring.pruned
+// grows) while every decision stays bitwise identical.
+
+// ~2e5-tuple count window: ~384 MB of proven window state, fatal on the
+// 100 MB boxes and comfortable on the servers.
+dsps::QueryGraph BigWindowQuery(double rate) {
+  dsps::QueryGraph query;
+  dsps::OperatorDescriptor source;
+  source.type = dsps::OperatorType::kSource;
+  source.input_event_rate = rate;
+  source.tuple_width_in = 2.0;
+  source.tuple_width_out = 2.0;
+  source.selectivity = 1.0;
+  source.tuple_data_types = {dsps::DataType::kInt, dsps::DataType::kInt};
+  query.AddOperator(source);
+  dsps::OperatorDescriptor window;
+  window.type = dsps::OperatorType::kWindow;
+  window.tuple_width_in = 2.0;
+  window.tuple_width_out = 2.0;
+  window.selectivity = 1.0;
+  window.window = {dsps::WindowType::kTumbling,
+                   dsps::WindowPolicy::kCountBased, 2e5, 2e5};
+  query.AddOperator(window);
+  dsps::OperatorDescriptor sink;
+  sink.type = dsps::OperatorType::kSink;
+  sink.tuple_width_in = 2.0;
+  sink.tuple_width_out = 2.0;
+  sink.selectivity = 1.0;
+  query.AddOperator(sink);
+  query.AddEdge(0, 1);
+  query.AddEdge(1, 2);
+  return query;
+}
+
+sim::Cluster PruningAbCluster() {
+  sim::Cluster cluster;
+  cluster.nodes.push_back({100.0, 100.0, 100.0, 25.0});
+  cluster.nodes.push_back({150.0, 100.0, 150.0, 20.0});
+  cluster.nodes.push_back({400.0, 32000.0, 1000.0, 5.0});
+  cluster.nodes.push_back({600.0, 48000.0, 2000.0, 2.0});
+  return cluster;
+}
+
+struct PruningAb {
+  int queries = 0;
+  uint64_t scoring_pruned = 0;  // counter delta over the pruning-on run
+  bool bitwise_identical = false;
+};
+
+PruningAb RunPruningAb(const core::Ensemble& target) {
+  service::ServiceConfig base;
+  base.target = sim::Metric::kThroughput;
+  base.num_candidates = 16;
+  base.seed = 7777;
+  base.num_threads = bench::BenchThreads();
+  service::ServiceConfig off = base;
+  off.interval_pruning = false;
+  service::PlacementService pruned(PruningAbCluster(), &target, nullptr,
+                                   nullptr, base);
+  service::PlacementService unpruned(PruningAbCluster(), &target, nullptr,
+                                     nullptr, off);
+  workload::QueryGenerator generator(TenantWorkload());
+  nn::Rng rng(6060);
+  obs::Counter& counter = obs::GetCounter("service.scoring.pruned");
+  const uint64_t before = counter.Value();
+
+  PruningAb ab;
+  ab.queries = 32;
+  ab.bitwise_identical = true;
+  for (int i = 0; i < ab.queries; ++i) {
+    dsps::QueryGraph query;
+    if (i % 2 == 0) {
+      query = BigWindowQuery(200.0 + 5.0 * i);
+    } else {
+      const auto t = static_cast<workload::QueryTemplate>(rng.Int(0, 2));
+      query = generator.Generate(t, rng);
+    }
+    const service::AdmitResult a = pruned.Admit(query);
+    const service::AdmitResult b = unpruned.Admit(query);
+    ab.bitwise_identical = ab.bitwise_identical && a.placement == b.placement &&
+                           a.predicted == b.predicted &&
+                           a.penalized == b.penalized &&
+                           a.feasible == b.feasible;
+  }
+  ab.scoring_pruned = counter.Value() - before;
+  return ab;
 }
 
 }  // namespace
@@ -157,6 +252,14 @@ int main(int argc, char** argv) {
   const double ratio = agg.des > 0.0 ? agg.predicted / agg.des : 0.0;
   const std::string ledger_check = service.ledger().CheckInvariants();
 
+  std::printf("[bench_service] interval-pruning A/B (32 queries)\n");
+  const PruningAb ab = RunPruningAb(target);
+  std::printf(
+      "[bench_service] pruning A/B: %llu candidates pruned, bitwise "
+      "identical=%d\n",
+      static_cast<unsigned long long>(ab.scoring_pruned),
+      ab.bitwise_identical);
+
   std::printf(
       "[bench_service] %d placements in %.2fs (%.1f placements/s), "
       "converged=%d iterations=%d ripups=%d\n",
@@ -204,6 +307,10 @@ int main(int argc, char** argv) {
           << ",\n"
           << "    \"aggregate_des_tuples_per_s\": " << agg.des << ",\n"
           << "    \"predicted_vs_des_ratio\": " << ratio << ",\n"
+          << "    \"pruning_ab_queries\": " << ab.queries << ",\n"
+          << "    \"scoring_pruned\": " << ab.scoring_pruned << ",\n"
+          << "    \"pruning_bitwise_identical\": "
+          << (ab.bitwise_identical ? "true" : "false") << ",\n"
           << "    \"ledger_consistent\": "
           << (ledger_check.empty() ? "true" : "false") << "\n  }\n";
   if (!bench::SpliceJsonSection(out_path, section.str())) {

@@ -29,9 +29,26 @@ run_suite build-ci -DCMAKE_BUILD_TYPE=Release
 echo "=== costream_lint selftest ==="
 # The domain static analyzer must reject its built-in defect fixtures (one
 # per rule family: cyclic graph, unplaced operator, slide > window, GEMM
-# mismatch, out-of-range scatter) and pass the clean fixture with zero
+# mismatch, out-of-range scatter, plus the seeded DF interval fixtures:
+# diverging cycle, NaN source spec, proven node crash, proven-choked WAN
+# link, window-delay bound) and pass the clean fixtures with zero
 # diagnostics.
 ./build-ci/tools/costream_lint --selftest
+
+echo "=== costream_lint CLI gates ==="
+# --list-rules must print the full catalog (including the DF interval
+# family) and exit 0; an unknown id passed to --rules must exit 2 with a
+# hint instead of silently linting everything.
+./build-ci/tools/costream_lint --list-rules | grep -q "DF002" ||
+  { echo "--list-rules is missing the DF interval family"; exit 1; }
+if ./build-ci/tools/costream_lint --rules DF999 README.md 2>/dev/null; then
+  echo "--rules with an unknown id must fail"; exit 1
+else
+  status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "--rules with an unknown id exited $status (want 2)"; exit 1
+  fi
+fi
 
 echo "=== Release bench smoke (BENCH_micro.json) ==="
 # A short run of the hot-path benchmarks; set -e fails CI on any crash. The
@@ -434,6 +451,14 @@ if not s["converged"]:
              "left overflowed)")
 if not s["ledger_consistent"]:
     sys.exit("ledger invariants violated after the bench scenario")
+print(f"pruning A/B over {s['pruning_ab_queries']} queries: "
+      f"{s['scoring_pruned']} candidates pruned, "
+      f"bitwise identical={s['pruning_bitwise_identical']}")
+if s["scoring_pruned"] <= 0:
+    sys.exit("interval pre-pass pruned no candidates on the A/B workload")
+if not s["pruning_bitwise_identical"]:
+    sys.exit("pruning changed a placement decision — the demotion-tier "
+             "bitwise invariant is broken")
 EOF
 
 echo "=== clang-format check ==="
@@ -449,12 +474,11 @@ else
 fi
 
 echo "=== clang-tidy ==="
-# Curated checks from .clang-tidy over the verify library and tools (the
-# newest code; widening to all of src/ is tracked in ROADMAP.md). Uses the
+# Curated checks from .clang-tidy over all of src/ and the tools. Uses the
 # Release compile database.
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build-ci -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  git ls-files 'src/verify/*.cc' 'tools/*.cc' |
+  git ls-files 'src/**/*.cc' 'tools/*.cc' |
     xargs clang-tidy -p build-ci --warnings-as-errors='*'
 else
   echo "clang-tidy: SKIPPED (clang-tidy not installed)"
@@ -505,5 +529,16 @@ echo "=== AddressSanitizer geo / per-instance DES sweep ==="
 # backpressure-boundary sweep required to run under ASan.
 cmake --build build-asan -j "$JOBS" --target sim_geo_test
 ctest --test-dir build-asan -R sim_geo_test --output-on-failure
+
+echo "=== AddressSanitizer interval-oracle sweep ==="
+# The randomized oracle property sweep (hundreds of query/cluster/placement
+# triples, geo link matrices included) re-runs under ASan with verification
+# forced on: every fluid evaluation walks the interval analysis's
+# heap-allocated per-op/per-node/per-link vectors, and the pruning A/B
+# exercises the demoted-candidate subset indexing in the service.
+cmake --build build-asan -j "$JOBS" \
+  --target verify_oracle_sweep_test service_pruning_test
+ctest --test-dir build-asan \
+  -R 'verify_oracle_sweep_test|service_pruning_test' --output-on-failure
 
 echo "CI passed."

@@ -56,6 +56,13 @@ int QueryGraph::Sink() const {
 }
 
 std::vector<int> QueryGraph::TopologicalOrder() const {
+  std::vector<int> order;
+  COSTREAM_CHECK_MSG(TryTopologicalOrder(&order),
+                     "query graph contains a cycle");
+  return order;
+}
+
+bool QueryGraph::TryTopologicalOrder(std::vector<int>* order) const {
   std::vector<int> in_degree(num_operators(), 0);
   for (const auto& [from, to] : edges_) {
     (void)from;
@@ -65,20 +72,18 @@ std::vector<int> QueryGraph::TopologicalOrder() const {
   for (int i = 0; i < num_operators(); ++i) {
     if (in_degree[i] == 0) ready.push(i);
   }
-  std::vector<int> order;
-  order.reserve(num_operators());
+  order->clear();
+  order->reserve(num_operators());
   while (!ready.empty()) {
     const int id = ready.front();
     ready.pop();
-    order.push_back(id);
+    order->push_back(id);
     for (const auto& [from, to] : edges_) {
       if (from != id) continue;
       if (--in_degree[to] == 0) ready.push(to);
     }
   }
-  COSTREAM_CHECK_MSG(static_cast<int>(order.size()) == num_operators(),
-                     "query graph contains a cycle");
-  return order;
+  return static_cast<int>(order->size()) == num_operators();
 }
 
 int QueryGraph::CountType(OperatorType type) const {

@@ -40,6 +40,12 @@ class QueryGraph {
   // Operator ids in a topological order (sources first). Aborts if cyclic.
   std::vector<int> TopologicalOrder() const;
 
+  // Non-aborting variant: fills `order` with a topological order and returns
+  // true, or returns false (leaving a partial order in `order`) when the
+  // graph is cyclic. Static analysis uses this to stay total on malformed
+  // inputs instead of crashing the linter.
+  bool TryTopologicalOrder(std::vector<int>* order) const;
+
   // Counts operators of the given type.
   int CountType(OperatorType type) const;
 

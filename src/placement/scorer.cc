@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "verify/interval_analysis.h"
 #include "verify/plan_rules.h"
 #include "verify/verify.h"
 
@@ -38,6 +39,11 @@ PlacementScorer::PlacementScorer(const dsps::QueryGraph& query,
     verify::VerifyReport report;
     verify::VerifyQueryGraph(query, &report);
     verify::VerifyCluster(cluster, &report);
+    if (report.ok()) {
+      // Query-only interval pass (DF001/DF004): placement-dependent DF rules
+      // are per-candidate and belong to the service's pruning pre-pass.
+      verify::AnalyzeQueryIntervals(query, verify::IntervalOptions{}, &report);
+    }
     if (report.ok()) {
       const core::CostModel& member = target_->member(0);
       const sim::Placement canonical(query.num_operators(), 0);

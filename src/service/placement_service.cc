@@ -10,6 +10,7 @@
 #include "placement/scorer.h"
 #include "service/scoring_engine.h"
 #include "sim/des.h"
+#include "verify/interval_analysis.h"
 
 namespace costream::service {
 
@@ -101,77 +102,147 @@ PlacementService::Choice PlacementService::PlaceOne(
 
   std::vector<std::vector<double>> ranked;
   engine_->RankRequests({&query}, {&candidates}, view, ranked);
+  const std::vector<char> demoted = ProvenCrashMask(query, candidates);
   return SelectCandidates(query, view, candidates,
-                          ranked.empty() ? nullptr : &ranked[0]);
+                          ranked.empty() ? nullptr : &ranked[0], &demoted);
+}
+
+std::vector<char> PlacementService::ProvenCrashMask(
+    const dsps::QueryGraph& query,
+    const std::vector<sim::Placement>& candidates) const {
+  std::vector<char> mask(candidates.size(), 0);
+  // Bare cluster, no background: the proof is query-intrinsic. Admitted
+  // load only adds memory on top, so a candidate proven to crash when alone
+  // crashes a fortiori under contention.
+  const verify::QueryIntervalSummary intervals = verify::AnalyzeQueryIntervals(
+      query, verify::IntervalOptions{}, nullptr);
+  if (intervals.diverged || intervals.inconsistent_source) return mask;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    mask[i] = verify::AnalyzePlacementIntervals(query, ledger_.cluster(),
+                                                candidates[i], intervals,
+                                                nullptr, nullptr)
+                  .proven_crash
+                  ? 1
+                  : 0;
+  }
+  return mask;
 }
 
 PlacementService::Choice PlacementService::SelectCandidates(
     const dsps::QueryGraph& query, const sim::Cluster& view,
     const std::vector<sim::Placement>& candidates,
-    const std::vector<double>* ranked) const {
+    const std::vector<double>* ranked,
+    const std::vector<char>* demoted) const {
   const bool maximize = config_.target == sim::Metric::kThroughput;
   const int n = static_cast<int>(candidates.size());
 
+  // Proven-crash candidates rank strictly below every unproven one (in both
+  // pruning modes — that invariance is what makes skipping their scores
+  // decision-neutral). With pruning on they are not scored at all, unless
+  // every candidate is proven to crash and one of them must be chosen.
+  const bool has_mask = demoted != nullptr &&
+                        static_cast<int>(demoted->size()) == n;
+  auto is_demoted = [&](int i) { return has_mask && (*demoted)[i] != 0; };
+  bool any_unproven = !has_mask;
+  for (int i = 0; i < n && !any_unproven; ++i) {
+    any_unproven = !is_demoted(i);
+  }
+  const bool prune = config_.interval_pruning && has_mask && any_unproven;
+  std::vector<int> to_score;
+  to_score.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (prune && is_demoted(i)) continue;
+    to_score.push_back(i);
+  }
+  const int m = static_cast<int>(to_score.size());
+  if (m < n) {
+    static obs::Counter& metric_pruned =
+        obs::GetCounter("service.scoring.pruned");
+    metric_pruned.Add(static_cast<uint64_t>(n - m));
+  }
+
   // Congestion factors first: the engine's top-k pre-selection ranks under
-  // the same penalized objective the final selection uses.
-  std::vector<double> factors(n);
+  // the same penalized objective the final selection uses. Skipped
+  // candidates need no factor either (they cannot win).
+  std::vector<double> factors(m);
   const sim::BackgroundLoad total = ledger_.TotalLoad();
   const int threads =
-      std::max(1, std::min(common::ResolveNumThreads(config_.num_threads), n));
-  common::ParallelForIndexed(threads, n, [&](int /*worker*/, int i) {
-    factors[i] = CandidatePenaltyFactor(query, candidates[i], total);
+      std::max(1, std::min(common::ResolveNumThreads(config_.num_threads), m));
+  common::ParallelForIndexed(threads, m, [&](int /*worker*/, int j) {
+    factors[j] = CandidatePenaltyFactor(query, candidates[to_score[j]], total);
   });
 
   // Batched scoring against the load-adjusted view, exactly like the one-shot
   // optimizer: per-candidate slots, selection in enumeration order, so the
   // decision is identical for every thread count.
   static const std::vector<double> kNoRank;
+  std::vector<sim::Placement> subset;
+  std::vector<double> subset_ranked;
+  const std::vector<sim::Placement>* to_score_candidates = &candidates;
+  const std::vector<double>* to_score_ranked =
+      ranked != nullptr ? ranked : &kNoRank;
+  if (m < n) {
+    subset.reserve(m);
+    for (int j = 0; j < m; ++j) subset.push_back(candidates[to_score[j]]);
+    to_score_candidates = &subset;
+    if (ranked != nullptr && static_cast<int>(ranked->size()) == n) {
+      subset_ranked.reserve(m);
+      for (int j = 0; j < m; ++j) subset_ranked.push_back((*ranked)[to_score[j]]);
+      to_score_ranked = &subset_ranked;
+    }
+  }
   const ScoringEngine::ScoreResult result = engine_->ScoreRequest(
-      query, view, candidates, factors, maximize,
-      ranked != nullptr ? *ranked : kNoRank);
+      query, view, *to_score_candidates, factors, maximize, *to_score_ranked);
   const std::vector<placement::PlacementScorer::CandidateScore>& scored =
       result.scored;
 
   Choice choice;
   choice.candidates_evaluated = n;
-  double best_feasible = maximize ? -std::numeric_limits<double>::infinity()
-                                  : std::numeric_limits<double>::infinity();
-  double best_any = best_feasible;
-  int best_feasible_idx = -1;
-  int best_any_idx = -1;
-  std::vector<double> penalized(n);
-  for (int i = 0; i < n; ++i) {
+  // Four preference tiers: unproven-feasible > unproven-any >
+  // demoted-feasible > demoted-any. "Any" ranges over every scored candidate
+  // of the tier, so with an all-false mask this reduces exactly to the
+  // original best-feasible-else-best-any selection.
+  constexpr int kTiers = 4;
+  const double worst = maximize ? -std::numeric_limits<double>::infinity()
+                                : std::numeric_limits<double>::infinity();
+  double best[kTiers] = {worst, worst, worst, worst};
+  int best_idx[kTiers] = {-1, -1, -1, -1};
+  std::vector<double> penalized(m);
+  for (int j = 0; j < m; ++j) {
     // The quantized tier may have skipped candidates outside the re-scored
     // top-k; they have no full-precision score and never win. When none of
     // the scored head was feasible the engine widened down the ranked order
     // until the widening budget ran out, so best-any here ranges over that
     // scored head — the exact best-any only under a negative
     // rank_widen_rounds (unbounded widening scans the full list).
-    if (!result.have_full[i]) continue;
+    if (!result.have_full[j]) continue;
     // Negotiated congestion: the learned prediction is repriced by the
     // penalties of the nodes the candidate uses. Minimized metrics get more
     // expensive on contended nodes, maximized ones less attractive.
-    penalized[i] =
-        maximize ? scored[i].cost / factors[i] : scored[i].cost * factors[i];
+    penalized[j] =
+        maximize ? scored[j].cost / factors[j] : scored[j].cost * factors[j];
+    const int base = is_demoted(to_score[j]) ? 2 : 0;
     const bool better_any =
-        maximize ? penalized[i] > best_any : penalized[i] < best_any;
-    if (better_any || best_any_idx < 0) {
-      best_any = penalized[i];
-      best_any_idx = i;
+        maximize ? penalized[j] > best[base + 1] : penalized[j] < best[base + 1];
+    if (better_any || best_idx[base + 1] < 0) {
+      best[base + 1] = penalized[j];
+      best_idx[base + 1] = j;
     }
-    if (!scored[i].feasible) continue;
+    if (!scored[j].feasible) continue;
     const bool better =
-        maximize ? penalized[i] > best_feasible : penalized[i] < best_feasible;
-    if (better || best_feasible_idx < 0) {
-      best_feasible = penalized[i];
-      best_feasible_idx = i;
+        maximize ? penalized[j] > best[base] : penalized[j] < best[base];
+    if (better || best_idx[base] < 0) {
+      best[base] = penalized[j];
+      best_idx[base] = j;
     }
   }
-  const int chosen = best_feasible_idx >= 0 ? best_feasible_idx : best_any_idx;
-  choice.placement = candidates[chosen];
+  int tier = 0;
+  while (tier < kTiers - 1 && best_idx[tier] < 0) ++tier;
+  const int chosen = best_idx[tier];
+  choice.placement = candidates[to_score[chosen]];
   choice.predicted = scored[chosen].cost;
   choice.penalized = penalized[chosen];
-  choice.feasible = best_feasible_idx >= 0;
+  choice.feasible = tier == 0 || tier == 2;
   return choice;
 }
 
@@ -306,9 +377,11 @@ std::vector<AdmitResult> PlacementService::DrainAdmissions() {
   engine_->RankRequests(queries, candidate_ptrs, snapshot, ranked);
 
   for (size_t r = 0; r < pending_.size(); ++r) {
+    const std::vector<char> demoted =
+        ProvenCrashMask(pending_[r].second, candidates[r]);
     const Choice choice =
         SelectCandidates(pending_[r].second, snapshot, candidates[r],
-                         ranked.empty() ? nullptr : &ranked[r]);
+                         ranked.empty() ? nullptr : &ranked[r], &demoted);
     results.push_back(Record(pending_[r].first, pending_[r].second, choice));
   }
   pending_.clear();

@@ -48,6 +48,15 @@ struct ServiceConfig {
   int max_iterations = 16;
   // Scales the congestion term when penalizing candidate scores.
   double penalty_weight = 1.0;
+  // Interval pre-pass (verify/interval_analysis.h): candidates whose proven
+  // memory lower bound already exceeds a node's crash threshold on the bare
+  // cluster skip GEMM scoring (counted in service.scoring.pruned). Decisions
+  // are bitwise-unchanged by construction on the full-precision path: proven-
+  // crash candidates are demoted below every unproven candidate in BOTH
+  // modes, so their scores can never influence which candidate wins, and
+  // they are only scored (and can only win) when every candidate is proven
+  // to crash.
+  bool interval_pruning = true;
   LedgerConfig ledger;
 
   // --- Scoring fast path (service/scoring_engine.h) ---
@@ -192,13 +201,24 @@ class PlacementService {
   // One learned (or greedy) placement decision for `query` against `view`.
   Choice PlaceOne(const dsps::QueryGraph& query, const sim::Cluster& view,
                   uint64_t salt) const;
+  // Interval pre-pass: mask[i] is 1 when candidate i is *proven* to crash a
+  // node (memory lower bound above the crash threshold) on the bare cluster
+  // with no background load — a query-intrinsic property, so the mask never
+  // depends on the admission history.
+  std::vector<char> ProvenCrashMask(
+      const dsps::QueryGraph& query,
+      const std::vector<sim::Placement>& candidates) const;
   // Scores `candidates` through the engine (ranked non-null: quantized
   // pre-ranking results) and selects under the congestion-penalized
-  // objective, in enumeration order.
+  // objective, in enumeration order. `demoted` (the proven-crash mask, may
+  // be null) ranks below every unproven candidate; with interval_pruning on,
+  // demoted candidates are not scored at all unless every candidate is
+  // demoted.
   Choice SelectCandidates(const dsps::QueryGraph& query,
                           const sim::Cluster& view,
                           const std::vector<sim::Placement>& candidates,
-                          const std::vector<double>* ranked) const;
+                          const std::vector<double>* ranked,
+                          const std::vector<char>* demoted) const;
   Choice PlaceGreedyFirstFit(const dsps::QueryGraph& query) const;
   // Congestion multiplier of a candidate: the ledger's present-congestion
   // price of adding the candidate's steady-state demand, scaled by

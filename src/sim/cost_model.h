@@ -59,6 +59,11 @@ double AggregateStateMb(double groups, double tuple_bytes);
 // (producer batching + consumer poll interval).
 inline constexpr double kBrokerBaseLatencyMs = 25.0;
 
+// Seconds of arrivals buffered in in-flight queues per operator; shared by
+// the fluid engine's memory model and the interval analysis so the proven
+// memory bounds track the engine exactly.
+inline constexpr double kInflightBufferSeconds = 0.05;
+
 // Cores an operator with `parallelism` instances can actually use on a node
 // offering `cpu_pct` percent of a reference core: capped both by the node
 // and by one core per instance (Storm-executor semantics), floored so

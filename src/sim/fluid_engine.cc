@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/check.h"
 #include "nn/random.h"
 #include "obs/metrics.h"
 #include "sim/cost_model.h"
+#include "verify/interval_analysis.h"
 #include "verify/verify.h"
 
 namespace costream::sim {
@@ -166,8 +169,8 @@ NodeEval EvaluateNodes(const QueryGraph& query, const Cluster& cluster,
     cpu_load[node] += flows[id].cpu_load_us;
     eval.stats[node].memory_mb += flows[id].state_mb;
     // In-flight queue buffers (~50ms of arrivals).
-    eval.stats[node].memory_mb +=
-        flows[id].in_rate * flows[id].in_bytes * 0.05 / (1024.0 * 1024.0);
+    eval.stats[node].memory_mb += flows[id].in_rate * flows[id].in_bytes *
+                                  kInflightBufferSeconds / (1024.0 * 1024.0);
   }
   // Per-link traffic: co-routed flows (edges placed over the same directed
   // node pair) sum into the same link and therefore share its capacity.
@@ -433,6 +436,38 @@ FluidReport EvaluateFluid(const QueryGraph& query, const Cluster& cluster,
     noisy.success = noisy.throughput * config.duration_s >= 1.0 &&
                     noisy.processing_latency_ms <= config.duration_s * 1000.0;
   }
+
+  // Runtime oracle: every evaluation's nominal (scale = 1) per-node and
+  // per-link utilizations, plus the noiseless processing latency, must lie
+  // inside the intervals proven by the DF dataflow analysis. A violation
+  // means either the analysis or the engine drifted — abort loudly rather
+  // than silently produce labels the verifier can't vouch for.
+  if (verify::VerificationEnabled()) {
+    static obs::Counter& metric_oracle_checks =
+        obs::GetCounter("verify.oracle.checks");
+    static obs::Counter& metric_oracle_violations =
+        obs::GetCounter("verify.oracle.violations");
+    verify::FluidOracleInput oracle;
+    oracle.node_cpu_utilization.reserve(nominal_eval.stats.size());
+    oracle.node_net_utilization.reserve(nominal_eval.stats.size());
+    for (const NodeStats& s : nominal_eval.stats) {
+      oracle.node_cpu_utilization.push_back(s.cpu_utilization);
+      oracle.node_net_utilization.push_back(s.net_utilization);
+    }
+    oracle.link_utilization = nominal_eval.link_utilization;
+    oracle.processing_latency_ms =
+        report.noiseless_metrics.processing_latency_ms;
+    oracle.duration_s = config.duration_s;
+    metric_oracle_checks.Increment();
+    const std::string violation = verify::CheckFluidOracle(
+        query, cluster, placement, &config.background, oracle);
+    if (!violation.empty()) {
+      metric_oracle_violations.Increment();
+      std::fprintf(stderr, "[costream] fluid oracle violation: %s\n",
+                   violation.c_str());
+      std::abort();
+    }
+  }
   return report;
 }
 
@@ -457,8 +492,8 @@ BackgroundLoad ComputeBackgroundLoad(const QueryGraph& query,
     hosts_op[n] = true;
     load.cpu_load_us[n] += flows[id].cpu_load_us;
     load.memory_mb[n] += flows[id].state_mb;
-    load.memory_mb[n] +=
-        flows[id].in_rate * flows[id].in_bytes * 0.05 / (1024.0 * 1024.0);
+    load.memory_mb[n] += flows[id].in_rate * flows[id].in_bytes *
+                         kInflightBufferSeconds / (1024.0 * 1024.0);
   }
   for (const auto& [from, to] : query.edges()) {
     if (placement[from] != placement[to]) {

@@ -15,13 +15,6 @@ using dsps::OperatorDescriptor;
 using dsps::OperatorType;
 using dsps::WindowPolicy;
 
-// Safety factors of the capacity pre-feasibility heuristics: only flag
-// demand that clearly exceeds capacity, so rule-conforming placements of the
-// seed grids never trip them while grossly overloaded nodes do.
-constexpr double kRamSlack = 2.0;
-constexpr double kNetSlack = 2.0;
-constexpr double kCpuOversubscription = 16.0;
-
 std::string NodeLoc(int i) { return "node[" + std::to_string(i) + "]"; }
 
 // Steady-state per-operator output rates under the selectivity definitions,
@@ -92,6 +85,12 @@ void VerifyCluster(const sim::Cluster& cluster, VerifyReport* report) {
 
 void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
                      const sim::Placement& placement, VerifyReport* report) {
+  VerifyPlacement(query, cluster, placement, VerifyOptions{}, report);
+}
+
+void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
+                     const sim::Placement& placement,
+                     const VerifyOptions& options, VerifyReport* report) {
   const int n = query.num_operators();
   const int nodes = cluster.num_nodes();
   // The Placement representation maps each operator to exactly one node by
@@ -164,7 +163,7 @@ void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
         const double bytes = link_bytes[from * nodes + to];
         const double capacity =
             cluster.LinkBandwidthMbits(from, to) * 1e6 / 8.0;
-        if (bytes > kNetSlack * capacity) {
+        if (bytes > options.net_slack * capacity) {
           report->Add(kRulePlacementLinkFeasibility, Severity::kWarning,
                       "link[" + std::to_string(from) + "->" +
                           std::to_string(to) + "]",
@@ -181,7 +180,7 @@ void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
   for (int node = 0; node < nodes; ++node) {
     const sim::HardwareNode& hw = cluster.nodes[node];
     const double ram_bytes = hw.ram_mb * 1e6;
-    if (state_bytes[node] > kRamSlack * ram_bytes) {
+    if (state_bytes[node] > options.ram_slack * ram_bytes) {
       report->Add(kRulePlacementRamFeasibility, Severity::kWarning,
                   NodeLoc(node),
                   "estimated window state " +
@@ -190,7 +189,7 @@ void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
                   "move window operators to a larger node");
     }
     const double cores = std::max(hw.cpu_pct / 100.0, 1.0);
-    if (instances[node] > kCpuOversubscription * cores) {
+    if (instances[node] > options.cpu_oversubscription * cores) {
       report->Add(kRulePlacementCpuFeasibility, Severity::kWarning,
                   NodeLoc(node),
                   std::to_string(static_cast<int>(instances[node])) +
@@ -199,7 +198,7 @@ void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
                   "lower parallelism or spread operators across nodes");
     }
     const double capacity_bytes = hw.bandwidth_mbits * 1e6 / 8.0;
-    if (egress_bytes[node] > kNetSlack * capacity_bytes) {
+    if (egress_bytes[node] > options.net_slack * capacity_bytes) {
       report->Add(kRulePlacementNetFeasibility, Severity::kWarning,
                   NodeLoc(node),
                   "estimated egress " +
@@ -214,9 +213,23 @@ void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
 void VerifyPlacedQuery(const dsps::QueryGraph& query,
                        const sim::Cluster& cluster,
                        const sim::Placement& placement, VerifyReport* report) {
+  VerifyPlacedQuery(query, cluster, placement, VerifyOptions{}, report);
+}
+
+void VerifyPlacedQuery(const dsps::QueryGraph& query,
+                       const sim::Cluster& cluster,
+                       const sim::Placement& placement,
+                       const VerifyOptions& options, VerifyReport* report) {
   VerifyQueryGraph(query, report);
   VerifyCluster(cluster, report);
-  VerifyPlacement(query, cluster, placement, report);
+  VerifyPlacement(query, cluster, placement, options, report);
+  // The DF interval pass needs a structurally sound placed query: the
+  // transfer functions assume the arity/spec rules above hold, and the
+  // per-node combine indexes through the placement.
+  if (options.run_intervals && report->num_errors() == 0 &&
+      query.num_operators() > 0) {
+    VerifyIntervals(query, cluster, placement, options.intervals, report);
+  }
 }
 
 }  // namespace costream::verify

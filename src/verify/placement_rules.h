@@ -3,27 +3,56 @@
 
 #include "dsps/query_graph.h"
 #include "sim/hardware.h"
+#include "verify/interval_analysis.h"
 #include "verify/rules.h"
 
 namespace costream::verify {
 
+// Tunable safety factors of the capacity pre-feasibility heuristics
+// (PL005-PL007/PL009) and knobs of the DF interval pass. The defaults keep
+// every seed fixture green: the heuristics only flag demand that *clearly*
+// exceeds capacity, since a capacity-tight placement is a legitimate
+// (backpressure-labelled) training example, not a malformed artifact.
+struct VerifyOptions {
+  // PL005: flag a node when its estimated window state exceeds
+  // ram_slack x the node's RAM.
+  double ram_slack = 2.0;
+  // PL006: flag a node when its operator instances exceed
+  // cpu_oversubscription x the node's cores (instances are cheap to park;
+  // only gross oversubscription is suspicious).
+  double cpu_oversubscription = 16.0;
+  // PL007 (node egress) and PL009 (individual link): flag traffic above
+  // net_slack x the available bandwidth.
+  double net_slack = 2.0;
+  // Run the DF interval dataflow pass (DF001-DF005) in VerifyPlacedQuery
+  // once the structural rules hold.
+  bool run_intervals = true;
+  IntervalOptions intervals;
+};
+
 // Cluster sanity (PL003/PL004): non-empty, every node's features in range.
 void VerifyCluster(const sim::Cluster& cluster, VerifyReport* report);
 
-// Placement rules (PL001/PL002 structural errors, PL005-PL007 capacity
-// pre-feasibility warnings). The capacity heuristics run only when the
-// structural rules pass (they index through the placement). Warnings flag
-// *clearly* infeasible placements — estimates carry a safety factor, since a
-// capacity-tight placement is a legitimate (backpressure-labelled) training
-// example, not a malformed artifact.
+// Placement rules (PL001/PL002 structural errors, PL005-PL007/PL009
+// capacity pre-feasibility warnings under the options' slack factors). The
+// capacity heuristics run only when the structural rules pass (they index
+// through the placement).
 void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
                      const sim::Placement& placement, VerifyReport* report);
+void VerifyPlacement(const dsps::QueryGraph& query, const sim::Cluster& cluster,
+                     const sim::Placement& placement,
+                     const VerifyOptions& options, VerifyReport* report);
 
 // Full pre-execution check of one placed query: graph + cluster + placement
-// rules into one report.
+// rules plus the DF interval dataflow pass (when the structural rules hold)
+// into one report.
 void VerifyPlacedQuery(const dsps::QueryGraph& query,
                        const sim::Cluster& cluster,
                        const sim::Placement& placement, VerifyReport* report);
+void VerifyPlacedQuery(const dsps::QueryGraph& query,
+                       const sim::Cluster& cluster,
+                       const sim::Placement& placement,
+                       const VerifyOptions& options, VerifyReport* report);
 
 }  // namespace costream::verify
 

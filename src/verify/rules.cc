@@ -96,8 +96,42 @@ const std::vector<RuleInfo>& RuleCatalog() {
       {kRuleTraceIndexUnreadable, Severity::kError,
        "compressed trace's block index is missing, truncated, or fails its "
        "checksum"},
+      {kRuleIntervalDiverged, Severity::kError,
+       "interval propagation diverged (cyclic dataflow or unbounded "
+       "rate/state quantities)"},
+      {kRuleIntervalNodeInfeasible, Severity::kWarning,
+       "proven per-node demand lower bound exceeds the node's capacity "
+       "(crash or guaranteed backpressure)"},
+      {kRuleIntervalLinkChoked, Severity::kWarning,
+       "proven per-link traffic lower bound exceeds the link's bandwidth"},
+      {kRuleIntervalSourceSpec, Severity::kError,
+       "source spec seeds no sound rate interval (non-finite rate, width or "
+       "type fractions)"},
+      {kRuleIntervalDelayBound, Severity::kWarning,
+       "proven minimum sink delay exceeds the run duration (no window can "
+       "close in time)"},
   };
   return catalog;
+}
+
+std::string_view RuleFamily(std::string_view id) {
+  const std::string_view prefix = id.substr(0, 2);
+  if (prefix == "QG") return "query-graph";
+  if (prefix == "PL") return "placement";
+  if (prefix == "JG") return "joint-graph";
+  if (prefix == "FP") return "forward-plan";
+  if (prefix == "TP") return "tape-shape";
+  if (prefix == "MF") return "model-file";
+  if (prefix == "TR") return "trace-file";
+  if (prefix == "DF") return "interval-dataflow";
+  return "unknown";
+}
+
+bool IsKnownRule(std::string_view id) {
+  for (const RuleInfo& rule : RuleCatalog()) {
+    if (rule.id == id) return true;
+  }
+  return false;
 }
 
 }  // namespace costream::verify

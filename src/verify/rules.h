@@ -18,6 +18,7 @@ namespace costream::verify {
 //   TP* — symbolic tape-op shape inference (src/verify/shape_program.cc)
 //   MF* — serialized model files (src/verify/artifact_lint.cc)
 //   TR* — trace-corpus files (src/verify/artifact_lint.cc)
+//   DF* — interval dataflow analysis (src/verify/interval_analysis.cc)
 
 // --- Query graph ------------------------------------------------------------
 inline constexpr std::string_view kRuleGraphEmpty = "QG001";
@@ -77,15 +78,33 @@ inline constexpr std::string_view kRuleTraceIndexBounds = "TR003";
 inline constexpr std::string_view kRuleTraceIndexCount = "TR004";
 inline constexpr std::string_view kRuleTraceIndexUnreadable = "TR005";
 
-// One catalog entry, for `costream_lint --rules` and the docs.
+// --- Interval dataflow analysis ---------------------------------------------
+// Proven [lo, hi] bounds propagated through the operator DAG and combined
+// with the placement (interval_analysis.h). DF002/DF003/DF005 are warnings:
+// a provably overloaded placement is a legitimate (backpressure/crash
+// labelled) training example, not a malformed artifact.
+inline constexpr std::string_view kRuleIntervalDiverged = "DF001";
+inline constexpr std::string_view kRuleIntervalNodeInfeasible = "DF002";
+inline constexpr std::string_view kRuleIntervalLinkChoked = "DF003";
+inline constexpr std::string_view kRuleIntervalSourceSpec = "DF004";
+inline constexpr std::string_view kRuleIntervalDelayBound = "DF005";
+
+// One catalog entry, for `costream_lint --list-rules` and the docs.
 struct RuleInfo {
   std::string_view id;
   Severity severity;
   std::string_view summary;
 };
 
-// Every rule, ordered by id.
+// Every rule, ordered by id within its family.
 const std::vector<RuleInfo>& RuleCatalog();
+
+// Human-readable family name of a rule id ("QG003" -> "query-graph");
+// "unknown" for ids outside the catalog's prefixes.
+std::string_view RuleFamily(std::string_view id);
+
+// True when `id` is in the catalog (costream_lint validates --rules with it).
+bool IsKnownRule(std::string_view id);
 
 }  // namespace costream::verify
 

@@ -1,0 +1,211 @@
+// Interval pre-pass pruning in the placement service: candidates proven to
+// crash a node skip GEMM scoring (service.scoring.pruned), and — by the
+// demotion-tier construction — every decision is bitwise identical to the
+// unpruned service. This test enforces that invariant over a mixed workload
+// on a cluster where pruning actually bites, plus the all-pruned fallback
+// (every candidate proven to crash still gets scored and placed).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trainer.h"
+#include "dsps/query_builder.h"
+#include "dsps/query_graph.h"
+#include "nn/random.h"
+#include "obs/metrics.h"
+#include "service/placement_service.h"
+#include "sim/hardware.h"
+#include "workload/corpus.h"
+#include "workload/generator.h"
+
+namespace costream::service {
+namespace {
+
+using dsps::DataType;
+using dsps::OperatorDescriptor;
+using dsps::OperatorType;
+using dsps::QueryGraph;
+using dsps::WindowPolicy;
+using dsps::WindowType;
+
+// Two 100 MB edge boxes next to two well-provisioned servers: any candidate
+// that parks the big window below on an edge box is provably crashing, so
+// the interval pre-pass has real work to do.
+sim::Cluster MixedCluster() {
+  sim::Cluster cluster;
+  cluster.nodes.push_back({100.0, 100.0, 100.0, 25.0});
+  cluster.nodes.push_back({150.0, 100.0, 150.0, 20.0});
+  cluster.nodes.push_back({400.0, 32000.0, 1000.0, 5.0});
+  cluster.nodes.push_back({600.0, 48000.0, 2000.0, 2.0});
+  return cluster;
+}
+
+// ~2e5 tuples x 96 bytes x 20 state factor ~ 384 MB proven window state:
+// far above a 100 MB node's crash threshold, comfortable on the servers.
+QueryGraph BigWindowQuery(double rate) {
+  QueryGraph query;
+  OperatorDescriptor source;
+  source.type = OperatorType::kSource;
+  source.input_event_rate = rate;
+  source.tuple_width_in = 2.0;
+  source.tuple_width_out = 2.0;
+  source.selectivity = 1.0;
+  source.tuple_data_types = {DataType::kInt, DataType::kInt};
+  query.AddOperator(source);
+  OperatorDescriptor window;
+  window.type = OperatorType::kWindow;
+  window.tuple_width_in = 2.0;
+  window.tuple_width_out = 2.0;
+  window.selectivity = 1.0;
+  window.window = {WindowType::kTumbling, WindowPolicy::kCountBased, 2e5, 2e5};
+  query.AddOperator(window);
+  OperatorDescriptor sink;
+  sink.type = OperatorType::kSink;
+  sink.tuple_width_in = 2.0;
+  sink.tuple_width_out = 2.0;
+  sink.selectivity = 1.0;
+  query.AddOperator(sink);
+  query.AddEdge(0, 1);
+  query.AddEdge(1, 2);
+  return query;
+}
+
+core::Ensemble TinyThroughputEnsemble() {
+  workload::CorpusConfig cc;
+  cc.num_queries = 40;
+  cc.seed = 51;
+  cc.duration_s = 30.0;
+  const auto records = workload::BuildCorpus(cc);
+  core::CostModelConfig config;
+  config.hidden_dim = 8;
+  core::Ensemble ensemble(config, 1);
+  auto samples = workload::ToTrainSamples(records, sim::Metric::kThroughput);
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  ensemble.Train(samples, {}, tc);
+  return ensemble;
+}
+
+ServiceConfig BaseConfig(bool pruning) {
+  ServiceConfig config;
+  config.target = sim::Metric::kThroughput;
+  config.num_candidates = 16;
+  config.seed = 91;
+  config.interval_pruning = pruning;
+  return config;
+}
+
+void ExpectIdentical(const AdmitResult& a, const AdmitResult& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_EQ(a.predicted, b.predicted);    // bitwise, not approximate
+  EXPECT_EQ(a.penalized, b.penalized);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
+}
+
+TEST(ServicePruningTest, DecisionsAreBitwiseIdenticalWithPruningOnAndOff) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  PlacementService pruned(MixedCluster(), &target, nullptr, nullptr,
+                          BaseConfig(true));
+  PlacementService unpruned(MixedCluster(), &target, nullptr, nullptr,
+                            BaseConfig(false));
+
+  workload::QueryGenerator generator(workload::GeneratorConfig{});
+  nn::Rng rng(404);
+  obs::Counter& pruned_counter = obs::GetCounter("service.scoring.pruned");
+  const uint64_t before = pruned_counter.Value();
+
+  // Interleave big-window queries (where candidates die on the edge boxes)
+  // with generated ones (mostly unprunable) and occasional retirements.
+  std::vector<int64_t> live;
+  for (int e = 0; e < 24; ++e) {
+    dsps::QueryGraph query;
+    if (e % 3 == 0) {
+      query = BigWindowQuery(500.0 + 10.0 * e);
+    } else {
+      const auto t = static_cast<workload::QueryTemplate>(rng.Int(0, 2));
+      query = generator.Generate(t, rng);
+    }
+    const AdmitResult a = pruned.Admit(query);
+    const AdmitResult b = unpruned.Admit(query);
+    ExpectIdentical(a, b);
+    live.push_back(a.id);
+    if (e % 5 == 4 && !live.empty()) {
+      const int64_t victim = live.front();
+      live.erase(live.begin());
+      EXPECT_EQ(pruned.Retire(victim), unpruned.Retire(victim));
+    }
+  }
+
+  // Pruning must have actually skipped scoring work on this workload.
+  const uint64_t after_pruned_run = pruned_counter.Value();
+  EXPECT_GT(after_pruned_run, before);
+
+  // Converge (rip-up re-placement) goes through the same pre-pass; the two
+  // services must converge to elementwise-identical final placements.
+  const ConvergeResult ca = pruned.Converge();
+  const ConvergeResult cb = unpruned.Converge();
+  EXPECT_EQ(ca.iterations, cb.iterations);
+  EXPECT_EQ(ca.ripups, cb.ripups);
+  EXPECT_EQ(ca.converged, cb.converged);
+  const std::vector<int64_t> ids = pruned.QueryIds();
+  ASSERT_EQ(ids, unpruned.QueryIds());
+  for (const int64_t id : ids) {
+    EXPECT_EQ(pruned.PlacementOf(id), unpruned.PlacementOf(id)) << id;
+  }
+}
+
+TEST(ServicePruningTest, AsyncBatchesMatchAcrossPruningModes) {
+  const core::Ensemble target = TinyThroughputEnsemble();
+  PlacementService pruned(MixedCluster(), &target, nullptr, nullptr,
+                          BaseConfig(true));
+  PlacementService unpruned(MixedCluster(), &target, nullptr, nullptr,
+                            BaseConfig(false));
+  workload::QueryGenerator generator(workload::GeneratorConfig{});
+  nn::Rng rng(77);
+  for (int e = 0; e < 6; ++e) {
+    dsps::QueryGraph query;
+    if (e % 2 == 0) {
+      query = BigWindowQuery(800.0 + 5.0 * e);
+    } else {
+      query = generator.Generate(workload::QueryTemplate::kLinear, rng);
+    }
+    EXPECT_EQ(pruned.AdmitAsync(query), unpruned.AdmitAsync(query));
+  }
+  const std::vector<AdmitResult> a = pruned.DrainAdmissions();
+  const std::vector<AdmitResult> b = unpruned.DrainAdmissions();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ExpectIdentical(a[i], b[i]);
+}
+
+TEST(ServicePruningTest, AllProvenCrashCandidatesAreStillScoredAndPlaced) {
+  // Every node is a 100 MB box, so every candidate for the big window is
+  // proven to crash: the pre-pass must fall back to scoring all of them
+  // (nothing is pruned — there is no unproven candidate to prefer) and both
+  // modes still agree.
+  sim::Cluster cluster;
+  cluster.nodes.push_back({100.0, 100.0, 100.0, 25.0});
+  cluster.nodes.push_back({150.0, 100.0, 150.0, 20.0});
+  cluster.nodes.push_back({200.0, 100.0, 200.0, 15.0});
+  const core::Ensemble target = TinyThroughputEnsemble();
+  PlacementService pruned(cluster, &target, nullptr, nullptr,
+                          BaseConfig(true));
+  PlacementService unpruned(cluster, &target, nullptr, nullptr,
+                            BaseConfig(false));
+  obs::Counter& pruned_counter = obs::GetCounter("service.scoring.pruned");
+  const uint64_t before = pruned_counter.Value();
+  const dsps::QueryGraph query = BigWindowQuery(500.0);
+  const AdmitResult a = pruned.Admit(query);
+  const AdmitResult b = unpruned.Admit(query);
+  ExpectIdentical(a, b);
+  ASSERT_EQ(a.placement.size(), 3u);
+  EXPECT_GT(a.candidates_evaluated, 0);
+  // All demoted -> nothing pruned (the fallback scores everyone).
+  EXPECT_EQ(pruned_counter.Value(), before);
+}
+
+}  // namespace
+}  // namespace costream::service

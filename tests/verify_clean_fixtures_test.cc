@@ -60,9 +60,17 @@ TEST(VerifyCleanFixturesTest, GeneratedQueriesAndHeuristicPlacementsAreClean) {
           placement::SamplePlacement(query, cluster, bins, rng);
       VerifyReport report;
       VerifyPlacedQuery(query, cluster, placed, &report);
-      EXPECT_TRUE(report.diagnostics().empty())
-          << "template " << static_cast<int>(t) << " sample " << i << ":\n"
-          << report.DebugString();
+      // Structural rules and the slack-factored PL capacity heuristics must
+      // stay silent. The DF interval pass proves demand exactly (no slack),
+      // and a capability-binned random placement *can* be provably
+      // backpressured — that is a legitimate training example, so DF
+      // warnings are allowed here; DF errors (DF001/DF004) are not.
+      for (const Diagnostic& d : report.diagnostics()) {
+        EXPECT_TRUE(d.severity == Severity::kWarning &&
+                    RuleFamily(d.rule) == "interval-dataflow")
+            << "template " << static_cast<int>(t) << " sample " << i << ":\n"
+            << report.DebugString();
+      }
     }
   }
 }

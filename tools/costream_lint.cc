@@ -3,23 +3,31 @@
 // and placements embedded in every record) and model files — without
 // executing anything.
 //
-//   costream_lint [--json] [--max-records N] [--hidden-dim H] FILE...
-//   costream_lint --rules      # print the rule catalog
-//   costream_lint --selftest   # run the embedded seeded-defect fixtures
+//   costream_lint [--json] [--max-records N] [--hidden-dim H]
+//                 [--rules ID[,ID...]] FILE...
+//   costream_lint --list-rules  # print the rule catalog (id, family,
+//                               # severity, summary)
+//   costream_lint --selftest    # run the embedded seeded-defect fixtures
 //
 // Exit status: 0 = no errors (warnings allowed), 1 = at least one error
-// diagnostic (or a failed selftest), 2 = usage / unreadable artifact.
+// diagnostic (or a failed selftest), 2 = usage / unknown rule id /
+// unreadable artifact.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/featurizer.h"
 #include "core/model.h"
 #include "dsps/query_builder.h"
 #include "verify/artifact_lint.h"
+#include "verify/interval_analysis.h"
+#include "verify/placement_rules.h"
 #include "verify/plan_rules.h"
 #include "verify/verify.h"
 
@@ -31,21 +39,69 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: costream_lint [--json] [--max-records N] [--hidden-dim H] "
-      "FILE...\n"
-      "       costream_lint --rules | --selftest\n"
+      "[--rules ID[,ID...]] FILE...\n"
+      "       costream_lint --list-rules | --selftest\n"
       "FILE is a trace corpus (v1 text / v2 binary) or a serialized model;\n"
-      "the kind is auto-detected from the leading magic bytes.\n");
+      "the kind is auto-detected from the leading magic bytes.\n"
+      "--rules restricts the reported diagnostics to the listed rule ids.\n");
   return 2;
 }
 
 int PrintRules() {
   for (const costream::verify::RuleInfo& rule :
        costream::verify::RuleCatalog()) {
-    std::printf("%-6s %-8s %.*s\n", std::string(rule.id).c_str(),
+    const std::string_view family = costream::verify::RuleFamily(rule.id);
+    std::printf("%-6s %-18.*s %-8s %.*s\n", std::string(rule.id).c_str(),
+                static_cast<int>(family.size()), family.data(),
                 costream::verify::ToString(rule.severity),
                 static_cast<int>(rule.summary.size()), rule.summary.data());
   }
   return 0;
+}
+
+// Parses the --rules argument ("DF001,PL005"). Returns false (after printing
+// the offending id and a hint) on any unknown rule.
+bool ParseRuleFilter(const std::string& arg, std::vector<std::string>* out) {
+  size_t start = 0;
+  while (start <= arg.size()) {
+    const size_t comma = arg.find(',', start);
+    const std::string id = arg.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!id.empty()) {
+      if (!costream::verify::IsKnownRule(id)) {
+        std::fprintf(stderr,
+                     "unknown rule id '%s'; run costream_lint --list-rules "
+                     "for the catalog\n",
+                     id.c_str());
+        return false;
+      }
+      out->push_back(id);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out->empty()) {
+    std::fprintf(stderr,
+                 "--rules needs at least one rule id; run costream_lint "
+                 "--list-rules for the catalog\n");
+    return false;
+  }
+  return true;
+}
+
+// Keeps only the diagnostics whose rule id is in `filter`.
+VerifyReport FilterReport(const VerifyReport& report,
+                          const std::vector<std::string>& filter) {
+  VerifyReport kept;
+  for (const costream::verify::Diagnostic& d : report.diagnostics()) {
+    for (const std::string& rule : filter) {
+      if (d.rule == rule) {
+        kept.Add(d.rule, d.severity, d.location, d.message, d.hint);
+        break;
+      }
+    }
+  }
+  return kept;
 }
 
 // --- Selftest fixtures ------------------------------------------------------
@@ -192,6 +248,107 @@ int SelfTest() {
     ok &= ExpectRule("scatter-out-of-range", report,
                      costream::verify::kRuleTapeScatterRange);
   }
+  {  // DF001: a dataflow cycle never reaches an interval fixpoint — the
+     // analysis must widen and flag the divergence (not hang or abort).
+    costream::dsps::QueryGraph query;
+    query.AddOperator(MakeOp(OperatorType::kSource));
+    query.AddOperator(MakeOp(OperatorType::kFilter));
+    query.AddOperator(MakeOp(OperatorType::kFilter));
+    query.AddOperator(MakeOp(OperatorType::kSink));
+    query.AddEdge(0, 1);
+    query.AddEdge(1, 2);
+    query.AddEdge(2, 1);
+    query.AddEdge(2, 3);
+    VerifyReport report;
+    costream::verify::AnalyzeQueryIntervals(
+        query, costream::verify::IntervalOptions{}, &report);
+    ok &= ExpectRule("interval-diverged", report,
+                     costream::verify::kRuleIntervalDiverged);
+  }
+  {  // DF004: a NaN source rate seeds no sound interval.
+    costream::dsps::QueryGraph query;
+    auto source = MakeOp(OperatorType::kSource);
+    source.input_event_rate = std::numeric_limits<double>::quiet_NaN();
+    query.AddOperator(source);
+    query.AddOperator(MakeOp(OperatorType::kSink));
+    query.AddEdge(0, 1);
+    VerifyReport report;
+    costream::verify::AnalyzeQueryIntervals(
+        query, costream::verify::IntervalOptions{}, &report);
+    ok &= ExpectRule("interval-bad-source", report,
+                     costream::verify::kRuleIntervalSourceSpec);
+  }
+  {  // DF002: a 10M-tuple count window's proven state floor exceeds the
+     // small node's crash threshold — the placement provably cannot run.
+    costream::dsps::QueryGraph query;
+    query.AddOperator(MakeOp(OperatorType::kSource));
+    auto window = MakeOp(OperatorType::kWindow);
+    window.window = {costream::dsps::WindowType::kTumbling,
+                     costream::dsps::WindowPolicy::kCountBased, 1e7, 1e7};
+    query.AddOperator(window);
+    query.AddOperator(MakeOp(OperatorType::kSink));
+    query.AddEdge(0, 1);
+    query.AddEdge(1, 2);
+    VerifyReport report;
+    costream::verify::VerifyPlacedQuery(query, SmallCluster(), {0, 1, 0},
+                                        &report);
+    ok &= ExpectRule("interval-node-crash", report,
+                     costream::verify::kRuleIntervalNodeInfeasible);
+  }
+  {  // DF003: a cross-region edge routed over a near-zero-bandwidth link is
+     // proven choked (traffic lower bound above the link capacity).
+    costream::sim::Cluster cluster = SmallCluster();
+    cluster.link_bandwidth_mbits = {0.0, 0.001, 0.001, 0.0};
+    cluster.link_latency_ms = {0.0, 40.0, 40.0, 0.0};
+    VerifyReport report;
+    costream::verify::VerifyPlacedQuery(CleanQuery(), cluster, {0, 1, 1},
+                                        &report);
+    ok &= ExpectRule("interval-link-choked", report,
+                     costream::verify::kRuleIntervalLinkChoked);
+  }
+  {  // DF005: a 600s time window cannot close within the 240s run — the
+     // proven minimum sink delay exceeds the run duration.
+    costream::dsps::QueryGraph query;
+    query.AddOperator(MakeOp(OperatorType::kSource));
+    auto window = MakeOp(OperatorType::kWindow);
+    window.window = {costream::dsps::WindowType::kTumbling,
+                     costream::dsps::WindowPolicy::kTimeBased, 600.0, 600.0};
+    query.AddOperator(window);
+    query.AddOperator(MakeOp(OperatorType::kSink));
+    query.AddEdge(0, 1);
+    query.AddEdge(1, 2);
+    VerifyReport report;
+    costream::verify::VerifyPlacedQuery(query, SmallCluster(), {0, 0, 0},
+                                        &report);
+    ok &= ExpectRule("interval-delay-bound", report,
+                     costream::verify::kRuleIntervalDelayBound);
+  }
+  {  // DF-clean: a well-provisioned windowed query must draw zero DF
+     // diagnostics (the interval pass is exact, not trigger-happy).
+    costream::dsps::QueryGraph query;
+    query.AddOperator(MakeOp(OperatorType::kSource));
+    auto window = MakeOp(OperatorType::kWindow);
+    window.window = {costream::dsps::WindowType::kTumbling,
+                     costream::dsps::WindowPolicy::kTimeBased, 1.0, 1.0};
+    query.AddOperator(window);
+    query.AddOperator(MakeOp(OperatorType::kSink));
+    query.AddEdge(0, 1);
+    query.AddEdge(1, 2);
+    VerifyReport report;
+    costream::verify::VerifyPlacedQuery(query, SmallCluster(), {0, 0, 0},
+                                        &report);
+    bool df_clean = true;
+    for (const costream::verify::Diagnostic& d : report.diagnostics()) {
+      df_clean &= costream::verify::RuleFamily(d.rule) != "interval-dataflow";
+    }
+    if (df_clean) {
+      std::printf("selftest %-24s OK (0 DF diagnostics)\n", "interval-clean");
+    } else {
+      std::printf("selftest %-24s FAILED:\n%s", "interval-clean",
+                  report.DebugString().c_str());
+      ok = false;
+    }
+  }
   {  // The clean fixture must produce zero diagnostics, end to end: graph,
      // cluster, placement and a full forward-plan shape check.
     const costream::dsps::QueryGraph query = CleanQuery();
@@ -225,12 +382,15 @@ int main(int argc, char** argv) {
   int max_records = 0;
   costream::core::CostModelConfig model_config;
   std::vector<std::string> files;
+  std::vector<std::string> rule_filter;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--rules") return PrintRules();
+    if (arg == "--list-rules") return PrintRules();
     if (arg == "--selftest") return SelfTest();
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--rules" && i + 1 < argc) {
+      if (!ParseRuleFilter(argv[++i], &rule_filter)) return 2;
     } else if (arg == "--max-records" && i + 1 < argc) {
       max_records = std::atoi(argv[++i]);
     } else if (arg == "--hidden-dim" && i + 1 < argc) {
@@ -245,19 +405,22 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   for (const std::string& path : files) {
-    VerifyReport report;
+    VerifyReport full;
     switch (costream::verify::DetectArtifactKind(path)) {
       case costream::verify::ArtifactKind::kTraceCorpus:
-        costream::verify::LintTraceFile(path, &report, max_records);
+        costream::verify::LintTraceFile(path, &full, max_records);
         break;
       case costream::verify::ArtifactKind::kModelFile:
-        costream::verify::LintModelFile(path, model_config, &report);
+        costream::verify::LintModelFile(path, model_config, &full);
         break;
       case costream::verify::ArtifactKind::kUnknown:
         std::fprintf(stderr, "%s: unreadable or unrecognized artifact\n",
                      path.c_str());
         return 2;
     }
+    const VerifyReport report =
+        rule_filter.empty() ? std::move(full)
+                            : FilterReport(full, rule_filter);
     costream::verify::RecordReport(report);
     if (json) {
       std::printf("%s\n", report.ToJson().c_str());
